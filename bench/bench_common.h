@@ -1,0 +1,36 @@
+// bench_common.h — shared scaffolding for the per-figure benchmark
+// binaries: every binary first prints the paper artifact it regenerates
+// (table rows / figure series), then runs its google-benchmark
+// microbenchmarks on the engines involved.
+#ifndef DFSM_BENCH_COMMON_H
+#define DFSM_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dfsm::bench {
+
+inline void print_artifact(const std::string& header, const std::string& body) {
+  std::printf("\n############################################################\n");
+  std::printf("## %s\n", header.c_str());
+  std::printf("############################################################\n\n");
+  std::printf("%s\n", body.c_str());
+}
+
+}  // namespace dfsm::bench
+
+/// Standard main: print the artifact(s), then run the microbenchmarks.
+#define DFSM_BENCH_MAIN(print_artifacts_fn)                   \
+  int main(int argc, char** argv) {                           \
+    print_artifacts_fn();                                     \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    return 0;                                                 \
+  }
+
+#endif  // DFSM_BENCH_COMMON_H

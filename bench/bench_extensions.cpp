@@ -1,0 +1,173 @@
+// bench_extensions — the layers built on top of the paper's model (its §7
+// future work and the §2 related-work baselines): the automatic analysis
+// tool, METF quantification, trace anomaly detection, and attack-graph
+// generation. Prints the artifacts, then benchmarks each engine.
+#include "bench_common.h"
+
+#include "analysis/anomaly.h"
+#include "analysis/attack_graph.h"
+#include "analysis/autotool.h"
+#include "analysis/metf.h"
+#include "apps/models.h"
+#include "apps/nullhttpd.h"
+#include "apps/xterm.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace dfsm;
+using namespace dfsm::analysis;
+
+std::string metf_table() {
+  core::TextTable t{{"Model", "Barriers", "Hardening", "P(attempt)",
+                     "E[attempts]", "E[actions] (METF)"}};
+  t.title("METF over the FSM models (Ortalo-style quantification)");
+  const auto models = apps::standard_models();
+  apps::XtermLogger xterm;
+  const double race_fraction = xterm.run_race(1).report.violation_fraction();
+  for (const auto& m : models) {
+    for (const double pass : {1.0, 0.5, 0.1}) {
+      std::vector<std::pair<std::string, double>> overrides;
+      if (m.name().find("xterm") != std::string::npos) {
+        overrides = {{"pFSM1", 1.0}, {"pFSM2", race_fraction * pass}};
+      }
+      const auto r = metf(barriers_from_model(m, pass, overrides));
+      char p_buf[32], att[32], act[32];
+      std::snprintf(p_buf, sizeof p_buf, "%.4f", r.attempt_success_probability);
+      if (r.secure) {
+        std::snprintf(att, sizeof att, "inf");
+        std::snprintf(act, sizeof act, "inf (secure)");
+      } else {
+        std::snprintf(att, sizeof att, "%.1f", r.expected_attempts);
+        std::snprintf(act, sizeof act, "%.1f", r.expected_actions);
+      }
+      char hard[48];
+      std::snprintf(hard, sizeof hard, "pass prob %.1f/pFSM", pass);
+      t.add_row({m.name().substr(0, 40), std::to_string(m.pfsm_count()), hard,
+                 p_buf, att, act});
+    }
+  }
+  return t.to_string();
+}
+
+std::string anomaly_table() {
+  AnomalyDetector d{2};
+  for (const std::size_t n : {0u, 100u, 1024u, 2048u, 5000u}) {
+    apps::NullHttpd app;
+    d.train(app.handle_post(static_cast<std::int32_t>(n), std::string(n, 'b')).events);
+  }
+  core::TextTable t{{"Run", "Events", "Anomaly score", "Verdict"}};
+  t.title("Trace anomaly detection (Michael & Ghosh baseline) on NULL HTTPD");
+  {
+    apps::NullHttpd app;
+    const auto r = app.handle_post(3000, std::string(3000, 'x'));
+    char s[16];
+    std::snprintf(s, sizeof s, "%.3f", d.score(r.events));
+    t.add_row({"benign POST (3000 bytes)", std::to_string(r.events.size()), s,
+               d.anomalous(r.events) ? "ANOMALY" : "normal"});
+  }
+  {
+    const auto info = apps::NullHttpd::scout(-800);
+    apps::NullHttpd app;
+    const auto body = apps::NullHttpd::build_overflow_body(info);
+    const auto r = app.handle_post(-800, std::string(body.begin(), body.end()));
+    char s[16];
+    std::snprintf(s, sizeof s, "%.3f", d.score(r.events));
+    t.add_row({"#5774 exploit", std::to_string(r.events.size()), s,
+               d.anomalous(r.events) ? "ANOMALY" : "normal"});
+  }
+  return t.to_string();
+}
+
+std::string attack_graph_summary() {
+  const std::vector<Host> hosts = {
+      {"attacker", {}, {"web"}},
+      {"web", {"ghttpd", "sendmail"}, {"nfs"}},
+      {"nfs", {"rpc.statd"}, {}},
+  };
+  const auto g = AttackGraph::build(hosts, standard_rules(),
+                                    {Fact{"attacker", Privilege::kRoot}});
+  std::string out = g.to_text();
+  out += "\nShortest path to (nfs, root):\n";
+  for (const auto& e : g.path_to(Fact{"nfs", Privilege::kRoot})) {
+    out += "  " + e.from.host + " -> " + e.to.host + " via " + e.rule + "\n";
+  }
+  return out;
+}
+
+void print_artifacts() {
+  bench::print_artifact("Automatic analysis tool (paper §7 future work)",
+                        AutoTool::analyze(sendmail_spec()).to_text());
+  bench::print_artifact("METF quantification", metf_table());
+  bench::print_artifact("Trace anomaly detection", anomaly_table());
+  bench::print_artifact("Attack-graph generation (Sheyner baseline)",
+                        attack_graph_summary());
+}
+
+void BM_AutoToolAnalyze(benchmark::State& state) {
+  const auto spec = sendmail_spec();
+  for (auto _ : state) {
+    auto report = AutoTool::analyze(spec);
+    benchmark::DoNotOptimize(report.vulnerable());
+  }
+}
+BENCHMARK(BM_AutoToolAnalyze)->Unit(benchmark::kMicrosecond);
+
+void BM_Metf(benchmark::State& state) {
+  const auto barriers =
+      barriers_from_model(apps::standard_models()[1], 0.5);
+  for (auto _ : state) {
+    auto r = metf(barriers);
+    benchmark::DoNotOptimize(r.expected_actions);
+  }
+}
+BENCHMARK(BM_Metf);
+
+void BM_AnomalyTrain(benchmark::State& state) {
+  apps::NullHttpd app;
+  const auto trace = app.handle_post(2048, std::string(2048, 'b')).events;
+  for (auto _ : state) {
+    AnomalyDetector d{2};
+    d.train(trace);
+    benchmark::DoNotOptimize(d.known_windows());
+  }
+}
+BENCHMARK(BM_AnomalyTrain);
+
+void BM_AnomalyScore(benchmark::State& state) {
+  AnomalyDetector d{2};
+  apps::NullHttpd trainer;
+  d.train(trainer.handle_post(2048, std::string(2048, 'b')).events);
+  apps::NullHttpd probe_app;
+  const auto probe = probe_app.handle_post(1024, std::string(1024, 'x')).events;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.score(probe));
+  }
+}
+BENCHMARK(BM_AnomalyScore);
+
+void BM_AttackGraphBuild(benchmark::State& state) {
+  // A larger synthetic enterprise: a chain of n subnets.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Host> hosts;
+  hosts.push_back({"attacker", {}, {"host0"}});
+  for (std::size_t i = 0; i < n; ++i) {
+    Host h;
+    h.name = "host" + std::to_string(i);
+    h.services = {"ghttpd", "sendmail"};
+    if (i + 1 < n) h.reaches = {"host" + std::to_string(i + 1)};
+    hosts.push_back(std::move(h));
+  }
+  const std::vector<Fact> start = {Fact{"attacker", Privilege::kRoot}};
+  for (auto _ : state) {
+    auto g = AttackGraph::build(hosts, standard_rules(), start);
+    benchmark::DoNotOptimize(g.facts().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AttackGraphBuild)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+DFSM_BENCH_MAIN(print_artifacts)

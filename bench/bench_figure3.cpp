@@ -1,0 +1,119 @@
+// bench_figure3 — regenerates Figure 3 (the Sendmail #3163 signed-integer
+// overflow model): the model rendering, the exploit walk through the
+// pFSMs, the check-matrix showing each elementary activity foils the
+// exploit, plus the GHTTPD stack-smash companion rows; then benchmarks
+// the sandboxed exploit end-to-end.
+#include "bench_common.h"
+
+#include "analysis/monitor.h"
+#include "apps/ghttpd.h"
+#include "apps/sendmail.h"
+#include "core/render.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace dfsm;
+
+void print_check_matrix() {
+  core::TextTable t{{"pFSM1 (type)", "pFSM2 (range)", "pFSM3 (GOT)",
+                     "Exploit outcome", "Detail"}};
+  t.title("Sendmail #3163: the published exploit under each check mask");
+  for (unsigned mask = 0; mask < 8; ++mask) {
+    apps::SendmailChecks checks;
+    checks.input_representable = mask & 1;
+    checks.index_full_range = mask & 2;
+    checks.got_unchanged = mask & 4;
+    apps::SendmailTTflag app{checks};
+    const auto e = app.build_exploit();
+    const auto r = app.run_debug_command(e.str_x, e.str_i);
+    t.add_row({checks.input_representable ? "on" : "off",
+               checks.index_full_range ? "on" : "off",
+               checks.got_unchanged ? "on" : "off",
+               r.mcode_executed ? "EXPLOITED" : (r.rejected ? "foiled" : "other"),
+               r.detail.substr(0, 52)});
+  }
+  bench::print_artifact("Per-activity check matrix (Figure 3 semantics)",
+                        t.to_string());
+}
+
+void print_exploit_walk() {
+  apps::SendmailTTflag app;
+  const auto e = app.build_exploit();
+  analysis::RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  (void)app.run_debug_command(e.str_x, e.str_i);
+  (void)monitor.observe(analysis::sendmail_observation(
+      e.str_x, e.str_i, app.process().got().unchanged("setuid")));
+  bench::print_artifact("Exploit walk through the Figure 3 FSM (trace)",
+                        monitor.trace().to_text());
+}
+
+void print_ghttpd_rows() {
+  core::TextTable t{{"Request length", "Checks", "Outcome"}};
+  t.title("Companion: GHTTPD #5960 stack smash (same modeling, Table 2 row)");
+  for (const std::size_t len : {20u, 200u, 203u}) {
+    for (const bool guard : {false, true}) {
+      apps::Ghttpd app{apps::GhttpdChecks{false, guard}};
+      const auto payload =
+          len == 203 ? app.build_exploit() : std::string(len, 'a');
+      const auto r = app.serve(payload);
+      t.add_row({std::to_string(payload.size()),
+                 guard ? "StackGuard" : "none",
+                 r.mcode_executed ? "EXPLOITED"
+                                  : (r.rejected ? "foiled" : "served/crash")});
+    }
+  }
+  bench::print_artifact("GHTTPD length sweep", t.to_string());
+}
+
+void print_artifacts() {
+  bench::print_artifact(
+      "Figure 3: Sendmail Debugging Function Signed Integer Overflow",
+      core::to_ascii(apps::SendmailTTflag::figure3_model()));
+  print_exploit_walk();
+  print_check_matrix();
+  print_ghttpd_rows();
+}
+
+void BM_SendmailExploitEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::SendmailTTflag app;
+    const auto e = app.build_exploit();
+    auto r = app.run_debug_command(e.str_x, e.str_i);
+    benchmark::DoNotOptimize(r.mcode_executed);
+  }
+}
+BENCHMARK(BM_SendmailExploitEndToEnd)->Unit(benchmark::kMicrosecond);
+
+void BM_SendmailBenignCommand(benchmark::State& state) {
+  apps::SendmailTTflag app;
+  for (auto _ : state) {
+    auto r = app.run_debug_command("7", "3");
+    benchmark::DoNotOptimize(r.wrote);
+  }
+}
+BENCHMARK(BM_SendmailBenignCommand);
+
+void BM_SendmailModelObservation(benchmark::State& state) {
+  analysis::RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  for (auto _ : state) {
+    auto r = monitor.observe(
+        analysis::sendmail_observation("4294958848", "7842561", false));
+    benchmark::DoNotOptimize(r.exploited());
+    monitor.reset();
+  }
+}
+BENCHMARK(BM_SendmailModelObservation);
+
+void BM_GhttpdExploitEndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::Ghttpd app;
+    auto r = app.serve(app.build_exploit());
+    benchmark::DoNotOptimize(r.mcode_executed);
+  }
+}
+BENCHMARK(BM_GhttpdExploitEndToEnd)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+DFSM_BENCH_MAIN(print_artifacts)

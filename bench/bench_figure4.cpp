@@ -1,0 +1,128 @@
+// bench_figure4 — regenerates Figure 4 (the NULL HTTPD heap overflow
+// model), the #5774/#6255 exploit matrix, and the discovery campaign
+// that rediscovers #6255 (the paper's headline anecdote); also ablates
+// the heap-layout sensitivity called out in DESIGN.md §6. Then benchmarks
+// the server, the exploit, and the discovery probes.
+#include "bench_common.h"
+
+#include "analysis/discovery.h"
+#include "analysis/report.h"
+#include "apps/nullhttpd.h"
+#include "core/render.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace dfsm;
+
+std::string run_matrix() {
+  core::TextTable t{{"Exploit", "pFSM1", "pFSM2", "pFSM3", "pFSM4", "Outcome"}};
+  t.title("NULL HTTPD: both exploits under each single-check configuration");
+  for (const bool use_6255 : {false, true}) {
+    for (int check = -1; check < 4; ++check) {
+      apps::NullHttpdChecks checks;
+      checks.content_len_nonneg = (check == 0);
+      checks.bounded_read_loop = (check == 1);
+      checks.heap_safe_unlink = (check == 2);
+      checks.got_free_unchanged = (check == 3);
+      const std::int32_t cl = use_6255 ? 0 : -800;
+      apps::NullHttpd app{checks};
+      std::string outcome;
+      try {
+        const auto info = apps::NullHttpd::scout(cl, checks);
+        const auto body = apps::NullHttpd::build_overflow_body(info);
+        const auto r = app.handle_post(cl, std::string(body.begin(), body.end()));
+        outcome = r.mcode_executed ? "EXPLOITED"
+                                   : (r.rejected ? "foiled (" + r.rejected_by + ")"
+                                                 : "ineffective");
+      } catch (const std::exception& e) {
+        outcome = std::string("error: ") + e.what();
+      }
+      auto onoff = [check](int i) { return check == i ? "on" : "off"; };
+      t.add_row({use_6255 ? "#6255 (cl=0, long body)" : "#5774 (cl=-800)",
+                 onoff(0), onoff(1), onoff(2), onoff(3), outcome});
+    }
+  }
+  return t.to_string();
+}
+
+std::string layout_ablation() {
+  // DESIGN.md §6: the unlink write-what-where needs a free chunk adjacent
+  // to PostData. Sweep contentLen (hence buffer size) to show the exploit
+  // tracks the scouted layout rather than a fixed offset.
+  core::TextTable t{{"contentLen", "buffer", "B chunk", "Outcome"}};
+  t.title("Heap-layout sensitivity: the exploit re-derived per layout");
+  for (const std::int32_t cl : {-1000, -800, -512, -128, 0, 512}) {
+    try {
+      const auto info = apps::NullHttpd::scout(cl);
+      apps::NullHttpd app;
+      const auto body = apps::NullHttpd::build_overflow_body(info);
+      const auto r = app.handle_post(cl, std::string(body.begin(), body.end()));
+      char b[32];
+      std::snprintf(b, sizeof b, "0x%llx",
+                    static_cast<unsigned long long>(info.following_chunk));
+      t.add_row({std::to_string(cl), std::to_string(info.postdata_usable), b,
+                 r.mcode_executed ? "EXPLOITED" : (r.crashed ? "crash" : "no")});
+    } catch (const std::exception&) {
+      t.add_row({std::to_string(cl), "-", "-", "calloc fails"});
+    }
+  }
+  return t.to_string();
+}
+
+void print_artifacts() {
+  bench::print_artifact("Figure 4: NULL HTTPD Heap Overflow model",
+                        core::to_ascii(apps::NullHttpd::figure4_model()));
+  bench::print_artifact("Exploit/check matrix", run_matrix());
+  bench::print_artifact(
+      "Discovery campaign on v0.5.1 (rediscovers Bugtraq #6255)",
+      analysis::render_discovery(analysis::probe_nullhttpd_v051()));
+  bench::print_artifact(
+      "Control: the '&&'-fixed server under the same campaign",
+      analysis::render_discovery(analysis::probe_nullhttpd_fixed()));
+  bench::print_artifact("Heap-layout ablation", layout_ablation());
+}
+
+void BM_BenignPost(benchmark::State& state) {
+  const std::string body(static_cast<std::size_t>(state.range(0)), 'b');
+  for (auto _ : state) {
+    apps::NullHttpd app;
+    auto r = app.handle_post(static_cast<std::int32_t>(body.size()), body);
+    benchmark::DoNotOptimize(r.served);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_BenignPost)->Arg(1024)->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_Exploit5774EndToEnd(benchmark::State& state) {
+  const auto info = apps::NullHttpd::scout(-800);
+  const auto body_bytes = apps::NullHttpd::build_overflow_body(info);
+  const std::string body(body_bytes.begin(), body_bytes.end());
+  for (auto _ : state) {
+    apps::NullHttpd app;
+    auto r = app.handle_post(-800, body);
+    benchmark::DoNotOptimize(r.mcode_executed);
+  }
+}
+BENCHMARK(BM_Exploit5774EndToEnd)->Unit(benchmark::kMicrosecond);
+
+void BM_ScoutLayout(benchmark::State& state) {
+  for (auto _ : state) {
+    auto info = apps::NullHttpd::scout(-800);
+    benchmark::DoNotOptimize(info.following_chunk);
+  }
+}
+BENCHMARK(BM_ScoutLayout)->Unit(benchmark::kMicrosecond);
+
+void BM_DiscoveryCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    auto report = analysis::probe_nullhttpd_v051();
+    benchmark::DoNotOptimize(report.found_new_vulnerability);
+  }
+}
+BENCHMARK(BM_DiscoveryCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+DFSM_BENCH_MAIN(print_artifacts)

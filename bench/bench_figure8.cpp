@@ -1,0 +1,88 @@
+// bench_figure8 — regenerates Figure 8 (the three generic pFSM types and
+// their census across all modeled vulnerabilities) together with the §6
+// observations, then benchmarks model construction and census queries.
+#include "bench_common.h"
+
+#include "analysis/report.h"
+#include "apps/models.h"
+#include "core/render.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace dfsm;
+
+void print_artifacts() {
+  const auto models = apps::standard_models();
+  bench::print_artifact("Figure 8 / §6: generic pFSM type census",
+                        analysis::render_figure8(models));
+
+  // Per-model type breakdown (the data behind the census).
+  core::TextTable t{{"Model", "Object Type", "Content/Attribute",
+                     "Reference Consistency"}};
+  t.title("Per-model pFSM type counts");
+  for (const auto& m : models) {
+    const auto c = m.type_census();
+    t.add_row({m.name(), std::to_string(c[0]), std::to_string(c[1]),
+               std::to_string(c[2])});
+  }
+  bench::print_artifact("Census detail", t.to_string());
+
+  // §6's qualitative claims, checked and narrated.
+  const auto census = core::census(models);
+  std::string narration;
+  narration += "Content/Attribute checks dominate: " +
+               std::to_string(census.of(core::PfsmType::kContentAttributeCheck)) +
+               " of " + std::to_string(census.total) + " pFSMs.\n";
+  narration += "Reference-consistency gaps are the runner-up: " +
+               std::to_string(
+                   census.of(core::PfsmType::kReferenceConsistencyCheck)) +
+               " pFSMs (GOT entries, free-chunk links, return addresses, "
+               "file-name bindings).\n";
+  narration += "Object-type checks: " +
+               std::to_string(census.of(core::PfsmType::kObjectTypeCheck)) +
+               " (Sendmail's long-vs-int, rwall's terminal-vs-file).\n";
+  bench::print_artifact("§6 observations", narration);
+}
+
+void BM_BuildAllModels(benchmark::State& state) {
+  for (auto _ : state) {
+    auto models = apps::standard_models();
+    benchmark::DoNotOptimize(models.size());
+  }
+}
+BENCHMARK(BM_BuildAllModels)->Unit(benchmark::kMicrosecond);
+
+void BM_TypeCensus(benchmark::State& state) {
+  const auto models = apps::standard_models();
+  for (auto _ : state) {
+    auto c = core::census(models);
+    benchmark::DoNotOptimize(c.total);
+  }
+}
+BENCHMARK(BM_TypeCensus);
+
+void BM_ModelSummaries(benchmark::State& state) {
+  const auto models = apps::standard_models();
+  for (auto _ : state) {
+    for (const auto& m : models) {
+      auto s = m.summaries();
+      benchmark::DoNotOptimize(s.size());
+    }
+  }
+}
+BENCHMARK(BM_ModelSummaries)->Unit(benchmark::kMicrosecond);
+
+void BM_RenderDot(benchmark::State& state) {
+  const auto models = apps::standard_models();
+  for (auto _ : state) {
+    for (const auto& m : models) {
+      benchmark::DoNotOptimize(core::to_dot(m).size());
+    }
+  }
+}
+BENCHMARK(BM_RenderDot)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+DFSM_BENCH_MAIN(print_artifacts)

@@ -1,0 +1,46 @@
+// bench_table2 — regenerates Table 2 (the classification of every pFSM by
+// generic type across the seven case studies), generated live from the
+// registered models; then benchmarks the table generation path.
+#include "bench_common.h"
+
+#include "analysis/report.h"
+#include "apps/models.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace dfsm;
+
+void print_artifacts() {
+  const auto models = apps::standard_models();
+  bench::print_artifact("Table 2: Types of pFSMs", analysis::render_table2(models));
+
+  // The secure/vulnerable declaration audit behind the table.
+  core::TextTable t{{"Model", "pFSMs", "Declared vulnerable", "Declared secure"}};
+  t.title("Implementation-status audit per model");
+  for (const auto& m : models) {
+    t.add_row({m.name(), std::to_string(m.pfsm_count()),
+               std::to_string(m.declared_vulnerable_count()),
+               std::to_string(m.pfsm_count() - m.declared_vulnerable_count())});
+  }
+  bench::print_artifact("Audit", t.to_string());
+}
+
+void BM_RenderTable2(benchmark::State& state) {
+  const auto models = apps::standard_models();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::render_table2(models).size());
+  }
+}
+BENCHMARK(BM_RenderTable2)->Unit(benchmark::kMicrosecond);
+
+void BM_RenderTable1(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::render_table1().size());
+  }
+}
+BENCHMARK(BM_RenderTable1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+DFSM_BENCH_MAIN(print_artifacts)

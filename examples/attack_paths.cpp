@@ -1,0 +1,67 @@
+// attack_paths — attack-graph generation over the modeled vulnerabilities
+// (the Sheyner-style layer above the per-vulnerability FSMs): a small
+// networked environment, the seven case studies as exploit rules,
+// reachability analysis, and patch-placement what-ifs.
+//
+//   $ ./attack_paths
+#include <cstdio>
+
+#include "analysis/attack_graph.h"
+
+using namespace dfsm::analysis;
+
+namespace {
+
+void show_path(const AttackGraph& g, const Fact& goal) {
+  std::printf("Goal (%s, %s): %s\n", goal.host.c_str(), to_string(goal.privilege),
+              g.reachable(goal) ? "REACHABLE" : "safe");
+  for (const auto& e : g.path_to(goal)) {
+    std::printf("    (%s, %s) --[%s]--> (%s, %s)\n", e.from.host.c_str(),
+                to_string(e.from.privilege), e.rule.c_str(), e.to.host.c_str(),
+                to_string(e.to.privilege));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The environment: internet attacker -> DMZ web box -> internal NFS
+  // server; a sysadmin workstation reaches everything but runs xterm.
+  const std::vector<Host> hosts = {
+      {"attacker", {}, {"web", "admin-ws"}},
+      {"web", {"ghttpd", "sendmail"}, {"nfs"}},
+      {"nfs", {"rpc.statd"}, {}},
+      {"admin-ws", {"xterm", "iis"}, {"nfs", "web"}},
+  };
+  const Fact start{"attacker", Privilege::kRoot};
+
+  std::printf("=== Baseline: everything unpatched ===\n\n");
+  const auto g = AttackGraph::build(hosts, standard_rules(), {start});
+  std::printf("%s\n", g.to_text().c_str());
+  show_path(g, Fact{"web", Privilege::kRoot});
+  show_path(g, Fact{"nfs", Privilege::kRoot});
+  std::printf("\n");
+
+  std::printf("=== What-if: patch GHTTPD only ===\n\n");
+  auto rules = standard_rules();
+  for (auto& r : rules) {
+    if (r.software == "ghttpd") r.patched = true;
+  }
+  const auto g2 = AttackGraph::build(hosts, rules, {start});
+  show_path(g2, Fact{"web", Privilege::kRoot});
+  show_path(g2, Fact{"nfs", Privilege::kRoot});
+  std::printf("  (IIS on the admin workstation keeps the NFS host exposed.)\n\n");
+
+  std::printf("=== What-if: patch GHTTPD and IIS ===\n\n");
+  for (auto& r : rules) {
+    if (r.software == "iis") r.patched = true;
+  }
+  const auto g3 = AttackGraph::build(hosts, rules, {start});
+  show_path(g3, Fact{"web", Privilege::kUser});
+  show_path(g3, Fact{"nfs", Privilege::kRoot});
+  std::printf("\nThe graph-level story mirrors the paper's Lemma: one secured\n"
+              "operation foils one exploit chain; one patched service cuts one\n"
+              "graph edge — and the analysis shows which cuts disconnect the\n"
+              "attacker from the goal.\n");
+  return 0;
+}

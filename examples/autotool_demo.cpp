@@ -1,0 +1,73 @@
+// autotool_demo — the paper's §7 future work, working: declare an
+// implementation's operations and checks, let the tool assemble the FSM
+// model, hunt for hidden paths, and write the analyst's report. Shown on
+// the Sendmail #3163 facts, then on a freshly made-up program to
+// demonstrate the workflow generalizes beyond the paper's case studies.
+//
+//   $ ./autotool_demo
+#include <cstdio>
+
+#include "analysis/autotool.h"
+#include "analysis/hidden_path.h"
+#include "analysis/predicates.h"
+
+using namespace dfsm;
+using namespace dfsm::analysis;
+
+int main() {
+  std::printf("Predicate catalogue (%zu families):\n", predicates::catalogue().size());
+  for (const auto& e : predicates::catalogue()) {
+    std::printf("  %-24s [%s] %s\n", e.name.c_str(), to_string(e.type),
+                e.description.c_str());
+  }
+  std::printf("\n");
+
+  // 1. The Sendmail facts, declaratively.
+  std::printf("%s\n", AutoTool::analyze(sendmail_spec()).to_text().c_str());
+
+  // 2. A new program, not from the paper: an upload handler that checks
+  //    the filename but not the declared size, and trusts a cached
+  //    file-handle binding.
+  VulnerabilitySpec spec;
+  spec.name = "hypothetical upload handler";
+  spec.vulnerability_class = "Heap Overflow";
+  spec.software = "uploadd 0.9";
+  spec.consequence = "attacker-controlled write past the upload buffer";
+
+  OperationSpec op1;
+  op1.name = "Receive the upload";
+  op1.object_description = "declared size and payload";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "read the declared size from the request",
+      predicates::int_in_range("declared_size", 0, 1 << 20),
+      ActivitySpec::Impl::kCustom,
+      predicates::int_at_most("declared_size", 1 << 20),  // forgot the >= 0
+      "malloc(declared_size)"});
+  op1.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kContentAttributeCheck,
+      "copy the payload into the buffer",
+      predicates::length_within_capacity("payload_length", "buffer_size"),
+      ActivitySpec::Impl::kMatchesSpec, std::nullopt,
+      "memcpy(buffer, payload, payload_length)"});
+  op1.gate_condition = "heap metadata after the buffer is attacker-controlled";
+  spec.operations.push_back(std::move(op1));
+
+  spec.probe_domains["pFSM1"] =
+      int_boundary_domain("size", "declared_size", {-1, 0, 1 << 20});
+  {
+    std::vector<core::Object> d;
+    for (const std::int64_t len : {0, 512, 1024, 1025}) {
+      d.push_back(core::Object{"payload"}
+                      .with("payload_length", len)
+                      .with("buffer_size", std::int64_t{1024}));
+    }
+    spec.probe_domains["pFSM2"] = d;
+  }
+
+  std::printf("%s\n", AutoTool::analyze(spec).to_text().c_str());
+  std::printf("The tool flags pFSM1 (the missing lower bound) and clears "
+              "pFSM2 (the bounded copy) — the same verdict an analyst\n"
+              "reaches by drawing Figure-2 machines by hand.\n");
+  return 0;
+}

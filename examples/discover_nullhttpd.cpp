@@ -1,0 +1,71 @@
+// discover_nullhttpd — reproduces the paper's headline anecdote end to
+// end: model the KNOWN NULL HTTPD heap overflow (#5774), derive the pFSM2
+// predicate from the model, probe the PATCHED server against that
+// predicate, and watch the NEW vulnerability (#6255) fall out. Then run
+// the actual exploit against both server versions.
+//
+//   $ ./discover_nullhttpd
+#include <cstdio>
+
+#include "analysis/discovery.h"
+#include "analysis/monitor.h"
+#include "analysis/report.h"
+#include "apps/nullhttpd.h"
+#include "core/render.h"
+
+using namespace dfsm;
+
+int main() {
+  std::printf("Step 1: the FSM model of the KNOWN vulnerability (#5774)\n");
+  std::printf("---------------------------------------------------------\n\n");
+  std::printf("%s\n", core::to_ascii(apps::NullHttpd::figure4_model()).c_str());
+
+  std::printf("Step 2: exploit #5774 against Null HTTPD 0.5\n");
+  std::printf("---------------------------------------------\n\n");
+  {
+    const auto info = apps::NullHttpd::scout(-800);
+    apps::NullHttpd v05;
+    const auto body = apps::NullHttpd::build_overflow_body(info);
+    const auto r = v05.handle_post(-800, std::string(body.begin(), body.end()));
+    std::printf("  contentLen=-800, buffer=%zu bytes, body=%zu bytes\n",
+                r.postdata_usable, body.size());
+    std::printf("  -> %s\n\n", r.detail.c_str());
+  }
+
+  std::printf("Step 3: v0.5.1 blocks negative contentLen — is pFSM2 satisfied?\n");
+  std::printf("----------------------------------------------------------------\n\n");
+  std::printf("Constructing the model forces the question: the predicate\n");
+  std::printf("\"length(input) <= size(PostData)\" must hold for EVERY input,\n");
+  std::printf("not just negative contentLen. Probing the patched server:\n\n");
+  const auto discovery = analysis::probe_nullhttpd_v051();
+  std::printf("%s\n", analysis::render_discovery(discovery).c_str());
+
+  if (discovery.found_new_vulnerability) {
+    std::printf("Step 4: weaponize the finding (Bugtraq #6255)\n");
+    std::printf("----------------------------------------------\n\n");
+    apps::NullHttpdChecks v051;
+    v051.content_len_nonneg = true;
+    const auto info = apps::NullHttpd::scout(0, v051);
+    apps::NullHttpd patched{v051};
+    const auto body = apps::NullHttpd::build_overflow_body(info);
+    const auto r = patched.handle_post(0, std::string(body.begin(), body.end()));
+    std::printf("  truthful contentLen=0, body=%zu bytes\n", body.size());
+    std::printf("  -> %s\n\n", r.detail.c_str());
+
+    analysis::RuntimeMonitor monitor{apps::NullHttpd::figure4_model()};
+    (void)monitor.observe(analysis::nullhttpd_observation(
+        0, static_cast<std::int64_t>(r.bytes_read),
+        static_cast<std::int64_t>(r.postdata_usable), false,
+        patched.process().got().unchanged("free")));
+    std::printf("  monitor violations at elementary-activity granularity:\n");
+    for (const auto& v : monitor.violations()) {
+      std::printf("    * %s\n", v.c_str());
+    }
+  }
+
+  std::printf("\nStep 5: the '&&' fix passes the same campaign\n");
+  std::printf("----------------------------------------------\n\n");
+  std::printf("%s\n",
+              analysis::render_discovery(analysis::probe_nullhttpd_fixed()).c_str());
+  return 0;
+}

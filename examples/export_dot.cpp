@@ -1,0 +1,51 @@
+// export_dot — writes every standard model (Figures 3-7 plus the GHTTPD
+// and rpc.statd companions) as Graphviz DOT files, ready for
+// `dot -Tsvg`, regenerating the paper's diagrams.
+//
+//   $ ./export_dot [output-dir]      (default: ./dot)
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "apps/models.h"
+#include "core/render.h"
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "dot";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  int written = 0;
+  for (const auto& model : dfsm::apps::standard_models()) {
+    // Derive a filename slug from the model name.
+    std::string slug;
+    for (char c : model.name()) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      } else if (!slug.empty() && slug.back() != '-') {
+        slug.push_back('-');
+      }
+    }
+    while (!slug.empty() && slug.back() == '-') slug.pop_back();
+
+    const auto path = dir / (slug + ".dot");
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << dfsm::core::to_dot(model);
+    std::printf("wrote %s (%zu pFSMs, %zu operations)\n", path.c_str(),
+                model.pfsm_count(), model.chain().size());
+    ++written;
+  }
+  std::printf("\n%d models exported. Render with:\n"
+              "  for f in %s/*.dot; do dot -Tsvg \"$f\" -o \"${f%%.dot}.svg\"; done\n",
+              written, dir.c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// race_hunter — exhaustive TOCTOU analysis of the xterm log-file race
+// (paper Figure 5): enumerate every interleaving of the victim's and
+// attacker's syscalls, list the violating schedules, sweep the race
+// window width, and show the atomic-binding fix closing the window.
+//
+//   $ ./race_hunter
+#include <cstdio>
+
+#include "apps/xterm.h"
+#include "core/render.h"
+
+using namespace dfsm;
+
+int main() {
+  std::printf("%s\n", core::to_ascii(apps::XtermLogger::figure5_model()).c_str());
+
+  std::printf("Exhaustive interleaving enumeration (window = 0 extra steps)\n");
+  std::printf("------------------------------------------------------------\n\n");
+  apps::XtermLogger xterm;
+  const auto base = xterm.run_race(0);
+  std::printf("  %zu schedules, %zu violate the predicate (%.1f%%)\n\n",
+              base.report.total_schedules, base.report.violating_schedules,
+              100.0 * base.report.violation_fraction());
+  for (const auto& o : base.report.outcomes) {
+    if (!o.violated) continue;
+    std::printf("  violating schedule:\n");
+    for (const auto& step : o.order) std::printf("    %s\n", step.c_str());
+    std::printf("  => Tom's \"log message\" landed in /etc/passwd\n\n");
+  }
+
+  std::printf("Race-window sweep (extra victim work between check and open)\n");
+  std::printf("-------------------------------------------------------------\n\n");
+  std::printf("  %-8s %-11s %-10s %s\n", "window", "schedules", "violating",
+              "fraction");
+  for (std::size_t w = 0; w <= 6; ++w) {
+    const auto r = xterm.run_race(w);
+    std::printf("  %-8zu %-11zu %-10zu %.1f%%\n", w, r.report.total_schedules,
+                r.report.violating_schedules,
+                100.0 * r.report.violation_fraction());
+  }
+
+  std::printf("\nWith the atomic-binding fix (O_NOFOLLOW + fstat re-check)\n");
+  std::printf("---------------------------------------------------------\n\n");
+  apps::XtermLogger fixed{
+      apps::XtermChecks{.write_permission = true, .atomic_binding = true}};
+  for (std::size_t w = 0; w <= 6; ++w) {
+    const auto r = fixed.run_race(w);
+    std::printf("  window %zu: %zu/%zu violating\n", w,
+                r.report.violating_schedules, r.report.total_schedules);
+  }
+  std::printf("\n  benign logging still works: %s\n",
+              fixed.run_benign() ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "analysis/anomaly.h"
+
+#include <stdexcept>
+
+namespace dfsm::analysis {
+
+namespace {
+constexpr const char* kStart = "\x01START";
+constexpr const char* kEnd = "\x02END";
+}  // namespace
+
+AnomalyDetector::AnomalyDetector(std::size_t n) : n_(n) {
+  if (n_ == 0) throw std::invalid_argument("AnomalyDetector requires n >= 1");
+}
+
+std::vector<std::string> AnomalyDetector::windows(const EventTrace& trace) const {
+  // Sentinel-padded event stream: START e0 e1 ... ek END.
+  std::vector<std::string> padded;
+  padded.reserve(trace.size() + 2);
+  padded.push_back(kStart);
+  padded.insert(padded.end(), trace.begin(), trace.end());
+  padded.push_back(kEnd);
+
+  std::vector<std::string> out;
+  if (padded.size() < n_) {
+    // One short window covering the whole padded trace.
+    std::string w;
+    for (const auto& e : padded) w += e + "\x1f";
+    out.push_back(std::move(w));
+    return out;
+  }
+  for (std::size_t i = 0; i + n_ <= padded.size(); ++i) {
+    std::string w;
+    for (std::size_t j = 0; j < n_; ++j) w += padded[i + j] + "\x1f";
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void AnomalyDetector::train(const EventTrace& trace) {
+  for (auto& w : windows(trace)) known_.insert(std::move(w));
+  ++trained_traces_;
+}
+
+void AnomalyDetector::train_all(const std::vector<EventTrace>& traces) {
+  for (const auto& t : traces) train(t);
+}
+
+double AnomalyDetector::score(const EventTrace& trace) const {
+  const auto ws = windows(trace);
+  if (ws.empty()) return 0.0;
+  std::size_t novel = 0;
+  for (const auto& w : ws) {
+    if (known_.count(w) == 0) ++novel;
+  }
+  return static_cast<double>(novel) / static_cast<double>(ws.size());
+}
+
+bool AnomalyDetector::anomalous(const EventTrace& trace, double threshold) const {
+  return score(trace) > threshold;
+}
+
+std::vector<std::string> AnomalyDetector::novel_windows(
+    const EventTrace& trace) const {
+  std::vector<std::string> out;
+  for (const auto& w : windows(trace)) {
+    if (known_.count(w) == 0) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,72 @@
+// anomaly.h — simple state-based program anomaly detection over event
+// traces: the Michael & Ghosh approach the paper cites as the other FSM
+// line of work (§2, [19]: "By training the model using normal traces, the
+// FSM is able to identify abnormal program behaviors and thus detect
+// intrusions").
+//
+// The detector learns the set of length-n windows (n-grams) occurring in
+// benign traces — equivalently, the transition relation of an FSM whose
+// states are (n-1)-grams — and scores a fresh trace by the fraction of
+// windows it contains that were never seen in training. Exploited runs
+// diverge from the learned automaton (truncated shutdown sequences,
+// payload behaviour after the control-flow hijack) and score high.
+//
+// This complements the paper's pFSM approach: the pFSM model explains WHY
+// an implementation is exploitable before deployment; the trace detector
+// notices THAT something abnormal happened at run time.
+#ifndef DFSM_ANALYSIS_ANOMALY_H
+#define DFSM_ANALYSIS_ANOMALY_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dfsm::analysis {
+
+/// An event trace (e.g. the syscall-level event list an app run emits).
+using EventTrace = std::vector<std::string>;
+
+/// N-gram/FSM anomaly detector.
+///
+/// Invariant: n >= 1 (checked). Traces shorter than n contribute/score
+/// their single padded window.
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(std::size_t n = 2);
+
+  /// Learns all windows of a benign trace (with implicit START/END
+  /// sentinels, so truncation is observable).
+  void train(const EventTrace& trace);
+  void train_all(const std::vector<EventTrace>& traces);
+
+  /// Fraction of the trace's windows that were never seen in training,
+  /// in [0,1]. 0 on an untrained detector is impossible: with no known
+  /// windows every window is novel (score 1), matching [19]'s behaviour.
+  [[nodiscard]] double score(const EventTrace& trace) const;
+
+  /// score(trace) > threshold.
+  [[nodiscard]] bool anomalous(const EventTrace& trace,
+                               double threshold = 0.0) const;
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t known_windows() const noexcept {
+    return known_.size();
+  }
+  [[nodiscard]] std::size_t trained_traces() const noexcept {
+    return trained_traces_;
+  }
+
+  /// The novel windows of a trace (for explanation in reports).
+  [[nodiscard]] std::vector<std::string> novel_windows(const EventTrace& trace) const;
+
+ private:
+  [[nodiscard]] std::vector<std::string> windows(const EventTrace& trace) const;
+
+  std::size_t n_;
+  std::set<std::string> known_;
+  std::size_t trained_traces_ = 0;
+};
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_ANOMALY_H

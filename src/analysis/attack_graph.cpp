@@ -1,0 +1,161 @@
+#include "analysis/attack_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace dfsm::analysis {
+
+const char* to_string(Privilege p) noexcept {
+  switch (p) {
+    case Privilege::kNone: return "none";
+    case Privilege::kUser: return "user";
+    case Privilege::kRoot: return "root";
+  }
+  return "?";
+}
+
+std::vector<ExploitRule> standard_rules() {
+  return {
+      // Sendmail #3163: local setuid-binary abuse, yields root.
+      {"Sendmail #3163 signed integer overflow", "sendmail", /*remote=*/false,
+       Privilege::kRoot},
+      // NULL HTTPD #5774/#6255: remote, yields the server's uid.
+      {"NULL HTTPD #5774/#6255 heap overflow", "nullhttpd", /*remote=*/true,
+       Privilege::kUser},
+      // xterm race: local, yields root (via /etc/passwd).
+      {"xterm log-file race", "xterm", /*remote=*/false, Privilege::kRoot},
+      // rwall: remote daemon writing /etc/passwd -> root.
+      {"Solaris rwall file corruption", "rwalld", /*remote=*/true,
+       Privilege::kRoot},
+      // IIS #2708: remote command execution as the web user.
+      {"IIS #2708 superfluous decoding", "iis", /*remote=*/true,
+       Privilege::kUser},
+      // GHTTPD #5960: remote, server uid.
+      {"GHTTPD #5960 stack overflow", "ghttpd", /*remote=*/true,
+       Privilege::kUser},
+      // rpc.statd #1480: remote, historically root (statd ran as root).
+      {"rpc.statd #1480 format string", "rpc.statd", /*remote=*/true,
+       Privilege::kRoot},
+  };
+}
+
+namespace {
+
+bool holds_at_least(const std::set<Fact>& facts, const std::string& host,
+                    Privilege p) {
+  for (const auto& f : facts) {
+    if (f.host != host) continue;
+    if (static_cast<int>(f.privilege) >= static_cast<int>(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+AttackGraph AttackGraph::build(const std::vector<Host>& hosts,
+                               const std::vector<ExploitRule>& rules,
+                               const std::vector<Fact>& attacker_start) {
+  AttackGraph g;
+  std::deque<Fact> queue;
+  for (const auto& f : attacker_start) {
+    if (g.facts_.insert(f).second) queue.push_back(f);
+    g.start_.insert(f);
+  }
+
+  auto reaches = [&hosts](const std::string& from, const std::string& to) {
+    if (from == to) return true;
+    for (const auto& h : hosts) {
+      if (h.name != from) continue;
+      for (const auto& r : h.reaches) {
+        if (r == to) return true;
+      }
+    }
+    return false;
+  };
+
+  auto add_fact = [&g, &queue](const Fact& from, const Fact& to,
+                               const std::string& rule) {
+    if (g.facts_.count(to) != 0) return;
+    g.facts_.insert(to);
+    const AttackEdge edge{from, to, rule};
+    g.edges_.push_back(edge);
+    g.parent_.emplace(to, edge);
+    queue.push_back(to);
+  };
+
+  while (!queue.empty()) {
+    const Fact f = queue.front();
+    queue.pop_front();
+    for (const auto& h : hosts) {
+      for (const auto& service : h.services) {
+        for (const auto& rule : rules) {
+          if (rule.patched || rule.software != service) continue;
+          if (rule.remote) {
+            // Fire from any vantage point that reaches h.
+            if (!reaches(f.host, h.name)) continue;
+            add_fact(f, Fact{h.name, rule.gained}, rule.name);
+          } else {
+            // Needs a local account on h.
+            if (f.host != h.name ||
+                static_cast<int>(f.privilege) < static_cast<int>(Privilege::kUser)) {
+              continue;
+            }
+            add_fact(f, Fact{h.name, rule.gained}, rule.name);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+bool AttackGraph::reachable(const Fact& goal) const {
+  return holds_at_least(facts_, goal.host, goal.privilege);
+}
+
+std::vector<AttackEdge> AttackGraph::path_to(const Fact& goal) const {
+  // Find the weakest held fact satisfying the goal with a parent chain.
+  Fact target = goal;
+  if (facts_.count(target) == 0) {
+    // Maybe only a stronger privilege is held (root satisfies user).
+    bool found = false;
+    for (const auto& f : facts_) {
+      if (f.host == goal.host &&
+          static_cast<int>(f.privilege) >= static_cast<int>(goal.privilege)) {
+        target = f;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return {};
+  }
+  std::vector<AttackEdge> path;
+  Fact cur = target;
+  while (start_.count(cur) == 0) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) break;  // initial fact
+    path.push_back(it->second);
+    cur = it->second.from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string AttackGraph::to_text() const {
+  std::ostringstream os;
+  os << "Facts (" << facts_.size() << "):\n";
+  for (const auto& f : facts_) {
+    os << "  " << f.host << " : " << to_string(f.privilege)
+       << (start_.count(f) ? "  [initial]" : "") << '\n';
+  }
+  os << "Edges (" << edges_.size() << "):\n";
+  for (const auto& e : edges_) {
+    os << "  (" << e.from.host << ", " << to_string(e.from.privilege)
+       << ") --[" << e.rule << "]--> (" << e.to.host << ", "
+       << to_string(e.to.privilege) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,116 @@
+// attack_graph.h — automated attack-graph generation over the modeled
+// vulnerabilities: the Sheyner et al. line of work the paper cites (§2,
+// [18]: "a finite state machine based technique to automatically
+// construct attack graphs ... applied in a networked environment
+// consisting of several users, various services, and a number of hosts").
+//
+// Each FsmModel becomes an exploit RULE: which software it applies to,
+// what foothold the attacker needs (network reach for remote exploits, a
+// local account for local ones), and what privilege exploitation yields.
+// Nodes of the graph are (host, privilege) facts; edges are rule
+// applications. Reachability from the attacker's start to a goal fact
+// enumerates multi-host, multi-vulnerability attack paths — the chains of
+// chains that sit one level above the paper's per-vulnerability FSMs.
+#ifndef DFSM_ANALYSIS_ATTACK_GRAPH_H
+#define DFSM_ANALYSIS_ATTACK_GRAPH_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace dfsm::analysis {
+
+/// Privilege the attacker holds on a host.
+enum class Privilege {
+  kNone,  ///< network reachability only
+  kUser,  ///< an unprivileged account / service-uid code execution
+  kRoot,  ///< full control
+};
+
+[[nodiscard]] const char* to_string(Privilege p) noexcept;
+
+/// One host of the environment.
+struct Host {
+  std::string name;
+  std::vector<std::string> services;  ///< software names (match rules)
+  /// Hosts reachable over the network from this one ("" = the attacker's
+  /// own vantage point is handled by AttackGraph::build's start set).
+  std::vector<std::string> reaches;
+};
+
+/// One exploit rule derived from a vulnerability model.
+struct ExploitRule {
+  std::string name;        ///< model name (edge label)
+  std::string software;    ///< service it applies to
+  bool remote = false;     ///< needs network reach vs a local account
+  Privilege gained = Privilege::kUser;
+  bool patched = false;    ///< rule disabled (the what-if ablation)
+};
+
+/// The default rule set: one rule per standard model, with the paper's
+/// remote/local attribution (§1: the studied set includes "both those
+/// that can be exploited remotely ... and those that can be exploited by
+/// local users").
+[[nodiscard]] std::vector<ExploitRule> standard_rules();
+
+/// A (host, privilege) fact node.
+struct Fact {
+  std::string host;
+  Privilege privilege = Privilege::kNone;
+
+  [[nodiscard]] bool operator<(const Fact& o) const {
+    return host < o.host || (host == o.host && privilege < o.privilege);
+  }
+  [[nodiscard]] bool operator==(const Fact& o) const {
+    return host == o.host && privilege == o.privilege;
+  }
+};
+
+/// One applied-rule edge.
+struct AttackEdge {
+  Fact from;
+  Fact to;
+  std::string rule;
+};
+
+/// The generated graph plus path queries.
+class AttackGraph {
+ public:
+  /// Saturates the fact set from the attacker's initial facts.
+  ///
+  /// Semantics: a REMOTE rule for service S on host H fires from any held
+  /// fact (H', p') such that H' reaches H (or H' == H), yielding
+  /// (H, gained). A LOCAL rule fires from (H, >=kUser), yielding
+  /// (H, gained). Privileges are monotone: kRoot subsumes kUser.
+  [[nodiscard]] static AttackGraph build(const std::vector<Host>& hosts,
+                                         const std::vector<ExploitRule>& rules,
+                                         const std::vector<Fact>& attacker_start);
+
+  [[nodiscard]] const std::set<Fact>& facts() const noexcept { return facts_; }
+  [[nodiscard]] const std::vector<AttackEdge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// True when the attacker can establish the goal fact.
+  [[nodiscard]] bool reachable(const Fact& goal) const;
+
+  /// One shortest attack path (sequence of edges) to the goal; empty when
+  /// unreachable or the goal is held initially.
+  [[nodiscard]] std::vector<AttackEdge> path_to(const Fact& goal) const;
+
+  /// Human-readable dump (facts + edges + optional path).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  std::set<Fact> facts_;
+  std::vector<AttackEdge> edges_;
+  std::map<Fact, AttackEdge> parent_;  // BFS tree for path reconstruction
+  std::set<Fact> start_;
+};
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_ATTACK_GRAPH_H

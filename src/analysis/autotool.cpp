@@ -1,0 +1,172 @@
+#include "analysis/autotool.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/hidden_path.h"
+#include "analysis/predicates.h"
+#include "core/render.h"
+
+namespace dfsm::analysis {
+
+namespace {
+
+core::Pfsm build_pfsm(const ActivitySpec& a) {
+  switch (a.impl_status) {
+    case ActivitySpec::Impl::kNoCheck:
+      return core::Pfsm::unchecked(a.pfsm_name, a.type, a.activity, a.spec,
+                                   a.action);
+    case ActivitySpec::Impl::kMatchesSpec:
+      return core::Pfsm::secure(a.pfsm_name, a.type, a.activity, a.spec,
+                                a.action);
+    case ActivitySpec::Impl::kCustom:
+      if (!a.impl) {
+        throw std::invalid_argument("activity '" + a.pfsm_name +
+                                    "' declares a custom impl but supplies none");
+      }
+      return core::Pfsm{a.pfsm_name, a.type, a.activity, a.spec, *a.impl,
+                        a.action};
+  }
+  throw std::invalid_argument("unknown impl status");
+}
+
+}  // namespace
+
+core::FsmModel AutoTool::assemble(const VulnerabilitySpec& spec) {
+  if (spec.operations.empty()) {
+    throw std::invalid_argument("spec '" + spec.name + "' has no operations");
+  }
+  core::ExploitChain chain{spec.name};
+  for (const auto& op_spec : spec.operations) {
+    if (op_spec.activities.empty()) {
+      throw std::invalid_argument("operation '" + op_spec.name +
+                                  "' has no activities");
+    }
+    core::Operation op{op_spec.name, op_spec.object_description};
+    for (const auto& a : op_spec.activities) {
+      op.add(build_pfsm(a));
+    }
+    chain.add(std::move(op), core::PropagationGate{op_spec.gate_condition});
+  }
+  return core::FsmModel{spec.name,          spec.bugtraq_ids,
+                        spec.vulnerability_class, spec.software,
+                        spec.consequence,   std::move(chain)};
+}
+
+AutoToolReport AutoTool::analyze(const VulnerabilitySpec& spec) {
+  AutoToolReport report{assemble(spec), {}};
+  for (const auto& op : report.model.chain().operations()) {
+    for (const auto& p : op.pfsms()) {
+      AutoToolFinding f;
+      f.operation = op.name();
+      f.pfsm_name = p.name();
+      f.type = p.type();
+      f.declared_secure = p.declared_secure();
+      auto it = spec.probe_domains.find(p.name());
+      if (it != spec.probe_domains.end()) {
+        f.probed = true;
+        const auto hp = detect_hidden_path(p, it->second, /*max_witnesses=*/1);
+        f.domain_size = hp.domain_size;
+        f.hidden_path = hp.vulnerable();
+        if (!hp.witnesses.empty()) {
+          f.sample_witness = hp.witnesses.front().describe();
+        }
+      }
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+bool AutoToolReport::vulnerable() const {
+  for (const auto& f : findings) {
+    if (f.hidden_path) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AutoToolReport::vulnerable_pfsms() const {
+  std::vector<std::string> out;
+  for (const auto& f : findings) {
+    if (f.hidden_path) out.push_back(f.pfsm_name);
+  }
+  return out;
+}
+
+std::string AutoToolReport::to_text() const {
+  std::ostringstream os;
+  os << "=== Automatic vulnerability analysis: " << model.name() << " ===\n\n";
+  os << core::to_ascii(model) << '\n';
+  os << "Per-activity verdicts:\n";
+  for (const auto& f : findings) {
+    os << "  " << f.operation << " / " << f.pfsm_name << " ["
+       << to_string(f.type) << "]: ";
+    if (f.declared_secure) {
+      os << "SECURE (implementation matches the specification)";
+    } else if (!f.probed) {
+      os << "not probed (no domain supplied)";
+    } else if (f.hidden_path) {
+      os << "VULNERABLE — hidden IMPL_ACPT path; witness: " << f.sample_witness;
+    } else {
+      os << "no hidden path found on " << f.domain_size << " probes";
+    }
+    os << '\n';
+  }
+  os << "\nVerdict: "
+     << (vulnerable() ? "VULNERABLE (at least one predicate violated by the "
+                        "implementation)"
+                      : "no vulnerability demonstrated on the given domains")
+     << '\n';
+  return os.str();
+}
+
+VulnerabilitySpec sendmail_spec() {
+  using predicates::int_at_most;
+  using predicates::int_in_range;
+  using predicates::reference_unchanged;
+  using predicates::representable_as_int32;
+
+  VulnerabilitySpec spec;
+  spec.name = "Sendmail debugging function signed integer overflow (autotool)";
+  spec.bugtraq_ids = {3163};
+  spec.vulnerability_class = "Integer Overflow";
+  spec.software = "Sendmail";
+  spec.consequence = "attacker-specified code runs with Sendmail's privileges";
+
+  OperationSpec op1;
+  op1.name = "Write debug level i to tTvect[x]";
+  op1.object_description = "input integers x, i";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kObjectTypeCheck,
+      "get text strings str_x and str_i; convert to integers",
+      representable_as_int32("long_x"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "convert str_i and str_x to integer i and x"});
+  op1.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kContentAttributeCheck, "write i to tTvect[x]",
+      int_in_range("x", 0, 100), ActivitySpec::Impl::kCustom,
+      int_at_most("x", 100), "tTvect[x] = i"});
+  op1.gate_condition = ".GOT entry of setuid points to Mcode";
+
+  OperationSpec op2;
+  op2.name = "Manipulate the GOT entry of function setuid";
+  op2.object_description = "addr_setuid (function pointer)";
+  op2.activities.push_back(ActivitySpec{
+      "pFSM3", core::PfsmType::kReferenceConsistencyCheck,
+      "execute code referred by addr_setuid when setuid() is called",
+      reference_unchanged("addr_setuid_unchanged"),
+      ActivitySpec::Impl::kNoCheck, std::nullopt,
+      "call through the GOT entry of setuid()"});
+  op2.gate_condition = "Execute Mcode";
+
+  spec.operations = {std::move(op1), std::move(op2)};
+
+  spec.probe_domains["pFSM1"] = int_boundary_domain(
+      "str_x", "long_x", {0, 100, (std::int64_t{1} << 31), (std::int64_t{1} << 32)});
+  spec.probe_domains["pFSM2"] =
+      int_boundary_domain("x", "x", {-8448, -1, 0, 100});
+  spec.probe_domains["pFSM3"] =
+      bool_domain("addr_setuid", "addr_setuid_unchanged");
+  return spec;
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,121 @@
+// autotool.h — the automatic vulnerability-analysis tool the paper's
+// conclusion calls for (§7): feed it a *declarative* description of an
+// implementation's operations — which elementary activities it performs,
+// which predicate each activity must satisfy (drawn from the predicate
+// catalogue), and what the implementation actually checks — and it
+// assembles the FSM model, hunts for hidden paths over probe domains, and
+// writes the analyst's report.
+//
+// The manual workflow of §4-§5 (read the report, read the source, draw
+// the pFSMs, find the dotted transition) becomes:
+//     spec -> AutoTool::analyze(spec) -> findings.
+#ifndef DFSM_ANALYSIS_AUTOTOOL_H
+#define DFSM_ANALYSIS_AUTOTOOL_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace dfsm::analysis {
+
+/// One elementary activity of the implementation under analysis.
+struct ActivitySpec {
+  std::string pfsm_name;      ///< e.g. "pFSM2"
+  core::PfsmType type;        ///< Figure 8 classification
+  std::string activity;       ///< what the code does here
+  core::Predicate spec;       ///< the derived security predicate
+  /// What the implementation enforces at this activity:
+  enum class Impl {
+    kNoCheck,      ///< nothing — IMPL_REJ is absent ("?" in the figures)
+    kMatchesSpec,  ///< exactly the predicate — declared secure
+    kCustom,       ///< something else (often weaker) — supply `impl`
+  };
+  Impl impl_status = Impl::kNoCheck;
+  std::optional<core::Predicate> impl;  ///< required iff kCustom
+  std::string action;                   ///< the accept-transition Action
+};
+
+/// One operation (a series of activities on one object) plus the
+/// propagation gate its exploitation fires.
+struct OperationSpec {
+  std::string name;
+  std::string object_description;
+  std::vector<ActivitySpec> activities;
+  std::string gate_condition;
+};
+
+/// The full declarative input.
+struct VulnerabilitySpec {
+  std::string name;
+  std::vector<int> bugtraq_ids;
+  std::string vulnerability_class;
+  std::string software;
+  std::string consequence;
+  std::vector<OperationSpec> operations;
+  /// Probe domains per pFSM name for hidden-path hunting (activities
+  /// without a domain are assembled but reported "not probed").
+  std::map<std::string, std::vector<core::Object>> probe_domains;
+};
+
+/// One per-activity analysis result.
+struct AutoToolFinding {
+  std::string operation;
+  std::string pfsm_name;
+  core::PfsmType type = core::PfsmType::kContentAttributeCheck;
+  bool probed = false;
+  std::size_t domain_size = 0;
+  bool hidden_path = false;        ///< a witness exists on the domain
+  bool declared_secure = false;    ///< impl == spec by construction
+  std::string sample_witness;      ///< first witness, described
+};
+
+/// The analyst's report.
+struct AutoToolReport {
+  core::FsmModel model;
+  std::vector<AutoToolFinding> findings;
+
+  /// Any probed activity exhibited a hidden path.
+  [[nodiscard]] bool vulnerable() const;
+  /// The vulnerable activities' pFSM names, in order.
+  [[nodiscard]] std::vector<std::string> vulnerable_pfsms() const;
+  /// Multi-line report text (model + per-activity verdicts).
+  [[nodiscard]] std::string to_text() const;
+};
+
+class AutoTool {
+ public:
+  /// Assembles the FsmModel from the declarative spec. Throws
+  /// std::invalid_argument on malformed input (kCustom without an impl,
+  /// empty operations, ...).
+  [[nodiscard]] static core::FsmModel assemble(const VulnerabilitySpec& spec);
+
+  /// assemble + hidden-path hunt over the probe domains.
+  [[nodiscard]] static AutoToolReport analyze(const VulnerabilitySpec& spec);
+};
+
+/// A ready-made declarative spec of the Sendmail #3163 implementation
+/// (exactly the facts an analyst extracts from the report + source),
+/// used by tests, the example, and the bench to show the tool reproduces
+/// the handwritten Figure 3 model and findings.
+[[nodiscard]] VulnerabilitySpec sendmail_spec();
+
+/// Declarative specs for the remaining case studies (specs.cpp). Each
+/// carries probe domains; AutoTool::analyze on any of them reproduces the
+/// corresponding handwritten model's verdicts.
+[[nodiscard]] VulnerabilitySpec nullhttpd_spec();
+[[nodiscard]] VulnerabilitySpec xterm_spec();
+[[nodiscard]] VulnerabilitySpec rwall_spec();
+[[nodiscard]] VulnerabilitySpec iis_spec();
+[[nodiscard]] VulnerabilitySpec ghttpd_spec();
+[[nodiscard]] VulnerabilitySpec rpcstatd_spec();
+
+/// All seven, in paper order (Sendmail, NULL HTTPD, xterm, rwall, IIS,
+/// GHTTPD, rpc.statd) — parallel to apps::standard_models().
+[[nodiscard]] std::vector<VulnerabilitySpec> all_specs();
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_AUTOTOOL_H

@@ -1,0 +1,73 @@
+#include "analysis/chain_analyzer.h"
+
+#include <set>
+
+namespace dfsm::analysis {
+
+bool operation_secured(const std::vector<apps::CheckSpec>& checks,
+                       const std::vector<bool>& mask, std::size_t op) {
+  bool has_any = false;
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    if (checks[i].operation_index != op) continue;
+    has_any = true;
+    if (!mask[i]) return false;
+  }
+  return has_any;
+}
+
+LemmaReport sweep(const apps::CaseStudy& study) {
+  LemmaReport report;
+  report.study_name = study.name();
+  report.checks = study.checks();
+  const std::size_t k = report.checks.size();
+
+  std::set<std::size_t> operations;
+  for (const auto& c : report.checks) operations.insert(c.operation_index);
+
+  report.lemma2_holds = true;
+  report.benign_preserved = true;
+
+  for (std::size_t bits = 0; bits < (std::size_t{1} << k); ++bits) {
+    MaskResult row;
+    row.mask.resize(k);
+    for (std::size_t i = 0; i < k; ++i) row.mask[i] = (bits >> i) & 1;
+
+    row.exploit = study.run_exploit(row.mask);
+    row.benign = study.run_benign(row.mask);
+    for (std::size_t op : operations) {
+      if (operation_secured(report.checks, row.mask, op)) {
+        row.some_operation_secured = true;
+        break;
+      }
+    }
+
+    if (bits == 0) report.baseline_exploited = row.exploit.exploited;
+    if (bits == (std::size_t{1} << k) - 1) {
+      report.all_checks_foil = !row.exploit.exploited;
+    }
+    if (row.some_operation_secured && row.exploit.exploited) {
+      report.lemma2_holds = false;  // a counterexample to Lemma 2
+    }
+    if (!row.benign.service_ok) report.benign_preserved = false;
+
+    // Single-check masks: exactly one bit set.
+    if (bits != 0 && (bits & (bits - 1)) == 0 && !row.exploit.exploited) {
+      std::size_t idx = 0;
+      while (((bits >> idx) & 1) == 0) ++idx;
+      report.foiling_single_checks.push_back(idx);
+    }
+
+    report.results.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::vector<LemmaReport> sweep_all() {
+  std::vector<LemmaReport> out;
+  for (const auto& study : apps::all_case_studies()) {
+    out.push_back(sweep(*study));
+  }
+  return out;
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,64 @@
+// chain_analyzer.h — the Lemma, machine-checked (paper §6).
+//
+//   Lemma. (1) To ensure the security of an operation requires [all] the
+//   predicates (represented by pFSMs) constituting the operation to be
+//   correctly implemented. (2) To foil an exploit consisting of a
+//   sequence of vulnerable operations, it is sufficient to ensure
+//   security of ONE of the operations in the sequence.
+//
+// ChainAnalyzer enumerates every 2^k combination of a case study's
+// elementary-activity checks, runs the published exploit and a benign
+// workload under each, and verifies:
+//   * baseline (no checks)  -> exploited,
+//   * any mask securing at least one whole operation -> NOT exploited
+//     (Lemma 2),
+//   * all checks on -> not exploited AND benign service intact (Lemma 1's
+//     "sufficient" direction plus no functional regression),
+//   * benign traffic is served under EVERY mask (checks are free).
+#ifndef DFSM_ANALYSIS_CHAIN_ANALYZER_H
+#define DFSM_ANALYSIS_CHAIN_ANALYZER_H
+
+#include <string>
+#include <vector>
+
+#include "apps/case_study.h"
+
+namespace dfsm::analysis {
+
+/// One row of the sweep: a mask and what happened under it.
+struct MaskResult {
+  std::vector<bool> mask;
+  apps::RunOutcome exploit;
+  apps::RunOutcome benign;
+  bool some_operation_secured = false;  ///< >=1 operation has all checks on
+};
+
+/// Full sweep over one case study.
+struct LemmaReport {
+  std::string study_name;
+  std::vector<apps::CheckSpec> checks;
+  std::vector<MaskResult> results;  ///< 2^k rows, mask = binary counting order
+
+  bool baseline_exploited = false;   ///< mask 0...0 exploited
+  bool all_checks_foil = false;      ///< mask 1...1 not exploited
+  bool lemma2_holds = false;         ///< every secured-operation mask foils
+  bool benign_preserved = false;     ///< benign served under every mask
+  /// Single-check masks that already foil the exploit (the paper's "each
+  /// elementary activity provides a security checking opportunity").
+  std::vector<std::size_t> foiling_single_checks;
+};
+
+/// Sweeps all 2^k masks of one study.
+[[nodiscard]] LemmaReport sweep(const apps::CaseStudy& study);
+
+/// Sweeps every registered case study.
+[[nodiscard]] std::vector<LemmaReport> sweep_all();
+
+/// True iff, under this mask, operation `op` of the study has every one of
+/// its checks enabled.
+[[nodiscard]] bool operation_secured(const std::vector<apps::CheckSpec>& checks,
+                                     const std::vector<bool>& mask, std::size_t op);
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_CHAIN_ANALYZER_H

@@ -1,0 +1,59 @@
+// defense_matrix.h — which deployed defence stops which memory-corruption
+// exploit: the systematic version of the paper's §6 observation that
+// "while techniques protecting the return address have been widely
+// recognized, very few techniques are available to protect OTHER
+// reference inconsistencies, such as ... function pointers, entries in
+// GOT tables, and links to free memory chunks on the heap."
+//
+// Rows: the four memory-corruption exploits (Sendmail GOT underflow, the
+// two NULL HTTPD heap overflows, GHTTPD stack smash, rpc.statd %n).
+// Columns: the defence families of the paper's elementary activities —
+// input validation, boundary-checked copy, StackGuard canary,
+// reference-consistency checking. Every cell is a real sandboxed run,
+// not an assertion.
+#ifndef DFSM_ANALYSIS_DEFENSE_MATRIX_H
+#define DFSM_ANALYSIS_DEFENSE_MATRIX_H
+
+#include <string>
+#include <vector>
+
+namespace dfsm::analysis {
+
+/// The defence families (one column each).
+enum class Defense {
+  kNone,              ///< baseline
+  kInputValidation,   ///< reject bad input at elementary activity 1
+  kBoundedCopy,       ///< boundary-checked copy at elementary activity 2
+  kStackGuard,        ///< canary between locals and the return address
+  kRefConsistency,    ///< check the reference (GOT / ret / chunk links)
+};
+
+[[nodiscard]] const char* to_string(Defense d) noexcept;
+
+/// What a single (exploit, defence) run produced.
+enum class CellOutcome {
+  kExploited,      ///< Mcode ran — the defence did not help
+  kFoiled,         ///< the defence stopped the exploit
+  kIneffective,    ///< defence active but bypassed (== exploited with it on)
+  kNotApplicable,  ///< the app has no such knob (e.g. bounded copy for %n)
+};
+
+[[nodiscard]] const char* to_string(CellOutcome o) noexcept;
+
+struct DefenseCell {
+  std::string exploit;
+  Defense defense = Defense::kNone;
+  CellOutcome outcome = CellOutcome::kExploited;
+  std::string detail;
+};
+
+/// Runs the full matrix (every cell is a fresh sandboxed exploit run).
+[[nodiscard]] std::vector<DefenseCell> defense_matrix();
+
+/// Text rendering (exploit rows x defence columns).
+[[nodiscard]] std::string render_defense_matrix(
+    const std::vector<DefenseCell>& cells);
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_DEFENSE_MATRIX_H

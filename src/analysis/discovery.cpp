@@ -1,0 +1,93 @@
+#include "analysis/discovery.h"
+
+#include "apps/nullhttpd.h"
+
+namespace dfsm::analysis {
+
+namespace {
+
+DiscoveryReport run_campaign(std::string configuration,
+                             apps::NullHttpdChecks checks) {
+  DiscoveryReport report;
+  report.configuration = std::move(configuration);
+
+  // Boundary-value probe plan: truthful contentLen values, body lengths
+  // straddling both contentLen and the derived buffer size, plus the
+  // known-bad negative contentLen as a control.
+  const std::int32_t content_lens[] = {-800, 0, 1, 100, 1000, 2048};
+  for (std::int32_t cl : content_lens) {
+    std::size_t buffer = 0;
+    {
+      // What buffer will the server derive? Scout a twin.
+      try {
+        buffer = apps::NullHttpd::scout(cl, checks).postdata_usable;
+      } catch (const std::exception&) {
+        buffer = 0;  // calloc would fail; probes will see a crash/reject
+      }
+    }
+    const std::size_t body_lens[] = {
+        cl > 0 ? static_cast<std::size_t>(cl) : 0,
+        buffer,
+        buffer + 1,
+        buffer + 64,
+        buffer + 1024,
+    };
+    for (std::size_t bl : body_lens) {
+      apps::NullHttpd server{checks};
+      const auto r = server.handle_post(cl, std::string(bl, 'A'));
+
+      DiscoveryProbe probe;
+      probe.content_len = cl;
+      probe.body_len = bl;
+      probe.buffer_size = r.postdata_usable;
+      probe.bytes_read = r.bytes_read;
+      probe.rejected = r.rejected;
+      probe.predicate_violated = r.heap_overflowed;
+      probe.note = r.detail;
+      if (probe.predicate_violated) {
+        ++report.violations;
+        if (cl >= 0) report.found_new_vulnerability = true;
+      }
+      report.probes.push_back(std::move(probe));
+    }
+  }
+
+  if (report.found_new_vulnerability) {
+    report.finding =
+        "NEW VULNERABILITY: a request with a truthful non-negative "
+        "Content-Length still overflows PostData — the recv loop's "
+        "termination condition uses '||' where '&&' is required "
+        "(source line 11), so recv never stops before the entire input is "
+        "read. This is Bugtraq #6255.";
+  } else if (report.violations > 0) {
+    report.finding =
+        "only the known #5774 signature (negative Content-Length) violates "
+        "the pFSM2 predicate";
+  } else {
+    report.finding = "no predicate violations: length(input) <= size(PostData) "
+                     "holds on every probe";
+  }
+  return report;
+}
+
+}  // namespace
+
+DiscoveryReport probe_nullhttpd_v051() {
+  apps::NullHttpdChecks v051;
+  v051.content_len_nonneg = true;  // the 0.5.1 patch
+  return run_campaign("Null HTTPD 0.5.1 (negative contentLen blocked, '||' loop)",
+                      v051);
+}
+
+DiscoveryReport probe_nullhttpd_fixed() {
+  apps::NullHttpdChecks fixed;
+  fixed.content_len_nonneg = true;
+  fixed.bounded_read_loop = true;  // the '&&' + bounded-recv fix
+  return run_campaign("Null HTTPD with the '&&' bounded read loop", fixed);
+}
+
+DiscoveryReport probe_nullhttpd_v05() {
+  return run_campaign("Null HTTPD 0.5 (no contentLen check, '||' loop)", {});
+}
+
+}  // namespace dfsm::analysis

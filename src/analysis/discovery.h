@@ -1,0 +1,58 @@
+// discovery.h — the mechanized version of the paper's headline anecdote:
+// "in the process of constructing the FSM model for the known
+// vulnerability of NULL HTTPD, we discovered a new, as yet unknown
+// vulnerability (Bugtraq ID 6255)".
+//
+// Constructing Figure 4 produces pFSM2's predicate, length(input) <=
+// size(PostData). The discovery engine takes that predicate seriously:
+// it probes the *patched* server (v0.5.1, negative contentLen blocked)
+// with boundary workloads — truthful contentLen values paired with body
+// lengths straddling the buffer size — and watches the heap for predicate
+// violations. The '||'-instead-of-'&&' recv loop surfaces immediately.
+#ifndef DFSM_ANALYSIS_DISCOVERY_H
+#define DFSM_ANALYSIS_DISCOVERY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsm::analysis {
+
+/// One probe of the server.
+struct DiscoveryProbe {
+  std::int32_t content_len = 0;
+  std::size_t body_len = 0;
+  std::size_t buffer_size = 0;   ///< usable size of PostData for this contentLen
+  std::size_t bytes_read = 0;
+  bool predicate_violated = false;  ///< bytes_read > buffer_size (pFSM2)
+  bool rejected = false;            ///< the server refused the request
+  std::string note;
+};
+
+/// The full probe campaign against one server configuration.
+struct DiscoveryReport {
+  std::string configuration;         ///< e.g. "Null HTTPD 0.5.1 ('||' loop)"
+  std::vector<DiscoveryProbe> probes;
+  std::size_t violations = 0;
+
+  /// The #6255 signature: a violation with a non-negative (truthful)
+  /// contentLen — i.e. a NEW vulnerability not explained by #5774.
+  bool found_new_vulnerability = false;
+  std::string finding;               ///< human-readable write-up
+};
+
+/// Probes NULL HTTPD v0.5.1 (the patched server) with boundary workloads;
+/// rediscovers #6255.
+[[nodiscard]] DiscoveryReport probe_nullhttpd_v051();
+
+/// Control experiment: the same campaign against the '&&'-fixed server;
+/// must find nothing.
+[[nodiscard]] DiscoveryReport probe_nullhttpd_fixed();
+
+/// Control experiment: the same campaign against v0.5 also reconfirms the
+/// KNOWN #5774 (negative contentLen) alongside #6255.
+[[nodiscard]] DiscoveryReport probe_nullhttpd_v05();
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_DISCOVERY_H

@@ -1,0 +1,60 @@
+#include "analysis/metf.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dfsm::analysis {
+
+MetfResult metf(const std::vector<Barrier>& barriers) {
+  MetfResult r;
+  double product = 1.0;
+  for (const auto& b : barriers) {
+    product *= std::clamp(b.pass_probability, 0.0, 1.0);
+  }
+  r.attempt_success_probability = product;
+  if (product <= 0.0) {
+    r.secure = true;
+    r.expected_attempts = std::numeric_limits<double>::infinity();
+    r.expected_actions = std::numeric_limits<double>::infinity();
+    return r;
+  }
+  r.expected_attempts = 1.0 / product;
+
+  // Absorbing chain: E_i = 1 + p_i E_{i+1} + (1 - p_i) E_0 with E_n = 0.
+  // Backward substitution E_i = a_i + b_i E_0:
+  //   a_i = 1 + p_i a_{i+1},  b_i = p_i b_{i+1} + (1 - p_i).
+  double a = 0.0;
+  double b = 0.0;
+  for (auto it = barriers.rbegin(); it != barriers.rend(); ++it) {
+    const double p = std::clamp(it->pass_probability, 0.0, 1.0);
+    a = 1.0 + p * a;
+    b = p * b + (1.0 - p);
+  }
+  r.expected_actions = barriers.empty() ? 0.0 : a / (1.0 - b);
+  return r;
+}
+
+std::vector<Barrier> barriers_from_model(const core::FsmModel& model,
+                                         double vulnerable_pass) {
+  return barriers_from_model(model, vulnerable_pass, {});
+}
+
+std::vector<Barrier> barriers_from_model(
+    const core::FsmModel& model, double vulnerable_pass,
+    const std::vector<std::pair<std::string, double>>& overrides) {
+  std::vector<Barrier> out;
+  for (const auto& op : model.chain().operations()) {
+    for (const auto& p : op.pfsms()) {
+      Barrier b;
+      b.name = p.name();
+      b.pass_probability = p.declared_secure() ? 0.0 : vulnerable_pass;
+      for (const auto& [name, prob] : overrides) {
+        if (name == p.name()) b.pass_probability = prob;
+      }
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,69 @@
+// metf.h — quantitative security evaluation over the FSM model: Mean
+// Effort To (security) Failure, in the spirit of the Markov-model line of
+// work the paper positions itself against (Ortalo et al. [17], Madan et
+// al. [20], paper §2).
+//
+// The pFSM chain gives those models their structure for free: each pFSM
+// is a barrier the attacker's elementary action must pass. A barrier's
+// pass probability is
+//   * ~1 when the implementation performs no check (the hidden path is
+//     wide open),
+//   * 0 when a deterministic check is in place (IMPL_REJ always fires),
+//   * in (0,1) for probabilistic defences and races — e.g. the xterm
+//     race, whose pass probability is exactly the violating-schedule
+//     fraction the interleaving enumeration measures.
+//
+// The attacker retries from scratch after any failed attempt (Ortalo's
+// intruder model); the chain is then an absorbing Markov chain and the
+// expected number of elementary actions until compromise has the closed
+// form computed here.
+#ifndef DFSM_ANALYSIS_METF_H
+#define DFSM_ANALYSIS_METF_H
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace dfsm::analysis {
+
+/// One barrier of the chain.
+struct Barrier {
+  std::string name;
+  double pass_probability = 1.0;  ///< P(attacker's action passes this pFSM)
+};
+
+/// Quantitative results for one barrier chain.
+struct MetfResult {
+  /// P(one complete attempt succeeds) = product of pass probabilities.
+  double attempt_success_probability = 0.0;
+  /// Expected number of complete attempts until success (geometric).
+  double expected_attempts = 0.0;
+  /// Expected number of elementary actions until success, counting the
+  /// partial progress of failed attempts (absorbing-chain closed form).
+  /// This is the METF in "elementary action" units.
+  double expected_actions = 0.0;
+  /// True when some barrier has pass probability 0: compromise is
+  /// impossible and the expectations above are infinite.
+  bool secure = false;
+};
+
+/// Computes the METF quantities. Probabilities are clamped to [0,1].
+/// An empty chain is trivially compromised in 0 actions.
+[[nodiscard]] MetfResult metf(const std::vector<Barrier>& barriers);
+
+/// Derives a barrier chain from an FsmModel: declared-secure pFSMs get
+/// pass probability 0; vulnerable ones get `vulnerable_pass` (default 1 —
+/// a wide-open hidden path).
+[[nodiscard]] std::vector<Barrier> barriers_from_model(
+    const core::FsmModel& model, double vulnerable_pass = 1.0);
+
+/// Variant with a per-pFSM override (by pFSM name), e.g. setting xterm's
+/// pFSM2 to the measured race-window fraction.
+[[nodiscard]] std::vector<Barrier> barriers_from_model(
+    const core::FsmModel& model, double vulnerable_pass,
+    const std::vector<std::pair<std::string, double>>& overrides);
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_METF_H

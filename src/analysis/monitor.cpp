@@ -1,0 +1,109 @@
+#include "analysis/monitor.h"
+
+#include "netsim/http.h"
+
+namespace dfsm::analysis {
+
+using core::Object;
+
+RuntimeMonitor::RuntimeMonitor(core::FsmModel model) : model_(std::move(model)) {}
+
+core::ChainResult RuntimeMonitor::observe(
+    const std::vector<std::vector<core::Object>>& inputs) {
+  auto result = model_.chain().evaluate(inputs);
+  trace_.append(result);
+  for (std::size_t oi = 0; oi < result.operations.size(); ++oi) {
+    const auto& op = result.operations[oi];
+    const auto& pfsms = model_.chain().operations()[oi].pfsms();
+    for (std::size_t pi = 0; pi < op.outcomes.size(); ++pi) {
+      if (op.outcomes[pi].hidden_path_taken()) {
+        violations_.push_back(op.operation_name + "/" + pfsms[pi].name() + ": " +
+                              op.outcomes[pi].object_description);
+      }
+    }
+  }
+  return result;
+}
+
+void RuntimeMonitor::reset() {
+  trace_.clear();
+  violations_.clear();
+}
+
+std::vector<std::vector<Object>> sendmail_observation(
+    const std::string& str_x, const std::string& str_i,
+    bool addr_setuid_unchanged) {
+  const std::int64_t long_x = netsim::atol64(str_x);
+  const std::int64_t long_i = netsim::atol64(str_i);
+  const auto x32 = static_cast<std::int64_t>(netsim::atoi32(str_x));
+
+  Object o1{"str_x and str_i"};
+  o1.with("long_x", long_x).with("long_i", long_i);
+  Object o2{"integer index x"};
+  o2.with("x", x32);
+  Object o3{"addr_setuid"};
+  o3.with("addr_setuid_unchanged", addr_setuid_unchanged);
+
+  return {{o1, o2}, {o3}};
+}
+
+std::vector<std::vector<Object>> nullhttpd_observation(
+    std::int64_t content_len, std::int64_t input_length, std::int64_t buffer_size,
+    bool links_unchanged, bool addr_free_unchanged) {
+  Object o1{"contentLen"};
+  o1.with("contentLen", content_len);
+  Object o2{"input"};
+  o2.with("input_length", input_length).with("buffer_size", buffer_size);
+  Object o3{"free chunk B"};
+  o3.with("links_unchanged", links_unchanged);
+  Object o4{"addr_free"};
+  o4.with("addr_free_unchanged", addr_free_unchanged);
+
+  return {{o1, o2}, {o3}, {o4}};
+}
+
+std::vector<std::vector<Object>> xterm_observation(bool tom_may_write,
+                                                   bool is_symlink_at_check,
+                                                   bool binding_preserved) {
+  Object o1{"the filename /usr/tom/x"};
+  o1.with("tom_may_write", tom_may_write).with("is_symlink", is_symlink_at_check);
+  Object o2{"name->file binding"};
+  o2.with("binding_preserved", binding_preserved);
+  return {{o1, o2}};
+}
+
+std::vector<std::vector<Object>> rwall_observation(
+    bool requester_is_root, const std::string& target_file_type) {
+  Object o1{"utmp write request"};
+  o1.with("is_root", requester_is_root);
+  Object o2{"write target"};
+  o2.with("file_type", target_file_type);
+  return {{o1}, {o2}};
+}
+
+std::vector<std::vector<Object>> iis_observation(const std::string& once_decoded,
+                                                 const std::string& fully_decoded) {
+  Object o{"CGI filepath"};
+  o.with("once_decoded", once_decoded).with("fully_decoded", fully_decoded);
+  return {{o}};
+}
+
+std::vector<std::vector<Object>> ghttpd_observation(std::int64_t message_length,
+                                                    bool ret_unchanged) {
+  Object o1{"request message"};
+  o1.with("message_length", message_length);
+  Object o2{"saved return address"};
+  o2.with("ret_unchanged", ret_unchanged);
+  return {{o1}, {o2}};
+}
+
+std::vector<std::vector<Object>> rpcstatd_observation(const std::string& filename,
+                                                      bool ret_unchanged) {
+  Object o1{"filename"};
+  o1.with("filename", filename);
+  Object o2{"saved return address"};
+  o2.with("ret_unchanged", ret_unchanged);
+  return {{o1}, {o2}};
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,85 @@
+// monitor.h — runtime predicate monitoring: evaluating a vulnerability's
+// FSM model against facts observed from a concrete execution, at
+// elementary-activity granularity.
+//
+// This is the operational payoff of the paper's modeling: once a pFSM's
+// predicate is written down, a monitor can watch a run and tell you
+// WHICH elementary activity was subverted ("pFSM2 took IMPL_ACPT: x=-8448
+// accepted by the shipped x<=100 check"), rather than just that the
+// process crashed or the password file changed.
+#ifndef DFSM_ANALYSIS_MONITOR_H
+#define DFSM_ANALYSIS_MONITOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trace.h"
+
+namespace dfsm::analysis {
+
+/// A monitor bound to one model; feed it per-pFSM observation objects and
+/// it walks the machines, accumulating a trace and violation records.
+class RuntimeMonitor {
+ public:
+  explicit RuntimeMonitor(core::FsmModel model);
+
+  /// Walks one full execution's observations through the chain (outer
+  /// index = operation, inner = pFSM). Returns the chain result and
+  /// appends every transition to the trace.
+  core::ChainResult observe(const std::vector<std::vector<core::Object>>& inputs);
+
+  [[nodiscard]] const core::FsmModel& model() const noexcept { return model_; }
+  [[nodiscard]] const core::Trace& trace() const noexcept { return trace_; }
+
+  /// Violations (hidden-path traversals) recorded so far, as
+  /// "operation/pFSM: object" strings.
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+
+  void reset();
+
+ private:
+  core::FsmModel model_;
+  core::Trace trace_;
+  std::vector<std::string> violations_;
+};
+
+// --- Observation builders for the memory-corruption case studies -------
+
+/// Sendmail (Figure 3): builds the three observation objects from the
+/// attacker-visible inputs and the GOT state at call time.
+[[nodiscard]] std::vector<std::vector<core::Object>> sendmail_observation(
+    const std::string& str_x, const std::string& str_i, bool addr_setuid_unchanged);
+
+/// NULL HTTPD (Figure 4): from contentLen, body length, derived buffer
+/// size, and the two reference-consistency facts.
+[[nodiscard]] std::vector<std::vector<core::Object>> nullhttpd_observation(
+    std::int64_t content_len, std::int64_t input_length, std::int64_t buffer_size,
+    bool links_unchanged, bool addr_free_unchanged);
+
+/// xterm (Figure 5): the permission/symlink facts at check time and
+/// whether the name->file binding survived to open time.
+[[nodiscard]] std::vector<std::vector<core::Object>> xterm_observation(
+    bool tom_may_write, bool is_symlink_at_check, bool binding_preserved);
+
+/// rwall (Figure 6): requester privilege and the write target's type.
+[[nodiscard]] std::vector<std::vector<core::Object>> rwall_observation(
+    bool requester_is_root, const std::string& target_file_type);
+
+/// IIS (Figure 7): the once-decoded and fully-decoded path forms.
+[[nodiscard]] std::vector<std::vector<core::Object>> iis_observation(
+    const std::string& once_decoded, const std::string& fully_decoded);
+
+/// GHTTPD (Table 2): message length and return-address integrity.
+[[nodiscard]] std::vector<std::vector<core::Object>> ghttpd_observation(
+    std::int64_t message_length, bool ret_unchanged);
+
+/// rpc.statd (Table 2): the filename and return-address integrity.
+[[nodiscard]] std::vector<std::vector<core::Object>> rpcstatd_observation(
+    const std::string& filename, bool ret_unchanged);
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_MONITOR_H

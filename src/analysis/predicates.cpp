@@ -1,0 +1,136 @@
+#include "analysis/predicates.h"
+
+#include <limits>
+#include <vector>
+
+#include "libcsim/format.h"
+#include "netsim/decode.h"
+
+namespace dfsm::analysis::predicates {
+
+using core::Object;
+using core::Predicate;
+
+Predicate representable_as_int32(const std::string& attr) {
+  return Predicate{
+      attr + " represents an integer a signed int (32-bit) can hold",
+      [attr](const Object& o) {
+        const auto v = o.attr_int(attr);
+        return v && *v >= std::numeric_limits<std::int32_t>::min() &&
+               *v <= std::numeric_limits<std::int32_t>::max();
+      }};
+}
+
+Predicate file_type_is(const std::string& attr, const std::string& expected) {
+  return Predicate{"the " + attr + " is a " + expected,
+                   [attr, expected](const Object& o) {
+                     return o.attr_string(attr).value_or("") == expected;
+                   }};
+}
+
+Predicate int_in_range(const std::string& attr, std::int64_t lo, std::int64_t hi) {
+  return Predicate{std::to_string(lo) + " <= " + attr + " <= " + std::to_string(hi),
+                   [attr, lo, hi](const Object& o) {
+                     const auto v = o.attr_int(attr);
+                     return v && *v >= lo && *v <= hi;
+                   }};
+}
+
+Predicate int_at_least(const std::string& attr, std::int64_t bound) {
+  return Predicate{attr + " >= " + std::to_string(bound),
+                   [attr, bound](const Object& o) {
+                     const auto v = o.attr_int(attr);
+                     return v && *v >= bound;
+                   }};
+}
+
+Predicate int_at_most(const std::string& attr, std::int64_t bound) {
+  return Predicate{attr + " <= " + std::to_string(bound),
+                   [attr, bound](const Object& o) {
+                     const auto v = o.attr_int(attr);
+                     return v && *v <= bound;
+                   }};
+}
+
+Predicate length_within_capacity(const std::string& len_attr,
+                                 const std::string& cap_attr) {
+  return Predicate{len_attr + " <= " + cap_attr,
+                   [len_attr, cap_attr](const Object& o) {
+                     const auto len = o.attr_int(len_attr);
+                     const auto cap = o.attr_int(cap_attr);
+                     return len && cap && *len <= *cap;
+                   }};
+}
+
+Predicate length_at_most(const std::string& attr, std::int64_t n) {
+  return Predicate{"size(" + attr + ") <= " + std::to_string(n),
+                   [attr, n](const Object& o) {
+                     // Accept either an explicit length attribute or a
+                     // string payload whose size is measured directly.
+                     if (const auto len = o.attr_int(attr)) return *len <= n;
+                     if (const auto s = o.attr_string(attr)) {
+                       return static_cast<std::int64_t>(s->size()) <= n;
+                     }
+                     return false;
+                   }};
+}
+
+Predicate no_format_directives(const std::string& attr) {
+  return Predicate{attr + " contains no format directives (%n, %d, ...)",
+                   [attr](const Object& o) {
+                     const auto s = o.attr_string(attr);
+                     return s && !libcsim::FormatEngine::contains_directives(*s);
+                   }};
+}
+
+Predicate no_path_traversal(const std::string& attr) {
+  return Predicate{attr + " contains no \"../\" traversal",
+                   [attr](const Object& o) {
+                     const auto s = o.attr_string(attr);
+                     return s && !netsim::contains_dotdot(*s);
+                   }};
+}
+
+Predicate caller_is_root(const std::string& attr) {
+  return Predicate{"the requesting user has root privilege",
+                   [attr](const Object& o) {
+                     return o.attr_bool(attr).value_or(false);
+                   }};
+}
+
+Predicate reference_unchanged(const std::string& attr) {
+  return Predicate{attr + " unchanged between check time and use time",
+                   [attr](const Object& o) {
+                     return o.attr_bool(attr).value_or(false);
+                   }};
+}
+
+const std::vector<CatalogueEntry>& catalogue() {
+  static const std::vector<CatalogueEntry> entries = {
+      {"representable_as_int32", core::PfsmType::kObjectTypeCheck,
+       "wide integer attribute fits a signed 32-bit variable"},
+      {"file_type_is", core::PfsmType::kObjectTypeCheck,
+       "node-type attribute equals the expected type"},
+      {"int_in_range", core::PfsmType::kContentAttributeCheck,
+       "integer attribute within [lo, hi]"},
+      {"int_at_least", core::PfsmType::kContentAttributeCheck,
+       "integer attribute >= bound"},
+      {"int_at_most", core::PfsmType::kContentAttributeCheck,
+       "integer attribute <= bound"},
+      {"length_within_capacity", core::PfsmType::kContentAttributeCheck,
+       "length attribute bounded by capacity attribute"},
+      {"length_at_most", core::PfsmType::kContentAttributeCheck,
+       "length (or string size) bounded by a constant"},
+      {"no_format_directives", core::PfsmType::kContentAttributeCheck,
+       "string attribute free of printf conversions"},
+      {"no_path_traversal", core::PfsmType::kContentAttributeCheck,
+       "path attribute free of ../ components"},
+      {"caller_is_root", core::PfsmType::kContentAttributeCheck,
+       "boolean privilege attribute set"},
+      {"reference_unchanged", core::PfsmType::kReferenceConsistencyCheck,
+       "check-time/use-time binding preserved"},
+  };
+  return entries;
+}
+
+}  // namespace dfsm::analysis::predicates

@@ -1,0 +1,97 @@
+// predicates.h — a library of reusable, parameterized security predicates.
+//
+// Paper §7 (future work): "A future direction of this work is to study the
+// security predicates specific to different software ... in addition to
+// the generic predicates discussed in this paper (e.g., buffer boundary
+// and array index checks). We hope that a comprehensive understanding of
+// these predicates will enable us to build an automatic tool for the
+// vulnerability analysis."
+//
+// This module is that predicate catalogue: every check that appears in
+// the seven case studies (and Table 2) as a named, parameterized factory,
+// each tagged with its Figure 8 generic type. autotool.h assembles them
+// into models mechanically.
+#ifndef DFSM_ANALYSIS_PREDICATES_H
+#define DFSM_ANALYSIS_PREDICATES_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/pfsm.h"
+#include "core/predicate.h"
+
+namespace dfsm::analysis::predicates {
+
+// ---- Object Type Checks ------------------------------------------------
+
+/// "Does the input represent an integer a signed N-bit variable can hold?"
+/// Object contract: integer attribute `attr` carrying the wide (pre-
+/// truncation) value. (Sendmail pFSM1.)
+[[nodiscard]] core::Predicate representable_as_int32(const std::string& attr);
+
+/// "Is the target file of the expected type?" Object contract: string
+/// attribute `attr` carrying the node type name ("terminal", "file", ...).
+/// (rwall pFSM2.)
+[[nodiscard]] core::Predicate file_type_is(const std::string& attr,
+                                           const std::string& expected);
+
+// ---- Content and Attribute Checks --------------------------------------
+
+/// "lo <= value <= hi". Object contract: integer attribute `attr`.
+/// (Sendmail pFSM2: 0 <= x <= 100.)
+[[nodiscard]] core::Predicate int_in_range(const std::string& attr,
+                                           std::int64_t lo, std::int64_t hi);
+
+/// "value >= bound". (NULL HTTPD pFSM1: contentLen >= 0.)
+[[nodiscard]] core::Predicate int_at_least(const std::string& attr,
+                                           std::int64_t bound);
+
+/// "value <= bound". (The historical, incomplete upper-bound-only check.)
+[[nodiscard]] core::Predicate int_at_most(const std::string& attr,
+                                          std::int64_t bound);
+
+/// "length(len_attr) <= capacity(cap_attr)". (NULL HTTPD pFSM2; GHTTPD
+/// pFSM1 with a constant capacity uses length_at_most.)
+[[nodiscard]] core::Predicate length_within_capacity(const std::string& len_attr,
+                                                     const std::string& cap_attr);
+
+/// "length(attr) <= n". (GHTTPD pFSM1: size(message) <= 200.)
+[[nodiscard]] core::Predicate length_at_most(const std::string& attr,
+                                             std::int64_t n);
+
+/// "the string contains no printf conversion directives".
+/// (rpc.statd pFSM1.)
+[[nodiscard]] core::Predicate no_format_directives(const std::string& attr);
+
+/// "the (fully decoded) path contains no parent traversal". (IIS pFSM1.)
+[[nodiscard]] core::Predicate no_path_traversal(const std::string& attr);
+
+/// "the caller holds root privilege". Object contract: bool attribute.
+/// (rwall pFSM1.)
+[[nodiscard]] core::Predicate caller_is_root(const std::string& attr);
+
+// ---- Reference Consistency Checks --------------------------------------
+
+/// "the reference named by `attr` is unchanged between check and use".
+/// Object contract: bool attribute that the observer computes (GOT
+/// snapshot comparison, saved-return comparison, free-chunk link
+/// round-trip, filename re-resolution). Covers Sendmail pFSM3, NULL HTTPD
+/// pFSM3/pFSM4, GHTTPD pFSM2, rpc.statd pFSM2, xterm pFSM2.
+[[nodiscard]] core::Predicate reference_unchanged(const std::string& attr);
+
+// ---- Catalogue ----------------------------------------------------------
+
+/// A named entry of the predicate catalogue (for the autotool's
+/// by-name lookup and for documentation dumps).
+struct CatalogueEntry {
+  std::string name;           ///< e.g. "int_in_range"
+  core::PfsmType type;        ///< Figure 8 classification
+  std::string description;    ///< human-readable contract
+};
+
+/// Every predicate family the catalogue offers.
+[[nodiscard]] const std::vector<CatalogueEntry>& catalogue();
+
+}  // namespace dfsm::analysis::predicates
+
+#endif  // DFSM_ANALYSIS_PREDICATES_H

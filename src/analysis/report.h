@@ -1,0 +1,43 @@
+// report.h — renderers for every table and figure the paper reports,
+// shared by the benchmark binaries, the examples, and EXPERIMENTS.md.
+#ifndef DFSM_ANALYSIS_REPORT_H
+#define DFSM_ANALYSIS_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/chain_analyzer.h"
+#include "analysis/discovery.h"
+#include "core/model.h"
+
+namespace dfsm::analysis {
+
+/// Table 1: the category-ambiguity table for the three signed-integer-
+/// overflow reports (#3163, #5493, #3958), regenerated from the curated
+/// records and the activity classifier.
+[[nodiscard]] std::string render_table1();
+
+/// Table 2: the pFSM-type classification across all case-study models.
+[[nodiscard]] std::string render_table2(const std::vector<core::FsmModel>& models);
+
+/// Figure 2: the primitive FSM, structurally, plus its exhaustive
+/// outcome table (spec x impl -> transition path).
+[[nodiscard]] std::string render_figure2();
+
+/// Figure 8: the generic-type census over all models, with the paper's
+/// §6 observations (content/attribute checks dominate; reference-
+/// consistency gaps are the runner-up).
+[[nodiscard]] std::string render_figure8(const std::vector<core::FsmModel>& models);
+
+/// The Lemma sweep, one row per case study.
+[[nodiscard]] std::string render_lemma(const std::vector<LemmaReport>& reports);
+
+/// Per-study full 2^k mask table (the ablation detail).
+[[nodiscard]] std::string render_mask_table(const LemmaReport& report);
+
+/// The discovery campaign (the #6255 rediscovery narrative).
+[[nodiscard]] std::string render_discovery(const DiscoveryReport& report);
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_REPORT_H

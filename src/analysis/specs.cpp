@@ -1,0 +1,287 @@
+// specs.cpp — declarative VulnerabilitySpecs for the six remaining case
+// studies (sendmail_spec lives in autotool.cpp next to the tool). Each
+// spec records exactly the facts the paper's analysts extracted from the
+// Bugtraq report and the source code; AutoTool::analyze turns them into
+// the figures' models and findings mechanically.
+#include "analysis/autotool.h"
+#include "analysis/hidden_path.h"
+#include "analysis/predicates.h"
+
+namespace dfsm::analysis {
+
+namespace {
+
+using predicates::caller_is_root;
+using predicates::file_type_is;
+using predicates::int_at_least;
+using predicates::length_at_most;
+using predicates::length_within_capacity;
+using predicates::no_format_directives;
+using predicates::no_path_traversal;
+using predicates::reference_unchanged;
+
+std::vector<core::Object> length_capacity_domain(std::int64_t capacity) {
+  std::vector<core::Object> d;
+  for (const std::int64_t len :
+       {std::int64_t{0}, capacity - 1, capacity, capacity + 1, capacity + 1024}) {
+    d.push_back(core::Object{"input"}
+                    .with("input_length", len)
+                    .with("buffer_size", capacity));
+  }
+  return d;
+}
+
+}  // namespace
+
+VulnerabilitySpec nullhttpd_spec() {
+  VulnerabilitySpec spec;
+  spec.name = "NULL HTTPD heap overflow (autotool)";
+  spec.bugtraq_ids = {5774, 6255};
+  spec.vulnerability_class = "Heap Overflow";
+  spec.software = "Null HTTPD 0.5";
+  spec.consequence = "arbitrary write via unlink; free() redirected to Mcode";
+
+  OperationSpec op1;
+  op1.name = "Read postdata from socket to an allocated buffer PostData";
+  op1.object_description = "contentLen and input";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "get contentLen from the request head", int_at_least("contentLen", 0),
+      ActivitySpec::Impl::kNoCheck, std::nullopt,
+      "calloc PostData[1024+contentLen]"});
+  op1.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kContentAttributeCheck,
+      "read the POST body into PostData",
+      length_within_capacity("input_length", "buffer_size"),
+      ActivitySpec::Impl::kNoCheck, std::nullopt, "copy input into PostData"});
+  op1.gate_condition = "B->fd = &addr_free - offsetof(bk); B->bk = Mcode";
+
+  OperationSpec op2;
+  op2.name = "Allocate and free the buffer PostData";
+  op2.object_description = "free chunk B following PostData";
+  op2.activities.push_back(ActivitySpec{
+      "pFSM3", core::PfsmType::kReferenceConsistencyCheck,
+      "free PostData (unlink of the following free chunk)",
+      reference_unchanged("links_unchanged"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "B->fd->bk = B->bk; B->bk->fd = B->fd"});
+  op2.gate_condition = ".GOT entry of free points to Mcode";
+
+  OperationSpec op3;
+  op3.name = "Manipulate the GOT entry of function free";
+  op3.object_description = "addr_free";
+  op3.activities.push_back(ActivitySpec{
+      "pFSM4", core::PfsmType::kReferenceConsistencyCheck,
+      "execute addr_free when free() is called",
+      reference_unchanged("addr_free_unchanged"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "call through the GOT entry of free()"});
+  op3.gate_condition = "Mcode is executed";
+
+  spec.operations = {std::move(op1), std::move(op2), std::move(op3)};
+  spec.probe_domains["pFSM1"] =
+      int_boundary_domain("contentLen", "contentLen", {-800, 0, 1024});
+  spec.probe_domains["pFSM2"] = length_capacity_domain(1024);
+  spec.probe_domains["pFSM3"] = bool_domain("chunk B", "links_unchanged");
+  spec.probe_domains["pFSM4"] = bool_domain("addr_free", "addr_free_unchanged");
+  return spec;
+}
+
+VulnerabilitySpec xterm_spec() {
+  VulnerabilitySpec spec;
+  spec.name = "xterm log-file race (autotool)";
+  spec.vulnerability_class = "File Race Condition";
+  spec.software = "xterm (X11)";
+  spec.consequence = "regular user appends chosen data to /etc/passwd";
+
+  OperationSpec op1;
+  op1.name = "Write the log file of user Tom";
+  op1.object_description = "the filename /usr/tom/x";
+  // pFSM1 is implemented CORRECTLY in xterm — declared secure.
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "check Tom's write permission on the log file",
+      core::Predicate{
+          "Tom has write permission and the file is not a symbolic link",
+          [](const core::Object& o) {
+            return o.attr_bool("tom_may_write").value_or(false) &&
+                   !o.attr_bool("is_symlink").value_or(true);
+          }},
+      ActivitySpec::Impl::kMatchesSpec, std::nullopt,
+      "proceed to open /usr/tom/x"});
+  op1.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kReferenceConsistencyCheck,
+      "open the checked filename with write permission",
+      reference_unchanged("binding_preserved"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "append the log message"});
+  op1.gate_condition = "Tom appends his own data to /etc/passwd";
+
+  spec.operations = {std::move(op1)};
+  {
+    std::vector<core::Object> d;
+    for (const bool may_write : {false, true}) {
+      for (const bool symlink : {false, true}) {
+        d.push_back(core::Object{"filename"}
+                        .with("tom_may_write", may_write)
+                        .with("is_symlink", symlink));
+      }
+    }
+    spec.probe_domains["pFSM1"] = d;
+  }
+  spec.probe_domains["pFSM2"] = bool_domain("binding", "binding_preserved");
+  return spec;
+}
+
+VulnerabilitySpec rwall_spec() {
+  VulnerabilitySpec spec;
+  spec.name = "Solaris rwall file corruption (autotool)";
+  spec.vulnerability_class = "Access Validation";
+  spec.software = "Solaris rwalld";
+  spec.consequence = "daemon rewrites /etc/passwd with attacker content";
+
+  OperationSpec op1;
+  op1.name = "Write to /etc/utmp";
+  op1.object_description = "the file /etc/utmp";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "user request to write /etc/utmp", caller_is_root("is_root"),
+      ActivitySpec::Impl::kNoCheck, std::nullopt, "open /etc/utmp for the user"});
+  op1.gate_condition = "add \"../etc/passwd\" entry to /etc/utmp";
+
+  OperationSpec op2;
+  op2.name = "Rwall daemon writes messages";
+  op2.object_description = "filenames read from /etc/utmp";
+  op2.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kObjectTypeCheck,
+      "write the user message to each listed file",
+      file_type_is("file_type", "terminal"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "write user message to the terminal or file"});
+  op2.gate_condition = "rwalld writes the message into regular file /etc/passwd";
+
+  spec.operations = {std::move(op1), std::move(op2)};
+  spec.probe_domains["pFSM1"] = bool_domain("requester", "is_root");
+  spec.probe_domains["pFSM2"] = string_domain(
+      "target", "file_type", {"terminal", "file", "directory", "symlink"});
+  return spec;
+}
+
+VulnerabilitySpec iis_spec() {
+  VulnerabilitySpec spec;
+  spec.name = "IIS superfluous filename decoding (autotool)";
+  spec.bugtraq_ids = {2708};
+  spec.vulnerability_class = "Path Traversal";
+  spec.software = "Microsoft IIS";
+  spec.consequence = "arbitrary program execution outside /wwwroot/scripts";
+
+  OperationSpec op1;
+  op1.name = "Decode and validate the CGI filename";
+  op1.object_description = "the requested CGI filepath";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "decode the filename; check; decode again; execute",
+      no_path_traversal("fully_decoded"), ActivitySpec::Impl::kCustom,
+      no_path_traversal("once_decoded"),
+      "decode a second time and execute the target"});
+  op1.gate_condition = "execute a program outside /wwwroot/scripts";
+
+  spec.operations = {std::move(op1)};
+  {
+    std::vector<core::Object> d;
+    const std::pair<const char*, const char*> cases[] = {
+        {"hello.cgi", "hello.cgi"},
+        {"../x", "../x"},
+        {"..%2fx", "../x"},       // the double-decode gap
+        {"sub/tool.cgi", "sub/tool.cgi"},
+    };
+    for (const auto& [once, full] : cases) {
+      d.push_back(core::Object{"filepath"}
+                      .with("once_decoded", std::string(once))
+                      .with("fully_decoded", std::string(full)));
+    }
+    spec.probe_domains["pFSM1"] = d;
+  }
+  return spec;
+}
+
+VulnerabilitySpec ghttpd_spec() {
+  VulnerabilitySpec spec;
+  spec.name = "GHTTPD Log() stack buffer overflow (autotool)";
+  spec.bugtraq_ids = {5960};
+  spec.vulnerability_class = "Stack Buffer Overflow";
+  spec.software = "GHTTPD 1.4";
+  spec.consequence = "remote code execution with the server's privileges";
+
+  OperationSpec op1;
+  op1.name = "Log the request line";
+  op1.object_description = "the request message";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "copy the request line into the 200-byte log buffer",
+      length_at_most("message_length", 200), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "vsprintf(temp, \"%s ...\", request)"});
+  op1.gate_condition = "the saved return address points to Mcode";
+
+  OperationSpec op2;
+  op2.name = "Return from Log()";
+  op2.object_description = "the saved return address";
+  op2.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kReferenceConsistencyCheck,
+      "return through the saved return address",
+      reference_unchanged("ret_unchanged"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "jump to the saved return address"});
+  op2.gate_condition = "Execute Mcode";
+
+  spec.operations = {std::move(op1), std::move(op2)};
+  spec.probe_domains["pFSM1"] =
+      int_boundary_domain("message", "message_length", {0, 200, 208});
+  spec.probe_domains["pFSM2"] = bool_domain("ret", "ret_unchanged");
+  return spec;
+}
+
+VulnerabilitySpec rpcstatd_spec() {
+  VulnerabilitySpec spec;
+  spec.name = "rpc.statd remote format string (autotool)";
+  spec.bugtraq_ids = {1480};
+  spec.vulnerability_class = "Format String";
+  spec.software = "rpc.statd";
+  spec.consequence = "remote root via %n rewrite of the return address";
+
+  OperationSpec op1;
+  op1.name = "Log the caller-supplied filename";
+  op1.object_description = "the filename string";
+  op1.activities.push_back(ActivitySpec{
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "pass the filename to syslog() as the format string",
+      no_format_directives("filename"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "syslog(LOG_ERR, buf)"});
+  op1.gate_condition = "%n stores the count over the saved return address";
+
+  OperationSpec op2;
+  op2.name = "Return from the logging function";
+  op2.object_description = "the saved return address";
+  op2.activities.push_back(ActivitySpec{
+      "pFSM2", core::PfsmType::kReferenceConsistencyCheck,
+      "return through the saved return address",
+      reference_unchanged("ret_unchanged"), ActivitySpec::Impl::kNoCheck,
+      std::nullopt, "jump to the saved return address"});
+  op2.gate_condition = "Execute Mcode";
+
+  spec.operations = {std::move(op1), std::move(op2)};
+  spec.probe_domains["pFSM1"] = string_domain(
+      "filename", "filename",
+      {"/var/lib/nfs/state", "%x %x %x", "%7842561c%4$n", "plain name"});
+  spec.probe_domains["pFSM2"] = bool_domain("ret", "ret_unchanged");
+  return spec;
+}
+
+std::vector<VulnerabilitySpec> all_specs() {
+  std::vector<VulnerabilitySpec> out;
+  out.push_back(sendmail_spec());
+  out.push_back(nullhttpd_spec());
+  out.push_back(xterm_spec());
+  out.push_back(rwall_spec());
+  out.push_back(iis_spec());
+  out.push_back(ghttpd_spec());
+  out.push_back(rpcstatd_spec());
+  return out;
+}
+
+}  // namespace dfsm::analysis

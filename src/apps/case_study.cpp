@@ -1,0 +1,40 @@
+#include "apps/case_study.h"
+
+#include <stdexcept>
+
+#include "apps/fmtfamily.h"
+#include "apps/ghttpd.h"
+#include "apps/iis.h"
+#include "apps/nullhttpd.h"
+#include "apps/rpcstatd.h"
+#include "apps/rwall.h"
+#include "apps/sendmail.h"
+#include "apps/xterm.h"
+
+namespace dfsm::apps {
+
+void require_mask(const CaseStudy& study, const std::vector<bool>& mask) {
+  const std::size_t want = study.checks().size();
+  if (mask.size() != want) {
+    throw std::invalid_argument(study.name() + " expects " + std::to_string(want) +
+                                " check flags, got " + std::to_string(mask.size()));
+  }
+}
+
+std::vector<std::unique_ptr<CaseStudy>> all_case_studies() {
+  std::vector<std::unique_ptr<CaseStudy>> out;
+  out.push_back(make_sendmail_case_study());
+  out.push_back(make_nullhttpd_case_study());
+  out.push_back(make_nullhttpd_6255_case_study());
+  out.push_back(make_xterm_case_study());
+  out.push_back(make_rwall_case_study());
+  out.push_back(make_iis_case_study());
+  out.push_back(make_ghttpd_case_study());
+  out.push_back(make_rpcstatd_case_study());
+  out.push_back(make_fmtfamily_case_study(FmtProfile::kWuFtpd));
+  out.push_back(make_fmtfamily_case_study(FmtProfile::kSplitvt));
+  out.push_back(make_fmtfamily_case_study(FmtProfile::kIcecast));
+  return out;
+}
+
+}  // namespace dfsm::apps

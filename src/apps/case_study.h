@@ -1,0 +1,68 @@
+// case_study.h — the uniform interface every replicated vulnerable
+// application exposes to the analysis layer.
+//
+// A case study names its elementary-activity-level security checks (one
+// per pFSM in its paper figure), can run its published exploit and a
+// benign workload under any on/off combination of those checks, and hands
+// out its predicate-level FsmModel. The Lemma sweeps (analysis::
+// ChainAnalyzer, bench_lemma) enumerate all 2^k check masks through this
+// interface.
+#ifndef DFSM_APPS_CASE_STUDY_H
+#define DFSM_APPS_CASE_STUDY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace dfsm::apps {
+
+/// One toggleable security check == one pFSM of the paper's model.
+struct CheckSpec {
+  std::string name;              ///< e.g. "pFSM2: 0 <= x <= 100"
+  std::size_t operation_index;   ///< which operation of the chain it belongs to
+  core::PfsmType type;           ///< Figure 8 classification
+};
+
+/// Outcome of driving the exploit (or benign traffic) once.
+struct RunOutcome {
+  bool exploited = false;   ///< attacker goal reached (Mcode ran / file corrupted)
+  bool foiled = false;      ///< a check rejected the attack
+  bool crashed = false;     ///< uncontrolled failure (fault, wild jump)
+  bool service_ok = false;  ///< for benign runs: the request was served
+  std::string detail;       ///< human-readable narration
+};
+
+/// The uniform case-study interface.
+class CaseStudy {
+ public:
+  virtual ~CaseStudy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<CheckSpec> checks() const = 0;
+
+  /// Runs the published exploit on a FRESH instance with the given check
+  /// mask (size must equal checks().size()).
+  [[nodiscard]] virtual RunOutcome run_exploit(const std::vector<bool>& enabled) const = 0;
+
+  /// Runs a representative benign workload under the same mask — enabling
+  /// security checks must not break legitimate service.
+  [[nodiscard]] virtual RunOutcome run_benign(const std::vector<bool>& enabled) const = 0;
+
+  /// The paper-figure FSM model (predicate level, all checks as authored —
+  /// i.e. the vulnerable implementation).
+  [[nodiscard]] virtual core::FsmModel model() const = 0;
+};
+
+/// All seven case studies, in paper order (Sendmail, NULL HTTPD, xterm,
+/// rwall, IIS, GHTTPD, rpc.statd).
+[[nodiscard]] std::vector<std::unique_ptr<CaseStudy>> all_case_studies();
+
+/// Validates a mask length against a study's check count; throws
+/// std::invalid_argument on mismatch (shared helper for implementations).
+void require_mask(const CaseStudy& study, const std::vector<bool>& mask);
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_CASE_STUDY_H

@@ -1,0 +1,258 @@
+#include "apps/fmtfamily.h"
+
+#include "libcsim/cstring.h"
+#include "libcsim/format.h"
+
+namespace dfsm::apps {
+
+using memsim::Addr;
+
+const char* to_string(FmtProfile p) noexcept {
+  switch (p) {
+    case FmtProfile::kWuFtpd: return "wu-ftpd #1387 (SITE EXEC)";
+    case FmtProfile::kSplitvt: return "splitvt #2210 (setuid)";
+    case FmtProfile::kIcecast: return "icecast #2264 (print_client)";
+  }
+  return "?";
+}
+
+const char* FmtFamilyVictim::paper_category(FmtProfile p) noexcept {
+  switch (p) {
+    case FmtProfile::kWuFtpd: return "Input Validation Error";
+    case FmtProfile::kSplitvt: return "Access Validation Error";
+    case FmtProfile::kIcecast: return "Boundary Condition Error";
+  }
+  return "?";
+}
+
+FmtFamilyVictim::FmtFamilyVictim(FmtProfile profile, FmtFamilyChecks checks)
+    : profile_(profile), checks_(checks), proc_(SandboxOptions{}) {
+  caller_ = proc_.cpu().register_function("command_loop");
+}
+
+FmtFamilyResult FmtFamilyVictim::handle_input(const std::string& input) {
+  FmtFamilyResult r;
+
+  if (checks_.no_format_directives &&
+      libcsim::FormatEngine::contains_directives(input)) {
+    r.rejected = true;
+    r.rejected_by = "pFSM1";
+    r.detail = "input contains format directives — rejected";
+    return r;
+  }
+
+  libcsim::FormatEngine fmt{proc_.mem()};
+
+  if (profile_ == FmtProfile::kIcecast) {
+    // print_client(): the attacker string IS the format, materialized
+    // into a fixed 256-byte stack buffer — the BOUNDARY flavour.
+    auto frame = proc_.stack().push_frame("print_client", caller_,
+                                          {{"outbuf", kOutBufferSize}});
+    const libcsim::ArgProvider args{proc_.mem(), {}};
+    try {
+      if (checks_.bounded_expansion) {
+        fmt.vsnprintf(frame.locals.at("outbuf"), kOutBufferSize, input, args);
+      } else {
+        fmt.vsprintf(frame.locals.at("outbuf"), input, args);
+      }
+    } catch (const memsim::MemoryFault&) {
+      r.crashed = true;
+      r.ret_modified = proc_.stack().saved_return(frame) != caller_;
+      r.detail = "expansion overran the stack segment";
+      return r;
+    }
+    r.logged = true;
+    const auto ret = proc_.stack().pop_frame(frame);
+    r.ret_modified = ret.ret_modified;
+    if (checks_.ret_consistency && ret.ret_modified) {
+      r.rejected = true;
+      r.rejected_by = "pFSM2";
+      r.detail = "return address changed — consistency check aborts";
+      return r;
+    }
+    const auto landing = proc_.cpu().dispatch(ret.return_address);
+    proc_.cpu().count_landing(landing);
+    r.mcode_executed = landing.kind == memsim::LandingKind::kMcode;
+    r.crashed = landing.kind == memsim::LandingKind::kWild;
+    r.detail = r.mcode_executed ? "expansion smashed the return address into Mcode"
+               : r.crashed     ? "wild return address"
+                               : "client line printed";
+    return r;
+  }
+
+  // wu-ftpd / splitvt: the attacker string reaches *printf AS the format
+  // from an on-stack buffer — the %n arbitrary-write mechanics.
+  auto frame = proc_.stack().push_frame(
+      profile_ == FmtProfile::kWuFtpd ? "site_exec" : "splitvt_log", caller_,
+      {{"fmtbuf", kFmtBufferSize}});
+  const Addr fmtbuf = frame.locals.at("fmtbuf");
+  libcsim::c_strcpy(proc_.mem(), fmtbuf, input);
+  const libcsim::ArgProvider args{proc_.mem(), {}, /*vararg_base=*/fmtbuf};
+  (void)fmt.format_to_string(proc_.mem().read_cstring(fmtbuf), args,
+                             /*materialize_cap=*/4096);
+  r.logged = true;
+
+  const auto ret = proc_.stack().pop_frame(frame);
+  r.ret_modified = ret.ret_modified;
+  if (checks_.ret_consistency && ret.ret_modified) {
+    r.rejected = true;
+    r.rejected_by = "pFSM2";
+    r.detail = "return address changed — consistency check aborts";
+    return r;
+  }
+  const auto landing = proc_.cpu().dispatch(ret.return_address);
+  proc_.cpu().count_landing(landing);
+  r.mcode_executed = landing.kind == memsim::LandingKind::kMcode;
+  r.crashed = landing.kind == memsim::LandingKind::kWild;
+  r.detail = r.mcode_executed ? "%n rewrote the return address into Mcode"
+             : r.crashed     ? "wild return address"
+                             : "command handled";
+  return r;
+}
+
+std::string FmtFamilyVictim::build_exploit() const {
+  if (profile_ == FmtProfile::kIcecast) {
+    // Literal overflow: fill the out buffer, then the three NUL-free low
+    // bytes of Mcode (none of which is '%').
+    std::string payload(kOutBufferSize, 'A');
+    const Addr mcode = proc_.mcode();
+    payload.push_back(static_cast<char>(mcode & 0xFF));
+    payload.push_back(static_cast<char>((mcode >> 8) & 0xFF));
+    payload.push_back(static_cast<char>((mcode >> 16) & 0xFF));
+    return payload;
+  }
+  // The %n pattern of rpc.statd: count = Mcode, pointer = ret slot,
+  // planted at word offset 3 of the on-stack format buffer.
+  const Addr ret_slot =
+      SandboxProcess::kStackBase + SandboxProcess::kStackSize - 8;
+  std::string payload = "%" + std::to_string(proc_.mcode()) + "c%4$n";
+  payload.append(24 - payload.size(), 'A');
+  payload.push_back(static_cast<char>(ret_slot & 0xFF));
+  payload.push_back(static_cast<char>((ret_slot >> 8) & 0xFF));
+  payload.push_back(static_cast<char>((ret_slot >> 16) & 0xFF));
+  return payload;
+}
+
+namespace {
+
+class FmtFamilyCaseStudy final : public CaseStudy {
+ public:
+  explicit FmtFamilyCaseStudy(FmtProfile p) : profile_(p) {}
+
+  [[nodiscard]] std::string name() const override {
+    return std::string("format-string family: ") + to_string(profile_);
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    if (profile_ == FmtProfile::kIcecast) {
+      return {{"pFSM1: length(expansion) <= size(outbuf)", 0,
+               core::PfsmType::kContentAttributeCheck},
+              {"pFSM2: return address unchanged", 1,
+               core::PfsmType::kReferenceConsistencyCheck}};
+    }
+    return {{"pFSM1: no format directives in the input", 0,
+             core::PfsmType::kContentAttributeCheck},
+            {"pFSM2: return address unchanged", 1,
+             core::PfsmType::kReferenceConsistencyCheck}};
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    FmtFamilyVictim app{profile_, make_checks(enabled)};
+    const auto r = app.handle_input(app.build_exploit());
+    RunOutcome out;
+    out.exploited = r.mcode_executed;
+    out.foiled = r.rejected;
+    out.crashed = r.crashed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    FmtFamilyVictim app{profile_, make_checks(enabled)};
+    const auto r = app.handle_input(profile_ == FmtProfile::kIcecast
+                                        ? "client 10.0.0.7 connected"
+                                        : "ls -la /incoming");
+    RunOutcome out;
+    out.service_ok = r.logged && !r.rejected && !r.crashed && !r.mcode_executed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    using core::Object;
+    using core::Pfsm;
+    using core::PfsmType;
+    using core::Predicate;
+    Pfsm pfsm1 =
+        profile_ == FmtProfile::kIcecast
+            ? Pfsm::unchecked(
+                  "pFSM1", PfsmType::kContentAttributeCheck,
+                  "materialize the client line into the 256-byte buffer",
+                  Predicate{"length(expansion) <= 256",
+                            [](const Object& o) {
+                              const auto n = o.attr_int("expansion_length");
+                              return n && *n <= 256;
+                            }},
+                  "vsprintf(outbuf, client_fmt)")
+            : Pfsm::unchecked(
+                  "pFSM1", PfsmType::kContentAttributeCheck,
+                  "pass the user string to *printf as the format",
+                  Predicate{"the input contains no format directives",
+                            [](const Object& o) {
+                              const auto s = o.attr_string("input");
+                              return s && !libcsim::FormatEngine::
+                                              contains_directives(*s);
+                            }},
+                  "printf(user_input)");
+    Pfsm pfsm2 = Pfsm::unchecked(
+        "pFSM2", PfsmType::kReferenceConsistencyCheck,
+        "return through the saved return address",
+        Predicate{"the saved return address is unchanged",
+                  [](const Object& o) {
+                    return o.attr_bool("ret_unchanged").value_or(false);
+                  }},
+        "jump to the saved return address");
+
+    core::Operation op1{"Format the attacker-influenced string", "the input"};
+    op1.add(std::move(pfsm1));
+    core::Operation op2{"Return from the formatting function",
+                        "the saved return address"};
+    op2.add(std::move(pfsm2));
+    core::ExploitChain chain{name()};
+    chain.add(std::move(op1),
+              core::PropagationGate{"the saved return address points to Mcode"});
+    chain.add(std::move(op2), core::PropagationGate{"Execute Mcode"});
+    return core::FsmModel{name(),
+                          {profile_ == FmtProfile::kWuFtpd   ? 1387
+                           : profile_ == FmtProfile::kSplitvt ? 2210
+                                                              : 2264},
+                          "Format String",
+                          to_string(profile_),
+                          "attacker code runs in the victim process",
+                          std::move(chain)};
+  }
+
+ private:
+  FmtFamilyChecks make_checks(const std::vector<bool>& enabled) const {
+    FmtFamilyChecks c;
+    if (profile_ == FmtProfile::kIcecast) {
+      c.bounded_expansion = enabled[0];
+    } else {
+      c.no_format_directives = enabled[0];
+    }
+    c.ret_consistency = enabled[1];
+    return c;
+  }
+
+  FmtProfile profile_;
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_fmtfamily_case_study(FmtProfile p) {
+  return std::make_unique<FmtFamilyCaseStudy>(p);
+}
+
+}  // namespace dfsm::apps

@@ -1,0 +1,95 @@
+// fmtfamily.h — the format-string family of paper §3.2, runnable.
+//
+// "format string vulnerabilities are classified as input validation error
+// (e.g., #1387 wu-ftpd remote format string stack overwrite
+// vulnerability), access validation error (e.g., #2210 splitvt format
+// string vulnerability), or boundary condition error (e.g., #2264 icecast
+// print_client() format string vulnerability). Therefore, format string
+// vulnerabilities also involve at least three elementary activities."
+//
+// One parameterizable victim, three profiles:
+//   kWuFtpd   (#1387) — remote: the SITE EXEC argument reaches *printf as
+//              the format; the %n store rewrites the saved return address
+//              (the rpc.statd mechanics, at the FTP command layer).
+//   kSplitvt  (#2210) — local: a setuid binary formats an attacker-
+//              controlled environment-derived string; same %n mechanics,
+//              but the analyst's reference point is the privileged
+//              pointer dereference (access validation).
+//   kIcecast  (#2264) — the BOUNDARY flavour: print_client() vsprintf's
+//              the string into a fixed stack buffer, so a long format
+//              (mostly literal bytes) overflows it like a classic stack
+//              smash — no %n needed.
+//
+// The same root cause (user data as format string) thus produces three
+// different exploit mechanics and three different Bugtraq categories —
+// the Table 1 argument replayed on a second vulnerability class.
+#ifndef DFSM_APPS_FMTFAMILY_H
+#define DFSM_APPS_FMTFAMILY_H
+
+#include <string>
+
+#include "apps/case_study.h"
+#include "apps/sandbox.h"
+
+namespace dfsm::apps {
+
+enum class FmtProfile {
+  kWuFtpd,   ///< #1387: remote %n via SITE EXEC
+  kSplitvt,  ///< #2210: local %n in a setuid context
+  kIcecast,  ///< #2264: expansion overflow of a fixed buffer
+};
+
+[[nodiscard]] const char* to_string(FmtProfile p) noexcept;
+
+struct FmtFamilyChecks {
+  bool no_format_directives = false;  ///< pFSM1 (input validation flavour)
+  bool bounded_expansion = false;     ///< vsnprintf (icecast's actual fix)
+  bool ret_consistency = false;       ///< pFSM2 (reference consistency)
+};
+
+struct FmtFamilyResult {
+  bool rejected = false;
+  std::string rejected_by;
+  bool logged = false;
+  bool ret_modified = false;
+  bool mcode_executed = false;
+  bool crashed = false;
+  std::string detail;
+};
+
+class FmtFamilyVictim {
+ public:
+  /// icecast's fixed output buffer (the #2264 boundary).
+  static constexpr std::size_t kOutBufferSize = 256;
+  /// The %n profiles' stack buffer holding the attacker string.
+  static constexpr std::size_t kFmtBufferSize = 1024;
+
+  explicit FmtFamilyVictim(FmtProfile profile, FmtFamilyChecks checks = {});
+
+  /// Feeds the attacker-controlled string down the profile's vulnerable
+  /// formatting path.
+  FmtFamilyResult handle_input(const std::string& input);
+
+  /// The profile-appropriate exploit string.
+  [[nodiscard]] std::string build_exploit() const;
+
+  [[nodiscard]] FmtProfile profile() const noexcept { return profile_; }
+  [[nodiscard]] SandboxProcess& process() noexcept { return proc_; }
+
+  /// The Bugtraq category the paper reports for this profile — the
+  /// three-way split that motivates Observation 1.
+  [[nodiscard]] static const char* paper_category(FmtProfile p) noexcept;
+
+ private:
+  FmtProfile profile_;
+  FmtFamilyChecks checks_;
+  SandboxProcess proc_;
+  memsim::Addr caller_ = 0;
+};
+
+/// CaseStudy adapter for the whole family (parameterized by profile).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_fmtfamily_case_study(FmtProfile p);
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_FMTFAMILY_H

@@ -1,0 +1,197 @@
+#include "apps/ghttpd.h"
+
+#include "libcsim/format.h"
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+using memsim::Addr;
+
+Ghttpd::Ghttpd(GhttpdChecks checks)
+    : checks_(checks),
+      proc_(SandboxOptions{/*stack_canaries=*/checks.stackguard,
+                           /*heap_safe_unlink=*/false}) {
+  main_loop_ = proc_.cpu().register_function("serveconnection");
+  netbuf_ = SandboxProcess::kDataBase;  // recv target for the request line
+}
+
+GhttpdResult Ghttpd::serve(const std::string& request_line) {
+  GhttpdResult r;
+
+  // The request line has been recv'd into a large network buffer; Log()
+  // copies it into its 200-byte stack temp via vsprintf("%s", ...).
+  proc_.mem().write_string(netbuf_, request_line);
+  r.events.push_back("recv");
+
+  if (checks_.length_check && request_line.size() > kLogBufferSize) {
+    r.rejected = true;
+    r.rejected_by = "pFSM1";
+    r.detail = "size(message) > 200 — Log() refuses the request line";
+    return r;
+  }
+
+  auto frame = proc_.stack().push_frame(
+      "Log", main_loop_, {{"temp", kLogBufferSize}});
+
+  libcsim::FormatEngine fmt{proc_.mem()};
+  const libcsim::ArgProvider args{proc_.mem(), {netbuf_}};
+  try {
+    if (checks_.use_snprintf) {
+      // The shipped fix: the bounded sibling caps the copy at the buffer.
+      fmt.vsnprintf(frame.locals.at("temp"), kLogBufferSize, "%s", args);
+    } else {
+      fmt.vsprintf(frame.locals.at("temp"), "%s", args);  // NO bounds check
+    }
+  } catch (const memsim::MemoryFault&) {
+    // The copy ran off the top of the stack segment: the process dies
+    // with SIGSEGV mid-copy. The return address may already be smashed.
+    r.crashed = true;
+    r.ret_modified = proc_.stack().saved_return(frame) != main_loop_;
+    r.detail = "vsprintf overran the stack segment (SIGSEGV during the copy)";
+    return r;
+  }
+  r.logged = true;
+  r.events.push_back("log");
+
+  const auto ret = proc_.stack().pop_frame(frame);
+  r.ret_modified = ret.ret_modified;
+  if (!ret.canary_intact) {
+    r.canary_smashed = true;
+    r.rejected = true;
+    r.rejected_by = "pFSM2";
+    r.detail = "*** stack smashing detected ***: StackGuard aborts Log()";
+    return r;
+  }
+  if (checks_.ret_consistency && ret.ret_modified) {
+    r.rejected = true;
+    r.rejected_by = "pFSM2";
+    r.detail = "saved return address changed — split-stack check aborts";
+    return r;
+  }
+  const auto landing = proc_.cpu().dispatch(ret.return_address);
+  proc_.cpu().count_landing(landing);
+  switch (landing.kind) {
+    case memsim::LandingKind::kFunction:
+      r.detail = "Log() returned to " + landing.function;
+      r.events.push_back("ret");
+      r.events.push_back("respond");
+      break;
+    case memsim::LandingKind::kMcode:
+      r.mcode_executed = true;
+      r.events.push_back("mcode:execve");
+      r.events.push_back("mcode:dup2");
+      r.detail = "Log() returned into Mcode via the smashed return address";
+      break;
+    case memsim::LandingKind::kWild:
+      r.crashed = true;
+      r.detail = "Log() returned to a wild address (SIGSEGV)";
+      break;
+  }
+  return r;
+}
+
+std::string Ghttpd::build_exploit() const {
+  std::string payload(kLogBufferSize, 'A');
+  if (checks_.stackguard) {
+    // With a canary the slot sits 8 bytes higher; the payload must plough
+    // through it (and will be caught) — keep the same geometry.
+    payload.append(8, 'C');
+  }
+  const Addr mcode = proc_.mcode();
+  payload.push_back(static_cast<char>(mcode & 0xFF));
+  payload.push_back(static_cast<char>((mcode >> 8) & 0xFF));
+  payload.push_back(static_cast<char>((mcode >> 16) & 0xFF));
+  // The vsprintf terminator writes byte 3 = 0; bytes 4..7 of the slot
+  // already hold zeros (code addresses < 2^24).
+  return payload;
+}
+
+core::FsmModel Ghttpd::ghttpd_model() {
+  Predicate spec1{"size(message) <= 200", [](const Object& o) {
+                    const auto n = o.attr_int("message_length");
+                    return n && *n <= 200;
+                  }};
+  Pfsm pfsm1 = Pfsm::unchecked(
+      "pFSM1", PfsmType::kContentAttributeCheck,
+      "copy the request line into the 200-byte log buffer",
+      std::move(spec1), "vsprintf(temp, \"%s ...\", request)");
+
+  Predicate spec2{"the saved return address is unchanged", [](const Object& o) {
+                    return o.attr_bool("ret_unchanged").value_or(false);
+                  }};
+  Pfsm pfsm2 = Pfsm::unchecked(
+      "pFSM2", PfsmType::kReferenceConsistencyCheck,
+      "return from Log() through the saved return address",
+      std::move(spec2), "jump to the saved return address");
+
+  core::Operation op1{"Log the request line", "the request message"};
+  op1.add(std::move(pfsm1));
+  core::Operation op2{"Return from Log()", "the saved return address"};
+  op2.add(std::move(pfsm2));
+
+  core::ExploitChain chain{"GHTTPD Log() stack buffer overflow"};
+  chain.add(std::move(op1),
+            core::PropagationGate{"the saved return address points to Mcode"});
+  chain.add(std::move(op2), core::PropagationGate{"Execute Mcode"});
+
+  return core::FsmModel{"GHTTPD Log() Buffer Overflow on Stack ([21])",
+                        {5960},
+                        "Stack Buffer Overflow",
+                        "GHTTPD 1.4",
+                        "remote code execution with the server's privileges",
+                        std::move(chain)};
+}
+
+namespace {
+
+class GhttpdCaseStudy final : public CaseStudy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "GHTTPD #5960 Log() stack buffer overflow";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"pFSM1: size(message) <= 200", 0, PfsmType::kContentAttributeCheck},
+        {"pFSM2: return address unchanged (StackGuard)", 1,
+         PfsmType::kReferenceConsistencyCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    Ghttpd app{GhttpdChecks{enabled[0], enabled[1]}};
+    const auto r = app.serve(app.build_exploit());
+    RunOutcome out;
+    out.exploited = r.mcode_executed;
+    out.foiled = r.rejected;
+    out.crashed = r.crashed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    Ghttpd app{GhttpdChecks{enabled[0], enabled[1]}};
+    const auto r = app.serve("GET /index.html HTTP/1.0");
+    RunOutcome out;
+    out.service_ok = r.logged && !r.rejected && !r.crashed && !r.mcode_executed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return Ghttpd::ghttpd_model();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_ghttpd_case_study() {
+  return std::make_unique<GhttpdCaseStudy>();
+}
+
+}  // namespace dfsm::apps

@@ -1,0 +1,82 @@
+// ghttpd.h — replica of the GHTTPD Log() stack buffer overflow, Bugtraq
+// #5960 (paper §5.5 reference [21], Table 2).
+//
+// Log() vsprintf's the request line into a 200-byte stack buffer. A longer
+// request overruns the buffer and smashes the saved return address; the
+// attacker plants the Mcode address at the right offset and Log()'s return
+// jumps into the payload.
+//
+// The two pFSMs (Table 2):
+//   pFSM1 (Content/Attribute)      size(message) <= 200?    [impl: none]
+//   pFSM2 (Reference Consistency)  return address unchanged? [StackGuard]
+#ifndef DFSM_APPS_GHTTPD_H
+#define DFSM_APPS_GHTTPD_H
+
+#include <string>
+
+#include "apps/case_study.h"
+#include "apps/sandbox.h"
+
+namespace dfsm::apps {
+
+struct GhttpdChecks {
+  bool length_check = false;  ///< pFSM1: reject messages > 200 bytes
+  bool stackguard = false;    ///< pFSM2: canary between locals and ret addr
+  /// Alternative implementation of pFSM1's predicate: the actual GHTTPD
+  /// patch replaced vsprintf with the bounded vsnprintf — the copy can
+  /// then never exceed the buffer, whatever the message length.
+  bool use_snprintf = false;
+  /// Alternative implementation of pFSM2's predicate: split-stack-style
+  /// return-address consistency (compare the saved return address against
+  /// the pushed value before jumping), rather than a canary.
+  bool ret_consistency = false;
+};
+
+struct GhttpdResult {
+  bool rejected = false;
+  std::string rejected_by;
+  bool logged = false;
+  bool canary_smashed = false;   ///< StackGuard would abort here
+  bool ret_modified = false;
+  bool mcode_executed = false;
+  bool crashed = false;
+  std::string detail;
+  /// Syscall-level event trace ("recv", "log", "ret", "respond",
+  /// "mcode:execve", ...) for the trace anomaly detector.
+  std::vector<std::string> events;
+};
+
+class Ghttpd {
+ public:
+  static constexpr std::size_t kLogBufferSize = 200;  ///< char temp[200]
+
+  explicit Ghttpd(GhttpdChecks checks = {});
+
+  /// Serves one request: the request line is passed to Log().
+  GhttpdResult serve(const std::string& request_line);
+
+  [[nodiscard]] SandboxProcess& process() noexcept { return proc_; }
+
+  /// Builds the published exploit: 200 filler bytes followed by the three
+  /// NUL-free low bytes of the Mcode address (the copy's terminating NUL
+  /// completes the little-endian pointer because code addresses have zero
+  /// high bytes — the 2003 exploit mechanics, see sandbox.h).
+  [[nodiscard]] std::string build_exploit() const;
+
+  /// GHTTPD's pFSM pair as a predicate-level FsmModel (companion to the
+  /// paper's [21] appendix).
+  [[nodiscard]] static core::FsmModel ghttpd_model();
+
+ private:
+  GhttpdChecks checks_;
+  SandboxProcess proc_;
+  memsim::Addr netbuf_ = 0;   ///< scratch buffer the request arrives in
+  memsim::Addr main_loop_ = 0;
+};
+
+/// CaseStudy adapter (checks: pFSM1 length, pFSM2 StackGuard).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_ghttpd_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_GHTTPD_H

@@ -1,0 +1,167 @@
+#include "apps/iis.h"
+
+#include "netsim/decode.h"
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+using fssim::Cred;
+using fssim::FileSystem;
+using fssim::Mode;
+
+IisDecoder::IisDecoder(IisChecks checks) : checks_(checks) {}
+
+FileSystem IisDecoder::initial_world() const {
+  FileSystem fs;
+  const Cred root = Cred::root();
+  fs.mkdir(root, "/wwwroot");
+  fs.mkdir(root, "/wwwroot/scripts");
+  fs.create(root, "/wwwroot/scripts/hello.cgi", Mode::executable());
+  fs.mkdir(root, "/winnt");
+  fs.mkdir(root, "/winnt/system32");
+  fs.create(root, "/winnt/system32/cmd.exe", Mode::executable());
+  return fs;
+}
+
+IisResult IisDecoder::handle_cgi_request(FileSystem& fs,
+                                         const std::string& encoded_filepath) const {
+  IisResult r;
+
+  // First decoding pass.
+  r.decoded_once = netsim::percent_decode(encoded_filepath);
+
+  // The shipped security check: reject "../" after the FIRST decode.
+  if (netsim::contains_dotdot(r.decoded_once)) {
+    r.rejected = true;
+    r.rejected_by = "traversal check (after first decode)";
+    r.detail = "filename contains ../ after first decoding — request rejected";
+    return r;
+  }
+
+  // The superfluous second decoding pass (the bug).
+  std::string effective = r.decoded_once;
+  if (!checks_.single_decode) {
+    r.decoded_twice = netsim::percent_decode(r.decoded_once);
+    effective = r.decoded_twice;
+    if (checks_.recheck_after_decode && netsim::contains_dotdot(effective)) {
+      r.rejected = true;
+      r.rejected_by = "traversal re-check (after second decode)";
+      r.detail = "filename contains ../ after second decoding — request rejected";
+      return r;
+    }
+  }
+
+  // Resolve relative to /wwwroot/scripts and execute.
+  r.resolved_path =
+      netsim::lexically_normalize(std::string(kScriptsRoot) + "/" + effective);
+  r.outside_scripts = !netsim::stays_under(kScriptsRoot, effective);
+  auto st = fs.stat(r.resolved_path);
+  if (!st.ok()) {
+    r.detail = "target " + r.resolved_path + " not found";
+    return r;
+  }
+  r.executed = true;
+  r.detail = "executed " + r.resolved_path +
+             (r.outside_scripts ? " (OUTSIDE the scripts directory)" : "");
+  return r;
+}
+
+std::string IisDecoder::nimda_payload() {
+  // "..%252f" -> (1st decode) "..%2f" -> (2nd decode) "../"
+  return "..%252f..%252fwinnt/system32/cmd.exe";
+}
+
+core::FsmModel IisDecoder::figure7_model() {
+  // Spec: the executed target resides under /wwwroot/scripts — equivalent
+  // (paths being scripts-relative) to "the fully decoded path contains no
+  // ../". Impl: "no ../ after the FIRST decoding" — "..%252f" is accepted.
+  Predicate spec1{"the target file resides in the directory /wwwroot/scripts/",
+                  [](const Object& o) {
+                    const auto p = o.attr_string("fully_decoded");
+                    return p && !netsim::contains_dotdot(*p);
+                  }};
+  Predicate impl1{
+      "filename without \"../\" after first decoding (\"..%252f\" accepted)",
+      [](const Object& o) {
+        const auto p = o.attr_string("once_decoded");
+        return p && !netsim::contains_dotdot(*p);
+      }};
+  Pfsm pfsm1{"pFSM1", PfsmType::kContentAttributeCheck,
+             "get the filename of a CGI program; decode and check it",
+             std::move(spec1), std::move(impl1),
+             "decode filename a second time and execute the target CGI program"};
+
+  core::Operation op1{"Decode and validate the CGI filename",
+                      "the requested CGI filepath"};
+  op1.add(std::move(pfsm1));
+
+  core::ExploitChain chain{"IIS superfluous filename decoding"};
+  chain.add(std::move(op1),
+            core::PropagationGate{
+                "execute arbitrary program, even outside /wwwroot/scripts/, "
+                "because \"../\" appears after the second decoding"});
+
+  return core::FsmModel{"IIS Filename Superfluous Decoding (Figure 7)",
+                        {2708},
+                        "Path Traversal",
+                        "Microsoft IIS",
+                        "arbitrary program execution outside the CGI root "
+                        "(exploited by the Nimda worm)",
+                        std::move(chain)};
+}
+
+namespace {
+
+class IisCaseStudy final : public CaseStudy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "IIS #2708 superfluous filename decoding";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"decode exactly once (remove the superfluous pass)", 0,
+         PfsmType::kContentAttributeCheck},
+        {"re-check for ../ after the second decode", 0,
+         PfsmType::kContentAttributeCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    IisDecoder app{IisChecks{enabled[0], enabled[1]}};
+    auto fs = app.initial_world();
+    const auto r = app.handle_cgi_request(fs, IisDecoder::nimda_payload());
+    RunOutcome out;
+    out.exploited = r.executed && r.outside_scripts;
+    out.foiled = r.rejected || (!out.exploited && !r.executed);
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    IisDecoder app{IisChecks{enabled[0], enabled[1]}};
+    auto fs = app.initial_world();
+    const auto r = app.handle_cgi_request(fs, "hello.cgi");
+    RunOutcome out;
+    out.service_ok = r.executed && !r.outside_scripts;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return IisDecoder::figure7_model();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_iis_case_study() {
+  return std::make_unique<IisCaseStudy>();
+}
+
+}  // namespace dfsm::apps

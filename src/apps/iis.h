@@ -1,0 +1,70 @@
+// iis.h — replica of the IIS CGI filename superfluous-decoding
+// vulnerability (paper §5.4, Figure 7; Bugtraq #2708, exploited by the
+// Nimda worm).
+//
+// IIS decodes the requested CGI path, checks it for "../" traversal, then
+// decodes it AGAIN before use. "%25" -> '%' and "%2f" -> '/', so
+// "..%252f" survives the check as "..%2f" and only becomes "../" in the
+// second decode — an inconsistency between the predicate pFSM1 specifies
+// (the *executed* path stays under /wwwroot/scripts) and the predicate
+// the implementation enforces (the *once-decoded* path has no "../").
+#ifndef DFSM_APPS_IIS_H
+#define DFSM_APPS_IIS_H
+
+#include <string>
+
+#include "apps/case_study.h"
+#include "fssim/filesystem.h"
+
+namespace dfsm::apps {
+
+struct IisChecks {
+  /// The fix actually shipped: decode exactly once (no superfluous pass).
+  bool single_decode = false;
+  /// Defence-in-depth alternative: re-apply the traversal check after
+  /// every decode pass.
+  bool recheck_after_decode = false;
+};
+
+struct IisResult {
+  bool rejected = false;
+  std::string rejected_by;
+  bool executed = false;             ///< a CGI target was executed
+  bool outside_scripts = false;      ///< ...and it lay outside /wwwroot/scripts
+  std::string decoded_once;
+  std::string decoded_twice;
+  std::string resolved_path;
+  std::string detail;
+};
+
+class IisDecoder {
+ public:
+  static constexpr const char* kScriptsRoot = "/wwwroot/scripts";
+
+  explicit IisDecoder(IisChecks checks = {});
+
+  /// The server's filesystem: /wwwroot/scripts/hello.cgi plus the
+  /// out-of-root target /winnt/system32/cmd.exe.
+  [[nodiscard]] fssim::FileSystem initial_world() const;
+
+  /// Handles "GET /scripts/<encoded-filepath>": decode, check, (decode
+  /// again,) resolve relative to the scripts root, execute.
+  IisResult handle_cgi_request(fssim::FileSystem& fs,
+                               const std::string& encoded_filepath) const;
+
+  /// The canonical Nimda-style payload escaping to cmd.exe.
+  [[nodiscard]] static std::string nimda_payload();
+
+  /// The paper's Figure 7 as a predicate-level FsmModel.
+  [[nodiscard]] static core::FsmModel figure7_model();
+
+ private:
+  IisChecks checks_;
+};
+
+/// CaseStudy adapter (checks: single decode, recheck after decode).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_iis_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_IIS_H

@@ -1,0 +1,25 @@
+#include "apps/models.h"
+
+#include "apps/ghttpd.h"
+#include "apps/iis.h"
+#include "apps/nullhttpd.h"
+#include "apps/rpcstatd.h"
+#include "apps/rwall.h"
+#include "apps/sendmail.h"
+#include "apps/xterm.h"
+
+namespace dfsm::apps {
+
+std::vector<core::FsmModel> standard_models() {
+  std::vector<core::FsmModel> models;
+  models.push_back(SendmailTTflag::figure3_model());
+  models.push_back(NullHttpd::figure4_model());
+  models.push_back(XtermLogger::figure5_model());
+  models.push_back(RwallDaemon::figure6_model());
+  models.push_back(IisDecoder::figure7_model());
+  models.push_back(Ghttpd::ghttpd_model());
+  models.push_back(RpcStatd::statd_model());
+  return models;
+}
+
+}  // namespace dfsm::apps

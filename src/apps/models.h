@@ -1,0 +1,19 @@
+// models.h — the registry of all paper-figure FSM models, feeding the
+// Table 2 and Figure 8 generators.
+#ifndef DFSM_APPS_MODELS_H
+#define DFSM_APPS_MODELS_H
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace dfsm::apps {
+
+/// All seven case-study models, in paper order: Sendmail (Fig. 3),
+/// NULL HTTPD (Fig. 4), xterm (Fig. 5), rwall (Fig. 6), IIS (Fig. 7),
+/// GHTTPD and rpc.statd ([21], Table 2 rows 6-7).
+[[nodiscard]] std::vector<core::FsmModel> standard_models();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_MODELS_H

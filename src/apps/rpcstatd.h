@@ -1,0 +1,79 @@
+// rpcstatd.h — replica of the rpc.statd remote format string
+// vulnerability, Bugtraq #1480 (paper §5.5 reference [21], Table 2).
+//
+// statd logs a caller-supplied filename via syslog() with the user string
+// as the FORMAT argument. The string sits in a stack buffer, so printf's
+// argument walk reaches attacker bytes: a "%<pad>c%<k>$n" payload makes
+// the engine's running output count equal the Mcode address and stores it
+// through a pointer the attacker planted in the same buffer — overwriting
+// the saved return address without ever touching the canary (which is why
+// StackGuard does not stop format-string attacks, and why the paper's
+// pFSM2 here is a *return-address consistency* check, not a canary).
+//
+// The two pFSMs (Table 2):
+//   pFSM1 (Content/Attribute)      does the input contain format
+//                                  directives (%n, %d, ...)? [impl: none]
+//   pFSM2 (Reference Consistency)  return address unchanged? [split-stack]
+#ifndef DFSM_APPS_RPCSTATD_H
+#define DFSM_APPS_RPCSTATD_H
+
+#include <string>
+
+#include "apps/case_study.h"
+#include "apps/sandbox.h"
+
+namespace dfsm::apps {
+
+struct RpcStatdChecks {
+  bool no_format_directives = false;  ///< pFSM1
+  bool ret_consistency = false;       ///< pFSM2 (split-stack / shadow stack)
+};
+
+struct RpcStatdResult {
+  bool rejected = false;
+  std::string rejected_by;
+  bool logged = false;
+  std::size_t n_stores = 0;     ///< %n writes the engine performed
+  bool ret_modified = false;
+  bool canary_intact = true;    ///< stays true even under attack (see above)
+  bool mcode_executed = false;
+  bool crashed = false;
+  std::string detail;
+};
+
+class RpcStatd {
+ public:
+  static constexpr std::size_t kLogBufferSize = 1024;
+
+  explicit RpcStatd(RpcStatdChecks checks = {}, bool with_canary = true);
+
+  /// Handles one SM_MON request whose "filename" is attacker-controlled;
+  /// the daemon logs it via the vulnerable syslog path.
+  RpcStatdResult handle_mon_request(const std::string& filename);
+
+  [[nodiscard]] SandboxProcess& process() noexcept { return proc_; }
+
+  /// Builds the %n exploit for this deterministic layout:
+  /// "%<mcode>c%4$n" + padding + the 3 NUL-free low bytes of the saved-
+  /// return-address slot.
+  [[nodiscard]] std::string build_exploit() const;
+
+  /// The saved-return-address slot of the logging frame (deterministic:
+  /// first frame on the stack).
+  [[nodiscard]] memsim::Addr ret_slot() const noexcept;
+
+  /// rpc.statd's pFSM pair as a predicate-level FsmModel.
+  [[nodiscard]] static core::FsmModel statd_model();
+
+ private:
+  RpcStatdChecks checks_;
+  SandboxProcess proc_;
+  memsim::Addr svc_run_ = 0;
+};
+
+/// CaseStudy adapter (checks: pFSM1 directives, pFSM2 ret consistency).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_rpcstatd_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_RPCSTATD_H

@@ -1,0 +1,198 @@
+#include "apps/rwall.h"
+
+#include <sstream>
+
+#include "netsim/decode.h"  // lexically_normalize for /dev/../etc/passwd
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+using fssim::Cred;
+using fssim::FileSystem;
+using fssim::Mode;
+using fssim::NodeType;
+using fssim::OpenFlags;
+
+RwallDaemon::RwallDaemon(RwallChecks checks) : checks_(checks) {}
+
+FileSystem RwallDaemon::initial_world() const {
+  FileSystem fs;
+  const Cred root = Cred::root();
+  fs.mkdir(root, "/etc");
+  fs.mkdir(root, "/dev");
+  fs.mkdir(root, "/dev/pts");
+  fs.create(root, kPasswd, Mode::private_file());
+  {
+    auto h = fs.open(root, kPasswd, OpenFlags{.write = true});
+    fs.write(h.value, "root:x:0:0:root:/root:/bin/sh\n");
+  }
+  fs.create(root, kTerminal, Mode::world_writable(), NodeType::kTerminal);
+  // The root cause of pFSM1's hidden path: the utmp mode bit.
+  fs.create(root, kUtmp,
+            checks_.utmp_root_only ? Mode::file_default() : Mode::world_writable());
+  {
+    auto h = fs.open(root, kUtmp, OpenFlags{.write = true});
+    fs.write(h.value, "pts/25\n");
+  }
+  return fs;
+}
+
+void RwallDaemon::wall(FileSystem& fs, const std::string& message,
+                       RwallResult& r) const {
+  const Cred root = Cred::root();
+  auto utmp = fs.read(kUtmp);
+  if (!utmp.ok()) {
+    r.detail = "cannot read /etc/utmp";
+    return;
+  }
+  std::istringstream lines{utmp.value};
+  std::string entry;
+  while (std::getline(lines, entry)) {
+    if (entry.empty()) continue;
+    // utmp names terminals relative to /dev — "../etc/passwd" escapes it.
+    const std::string path = netsim::lexically_normalize("/dev/" + entry);
+    if (checks_.terminal_type_check) {
+      auto st = fs.stat(path);
+      if (!st.ok() || st.value.type != NodeType::kTerminal) {
+        r.skipped.push_back(path);  // pFSM2: IMPL_REJ — non-terminal refused
+        continue;
+      }
+    }
+    auto h = fs.open(root, path, OpenFlags{.write = true, .append = true});
+    if (!h.ok()) continue;
+    fs.write(h.value, message);
+    r.wrote_to.push_back(path);
+  }
+}
+
+RwallResult RwallDaemon::run_attack(FileSystem& fs, const std::string& entry,
+                                    const std::string& message) const {
+  RwallResult r;
+  const Cred attacker = Cred::user_named("mallory");
+
+  // Step 1: the malicious user edits /etc/utmp (possible only because the
+  // write permission "is set on" — pFSM1's hidden path).
+  auto h = fs.open(attacker, kUtmp, OpenFlags{.write = true, .append = true});
+  if (!h.ok()) {
+    r.attacker_rejected = true;
+    r.detail = "EACCES: /etc/utmp is not writable by a regular user (pFSM1)";
+    return r;
+  }
+  fs.write(h.value, entry + "\n");
+  r.utmp_tampered = true;
+
+  // Step 2: "rwall hostname < newpasswordfile" — the daemon writes the
+  // message to every listed entry.
+  wall(fs, message, r);
+
+  auto pw = fs.read(kPasswd);
+  r.passwd_corrupted = pw.ok() && pw.value.find(message) != std::string::npos;
+  r.detail = r.passwd_corrupted
+                 ? "rwalld wrote the attacker's message into /etc/passwd"
+                 : "the attack did not reach /etc/passwd";
+  return r;
+}
+
+RwallResult RwallDaemon::run_benign(FileSystem& fs, const std::string& message) const {
+  RwallResult r;
+  wall(fs, message, r);
+  auto term = fs.read(kTerminal);
+  r.detail = (term.ok() && term.value.find(message) != std::string::npos)
+                 ? "message delivered to the terminal"
+                 : "message not delivered";
+  return r;
+}
+
+core::FsmModel RwallDaemon::figure6_model() {
+  Predicate spec1{"the requesting user has root privilege", [](const Object& o) {
+                    return o.attr_bool("is_root").value_or(false);
+                  }};
+  Pfsm pfsm1 = Pfsm::unchecked(
+      "pFSM1", PfsmType::kContentAttributeCheck,
+      "user request to write /etc/utmp",
+      std::move(spec1), "open /etc/utmp for the user");
+
+  Predicate spec2{"the target file is a terminal", [](const Object& o) {
+                    return o.attr_string("file_type").value_or("") == "terminal";
+                  }};
+  Pfsm pfsm2 = Pfsm::unchecked(
+      "pFSM2", PfsmType::kObjectTypeCheck,
+      "get a filename from /etc/utmp and write the user message to it",
+      std::move(spec2), "write user message to the terminal or file");
+
+  core::Operation op1{"Write to /etc/utmp", "the file /etc/utmp"};
+  op1.add(std::move(pfsm1));
+  core::Operation op2{"Rwall daemon writes messages", "filenames read from /etc/utmp"};
+  op2.add(std::move(pfsm2));
+
+  core::ExploitChain chain{"Solaris rwall arbitrary file corruption"};
+  chain.add(std::move(op1),
+            core::PropagationGate{"add \"../etc/passwd\" entry to the file /etc/utmp"});
+  chain.add(std::move(op2),
+            core::PropagationGate{
+                "rwall daemon writes the user message to regular file /etc/passwd"});
+
+  return core::FsmModel{"Solaris Rwall Arbitrary File Corruption (Figure 6)",
+                        {},
+                        "Access Validation",
+                        "Solaris rwalld",
+                        "a regular user rewrites /etc/passwd via the daemon",
+                        std::move(chain)};
+}
+
+namespace {
+
+class RwallCaseStudy final : public CaseStudy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Solaris rwall /etc/utmp file corruption";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"pFSM1: only root may write /etc/utmp", 0,
+         PfsmType::kContentAttributeCheck},
+        {"pFSM2: write target must be a terminal", 1,
+         PfsmType::kObjectTypeCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    RwallDaemon app{RwallChecks{enabled[0], enabled[1]}};
+    auto fs = app.initial_world();
+    const auto r = app.run_attack(fs, "../etc/passwd",
+                                  "mallory::0:0:intruder:/:/bin/sh\n");
+    RunOutcome out;
+    out.exploited = r.passwd_corrupted;
+    out.foiled = r.attacker_rejected || (!r.passwd_corrupted && !r.skipped.empty());
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    RwallDaemon app{RwallChecks{enabled[0], enabled[1]}};
+    auto fs = app.initial_world();
+    const auto r = app.run_benign(fs, "system going down at 5pm\n");
+    RunOutcome out;
+    out.service_ok = !r.wrote_to.empty() && !r.passwd_corrupted;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return RwallDaemon::figure6_model();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_rwall_case_study() {
+  return std::make_unique<RwallCaseStudy>();
+}
+
+}  // namespace dfsm::apps

@@ -1,0 +1,77 @@
+// rwall.h — replica of the Solaris rwall arbitrary file corruption
+// (paper §5.3, Figure 6; CERT CA-1994-06).
+//
+// rwalld sends a message to every user listed in /etc/utmp by writing to
+// each listed terminal. Two predicate failures compose:
+//   pFSM1 (Content/Attribute)  only root should be able to modify
+//                              /etc/utmp — but the file is world-writable,
+//                              so a regular user appends "../etc/passwd".
+//   pFSM2 (Object Type Check)  the write target should be a terminal —
+//                              but no file-type check is performed, so the
+//                              daemon happily writes the "message" (a new
+//                              password file) into /etc/passwd.
+#ifndef DFSM_APPS_RWALL_H
+#define DFSM_APPS_RWALL_H
+
+#include <string>
+#include <vector>
+
+#include "apps/case_study.h"
+#include "fssim/filesystem.h"
+
+namespace dfsm::apps {
+
+struct RwallChecks {
+  /// pFSM1: /etc/utmp is root-writable only (0644). The vulnerable
+  /// configuration ships it world-writable (0666).
+  bool utmp_root_only = false;
+  /// pFSM2: rwalld verifies the target is a terminal before writing.
+  bool terminal_type_check = false;
+};
+
+struct RwallResult {
+  bool utmp_tampered = false;    ///< the attacker's entry landed in /etc/utmp
+  bool attacker_rejected = false;///< EACCES writing /etc/utmp
+  std::vector<std::string> wrote_to;   ///< resolved paths the daemon wrote
+  std::vector<std::string> skipped;    ///< entries refused by the type check
+  bool passwd_corrupted = false;
+  std::string detail;
+};
+
+class RwallDaemon {
+ public:
+  static constexpr const char* kUtmp = "/etc/utmp";
+  static constexpr const char* kPasswd = "/etc/passwd";
+  static constexpr const char* kTerminal = "/dev/pts/25";
+
+  explicit RwallDaemon(RwallChecks checks = {});
+
+  /// The initial world: /etc/utmp listing "pts/25", /etc/passwd, and the
+  /// terminal device /dev/pts/25.
+  [[nodiscard]] fssim::FileSystem initial_world() const;
+
+  /// The full scenario: the attacker (a regular user) appends `entry` to
+  /// /etc/utmp, then issues `rwall hostname < message`; the daemon (root)
+  /// writes `message` to every utmp entry.
+  RwallResult run_attack(fssim::FileSystem& fs, const std::string& entry,
+                         const std::string& message) const;
+
+  /// Benign wall: no tampering; the message must reach the terminal only.
+  RwallResult run_benign(fssim::FileSystem& fs, const std::string& message) const;
+
+  /// The paper's Figure 6 as a predicate-level FsmModel.
+  [[nodiscard]] static core::FsmModel figure6_model();
+
+ private:
+  /// The daemon's write pass over /etc/utmp.
+  void wall(fssim::FileSystem& fs, const std::string& message, RwallResult& r) const;
+
+  RwallChecks checks_;
+};
+
+/// CaseStudy adapter (checks: pFSM1 utmp permission, pFSM2 file type).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_rwall_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_RWALL_H

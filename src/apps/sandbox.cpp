@@ -1,0 +1,23 @@
+#include "apps/sandbox.h"
+
+namespace dfsm::apps {
+
+SandboxProcess::SandboxProcess(SandboxOptions opts) : opts_(opts) {
+  mem_ = std::make_unique<memsim::AddressSpace>();
+  cpu_ = std::make_unique<memsim::CpuContext>(*mem_, kTextBase, kTextSize);
+  got_ = std::make_unique<memsim::Got>(*mem_, kGotBase, kGotEntries);
+  mem_->map("data", kDataBase, kDataSize, memsim::Perm::kRW);
+  stack_ = std::make_unique<memsim::Stack>(*mem_, kStackBase, kStackSize,
+                                           opts_.stack_canaries);
+  heap_ = std::make_unique<memsim::HeapAllocator>(*mem_, kHeapBase, kHeapSize,
+                                                  opts_.heap_safe_unlink);
+  cpu_->plant_mcode(kMcodeBase, kMcodeSize);
+}
+
+memsim::Addr SandboxProcess::register_got_function(const std::string& name) {
+  const memsim::Addr entry = cpu_->register_function(name);
+  got_->bind(name, entry);
+  return entry;
+}
+
+}  // namespace dfsm::apps

@@ -1,0 +1,84 @@
+// sandbox.h — the standard sandboxed process the memory-corruption case
+// studies run in: text + GOT + data + heap + stack + an attacker Mcode
+// region, assembled with one fixed layout so exploit arithmetic is
+// deterministic and "scouting" a twin instance predicts the target
+// instance exactly.
+//
+// Layout note: every segment lives below 2^24 so that code addresses have
+// at most three non-zero little-endian bytes. 2003-era exploits depended
+// on exactly this property (a string-copy overflow can only deposit
+// NUL-free bytes plus one terminating NUL), and the GHTTPD and rpc.statd
+// replicas reproduce those byte-level mechanics.
+#ifndef DFSM_APPS_SANDBOX_H
+#define DFSM_APPS_SANDBOX_H
+
+#include <memory>
+
+#include "memsim/address_space.h"
+#include "memsim/cpu.h"
+#include "memsim/got.h"
+#include "memsim/heap.h"
+#include "memsim/stack.h"
+
+namespace dfsm::apps {
+
+/// Hardening knobs of the simulated platform (the paper's elementary-
+/// activity-level defences that live below the application).
+struct SandboxOptions {
+  bool stack_canaries = false;   ///< StackGuard
+  bool heap_safe_unlink = false; ///< free-chunk link consistency check
+};
+
+/// The standard process image.
+///
+/// Fixed layout (all addresses < 2^24):
+///   text   0x010000  64 functions max (RX)
+///   got    0x020000  64 slots (RW — non-RELRO, as in 2003)
+///   data   0x030000  16 KiB globals (RW)
+///   heap   0x100000  256 KiB
+///   stack  0x200000  128 KiB, grows down from 0x220000
+///   mcode  0x77AB01  4 KiB attacker payload region (RWX)
+class SandboxProcess {
+ public:
+  static constexpr memsim::Addr kTextBase = 0x010000;
+  static constexpr std::size_t kTextSize = 0x1000;
+  static constexpr memsim::Addr kGotBase = 0x020000;
+  static constexpr std::size_t kGotEntries = 64;
+  static constexpr memsim::Addr kDataBase = 0x030000;
+  static constexpr std::size_t kDataSize = 0x4000;
+  static constexpr memsim::Addr kHeapBase = 0x100000;
+  static constexpr std::size_t kHeapSize = 0x40000;
+  static constexpr memsim::Addr kStackBase = 0x200000;
+  static constexpr std::size_t kStackSize = 0x20000;
+  static constexpr memsim::Addr kMcodeBase = 0x77AB01;  // three NUL-free low bytes
+  static constexpr std::size_t kMcodeSize = 0x1000;
+
+  explicit SandboxProcess(SandboxOptions opts = {});
+
+  [[nodiscard]] memsim::AddressSpace& mem() noexcept { return *mem_; }
+  [[nodiscard]] const memsim::AddressSpace& mem() const noexcept { return *mem_; }
+  [[nodiscard]] memsim::CpuContext& cpu() noexcept { return *cpu_; }
+  [[nodiscard]] memsim::Got& got() noexcept { return *got_; }
+  [[nodiscard]] const memsim::Got& got() const noexcept { return *got_; }
+  [[nodiscard]] memsim::Stack& stack() noexcept { return *stack_; }
+  [[nodiscard]] memsim::HeapAllocator& heap() noexcept { return *heap_; }
+
+  [[nodiscard]] memsim::Addr mcode() const noexcept { return kMcodeBase; }
+  [[nodiscard]] const SandboxOptions& options() const noexcept { return opts_; }
+
+  /// Registers a library function and binds it in the GOT ("load the
+  /// function address to the memory during program initialization").
+  memsim::Addr register_got_function(const std::string& name);
+
+ private:
+  SandboxOptions opts_;
+  std::unique_ptr<memsim::AddressSpace> mem_;
+  std::unique_ptr<memsim::CpuContext> cpu_;
+  std::unique_ptr<memsim::Got> got_;
+  std::unique_ptr<memsim::Stack> stack_;
+  std::unique_ptr<memsim::HeapAllocator> heap_;
+};
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_SANDBOX_H

@@ -1,0 +1,328 @@
+#include "apps/sendmail.h"
+
+#include <limits>
+
+#include "netsim/http.h"  // atoi32 / atol64 (C conversion semantics)
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+
+namespace {
+// tTvect sits 0x800 into the data segment; each entry is one 8-byte debug
+// word. The GOT lives below the data segment, so a negative index
+// underflows into it — the memory geometry of the published exploit.
+constexpr memsim::Addr kTTvectOffset = 0x800;
+}  // namespace
+
+SendmailTTflag::SendmailTTflag(SendmailChecks checks) : checks_(checks) {
+  proc_.register_got_function("setuid");
+  ttvect_ = SandboxProcess::kDataBase + kTTvectOffset;
+}
+
+SendmailResult SendmailTTflag::run_debug_command(const std::string& str_x,
+                                                 const std::string& str_i) {
+  SendmailResult r;
+
+  // --- Operation 1 / elementary activity 1: get str_x, str_i; convert to
+  //     signed integers (pFSM1).
+  if (checks_.input_representable) {
+    const auto long_x = netsim::atol64(str_x);
+    const auto long_i = netsim::atol64(str_i);
+    const auto fits = [](std::int64_t v) {
+      return v >= std::numeric_limits<std::int32_t>::min() &&
+             v <= std::numeric_limits<std::int32_t>::max();
+    };
+    if (!fits(long_x) || !fits(long_i)) {
+      r.rejected = true;
+      r.rejected_by = "pFSM1";
+      r.detail = "input does not represent an int (value exceeds 2^31)";
+      return r;
+    }
+  }
+  r.x = netsim::atoi32(str_x);  // the silent wrap: the root cause
+  r.i = netsim::atoi32(str_i);
+
+  // --- Elementary activity 2: write i to tTvect[x] (pFSM2). The real
+  //     implementation checks only the upper bound.
+  if (r.x > static_cast<std::int32_t>(kTTvectEntries)) {
+    r.rejected = true;
+    r.rejected_by = "pFSM2(impl)";
+    r.detail = "x > 100 rejected by the shipped check";
+    return r;
+  }
+  if (checks_.index_full_range && r.x < 0) {
+    r.rejected = true;
+    r.rejected_by = "pFSM2";
+    r.detail = "0 <= x <= 100 violated (negative index)";
+    return r;
+  }
+  r.write_addr = ttvect_ + static_cast<memsim::Addr>(
+                               static_cast<std::int64_t>(r.x) * 8);
+  try {
+    proc_.mem().write64(r.write_addr, static_cast<std::uint64_t>(
+                                          static_cast<std::int64_t>(r.i)));
+    r.wrote = true;
+  } catch (const memsim::MemoryFault&) {
+    r.crashed = true;
+    r.detail = "tTvect[x] write faulted (index outside mapped memory)";
+    return r;
+  }
+
+  // --- Operation 2 / elementary activity 3: call setuid() through the
+  //     GOT (pFSM3).
+  if (checks_.got_unchanged && !proc_.got().unchanged("setuid")) {
+    r.rejected = true;
+    r.rejected_by = "pFSM3";
+    r.detail = "GOT entry of setuid() changed since load — call refused";
+    return r;
+  }
+  const auto landing = proc_.cpu().call_through_got(proc_.got(), "setuid");
+  proc_.cpu().count_landing(landing);
+  switch (landing.kind) {
+    case memsim::LandingKind::kFunction:
+      r.detail = "setuid() executed normally";
+      break;
+    case memsim::LandingKind::kMcode:
+      r.mcode_executed = true;
+      r.detail = "control transferred to Mcode via corrupted addr_setuid";
+      break;
+    case memsim::LandingKind::kWild:
+      r.crashed = true;
+      r.detail = "wild jump through corrupted addr_setuid";
+      break;
+  }
+  return r;
+}
+
+SendmailResult SendmailTTflag::run_debug_session(
+    const std::vector<DebugFlag>& flags) {
+  SendmailResult session;
+  for (const auto& [str_x, str_i] : flags) {
+    SendmailResult r;
+    // Per-flag checks, identical to the word-mode path.
+    if (checks_.input_representable) {
+      const auto long_x = netsim::atol64(str_x);
+      const auto long_i = netsim::atol64(str_i);
+      const auto fits = [](std::int64_t v) {
+        return v >= std::numeric_limits<std::int32_t>::min() &&
+               v <= std::numeric_limits<std::int32_t>::max();
+      };
+      if (!fits(long_x) || !fits(long_i)) {
+        session.rejected = true;
+        session.rejected_by = "pFSM1";
+        session.detail = "flag rejected: value exceeds 2^31";
+        break;
+      }
+    }
+    const auto x = netsim::atoi32(str_x);
+    const auto i = netsim::atoi32(str_i);
+    if (x > static_cast<std::int32_t>(kTTvectEntries)) {
+      session.rejected = true;
+      session.rejected_by = "pFSM2(impl)";
+      session.detail = "flag rejected by the shipped x <= 100 check";
+      break;
+    }
+    if (checks_.index_full_range && x < 0) {
+      session.rejected = true;
+      session.rejected_by = "pFSM2";
+      session.detail = "flag rejected: negative index";
+      break;
+    }
+    // u_char tTvect[100]: a ONE-BYTE store.
+    const auto addr =
+        ttvect_ + static_cast<memsim::Addr>(static_cast<std::int64_t>(x));
+    try {
+      proc_.mem().write8(addr, static_cast<std::uint8_t>(i));
+      session.wrote = true;
+      session.x = x;
+      session.i = i;
+      session.write_addr = addr;
+    } catch (const memsim::MemoryFault&) {
+      session.crashed = true;
+      session.detail = "byte write faulted";
+      return session;
+    }
+  }
+
+  // setuid() runs once, whatever the flags did (Operation 2 of Figure 3).
+  if (checks_.got_unchanged && !proc_.got().unchanged("setuid")) {
+    session.rejected = true;
+    session.rejected_by = "pFSM3";
+    session.detail = "GOT entry of setuid() changed since load — call refused";
+    return session;
+  }
+  const auto landing = proc_.cpu().call_through_got(proc_.got(), "setuid");
+  proc_.cpu().count_landing(landing);
+  switch (landing.kind) {
+    case memsim::LandingKind::kFunction:
+      if (session.detail.empty()) session.detail = "setuid() executed normally";
+      break;
+    case memsim::LandingKind::kMcode:
+      session.mcode_executed = true;
+      session.detail = "byte-composed addr_setuid transferred control to Mcode";
+      break;
+    case memsim::LandingKind::kWild:
+      session.crashed = true;
+      session.detail = "wild jump through partially overwritten addr_setuid";
+      break;
+  }
+  return session;
+}
+
+std::vector<SendmailTTflag::DebugFlag> SendmailTTflag::build_exploit_session()
+    const {
+  // Compose the Mcode address over the 8 bytes of the setuid() GOT slot,
+  // one "-d x.i" flag per byte, each index wrap-encoded as in the
+  // published exploit.
+  const memsim::Addr slot = proc_.got().slot_address("setuid");
+  const std::uint64_t value = proc_.mcode();
+  std::vector<DebugFlag> flags;
+  for (int byte = 0; byte < 8; ++byte) {
+    const auto x = static_cast<std::int64_t>(slot) + byte -
+                   static_cast<std::int64_t>(ttvect_);
+    const std::uint64_t wrapped = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(static_cast<std::int32_t>(x)));
+    flags.emplace_back(std::to_string(wrapped),
+                       std::to_string((value >> (8 * byte)) & 0xFF));
+  }
+  return flags;
+}
+
+SendmailTTflag::Exploit SendmailTTflag::build_exploit() const {
+  // Find x with ttvect + 8x == GOT slot of setuid; encode it as the
+  // positive value 2^32 + x so the int32 conversion wraps (the "signed
+  // integer overflow" of the report title).
+  const memsim::Addr slot = proc_.got().slot_address("setuid");
+  const auto delta = static_cast<std::int64_t>(slot) -
+                     static_cast<std::int64_t>(ttvect_);
+  const std::int64_t x = delta / 8;  // both 8-aligned by construction
+  const std::uint64_t wrapped = static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(static_cast<std::int32_t>(x)));
+  Exploit e;
+  e.str_x = std::to_string(wrapped);  // > 2^31: pFSM1's spec rejects it
+  e.str_i = std::to_string(proc_.mcode());
+  return e;
+}
+
+core::FsmModel SendmailTTflag::figure3_model() {
+  // Predicates are over Objects carrying the relevant attributes:
+  //   activity 1 object: {"long_x": int64 from str_x}
+  //   activity 2 object: {"x": int32 value}
+  //   activity 3 object: {"addr_setuid_unchanged": bool}
+  Predicate spec1{
+      "str_x represents an integer representable as a signed int (|v| < 2^31)",
+      [](const Object& o) {
+        const auto v = o.attr_int("long_x");
+        return v && *v >= std::numeric_limits<std::int32_t>::min() &&
+               *v <= std::numeric_limits<std::int32_t>::max();
+      }};
+  Pfsm pfsm1 = Pfsm::unchecked(
+      "pFSM1", PfsmType::kObjectTypeCheck,
+      "get text strings str_x and str_i; convert to integers x and i",
+      std::move(spec1), "convert str_i and str_x to integer i and x");
+
+  Predicate spec2{"0 <= x <= 100", [](const Object& o) {
+                    const auto v = o.attr_int("x");
+                    return v && *v >= 0 && *v <= 100;
+                  }};
+  Predicate impl2{"x <= 100", [](const Object& o) {
+                    const auto v = o.attr_int("x");
+                    return v && *v <= 100;
+                  }};
+  Pfsm pfsm2{"pFSM2", PfsmType::kContentAttributeCheck, "write i to tTvect[x]",
+             std::move(spec2), std::move(impl2), "tTvect[x] = i"};
+
+  Predicate spec3{"addr_setuid unchanged since program initialization",
+                  [](const Object& o) {
+                    return o.attr_bool("addr_setuid_unchanged").value_or(false);
+                  }};
+  Pfsm pfsm3 = Pfsm::unchecked(
+      "pFSM3", PfsmType::kReferenceConsistencyCheck,
+      "execute code referred by addr_setuid when setuid() is called",
+      std::move(spec3), "call through the GOT entry of setuid()");
+
+  core::Operation op1{"Write debug level i to tTvect[x]", "input integers x, i"};
+  op1.add(std::move(pfsm1));
+  op1.add(std::move(pfsm2));
+  core::Operation op2{"Manipulate the GOT entry of function setuid",
+                      "addr_setuid (function pointer)"};
+  op2.add(std::move(pfsm3));
+
+  core::ExploitChain chain{"Sendmail debugging function signed integer overflow"};
+  chain.add(std::move(op1),
+            core::PropagationGate{".GOT entry of setuid (addr_setuid) points to Mcode"});
+  chain.add(std::move(op2), core::PropagationGate{"Execute Mcode"});
+
+  return core::FsmModel{"Sendmail Signed Integer Overflow (Figure 3)",
+                        {3163},
+                        "Integer Overflow",
+                        "Sendmail",
+                        "attacker-specified code runs with Sendmail's privileges",
+                        std::move(chain)};
+}
+
+namespace {
+
+class SendmailCaseStudy final : public CaseStudy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "Sendmail #3163 signed integer overflow";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"pFSM1: input representable as int", 0, PfsmType::kObjectTypeCheck},
+        {"pFSM2: 0 <= x <= 100", 0, PfsmType::kContentAttributeCheck},
+        {"pFSM3: GOT entry of setuid unchanged", 1,
+         PfsmType::kReferenceConsistencyCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    SendmailTTflag app{make_checks(enabled)};
+    const auto exploit = app.build_exploit();
+    const auto r = app.run_debug_command(exploit.str_x, exploit.str_i);
+    RunOutcome out;
+    out.exploited = r.mcode_executed;
+    out.foiled = r.rejected;
+    out.crashed = r.crashed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    SendmailTTflag app{make_checks(enabled)};
+    const auto r = app.run_debug_command("7", "1");  // -d 7.1
+    RunOutcome out;
+    out.service_ok = r.wrote && !r.rejected && !r.crashed && !r.mcode_executed;
+    out.detail = r.detail;
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return SendmailTTflag::figure3_model();
+  }
+
+ private:
+  static SendmailChecks make_checks(const std::vector<bool>& enabled) {
+    SendmailChecks c;
+    c.input_representable = enabled[0];
+    c.index_full_range = enabled[1];
+    c.got_unchanged = enabled[2];
+    return c;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_sendmail_case_study() {
+  return std::make_unique<SendmailCaseStudy>();
+}
+
+}  // namespace dfsm::apps

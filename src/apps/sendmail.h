@@ -1,0 +1,106 @@
+// sendmail.h — replica of the Sendmail Debugging Function Signed Integer
+// Overflow vulnerability, Bugtraq #3163 (paper §4, Figure 3, Table 2).
+//
+// tTflag() writes a user-supplied debug level i into tTvect[x] with x
+// parsed from the command line. The implementation checks only x <= 100;
+// a string representing a value in (2^31, 2^32) wraps to a negative int,
+// underflows the array, and lands the write on the GOT entry of setuid().
+// When setuid() is later called through the GOT, control transfers to the
+// attacker's Mcode.
+//
+// The three elementary activities / pFSMs (Figure 3):
+//   pFSM1 (Object Type Check)          does str_x represent a value an int
+//                                      can hold?        [impl: no check]
+//   pFSM2 (Content/Attribute Check)    0 <= x <= 100?   [impl: x <= 100]
+//   pFSM3 (Reference Consistency)      GOT entry of setuid() unchanged?
+//                                                       [impl: no check]
+#ifndef DFSM_APPS_SENDMAIL_H
+#define DFSM_APPS_SENDMAIL_H
+
+#include <string>
+
+#include "apps/case_study.h"
+#include "apps/sandbox.h"
+#include "core/model.h"
+
+namespace dfsm::apps {
+
+/// Which of the paper's per-activity checks are compiled in.
+struct SendmailChecks {
+  bool input_representable = false;  ///< pFSM1
+  bool index_full_range = false;     ///< pFSM2 (0 <= x, in addition to x <= 100)
+  bool got_unchanged = false;        ///< pFSM3
+};
+
+/// Result of one "-d x.i" debug command.
+struct SendmailResult {
+  bool rejected = false;     ///< some check refused the input
+  std::string rejected_by;   ///< which pFSM's check fired
+  bool wrote = false;        ///< tTvect[x] = i executed
+  bool crashed = false;      ///< the write faulted (x pointed at unmapped memory)
+  bool mcode_executed = false;
+  std::int32_t x = 0;
+  std::int32_t i = 0;
+  memsim::Addr write_addr = 0;
+  std::string detail;
+};
+
+class SendmailTTflag {
+ public:
+  static constexpr std::size_t kTTvectEntries = 100;  ///< tTvect[100]
+
+  explicit SendmailTTflag(SendmailChecks checks = {});
+
+  /// Runs the debugging command "-d <str_x>.<str_i>" and then the
+  /// setuid() call (operation 2 of Figure 3).
+  SendmailResult run_debug_command(const std::string& str_x, const std::string& str_i);
+
+  /// Address of tTvect (for tests and exploit arithmetic).
+  [[nodiscard]] memsim::Addr ttvect() const noexcept { return ttvect_; }
+  [[nodiscard]] SandboxProcess& process() noexcept { return proc_; }
+
+  /// The published exploit inputs against this layout: str_x encodes
+  /// 2^32 - offset so the int32 wrap lands tTvect+8x on the setuid GOT
+  /// slot, str_i is the Mcode address.
+  struct Exploit {
+    std::string str_x;
+    std::string str_i;
+  };
+  [[nodiscard]] Exploit build_exploit() const;
+
+  // --- Byte-wise mode: the REAL Sendmail semantics. --------------------
+  // In the original, tTvect is `u_char tTvect[100]` and each "-d x.i"
+  // flag stores ONE byte; the published exploit therefore issues several
+  // -d flags, composing the corrupted GOT entry byte by byte (footnote 5
+  // chooses setuid() as the target). run_debug_session replays such a
+  // multi-flag command line: every byte write passes the same per-flag
+  // checks; setuid() is called once at the end.
+
+  /// One "-d x.i" pair of a session.
+  using DebugFlag = std::pair<std::string, std::string>;
+
+  /// Applies each flag's single-byte write (tTvect[x] = (u_char)i), then
+  /// calls setuid() through the GOT. Returns the outcome of the session;
+  /// a rejected flag aborts the remaining writes but setuid() still runs
+  /// (the program continues with the flags it accepted).
+  SendmailResult run_debug_session(const std::vector<DebugFlag>& flags);
+
+  /// The 8 flags composing the Mcode address over addr_setuid, byte by
+  /// byte, each index again wrap-encoded as a value > 2^31.
+  [[nodiscard]] std::vector<DebugFlag> build_exploit_session() const;
+
+  /// The paper's Figure 3 as a predicate-level FsmModel.
+  [[nodiscard]] static core::FsmModel figure3_model();
+
+ private:
+  SendmailChecks checks_;
+  SandboxProcess proc_;
+  memsim::Addr ttvect_ = 0;
+};
+
+/// CaseStudy adapter (checks: pFSM1, pFSM2, pFSM3).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_sendmail_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_SENDMAIL_H

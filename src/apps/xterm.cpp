@@ -1,0 +1,248 @@
+#include "apps/xterm.h"
+
+namespace dfsm::apps {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+using fssim::Access;
+using fssim::Cred;
+using fssim::CtxStep;
+using fssim::FileSystem;
+using fssim::Mode;
+using fssim::NodeType;
+using fssim::OpenFlags;
+using fssim::RaceContext;
+
+XtermLogger::XtermLogger(XtermChecks checks) : checks_(checks) {}
+
+FileSystem XtermLogger::initial_world() const {
+  FileSystem fs;
+  const Cred root = Cred::root();
+  fs.mkdir(root, "/etc");
+  auto pw = fs.create(root, kPasswd, Mode::file_default());
+  (void)pw;
+  {
+    auto h = fs.open(root, kPasswd, OpenFlags{.write = true});
+    fs.write(h.value, "root:x:0:0:root:/root:/bin/sh\n");
+  }
+  fs.mkdir(root, "/usr");
+  fs.mkdir(root, "/usr/tom");
+  fs.chown(root, "/usr/tom", "tom");
+  fs.create(Cred::user_named("tom"), kLogPath, Mode::file_default());
+  return fs;
+}
+
+std::vector<CtxStep> XtermLogger::victim_steps(std::size_t window_steps) const {
+  const Cred tom = Cred::user_named("tom");
+  const Cred root = Cred::root();
+  const bool check = checks_.write_permission;
+  const bool atomic = checks_.atomic_binding;
+
+  std::vector<CtxStep> steps;
+  steps.push_back(CtxStep{
+      "xterm: access(\"/usr/tom/x\", W_OK) as tom + symlink check",
+      [tom, check](FileSystem& fs, RaceContext& ctx) {
+        if (!check) return;  // pFSM1 disabled for the ablation
+        const bool may_write = fs.access(tom, XtermLogger::kLogPath, Access::kWrite);
+        auto ls = fs.lstat(XtermLogger::kLogPath);
+        const bool is_symlink = ls.ok() && ls.value.type == NodeType::kSymlink;
+        if (!may_write || is_symlink) ctx.aborted = true;  // IMPL_REJ: refuse
+      }});
+  for (std::size_t i = 0; i < window_steps; ++i) {
+    steps.push_back(CtxStep{"xterm: bookkeeping between check and open",
+                            [](FileSystem&, RaceContext&) {}});
+  }
+  steps.push_back(CtxStep{
+      "xterm: open(\"/usr/tom/x\", O_WRONLY|O_APPEND) as root",
+      [root, tom, atomic](FileSystem& fs, RaceContext& ctx) {
+        if (ctx.aborted) return;
+        OpenFlags flags;
+        flags.write = true;
+        flags.append = true;
+        flags.nofollow = atomic;  // the fix: refuse a symlink at open time
+        auto h = fs.open(root, XtermLogger::kLogPath, flags);
+        if (!h.ok()) {
+          ctx.aborted = true;
+          return;
+        }
+        if (atomic) {
+          // ...and re-verify the opened object is still Tom's plain file.
+          auto st = fs.fstat(h.value);
+          if (!st.ok() || st.value.owner != tom.user ||
+              st.value.type != NodeType::kFile) {
+            ctx.aborted = true;
+            return;
+          }
+        }
+        ctx.file = h.value;
+      }});
+  steps.push_back(CtxStep{
+      "xterm: write(log message) as root",
+      [](FileSystem& fs, RaceContext& ctx) {
+        if (ctx.aborted) return;
+        fs.write(ctx.file, XtermLogger::kMessage);
+        ctx.ints["wrote"] = 1;
+      }});
+  return steps;
+}
+
+std::vector<CtxStep> XtermLogger::attacker_steps() const {
+  const Cred tom = Cred::user_named("tom");
+  return {
+      CtxStep{"tom: unlink(\"/usr/tom/x\")",
+              [tom](FileSystem& fs, RaceContext&) {
+                fs.unlink(tom, XtermLogger::kLogPath);
+              }},
+      CtxStep{"tom: symlink(\"/etc/passwd\", \"/usr/tom/x\")",
+              [tom](FileSystem& fs, RaceContext&) {
+                fs.symlink(tom, XtermLogger::kPasswd, XtermLogger::kLogPath);
+              }},
+  };
+}
+
+std::vector<CtxStep> XtermLogger::attacker_steps_atomic() const {
+  const Cred tom = Cred::user_named("tom");
+  return {
+      CtxStep{"tom: rename(\"/usr/tom/evil\", \"/usr/tom/x\")  [atomic swap]",
+              [tom](FileSystem& fs, RaceContext&) {
+                fs.rename(tom, "/usr/tom/evil", XtermLogger::kLogPath);
+              }},
+  };
+}
+
+FileSystem XtermLogger::initial_world_with_staged_symlink() const {
+  FileSystem fs = initial_world();
+  fs.symlink(Cred::user_named("tom"), kPasswd, "/usr/tom/evil");
+  return fs;
+}
+
+XtermRaceResult XtermLogger::run_race_atomic(std::size_t window_steps) const {
+  XtermRaceResult result;
+  result.window_steps = window_steps;
+  result.report = fssim::enumerate_interleavings(
+      initial_world_with_staged_symlink(), victim_steps(window_steps),
+      attacker_steps_atomic(),
+      [](const FileSystem& fs, const RaceContext& ctx) {
+        return passwd_corrupted(fs, ctx);
+      });
+  return result;
+}
+
+bool XtermLogger::passwd_corrupted(const FileSystem& fs, const RaceContext&) {
+  auto content = fs.read(kPasswd);
+  return content.ok() && content.value.find(kMessage) != std::string::npos;
+}
+
+XtermRaceResult XtermLogger::run_race(std::size_t window_steps) const {
+  XtermRaceResult result;
+  result.window_steps = window_steps;
+  result.report = fssim::enumerate_interleavings(
+      initial_world(), victim_steps(window_steps), attacker_steps(),
+      [](const FileSystem& fs, const RaceContext& ctx) {
+        return passwd_corrupted(fs, ctx);
+      });
+  return result;
+}
+
+bool XtermLogger::run_benign() const {
+  FileSystem fs = initial_world();
+  RaceContext ctx;
+  for (const auto& s : victim_steps(0)) s.run(fs, ctx);
+  auto content = fs.read(kLogPath);
+  return content.ok() && content.value.find(kMessage) != std::string::npos &&
+         !passwd_corrupted(fs, ctx);
+}
+
+core::FsmModel XtermLogger::figure5_model() {
+  // pFSM1 is SECURE in the real implementation (the permission check
+  // exists and matches the spec) — the paper's point is that pFSM2 is not.
+  Predicate spec1{
+      "Tom has write permission to the file and the file is not a symbolic link",
+      [](const Object& o) {
+        return o.attr_bool("tom_may_write").value_or(false) &&
+               !o.attr_bool("is_symlink").value_or(true);
+      }};
+  Pfsm pfsm1 = Pfsm::secure("pFSM1", PfsmType::kContentAttributeCheck,
+                            "get the filename of Tom's log file",
+                            std::move(spec1), "proceed to open /usr/tom/x");
+
+  Predicate spec2{
+      "/usr/tom/x is not re-bound (no symlink created) between check and open",
+      [](const Object& o) {
+        return o.attr_bool("binding_preserved").value_or(false);
+      }};
+  Pfsm pfsm2 = Pfsm::unchecked(
+      "pFSM2", PfsmType::kReferenceConsistencyCheck,
+      "open \"/usr/tom/x\" with write permission",
+      std::move(spec2), "append the log message to the opened file");
+
+  core::Operation op1{"Write the log file of user Tom", "the filename /usr/tom/x"};
+  op1.add(std::move(pfsm1));
+  op1.add(std::move(pfsm2));
+
+  core::ExploitChain chain{"xterm log-file race condition"};
+  chain.add(std::move(op1),
+            core::PropagationGate{"Tom appends his own data to the file /etc/passwd"});
+
+  return core::FsmModel{"xterm Log File Race Condition (Figure 5)",
+                        {},
+                        "File Race Condition",
+                        "xterm (X11)",
+                        "a regular user appends chosen data to /etc/passwd",
+                        std::move(chain)};
+}
+
+namespace {
+
+class XtermCaseStudy final : public CaseStudy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "xterm log-file symlink race";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return {
+        {"pFSM1: user may write the log file (and it is not a symlink)", 0,
+         PfsmType::kContentAttributeCheck},
+        {"pFSM2: filename binding preserved from check to use", 0,
+         PfsmType::kReferenceConsistencyCheck},
+    };
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    XtermLogger app{XtermChecks{enabled[0], enabled[1]}};
+    const auto race = app.run_race(/*window_steps=*/1);
+    RunOutcome out;
+    out.exploited = race.report.race_exists();
+    out.foiled = !out.exploited;
+    out.detail = std::to_string(race.report.violating_schedules) + "/" +
+                 std::to_string(race.report.total_schedules) +
+                 " schedules corrupt /etc/passwd";
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    XtermLogger app{XtermChecks{enabled[0], enabled[1]}};
+    RunOutcome out;
+    out.service_ok = app.run_benign();
+    out.detail = out.service_ok ? "log message reached /usr/tom/x"
+                                : "logging failed";
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    return XtermLogger::figure5_model();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_xterm_case_study() {
+  return std::make_unique<XtermCaseStudy>();
+}
+
+}  // namespace dfsm::apps

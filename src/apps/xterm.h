@@ -1,0 +1,97 @@
+// xterm.h — replica of the xterm log-file race condition (paper §5.2,
+// Figure 5).
+//
+// xterm runs setuid-root and logs the user's messages to a user-chosen
+// log file. It (correctly) checks that the user may write the file —
+// pFSM1, declared secure — but the check and the open are separate
+// syscalls. In the window between them, Tom unlinks /usr/tom/x and
+// symlinks it to /etc/passwd; root's open follows the link and Tom's
+// "log message" is appended to the password file — pFSM2's hidden path
+// (a Reference Consistency violation: the filename's binding to the
+// checked file is not preserved from check time to use time).
+//
+// The replica enumerates ALL interleavings of the victim's and attacker's
+// syscall sequences (DESIGN.md §2), so the race-window measurement is
+// exact rather than probabilistic.
+#ifndef DFSM_APPS_XTERM_H
+#define DFSM_APPS_XTERM_H
+
+#include <string>
+
+#include "apps/case_study.h"
+#include "fssim/filesystem.h"
+#include "fssim/race.h"
+
+namespace dfsm::apps {
+
+struct XtermChecks {
+  /// pFSM1: verify the requesting user may write the log file (and that
+  /// it is not a symlink at check time). The real xterm performs this —
+  /// the paper declares pFSM1 secure — but it can be disabled for the
+  /// ablation sweep.
+  bool write_permission = true;
+  /// pFSM2: preserve the filename->file binding from check to use
+  /// (open with O_NOFOLLOW + fstat ownership verification). The fix.
+  bool atomic_binding = false;
+};
+
+/// One race-enumeration result for a given window width.
+struct XtermRaceResult {
+  fssim::RaceReport report;
+  std::size_t window_steps = 0;  ///< extra victim steps between check and open
+};
+
+class XtermLogger {
+ public:
+  static constexpr const char* kLogPath = "/usr/tom/x";
+  static constexpr const char* kPasswd = "/etc/passwd";
+  static constexpr const char* kMessage = "tom's log message\n";
+
+  explicit XtermLogger(XtermChecks checks = {});
+
+  /// The initial world: /etc/passwd (root, 0644), /usr/tom (tom's dir),
+  /// /usr/tom/x (tom's log file, 0644).
+  [[nodiscard]] fssim::FileSystem initial_world() const;
+
+  /// Victim syscall sequence: [check] [window_steps no-ops] [open] [write].
+  /// The no-ops widen the check-to-use window, modeling work the real
+  /// xterm does between the two syscalls.
+  [[nodiscard]] std::vector<fssim::CtxStep> victim_steps(std::size_t window_steps = 0) const;
+
+  /// Attacker (Tom): unlink the log file, then symlink it to /etc/passwd.
+  [[nodiscard]] std::vector<fssim::CtxStep> attacker_steps() const;
+
+  /// Stronger attacker: a symlink to /etc/passwd prepared in advance at
+  /// /usr/tom/evil, swapped over the log file with ONE atomic rename(2) —
+  /// the race needs only a single step inside the window.
+  [[nodiscard]] std::vector<fssim::CtxStep> attacker_steps_atomic() const;
+
+  /// initial_world() plus the attacker's pre-staged /usr/tom/evil symlink.
+  [[nodiscard]] fssim::FileSystem initial_world_with_staged_symlink() const;
+
+  /// Race enumeration against the atomic single-step attacker.
+  [[nodiscard]] XtermRaceResult run_race_atomic(std::size_t window_steps = 0) const;
+
+  /// The violation predicate: Tom's message ended up inside /etc/passwd.
+  [[nodiscard]] static bool passwd_corrupted(const fssim::FileSystem& fs,
+                                             const fssim::RaceContext& ctx);
+
+  /// Enumerates every interleaving for the given window width.
+  [[nodiscard]] XtermRaceResult run_race(std::size_t window_steps = 0) const;
+
+  /// Runs the benign schedule (victim alone, no attacker).
+  [[nodiscard]] bool run_benign() const;
+
+  /// The paper's Figure 5 as a predicate-level FsmModel.
+  [[nodiscard]] static core::FsmModel figure5_model();
+
+ private:
+  XtermChecks checks_;
+};
+
+/// CaseStudy adapter (checks: pFSM1 permission, pFSM2 binding).
+[[nodiscard]] std::unique_ptr<CaseStudy> make_xterm_case_study();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_XTERM_H

@@ -1,0 +1,80 @@
+// category.h — the twelve Bugtraq vulnerability categories of Figure 1,
+// with the definitions the paper reprints, and the vulnerability *classes*
+// (root-cause families) whose ambiguity against the categories is the
+// subject of Table 1.
+#ifndef DFSM_BUGTRAQ_CATEGORY_H
+#define DFSM_BUGTRAQ_CATEGORY_H
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace dfsm::bugtraq {
+
+/// The 12 Bugtraq classification categories (Figure 1).
+enum class Category {
+  kAccessValidationError,
+  kAtomicityError,
+  kBoundaryConditionError,
+  kConfigurationError,
+  kDesignError,
+  kEnvironmentError,
+  kFailureToHandleExceptionalConditions,
+  kInputValidationError,
+  kOriginValidationError,
+  kRaceConditionError,
+  kSerializationError,
+  kUnknown,
+};
+
+inline constexpr std::size_t kCategoryCount = 12;
+
+inline constexpr std::array<Category, kCategoryCount> kAllCategories = {
+    Category::kAccessValidationError,
+    Category::kAtomicityError,
+    Category::kBoundaryConditionError,
+    Category::kConfigurationError,
+    Category::kDesignError,
+    Category::kEnvironmentError,
+    Category::kFailureToHandleExceptionalConditions,
+    Category::kInputValidationError,
+    Category::kOriginValidationError,
+    Category::kRaceConditionError,
+    Category::kSerializationError,
+    Category::kUnknown,
+};
+
+[[nodiscard]] const char* to_string(Category c) noexcept;
+
+/// The Figure 1 definition text for each category ("an operation on an
+/// object outside its access domain", ...).
+[[nodiscard]] const char* definition(Category c) noexcept;
+
+/// Parses the exact to_string form; nullopt otherwise.
+[[nodiscard]] std::optional<Category> category_from_string(const std::string& s);
+
+/// Root-cause vulnerability classes. The classes studied in depth by the
+/// paper (stack/heap buffer overflow, integer overflow, format string,
+/// file race condition) "constitute 22% of all vulnerabilities in the
+/// Bugtraq database" (§1).
+enum class VulnClass {
+  kStackBufferOverflow,
+  kHeapOverflow,
+  kIntegerOverflow,
+  kFormatString,
+  kFileRaceCondition,
+  kPathTraversal,
+  kOther,
+};
+
+inline constexpr std::size_t kVulnClassCount = 7;
+
+[[nodiscard]] const char* to_string(VulnClass c) noexcept;
+[[nodiscard]] std::optional<VulnClass> vuln_class_from_string(const std::string& s);
+
+/// True for the classes the paper studies in depth (the 22% set).
+[[nodiscard]] bool is_studied_class(VulnClass c) noexcept;
+
+}  // namespace dfsm::bugtraq
+
+#endif  // DFSM_BUGTRAQ_CATEGORY_H

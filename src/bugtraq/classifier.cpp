@@ -1,0 +1,52 @@
+#include "bugtraq/classifier.h"
+
+#include <algorithm>
+
+namespace dfsm::bugtraq {
+
+Category category_for_activity(ElementaryActivity a) noexcept {
+  switch (a) {
+    case ElementaryActivity::kGetInput:
+      return Category::kInputValidationError;
+    case ElementaryActivity::kUseAsArrayIndex:
+    case ElementaryActivity::kCopyToBuffer:
+    case ElementaryActivity::kFreeBuffer:
+      return Category::kBoundaryConditionError;
+    case ElementaryActivity::kHandleFollowingData:
+      return Category::kFailureToHandleExceptionalConditions;
+    case ElementaryActivity::kExecuteViaPointer:
+    case ElementaryActivity::kCheckPermission:
+      return Category::kAccessValidationError;
+    case ElementaryActivity::kOpenFile:
+    case ElementaryActivity::kWriteToFile:
+      return Category::kRaceConditionError;
+    case ElementaryActivity::kDecodeName:
+      return Category::kInputValidationError;
+  }
+  return Category::kUnknown;
+}
+
+std::vector<Category> plausible_categories(const VulnRecord& r) {
+  std::vector<Category> out;
+  for (ElementaryActivity a : r.activities) {
+    const Category c = category_for_activity(a);
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+bool classification_consistent(const VulnRecord& r) {
+  if (r.reference_activity < 0 ||
+      r.reference_activity >= static_cast<int>(r.activities.size())) {
+    return false;
+  }
+  return category_for_activity(
+             r.activities[static_cast<std::size_t>(r.reference_activity)]) ==
+         r.category;
+}
+
+bool classification_ambiguous(const VulnRecord& r) {
+  return plausible_categories(r).size() >= 2;
+}
+
+}  // namespace dfsm::bugtraq

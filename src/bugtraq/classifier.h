@@ -1,0 +1,45 @@
+// classifier.h — maps an elementary activity to the Bugtraq category an
+// analyst anchored on it would assign. This mechanizes the paper's
+// Observation 1 / Table 1 argument: the same root cause lands in
+// different taxonomy categories depending on which elementary activity is
+// used as the reference point, which is why category taxonomies are
+// ambiguous and an activity-level model (the pFSM) is needed.
+#ifndef DFSM_BUGTRAQ_CLASSIFIER_H
+#define DFSM_BUGTRAQ_CLASSIFIER_H
+
+#include <vector>
+
+#include "bugtraq/record.h"
+
+namespace dfsm::bugtraq {
+
+/// The category a report is assigned when the given elementary activity is
+/// the analyst's reference point:
+///   get input                -> Input Validation Error
+///   use as array index       -> Boundary Condition Error
+///   copy to buffer           -> Boundary Condition Error
+///   handle following data    -> Failure to Handle Exceptional Conditions
+///   execute via pointer      -> Access Validation Error
+///   check permission         -> Access Validation Error
+///   open file / write file   -> Race Condition Error
+///   decode filename          -> Input Validation Error
+///   free buffer              -> Boundary Condition Error
+[[nodiscard]] Category category_for_activity(ElementaryActivity a) noexcept;
+
+/// All the categories a single report could legitimately be filed under —
+/// one per elementary activity in its chain (deduplicated, order of first
+/// appearance).
+[[nodiscard]] std::vector<Category> plausible_categories(const VulnRecord& r);
+
+/// True when the classifier, anchored on the record's own
+/// reference_activity, reproduces the category the record carries —
+/// i.e. the record is self-consistent with Table 1's reading.
+[[nodiscard]] bool classification_consistent(const VulnRecord& r);
+
+/// True when a record's activity chain admits >= 2 distinct categories:
+/// the ambiguity that motivates the pFSM model.
+[[nodiscard]] bool classification_ambiguous(const VulnRecord& r);
+
+}  // namespace dfsm::bugtraq
+
+#endif  // DFSM_BUGTRAQ_CLASSIFIER_H

@@ -1,0 +1,123 @@
+#include "bugtraq/corpus.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace dfsm::bugtraq {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::size_t CorpusPlan::total() const {
+  return input_validation + boundary_condition + design + failure_to_handle +
+         access_validation + race_condition + configuration + origin_validation +
+         atomicity + environment + serialization + unknown;
+}
+
+std::size_t CorpusPlan::studied_total() const {
+  return stack_overflow + heap_overflow + format_string + file_race +
+         integer_overflow_input + integer_overflow_boundary +
+         integer_overflow_access;
+}
+
+namespace {
+
+constexpr std::array<const char*, 16> kSoftware = {
+    "Sendmail",  "Apache httpd", "wu-ftpd",    "BIND",      "OpenSSH",
+    "IIS",       "ProFTPD",      "Squid",      "rpc.statd", "lpd",
+    "telnetd",   "imapd",        "Null HTTPD", "GHTTPD",    "xterm",
+    "rwalld",
+};
+
+struct Emitter {
+  Database& db;
+  std::uint64_t rng_state;
+  int next_id = 100000;
+
+  void emit(std::size_t n, Category cat, VulnClass cls, const char* noun) {
+    for (std::size_t i = 0; i < n; ++i) {
+      VulnRecord r;
+      r.id = next_id++;
+      const std::uint64_t bits = splitmix64(rng_state);
+      const auto& software = kSoftware[bits % kSoftware.size()];
+      r.software = software;
+      r.title = std::string(software) + " " + noun + " vulnerability (synthetic #" +
+                std::to_string(r.id) + ")";
+      r.year = 1999 + static_cast<int>((bits >> 8) % 4);  // 1999..2002
+      r.remote = ((bits >> 16) & 1) != 0;
+      r.category = cat;
+      r.vuln_class = cls;
+      r.description = std::string("Synthetic stand-in record in category '") +
+                      to_string(cat) + "'";
+      db.add(std::move(r));
+    }
+  }
+};
+
+}  // namespace
+
+Database synthetic_corpus(std::uint64_t seed, const CorpusPlan& plan) {
+  if (plan.total() != kBugtraqSize2002) {
+    throw std::invalid_argument("corpus plan totals " + std::to_string(plan.total()) +
+                                ", expected " + std::to_string(kBugtraqSize2002));
+  }
+  if (plan.stack_overflow + plan.heap_overflow + plan.integer_overflow_boundary >
+          plan.boundary_condition ||
+      plan.format_string + plan.integer_overflow_input > plan.input_validation ||
+      plan.integer_overflow_access > plan.access_validation ||
+      plan.file_race > plan.race_condition) {
+    throw std::invalid_argument("studied-class counts exceed their host categories");
+  }
+
+  Database db;
+  Emitter e{db, seed, 100000};
+
+  // Studied classes first (they sit inside their host categories).
+  e.emit(plan.stack_overflow, Category::kBoundaryConditionError,
+         VulnClass::kStackBufferOverflow, "stack buffer overflow");
+  e.emit(plan.heap_overflow, Category::kBoundaryConditionError,
+         VulnClass::kHeapOverflow, "heap overflow");
+  e.emit(plan.integer_overflow_boundary, Category::kBoundaryConditionError,
+         VulnClass::kIntegerOverflow, "signed integer overflow");
+  e.emit(plan.integer_overflow_input, Category::kInputValidationError,
+         VulnClass::kIntegerOverflow, "signed integer overflow");
+  e.emit(plan.integer_overflow_access, Category::kAccessValidationError,
+         VulnClass::kIntegerOverflow, "signed integer overflow");
+  e.emit(plan.format_string, Category::kInputValidationError,
+         VulnClass::kFormatString, "format string");
+  e.emit(plan.file_race, Category::kRaceConditionError,
+         VulnClass::kFileRaceCondition, "file race condition");
+
+  // Remainder of each category as class Other.
+  auto rest = [&](std::size_t category_total, std::size_t used, Category cat,
+                  const char* noun) {
+    e.emit(category_total - used, cat, VulnClass::kOther, noun);
+  };
+  rest(plan.boundary_condition,
+       plan.stack_overflow + plan.heap_overflow + plan.integer_overflow_boundary,
+       Category::kBoundaryConditionError, "boundary condition");
+  rest(plan.input_validation, plan.format_string + plan.integer_overflow_input,
+       Category::kInputValidationError, "input validation");
+  rest(plan.access_validation, plan.integer_overflow_access,
+       Category::kAccessValidationError, "access validation");
+  rest(plan.race_condition, plan.file_race, Category::kRaceConditionError,
+       "race condition");
+  rest(plan.design, 0, Category::kDesignError, "design");
+  rest(plan.failure_to_handle, 0, Category::kFailureToHandleExceptionalConditions,
+       "exception handling");
+  rest(plan.configuration, 0, Category::kConfigurationError, "configuration");
+  rest(plan.origin_validation, 0, Category::kOriginValidationError,
+       "origin validation");
+  rest(plan.atomicity, 0, Category::kAtomicityError, "atomicity");
+  rest(plan.environment, 0, Category::kEnvironmentError, "environment");
+  rest(plan.serialization, 0, Category::kSerializationError, "serialization");
+  rest(plan.unknown, 0, Category::kUnknown, "unclassified");
+
+  return db;
+}
+
+}  // namespace dfsm::bugtraq

@@ -1,0 +1,149 @@
+#include "bugtraq/curated.h"
+
+namespace dfsm::bugtraq {
+
+namespace {
+
+using EA = ElementaryActivity;
+
+VulnRecord make(int id, std::string title, std::string software, int year,
+                bool remote, Category cat, VulnClass cls, std::string desc,
+                std::vector<EA> activities, int reference_activity) {
+  VulnRecord r;
+  r.id = id;
+  r.title = std::move(title);
+  r.software = std::move(software);
+  r.year = year;
+  r.remote = remote;
+  r.category = cat;
+  r.vuln_class = cls;
+  r.description = std::move(desc);
+  r.activities = std::move(activities);
+  r.reference_activity = reference_activity;
+  return r;
+}
+
+}  // namespace
+
+std::vector<VulnRecord> table1_records() {
+  // The three signed-integer-overflow reports of Table 1: the same root
+  // cause, classified three different ways depending on which elementary
+  // activity the analyst used as the reference point.
+  return {
+      make(3163, "Sendmail Debugging Function Signed Integer Overflow",
+           "Sendmail", 2001, false, Category::kInputValidationError,
+           VulnClass::kIntegerOverflow,
+           "A negative input integer accepted as an array index",
+           {EA::kGetInput, EA::kUseAsArrayIndex, EA::kExecuteViaPointer},
+           /*reference_activity=*/0),
+      make(5493, "FreeBSD System Call Signed Integer Buffer Overflow",
+           "FreeBSD", 2002, false, Category::kBoundaryConditionError,
+           VulnClass::kIntegerOverflow,
+           "A negative value supplied for the argument allowing exceeding the "
+           "boundary of an array",
+           {EA::kGetInput, EA::kUseAsArrayIndex, EA::kExecuteViaPointer},
+           /*reference_activity=*/1),
+      make(3958, "rsync Signed Array Index Remote Code Execution",
+           "rsync", 2002, true, Category::kAccessValidationError,
+           VulnClass::kIntegerOverflow,
+           "A remotely supplied signed value used as an array index, allowing "
+           "the corruption of a function pointer or a return address",
+           {EA::kGetInput, EA::kUseAsArrayIndex, EA::kExecuteViaPointer},
+           /*reference_activity=*/2),
+  };
+}
+
+Database curated_records() {
+  Database db;
+  for (auto& r : table1_records()) db.add(r);
+
+  // Buffer-overflow activity chain (§3.2): three reports, three different
+  // reference activities for the same class.
+  db.add(make(6157, "Buffer overflow interpreted as input validation error",
+              "Multiple", 2002, true, Category::kInputValidationError,
+              VulnClass::kStackBufferOverflow,
+              "Get input string (elementary activity 1)",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kHandleFollowingData}, 0));
+  db.add(make(5960, "GHTTPD Log() Function Buffer Overflow", "GHTTPD", 2002,
+              true, Category::kBoundaryConditionError,
+              VulnClass::kStackBufferOverflow,
+              "Copy the string to a buffer (elementary activity 2); return "
+              "address smashed via vsprintf into a 200-byte stack buffer",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kExecuteViaPointer}, 1));
+  db.add(make(4479, "Buffer overflow interpreted as failure to handle "
+                    "exceptional conditions",
+              "Multiple", 2002, true,
+              Category::kFailureToHandleExceptionalConditions,
+              VulnClass::kStackBufferOverflow,
+              "Handle data (e.g., return address) following the buffer "
+              "(elementary activity 3)",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kHandleFollowingData}, 2));
+
+  // Format-string family (§3.2).
+  db.add(make(1387, "wu-ftpd Remote Format String Stack Overwrite", "wu-ftpd",
+              2000, true, Category::kInputValidationError,
+              VulnClass::kFormatString,
+              "User input string containing format directives reaches *printf",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kExecuteViaPointer}, 0));
+  db.add(make(2210, "splitvt Format String Vulnerability", "splitvt", 2001,
+              false, Category::kAccessValidationError, VulnClass::kFormatString,
+              "Format directives in input lead to arbitrary write",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kExecuteViaPointer}, 2));
+  db.add(make(2264, "icecast print_client() Format String Vulnerability",
+              "icecast", 2001, true, Category::kBoundaryConditionError,
+              VulnClass::kFormatString,
+              "Format directives expand past the output buffer",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kExecuteViaPointer}, 1));
+  db.add(make(1480, "Multiple Linux Vendor rpc.statd Remote Format String",
+              "rpc.statd", 2000, true, Category::kInputValidationError,
+              VulnClass::kFormatString,
+              "User-controlled filename passed to syslog() as the format "
+              "string; %n overwrites the return address",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kExecuteViaPointer}, 0));
+
+  // NULL HTTPD heap overflows (Figure 4).
+  db.add(make(5774, "Null HTTPD Remote Heap Overflow", "Null HTTPD", 2002,
+              true, Category::kBoundaryConditionError, VulnClass::kHeapOverflow,
+              "Negative Content-Length undersizes the calloc'd POST buffer; "
+              "overflow corrupts free-chunk fd/bk links; unlink on free() "
+              "overwrites the GOT entry of free() with the Mcode address",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kFreeBuffer,
+               EA::kExecuteViaPointer}, 1));
+  db.add(make(6255, "Null HTTPD ReadPOSTData Heap Overflow (discovered while "
+                    "constructing the FSM model)",
+              "Null HTTPD", 2002, true, Category::kBoundaryConditionError,
+              VulnClass::kHeapOverflow,
+              "Logic error in the recv loop termination condition ('||' "
+              "instead of '&&'): recv never terminates before the entire "
+              "input is read, so a correct contentLen with an oversized body "
+              "still overflows PostData",
+              {EA::kGetInput, EA::kCopyToBuffer, EA::kFreeBuffer,
+               EA::kExecuteViaPointer}, 1));
+
+  // IIS superfluous decoding (Figure 7).
+  db.add(make(2708, "Microsoft IIS CGI Filename Superfluous Decoding",
+              "IIS", 2001, true, Category::kInputValidationError,
+              VulnClass::kPathTraversal,
+              "'..%252f' passes the traversal check applied after the first "
+              "decode; the second decode turns it into '../' (exploited by "
+              "the Nimda worm)",
+              {EA::kGetInput, EA::kDecodeName, EA::kDecodeName}, 1));
+
+  // Pre-Bugtraq advisories modeled in Figures 5 and 6 (id 0).
+  db.add(make(0, "xterm Log File Symlink Race Condition", "xterm", 1993,
+              false, Category::kRaceConditionError, VulnClass::kFileRaceCondition,
+              "Time-of-check-to-time-of-use window between the log-file "
+              "permission check and the open; a symlink planted in the window "
+              "redirects root's write to /etc/passwd",
+              {EA::kCheckPermission, EA::kOpenFile, EA::kWriteToFile}, 1));
+  db.add(make(0, "Solaris rwall Arbitrary File Corruption (CERT CA-1994-06)",
+              "rwalld", 1994, true, Category::kAccessValidationError,
+              VulnClass::kOther,
+              "World-writable /etc/utmp lets any user add '../etc/passwd'; "
+              "rwalld writes user messages to it without checking the target "
+              "is a terminal",
+              {EA::kCheckPermission, EA::kGetInput, EA::kWriteToFile}, 0));
+  return db;
+}
+
+}  // namespace dfsm::bugtraq

@@ -1,0 +1,24 @@
+// curated.h — the concrete vulnerability reports the paper cites, with
+// their real Bugtraq IDs, titles, category assignments and the
+// elementary-activity chains the in-depth analysis (paper §3.2, Table 1,
+// §4-§5) attributes to them.
+#ifndef DFSM_BUGTRAQ_CURATED_H
+#define DFSM_BUGTRAQ_CURATED_H
+
+#include "bugtraq/database.h"
+
+namespace dfsm::bugtraq {
+
+/// All paper-cited reports: #3163, #5493, #3958 (Table 1); #6157, #5960,
+/// #4479 (buffer-overflow activity chain); #1387, #2210, #2264, #1480
+/// (format string); #5774, #6255 (NULL HTTPD); #2708 (IIS); plus the
+/// xterm log-file race and Solaris rwall advisories (CERT CA-1994-06 era,
+/// no Bugtraq IDs — stored with id 0).
+[[nodiscard]] Database curated_records();
+
+/// The three Table 1 rows in order: #3163, #5493, #3958.
+[[nodiscard]] std::vector<VulnRecord> table1_records();
+
+}  // namespace dfsm::bugtraq
+
+#endif  // DFSM_BUGTRAQ_CURATED_H

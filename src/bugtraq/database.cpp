@@ -1,0 +1,202 @@
+#include "bugtraq/database.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dfsm::bugtraq {
+
+namespace {
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits a whole CSV body into records of fields, honoring quotes —
+/// including newlines inside quoted fields (descriptions may be
+/// multi-line).
+std::vector<std::vector<std::string>> csv_records(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> row;
+  std::string cur;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  auto end_field = [&] {
+    row.push_back(cur);
+    cur.clear();
+  };
+  auto end_row = [&] {
+    if (row_has_content || !row.empty() || !cur.empty()) {
+      end_field();
+      records.push_back(std::move(row));
+      row.clear();
+    }
+    row_has_content = false;
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      end_field();
+      row_has_content = true;
+    } else if (c == '\n') {
+      end_row();
+    } else {
+      cur.push_back(c);
+      row_has_content = true;
+    }
+  }
+  end_row();
+  return records;
+}
+
+constexpr const char* kHeader =
+    "id,title,software,year,remote,category,class,description,activities,"
+    "reference_activity";
+
+}  // namespace
+
+void Database::add(VulnRecord record) {
+  if (record.id != 0 && index_.count(record.id) != 0) {
+    throw std::invalid_argument("duplicate Bugtraq ID: " + std::to_string(record.id));
+  }
+  if (record.id != 0) index_[record.id] = records_.size();
+  records_.push_back(std::move(record));
+}
+
+const VulnRecord* Database::by_id(int id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  return &records_[it->second];
+}
+
+std::vector<const VulnRecord*> Database::query(
+    const std::function<bool(const VulnRecord&)>& pred) const {
+  std::vector<const VulnRecord*> out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::size_t Database::count(
+    const std::function<bool(const VulnRecord&)>& pred) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (pred(r)) ++n;
+  }
+  return n;
+}
+
+std::map<Category, std::size_t> Database::count_by_category() const {
+  std::map<Category, std::size_t> out;
+  for (Category c : kAllCategories) out[c] = 0;
+  for (const auto& r : records_) ++out[r.category];
+  return out;
+}
+
+std::map<VulnClass, std::size_t> Database::count_by_class() const {
+  std::map<VulnClass, std::size_t> out;
+  for (const auto& r : records_) ++out[r.vuln_class];
+  return out;
+}
+
+std::string Database::to_csv() const {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  for (const auto& r : records_) {
+    std::string acts;
+    for (std::size_t i = 0; i < r.activities.size(); ++i) {
+      if (i) acts += ';';
+      acts += to_string(r.activities[i]);
+    }
+    os << r.id << ',' << csv_quote(r.title) << ',' << csv_quote(r.software) << ','
+       << r.year << ',' << (r.remote ? 1 : 0) << ',' << csv_quote(to_string(r.category))
+       << ',' << csv_quote(to_string(r.vuln_class)) << ','
+       << csv_quote(r.description) << ',' << csv_quote(acts) << ','
+       << r.reference_activity << '\n';
+  }
+  return os.str();
+}
+
+Database Database::from_csv(const std::string& csv) {
+  const auto rows = csv_records(csv);
+  if (rows.empty() || rows[0].size() != 10) {
+    throw std::invalid_argument("bad CSV header");
+  }
+  {
+    std::string joined;
+    for (std::size_t i = 0; i < rows[0].size(); ++i) {
+      if (i) joined += ',';
+      joined += rows[0][i];
+    }
+    if (joined != kHeader) throw std::invalid_argument("bad CSV header");
+  }
+  Database db;
+  for (std::size_t ri = 1; ri < rows.size(); ++ri) {
+    const auto& fields = rows[ri];
+    if (fields.size() != 10) {
+      throw std::invalid_argument("bad CSV row " + std::to_string(ri));
+    }
+    VulnRecord r;
+    r.id = std::stoi(fields[0]);
+    r.title = fields[1];
+    r.software = fields[2];
+    r.year = std::stoi(fields[3]);
+    r.remote = fields[4] == "1";
+    auto cat = category_from_string(fields[5]);
+    auto cls = vuln_class_from_string(fields[6]);
+    if (!cat || !cls) {
+      throw std::invalid_argument("bad category/class in CSV row " +
+                                  std::to_string(ri));
+    }
+    r.category = *cat;
+    r.vuln_class = *cls;
+    r.description = fields[7];
+    if (!fields[8].empty()) {
+      std::istringstream as{fields[8]};
+      std::string a;
+      while (std::getline(as, a, ';')) {
+        // Linear match against the enum's printable names.
+        bool found = false;
+        for (int k = 0; k <= static_cast<int>(ElementaryActivity::kFreeBuffer); ++k) {
+          const auto act = static_cast<ElementaryActivity>(k);
+          if (a == to_string(act)) {
+            r.activities.push_back(act);
+            found = true;
+            break;
+          }
+        }
+        if (!found) throw std::invalid_argument("bad activity: " + a);
+      }
+    }
+    r.reference_activity = std::stoi(fields[9]);
+    db.add(std::move(r));
+  }
+  return db;
+}
+
+void Database::merge(const Database& other) {
+  for (const auto& r : other.records_) add(r);
+}
+
+}  // namespace dfsm::bugtraq

@@ -1,0 +1,65 @@
+// database.h — an in-memory vulnerability database with query and CSV
+// round-trip. Stands in for the Bugtraq list at securityfocus.com, which
+// the paper chose "because its vulnerability reports are better organized
+// and more amenable to automatic processing and statistical study".
+#ifndef DFSM_BUGTRAQ_DATABASE_H
+#define DFSM_BUGTRAQ_DATABASE_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bugtraq/record.h"
+
+namespace dfsm::bugtraq {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a record. Throws std::invalid_argument on a duplicate non-zero
+  /// Bugtraq ID (real IDs are unique).
+  void add(VulnRecord record);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<VulnRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Lookup by Bugtraq ID (non-zero IDs only).
+  [[nodiscard]] const VulnRecord* by_id(int id) const;
+
+  /// All records matching a predicate.
+  [[nodiscard]] std::vector<const VulnRecord*> query(
+      const std::function<bool(const VulnRecord&)>& pred) const;
+
+  [[nodiscard]] std::size_t count(
+      const std::function<bool(const VulnRecord&)>& pred) const;
+
+  /// Histogram over categories (every category present, possibly 0).
+  [[nodiscard]] std::map<Category, std::size_t> count_by_category() const;
+
+  /// Histogram over vulnerability classes.
+  [[nodiscard]] std::map<VulnClass, std::size_t> count_by_class() const;
+
+  /// CSV serialization: header + one line per record (activities joined
+  /// with ';'). Fields containing separators are quoted.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Parses a CSV produced by to_csv. Throws std::invalid_argument on a
+  /// malformed header or row.
+  [[nodiscard]] static Database from_csv(const std::string& csv);
+
+  /// Merges another database into this one (duplicate-ID rules apply).
+  void merge(const Database& other);
+
+ private:
+  std::vector<VulnRecord> records_;
+  std::map<int, std::size_t> index_;  // id -> position, non-zero ids only
+};
+
+}  // namespace dfsm::bugtraq
+
+#endif  // DFSM_BUGTRAQ_DATABASE_H

@@ -1,0 +1,23 @@
+#include "bugtraq/record.h"
+
+namespace dfsm::bugtraq {
+
+const char* to_string(ElementaryActivity a) noexcept {
+  switch (a) {
+    case ElementaryActivity::kGetInput: return "get input";
+    case ElementaryActivity::kUseAsArrayIndex: return "use the integer as an array index";
+    case ElementaryActivity::kCopyToBuffer: return "copy the string to a buffer";
+    case ElementaryActivity::kHandleFollowingData:
+      return "handle data following the buffer";
+    case ElementaryActivity::kExecuteViaPointer:
+      return "execute code referred by a function pointer or a return address";
+    case ElementaryActivity::kCheckPermission: return "check permission";
+    case ElementaryActivity::kOpenFile: return "open file";
+    case ElementaryActivity::kDecodeName: return "decode filename";
+    case ElementaryActivity::kWriteToFile: return "write to file";
+    case ElementaryActivity::kFreeBuffer: return "free the buffer";
+  }
+  return "?";
+}
+
+}  // namespace dfsm::bugtraq

@@ -1,0 +1,55 @@
+// record.h — one Bugtraq vulnerability report, with the fields the paper's
+// analysis consumes: "version number of the vulnerable software, date of
+// discovery, an assigned vulnerability ID, cause of the vulnerability, and
+// possible exploits" (§3.1), plus the elementary-activity annotation the
+// Table 1 analysis derives from in-depth report reading.
+#ifndef DFSM_BUGTRAQ_RECORD_H
+#define DFSM_BUGTRAQ_RECORD_H
+
+#include <string>
+#include <vector>
+
+#include "bugtraq/category.h"
+
+namespace dfsm::bugtraq {
+
+/// The elementary activities observed across the studied vulnerability
+/// classes (paper §3.2, Observation 1).
+enum class ElementaryActivity {
+  kGetInput,             ///< get an input integer / input string / filename
+  kUseAsArrayIndex,      ///< use the integer as the index to an array
+  kCopyToBuffer,         ///< copy the string to a buffer
+  kHandleFollowingData,  ///< handle data (e.g. return address) following the buffer
+  kExecuteViaPointer,    ///< execute code referred to by a function pointer / ret addr
+  kCheckPermission,      ///< check the caller's permission on an object
+  kOpenFile,             ///< open a file by (possibly re-bindable) name
+  kDecodeName,           ///< decode an encoded filename / request
+  kWriteToFile,          ///< write a message to a named file
+  kFreeBuffer,           ///< free a heap buffer (unlink of chunk links)
+};
+
+[[nodiscard]] const char* to_string(ElementaryActivity a) noexcept;
+
+/// One vulnerability report.
+struct VulnRecord {
+  int id = 0;                 ///< Bugtraq ID (0 = advisory without one)
+  std::string title;
+  std::string software;
+  int year = 2002;
+  bool remote = false;        ///< remotely exploitable vs local-user
+  Category category = Category::kUnknown;
+  VulnClass vuln_class = VulnClass::kOther;
+  std::string description;
+  /// In-depth analysis annotation: the chain of elementary activities an
+  /// exploit passes through (empty for bulk synthetic records).
+  std::vector<ElementaryActivity> activities;
+  /// Which activity the original analyst used as the reference point when
+  /// assigning `category` (index into `activities`; -1 = unknown).
+  int reference_activity = -1;
+
+  [[nodiscard]] bool studied() const { return is_studied_class(vuln_class); }
+};
+
+}  // namespace dfsm::bugtraq
+
+#endif  // DFSM_BUGTRAQ_RECORD_H

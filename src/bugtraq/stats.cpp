@@ -1,0 +1,102 @@
+#include "bugtraq/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/table.h"
+
+namespace dfsm::bugtraq {
+
+std::vector<CategoryShare> category_breakdown(const Database& db) {
+  const auto counts = db.count_by_category();
+  const double total = static_cast<double>(db.size());
+  std::vector<CategoryShare> out;
+  for (Category c : kAllCategories) {
+    CategoryShare s;
+    s.category = c;
+    s.count = counts.at(c);
+    s.percent = total == 0 ? 0.0 : 100.0 * static_cast<double>(s.count) / total;
+    s.rounded_percent = static_cast<int>(std::lround(s.percent));
+    out.push_back(s);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CategoryShare& a, const CategoryShare& b) {
+                     return a.count > b.count;
+                   });
+  return out;
+}
+
+StudiedShare studied_share(const Database& db) {
+  StudiedShare out;
+  out.total = db.size();
+  const auto by_class = db.count_by_class();
+  static constexpr VulnClass kStudied[] = {
+      VulnClass::kStackBufferOverflow, VulnClass::kHeapOverflow,
+      VulnClass::kIntegerOverflow,     VulnClass::kFormatString,
+      VulnClass::kFileRaceCondition,
+  };
+  for (VulnClass c : kStudied) {
+    ClassShare s;
+    s.vuln_class = c;
+    auto it = by_class.find(c);
+    s.count = it == by_class.end() ? 0 : it->second;
+    s.percent = out.total == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(s.count) /
+                          static_cast<double>(out.total);
+    out.studied_count += s.count;
+    out.classes.push_back(s);
+  }
+  out.percent = out.total == 0 ? 0.0
+                               : 100.0 * static_cast<double>(out.studied_count) /
+                                     static_cast<double>(out.total);
+  return out;
+}
+
+RemoteLocalSplit remote_local_split(const Database& db) {
+  RemoteLocalSplit s;
+  for (const auto& r : db.records()) {
+    if (r.remote) ++s.remote;
+    else ++s.local;
+  }
+  return s;
+}
+
+std::vector<YearCount> by_year(const Database& db) {
+  std::map<int, std::size_t> counts;
+  for (const auto& r : db.records()) ++counts[r.year];
+  std::vector<YearCount> out;
+  out.reserve(counts.size());
+  for (const auto& [year, count] : counts) out.push_back({year, count});
+  return out;
+}
+
+std::vector<SoftwareCount> top_software(const Database& db, std::size_t n) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& r : db.records()) ++counts[r.software];
+  std::vector<SoftwareCount> out;
+  out.reserve(counts.size());
+  for (const auto& [software, count] : counts) out.push_back({software, count});
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SoftwareCount& a, const SoftwareCount& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.software < b.software;
+                   });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::string render_figure1(const Database& db) {
+  core::TextTable t{{"Category", "Count", "Share", "Pie label"}};
+  t.title("Figure 1: Breakdown of " + std::to_string(db.size()) +
+          " Bugtraq vulnerabilities");
+  for (const auto& s : category_breakdown(db)) {
+    char exact[16];
+    std::snprintf(exact, sizeof exact, "%.2f%%", s.percent);
+    t.add_row({to_string(s.category), std::to_string(s.count), exact,
+               std::to_string(s.rounded_percent) + "%"});
+  }
+  return t.to_string();
+}
+
+}  // namespace dfsm::bugtraq

@@ -1,0 +1,84 @@
+#include "core/chain.h"
+
+#include <stdexcept>
+
+namespace dfsm::core {
+
+bool ChainResult::exploited() const {
+  return completed() && hidden_path_count() > 0;
+}
+
+bool ChainResult::completed() const {
+  if (operations.empty() || foiled_at_operation.has_value()) return false;
+  for (const auto& op : operations) {
+    if (!op.completed()) return false;
+  }
+  return true;
+}
+
+std::size_t ChainResult::hidden_path_count() const {
+  std::size_t n = 0;
+  for (const auto& op : operations) {
+    for (const auto& o : op.outcomes) {
+      if (o.hidden_path_taken()) ++n;
+    }
+  }
+  return n;
+}
+
+ExploitChain::ExploitChain(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("ExploitChain requires a non-empty name");
+}
+
+ExploitChain& ExploitChain::add(Operation op, PropagationGate gate_after) {
+  operations_.push_back(std::move(op));
+  gates_.push_back(std::move(gate_after));
+  return *this;
+}
+
+ChainResult ExploitChain::evaluate(
+    const std::vector<std::vector<Object>>& inputs) const {
+  if (operations_.empty()) {
+    throw std::invalid_argument("ExploitChain '" + name_ + "' has no operations");
+  }
+  if (inputs.size() != operations_.size()) {
+    throw std::invalid_argument("ExploitChain '" + name_ + "' expects " +
+                                std::to_string(operations_.size()) +
+                                " input vectors, got " +
+                                std::to_string(inputs.size()));
+  }
+  ChainResult result;
+  result.chain_name = name_;
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    result.operations.push_back(operations_[i].evaluate(inputs[i]));
+    if (!result.operations.back().completed()) {
+      result.foiled_at_operation = i;
+      break;  // the gate after operation i never fires
+    }
+  }
+  return result;
+}
+
+ChainResult ExploitChain::flow(const std::vector<Object>& starts) const {
+  if (operations_.empty()) {
+    throw std::invalid_argument("ExploitChain '" + name_ + "' has no operations");
+  }
+  if (starts.size() != operations_.size()) {
+    throw std::invalid_argument("ExploitChain '" + name_ + "' expects " +
+                                std::to_string(operations_.size()) +
+                                " starting objects, got " +
+                                std::to_string(starts.size()));
+  }
+  ChainResult result;
+  result.chain_name = name_;
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    result.operations.push_back(operations_[i].flow(starts[i]));
+    if (!result.operations.back().completed()) {
+      result.foiled_at_operation = i;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dfsm::core

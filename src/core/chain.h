@@ -1,0 +1,91 @@
+// chain.h — cascading operations into the full exploit FSM via propagation
+// gates (paper §4 step 3, Figures 3/4).
+//
+// "Exploiting a vulnerability involves multiple vulnerable operations on
+// several objects" (Observation 2). A propagation gate (the triangle
+// between FSMs in the figures) depicts causality: exploiting operation k
+// is the precondition of exploiting operation k+1; the final gate names the
+// consequence ("Execute Mcode", "Tom appends his own data to /etc/passwd").
+//
+// The Lemma's second statement is a property of this structure: to foil an
+// exploit consisting of a sequence of vulnerable operations, it is
+// sufficient to ensure security of ONE of the operations in the sequence.
+// ChainResult exposes exactly the facts needed to check that mechanically
+// (see analysis::ChainAnalyzer).
+#ifndef DFSM_CORE_CHAIN_H
+#define DFSM_CORE_CHAIN_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/operation.h"
+
+namespace dfsm::core {
+
+/// The triangle between operations: names the causal precondition that the
+/// upstream operation's exploitation establishes for the downstream one
+/// (e.g. ".GOT entry of setuid() points to Mcode").
+struct PropagationGate {
+  std::string condition;
+};
+
+/// Result of driving concrete inputs through an exploit chain.
+struct ChainResult {
+  std::string chain_name;
+  std::vector<OperationResult> operations;  ///< one per operation reached
+  std::optional<std::size_t> foiled_at_operation;
+
+  /// The exploit succeeded: every operation completed AND at least one
+  /// hidden path was traversed somewhere (a chain of purely SPEC_ACPT
+  /// transitions is benign traffic, not an exploit).
+  [[nodiscard]] bool exploited() const;
+
+  /// Every operation completed (benign or not).
+  [[nodiscard]] bool completed() const;
+
+  /// Total hidden-path traversals across all operations.
+  [[nodiscard]] std::size_t hidden_path_count() const;
+};
+
+/// An ordered cascade of operations joined by propagation gates, plus the
+/// final consequence gate.
+///
+/// Invariant: gates_.size() == operations_.size() once finalized — gate k
+/// sits *after* operation k (the last gate carries the attack consequence).
+class ExploitChain {
+ public:
+  explicit ExploitChain(std::string name);
+
+  /// Appends an operation and the gate that follows it.
+  ExploitChain& add(Operation op, PropagationGate gate_after);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Operation>& operations() const noexcept {
+    return operations_;
+  }
+  [[nodiscard]] const std::vector<PropagationGate>& gates() const noexcept {
+    return gates_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return operations_.size(); }
+
+  /// Evaluates each operation with its own object vector (outer index =
+  /// operation, inner = pFSM within it). Evaluation stops at the first
+  /// foiled operation: its propagation gate never fires, so downstream
+  /// operations are not reached (Lemma statement 2).
+  /// Throws std::invalid_argument on arity mismatch or an empty chain.
+  [[nodiscard]] ChainResult evaluate(
+      const std::vector<std::vector<Object>>& inputs) const;
+
+  /// Flow variant: one starting object per operation.
+  [[nodiscard]] ChainResult flow(const std::vector<Object>& starts) const;
+
+ private:
+  std::string name_;
+  std::vector<Operation> operations_;
+  std::vector<PropagationGate> gates_;
+};
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_CHAIN_H

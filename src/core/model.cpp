@@ -1,0 +1,75 @@
+#include "core/model.h"
+
+#include <stdexcept>
+
+namespace dfsm::core {
+
+FsmModel::FsmModel(std::string name, std::vector<int> bugtraq_ids,
+                   std::string vulnerability_class, std::string software,
+                   std::string consequence, ExploitChain chain)
+    : name_(std::move(name)),
+      bugtraq_ids_(std::move(bugtraq_ids)),
+      vulnerability_class_(std::move(vulnerability_class)),
+      software_(std::move(software)),
+      consequence_(std::move(consequence)),
+      chain_(std::move(chain)) {
+  if (name_.empty()) throw std::invalid_argument("FsmModel requires a non-empty name");
+  if (chain_.size() == 0) {
+    throw std::invalid_argument("FsmModel '" + name_ + "' requires a non-empty chain");
+  }
+}
+
+std::size_t FsmModel::pfsm_count() const {
+  std::size_t n = 0;
+  for (const auto& op : chain_.operations()) n += op.size();
+  return n;
+}
+
+std::vector<PfsmSummary> FsmModel::summaries() const {
+  std::vector<PfsmSummary> out;
+  for (const auto& op : chain_.operations()) {
+    for (const auto& p : op.pfsms()) {
+      PfsmSummary s;
+      s.model_name = name_;
+      s.operation_name = op.name();
+      s.pfsm_name = p.name();
+      s.type = p.type();
+      s.question = p.spec().description();
+      s.declared_secure = p.declared_secure();
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::array<std::size_t, 3> FsmModel::type_census() const {
+  std::array<std::size_t, 3> counts{};
+  for (const auto& op : chain_.operations()) {
+    for (const auto& p : op.pfsms()) {
+      counts[static_cast<std::size_t>(p.type())]++;
+    }
+  }
+  return counts;
+}
+
+std::size_t FsmModel::declared_vulnerable_count() const {
+  std::size_t n = 0;
+  for (const auto& op : chain_.operations()) {
+    for (const auto& p : op.pfsms()) {
+      if (!p.declared_secure()) ++n;
+    }
+  }
+  return n;
+}
+
+TypeCensus census(const std::vector<FsmModel>& models) {
+  TypeCensus c;
+  for (const auto& m : models) {
+    auto mc = m.type_census();
+    for (std::size_t i = 0; i < mc.size(); ++i) c.counts[i] += mc[i];
+  }
+  c.total = c.counts[0] + c.counts[1] + c.counts[2];
+  return c;
+}
+
+}  // namespace dfsm::core

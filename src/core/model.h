@@ -1,0 +1,88 @@
+// model.h — a complete FSM model of one vulnerability (paper Figures 3-7)
+// plus a registry used by the Table 2 / Figure 8 generators.
+//
+// An FsmModel bundles the exploit chain with the report metadata the paper
+// attaches to each case study: the Bugtraq id(s), the vulnerability class,
+// the software, and the final consequence. It also answers the structural
+// queries behind Table 2 ("which pFSMs of which generic type appear in
+// which vulnerability?") and Figure 8 (type census across all models).
+#ifndef DFSM_CORE_MODEL_H
+#define DFSM_CORE_MODEL_H
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/chain.h"
+
+namespace dfsm::core {
+
+/// One row fragment of Table 2: a pFSM, its type, and the question-form
+/// predicate description (e.g. "Is the integer in the interval [0,100]?").
+struct PfsmSummary {
+  std::string model_name;
+  std::string operation_name;
+  std::string pfsm_name;
+  PfsmType type = PfsmType::kContentAttributeCheck;
+  std::string question;        ///< spec predicate, question form
+  bool declared_secure = false;
+};
+
+/// A fully assembled vulnerability model.
+class FsmModel {
+ public:
+  FsmModel(std::string name, std::vector<int> bugtraq_ids,
+           std::string vulnerability_class, std::string software,
+           std::string consequence, ExploitChain chain);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<int>& bugtraq_ids() const noexcept {
+    return bugtraq_ids_;
+  }
+  [[nodiscard]] const std::string& vulnerability_class() const noexcept {
+    return vulnerability_class_;
+  }
+  [[nodiscard]] const std::string& software() const noexcept { return software_; }
+  [[nodiscard]] const std::string& consequence() const noexcept {
+    return consequence_;
+  }
+  [[nodiscard]] const ExploitChain& chain() const noexcept { return chain_; }
+
+  /// Total number of pFSMs across all operations.
+  [[nodiscard]] std::size_t pfsm_count() const;
+
+  /// Flattened per-pFSM summaries (Table 2 rows).
+  [[nodiscard]] std::vector<PfsmSummary> summaries() const;
+
+  /// Count of pFSMs per generic type, indexed by PfsmType cast to size_t.
+  [[nodiscard]] std::array<std::size_t, 3> type_census() const;
+
+  /// Number of pFSMs whose implementation was declared secure vs
+  /// vulnerable (structural declaration; see Pfsm::declared_secure()).
+  [[nodiscard]] std::size_t declared_vulnerable_count() const;
+
+ private:
+  std::string name_;
+  std::vector<int> bugtraq_ids_;
+  std::string vulnerability_class_;
+  std::string software_;
+  std::string consequence_;
+  ExploitChain chain_;
+};
+
+/// Aggregated type census over a set of models (Figure 8 / §6).
+struct TypeCensus {
+  std::array<std::size_t, 3> counts{};  // indexed by PfsmType
+  std::size_t total = 0;
+
+  [[nodiscard]] std::size_t of(PfsmType t) const {
+    return counts[static_cast<std::size_t>(t)];
+  }
+};
+
+[[nodiscard]] TypeCensus census(const std::vector<FsmModel>& models);
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_MODEL_H

@@ -1,0 +1,78 @@
+#include "core/operation.h"
+
+#include <stdexcept>
+
+namespace dfsm::core {
+
+bool OperationResult::completed() const {
+  if (outcomes.empty()) return false;
+  for (const auto& o : outcomes) {
+    if (!o.accepted()) return false;
+  }
+  return true;
+}
+
+bool OperationResult::violated() const {
+  for (const auto& o : outcomes) {
+    if (o.hidden_path_taken()) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> OperationResult::foiled_at() const {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (outcomes[i].final_state == PfsmState::kReject) return i;
+  }
+  return std::nullopt;
+}
+
+Operation::Operation(std::string name, std::string object_description)
+    : name_(std::move(name)),
+      object_description_(std::move(object_description)) {
+  if (name_.empty()) throw std::invalid_argument("Operation requires a non-empty name");
+}
+
+Operation& Operation::add(Pfsm pfsm) {
+  pfsms_.push_back(std::move(pfsm));
+  transforms_.push_back(std::nullopt);
+  return *this;
+}
+
+Operation& Operation::add(Pfsm pfsm, ObjectTransform transform_to_next) {
+  pfsms_.push_back(std::move(pfsm));
+  transforms_.push_back(std::move(transform_to_next));
+  return *this;
+}
+
+OperationResult Operation::evaluate(const std::vector<Object>& objects) const {
+  if (pfsms_.empty()) throw std::invalid_argument("Operation '" + name_ + "' has no pFSMs");
+  if (objects.size() != pfsms_.size()) {
+    throw std::invalid_argument("Operation '" + name_ + "' expects " +
+                                std::to_string(pfsms_.size()) + " objects, got " +
+                                std::to_string(objects.size()));
+  }
+  OperationResult result;
+  result.operation_name = name_;
+  for (std::size_t i = 0; i < pfsms_.size(); ++i) {
+    result.outcomes.push_back(pfsms_[i].evaluate(objects[i]));
+    if (!result.outcomes.back().accepted()) break;  // serial chain: foiled
+  }
+  return result;
+}
+
+OperationResult Operation::flow(const Object& start) const {
+  if (pfsms_.empty()) throw std::invalid_argument("Operation '" + name_ + "' has no pFSMs");
+  OperationResult result;
+  result.operation_name = name_;
+  Object current = start;
+  for (std::size_t i = 0; i < pfsms_.size(); ++i) {
+    result.outcomes.push_back(pfsms_[i].evaluate(current));
+    if (!result.outcomes.back().accepted()) break;
+    if (i + 1 < pfsms_.size() && transforms_[i]) {
+      current = (*transforms_[i])(current);
+    }
+  }
+  return result;
+}
+
+}  // namespace dfsm::core

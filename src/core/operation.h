@@ -1,0 +1,84 @@
+// operation.h — an operation is a series of pFSMs applied to one object
+// (paper Observation 2 / §4 step 2).
+//
+// "Multiple activities performed on the same object form an operation,
+// which is modeled as a FSM consisting of multiple pFSMs in series."
+// E.g. Sendmail #3163 Operation 1 ("write debug level i to tTvect[x]")
+// chains pFSM1 (get str_x/str_i) and pFSM2 (write i to tTvect[x]).
+//
+// Between consecutive pFSMs the object may be transformed by the accepted
+// activity's Action (str_x -> signed integer x). Callers either supply one
+// concrete Object per pFSM, or a starting Object plus per-stage transforms.
+#ifndef DFSM_CORE_OPERATION_H
+#define DFSM_CORE_OPERATION_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pfsm.h"
+
+namespace dfsm::core {
+
+/// Transforms the object accepted by pFSM k into the object presented to
+/// pFSM k+1 (models the Action on the accept transition, e.g. "convert
+/// str_i and str_x to integer i and x").
+using ObjectTransform = std::function<Object(const Object&)>;
+
+/// Result of evaluating an operation on concrete input(s).
+struct OperationResult {
+  std::string operation_name;
+  std::vector<PfsmOutcome> outcomes;  ///< one per pFSM reached
+
+  /// All pFSMs reached their accept state; the operation's final action
+  /// executed (for an attack input this means the operation was exploited).
+  [[nodiscard]] bool completed() const;
+
+  /// At least one pFSM traversed the hidden IMPL_ACPT path.
+  [[nodiscard]] bool violated() const;
+
+  /// Index of the pFSM that foiled the input (ended in Reject), if any.
+  [[nodiscard]] std::optional<std::size_t> foiled_at() const;
+};
+
+/// A named series of pFSMs on one object.
+///
+/// Invariants: non-empty name; at least one pFSM (checked when evaluated,
+/// so models can be built incrementally).
+class Operation {
+ public:
+  Operation(std::string name, std::string object_description);
+
+  /// Appends a pFSM (and an optional transform feeding the *next* stage).
+  Operation& add(Pfsm pfsm);
+  Operation& add(Pfsm pfsm, ObjectTransform transform_to_next);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& object_description() const noexcept {
+    return object_description_;
+  }
+  [[nodiscard]] const std::vector<Pfsm>& pfsms() const noexcept { return pfsms_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pfsms_.size(); }
+
+  /// Evaluates with one pre-built object per pFSM. Evaluation stops at the
+  /// first pFSM that ends in Reject (the serial-chain property of
+  /// Observation 1: failure at any one elementary activity foils the
+  /// exploit). Throws std::invalid_argument if the number of objects does
+  /// not match the number of pFSMs, or the operation is empty.
+  [[nodiscard]] OperationResult evaluate(const std::vector<Object>& objects) const;
+
+  /// Evaluates by flowing a single starting object through the series,
+  /// applying registered transforms between stages (identity if none).
+  [[nodiscard]] OperationResult flow(const Object& start) const;
+
+ private:
+  std::string name_;
+  std::string object_description_;
+  std::vector<Pfsm> pfsms_;
+  std::vector<std::optional<ObjectTransform>> transforms_;  // parallel to pfsms_
+};
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_OPERATION_H

@@ -1,0 +1,100 @@
+#include "core/pfsm.h"
+
+#include <stdexcept>
+
+namespace dfsm::core {
+
+const char* to_string(PfsmState s) noexcept {
+  switch (s) {
+    case PfsmState::kSpecCheck: return "SPEC_CHECK";
+    case PfsmState::kReject: return "REJECT";
+    case PfsmState::kAccept: return "ACCEPT";
+  }
+  return "?";
+}
+
+const char* to_string(PfsmTransition t) noexcept {
+  switch (t) {
+    case PfsmTransition::kSpecAccept: return "SPEC_ACPT";
+    case PfsmTransition::kSpecReject: return "SPEC_REJ";
+    case PfsmTransition::kImplReject: return "IMPL_REJ";
+    case PfsmTransition::kImplAccept: return "IMPL_ACPT";
+  }
+  return "?";
+}
+
+const char* to_string(PfsmType t) noexcept {
+  switch (t) {
+    case PfsmType::kObjectTypeCheck: return "Object Type Check";
+    case PfsmType::kContentAttributeCheck: return "Content and Attribute Check";
+    case PfsmType::kReferenceConsistencyCheck: return "Reference Consistency Check";
+  }
+  return "?";
+}
+
+const char* to_string(PfsmResult r) noexcept {
+  switch (r) {
+    case PfsmResult::kSecureAccept: return "SECURE_ACCEPT";
+    case PfsmResult::kFoiled: return "FOILED";
+    case PfsmResult::kHiddenAccept: return "HIDDEN_ACCEPT";
+  }
+  return "?";
+}
+
+Pfsm::Pfsm(std::string name, PfsmType type, std::string activity,
+           Predicate spec, Predicate impl, std::string action)
+    : name_(std::move(name)),
+      type_(type),
+      activity_(std::move(activity)),
+      spec_(std::move(spec)),
+      impl_(std::move(impl)),
+      action_(std::move(action)) {
+  if (name_.empty()) throw std::invalid_argument("Pfsm requires a non-empty name");
+}
+
+Pfsm Pfsm::secure(std::string name, PfsmType type, std::string activity,
+                  Predicate spec, std::string action) {
+  Predicate impl = spec;  // implementation enforces exactly the spec
+  Pfsm p{std::move(name), type,      std::move(activity),
+         std::move(spec), std::move(impl), std::move(action)};
+  p.declared_secure_ = true;
+  return p;
+}
+
+Pfsm Pfsm::unchecked(std::string name, PfsmType type, std::string activity,
+                     Predicate spec, std::string action) {
+  return Pfsm{std::move(name),
+              type,
+              std::move(activity),
+              std::move(spec),
+              Predicate::accept_all("-"),  // no IMPL_REJ transition exists
+              std::move(action)};
+}
+
+PfsmOutcome Pfsm::evaluate(const Object& o) const {
+  PfsmOutcome out;
+  out.object_description = o.describe();
+  if (spec_.accepts(o)) {
+    out.path = {PfsmTransition::kSpecAccept};
+    out.final_state = PfsmState::kAccept;
+    out.result = PfsmResult::kSecureAccept;
+    return out;
+  }
+  out.path.push_back(PfsmTransition::kSpecReject);
+  if (impl_.accepts(o)) {
+    out.path.push_back(PfsmTransition::kImplAccept);
+    out.final_state = PfsmState::kAccept;
+    out.result = PfsmResult::kHiddenAccept;
+  } else {
+    out.path.push_back(PfsmTransition::kImplReject);
+    out.final_state = PfsmState::kReject;
+    out.result = PfsmResult::kFoiled;
+  }
+  return out;
+}
+
+bool Pfsm::hidden_path_for(const Object& o) const {
+  return !spec_.accepts(o) && impl_.accepts(o);
+}
+
+}  // namespace dfsm::core

@@ -1,0 +1,166 @@
+// pfsm.h — the primitive FSM of the paper (Figure 2) and its three generic
+// types (Figure 8).
+//
+// A pFSM has three states and four transitions:
+//
+//                 SPEC_REJ                IMPL_REJ (expected behaviour)
+//   [SPEC check] ----------> [Reject] --------------> (exploit foiled)
+//        |                      |
+//        | SPEC_ACPT            | IMPL_ACPT  (dotted "hidden path" —
+//        v                      v             THE vulnerability)
+//     [Accept] <----------------+
+//
+// The SPEC_ACPT / SPEC_REJ pair depicts the *specification* predicate for
+// accepting / rejecting objects. IMPL_REJ is the condition under which the
+// implementation rejects what should be rejected — the correct behaviour.
+// IMPL_ACPT is the hidden path: an object the specification rejects is
+// nevertheless accepted by the implementation.
+//
+// A pFSM is *vulnerable* when its hidden path is non-empty, i.e. there
+// exists an object with !spec(o) && impl(o). Evaluating a concrete object
+// walks the machine and reports which transitions fired.
+#ifndef DFSM_CORE_PFSM_H
+#define DFSM_CORE_PFSM_H
+
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+#include "core/value.h"
+
+namespace dfsm::core {
+
+/// The three states of Figure 2.
+enum class PfsmState {
+  kSpecCheck,  ///< object is being checked against the specification
+  kReject,     ///< the specification rejects the object
+  kAccept,     ///< the object is considered secure / the activity proceeds
+};
+
+[[nodiscard]] const char* to_string(PfsmState s) noexcept;
+
+/// The four transitions of Figure 2.
+enum class PfsmTransition {
+  kSpecAccept,  ///< SPEC_ACPT: specification accepts the object
+  kSpecReject,  ///< SPEC_REJ: specification rejects the object
+  kImplReject,  ///< IMPL_REJ: implementation also rejects — exploit foiled
+  kImplAccept,  ///< IMPL_ACPT: hidden path — implementation accepts anyway
+};
+
+[[nodiscard]] const char* to_string(PfsmTransition t) noexcept;
+
+/// The three generic pFSM types of Figure 8 / Table 2.
+enum class PfsmType {
+  /// Verify the input object is of the type the operation is defined on
+  /// (e.g. "does the input represent a long integer?", "is the target file
+  /// a terminal?").
+  kObjectTypeCheck,
+  /// Verify the content and attributes of the object meet the security
+  /// guarantee (e.g. "is the integer in [0,100]?", "contentLen >= 0?",
+  /// "does the filename contain ../?").
+  kContentAttributeCheck,
+  /// Verify the binding between an object and its reference is preserved
+  /// between check time and use time (e.g. "is the GOT entry of setuid()
+  /// unchanged?", "are free-chunk links unchanged?", "is the return
+  /// address unchanged?").
+  kReferenceConsistencyCheck,
+};
+
+[[nodiscard]] const char* to_string(PfsmType t) noexcept;
+
+/// How an evaluated object left the machine.
+enum class PfsmResult {
+  kSecureAccept,  ///< SPEC_ACPT: benign object, accepted
+  kFoiled,        ///< SPEC_REJ then IMPL_REJ: attack stopped here
+  kHiddenAccept,  ///< SPEC_REJ then IMPL_ACPT: vulnerability exercised
+};
+
+[[nodiscard]] const char* to_string(PfsmResult r) noexcept;
+
+/// Result of walking one object through one pFSM.
+struct PfsmOutcome {
+  PfsmResult result = PfsmResult::kSecureAccept;
+  PfsmState final_state = PfsmState::kAccept;
+  std::vector<PfsmTransition> path;  ///< transitions taken, in order
+  std::string object_description;   ///< Object::describe() snapshot
+
+  /// The object ended in the accept state (via either SPEC_ACPT or the
+  /// hidden path) and the modeled activity therefore proceeds.
+  [[nodiscard]] bool accepted() const noexcept {
+    return final_state == PfsmState::kAccept;
+  }
+  /// The hidden IMPL_ACPT transition fired — a predicate violation.
+  [[nodiscard]] bool hidden_path_taken() const noexcept {
+    return result == PfsmResult::kHiddenAccept;
+  }
+};
+
+/// The primitive finite state machine: one elementary activity, one
+/// predicate, checked against specification then implementation.
+///
+/// Invariants: non-empty name; predicates callable (guaranteed by
+/// Predicate).
+class Pfsm {
+ public:
+  /// @param name       short identifier, e.g. "pFSM2"
+  /// @param type       Figure 8 classification
+  /// @param activity   the elementary activity modeled, e.g.
+  ///                   "write i to tTvect[x]"
+  /// @param spec       the specification predicate (what *should* be
+  ///                   accepted)
+  /// @param impl       the implementation predicate (what the code
+  ///                   *actually* accepts)
+  /// @param action     the Action half of the Condition♦Action accept
+  ///                   label, e.g. "tTvect[x] = i"
+  Pfsm(std::string name, PfsmType type, std::string activity, Predicate spec,
+       Predicate impl, std::string action = "");
+
+  /// Convenience: a correctly-implemented pFSM (impl == spec), i.e. the
+  /// IMPL_ACPT hidden path is empty by construction.
+  [[nodiscard]] static Pfsm secure(std::string name, PfsmType type,
+                                   std::string activity, Predicate spec,
+                                   std::string action = "");
+
+  /// Convenience: an implementation that performs *no* check at all
+  /// (impl = accept-all). This is the dominant pattern in the data: the
+  /// IMPL_REJ transition is simply absent (marked "?" in the paper's
+  /// figures).
+  [[nodiscard]] static Pfsm unchecked(std::string name, PfsmType type,
+                                      std::string activity, Predicate spec,
+                                      std::string action = "");
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] PfsmType type() const noexcept { return type_; }
+  [[nodiscard]] const std::string& activity() const noexcept { return activity_; }
+  [[nodiscard]] const Predicate& spec() const noexcept { return spec_; }
+  [[nodiscard]] const Predicate& impl() const noexcept { return impl_; }
+  [[nodiscard]] const std::string& action() const noexcept { return action_; }
+
+  /// Walks the object through the machine (Figure 2 semantics):
+  ///  - spec accepts           -> SPEC_ACPT -> Accept        (kSecureAccept)
+  ///  - spec rejects, impl too -> SPEC_REJ, IMPL_REJ -> Reject (kFoiled)
+  ///  - spec rejects, impl not -> SPEC_REJ, IMPL_ACPT -> Accept
+  ///                                                   (kHiddenAccept)
+  [[nodiscard]] PfsmOutcome evaluate(const Object& o) const;
+
+  /// True iff this concrete object would traverse the hidden path.
+  [[nodiscard]] bool hidden_path_for(const Object& o) const;
+
+  /// True iff impl == spec was declared via secure(); a structural claim,
+  /// not a semantic proof (use analysis::HiddenPathDetector for evidence
+  /// over a domain).
+  [[nodiscard]] bool declared_secure() const noexcept { return declared_secure_; }
+
+ private:
+  std::string name_;
+  PfsmType type_;
+  std::string activity_;
+  Predicate spec_;
+  Predicate impl_;
+  std::string action_;
+  bool declared_secure_ = false;
+};
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_PFSM_H

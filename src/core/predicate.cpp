@@ -1,0 +1,33 @@
+#include "core/predicate.h"
+
+namespace dfsm::core {
+
+Predicate Predicate::accept_all(std::string description) {
+  return Predicate{std::move(description), [](const Object&) { return true; }};
+}
+
+Predicate Predicate::reject_all(std::string description) {
+  return Predicate{std::move(description), [](const Object&) { return false; }};
+}
+
+Predicate Predicate::operator&&(const Predicate& rhs) const {
+  auto lf = fn_;
+  auto rf = rhs.fn_;
+  return Predicate{"(" + description_ + " && " + rhs.description_ + ")",
+                   [lf, rf](const Object& o) { return lf(o) && rf(o); }};
+}
+
+Predicate Predicate::operator||(const Predicate& rhs) const {
+  auto lf = fn_;
+  auto rf = rhs.fn_;
+  return Predicate{"(" + description_ + " || " + rhs.description_ + ")",
+                   [lf, rf](const Object& o) { return lf(o) || rf(o); }};
+}
+
+Predicate Predicate::operator!() const {
+  auto f = fn_;
+  return Predicate{"!(" + description_ + ")",
+                   [f](const Object& o) { return !f(o); }};
+}
+
+}  // namespace dfsm::core

@@ -1,0 +1,79 @@
+// predicate.h — named security predicates, evaluated first against the
+// *specification* and then against the *implementation* (paper §4,
+// Observation 3).
+//
+// The paper derives, for each elementary activity, a predicate which — if
+// violated — results in a security vulnerability. A pFSM carries two
+// predicates over the same object: what the specification demands
+// (`spec`), and what the implementation actually enforces (`impl`). The
+// vulnerability is precisely the set of objects on which they disagree
+// with impl more permissive: { o : !spec(o) && impl(o) } — the "hidden
+// path" of Figure 2.
+#ifndef DFSM_CORE_PREDICATE_H
+#define DFSM_CORE_PREDICATE_H
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "core/value.h"
+
+namespace dfsm::core {
+
+/// Verdict of evaluating a predicate on one object.
+enum class Verdict {
+  kAccept,  ///< the predicate holds: the object is considered secure
+  kReject,  ///< the predicate fails: the object must be rejected
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  return v == Verdict::kAccept ? "ACCEPT" : "REJECT";
+}
+
+/// A named boolean predicate over objects.
+///
+/// Invariant: `fn` is callable (checked at construction). The description
+/// is what appears on FSM transition labels, so keep it in the paper's
+/// Condition♦Action style (e.g. "0 <= x <= 100").
+class Predicate {
+ public:
+  using Fn = std::function<bool(const Object&)>;
+
+  Predicate(std::string description, Fn fn)
+      : description_(std::move(description)), fn_(std::move(fn)) {
+    if (!fn_) throw std::invalid_argument("Predicate requires a callable");
+  }
+
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+  /// Evaluates the predicate; true means "accept the object".
+  [[nodiscard]] bool accepts(const Object& o) const { return fn_(o); }
+
+  [[nodiscard]] Verdict verdict(const Object& o) const {
+    return accepts(o) ? Verdict::kAccept : Verdict::kReject;
+  }
+
+  /// A predicate that accepts every object. This models the common failure
+  /// mode in the data: the implementation performs *no* check at all (e.g.
+  /// Sendmail never validates str_x; rwalld never checks the file type).
+  [[nodiscard]] static Predicate accept_all(std::string description = "-");
+
+  /// A predicate that rejects every object.
+  [[nodiscard]] static Predicate reject_all(std::string description = "reject all");
+
+  /// Conjunction/disjunction/negation combinators. Descriptions compose
+  /// as "(a && b)" etc. so rendered models stay readable.
+  [[nodiscard]] Predicate operator&&(const Predicate& rhs) const;
+  [[nodiscard]] Predicate operator||(const Predicate& rhs) const;
+  [[nodiscard]] Predicate operator!() const;
+
+ private:
+  std::string description_;
+  Fn fn_;
+};
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_PREDICATE_H

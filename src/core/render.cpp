@@ -1,0 +1,125 @@
+#include "core/render.h"
+
+#include <sstream>
+
+namespace dfsm::core {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const FsmModel& model) {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(model.name()) << "\" {\n";
+  os << "  rankdir=TB;\n  node [fontname=\"Helvetica\", fontsize=10];\n";
+  os << "  label=\"" << dot_escape(model.name()) << "\";\n";
+
+  const auto& ops = model.chain().operations();
+  const auto& gates = model.chain().gates();
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const auto& op = ops[oi];
+    os << "  subgraph cluster_op" << oi << " {\n";
+    os << "    label=\"" << dot_escape(op.name()) << "\";\n    style=rounded;\n";
+    for (std::size_t pi = 0; pi < op.pfsms().size(); ++pi) {
+      const auto& p = op.pfsms()[pi];
+      const std::string id = "o" + std::to_string(oi) + "p" + std::to_string(pi);
+      os << "    " << id << "_chk [shape=circle, label=\"SPEC\\ncheck\"];\n";
+      os << "    " << id << "_rej [shape=doublecircle, label=\"Reject\"];\n";
+      os << "    " << id << "_acc [shape=circle, style=filled, fillcolor=gray90, "
+         << "label=\"Accept\"];\n";
+      os << "    " << id << "_chk -> " << id << "_acc [label=\""
+         << dot_escape(p.spec().description()) << " &#9830; "
+         << dot_escape(p.action()) << "\"];\n";
+      os << "    " << id << "_chk -> " << id << "_rej [label=\"!("
+         << dot_escape(p.spec().description()) << ") &#9830; -\"];\n";
+      if (p.declared_secure()) {
+        os << "    " << id << "_rej -> " << id << "_rej [label=\"IMPL_REJ\"];\n";
+      } else {
+        os << "    " << id << "_rej -> " << id << "_rej [label=\"? (no IMPL_REJ)\", "
+           << "color=gray, fontcolor=gray];\n";
+        os << "    " << id << "_rej -> " << id
+           << "_acc [style=dashed, color=red, fontcolor=red, "
+           << "label=\"IMPL_ACPT (hidden)\"];\n";
+      }
+      if (pi + 1 < op.pfsms().size()) {
+        const std::string next = "o" + std::to_string(oi) + "p" + std::to_string(pi + 1);
+        os << "    " << id << "_acc -> " << next << "_chk [label=\""
+           << dot_escape(p.name()) << " -> " << dot_escape(op.pfsms()[pi + 1].name())
+           << "\"];\n";
+      }
+    }
+    os << "  }\n";
+    // The propagation gate after this operation.
+    os << "  gate" << oi << " [shape=triangle, label=\"" << dot_escape(gates[oi].condition)
+       << "\"];\n";
+    const std::string last = "o" + std::to_string(oi) + "p" +
+                             std::to_string(op.pfsms().size() - 1);
+    os << "  " << last << "_acc -> gate" << oi << ";\n";
+    if (oi + 1 < ops.size()) {
+      os << "  gate" << oi << " -> o" << (oi + 1) << "p0_chk;\n";
+    }
+  }
+  os << "  consequence [shape=box, style=bold, label=\""
+     << dot_escape(model.consequence()) << "\"];\n";
+  if (!ops.empty()) {
+    os << "  gate" << (ops.size() - 1) << " -> consequence;\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_ascii(const Pfsm& pfsm) {
+  std::ostringstream os;
+  os << pfsm.name() << " [" << to_string(pfsm.type()) << "]  activity: "
+     << pfsm.activity() << '\n';
+  os << "  SPEC_ACPT : " << pfsm.spec().description();
+  if (!pfsm.action().empty()) os << " <> " << pfsm.action();
+  os << '\n';
+  os << "  SPEC_REJ  : !(" << pfsm.spec().description() << ")\n";
+  if (pfsm.declared_secure()) {
+    os << "  IMPL_REJ  : present (implementation matches specification)\n";
+  } else {
+    os << "  IMPL_REJ  : ?   (missing)\n";
+    os << "  IMPL_ACPT : " << pfsm.impl().description()
+       << "   <-- hidden path (vulnerability)\n";
+  }
+  return os.str();
+}
+
+std::string to_ascii(const FsmModel& model) {
+  std::ostringstream os;
+  os << "Model: " << model.name() << '\n';
+  if (!model.bugtraq_ids().empty()) {
+    os << "  Bugtraq:";
+    for (int id : model.bugtraq_ids()) os << " #" << id;
+    os << '\n';
+  }
+  os << "  Class: " << model.vulnerability_class() << "   Software: "
+     << model.software() << '\n';
+  const auto& ops = model.chain().operations();
+  const auto& gates = model.chain().gates();
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    os << "  Operation " << (oi + 1) << ": " << ops[oi].name() << "  (object: "
+       << ops[oi].object_description() << ")\n";
+    for (const auto& p : ops[oi].pfsms()) {
+      std::istringstream lines{to_ascii(p)};
+      std::string line;
+      while (std::getline(lines, line)) os << "    " << line << '\n';
+    }
+    os << "    --gate--> " << gates[oi].condition << '\n';
+  }
+  os << "  Consequence: " << model.consequence() << '\n';
+  return os.str();
+}
+
+}  // namespace dfsm::core

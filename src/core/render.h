@@ -1,0 +1,32 @@
+// render.h — renders FsmModels the way the paper draws them: Graphviz DOT
+// for figures, and a compact ASCII form for terminals and logs.
+//
+// Both renderings preserve the paper's visual conventions:
+//  * transitions carry Condition♦Action labels (we print the lozenge as
+//    " <> " in ASCII and "&#9830;" in DOT),
+//  * the IMPL_ACPT hidden path is dashed/dotted,
+//  * an absent IMPL_REJ check is marked "?",
+//  * propagation gates appear as triangles between operations.
+#ifndef DFSM_CORE_RENDER_H
+#define DFSM_CORE_RENDER_H
+
+#include <string>
+
+#include "core/model.h"
+
+namespace dfsm::core {
+
+/// Graphviz DOT source for the full model (one cluster per operation,
+/// triangle nodes for propagation gates, dashed red edges for hidden
+/// paths). Paste into `dot -Tsvg` to regenerate a Figure-3-style diagram.
+[[nodiscard]] std::string to_dot(const FsmModel& model);
+
+/// Multi-line ASCII rendering (used by examples and bench preambles).
+[[nodiscard]] std::string to_ascii(const FsmModel& model);
+
+/// One-pFSM ASCII rendering (Figure 2 shape).
+[[nodiscard]] std::string to_ascii(const Pfsm& pfsm);
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_RENDER_H

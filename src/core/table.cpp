@@ -1,0 +1,69 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dfsm::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable requires at least one column");
+  }
+}
+
+TextTable& TextTable::title(std::string t) {
+  title_ = std::move(t);
+  return *this;
+}
+
+TextTable& TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable row has " + std::to_string(cells.size()) +
+                                " cells; expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << " | ";
+      os << row[c];
+      if (c + 1 < row.size()) os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(title_.size(), '=') << '\n';
+  }
+  emit_row(os, headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string pct(double numerator, double denominator, int decimals) {
+  if (denominator == 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals,
+                100.0 * numerator / denominator);
+  return buf;
+}
+
+}  // namespace dfsm::core

@@ -1,0 +1,48 @@
+// table.h — a fixed-width text-table renderer shared by the benchmark
+// harness, the examples, and EXPERIMENTS.md generation. Produces the
+// rows/series the paper reports in a terminal-friendly layout.
+#ifndef DFSM_CORE_TABLE_H
+#define DFSM_CORE_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dfsm::core {
+
+/// A simple left-aligned text table with a header row, column separators
+/// and an optional title.
+///
+/// Invariant: every row added must have exactly as many cells as the
+/// header (checked; throws std::invalid_argument).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  TextTable& title(std::string t);
+  TextTable& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders with box-drawing separators, e.g.
+  ///   Title
+  ///   ------
+  ///   Col A | Col B
+  ///   ------+------
+  ///   x     | y
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a ratio as a percentage with the given precision, e.g.
+/// pct(1363, 5925) == "23.0%".
+[[nodiscard]] std::string pct(double numerator, double denominator,
+                              int decimals = 1);
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_TABLE_H

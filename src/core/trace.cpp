@@ -1,0 +1,56 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+namespace dfsm::core {
+
+void Trace::record(std::string operation, std::string pfsm, std::string kind,
+                   std::string detail) {
+  TraceEvent e;
+  e.seq = events_.size();
+  e.operation = std::move(operation);
+  e.pfsm = std::move(pfsm);
+  e.kind = std::move(kind);
+  e.detail = std::move(detail);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Trace::count_kind(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << '[' << e.seq << "] ";
+    if (!e.operation.empty()) os << e.operation << " / ";
+    if (!e.pfsm.empty()) os << e.pfsm << " : ";
+    os << e.kind;
+    if (!e.detail.empty()) os << "  " << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Trace::append(const ChainResult& result) {
+  for (std::size_t oi = 0; oi < result.operations.size(); ++oi) {
+    const auto& op = result.operations[oi];
+    for (const auto& outcome : op.outcomes) {
+      for (auto t : outcome.path) {
+        record(op.operation_name, "", to_string(t), outcome.object_description);
+      }
+    }
+    if (result.foiled_at_operation && *result.foiled_at_operation == oi) {
+      record(op.operation_name, "", "FOILED", "exploit stopped; gate does not fire");
+    }
+  }
+  if (result.exploited()) {
+    record(result.chain_name, "", "EXPLOITED", "all gates fired");
+  }
+}
+
+}  // namespace dfsm::core

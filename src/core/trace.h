@@ -1,0 +1,56 @@
+// trace.h — ordered event records of FSM walks and sandbox activity.
+//
+// Traces serve two consumers: (1) rendering a concrete exploit walk the way
+// the paper narrates them ("pFSM1 takes IMPL_ACPT, str_x arrives at the
+// accept state..."), and (2) the runtime monitor, which correlates sandbox
+// activity events with pFSM evaluations to flag predicate violations at
+// elementary-activity granularity.
+#ifndef DFSM_CORE_TRACE_H
+#define DFSM_CORE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chain.h"
+
+namespace dfsm::core {
+
+/// One step of a trace.
+struct TraceEvent {
+  std::uint64_t seq = 0;           ///< monotonically increasing index
+  std::string operation;           ///< owning operation name ("" if n/a)
+  std::string pfsm;                ///< pFSM name ("" for sandbox events)
+  std::string kind;                ///< "SPEC_ACPT", "IMPL_ACPT", "mem.write", ...
+  std::string detail;              ///< object description or event payload
+};
+
+/// An append-only event log.
+class Trace {
+ public:
+  void record(std::string operation, std::string pfsm, std::string kind,
+              std::string detail);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Number of events whose kind matches exactly.
+  [[nodiscard]] std::size_t count_kind(const std::string& kind) const;
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Appends the full walk of a ChainResult (one event per transition).
+  void append(const ChainResult& result);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_TRACE_H

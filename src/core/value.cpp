@@ -1,0 +1,128 @@
+#include "core/value.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dfsm::core {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\x%02x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "<none>"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(std::uint64_t u) const {
+      std::ostringstream os;
+      os << "0x" << std::hex << u;
+      return os.str();
+    }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return quote(s); }
+    std::string operator()(const Bytes& b) const {
+      return "bytes[" + std::to_string(b.size()) + "]";
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool value_equal(const Value& a, const Value& b) { return a == b; }
+
+Object::Object(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("Object requires a non-empty name");
+}
+
+Object::Object(std::string name, Value value)
+    : name_(std::move(name)), value_(std::move(value)) {
+  if (name_.empty()) throw std::invalid_argument("Object requires a non-empty name");
+}
+
+Object& Object::with(const std::string& key, Value v) {
+  if (key.empty()) throw std::invalid_argument("attribute key must be non-empty");
+  attrs_[key] = std::move(v);
+  return *this;
+}
+
+std::optional<Value> Object::attr(const std::string& key) const {
+  auto it = attrs_.find(key);
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Object::has_attr(const std::string& key) const {
+  return attrs_.count(key) != 0;
+}
+
+namespace {
+template <typename T>
+std::optional<T> get_alt(const std::optional<Value>& v) {
+  if (!v) return std::nullopt;
+  if (const T* p = std::get_if<T>(&*v)) return *p;
+  return std::nullopt;
+}
+template <typename T>
+std::optional<T> get_alt(const Value& v) {
+  if (const T* p = std::get_if<T>(&v)) return *p;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<std::int64_t> Object::attr_int(const std::string& key) const {
+  return get_alt<std::int64_t>(attr(key));
+}
+std::optional<std::uint64_t> Object::attr_uint(const std::string& key) const {
+  return get_alt<std::uint64_t>(attr(key));
+}
+std::optional<bool> Object::attr_bool(const std::string& key) const {
+  return get_alt<bool>(attr(key));
+}
+std::optional<std::string> Object::attr_string(const std::string& key) const {
+  return get_alt<std::string>(attr(key));
+}
+
+std::optional<std::int64_t> Object::as_int() const { return get_alt<std::int64_t>(value_); }
+std::optional<std::uint64_t> Object::as_uint() const { return get_alt<std::uint64_t>(value_); }
+std::optional<std::string> Object::as_string() const { return get_alt<std::string>(value_); }
+std::optional<bool> Object::as_bool() const { return get_alt<bool>(value_); }
+
+std::string Object::describe() const {
+  std::ostringstream os;
+  os << name_ << '=' << to_string(value_);
+  if (!attrs_.empty()) {
+    os << " {";
+    bool first = true;
+    for (const auto& [k, v] : attrs_) {
+      if (!first) os << ", ";
+      first = false;
+      os << k << '=' << to_string(v);
+    }
+    os << '}';
+  }
+  return os.str();
+}
+
+}  // namespace dfsm::core

@@ -1,0 +1,97 @@
+// value.h — variant-typed values and attributed objects that flow through
+// pFSMs.
+//
+// The paper's pFSM (Figure 2) expresses "a predicate for accepting an input
+// object". Objects in the studied vulnerabilities are heterogeneous: text
+// strings (str_x, str_i in Sendmail #3163), signed integers (the array index
+// x), memory addresses (addr_setuid, addr_free), filenames (xterm, rwall,
+// IIS) and raw byte buffers (HTTP POST bodies). `Value` is a small closed
+// variant over those shapes; `Object` attaches a name plus a free-form
+// attribute map so predicates can inspect derived facts (e.g. the *length*
+// of an input, or whether a GOT entry is *unchanged* since load).
+#ifndef DFSM_CORE_VALUE_H
+#define DFSM_CORE_VALUE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dfsm::core {
+
+/// Raw byte buffer (e.g. an HTTP POST body or a crafted heap payload).
+using Bytes = std::vector<std::uint8_t>;
+
+/// A closed variant over the value shapes observed in the studied
+/// vulnerability reports. `std::monostate` denotes "no value" (an object
+/// that exists only as a named entity, e.g. "the GOT entry of setuid()").
+using Value = std::variant<std::monostate, bool, std::int64_t, std::uint64_t,
+                           double, std::string, Bytes>;
+
+/// Human-readable rendering of a Value ("<none>", "true", "42", "0x2a",
+/// quoted strings, "bytes[12]").
+[[nodiscard]] std::string to_string(const Value& v);
+
+/// True if two values are of the same alternative and compare equal.
+[[nodiscard]] bool value_equal(const Value& a, const Value& b);
+
+/// An attributed, named object — the thing a pFSM accepts or rejects.
+///
+/// Invariant: `name` is non-empty (enforced by the constructors); attribute
+/// keys are non-empty.
+class Object {
+ public:
+  /// Creates an object with no payload value (named entity only).
+  explicit Object(std::string name);
+
+  /// Creates an object carrying a payload value.
+  Object(std::string name, Value value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Value& value() const noexcept { return value_; }
+
+  void set_value(Value v) { value_ = std::move(v); }
+
+  /// Sets (or replaces) a named attribute. Returns *this for chaining, so
+  /// models read naturally:
+  ///   Object{"input"}.with("length", std::int64_t{1400})
+  Object& with(const std::string& key, Value v);
+
+  /// Attribute lookup; std::nullopt when absent.
+  [[nodiscard]] std::optional<Value> attr(const std::string& key) const;
+
+  /// True when the attribute exists.
+  [[nodiscard]] bool has_attr(const std::string& key) const;
+
+  /// Typed attribute accessors. They return std::nullopt when the attribute
+  /// is absent *or* holds a different alternative — predicates treat a
+  /// missing fact as "cannot establish", never as a crash.
+  [[nodiscard]] std::optional<std::int64_t> attr_int(const std::string& key) const;
+  [[nodiscard]] std::optional<std::uint64_t> attr_uint(const std::string& key) const;
+  [[nodiscard]] std::optional<bool> attr_bool(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> attr_string(const std::string& key) const;
+
+  /// Typed payload accessors with the same missing/mismatch semantics.
+  [[nodiscard]] std::optional<std::int64_t> as_int() const;
+  [[nodiscard]] std::optional<std::uint64_t> as_uint() const;
+  [[nodiscard]] std::optional<std::string> as_string() const;
+  [[nodiscard]] std::optional<bool> as_bool() const;
+
+  [[nodiscard]] const std::map<std::string, Value>& attrs() const noexcept {
+    return attrs_;
+  }
+
+  /// "name=value {k1=v1, k2=v2}" — used in traces and witness reports.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::string name_;
+  Value value_;
+  std::map<std::string, Value> attrs_;
+};
+
+}  // namespace dfsm::core
+
+#endif  // DFSM_CORE_VALUE_H

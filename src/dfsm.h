@@ -1,0 +1,75 @@
+// dfsm.h — umbrella header: the whole library in one include.
+//
+//   #include "dfsm.h"
+//
+// Layering (each group only depends on the ones above it):
+//   core     — the paper's contribution: pFSM, Operation, ExploitChain,
+//              FsmModel, traces, rendering
+//   memsim / libcsim / netsim / fssim — the sandboxed substrate
+//   bugtraq  — the vulnerability database and its statistics
+//   apps     — the seven case-study replicas
+//   analysis — hidden paths, the Lemma sweep, discovery, monitoring, and
+//              the §7/§2 extension layers
+#ifndef DFSM_DFSM_H
+#define DFSM_DFSM_H
+
+#include "core/chain.h"
+#include "core/model.h"
+#include "core/operation.h"
+#include "core/pfsm.h"
+#include "core/predicate.h"
+#include "core/render.h"
+#include "core/table.h"
+#include "core/trace.h"
+#include "core/value.h"
+
+#include "memsim/address_space.h"
+#include "memsim/cpu.h"
+#include "memsim/got.h"
+#include "memsim/heap.h"
+#include "memsim/snapshot.h"
+#include "memsim/stack.h"
+
+#include "libcsim/cstring.h"
+#include "libcsim/format.h"
+#include "libcsim/io.h"
+
+#include "netsim/bytestream.h"
+#include "netsim/decode.h"
+#include "netsim/http.h"
+
+#include "fssim/filesystem.h"
+#include "fssim/race.h"
+
+#include "bugtraq/category.h"
+#include "bugtraq/classifier.h"
+#include "bugtraq/corpus.h"
+#include "bugtraq/curated.h"
+#include "bugtraq/database.h"
+#include "bugtraq/record.h"
+#include "bugtraq/stats.h"
+
+#include "apps/case_study.h"
+#include "apps/ghttpd.h"
+#include "apps/iis.h"
+#include "apps/models.h"
+#include "apps/nullhttpd.h"
+#include "apps/rpcstatd.h"
+#include "apps/rwall.h"
+#include "apps/sandbox.h"
+#include "apps/sendmail.h"
+#include "apps/xterm.h"
+
+#include "analysis/anomaly.h"
+#include "analysis/attack_graph.h"
+#include "analysis/autotool.h"
+#include "analysis/chain_analyzer.h"
+#include "analysis/defense_matrix.h"
+#include "analysis/discovery.h"
+#include "analysis/hidden_path.h"
+#include "analysis/metf.h"
+#include "analysis/monitor.h"
+#include "analysis/predicates.h"
+#include "analysis/report.h"
+
+#endif  // DFSM_DFSM_H

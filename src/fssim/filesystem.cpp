@@ -1,0 +1,336 @@
+#include "fssim/filesystem.h"
+
+namespace dfsm::fssim {
+
+namespace {
+constexpr int kMaxSymlinkHops = 8;
+}
+
+const char* to_string(NodeType t) noexcept {
+  switch (t) {
+    case NodeType::kFile: return "file";
+    case NodeType::kDirectory: return "directory";
+    case NodeType::kSymlink: return "symlink";
+    case NodeType::kTerminal: return "terminal";
+  }
+  return "?";
+}
+
+const char* to_string(FsError e) noexcept {
+  switch (e) {
+    case FsError::kOk: return "OK";
+    case FsError::kNoEnt: return "ENOENT";
+    case FsError::kAccess: return "EACCES";
+    case FsError::kExist: return "EEXIST";
+    case FsError::kNotDir: return "ENOTDIR";
+    case FsError::kIsDir: return "EISDIR";
+    case FsError::kLoop: return "ELOOP";
+    case FsError::kBadHandle: return "EBADF";
+  }
+  return "?";
+}
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+FileSystem::FileSystem() {
+  Inode root;
+  root.type = NodeType::kDirectory;
+  root.owner = "root";
+  root.mode = Mode::dir_default();
+  inodes_.push_back(std::move(root));
+}
+
+bool FileSystem::permitted(const Cred& cred, const Inode& n, Access want) const {
+  if (cred.is_root) return true;
+  const bool is_owner = (cred.user == n.owner);
+  switch (want) {
+    case Access::kRead: return is_owner ? n.mode.owner_r : n.mode.other_r;
+    case Access::kWrite: return is_owner ? n.mode.owner_w : n.mode.other_w;
+    case Access::kExec: return is_owner ? n.mode.owner_x : n.mode.other_x;
+  }
+  return false;
+}
+
+FsResult<int> FileSystem::resolve(const std::string& path, bool follow_last,
+                                  int hops) const {
+  if (hops > kMaxSymlinkHops) return {0, FsError::kLoop};
+  const auto parts = split_path(path);
+  int cur = 0;  // root
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Inode& dir = inodes_[static_cast<std::size_t>(cur)];
+    if (dir.type != NodeType::kDirectory) return {0, FsError::kNotDir};
+    auto it = dir.children.find(parts[i]);
+    if (it == dir.children.end() ||
+        !inodes_[static_cast<std::size_t>(it->second)].alive) {
+      return {0, FsError::kNoEnt};
+    }
+    int child = it->second;
+    const Inode& node = inodes_[static_cast<std::size_t>(child)];
+    const bool is_last = (i + 1 == parts.size());
+    if (node.type == NodeType::kSymlink && (!is_last || follow_last)) {
+      // Resolve the (absolute) target, then continue with the remainder.
+      auto res = resolve(node.symlink_target, /*follow_last=*/true, hops + 1);
+      if (!res.ok()) return res;
+      child = res.value;
+      if (!is_last &&
+          inodes_[static_cast<std::size_t>(child)].type != NodeType::kDirectory) {
+        return {0, FsError::kNotDir};
+      }
+    }
+    cur = child;
+  }
+  return {cur, FsError::kOk};
+}
+
+FsResult<std::pair<int, std::string>> FileSystem::parent_of(
+    const std::string& path) const {
+  auto parts = split_path(path);
+  if (parts.empty()) return {{0, ""}, FsError::kIsDir};
+  const std::string leaf = parts.back();
+  parts.pop_back();
+  std::string parent_path = "/";
+  for (const auto& p : parts) parent_path += p + "/";
+  auto res = resolve(parent_path, /*follow_last=*/true);
+  if (!res.ok()) return {{0, ""}, res.error};
+  if (inodes_[static_cast<std::size_t>(res.value)].type != NodeType::kDirectory) {
+    return {{0, ""}, FsError::kNotDir};
+  }
+  return {{res.value, leaf}, FsError::kOk};
+}
+
+FsResult<int> FileSystem::mkdir(const Cred& cred, const std::string& path, Mode mode) {
+  auto pr = parent_of(path);
+  if (!pr.ok()) return {0, pr.error};
+  auto& [parent, leaf] = pr.value;
+  Inode& dir = inodes_[static_cast<std::size_t>(parent)];
+  if (!permitted(cred, dir, Access::kWrite)) return {0, FsError::kAccess};
+  auto it = dir.children.find(leaf);
+  if (it != dir.children.end() &&
+      inodes_[static_cast<std::size_t>(it->second)].alive) {
+    return {0, FsError::kExist};
+  }
+  Inode n;
+  n.type = NodeType::kDirectory;
+  n.owner = cred.user;
+  n.mode = mode;
+  inodes_.push_back(std::move(n));
+  const int id = static_cast<int>(inodes_.size() - 1);
+  inodes_[static_cast<std::size_t>(parent)].children[leaf] = id;
+  return {id, FsError::kOk};
+}
+
+FsResult<int> FileSystem::create(const Cred& cred, const std::string& path,
+                                 Mode mode, NodeType type) {
+  auto pr = parent_of(path);
+  if (!pr.ok()) return {0, pr.error};
+  auto& [parent, leaf] = pr.value;
+  Inode& dir = inodes_[static_cast<std::size_t>(parent)];
+  if (!permitted(cred, dir, Access::kWrite)) return {0, FsError::kAccess};
+  auto it = dir.children.find(leaf);
+  if (it != dir.children.end() &&
+      inodes_[static_cast<std::size_t>(it->second)].alive) {
+    return {0, FsError::kExist};
+  }
+  Inode n;
+  n.type = type;
+  n.owner = cred.user;
+  n.mode = mode;
+  inodes_.push_back(std::move(n));
+  const int id = static_cast<int>(inodes_.size() - 1);
+  inodes_[static_cast<std::size_t>(parent)].children[leaf] = id;
+  return {id, FsError::kOk};
+}
+
+FsResult<int> FileSystem::symlink(const Cred& cred, const std::string& target,
+                                  const std::string& linkpath) {
+  // Targets are resolved as absolute paths; reject relative ones rather
+  // than silently resolving them from the root.
+  if (target.empty() || target.front() != '/') return {0, FsError::kNoEnt};
+  auto res = create(cred, linkpath, Mode::dir_open(), NodeType::kSymlink);
+  if (!res.ok()) return res;
+  inodes_[static_cast<std::size_t>(res.value)].symlink_target = target;
+  return res;
+}
+
+FsResult<bool> FileSystem::unlink(const Cred& cred, const std::string& path) {
+  auto pr = parent_of(path);
+  if (!pr.ok()) return {false, pr.error};
+  auto& [parent, leaf] = pr.value;
+  Inode& dir = inodes_[static_cast<std::size_t>(parent)];
+  if (!permitted(cred, dir, Access::kWrite)) return {false, FsError::kAccess};
+  auto it = dir.children.find(leaf);
+  if (it == dir.children.end() ||
+      !inodes_[static_cast<std::size_t>(it->second)].alive) {
+    return {false, FsError::kNoEnt};
+  }
+  Inode& victim = inodes_[static_cast<std::size_t>(it->second)];
+  if (victim.type == NodeType::kDirectory) return {false, FsError::kIsDir};
+  victim.alive = false;
+  dir.children.erase(it);
+  return {true, FsError::kOk};
+}
+
+FsResult<bool> FileSystem::rename(const Cred& cred, const std::string& from,
+                                  const std::string& to) {
+  auto fp = parent_of(from);
+  if (!fp.ok()) return {false, fp.error};
+  auto tp = parent_of(to);
+  if (!tp.ok()) return {false, tp.error};
+  auto& [from_parent, from_leaf] = fp.value;
+  auto& [to_parent, to_leaf] = tp.value;
+  Inode& fdir = inodes_[static_cast<std::size_t>(from_parent)];
+  Inode& tdir = inodes_[static_cast<std::size_t>(to_parent)];
+  if (!permitted(cred, fdir, Access::kWrite) ||
+      !permitted(cred, tdir, Access::kWrite)) {
+    return {false, FsError::kAccess};
+  }
+  auto it = fdir.children.find(from_leaf);
+  if (it == fdir.children.end() ||
+      !inodes_[static_cast<std::size_t>(it->second)].alive) {
+    return {false, FsError::kNoEnt};
+  }
+  const int moving = it->second;
+  auto target = tdir.children.find(to_leaf);
+  if (target != tdir.children.end()) {
+    Inode& victim = inodes_[static_cast<std::size_t>(target->second)];
+    if (victim.alive && victim.type == NodeType::kDirectory) {
+      return {false, FsError::kIsDir};
+    }
+    victim.alive = false;  // atomically replaced
+  }
+  // Both directory updates happen in this single (atomic) step.
+  fdir.children.erase(from_leaf);
+  tdir.children[to_leaf] = moving;
+  return {true, FsError::kOk};
+}
+
+FsResult<bool> FileSystem::chmod(const Cred& cred, const std::string& path, Mode mode) {
+  auto res = resolve(path, /*follow_last=*/true);
+  if (!res.ok()) return {false, res.error};
+  Inode& n = inodes_[static_cast<std::size_t>(res.value)];
+  if (!cred.is_root && cred.user != n.owner) return {false, FsError::kAccess};
+  n.mode = mode;
+  return {true, FsError::kOk};
+}
+
+FsResult<bool> FileSystem::chown(const Cred& cred, const std::string& path,
+                                 std::string owner) {
+  if (!cred.is_root) return {false, FsError::kAccess};  // chown is root-only
+  auto res = resolve(path, /*follow_last=*/true);
+  if (!res.ok()) return {false, res.error};
+  inodes_[static_cast<std::size_t>(res.value)].owner = std::move(owner);
+  return {true, FsError::kOk};
+}
+
+namespace {
+Stat make_stat(int id, const FileSystem& fs, NodeType type, const std::string& owner,
+               Mode mode, const std::string& target, std::size_t size) {
+  (void)fs;
+  Stat s;
+  s.inode = id;
+  s.type = type;
+  s.owner = owner;
+  s.mode = mode;
+  s.symlink_target = target;
+  s.size = size;
+  return s;
+}
+}  // namespace
+
+FsResult<Stat> FileSystem::stat(const std::string& path) const {
+  auto res = resolve(path, /*follow_last=*/true);
+  if (!res.ok()) return {Stat{}, res.error};
+  const Inode& n = inodes_[static_cast<std::size_t>(res.value)];
+  return {make_stat(res.value, *this, n.type, n.owner, n.mode, n.symlink_target,
+                    n.content.size()),
+          FsError::kOk};
+}
+
+FsResult<Stat> FileSystem::lstat(const std::string& path) const {
+  auto res = resolve(path, /*follow_last=*/false);
+  if (!res.ok()) return {Stat{}, res.error};
+  const Inode& n = inodes_[static_cast<std::size_t>(res.value)];
+  return {make_stat(res.value, *this, n.type, n.owner, n.mode, n.symlink_target,
+                    n.content.size()),
+          FsError::kOk};
+}
+
+bool FileSystem::access(const Cred& cred, const std::string& path, Access want) const {
+  auto res = resolve(path, /*follow_last=*/true);
+  if (!res.ok()) return false;
+  return permitted(cred, inodes_[static_cast<std::size_t>(res.value)], want);
+}
+
+FsResult<OpenFile> FileSystem::open(const Cred& cred, const std::string& path,
+                                    OpenFlags flags) {
+  if (flags.nofollow) {
+    auto l = resolve(path, /*follow_last=*/false);
+    if (l.ok() &&
+        inodes_[static_cast<std::size_t>(l.value)].type == NodeType::kSymlink) {
+      return {OpenFile{}, FsError::kLoop};  // O_NOFOLLOW refuses symlinks
+    }
+  }
+  auto res = resolve(path, /*follow_last=*/true);
+  if (!res.ok()) {
+    if (res.error == FsError::kNoEnt && flags.create) {
+      auto made = create(cred, path);
+      if (!made.ok()) return {OpenFile{}, made.error};
+      res = FsResult<int>{made.value, FsError::kOk};
+    } else {
+      return {OpenFile{}, res.error};
+    }
+  }
+  const Inode& n = inodes_[static_cast<std::size_t>(res.value)];
+  if (n.type == NodeType::kDirectory) return {OpenFile{}, FsError::kIsDir};
+  const Access want = flags.write || flags.append ? Access::kWrite : Access::kRead;
+  if (!permitted(cred, n, want)) return {OpenFile{}, FsError::kAccess};
+  return {OpenFile{res.value, flags.write || flags.append}, FsError::kOk};
+}
+
+FsResult<bool> FileSystem::write(const OpenFile& f, const std::string& data) {
+  if (f.inode < 0 || f.inode >= static_cast<int>(inodes_.size())) {
+    return {false, FsError::kBadHandle};
+  }
+  Inode& n = inodes_[static_cast<std::size_t>(f.inode)];
+  if (!f.writable || !n.alive) return {false, FsError::kBadHandle};
+  n.content += data;
+  return {true, FsError::kOk};
+}
+
+FsResult<std::string> FileSystem::read(const std::string& path) const {
+  auto res = resolve(path, /*follow_last=*/true);
+  if (!res.ok()) return {"", res.error};
+  const Inode& n = inodes_[static_cast<std::size_t>(res.value)];
+  if (n.type == NodeType::kDirectory) return {"", FsError::kIsDir};
+  return {n.content, FsError::kOk};
+}
+
+FsResult<Stat> FileSystem::fstat(const OpenFile& f) const {
+  if (f.inode < 0 || f.inode >= static_cast<int>(inodes_.size())) {
+    return {Stat{}, FsError::kBadHandle};
+  }
+  const Inode& n = inodes_[static_cast<std::size_t>(f.inode)];
+  return {make_stat(f.inode, *this, n.type, n.owner, n.mode, n.symlink_target,
+                    n.content.size()),
+          FsError::kOk};
+}
+
+std::string FileSystem::content_of(int inode) const {
+  if (inode < 0 || inode >= static_cast<int>(inodes_.size())) return "";
+  return inodes_[static_cast<std::size_t>(inode)].content;
+}
+
+}  // namespace dfsm::fssim

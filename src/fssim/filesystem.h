@@ -1,0 +1,186 @@
+// filesystem.h — a miniature UNIX filesystem with owners, permission bits,
+// symlinks and terminal (character-device) nodes.
+//
+// Three case studies run on it:
+//  * xterm log-file race (Figure 5): time-of-check-to-time-of-use between
+//    an access(2)-style permission check and the open(2) that follows it;
+//    the attacker swaps the path to a symlink to /etc/passwd inside the
+//    window.
+//  * Solaris rwall (Figure 6): /etc/utmp writable by regular users, and a
+//    daemon that writes "to all terminals" without checking that the
+//    target is in fact a terminal.
+//  * IIS CGI containment (Figure 7) uses only path normalization, but its
+//    CGI "execution" resolves through this tree too.
+//
+// FileSystem is a VALUE TYPE (copyable) on purpose: the race scheduler
+// forks the whole world per interleaving, which turns wall-clock races
+// into exhaustively enumerable schedules (DESIGN.md §2).
+#ifndef DFSM_FSSIM_FILESYSTEM_H
+#define DFSM_FSSIM_FILESYSTEM_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfsm::fssim {
+
+enum class NodeType {
+  kFile,
+  kDirectory,
+  kSymlink,
+  kTerminal,  ///< character device, e.g. /dev/pts/25
+};
+
+[[nodiscard]] const char* to_string(NodeType t) noexcept;
+
+/// Caller credentials. Root bypasses permission checks, as in UNIX.
+struct Cred {
+  std::string user;
+  bool is_root = false;
+
+  [[nodiscard]] static Cred root() { return Cred{"root", true}; }
+  [[nodiscard]] static Cred user_named(std::string name) {
+    return Cred{std::move(name), false};
+  }
+};
+
+/// Permission bits: owner/other rwx (groups omitted — none of the studied
+/// vulnerabilities involve them).
+struct Mode {
+  bool owner_r = true, owner_w = true, owner_x = false;
+  bool other_r = true, other_w = false, other_x = false;
+
+  [[nodiscard]] static Mode file_default() { return {}; }                  // 0644
+  [[nodiscard]] static Mode world_writable() { return {true, true, false, true, true, false}; }  // 0666
+  [[nodiscard]] static Mode private_file() { return {true, true, false, false, false, false}; }  // 0600
+  [[nodiscard]] static Mode dir_default() { return {true, true, true, true, false, true}; }      // 0755
+  [[nodiscard]] static Mode dir_open() { return {true, true, true, true, true, true}; }          // 0777
+  [[nodiscard]] static Mode executable() { return {true, true, true, true, false, true}; }       // 0755
+};
+
+enum class Access { kRead, kWrite, kExec };
+
+/// POSIX-flavoured error codes.
+enum class FsError {
+  kOk,
+  kNoEnt,    ///< no such file or directory
+  kAccess,   ///< permission denied
+  kExist,    ///< already exists
+  kNotDir,   ///< path component is not a directory
+  kIsDir,    ///< operation on a directory
+  kLoop,     ///< too many symlink hops
+  kBadHandle,
+};
+
+[[nodiscard]] const char* to_string(FsError e) noexcept;
+
+/// Minimal expected-like result.
+template <typename T>
+struct FsResult {
+  T value{};
+  FsError error = FsError::kOk;
+
+  [[nodiscard]] bool ok() const noexcept { return error == FsError::kOk; }
+  explicit operator bool() const noexcept { return ok(); }
+};
+
+/// Open-file handle: indexes into the owning FileSystem's inode table.
+struct OpenFile {
+  int inode = -1;
+  bool writable = false;
+};
+
+/// Public inode snapshot.
+struct Stat {
+  NodeType type = NodeType::kFile;
+  std::string owner;
+  Mode mode;
+  std::string symlink_target;
+  std::size_t size = 0;
+  int inode = -1;
+};
+
+/// Open(2) options.
+struct OpenFlags {
+  bool write = false;
+  bool append = false;
+  bool create = false;
+  bool nofollow = false;  ///< refuse to open a symlink final component (the fix)
+};
+
+class FileSystem {
+ public:
+  /// Creates a root directory "/" owned by root, mode 0755.
+  FileSystem();
+
+  // -- Namespace operations. All paths are absolute ('/'-separated).
+  FsResult<int> mkdir(const Cred& cred, const std::string& path,
+                      Mode mode = Mode::dir_default());
+  FsResult<int> create(const Cred& cred, const std::string& path,
+                       Mode mode = Mode::file_default(),
+                       NodeType type = NodeType::kFile);
+  /// Creates a symbolic link. Targets must be absolute paths (relative
+  /// targets are rejected with kNoEnt — this model resolves link targets
+  /// from the root).
+  FsResult<int> symlink(const Cred& cred, const std::string& target,
+                        const std::string& linkpath);
+  FsResult<bool> unlink(const Cred& cred, const std::string& path);
+
+  /// rename(2): atomically re-binds `to` to the node at `from` (replacing
+  /// any existing non-directory target in the same step). This is the
+  /// primitive that turns the xterm attacker's two-syscall window dance
+  /// (unlink + symlink) into a single atomic step — and, on the defence
+  /// side, the safe-publish idiom (write temp, then rename).
+  FsResult<bool> rename(const Cred& cred, const std::string& from,
+                        const std::string& to);
+  FsResult<bool> chmod(const Cred& cred, const std::string& path, Mode mode);
+  FsResult<bool> chown(const Cred& cred, const std::string& path, std::string owner);
+
+  // -- Inspection.
+  /// stat follows symlinks; lstat does not.
+  FsResult<Stat> stat(const std::string& path) const;
+  FsResult<Stat> lstat(const std::string& path) const;
+
+  /// access(2): permission check with the caller's credentials, following
+  /// symlinks — the xterm pFSM1 check ("does Tom have write permission?").
+  [[nodiscard]] bool access(const Cred& cred, const std::string& path, Access want) const;
+
+  // -- I/O.
+  FsResult<OpenFile> open(const Cred& cred, const std::string& path, OpenFlags flags);
+  FsResult<bool> write(const OpenFile& f, const std::string& data);
+  FsResult<std::string> read(const std::string& path) const;
+  FsResult<Stat> fstat(const OpenFile& f) const;  ///< the post-open fix primitive
+
+  /// Full content by inode (test/assertion helper, no permission check).
+  [[nodiscard]] std::string content_of(int inode) const;
+
+ private:
+  struct Inode {
+    NodeType type = NodeType::kFile;
+    std::string owner = "root";
+    Mode mode;
+    std::string symlink_target;
+    std::string content;
+    std::map<std::string, int> children;  // for directories
+    bool alive = true;
+  };
+
+  [[nodiscard]] bool permitted(const Cred& cred, const Inode& n, Access want) const;
+  /// Resolves to an inode index. `follow_last` controls symlink handling
+  /// of the final component; parents are always followed.
+  FsResult<int> resolve(const std::string& path, bool follow_last,
+                        int hops = 0) const;
+  /// Splits into (parent inode, leaf name); parent must be a directory.
+  FsResult<std::pair<int, std::string>> parent_of(const std::string& path) const;
+
+  std::vector<Inode> inodes_;
+};
+
+/// Splits an absolute path into components ("/a/b" -> {"a","b"}).
+[[nodiscard]] std::vector<std::string> split_path(const std::string& path);
+
+}  // namespace dfsm::fssim
+
+#endif  // DFSM_FSSIM_FILESYSTEM_H

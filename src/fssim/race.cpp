@@ -1,0 +1,106 @@
+#include "fssim/race.h"
+
+namespace dfsm::fssim {
+
+namespace {
+
+void recurse(const FileSystem& initial, const std::vector<Step>& a,
+             const std::vector<Step>& b, std::size_t ia, std::size_t ib,
+             std::vector<const Step*>& prefix,
+             const std::function<bool(const FileSystem&)>& violated,
+             RaceReport& report) {
+  if (ia == a.size() && ib == b.size()) {
+    FileSystem world = initial;  // fork the world for this schedule
+    ScheduleOutcome outcome;
+    for (const Step* s : prefix) {
+      s->run(world);
+      outcome.order.push_back(s->label);
+    }
+    outcome.violated = violated(world);
+    ++report.total_schedules;
+    if (outcome.violated) ++report.violating_schedules;
+    report.outcomes.push_back(std::move(outcome));
+    return;
+  }
+  if (ia < a.size()) {
+    prefix.push_back(&a[ia]);
+    recurse(initial, a, b, ia + 1, ib, prefix, violated, report);
+    prefix.pop_back();
+  }
+  if (ib < b.size()) {
+    prefix.push_back(&b[ib]);
+    recurse(initial, a, b, ia, ib + 1, prefix, violated, report);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<Step>& victim,
+    const std::vector<Step>& attacker,
+    const std::function<bool(const FileSystem&)>& violated) {
+  RaceReport report;
+  std::vector<const Step*> prefix;
+  prefix.reserve(victim.size() + attacker.size());
+  recurse(initial, victim, attacker, 0, 0, prefix, violated, report);
+  return report;
+}
+
+namespace {
+
+void recurse_ctx(const FileSystem& initial, const std::vector<CtxStep>& a,
+                 const std::vector<CtxStep>& b, std::size_t ia, std::size_t ib,
+                 std::vector<const CtxStep*>& prefix,
+                 const std::function<bool(const FileSystem&, const RaceContext&)>&
+                     violated,
+                 RaceReport& report) {
+  if (ia == a.size() && ib == b.size()) {
+    FileSystem world = initial;
+    RaceContext ctx;
+    ScheduleOutcome outcome;
+    for (const CtxStep* s : prefix) {
+      s->run(world, ctx);
+      outcome.order.push_back(s->label);
+    }
+    outcome.violated = violated(world, ctx);
+    ++report.total_schedules;
+    if (outcome.violated) ++report.violating_schedules;
+    report.outcomes.push_back(std::move(outcome));
+    return;
+  }
+  if (ia < a.size()) {
+    prefix.push_back(&a[ia]);
+    recurse_ctx(initial, a, b, ia + 1, ib, prefix, violated, report);
+    prefix.pop_back();
+  }
+  if (ib < b.size()) {
+    prefix.push_back(&b[ib]);
+    recurse_ctx(initial, a, b, ia, ib + 1, prefix, violated, report);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<CtxStep>& victim,
+    const std::vector<CtxStep>& attacker,
+    const std::function<bool(const FileSystem&, const RaceContext&)>& violated) {
+  RaceReport report;
+  std::vector<const CtxStep*> prefix;
+  prefix.reserve(victim.size() + attacker.size());
+  recurse_ctx(initial, victim, attacker, 0, 0, prefix, violated, report);
+  return report;
+}
+
+std::uint64_t interleaving_count(std::size_t n, std::size_t m) {
+  // C(n+m, n) computed multiplicatively to avoid overflow for small inputs.
+  std::uint64_t result = 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    result = result * (m + i) / i;
+  }
+  return result;
+}
+
+}  // namespace dfsm::fssim

@@ -1,0 +1,93 @@
+// race.h — deterministic interleaving enumeration for TOCTOU races.
+//
+// Paper Figure 5: "Tom can delete the file /usr/tom/x and create a
+// symbolic link from /usr/tom/x to /etc/passwd, so long as Tom creates the
+// symbolic link before the system opens the file, i.e., a race condition
+// exists." Wall-clock racing is flaky and unquantifiable; enumerating all
+// interleavings of the victim's and attacker's step sequences over a
+// copied world is exhaustive, reproducible, and yields the exact fraction
+// of schedules that violate the predicate — the number bench_figure5
+// reports.
+#ifndef DFSM_FSSIM_RACE_H
+#define DFSM_FSSIM_RACE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fssim/filesystem.h"
+
+namespace dfsm::fssim {
+
+/// One atomic step of a process (a syscall, in practice).
+struct Step {
+  std::string label;
+  std::function<void(FileSystem&)> run;
+};
+
+/// One enumerated schedule and its outcome.
+struct ScheduleOutcome {
+  std::vector<std::string> order;  ///< step labels in execution order
+  bool violated = false;           ///< the security predicate failed
+};
+
+/// Result of exhaustive interleaving enumeration.
+struct RaceReport {
+  std::size_t total_schedules = 0;
+  std::size_t violating_schedules = 0;
+  std::vector<ScheduleOutcome> outcomes;  ///< all schedules, in enumeration order
+
+  [[nodiscard]] double violation_fraction() const {
+    return total_schedules == 0
+               ? 0.0
+               : static_cast<double>(violating_schedules) /
+                     static_cast<double>(total_schedules);
+  }
+  [[nodiscard]] bool race_exists() const { return violating_schedules > 0; }
+};
+
+/// Exhaustively enumerates every interleaving of two step sequences
+/// (preserving each sequence's internal order — C(n+m, n) schedules), runs
+/// each on a fresh copy of `initial`, and evaluates `violated` on the
+/// final state.
+///
+/// Complexity: C(n+m, n) * (n+m) filesystem ops plus one FileSystem copy
+/// per schedule — fine for the syscall-length sequences under study.
+[[nodiscard]] RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<Step>& victim,
+    const std::vector<Step>& attacker,
+    const std::function<bool(const FileSystem&)>& violated);
+
+/// Number of interleavings of sequences of lengths n and m: C(n+m, n).
+[[nodiscard]] std::uint64_t interleaving_count(std::size_t n, std::size_t m);
+
+// ---------------------------------------------------------------------
+// Context-carrying variant: real victims hold state across syscalls (the
+// result of the access(2) check, the open file handle). The context is
+// created fresh per schedule, alongside the forked world.
+
+/// Per-schedule scratch state shared by a process's steps.
+struct RaceContext {
+  std::map<std::string, std::int64_t> ints;
+  std::map<std::string, std::string> strs;
+  OpenFile file;
+  bool aborted = false;  ///< the victim refused to proceed (a check fired)
+};
+
+/// A step that can read/update the per-schedule context.
+struct CtxStep {
+  std::string label;
+  std::function<void(FileSystem&, RaceContext&)> run;
+};
+
+/// Like enumerate_interleavings, but each schedule gets a fresh
+/// RaceContext and the violation predicate sees both the final world and
+/// the final context.
+[[nodiscard]] RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<CtxStep>& victim,
+    const std::vector<CtxStep>& attacker,
+    const std::function<bool(const FileSystem&, const RaceContext&)>& violated);
+
+}  // namespace dfsm::fssim
+
+#endif  // DFSM_FSSIM_RACE_H

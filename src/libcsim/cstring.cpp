@@ -1,0 +1,65 @@
+#include "libcsim/cstring.h"
+
+#include <vector>
+
+namespace dfsm::libcsim {
+
+std::size_t c_strlen(const AddressSpace& as, Addr src) {
+  std::size_t n = 0;
+  while (as.read8(src + n) != 0) ++n;
+  return n;
+}
+
+Addr c_strcpy(AddressSpace& as, Addr dst, Addr src) {
+  std::size_t i = 0;
+  for (;; ++i) {
+    const std::uint8_t c = as.read8(src + i);
+    as.write8(dst + i, c);
+    if (c == 0) break;
+  }
+  return dst;
+}
+
+Addr c_strcpy(AddressSpace& as, Addr dst, const std::string& src) {
+  as.write_string(dst, src, /*nul_terminate=*/true);
+  return dst;
+}
+
+Addr c_strncpy(AddressSpace& as, Addr dst, const std::string& src, std::size_t n) {
+  std::vector<std::uint8_t> buf(n, 0);
+  const std::size_t m = std::min(n, src.size());
+  for (std::size_t i = 0; i < m; ++i) buf[i] = static_cast<std::uint8_t>(src[i]);
+  as.write_bytes(dst, buf);
+  return dst;
+}
+
+Addr c_strcat(AddressSpace& as, Addr dst, const std::string& src) {
+  const std::size_t at = c_strlen(as, dst);
+  as.write_string(dst + at, src, /*nul_terminate=*/true);
+  return dst;
+}
+
+Addr c_memcpy(AddressSpace& as, Addr dst, std::span<const std::uint8_t> src) {
+  as.write_bytes(dst, src);
+  return dst;
+}
+
+Addr c_memset(AddressSpace& as, Addr dst, std::uint8_t value, std::size_t n) {
+  std::vector<std::uint8_t> buf(n, value);
+  as.write_bytes(dst, buf);
+  return dst;
+}
+
+Addr c_gets(AddressSpace& as, Addr dst, const std::string& line) {
+  as.write_string(dst, line, /*nul_terminate=*/true);
+  return dst;
+}
+
+Addr c_getns(AddressSpace& as, Addr dst, std::size_t n, const std::string& line) {
+  if (n == 0) return dst;
+  const std::size_t m = std::min(n - 1, line.size());
+  as.write_string(dst, line.substr(0, m), /*nul_terminate=*/true);
+  return dst;
+}
+
+}  // namespace dfsm::libcsim

@@ -1,0 +1,56 @@
+// cstring.h — C string/memory routines over the sandboxed address space,
+// bug-for-bug faithful: the unbounded variants (strcpy, strcat, gets,
+// sprintf) copy until the source ends, regardless of destination size —
+// the destination's owner must get the bounds right, which is exactly the
+// elementary activity the paper's Content/Attribute pFSMs check.
+//
+// The bounded variants (strncpy, getns) are the "boundary-checked string
+// functions" the paper lists as the elementary-activity-2 defence (§3.2).
+#ifndef DFSM_LIBCSIM_CSTRING_H
+#define DFSM_LIBCSIM_CSTRING_H
+
+#include <span>
+#include <string>
+
+#include "memsim/address_space.h"
+
+namespace dfsm::libcsim {
+
+using memsim::Addr;
+using memsim::AddressSpace;
+
+/// strlen(3): bytes before the first NUL at src.
+[[nodiscard]] std::size_t c_strlen(const AddressSpace& as, Addr src);
+
+/// strcpy(3): copies the NUL-terminated string at src to dst, including
+/// the terminator. NO bounds check — overruns dst if the source is longer.
+/// Returns dst.
+Addr c_strcpy(AddressSpace& as, Addr dst, Addr src);
+
+/// Host-source convenience: copies `src` + NUL into the sandbox at dst,
+/// unbounded (models "copy the user's string into the buffer").
+Addr c_strcpy(AddressSpace& as, Addr dst, const std::string& src);
+
+/// strncpy(3): copies at most n bytes; pads with NULs up to n if the
+/// source is shorter; does NOT NUL-terminate when the source is >= n.
+Addr c_strncpy(AddressSpace& as, Addr dst, const std::string& src, std::size_t n);
+
+/// strcat(3): unbounded append.
+Addr c_strcat(AddressSpace& as, Addr dst, const std::string& src);
+
+/// memcpy(3): raw bounded-by-caller copy of host bytes into the sandbox.
+Addr c_memcpy(AddressSpace& as, Addr dst, std::span<const std::uint8_t> src);
+
+/// memset(3).
+Addr c_memset(AddressSpace& as, Addr dst, std::uint8_t value, std::size_t n);
+
+/// gets(3): copies an entire input line, unbounded — the canonical
+/// elementary-activity-1/2 failure.
+Addr c_gets(AddressSpace& as, Addr dst, const std::string& line);
+
+/// getns-style bounded read: at most n-1 bytes plus NUL.
+Addr c_getns(AddressSpace& as, Addr dst, std::size_t n, const std::string& line);
+
+}  // namespace dfsm::libcsim
+
+#endif  // DFSM_LIBCSIM_CSTRING_H

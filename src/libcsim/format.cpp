@@ -1,0 +1,204 @@
+#include "libcsim/format.h"
+
+#include <cctype>
+
+namespace dfsm::libcsim {
+
+ArgProvider::ArgProvider(const AddressSpace& as,
+                         std::vector<std::uint64_t> explicit_args,
+                         Addr vararg_base)
+    : as_(as), explicit_args_(std::move(explicit_args)), vararg_base_(vararg_base) {}
+
+std::uint64_t ArgProvider::get(std::size_t index) const {
+  if (index < explicit_args_.size()) return explicit_args_[index];
+  if (vararg_base_ == 0) return 0;
+  const std::size_t walk = index - explicit_args_.size();
+  return as_.read64(vararg_base_ + 8 * walk);
+}
+
+bool FormatEngine::contains_directives(const std::string& s) {
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] == '%' && s[i + 1] != '%') return true;
+    if (s[i] == '%' && s[i + 1] == '%') ++i;  // skip the escaped pair
+  }
+  // A trailing lone '%' is not a conversion.
+  return false;
+}
+
+FormatResult FormatEngine::vsprintf(Addr dst, const std::string& fmt,
+                                    const ArgProvider& args,
+                                    std::size_t materialize_cap) {
+  return run(dst, /*to_sandbox=*/true, fmt, args, materialize_cap);
+}
+
+FormatResult FormatEngine::format_to_string(const std::string& fmt,
+                                            const ArgProvider& args,
+                                            std::size_t materialize_cap) {
+  return run(0, /*to_sandbox=*/false, fmt, args, materialize_cap);
+}
+
+FormatResult FormatEngine::vsnprintf(Addr dst, std::size_t n,
+                                     const std::string& fmt,
+                                     const ArgProvider& args) {
+  if (n == 0) {
+    // C99: nothing is written, the count is still computed.
+    return run(0, /*to_sandbox=*/false, fmt, args, 0);
+  }
+  return run(dst, /*to_sandbox=*/true, fmt, args, n - 1);
+}
+
+FormatResult FormatEngine::run(Addr dst, bool to_sandbox, const std::string& fmt,
+                               const ArgProvider& args,
+                               std::size_t materialize_cap) {
+  FormatResult res;
+  std::size_t next_arg = 0;
+
+  auto emit_char = [&](char c) {
+    if (res.bytes_written < materialize_cap) {
+      if (to_sandbox) {
+        as_.write8(dst + res.bytes_written, static_cast<std::uint8_t>(c));
+      } else {
+        res.text.push_back(c);
+      }
+      ++res.bytes_written;
+    }
+    ++res.count;  // the count always advances — that is what %n reads
+  };
+  auto emit_str = [&](const std::string& s, std::size_t width) {
+    std::size_t pad = s.size() < width ? width - s.size() : 0;
+    // Materialize padding while it fits under the cap; count the rest
+    // virtually (emit_char advances count, so only the overflow is added).
+    while (pad > 0 && res.bytes_written < materialize_cap) {
+      emit_char(' ');
+      --pad;
+    }
+    res.count += pad;
+    for (char c : s) emit_char(c);
+  };
+
+  std::size_t i = 0;
+  while (i < fmt.size()) {
+    const char c = fmt[i];
+    if (c != '%') {
+      emit_char(c);
+      ++i;
+      continue;
+    }
+    // Parse a directive starting at fmt[i] == '%'.
+    std::size_t j = i + 1;
+    if (j >= fmt.size()) {  // trailing lone '%'
+      emit_char('%');
+      break;
+    }
+    if (fmt[j] == '%') {
+      emit_char('%');
+      i = j + 1;
+      continue;
+    }
+    // Optional positional "N$" and/or width digits.
+    std::size_t number = 0;
+    bool have_number = false;
+    std::size_t k = j;
+    while (k < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[k]))) {
+      number = number * 10 + static_cast<std::size_t>(fmt[k] - '0');
+      have_number = true;
+      ++k;
+    }
+    bool positional = false;
+    std::size_t arg_index = 0;
+    std::size_t width = 0;
+    if (have_number && k < fmt.size() && fmt[k] == '$') {
+      positional = true;
+      arg_index = number == 0 ? 0 : number - 1;
+      ++k;
+      // A width may follow the positional prefix.
+      std::size_t w = 0;
+      while (k < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[k]))) {
+        w = w * 10 + static_cast<std::size_t>(fmt[k] - '0');
+        ++k;
+      }
+      width = w;
+    } else if (have_number) {
+      width = number;
+    }
+    // Optional ".precision" (meaningful for %s: truncate the argument).
+    bool have_precision = false;
+    std::size_t precision = 0;
+    if (k < fmt.size() && fmt[k] == '.') {
+      have_precision = true;
+      ++k;
+      while (k < fmt.size() && std::isdigit(static_cast<unsigned char>(fmt[k]))) {
+        precision = precision * 10 + static_cast<std::size_t>(fmt[k] - '0');
+        ++k;
+      }
+    }
+    // Optional 'h' length modifier (for %hn).
+    bool half = false;
+    if (k < fmt.size() && fmt[k] == 'h') {
+      half = true;
+      ++k;
+    }
+    if (k >= fmt.size()) {  // malformed tail: copy verbatim
+      while (i < fmt.size()) emit_char(fmt[i++]);
+      break;
+    }
+    const char conv = fmt[k];
+    auto take_arg = [&]() -> std::uint64_t {
+      if (positional) return args.get(arg_index);
+      return args.get(next_arg++);
+    };
+    switch (conv) {
+      case 'd':
+      case 'i': {
+        const auto v = static_cast<std::int64_t>(take_arg());
+        emit_str(std::to_string(v), width);
+        break;
+      }
+      case 'u': {
+        emit_str(std::to_string(take_arg()), width);
+        break;
+      }
+      case 'x':
+      case 'p': {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, conv == 'p' ? "0x%llx" : "%llx",
+                      static_cast<unsigned long long>(take_arg()));
+        emit_str(buf, width);
+        break;
+      }
+      case 'c': {
+        const char ch = static_cast<char>(take_arg() & 0xFF);
+        emit_str(std::string(1, ch), width);
+        break;
+      }
+      case 's': {
+        const Addr p = take_arg();
+        std::string s = p == 0 ? "(null)" : as_.read_cstring(p);
+        if (have_precision && s.size() > precision) s.resize(precision);
+        emit_str(s, width);
+        break;
+      }
+      case 'n': {
+        const Addr p = take_arg();
+        if (half) {
+          as_.write16(p, static_cast<std::uint16_t>(res.count));
+        } else {
+          as_.write64(p, static_cast<std::uint64_t>(res.count));
+        }
+        ++res.n_stores;
+        break;
+      }
+      default:
+        // Unknown conversion: copy the whole directive through verbatim.
+        for (std::size_t m = i; m <= k; ++m) emit_char(fmt[m]);
+        break;
+    }
+    i = k + 1;
+  }
+  if (to_sandbox) {
+    as_.write8(dst + res.bytes_written, 0);  // terminator (not counted)
+  }
+  return res;
+}
+
+}  // namespace dfsm::libcsim

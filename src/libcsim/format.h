@@ -1,0 +1,100 @@
+// format.h — a printf-family engine over the sandbox, including the %n
+// write-back directive that makes format string vulnerabilities (paper
+// §3.2, rpc.statd #1480) exploitable.
+//
+// "format string vulnerabilities (i.e., user's input strings containing
+// format directives, such as %n, %x, %d)". When a program passes user
+// input as the *format* argument, the engine walks the argument area —
+// which, for a buffer that itself lives on the stack, includes attacker
+// bytes — and %n stores the running output count through an
+// attacker-chosen pointer: an arbitrary-write primitive.
+//
+// Large pad widths are counted *virtually* (the count advances, the
+// materialized bytes are capped), matching how real exploits produce
+// multi-megabyte counts without multi-megabyte outputs mattering.
+#ifndef DFSM_LIBCSIM_FORMAT_H
+#define DFSM_LIBCSIM_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/address_space.h"
+
+namespace dfsm::libcsim {
+
+using memsim::Addr;
+using memsim::AddressSpace;
+
+/// Supplies the variadic arguments of a format call. Explicit host-side
+/// arguments come first; once exhausted, further lookups read 8-byte words
+/// from `vararg_base` upward — modeling printf walking the caller's stack
+/// frame, where an on-stack buffer places attacker bytes in reach.
+class ArgProvider {
+ public:
+  /// @param as           address space for the memory-walk region
+  /// @param explicit_args host-side arguments, consumed first
+  /// @param vararg_base  0 => no memory walk (out-of-args reads yield 0)
+  ArgProvider(const AddressSpace& as, std::vector<std::uint64_t> explicit_args,
+              Addr vararg_base = 0);
+
+  /// 0-based argument fetch.
+  [[nodiscard]] std::uint64_t get(std::size_t index) const;
+
+ private:
+  const AddressSpace& as_;
+  std::vector<std::uint64_t> explicit_args_;
+  Addr vararg_base_;
+};
+
+/// Outcome of one format call.
+struct FormatResult {
+  std::size_t count = 0;          ///< characters produced (incl. virtual pad)
+  std::size_t bytes_written = 0;  ///< bytes materialized at dst (excl. NUL)
+  std::size_t n_stores = 0;       ///< %n / %hn stores performed
+  std::string text;               ///< materialized text (when requested)
+};
+
+/// The engine. Directives: %% %c %s %d %i %u %x %p %n %hn, optional
+/// positional prefix "N$", a decimal width, and ".precision" (which
+/// truncates %s arguments). Unknown directives are copied through
+/// verbatim (lenient, like the studied programs' libcs).
+class FormatEngine {
+ public:
+  explicit FormatEngine(AddressSpace& as) : as_(as) {}
+
+  /// vsprintf(3) into the sandbox at dst: materializes up to
+  /// `materialize_cap` bytes (then keeps counting virtually), always
+  /// NUL-terminates after the materialized bytes, performs %n stores.
+  /// NO bounds check against the destination buffer — that is the
+  /// vulnerability under study.
+  FormatResult vsprintf(Addr dst, const std::string& fmt, const ArgProvider& args,
+                        std::size_t materialize_cap = 1 << 16);
+
+  /// snprintf-like host-string output (no destination in the sandbox,
+  /// %n stores still performed — it is the same engine).
+  FormatResult format_to_string(const std::string& fmt, const ArgProvider& args,
+                                std::size_t materialize_cap = 1 << 16);
+
+  /// vsnprintf(3): the BOUNDED sibling — at most n-1 bytes plus NUL land
+  /// at dst, however long the expansion; count still reports the full
+  /// (untruncated) length, like C99. This is the "boundary-checked"
+  /// defence of paper §3.2 for the formatting path. n == 0 writes nothing.
+  FormatResult vsnprintf(Addr dst, std::size_t n, const std::string& fmt,
+                         const ArgProvider& args);
+
+  /// True if a string contains any conversion directive other than %% —
+  /// the Content/Attribute predicate of the rpc.statd pFSM1 ("does the
+  /// input contain format directives?").
+  [[nodiscard]] static bool contains_directives(const std::string& s);
+
+ private:
+  FormatResult run(Addr dst, bool to_sandbox, const std::string& fmt,
+                   const ArgProvider& args, std::size_t materialize_cap);
+
+  AddressSpace& as_;
+};
+
+}  // namespace dfsm::libcsim
+
+#endif  // DFSM_LIBCSIM_FORMAT_H

@@ -1,0 +1,14 @@
+#include "libcsim/io.h"
+
+namespace dfsm::libcsim {
+
+int c_recv(AddressSpace& as, netsim::ByteStream& stream, Addr dst, std::size_t max) {
+  std::vector<std::uint8_t> buf;
+  const int rc = stream.recv(buf, max);
+  if (rc > 0) {
+    as.write_bytes(dst, buf);
+  }
+  return rc;
+}
+
+}  // namespace dfsm::libcsim

@@ -1,0 +1,26 @@
+// io.h — socket I/O into sandbox memory: the recv(2) of the NULL HTTPD
+// ReadPOSTData loop (paper Figure 4b, source line 4).
+//
+// recv writes up to `max` bytes at dst with NO knowledge of the buffer it
+// is filling — bounding the write is the caller's job, which is precisely
+// what NULL HTTPD gets wrong twice (#5774: buffer undersized via negative
+// contentLen; #6255: loop keeps reading past the buffer).
+#ifndef DFSM_LIBCSIM_IO_H
+#define DFSM_LIBCSIM_IO_H
+
+#include "memsim/address_space.h"
+#include "netsim/bytestream.h"
+
+namespace dfsm::libcsim {
+
+using memsim::Addr;
+using memsim::AddressSpace;
+
+/// recv(2): reads up to max bytes from the stream into sandbox memory at
+/// dst. Returns the byte count, 0 at EOF, -1 on socket error. Partial
+/// delivery follows the stream's queue state, like a real socket.
+int c_recv(AddressSpace& as, netsim::ByteStream& stream, Addr dst, std::size_t max);
+
+}  // namespace dfsm::libcsim
+
+#endif  // DFSM_LIBCSIM_IO_H

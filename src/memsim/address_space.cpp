@@ -1,0 +1,172 @@
+#include "memsim/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dfsm::memsim {
+
+Addr AddressSpace::map(std::string name, Addr base, std::size_t size, Perm perms) {
+  if (base == 0) throw std::invalid_argument("segment base must be non-zero");
+  if (size == 0) throw std::invalid_argument("segment size must be non-zero");
+  for (const auto& s : segments_) {
+    const bool disjoint = base + size <= s.base || s.base + s.size <= base;
+    if (!disjoint) {
+      throw std::invalid_argument("segment '" + name + "' overlaps '" + s.name + "'");
+    }
+  }
+  Segment seg;
+  seg.name = std::move(name);
+  seg.base = base;
+  seg.size = size;
+  seg.perms = perms;
+  seg.data.assign(size, 0);
+  segments_.push_back(std::move(seg));
+  return base;
+}
+
+const Segment* AddressSpace::find(Addr a) const noexcept {
+  for (const auto& s : segments_) {
+    if (s.contains(a)) return &s;
+  }
+  return nullptr;
+}
+
+const Segment* AddressSpace::segment_named(const std::string& name) const noexcept {
+  for (const auto& s : segments_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Segment& AddressSpace::checked(Addr a, std::size_t n, Perm need, const char* op) {
+  return const_cast<Segment&>(
+      static_cast<const AddressSpace*>(this)->checked(a, n, need, op));
+}
+
+const Segment& AddressSpace::checked(Addr a, std::size_t n, Perm need,
+                                     const char* op) const {
+  const Segment* s = find(a);
+  if (s == nullptr) {
+    throw MemoryFault(std::string(op) + ": unmapped address 0x" +
+                          [](Addr x) { char b[32]; std::snprintf(b, sizeof b, "%llx", (unsigned long long)x); return std::string(b); }(a),
+                      a);
+  }
+  if (a + n > s->end()) {
+    throw MemoryFault(std::string(op) + ": access crosses end of segment '" +
+                          s->name + "'",
+                      a);
+  }
+  if (!has_perm(s->perms, need)) {
+    throw MemoryFault(std::string(op) + ": permission denied in segment '" +
+                          s->name + "'",
+                      a);
+  }
+  return *s;
+}
+
+void AddressSpace::note(MemoryEvent::Kind k, Addr a, std::size_t n) const {
+  if (journal_on_) journal_.push_back(MemoryEvent{k, a, n});
+}
+
+std::uint8_t AddressSpace::read8(Addr a) const {
+  const Segment& s = checked(a, 1, Perm::kRead, "read8");
+  note(MemoryEvent::Kind::kRead, a, 1);
+  return s.data[a - s.base];
+}
+
+std::uint16_t AddressSpace::read16(Addr a) const {
+  const Segment& s = checked(a, 2, Perm::kRead, "read16");
+  note(MemoryEvent::Kind::kRead, a, 2);
+  std::uint16_t v = 0;
+  std::memcpy(&v, s.data.data() + (a - s.base), 2);
+  return v;
+}
+
+std::uint32_t AddressSpace::read32(Addr a) const {
+  const Segment& s = checked(a, 4, Perm::kRead, "read32");
+  note(MemoryEvent::Kind::kRead, a, 4);
+  std::uint32_t v = 0;
+  std::memcpy(&v, s.data.data() + (a - s.base), 4);
+  return v;
+}
+
+std::uint64_t AddressSpace::read64(Addr a) const {
+  const Segment& s = checked(a, 8, Perm::kRead, "read64");
+  note(MemoryEvent::Kind::kRead, a, 8);
+  std::uint64_t v = 0;
+  std::memcpy(&v, s.data.data() + (a - s.base), 8);
+  return v;
+}
+
+void AddressSpace::write8(Addr a, std::uint8_t v) {
+  Segment& s = checked(a, 1, Perm::kWrite, "write8");
+  note(MemoryEvent::Kind::kWrite, a, 1);
+  s.data[a - s.base] = v;
+}
+
+void AddressSpace::write16(Addr a, std::uint16_t v) {
+  Segment& s = checked(a, 2, Perm::kWrite, "write16");
+  note(MemoryEvent::Kind::kWrite, a, 2);
+  std::memcpy(s.data.data() + (a - s.base), &v, 2);
+}
+
+void AddressSpace::write32(Addr a, std::uint32_t v) {
+  Segment& s = checked(a, 4, Perm::kWrite, "write32");
+  note(MemoryEvent::Kind::kWrite, a, 4);
+  std::memcpy(s.data.data() + (a - s.base), &v, 4);
+}
+
+void AddressSpace::write64(Addr a, std::uint64_t v) {
+  Segment& s = checked(a, 8, Perm::kWrite, "write64");
+  note(MemoryEvent::Kind::kWrite, a, 8);
+  std::memcpy(s.data.data() + (a - s.base), &v, 8);
+}
+
+std::vector<std::uint8_t> AddressSpace::read_bytes(Addr a, std::size_t n) const {
+  if (n == 0) return {};
+  const Segment& s = checked(a, n, Perm::kRead, "read_bytes");
+  note(MemoryEvent::Kind::kRead, a, n);
+  auto begin = s.data.begin() + static_cast<std::ptrdiff_t>(a - s.base);
+  return {begin, begin + static_cast<std::ptrdiff_t>(n)};
+}
+
+void AddressSpace::write_bytes(Addr a, std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  Segment& s = checked(a, bytes.size(), Perm::kWrite, "write_bytes");
+  note(MemoryEvent::Kind::kWrite, a, bytes.size());
+  std::memcpy(s.data.data() + (a - s.base), bytes.data(), bytes.size());
+}
+
+void AddressSpace::write_string(Addr a, const std::string& str, bool nul_terminate) {
+  std::vector<std::uint8_t> bytes(str.begin(), str.end());
+  if (nul_terminate) bytes.push_back(0);
+  write_bytes(a, bytes);
+}
+
+std::string AddressSpace::read_cstring(Addr a, std::size_t max_len) const {
+  std::string out;
+  Addr cur = a;
+  while (out.size() < max_len) {
+    std::uint8_t c = read8(cur++);
+    if (c == 0) return out;
+    out.push_back(static_cast<char>(c));
+  }
+  throw MemoryFault("read_cstring: no NUL within max_len", a);
+}
+
+bool AddressSpace::executable(Addr a) const noexcept {
+  const Segment* s = find(a);
+  return s != nullptr && has_perm(s->perms, Perm::kExec);
+}
+
+std::size_t AddressSpace::writes_in(Addr lo, Addr hi) const {
+  std::size_t n = 0;
+  for (const auto& e : journal_) {
+    if (e.kind != MemoryEvent::Kind::kWrite) continue;
+    const Addr end = e.addr + e.size;
+    if (e.addr < hi && end > lo) ++n;
+  }
+  return n;
+}
+
+}  // namespace dfsm::memsim

@@ -1,0 +1,142 @@
+// address_space.h — a sandboxed flat address space.
+//
+// The paper's exploits are data-structure attacks on process memory: GOT
+// entries (Sendmail #3163, NULL HTTPD #5774), free-chunk fd/bk links
+// (NULL HTTPD), and saved return addresses (GHTTPD #5960, rpc.statd #1480).
+// None of them depend on a real ISA — only on byte-addressable memory with
+// segments and permissions. AddressSpace provides exactly that, plus a
+// journal of accesses that the analysis layer mines for overflow evidence.
+//
+// Substitution note (DESIGN.md §2): this replaces the x86/Linux processes
+// the paper studied; addresses are little-endian 64-bit, laid out low so
+// that 32-bit-era exploit arithmetic still works.
+#ifndef DFSM_MEMSIM_ADDRESS_SPACE_H
+#define DFSM_MEMSIM_ADDRESS_SPACE_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dfsm::memsim {
+
+using Addr = std::uint64_t;
+
+/// Segment permissions (combinable).
+enum class Perm : unsigned {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+  kRW = kRead | kWrite,
+  kRX = kRead | kExec,
+  kRWX = kRead | kWrite | kExec,
+};
+
+[[nodiscard]] constexpr Perm operator|(Perm a, Perm b) noexcept {
+  return static_cast<Perm>(static_cast<unsigned>(a) | static_cast<unsigned>(b));
+}
+[[nodiscard]] constexpr bool has_perm(Perm set, Perm p) noexcept {
+  return (static_cast<unsigned>(set) & static_cast<unsigned>(p)) != 0;
+}
+
+/// Thrown on out-of-segment access or permission violation. The sandbox's
+/// analogue of SIGSEGV.
+class MemoryFault : public std::runtime_error {
+ public:
+  MemoryFault(std::string what, Addr addr)
+      : std::runtime_error(std::move(what)), addr_(addr) {}
+  [[nodiscard]] Addr addr() const noexcept { return addr_; }
+
+ private:
+  Addr addr_;
+};
+
+/// One mapped region.
+struct Segment {
+  std::string name;
+  Addr base = 0;
+  std::size_t size = 0;
+  Perm perms = Perm::kNone;
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] bool contains(Addr a) const noexcept {
+    return a >= base && a < base + size;
+  }
+  [[nodiscard]] Addr end() const noexcept { return base + size; }
+};
+
+/// A journaled memory access (used by the discovery engine and tests).
+struct MemoryEvent {
+  enum class Kind { kRead, kWrite } kind = Kind::kWrite;
+  Addr addr = 0;
+  std::size_t size = 0;
+};
+
+/// A sandboxed, segment-mapped, little-endian address space.
+///
+/// Invariants: segments never overlap; all accesses are bounds- and
+/// permission-checked (MemoryFault otherwise); address 0 is never mapped
+/// so null dereferences always fault.
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  /// Maps a new zero-filled segment. Throws std::invalid_argument on
+  /// overlap, zero size, or base 0.
+  Addr map(std::string name, Addr base, std::size_t size, Perm perms);
+
+  [[nodiscard]] const Segment* find(Addr a) const noexcept;
+  [[nodiscard]] const Segment* segment_named(const std::string& name) const noexcept;
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
+    return segments_;
+  }
+
+  // -- Typed accessors (little-endian). Read requires kRead, write kWrite;
+  //    accesses must not straddle a segment boundary.
+  [[nodiscard]] std::uint8_t read8(Addr a) const;
+  [[nodiscard]] std::uint16_t read16(Addr a) const;
+  [[nodiscard]] std::uint32_t read32(Addr a) const;
+  [[nodiscard]] std::uint64_t read64(Addr a) const;
+  void write8(Addr a, std::uint8_t v);
+  void write16(Addr a, std::uint16_t v);
+  void write32(Addr a, std::uint32_t v);
+  void write64(Addr a, std::uint64_t v);
+
+  /// Bulk accessors.
+  [[nodiscard]] std::vector<std::uint8_t> read_bytes(Addr a, std::size_t n) const;
+  void write_bytes(Addr a, std::span<const std::uint8_t> bytes);
+  void write_string(Addr a, const std::string& s, bool nul_terminate = true);
+
+  /// Reads a NUL-terminated string (fails with MemoryFault if it runs off
+  /// the segment before a NUL; max_len guards runaways).
+  [[nodiscard]] std::string read_cstring(Addr a, std::size_t max_len = 1 << 20) const;
+
+  /// True if the address is mapped with execute permission.
+  [[nodiscard]] bool executable(Addr a) const noexcept;
+
+  // -- Journal control. Disabled by default (zero overhead when off).
+  void enable_journal(bool on) { journal_on_ = on; }
+  [[nodiscard]] const std::vector<MemoryEvent>& journal() const noexcept {
+    return journal_;
+  }
+  void clear_journal() { journal_.clear(); }
+
+  /// Writes that landed in [lo, hi) — the discovery engine's overflow query.
+  [[nodiscard]] std::size_t writes_in(Addr lo, Addr hi) const;
+
+ private:
+  Segment& checked(Addr a, std::size_t n, Perm need, const char* op);
+  const Segment& checked(Addr a, std::size_t n, Perm need, const char* op) const;
+  void note(MemoryEvent::Kind k, Addr a, std::size_t n) const;
+
+  std::vector<Segment> segments_;
+  bool journal_on_ = false;
+  mutable std::vector<MemoryEvent> journal_;
+};
+
+}  // namespace dfsm::memsim
+
+#endif  // DFSM_MEMSIM_ADDRESS_SPACE_H

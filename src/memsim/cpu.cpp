@@ -1,0 +1,73 @@
+#include "memsim/cpu.h"
+
+#include <stdexcept>
+
+namespace dfsm::memsim {
+
+CpuContext::CpuContext(AddressSpace& as, Addr text_base, std::size_t text_size)
+    : as_(as),
+      text_base_(text_base),
+      text_cursor_(text_base),
+      text_end_(text_base + text_size) {
+  as_.map("text", text_base_, text_size, Perm::kRX);
+}
+
+Addr CpuContext::register_function(const std::string& name) {
+  if (functions_.count(name) != 0) {
+    throw std::invalid_argument("function already registered: " + name);
+  }
+  if (text_cursor_ + 16 > text_end_) {
+    throw std::invalid_argument("text segment full registering " + name);
+  }
+  const Addr entry = text_cursor_;
+  text_cursor_ += 16;
+  functions_[name] = entry;
+  by_address_[entry] = name;
+  return entry;
+}
+
+Addr CpuContext::function_address(const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    throw std::invalid_argument("unknown function: " + name);
+  }
+  return it->second;
+}
+
+bool CpuContext::is_function(Addr a) const noexcept {
+  return by_address_.count(a) != 0;
+}
+
+Addr CpuContext::plant_mcode(Addr base, std::size_t size) {
+  as_.map("mcode", base, size, Perm::kRWX);
+  mcode_base_ = base;
+  mcode_size_ = size;
+  return base;
+}
+
+bool CpuContext::is_mcode(Addr a) const noexcept {
+  return mcode_size_ != 0 && a >= mcode_base_ && a < mcode_base_ + mcode_size_;
+}
+
+Landing CpuContext::dispatch(Addr a) const {
+  Landing l;
+  l.address = a;
+  auto it = by_address_.find(a);
+  if (it != by_address_.end()) {
+    l.kind = LandingKind::kFunction;
+    l.function = it->second;
+    return l;
+  }
+  if (is_mcode(a)) {
+    l.kind = LandingKind::kMcode;
+    return l;
+  }
+  l.kind = LandingKind::kWild;
+  return l;
+}
+
+Landing CpuContext::call_through_got(const Got& got, const std::string& symbol) const {
+  return dispatch(got.current(symbol));
+}
+
+}  // namespace dfsm::memsim

@@ -1,0 +1,96 @@
+// cpu.h — minimal control-flow semantics for the sandbox: registered
+// function entry points in a text segment, an attacker-controlled Mcode
+// region, and dispatch of indirect calls (through GOT slots) and returns
+// (through saved return addresses).
+//
+// The paper's exploits all end the same way: "the control jumps to the
+// malicious code (Mcode)". We model that terminal event precisely — an
+// indirect control transfer landing in the attacker's payload region —
+// without simulating an instruction set (DESIGN.md §2: the exploited
+// mechanisms are data-structure properties, not ISA properties).
+#ifndef DFSM_MEMSIM_CPU_H
+#define DFSM_MEMSIM_CPU_H
+
+#include <map>
+#include <string>
+
+#include "memsim/address_space.h"
+#include "memsim/got.h"
+
+namespace dfsm::memsim {
+
+/// Where an indirect control transfer landed.
+enum class LandingKind {
+  kFunction,  ///< a registered, legitimate function entry point
+  kMcode,     ///< the attacker's payload region — exploit succeeded
+  kWild,      ///< anything else — the process would crash (SIGSEGV/SIGILL)
+};
+
+[[nodiscard]] constexpr const char* to_string(LandingKind k) noexcept {
+  switch (k) {
+    case LandingKind::kFunction: return "FUNCTION";
+    case LandingKind::kMcode: return "MCODE";
+    case LandingKind::kWild: return "WILD";
+  }
+  return "?";
+}
+
+/// Result of an indirect call or return.
+struct Landing {
+  LandingKind kind = LandingKind::kWild;
+  Addr address = 0;
+  std::string function;  ///< set when kind == kFunction
+};
+
+/// Control-flow context of one sandboxed process.
+///
+/// Invariants: function addresses are unique, 16-byte spaced in the text
+/// segment; the Mcode region (if planted) lies in an executable segment.
+class CpuContext {
+ public:
+  /// @param text_base base of the (read+exec) text segment to create
+  CpuContext(AddressSpace& as, Addr text_base, std::size_t text_size);
+
+  /// Registers a function and returns its entry address.
+  Addr register_function(const std::string& name);
+
+  [[nodiscard]] Addr function_address(const std::string& name) const;
+  [[nodiscard]] bool is_function(Addr a) const noexcept;
+
+  /// Maps an attacker payload region (read+write+exec, as 2003-era stacks
+  /// and heaps effectively were) and records it as Mcode. Returns its base.
+  Addr plant_mcode(Addr base, std::size_t size);
+
+  [[nodiscard]] bool is_mcode(Addr a) const noexcept;
+  [[nodiscard]] Addr mcode_base() const noexcept { return mcode_base_; }
+
+  /// Dispatches a raw code address (a saved return address, a function
+  /// pointer read from memory, ...).
+  [[nodiscard]] Landing dispatch(Addr a) const;
+
+  /// Call through a GOT slot: reads the slot's *current* value and
+  /// dispatches it — corruption of the slot redirects control, exactly as
+  /// in the Sendmail and NULL HTTPD exploits.
+  [[nodiscard]] Landing call_through_got(const Got& got, const std::string& symbol) const;
+
+  /// Count of Mcode landings so far (the exploit-success counter).
+  [[nodiscard]] std::uint64_t mcode_landings() const noexcept { return mcode_landings_; }
+  void count_landing(const Landing& l) {
+    if (l.kind == LandingKind::kMcode) ++mcode_landings_;
+  }
+
+ private:
+  AddressSpace& as_;
+  Addr text_base_;
+  Addr text_cursor_;
+  Addr text_end_;
+  std::map<std::string, Addr> functions_;
+  std::map<Addr, std::string> by_address_;
+  Addr mcode_base_ = 0;
+  std::size_t mcode_size_ = 0;
+  std::uint64_t mcode_landings_ = 0;
+};
+
+}  // namespace dfsm::memsim
+
+#endif  // DFSM_MEMSIM_CPU_H

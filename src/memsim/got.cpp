@@ -1,0 +1,51 @@
+#include "memsim/got.h"
+
+#include <stdexcept>
+
+namespace dfsm::memsim {
+
+Got::Got(AddressSpace& as, Addr base, std::size_t max_entries,
+         std::string segment_name)
+    : as_(as), base_(base), max_entries_(max_entries) {
+  if (max_entries_ == 0) throw std::invalid_argument("Got requires capacity > 0");
+  as_.map(std::move(segment_name), base_, max_entries_ * 8, Perm::kRW);
+}
+
+Addr Got::bind(const std::string& symbol, Addr function_address) {
+  if (slots_.count(symbol) != 0) {
+    throw std::invalid_argument("GOT symbol already bound: " + symbol);
+  }
+  if (slots_.size() >= max_entries_) {
+    throw std::invalid_argument("GOT is full");
+  }
+  const Addr slot = base_ + slots_.size() * 8;
+  as_.write64(slot, function_address);
+  slots_[symbol] = {slot, function_address};
+  return slot;
+}
+
+Addr Got::slot_address(const std::string& symbol) const {
+  auto it = slots_.find(symbol);
+  if (it == slots_.end()) throw std::invalid_argument("unknown GOT symbol: " + symbol);
+  return it->second.first;
+}
+
+Addr Got::current(const std::string& symbol) const {
+  return as_.read64(slot_address(symbol));
+}
+
+Addr Got::loaded(const std::string& symbol) const {
+  auto it = slots_.find(symbol);
+  if (it == slots_.end()) throw std::invalid_argument("unknown GOT symbol: " + symbol);
+  return it->second.second;
+}
+
+bool Got::unchanged(const std::string& symbol) const {
+  return current(symbol) == loaded(symbol);
+}
+
+bool Got::has(const std::string& symbol) const noexcept {
+  return slots_.count(symbol) != 0;
+}
+
+}  // namespace dfsm::memsim

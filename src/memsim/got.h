@@ -1,0 +1,68 @@
+// got.h — the Global Offset Table of the sandboxed process.
+//
+// Paper footnote 4: "The GOT entry is a function pointer to a specific
+// function... A GOT lookup is performed to decide the callee's entry when a
+// library function is called." Two of the paper's case studies corrupt GOT
+// entries (setuid() in Sendmail #3163, free() in NULL HTTPD #5774); the
+// Reference Consistency Check pFSM asks exactly "is the GOT entry
+// unchanged since it was loaded to memory during program initialization?".
+//
+// Got keeps a load-time snapshot so that question is answerable, and stores
+// the live slots in the AddressSpace so heap/array-underflow writes corrupt
+// them the same way they do in a real process.
+#ifndef DFSM_MEMSIM_GOT_H
+#define DFSM_MEMSIM_GOT_H
+
+#include <map>
+#include <string>
+
+#include "memsim/address_space.h"
+
+namespace dfsm::memsim {
+
+/// A GOT backed by a writable segment of the address space (the GOT is
+/// writable in a real (non-RELRO) process — that is what makes these
+/// exploits possible).
+///
+/// Invariant: each symbol is bound at most once; slots are 8 bytes.
+class Got {
+ public:
+  /// @param as   the owning address space (must outlive the Got)
+  /// @param base segment base for the table
+  /// @param max_entries capacity
+  Got(AddressSpace& as, Addr base, std::size_t max_entries,
+      std::string segment_name = "got");
+
+  /// Binds a symbol to its resolved function address ("load addr_setuid to
+  /// the memory during program initialization") and snapshots the value.
+  /// Returns the slot address. Throws std::invalid_argument when full or
+  /// on duplicate symbol.
+  Addr bind(const std::string& symbol, Addr function_address);
+
+  /// The address of the slot itself (what an attacker overwrites).
+  [[nodiscard]] Addr slot_address(const std::string& symbol) const;
+
+  /// The *current* value stored in the slot — read from memory, so
+  /// corruption is visible.
+  [[nodiscard]] Addr current(const std::string& symbol) const;
+
+  /// The load-time snapshot value.
+  [[nodiscard]] Addr loaded(const std::string& symbol) const;
+
+  /// The Reference Consistency predicate: current == loaded.
+  [[nodiscard]] bool unchanged(const std::string& symbol) const;
+
+  [[nodiscard]] bool has(const std::string& symbol) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] Addr base() const noexcept { return base_; }
+
+ private:
+  AddressSpace& as_;
+  Addr base_;
+  std::size_t max_entries_;
+  std::map<std::string, std::pair<Addr, Addr>> slots_;  // symbol -> {slot, snapshot}
+};
+
+}  // namespace dfsm::memsim
+
+#endif  // DFSM_MEMSIM_GOT_H

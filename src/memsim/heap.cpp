@@ -1,0 +1,297 @@
+#include "memsim/heap.h"
+
+namespace dfsm::memsim {
+
+namespace {
+constexpr std::uint64_t kPrevInuse = 1;
+constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+std::string hex(Addr a) {
+  char b[32];
+  std::snprintf(b, sizeof b, "0x%llx", static_cast<unsigned long long>(a));
+  return b;
+}
+}  // namespace
+
+HeapAllocator::HeapAllocator(AddressSpace& as, Addr base, std::size_t size,
+                             bool safe_unlink, std::string segment_name)
+    : as_(as), base_(base), size_(size), safe_unlink_(safe_unlink) {
+  if (size_ < 4 * ChunkLayout::kMinChunk) {
+    throw std::invalid_argument("heap too small");
+  }
+  as_.map(std::move(segment_name), base_, size_, Perm::kRW);
+
+  bin_ = base_;
+  fencepost_ = base_ + size_ - ChunkLayout::kHeader;
+
+  // Sentinel: fd/bk initially self-referential.
+  as_.write64(bin_ + 8, ChunkLayout::kMinChunk | kPrevInuse);
+  as_.write64(bin_ + ChunkLayout::kFdOffset, bin_);
+  as_.write64(bin_ + ChunkLayout::kBkOffset, bin_);
+
+  // One big free chunk between sentinel and fencepost.
+  const Addr top = base_ + ChunkLayout::kMinChunk;
+  const std::size_t top_size = size_ - ChunkLayout::kMinChunk - ChunkLayout::kHeader;
+  set_size(top, top_size, /*prev_inuse_bit=*/true);  // sentinel counts as in use
+  insert_front(top);
+
+  // Fencepost: size 0 marks the end; PREV_INUSE=0 because top is free.
+  as_.write64(fencepost_, top_size);  // prev_size of fencepost
+  as_.write64(fencepost_ + 8, 0);
+}
+
+std::uint64_t HeapAllocator::size_field(Addr chunk) const {
+  return as_.read64(chunk + 8);
+}
+
+std::size_t HeapAllocator::chunk_size(Addr chunk) const {
+  return static_cast<std::size_t>(size_field(chunk) & ~std::uint64_t{7});
+}
+
+bool HeapAllocator::prev_inuse(Addr chunk) const {
+  return (size_field(chunk) & kPrevInuse) != 0;
+}
+
+void HeapAllocator::set_size(Addr chunk, std::size_t size, bool prev_inuse_bit) {
+  as_.write64(chunk + 8, static_cast<std::uint64_t>(size) |
+                             (prev_inuse_bit ? kPrevInuse : 0));
+}
+
+Addr HeapAllocator::next_chunk(Addr chunk) const { return chunk + chunk_size(chunk); }
+
+bool HeapAllocator::is_fencepost(Addr chunk) const { return chunk >= fencepost_; }
+
+bool HeapAllocator::chunk_is_free(Addr chunk) const {
+  const Addr next = next_chunk(chunk);
+  if (next > fencepost_) {
+    throw HeapError("chunk metadata runs past fencepost at " + hex(chunk));
+  }
+  return !prev_inuse(next);
+}
+
+void HeapAllocator::insert_front(Addr chunk) {
+  const Addr first = as_.read64(bin_ + ChunkLayout::kFdOffset);
+  as_.write64(chunk + ChunkLayout::kFdOffset, first);
+  as_.write64(chunk + ChunkLayout::kBkOffset, bin_);
+  as_.write64(first + ChunkLayout::kBkOffset, chunk);
+  as_.write64(bin_ + ChunkLayout::kFdOffset, chunk);
+}
+
+void HeapAllocator::unlink(Addr chunk) {
+  const Addr fd = as_.read64(chunk + ChunkLayout::kFdOffset);
+  const Addr bk = as_.read64(chunk + ChunkLayout::kBkOffset);
+  if (safe_unlink_) {
+    // pFSM "Reference Consistency Check": are the free-chunk links
+    // unchanged? (glibc: "corrupted double-linked list")
+    const bool intact = as_.read64(fd + ChunkLayout::kBkOffset) == chunk &&
+                        as_.read64(bk + ChunkLayout::kFdOffset) == chunk;
+    if (!intact) {
+      throw HeapError("safe-unlink: free-chunk links tampered at chunk " + hex(chunk));
+    }
+  }
+  // The write-what-where pair: FD->bk = BK; BK->fd = FD.
+  as_.write64(fd + ChunkLayout::kBkOffset, bk);
+  as_.write64(bk + ChunkLayout::kFdOffset, fd);
+  ++stats_.unlinks;
+}
+
+void HeapAllocator::mark_inuse(Addr chunk) {
+  const Addr next = next_chunk(chunk);
+  if (next <= fencepost_) {
+    as_.write64(next + 8, size_field(next) | kPrevInuse);
+  }
+}
+
+void HeapAllocator::mark_free(Addr chunk) {
+  const Addr next = next_chunk(chunk);
+  if (next <= fencepost_) {
+    as_.write64(next, chunk_size(chunk));  // prev_size for back-coalescing
+    as_.write64(next + 8, size_field(next) & ~kPrevInuse);
+  }
+}
+
+Addr HeapAllocator::malloc(std::size_t n) {
+  if (n > size_) {
+    // Also guards the C-idiom (size_t)(negative int) request NULL HTTPD
+    // makes for contentLen < -1024: calloc fails, it does not wrap.
+    throw HeapError("out of memory: request for " + std::to_string(n));
+  }
+  const std::size_t need =
+      std::max(align8(n) + ChunkLayout::kHeader, ChunkLayout::kMinChunk);
+
+  // First fit over the free list.
+  Addr p = as_.read64(bin_ + ChunkLayout::kFdOffset);
+  std::size_t guard = 0;
+  while (p != bin_) {
+    if (++guard > 1u << 20) throw HeapError("free list cycle detected");
+    const std::size_t cs = chunk_size(p);
+    if (cs >= need) break;
+    p = as_.read64(p + ChunkLayout::kFdOffset);
+  }
+  if (p == bin_) throw HeapError("out of memory: request for " + std::to_string(n));
+
+  unlink(p);
+  const std::size_t cs = chunk_size(p);
+  if (cs >= need + ChunkLayout::kMinChunk) {
+    // Split: front part allocated, remainder stays free.
+    const bool pbit = prev_inuse(p);
+    set_size(p, need, pbit);
+    const Addr rem = p + need;
+    set_size(rem, cs - need, /*prev_inuse_bit=*/true);
+    insert_front(rem);
+    mark_free(rem);
+    ++stats_.splits;
+  } else {
+    mark_inuse(p);
+  }
+  mark_inuse(p);  // idempotent for the split path (rem's bit set above)
+  ++stats_.mallocs;
+  return p + ChunkLayout::kHeader;
+}
+
+Addr HeapAllocator::calloc(std::size_t count, std::size_t elem) {
+  if (elem != 0 && count > static_cast<std::size_t>(-1) / elem) {
+    throw HeapError("calloc multiplication overflow");
+  }
+  const std::size_t n = count * elem;
+  const Addr user = malloc(n);
+  const std::size_t usable = usable_size(user);
+  std::vector<std::uint8_t> zeros(usable, 0);
+  as_.write_bytes(user, zeros);
+  return user;
+}
+
+Addr HeapAllocator::realloc(Addr user_ptr, std::size_t n) {
+  if (user_ptr == 0) return malloc(n);
+  if (n == 0) {
+    free(user_ptr);
+    return 0;
+  }
+  const std::size_t old_usable = usable_size(user_ptr);
+  const Addr fresh = malloc(n);  // may throw; old allocation untouched then
+  const std::size_t copy = std::min(old_usable, n);
+  if (copy > 0) {
+    const auto bytes = as_.read_bytes(user_ptr, copy);
+    as_.write_bytes(fresh, bytes);
+  }
+  free(user_ptr);
+  return fresh;
+}
+
+void HeapAllocator::free(Addr user_ptr) {
+  Addr c = user_ptr - ChunkLayout::kHeader;
+  if (c < base_ + ChunkLayout::kMinChunk || c >= fencepost_) {
+    throw HeapError("free of pointer outside heap: " + hex(user_ptr));
+  }
+  if (chunk_is_free(c)) {
+    throw HeapError("double free detected at " + hex(user_ptr));
+  }
+  std::size_t sz = chunk_size(c);
+
+  // Forward coalesce: if the physically-next chunk is free, unlink it and
+  // absorb it. This is where the corrupted-fd/bk write-what-where fires.
+  const Addr next = next_chunk(c);
+  if (!is_fencepost(next) && chunk_is_free(next)) {
+    unlink(next);
+    sz += chunk_size(next);
+    set_size(c, sz, prev_inuse(c));
+    ++stats_.coalesces;
+  }
+
+  // Backward coalesce.
+  if (!prev_inuse(c)) {
+    const std::size_t prev_size = static_cast<std::size_t>(as_.read64(c));
+    const Addr prev = c - prev_size;
+    unlink(prev);
+    sz += prev_size;
+    c = prev;
+    set_size(c, sz, prev_inuse(c));
+    ++stats_.coalesces;
+  }
+
+  insert_front(c);
+  mark_free(c);
+  ++stats_.frees;
+}
+
+std::size_t HeapAllocator::usable_size(Addr user_ptr) const {
+  const Addr c = user_ptr - ChunkLayout::kHeader;
+  return chunk_size(c) - ChunkLayout::kHeader;
+}
+
+std::vector<std::string> HeapAllocator::audit() const {
+  std::vector<std::string> findings;
+  // Physical walk: every chunk size must be aligned, >= MinChunk, and the
+  // walk must land exactly on the fencepost.
+  Addr c = base_ + ChunkLayout::kMinChunk;
+  std::size_t guard = 0;
+  while (c < fencepost_) {
+    if (++guard > 1u << 20) {
+      findings.push_back("physical walk did not terminate");
+      return findings;
+    }
+    const std::size_t cs = chunk_size(c);
+    if (cs < ChunkLayout::kMinChunk || (cs & 7) != 0) {
+      findings.push_back("chunk " + hex(c) + " has corrupt size " + std::to_string(cs));
+      return findings;  // cannot continue the walk past garbage
+    }
+    if (c + cs > fencepost_) {
+      findings.push_back("chunk " + hex(c) + " overruns the fencepost");
+      return findings;
+    }
+    c += cs;
+  }
+  if (c != fencepost_) {
+    findings.push_back("physical walk ended at " + hex(c) + ", not the fencepost");
+  }
+  // Free-list walk: round-trip consistency of fd/bk.
+  Addr p = as_.read64(bin_ + ChunkLayout::kFdOffset);
+  guard = 0;
+  while (p != bin_) {
+    if (++guard > 1u << 20) {
+      findings.push_back("free list does not cycle back to the bin");
+      break;
+    }
+    if (p < base_ || p >= fencepost_) {
+      findings.push_back("free-list node " + hex(p) + " lies outside the heap");
+      break;
+    }
+    const Addr fd = as_.read64(p + ChunkLayout::kFdOffset);
+    const Addr bk = as_.read64(p + ChunkLayout::kBkOffset);
+    if ((bk == bin_ ? as_.read64(bin_ + ChunkLayout::kFdOffset)
+                    : as_.read64(bk + ChunkLayout::kFdOffset)) != p ||
+        (fd == bin_ ? as_.read64(bin_ + ChunkLayout::kBkOffset)
+                    : as_.read64(fd + ChunkLayout::kBkOffset)) != p) {
+      findings.push_back("free-chunk links tampered at " + hex(p));
+    }
+    p = fd;
+  }
+  return findings;
+}
+
+std::vector<HeapAllocator::ChunkInfo> HeapAllocator::chunks() const {
+  std::vector<ChunkInfo> out;
+  Addr c = base_ + ChunkLayout::kMinChunk;
+  std::size_t guard = 0;
+  while (c < fencepost_ && ++guard < (1u << 20)) {
+    const std::size_t cs = chunk_size(c);
+    if (cs < ChunkLayout::kMinChunk || (cs & 7) != 0) break;  // corrupt; stop
+    ChunkInfo info;
+    info.chunk = c;
+    info.user = c + ChunkLayout::kHeader;
+    info.size = cs;
+    info.is_free = chunk_is_free(c);
+    out.push_back(info);
+    c += cs;
+  }
+  return out;
+}
+
+Addr HeapAllocator::following_free_chunk(Addr user_ptr) const {
+  const Addr c = user_ptr - ChunkLayout::kHeader;
+  const Addr next = next_chunk(c);
+  if (is_fencepost(next) || !chunk_is_free(next)) return 0;
+  return next;
+}
+
+}  // namespace dfsm::memsim

@@ -1,0 +1,144 @@
+// heap.h — a boundary-tag, doubly-linked-free-list heap allocator in the
+// style of GNU libc's dlmalloc, the substrate of the NULL HTTPD heap
+// overflow (paper Figure 4).
+//
+// "Free chunks are organized as a double-linked-list by GNU-libc. The
+// beginning few bytes of each free chunk are used as the forward link (fd)
+// and the backward link (bk) of the double-linked list."
+//
+// The allocator performs its unlink operations with *real* writes into the
+// sandboxed AddressSpace:
+//     FD = P->fd;  BK = P->bk;  FD->bk = BK;  BK->fd = FD;
+// so a buffer overflow that corrupts a free chunk's fd/bk yields the
+// write-what-where primitive the paper describes (footnote 7: set
+// B->fd = &addr_free - offsetof(bk), B->bk = Mcode).
+//
+// The Reference Consistency pFSM of Figure 4 ("are free-chunk links
+// unchanged?") corresponds to the `safe_unlink` option: verify
+// FD->bk == P && BK->fd == P before unlinking (what glibc later shipped as
+// the "corrupted double-linked list" check). Enabling it foils the exploit
+// at exactly the elementary activity the model says it should.
+//
+// Chunk layout (addresses ascending, all fields 8 bytes, little-endian):
+//   +0  prev_size   (size of previous chunk — meaningful when prev free)
+//   +8  size|flags  (bit 0 = PREV_INUSE: the *previous* chunk is in use)
+//   +16 user data ... (fd at +16 and bk at +24 while the chunk is free)
+// A chunk's own free/in-use status lives in the NEXT chunk's PREV_INUSE
+// bit, exactly as in dlmalloc.
+#ifndef DFSM_MEMSIM_HEAP_H
+#define DFSM_MEMSIM_HEAP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/address_space.h"
+
+namespace dfsm::memsim {
+
+/// Thrown on allocator-detected corruption (safe-unlink failure, double
+/// free, exhaustion).
+class HeapError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Offsets shared with exploit builders.
+struct ChunkLayout {
+  static constexpr std::size_t kHeader = 16;    ///< prev_size + size
+  static constexpr std::size_t kFdOffset = 16;  ///< fd relative to chunk base
+  static constexpr std::size_t kBkOffset = 24;  ///< bk relative to chunk base
+  static constexpr std::size_t kMinChunk = 32;
+};
+
+class HeapAllocator {
+ public:
+  /// Carves a heap out of [base, base+size) in `as`. The first 32 bytes
+  /// hold the free-list sentinel ("bin"); the last 16 a fencepost.
+  ///
+  /// @param safe_unlink enable the FD->bk==P && BK->fd==P integrity check
+  HeapAllocator(AddressSpace& as, Addr base, std::size_t size,
+                bool safe_unlink = false, std::string segment_name = "heap");
+
+  /// Allocates at least n usable bytes; returns the user pointer.
+  /// Throws HeapError on exhaustion.
+  Addr malloc(std::size_t n);
+
+  /// malloc(count*elem) zero-filled; throws HeapError on multiplication
+  /// overflow or exhaustion (mirrors calloc returning NULL).
+  Addr calloc(std::size_t count, std::size_t elem);
+
+  /// realloc(3): grows/shrinks an allocation, copying min(old, new) user
+  /// bytes. realloc(0, n) allocates; realloc(p, 0) frees and returns 0.
+  /// Throws HeapError on exhaustion (the original pointer stays valid).
+  Addr realloc(Addr user_ptr, std::size_t n);
+
+  /// Frees a user pointer, coalescing with free neighbours via unlink.
+  /// Throws HeapError on obvious double free or a failed safe-unlink
+  /// check; MemoryFault if corrupted metadata sends writes out of bounds.
+  void free(Addr user_ptr);
+
+  /// Usable bytes of an allocated chunk.
+  [[nodiscard]] std::size_t usable_size(Addr user_ptr) const;
+
+  void set_safe_unlink(bool on) noexcept { safe_unlink_ = on; }
+  [[nodiscard]] bool safe_unlink() const noexcept { return safe_unlink_; }
+
+  /// Free-chunk-links integrity of the whole heap — pFSM3's predicate as a
+  /// whole-heap query. Returns human-readable findings; empty == intact.
+  [[nodiscard]] std::vector<std::string> audit() const;
+
+  /// Chunk enumeration for tests and the discovery engine.
+  struct ChunkInfo {
+    Addr chunk = 0;        ///< header address
+    Addr user = 0;         ///< user data address
+    std::size_t size = 0;  ///< total chunk size incl. header
+    bool is_free = false;
+  };
+  [[nodiscard]] std::vector<ChunkInfo> chunks() const;
+
+  /// The free chunk physically following an allocated user pointer, if
+  /// any — what a sequential overflow of that buffer reaches first (the
+  /// "chunk B" of Figure 4). Returns 0 when the next chunk is in use or
+  /// is the fencepost.
+  [[nodiscard]] Addr following_free_chunk(Addr user_ptr) const;
+
+  [[nodiscard]] Addr bin() const noexcept { return bin_; }
+  [[nodiscard]] Addr heap_base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t heap_size() const noexcept { return size_; }
+
+  struct Stats {
+    std::uint64_t mallocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t unlinks = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t coalesces = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] std::uint64_t size_field(Addr chunk) const;
+  [[nodiscard]] std::size_t chunk_size(Addr chunk) const;
+  [[nodiscard]] bool prev_inuse(Addr chunk) const;
+  void set_size(Addr chunk, std::size_t size, bool prev_inuse_bit);
+  [[nodiscard]] Addr next_chunk(Addr chunk) const;
+  [[nodiscard]] bool is_fencepost(Addr chunk) const;
+  [[nodiscard]] bool chunk_is_free(Addr chunk) const;
+
+  void insert_front(Addr chunk);
+  void unlink(Addr chunk);
+  void mark_inuse(Addr chunk);
+  void mark_free(Addr chunk);
+
+  AddressSpace& as_;
+  Addr base_;
+  std::size_t size_;
+  Addr bin_;        ///< sentinel chunk address (== base_)
+  Addr fencepost_;  ///< terminal pseudo-chunk address
+  bool safe_unlink_;
+  Stats stats_;
+};
+
+}  // namespace dfsm::memsim
+
+#endif  // DFSM_MEMSIM_HEAP_H

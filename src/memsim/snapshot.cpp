@@ -1,0 +1,62 @@
+#include "memsim/snapshot.h"
+
+#include <algorithm>
+
+namespace dfsm::memsim {
+
+MemorySnapshot MemorySnapshot::capture(
+    const AddressSpace& as, const std::vector<std::string>& segment_names) {
+  MemorySnapshot snap;
+  for (const auto& seg : as.segments()) {
+    if (!segment_names.empty() &&
+        std::find(segment_names.begin(), segment_names.end(), seg.name) ==
+            segment_names.end()) {
+      continue;
+    }
+    snap.segments_.push_back(Saved{seg.name, seg.base, seg.data});
+  }
+  return snap;
+}
+
+std::vector<MemorySnapshot::DiffRegion> MemorySnapshot::diff(
+    const AddressSpace& as) const {
+  std::vector<DiffRegion> out;
+  for (const auto& saved : segments_) {
+    const Segment* live = as.segment_named(saved.name);
+    if (live == nullptr || live->base != saved.base ||
+        live->data.size() != saved.data.size()) {
+      continue;  // remapped/resized: not comparable
+    }
+    std::size_t i = 0;
+    while (i < saved.data.size()) {
+      if (live->data[i] == saved.data[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < saved.data.size() && live->data[j] != saved.data[j]) ++j;
+      out.push_back(DiffRegion{saved.name, saved.base + i, j - i});
+      i = j;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DiffRegion& a, const DiffRegion& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+bool MemorySnapshot::unchanged(const AddressSpace& as) const {
+  return diff(as).empty();
+}
+
+bool MemorySnapshot::changed_within(const AddressSpace& as, Addr lo,
+                                    Addr hi) const {
+  for (const auto& region : diff(as)) {
+    const Addr end = region.start + region.length;
+    if (region.start < hi && end > lo) return true;
+  }
+  return false;
+}
+
+}  // namespace dfsm::memsim

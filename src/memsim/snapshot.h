@@ -1,0 +1,64 @@
+// snapshot.h — whole-memory snapshot and diff: the Reference Consistency
+// Check (Figure 8) generalized from a single slot to arbitrary regions.
+//
+// The paper's pFSM3/pFSM4-style predicates ask "is THIS reference
+// unchanged since load?". A snapshot taken at load time answers the
+// stronger forensic question after the fact: WHICH bytes of which
+// segments changed, and do any of them overlap regions that must stay
+// constant (the GOT, saved return addresses)? §6 notes that "very few
+// techniques are available to protect other reference inconsistencies" —
+// segment diffing is the brute-force such technique, and the discovery
+// engine's natural companion.
+#ifndef DFSM_MEMSIM_SNAPSHOT_H
+#define DFSM_MEMSIM_SNAPSHOT_H
+
+#include <string>
+#include <vector>
+
+#include "memsim/address_space.h"
+
+namespace dfsm::memsim {
+
+/// An immutable copy of (selected) segments' contents.
+class MemorySnapshot {
+ public:
+  /// Snapshots every segment (pass names to restrict).
+  static MemorySnapshot capture(const AddressSpace& as,
+                                const std::vector<std::string>& segment_names = {});
+
+  /// One maximal run of changed bytes.
+  struct DiffRegion {
+    std::string segment;
+    Addr start = 0;          ///< first changed address
+    std::size_t length = 0;  ///< run length in bytes
+  };
+
+  /// Compares the live address space against this snapshot. Segments not
+  /// captured (or since remapped in size) are skipped. Regions are
+  /// maximal and sorted by address.
+  [[nodiscard]] std::vector<DiffRegion> diff(const AddressSpace& as) const;
+
+  /// True when no captured byte changed — the whole-image consistency
+  /// predicate.
+  [[nodiscard]] bool unchanged(const AddressSpace& as) const;
+
+  /// True when any changed byte falls inside [lo, hi) — e.g. "was the
+  /// GOT written since load?".
+  [[nodiscard]] bool changed_within(const AddressSpace& as, Addr lo, Addr hi) const;
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+ private:
+  struct Saved {
+    std::string name;
+    Addr base = 0;
+    std::vector<std::uint8_t> data;
+  };
+  std::vector<Saved> segments_;
+};
+
+}  // namespace dfsm::memsim
+
+#endif  // DFSM_MEMSIM_SNAPSHOT_H

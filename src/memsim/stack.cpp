@@ -1,0 +1,79 @@
+#include "memsim/stack.h"
+
+#include <stdexcept>
+
+namespace dfsm::memsim {
+
+namespace {
+constexpr std::size_t align8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+}  // namespace
+
+Stack::Stack(AddressSpace& as, Addr base, std::size_t size, bool canaries,
+             std::uint64_t canary_value)
+    : as_(as),
+      base_(base),
+      size_(size),
+      sp_(base + size),
+      canaries_(canaries),
+      canary_value_(canary_value) {
+  as_.map("stack", base_, size_, Perm::kRW);
+}
+
+Frame Stack::push_frame(const std::string& function, Addr return_address,
+                        const std::vector<Local>& locals) {
+  std::size_t need = 8;  // ret slot
+  if (canaries_) need += 8;
+  for (const auto& l : locals) {
+    if (l.size == 0) throw std::invalid_argument("local '" + l.name + "' has size 0");
+    need += align8(l.size);
+  }
+  if (sp_ < base_ + need) {
+    throw MemoryFault("stack exhausted pushing frame for " + function, sp_);
+  }
+
+  Frame f;
+  f.function = function;
+  f.high = sp_;
+
+  Addr cursor = sp_;
+  cursor -= 8;
+  f.ret_slot = cursor;
+  as_.write64(f.ret_slot, return_address);
+  if (canaries_) {
+    cursor -= 8;
+    f.canary_slot = cursor;
+    as_.write64(*f.canary_slot, canary_value_);
+  }
+  for (const auto& l : locals) {
+    cursor -= align8(l.size);
+    f.locals[l.name] = cursor;
+  }
+  f.low = cursor;
+
+  saved_.push_back(SavedFrame{sp_, f.ret_slot, return_address, f.canary_slot});
+  sp_ = cursor;
+  return f;
+}
+
+ReturnResult Stack::pop_frame(const Frame& frame) {
+  if (saved_.empty()) throw std::logic_error("pop_frame on empty stack");
+  const SavedFrame top = saved_.back();
+  if (top.ret_slot != frame.ret_slot) {
+    throw std::logic_error("pop_frame: frame is not the innermost frame");
+  }
+  ReturnResult r;
+  r.return_address = as_.read64(top.ret_slot);
+  r.ret_modified = (r.return_address != top.pushed_return);
+  if (top.canary_slot) {
+    r.canary_intact = (as_.read64(*top.canary_slot) == canary_value_);
+  }
+  saved_.pop_back();
+  sp_ = top.sp_before;
+  return r;
+}
+
+Addr Stack::saved_return(const Frame& frame) const {
+  return as_.read64(frame.ret_slot);
+}
+
+}  // namespace dfsm::memsim

@@ -1,0 +1,97 @@
+// stack.h — a downward-growing call stack with saved return addresses.
+//
+// GHTTPD #5960 smashes a saved return address past a 200-byte stack
+// buffer; rpc.statd #1480 overwrites one with a %n format-directive write.
+// Both need stack frames whose saved return address lives in addressable
+// memory *above* the local buffers, so a forward overflow reaches it — the
+// layout used here. StackGuard-style canaries (paper §3.2: "deploy return
+// address protection techniques, such as StackGuard and split-stack") are
+// supported as the elementary-activity-3 defence.
+#ifndef DFSM_MEMSIM_STACK_H
+#define DFSM_MEMSIM_STACK_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memsim/address_space.h"
+
+namespace dfsm::memsim {
+
+/// A named local variable request.
+struct Local {
+  std::string name;
+  std::size_t size = 0;
+};
+
+/// A pushed frame. Addresses point into the owning AddressSpace; the
+/// saved return address and canary are ordinary memory and can be smashed.
+struct Frame {
+  std::string function;
+  Addr ret_slot = 0;                 ///< holds the saved return address
+  std::optional<Addr> canary_slot;   ///< present when canaries are enabled
+  std::map<std::string, Addr> locals;
+  Addr low = 0;   ///< lowest address of the frame (== sp while active)
+  Addr high = 0;  ///< one past the ret slot
+};
+
+/// Result of returning from a frame.
+struct ReturnResult {
+  Addr return_address = 0;   ///< the value actually read back from memory
+  bool canary_intact = true; ///< false => StackGuard would abort
+  bool ret_modified = false; ///< saved value differs from the one pushed
+};
+
+/// A downward-growing stack in its own segment.
+///
+/// Frame layout (addresses descending):
+///   [ret slot: 8][canary: 8, optional][local 0][local 1]...[local n-1]
+/// so local 0's buffer sits immediately below the canary/ret slot and a
+/// forward (ascending) overflow of local 0 reaches them — the classic
+/// stack-smash geometry.
+///
+/// Invariants: frames nest LIFO; locals are 8-byte aligned; pushing past
+/// the segment throws MemoryFault (stack exhaustion).
+class Stack {
+ public:
+  /// @param canaries enable StackGuard-style canaries on every frame
+  Stack(AddressSpace& as, Addr base, std::size_t size, bool canaries = false,
+        std::uint64_t canary_value = 0xDF5A'C0DE'CAFE'F00Dull);
+
+  /// Pushes a frame for `function` returning to `return_address`.
+  Frame push_frame(const std::string& function, Addr return_address,
+                   const std::vector<Local>& locals);
+
+  /// Pops the innermost frame (must match `frame`), reading the saved
+  /// return address back from memory and checking the canary.
+  ReturnResult pop_frame(const Frame& frame);
+
+  [[nodiscard]] Addr sp() const noexcept { return sp_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return saved_.size(); }
+  [[nodiscard]] bool canaries_enabled() const noexcept { return canaries_; }
+  [[nodiscard]] std::uint64_t canary_value() const noexcept { return canary_value_; }
+
+  /// Peeks at the saved return address of an active frame (may be smashed).
+  [[nodiscard]] Addr saved_return(const Frame& frame) const;
+
+ private:
+  struct SavedFrame {
+    Addr sp_before;
+    Addr ret_slot;
+    Addr pushed_return;
+    std::optional<Addr> canary_slot;
+  };
+
+  AddressSpace& as_;
+  Addr base_;
+  std::size_t size_;
+  Addr sp_;
+  bool canaries_;
+  std::uint64_t canary_value_;
+  std::vector<SavedFrame> saved_;
+};
+
+}  // namespace dfsm::memsim
+
+#endif  // DFSM_MEMSIM_STACK_H

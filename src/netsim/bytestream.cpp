@@ -1,0 +1,26 @@
+#include "netsim/bytestream.h"
+
+namespace dfsm::netsim {
+
+void ByteStream::send(std::span<const std::uint8_t> bytes) {
+  queue_.insert(queue_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteStream::send(const std::string& s) {
+  for (char c : s) queue_.push_back(static_cast<std::uint8_t>(c));
+}
+
+int ByteStream::recv(std::vector<std::uint8_t>& out, std::size_t max) {
+  out.clear();
+  if (error_pending_) {
+    error_pending_ = false;
+    return -1;
+  }
+  if (queue_.empty()) return 0;
+  const std::size_t n = std::min(max, queue_.size());
+  out.assign(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  return static_cast<int>(n);
+}
+
+}  // namespace dfsm::netsim

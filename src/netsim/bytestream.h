@@ -1,0 +1,59 @@
+// bytestream.h — the socket abstraction of the sandbox.
+//
+// Paper §5.1: "the socket programming style requires the users to specify
+// the contentLen and input separately, because the socket has no way of
+// determining the length of the input" — the root of both NULL HTTPD
+// vulnerabilities. ByteStream reproduces exactly the recv() contract the
+// exploit depends on: a stream of attacker bytes, length unknown to the
+// receiver, delivered in bounded reads with 0 at orderly EOF and -1 on
+// error.
+#ifndef DFSM_NETSIM_BYTESTREAM_H
+#define DFSM_NETSIM_BYTESTREAM_H
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfsm::netsim {
+
+/// A unidirectional byte stream (attacker -> server).
+class ByteStream {
+ public:
+  ByteStream() = default;
+
+  /// Queues bytes for delivery.
+  void send(std::span<const std::uint8_t> bytes);
+  void send(const std::string& s);
+
+  /// Marks orderly shutdown: after the queue drains, recv returns 0.
+  void close_write() noexcept { write_closed_ = true; }
+
+  /// Injects a socket error: the next recv returns -1.
+  void inject_error() noexcept { error_pending_ = true; }
+
+  /// recv(2) semantics: up to `max` bytes into `out` (resized to the
+  /// amount received); returns the byte count, 0 at EOF, -1 on error.
+  /// Blocks never happen — an empty, unclosed stream also reports EOF 0
+  /// (the sandbox is single-threaded; there is nothing to wait for).
+  [[nodiscard]] int recv(std::vector<std::uint8_t>& out, std::size_t max);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool write_closed() const noexcept { return write_closed_; }
+
+ private:
+  std::deque<std::uint8_t> queue_;
+  bool write_closed_ = false;
+  bool error_pending_ = false;
+};
+
+/// A client/server socket pair (request stream + response sink).
+struct Connection {
+  ByteStream to_server;
+  std::string response;  ///< what the server wrote back (for assertions)
+};
+
+}  // namespace dfsm::netsim
+
+#endif  // DFSM_NETSIM_BYTESTREAM_H

@@ -1,0 +1,101 @@
+#include "netsim/decode.h"
+
+#include <cctype>
+#include <vector>
+
+namespace dfsm::netsim {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+std::string percent_decode_twice(const std::string& s) {
+  return percent_decode(percent_decode(s));
+}
+
+bool contains_dotdot(const std::string& path) {
+  if (path.find("../") != std::string::npos) return true;
+  if (path.find("..\\") != std::string::npos) return true;
+  // A trailing ".." component also escapes.
+  if (path == "..") return true;
+  if (path.size() >= 3) {
+    const std::string tail = path.substr(path.size() - 3);
+    if (tail == "/.." || tail == "\\..") return true;
+  }
+  return false;
+}
+
+std::string lexically_normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::vector<std::string> out;
+  std::string cur;
+  const bool absolute = !path.empty() && path.front() == '/';
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  for (const auto& p : parts) {
+    if (p == ".") continue;
+    if (p == "..") {
+      if (!out.empty() && out.back() != "..") {
+        out.pop_back();
+      } else if (!absolute) {
+        out.push_back("..");
+      }
+      // ".." at the root of an absolute path is dropped (POSIX semantics).
+      continue;
+    }
+    out.push_back(p);
+  }
+  if (out.empty()) {
+    return absolute ? std::string{"/"} : std::string{"."};
+  }
+  std::string result;
+  if (absolute) result += '/';
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i) result += '/';
+    result += out[i];
+  }
+  return result;
+}
+
+bool stays_under(const std::string& root, const std::string& path) {
+  const std::string norm_root = lexically_normalize(root);
+  const std::string joined = lexically_normalize(norm_root + "/" + path);
+  if (joined == norm_root) return true;
+  return joined.size() > norm_root.size() &&
+         joined.compare(0, norm_root.size(), norm_root) == 0 &&
+         joined[norm_root.size()] == '/';
+}
+
+}  // namespace dfsm::netsim

@@ -1,0 +1,37 @@
+// decode.h — percent-decoding, including the superfluous second decode of
+// IIS (paper §5.4, Bugtraq #2708).
+//
+// "%25" decodes to '%' and "%2f" decodes to '/', so "..%252f" becomes
+// "..%2f" after the first decoding and "../" after the second — slipping
+// past a directory-traversal check applied between the two decodes. The
+// Nimda worm actively exploited this.
+#ifndef DFSM_NETSIM_DECODE_H
+#define DFSM_NETSIM_DECODE_H
+
+#include <string>
+
+namespace dfsm::netsim {
+
+/// One pass of RFC-style percent-decoding. Malformed escapes (%zz, trailing
+/// %) are passed through verbatim, matching the lenient behaviour of the
+/// studied servers.
+[[nodiscard]] std::string percent_decode(const std::string& s);
+
+/// Two passes (the IIS bug).
+[[nodiscard]] std::string percent_decode_twice(const std::string& s);
+
+/// True if the path contains a ".." parent traversal component or the
+/// literal "../" substring the IIS predicate checks for.
+[[nodiscard]] bool contains_dotdot(const std::string& path);
+
+/// Lexically normalizes a path ("a/b/../c" -> "a/c"; leading ".." escapes
+/// are preserved). Used to decide whether a CGI target actually resides
+/// under the scripts directory.
+[[nodiscard]] std::string lexically_normalize(const std::string& path);
+
+/// True if `path`, resolved relative to `root`, stays under `root`.
+[[nodiscard]] bool stays_under(const std::string& root, const std::string& path);
+
+}  // namespace dfsm::netsim
+
+#endif  // DFSM_NETSIM_DECODE_H

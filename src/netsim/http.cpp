@@ -1,0 +1,101 @@
+#include "netsim/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <sstream>
+
+namespace dfsm::netsim {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::int64_t atol64(const std::string& s) {
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+    neg = (s[i] == '-');
+    ++i;
+  }
+  // Accumulate in unsigned to get well-defined wraparound, then saturate
+  // at the 64-bit boundary like atol on overflow-tolerant platforms.
+  unsigned long long acc = 0;
+  bool overflow = false;
+  for (; i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])); ++i) {
+    const unsigned digit = static_cast<unsigned>(s[i] - '0');
+    if (acc > (std::numeric_limits<unsigned long long>::max() - digit) / 10) {
+      overflow = true;
+    }
+    acc = acc * 10 + digit;
+  }
+  if (overflow) {
+    return neg ? std::numeric_limits<std::int64_t>::min()
+               : std::numeric_limits<std::int64_t>::max();
+  }
+  const auto sv = static_cast<std::int64_t>(acc);  // may wrap for acc > 2^63-1
+  return neg ? -sv : sv;
+}
+
+std::int32_t atoi32(const std::string& s) {
+  // The historical bug: long parsed, then silently truncated to int.
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(atol64(s))));
+}
+
+std::optional<std::int32_t> HttpRequest::content_length() const {
+  auto it = headers.find("content-length");
+  if (it == headers.end()) return std::nullopt;
+  return atoi32(it->second);
+}
+
+std::string serialize(const HttpRequest& req, const std::string& body) {
+  std::ostringstream os;
+  os << req.method << ' ' << req.path << ' ' << req.version << "\r\n";
+  for (const auto& [k, v] : req.headers) os << k << ": " << v << "\r\n";
+  os << "\r\n" << body;
+  return os.str();
+}
+
+std::optional<HttpRequest> parse_head(const std::string& raw, std::size_t* consumed) {
+  const std::size_t end = raw.find("\r\n\r\n");
+  if (end == std::string::npos) return std::nullopt;
+  if (consumed != nullptr) *consumed = end + 4;
+
+  std::istringstream is{raw.substr(0, end)};
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  HttpRequest req;
+  {
+    std::istringstream rl{line};
+    if (!(rl >> req.method >> req.path)) return std::nullopt;
+    if (!(rl >> req.version)) req.version = "HTTP/0.9";
+  }
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    req.headers[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  return req;
+}
+
+}  // namespace dfsm::netsim

@@ -1,0 +1,48 @@
+// http.h — a small HTTP/1.0 request model, sufficient for the NULL HTTPD
+// POST exploit (Content-Length + body) and the IIS CGI path requests of
+// Figures 4 and 7.
+#ifndef DFSM_NETSIM_HTTP_H
+#define DFSM_NETSIM_HTTP_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dfsm::netsim {
+
+/// A parsed request head. The body is NOT parsed here — the vulnerable
+/// servers read it themselves from the socket (that is the point).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string version = "HTTP/1.0";
+  std::map<std::string, std::string> headers;  // lower-cased keys
+
+  /// Content-Length parsed with C-era atoi semantics: leading whitespace,
+  /// optional sign, digits, silent 32-bit wrap — so "-800" parses to -800
+  /// exactly as in the vulnerable server.
+  [[nodiscard]] std::optional<std::int32_t> content_length() const;
+};
+
+/// Serializes a request head + body into raw bytes (attacker side).
+[[nodiscard]] std::string serialize(const HttpRequest& req, const std::string& body);
+
+/// Parses a request head from raw text (up to the blank line). Returns
+/// std::nullopt on malformed input. `consumed` receives the head length in
+/// bytes so callers know where the body starts.
+[[nodiscard]] std::optional<HttpRequest> parse_head(const std::string& raw,
+                                                    std::size_t* consumed = nullptr);
+
+/// atoi with explicit 32-bit wraparound — the integer-conversion semantics
+/// every case study in the paper depends on (#3163's signed overflow,
+/// NULL HTTPD's negative Content-Length).
+[[nodiscard]] std::int32_t atoi32(const std::string& s);
+
+/// atol into 64 bits (no wrap until 64-bit overflow, which saturates).
+[[nodiscard]] std::int64_t atol64(const std::string& s);
+
+}  // namespace dfsm::netsim
+
+#endif  // DFSM_NETSIM_HTTP_H

@@ -1,0 +1,140 @@
+#include "analysis/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/ghttpd.h"
+#include "apps/nullhttpd.h"
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(Anomaly, RequiresPositiveN) {
+  EXPECT_THROW(AnomalyDetector{0}, std::invalid_argument);
+}
+
+TEST(Anomaly, UntrainedDetectorFlagsEverything) {
+  AnomalyDetector d{2};
+  EXPECT_EQ(d.score({"a", "b"}), 1.0);
+  EXPECT_TRUE(d.anomalous({"a"}));
+  EXPECT_EQ(d.known_windows(), 0u);
+}
+
+TEST(Anomaly, TrainedTraceScoresZero) {
+  AnomalyDetector d{2};
+  d.train({"open", "read", "close"});
+  EXPECT_EQ(d.score({"open", "read", "close"}), 0.0);
+  EXPECT_FALSE(d.anomalous({"open", "read", "close"}));
+  EXPECT_EQ(d.trained_traces(), 1u);
+}
+
+TEST(Anomaly, NovelTransitionIsDetected) {
+  AnomalyDetector d{2};
+  d.train({"open", "read", "close"});
+  EXPECT_GT(d.score({"open", "write", "close"}), 0.0);
+  const auto novel = d.novel_windows({"open", "write", "close"});
+  EXPECT_FALSE(novel.empty());
+}
+
+TEST(Anomaly, TruncatedTraceIsDetectedViaEndSentinel) {
+  // The exploited runs end abruptly; the (last-event, END) window is new.
+  AnomalyDetector d{2};
+  d.train({"a", "b", "c"});
+  EXPECT_GT(d.score({"a", "b"}), 0.0);
+}
+
+TEST(Anomaly, ReorderingIsDetected) {
+  AnomalyDetector d{2};
+  d.train({"a", "b", "c"});
+  EXPECT_GT(d.score({"b", "a", "c"}), 0.0);
+}
+
+TEST(Anomaly, LongerWindowsAreStricter) {
+  AnomalyDetector bigram{2};
+  AnomalyDetector trigram{3};
+  // Train on two traces whose bigrams cover the test trace but whose
+  // trigrams do not.
+  const EventTrace t1{"a", "b"};
+  const EventTrace t2{"b", "c"};
+  bigram.train(t1);
+  bigram.train(t2);
+  trigram.train(t1);
+  trigram.train(t2);
+  const EventTrace probe{"a", "b", "c"};
+  EXPECT_EQ(bigram.score(probe), 0.0);
+  EXPECT_GT(trigram.score(probe), 0.0);
+}
+
+TEST(Anomaly, ShortTracesHandled) {
+  AnomalyDetector d{4};
+  d.train({"only"});
+  EXPECT_EQ(d.score({"only"}), 0.0);
+  EXPECT_GT(d.score({"other"}), 0.0);
+}
+
+// --- Against the sandboxed servers --------------------------------------
+
+EventTrace nullhttpd_trace(std::int32_t cl, const std::string& body,
+                           apps::NullHttpdChecks checks = {}) {
+  apps::NullHttpd app{checks};
+  return app.handle_post(cl, body).events;
+}
+
+TEST(AnomalyIntegration, BenignNullHttpdTrafficLearnsClean) {
+  AnomalyDetector d{2};
+  // Train on benign POSTs of assorted sizes (multiple recv iterations).
+  for (const std::size_t n : {0u, 100u, 1024u, 2048u, 5000u}) {
+    d.train(nullhttpd_trace(static_cast<std::int32_t>(n), std::string(n, 'b')));
+  }
+  // A fresh benign size in the same regime scores clean.
+  EXPECT_EQ(d.score(nullhttpd_trace(3000, std::string(3000, 'x'))), 0.0);
+}
+
+TEST(AnomalyIntegration, HeapExploitRunIsAnomalous) {
+  AnomalyDetector d{2};
+  for (const std::size_t n : {0u, 100u, 1024u, 2048u, 5000u}) {
+    d.train(nullhttpd_trace(static_cast<std::int32_t>(n), std::string(n, 'b')));
+  }
+  const auto info = apps::NullHttpd::scout(-800);
+  const auto body = apps::NullHttpd::build_overflow_body(info);
+  const auto trace = nullhttpd_trace(-800, std::string(body.begin(), body.end()));
+  EXPECT_GT(d.score(trace), 0.0) << "the Mcode payload behaviour must be novel";
+  // The novel windows include the payload's execve.
+  bool saw_payload = false;
+  for (const auto& w : d.novel_windows(trace)) {
+    if (w.find("mcode:execve") != std::string::npos) saw_payload = true;
+  }
+  EXPECT_TRUE(saw_payload);
+}
+
+TEST(AnomalyIntegration, GhttpdExploitRunIsAnomalous) {
+  AnomalyDetector d{2};
+  apps::Ghttpd trainer;
+  for (const char* req : {"GET / HTTP/1.0", "GET /index.html HTTP/1.0",
+                          "HEAD /x HTTP/1.0"}) {
+    d.train(trainer.serve(req).events);
+  }
+  apps::Ghttpd victim;
+  const auto exploit_trace = victim.serve(victim.build_exploit()).events;
+  EXPECT_GT(d.score(exploit_trace), 0.0);
+  // And a benign probe stays clean.
+  apps::Ghttpd bystander;
+  EXPECT_EQ(d.score(bystander.serve("GET /about HTTP/1.0").events), 0.0);
+}
+
+TEST(AnomalyIntegration, DetectionComplementsThePfsmModel) {
+  // The pFSM model foils the exploit BEFORE the payload runs; with the
+  // check on, the trace never contains payload events, so the detector
+  // sees (at most) a benignly-rejected shape.
+  apps::NullHttpdChecks protected_cfg;
+  protected_cfg.heap_safe_unlink = true;
+  const auto info = apps::NullHttpd::scout(-800, protected_cfg);
+  const auto body = apps::NullHttpd::build_overflow_body(info);
+  const auto trace =
+      nullhttpd_trace(-800, std::string(body.begin(), body.end()), protected_cfg);
+  for (const auto& e : trace) {
+    EXPECT_EQ(e.find("mcode"), std::string::npos) << e;
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

@@ -1,0 +1,132 @@
+#include "analysis/attack_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::analysis {
+namespace {
+
+/// The networked environment of the tests: an attacker workstation on the
+/// internet, a DMZ web server, and an internal NFS host only the DMZ box
+/// reaches.
+std::vector<Host> test_network() {
+  return {
+      {"attacker", {}, {"web"}},
+      {"web", {"ghttpd", "sendmail"}, {"nfs"}},
+      {"nfs", {"rpc.statd"}, {}},
+  };
+}
+
+Fact start() { return Fact{"attacker", Privilege::kRoot}; }
+
+TEST(AttackGraph, RemoteExploitYieldsServicePrivilege) {
+  const auto g = AttackGraph::build(test_network(), standard_rules(), {start()});
+  EXPECT_TRUE(g.reachable(Fact{"web", Privilege::kUser}));
+}
+
+TEST(AttackGraph, LocalPrivilegeEscalationChains) {
+  // ghttpd gives user on web; sendmail (local, setuid) lifts it to root.
+  const auto g = AttackGraph::build(test_network(), standard_rules(), {start()});
+  EXPECT_TRUE(g.reachable(Fact{"web", Privilege::kRoot}));
+  const auto path = g.path_to(Fact{"web", Privilege::kRoot});
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_NE(path[0].rule.find("GHTTPD"), std::string::npos);
+  EXPECT_NE(path[1].rule.find("Sendmail"), std::string::npos);
+}
+
+TEST(AttackGraph, MultiHopReachesTheInternalHost) {
+  // attacker -> web (remote) -> nfs (remote from web): three-step chain
+  // ending root on the internal host via rpc.statd.
+  const auto g = AttackGraph::build(test_network(), standard_rules(), {start()});
+  EXPECT_TRUE(g.reachable(Fact{"nfs", Privilege::kRoot}));
+  const auto path = g.path_to(Fact{"nfs", Privilege::kRoot});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.back().to.host, "nfs");
+  EXPECT_EQ(path.back().to.privilege, Privilege::kRoot);
+  // Every step starts from an established fact (the chain is connected).
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(path[i].from, path[i - 1].to);
+  }
+}
+
+TEST(AttackGraph, NoDirectReachMeansNoDirectCompromise) {
+  // Remove the web->nfs link: nfs becomes unreachable.
+  auto hosts = test_network();
+  hosts[1].reaches.clear();
+  const auto g = AttackGraph::build(hosts, standard_rules(), {start()});
+  EXPECT_FALSE(g.reachable(Fact{"nfs", Privilege::kUser}));
+  EXPECT_TRUE(g.path_to(Fact{"nfs", Privilege::kRoot}).empty());
+}
+
+TEST(AttackGraph, PatchingTheSteppingStoneCutsThePath) {
+  // Lemma 2 writ large: patch ONE vulnerability on the path (ghttpd) and
+  // the internal host survives — but only if no alternative path exists.
+  auto rules = standard_rules();
+  for (auto& r : rules) {
+    if (r.software == "ghttpd") r.patched = true;
+  }
+  const auto g = AttackGraph::build(test_network(), rules, {start()});
+  EXPECT_FALSE(g.reachable(Fact{"web", Privilege::kUser}));
+  EXPECT_FALSE(g.reachable(Fact{"nfs", Privilege::kRoot}));
+}
+
+TEST(AttackGraph, AlternativePathsSurvivePartialPatching) {
+  auto hosts = test_network();
+  hosts[1].services.push_back("nullhttpd");  // a second remote service on web
+  auto rules = standard_rules();
+  for (auto& r : rules) {
+    if (r.software == "ghttpd") r.patched = true;
+  }
+  const auto g = AttackGraph::build(hosts, rules, {start()});
+  EXPECT_TRUE(g.reachable(Fact{"web", Privilege::kUser}));
+  const auto path = g.path_to(Fact{"web", Privilege::kUser});
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path[0].rule.find("NULL HTTPD"), std::string::npos);
+}
+
+TEST(AttackGraph, LocalRulesNeedALocalAccount) {
+  // A host running only sendmail (local-only exploit) cannot be attacked
+  // from the network.
+  const std::vector<Host> hosts = {{"attacker", {}, {"mail"}},
+                                   {"mail", {"sendmail"}, {}}};
+  const auto g = AttackGraph::build(hosts, standard_rules(), {start()});
+  EXPECT_FALSE(g.reachable(Fact{"mail", Privilege::kRoot}));
+  // But an insider account changes everything.
+  const auto g2 = AttackGraph::build(
+      hosts, standard_rules(), {start(), Fact{"mail", Privilege::kUser}});
+  EXPECT_TRUE(g2.reachable(Fact{"mail", Privilege::kRoot}));
+}
+
+TEST(AttackGraph, RootSubsumesUserInGoalQueries) {
+  const std::vector<Host> hosts = {{"attacker", {}, {"srv"}},
+                                   {"srv", {"rpc.statd"}, {}}};
+  const auto g = AttackGraph::build(hosts, standard_rules(), {start()});
+  // statd yields root directly; a "user" goal is satisfied a fortiori.
+  EXPECT_TRUE(g.reachable(Fact{"srv", Privilege::kUser}));
+  EXPECT_FALSE(g.path_to(Fact{"srv", Privilege::kUser}).empty());
+}
+
+TEST(AttackGraph, PathToInitialFactIsEmpty) {
+  const auto g = AttackGraph::build(test_network(), standard_rules(), {start()});
+  EXPECT_TRUE(g.path_to(start()).empty());
+  EXPECT_TRUE(g.reachable(start()));
+}
+
+TEST(AttackGraph, TextDumpNamesFactsAndRules) {
+  const auto g = AttackGraph::build(test_network(), standard_rules(), {start()});
+  const auto text = g.to_text();
+  EXPECT_NE(text.find("web : user"), std::string::npos);
+  EXPECT_NE(text.find("GHTTPD"), std::string::npos);
+  EXPECT_NE(text.find("[initial]"), std::string::npos);
+}
+
+TEST(AttackGraph, StandardRulesCoverAllSevenModels) {
+  EXPECT_EQ(standard_rules().size(), 7u);
+  std::size_t remote = 0;
+  for (const auto& r : standard_rules()) {
+    if (r.remote) ++remote;
+  }
+  EXPECT_EQ(remote, 5u);  // nullhttpd, rwall, iis, ghttpd, statd
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

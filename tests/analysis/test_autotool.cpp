@@ -1,0 +1,178 @@
+#include "analysis/autotool.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/hidden_path.h"
+#include "analysis/predicates.h"
+#include "apps/models.h"
+#include "apps/sendmail.h"
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(AutoTool, AssemblesTheDeclaredStructure) {
+  const auto model = AutoTool::assemble(sendmail_spec());
+  EXPECT_EQ(model.chain().size(), 2u);
+  EXPECT_EQ(model.pfsm_count(), 3u);
+  EXPECT_EQ(model.bugtraq_ids(), (std::vector<int>{3163}));
+}
+
+TEST(AutoTool, AssembledModelMatchesTheHandwrittenFigure3) {
+  const auto automatic = AutoTool::assemble(sendmail_spec());
+  const auto handwritten = apps::SendmailTTflag::figure3_model();
+  // Same structure...
+  ASSERT_EQ(automatic.pfsm_count(), handwritten.pfsm_count());
+  ASSERT_EQ(automatic.chain().size(), handwritten.chain().size());
+  // ...same pFSM types in the same order...
+  const auto a = automatic.summaries();
+  const auto h = handwritten.summaries();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, h[i].type) << i;
+    EXPECT_EQ(a[i].pfsm_name, h[i].pfsm_name) << i;
+  }
+  // ...and semantically identical verdicts on the exploit's objects.
+  const auto exploit_objects = std::vector<std::vector<core::Object>>{
+      {core::Object{"strs"}.with("long_x", std::int64_t{4294958848LL}),
+       core::Object{"x"}.with("x", std::int64_t{-8448})},
+      {core::Object{"addr"}.with("addr_setuid_unchanged", false)}};
+  EXPECT_EQ(automatic.chain().evaluate(exploit_objects).exploited(),
+            handwritten.chain().evaluate(exploit_objects).exploited());
+}
+
+TEST(AutoTool, AnalyzeFindsEveryHiddenPathOfSendmail) {
+  const auto report = AutoTool::analyze(sendmail_spec());
+  EXPECT_TRUE(report.vulnerable());
+  EXPECT_EQ(report.vulnerable_pfsms(),
+            (std::vector<std::string>{"pFSM1", "pFSM2", "pFSM3"}));
+  for (const auto& f : report.findings) {
+    EXPECT_TRUE(f.probed) << f.pfsm_name;
+    EXPECT_FALSE(f.sample_witness.empty()) << f.pfsm_name;
+  }
+}
+
+TEST(AutoTool, SecuredSpecComesBackClean) {
+  auto spec = sendmail_spec();
+  // Patch the spec: every activity now implements its predicate.
+  for (auto& op : spec.operations) {
+    for (auto& a : op.activities) {
+      a.impl_status = ActivitySpec::Impl::kMatchesSpec;
+      a.impl.reset();
+    }
+  }
+  const auto report = AutoTool::analyze(spec);
+  EXPECT_FALSE(report.vulnerable());
+  for (const auto& f : report.findings) {
+    EXPECT_TRUE(f.declared_secure);
+    EXPECT_FALSE(f.hidden_path);
+  }
+}
+
+TEST(AutoTool, UnprobedActivitiesAreReportedAsSuch) {
+  auto spec = sendmail_spec();
+  spec.probe_domains.erase("pFSM3");
+  const auto report = AutoTool::analyze(spec);
+  const auto& f3 = report.findings[2];
+  EXPECT_EQ(f3.pfsm_name, "pFSM3");
+  EXPECT_FALSE(f3.probed);
+  EXPECT_FALSE(f3.hidden_path);
+  // pFSM1/pFSM2 still flagged.
+  EXPECT_TRUE(report.vulnerable());
+}
+
+TEST(AutoTool, MalformedSpecsRejected) {
+  VulnerabilitySpec empty;
+  empty.name = "empty";
+  EXPECT_THROW((void)AutoTool::assemble(empty), std::invalid_argument);
+
+  auto no_acts = sendmail_spec();
+  no_acts.operations[0].activities.clear();
+  EXPECT_THROW((void)AutoTool::assemble(no_acts), std::invalid_argument);
+
+  auto custom_without_impl = sendmail_spec();
+  custom_without_impl.operations[0].activities[0].impl_status =
+      ActivitySpec::Impl::kCustom;
+  custom_without_impl.operations[0].activities[0].impl.reset();
+  EXPECT_THROW((void)AutoTool::assemble(custom_without_impl),
+               std::invalid_argument);
+}
+
+TEST(AutoTool, ReportTextNamesVerdictsAndWitnesses) {
+  const auto text = AutoTool::analyze(sendmail_spec()).to_text();
+  EXPECT_NE(text.find("VULNERABLE"), std::string::npos);
+  EXPECT_NE(text.find("pFSM2"), std::string::npos);
+  EXPECT_NE(text.find("witness"), std::string::npos);
+}
+
+TEST(AutoTool, AllSevenSpecsAssembleToTheHandwrittenShapes) {
+  const auto specs = all_specs();
+  const auto models = apps::standard_models();
+  ASSERT_EQ(specs.size(), models.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto automatic = AutoTool::assemble(specs[i]);
+    EXPECT_EQ(automatic.pfsm_count(), models[i].pfsm_count()) << specs[i].name;
+    EXPECT_EQ(automatic.chain().size(), models[i].chain().size()) << specs[i].name;
+    const auto a = automatic.summaries();
+    const auto h = models[i].summaries();
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a[j].type, h[j].type) << specs[i].name << " pFSM " << j;
+      EXPECT_EQ(a[j].declared_secure, h[j].declared_secure)
+          << specs[i].name << " pFSM " << j;
+    }
+  }
+}
+
+TEST(AutoTool, AllSevenSpecsAnalyzeAsVulnerable) {
+  for (const auto& spec : all_specs()) {
+    const auto report = AutoTool::analyze(spec);
+    EXPECT_TRUE(report.vulnerable()) << spec.name;
+    // Every probed-and-not-secure activity must have found its witness
+    // (the probe domains were chosen from the case studies' exploits).
+    for (const auto& f : report.findings) {
+      if (f.probed && !f.declared_secure) {
+        EXPECT_TRUE(f.hidden_path) << spec.name << " / " << f.pfsm_name;
+      }
+    }
+  }
+}
+
+TEST(AutoTool, XtermSpecKeepsPfsm1Secure) {
+  const auto report = AutoTool::analyze(xterm_spec());
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_TRUE(report.findings[0].declared_secure);
+  EXPECT_FALSE(report.findings[0].hidden_path);
+  EXPECT_TRUE(report.findings[1].hidden_path);
+  EXPECT_EQ(report.vulnerable_pfsms(), (std::vector<std::string>{"pFSM2"}));
+}
+
+TEST(AutoTool, IisSpecWitnessIsTheDoubleEncodedName) {
+  const auto report = AutoTool::analyze(iis_spec());
+  ASSERT_TRUE(report.vulnerable());
+  EXPECT_NE(report.findings[0].sample_witness.find("..%2f"), std::string::npos);
+}
+
+TEST(AutoTool, CustomImplWeakerThanSpecIsTheClassicPattern) {
+  using predicates::int_at_most;
+  using predicates::int_in_range;
+  VulnerabilitySpec spec;
+  spec.name = "range check missing the lower bound";
+  spec.vulnerability_class = "Integer Overflow";
+  spec.software = "demo";
+  spec.consequence = "array underflow";
+  OperationSpec op;
+  op.name = "index an array";
+  op.object_description = "index";
+  op.activities.push_back(ActivitySpec{
+      "p1", core::PfsmType::kContentAttributeCheck, "use index",
+      int_in_range("i", 0, 9), ActivitySpec::Impl::kCustom, int_at_most("i", 9),
+      "a[i] = v"});
+  op.gate_condition = "out-of-bounds write";
+  spec.operations = {op};
+  spec.probe_domains["p1"] = int_boundary_domain("i", "i", {-1, 0, 9});
+
+  const auto report = AutoTool::analyze(spec);
+  EXPECT_TRUE(report.vulnerable());
+  EXPECT_NE(report.findings[0].sample_witness.find("i=-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

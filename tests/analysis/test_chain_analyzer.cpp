@@ -1,0 +1,98 @@
+#include "analysis/chain_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(OperationSecured, RequiresEveryCheckOfTheOperation) {
+  const std::vector<apps::CheckSpec> checks = {
+      {"c0", 0, core::PfsmType::kContentAttributeCheck},
+      {"c1", 0, core::PfsmType::kContentAttributeCheck},
+      {"c2", 1, core::PfsmType::kReferenceConsistencyCheck},
+  };
+  EXPECT_TRUE(operation_secured(checks, {true, true, false}, 0));
+  EXPECT_FALSE(operation_secured(checks, {true, false, false}, 0));
+  EXPECT_TRUE(operation_secured(checks, {false, false, true}, 1));
+  // An operation with no checks at all is not "secured" by a mask.
+  EXPECT_FALSE(operation_secured(checks, {true, true, true}, 7));
+}
+
+TEST(Sweep, EnumeratesAllMasksInBinaryOrder) {
+  const auto studies = apps::all_case_studies();
+  const auto report = sweep(*studies[0]);  // Sendmail, 3 checks
+  EXPECT_EQ(report.results.size(), 8u);
+  EXPECT_EQ(report.results[0].mask, (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(report.results[5].mask, (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(report.results[7].mask, (std::vector<bool>{true, true, true}));
+}
+
+TEST(Sweep, SendmailBaselineAndFullProtection) {
+  const auto studies = apps::all_case_studies();
+  const auto report = sweep(*studies[0]);
+  EXPECT_TRUE(report.baseline_exploited);
+  EXPECT_TRUE(report.all_checks_foil);
+  EXPECT_TRUE(report.lemma2_holds);
+  EXPECT_TRUE(report.benign_preserved);
+  // Every single check foils the Sendmail exploit (paper §3.2: "at any one
+  // of which, one can foil the exploit").
+  EXPECT_EQ(report.foiling_single_checks.size(), 3u);
+}
+
+TEST(Sweep, EveryCaseStudySatisfiesTheLemma) {
+  for (const auto& report : sweep_all()) {
+    EXPECT_TRUE(report.baseline_exploited) << report.study_name;
+    EXPECT_TRUE(report.all_checks_foil) << report.study_name;
+    EXPECT_TRUE(report.lemma2_holds) << report.study_name;
+    EXPECT_TRUE(report.benign_preserved) << report.study_name;
+  }
+}
+
+TEST(Sweep, The6255SignatureIsVisibleInTheSingleCheckColumn) {
+  const auto reports = sweep_all();
+  const auto* known = &reports[1];       // #5774
+  const auto* discovered = &reports[2];  // #6255
+  ASSERT_NE(known->study_name.find("5774"), std::string::npos);
+  ASSERT_NE(discovered->study_name.find("6255"), std::string::npos);
+  // #5774: the v0.5.1 patch (check 0) forestalls it.
+  EXPECT_NE(std::find(known->foiling_single_checks.begin(),
+                      known->foiling_single_checks.end(), 0u),
+            known->foiling_single_checks.end());
+  // #6255: check 0 does NOT appear — the patched server is still
+  // exploitable, which is exactly why it was a new vulnerability.
+  EXPECT_EQ(std::find(discovered->foiling_single_checks.begin(),
+                      discovered->foiling_single_checks.end(), 0u),
+            discovered->foiling_single_checks.end());
+  EXPECT_FALSE(discovered->foiling_single_checks.empty());
+}
+
+TEST(Sweep, EveryStudyHasAtLeastOneFoilingSingleCheck) {
+  // Observation 1: each elementary activity is an independent checking
+  // opportunity; at least one of them must stop the published exploit.
+  for (const auto& report : sweep_all()) {
+    EXPECT_FALSE(report.foiling_single_checks.empty()) << report.study_name;
+  }
+}
+
+TEST(Sweep, MasksThatSecureAnOperationNeverExploit) {
+  for (const auto& report : sweep_all()) {
+    for (const auto& row : report.results) {
+      if (row.some_operation_secured) {
+        EXPECT_FALSE(row.exploit.exploited)
+            << report.study_name << " violated Lemma 2";
+      }
+    }
+  }
+}
+
+TEST(Sweep, ChecksNeverBreakBenignService) {
+  for (const auto& report : sweep_all()) {
+    for (const auto& row : report.results) {
+      EXPECT_TRUE(row.benign.service_ok)
+          << report.study_name << " benign traffic failed under a mask";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

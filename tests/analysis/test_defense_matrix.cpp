@@ -1,0 +1,89 @@
+#include "analysis/defense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dfsm::analysis {
+namespace {
+
+class DefenseMatrixTest : public ::testing::Test {
+ protected:
+  DefenseMatrixTest() {
+    for (const auto& c : defense_matrix()) {
+      grid[c.exploit][c.defense] = c.outcome;
+    }
+  }
+
+  CellOutcome at(const std::string& exploit_substr, Defense d) const {
+    for (const auto& [name, row] : grid) {
+      if (name.find(exploit_substr) != std::string::npos) return row.at(d);
+    }
+    ADD_FAILURE() << "no exploit row matching " << exploit_substr;
+    return CellOutcome::kNotApplicable;
+  }
+
+  std::map<std::string, std::map<Defense, CellOutcome>> grid;
+};
+
+TEST_F(DefenseMatrixTest, FiveExploitsTimesFiveDefenses) {
+  EXPECT_EQ(grid.size(), 5u);
+  EXPECT_EQ(defense_matrix().size(), 25u);
+}
+
+TEST_F(DefenseMatrixTest, BaselineColumnIsAllExploited) {
+  for (const auto& [name, row] : grid) {
+    EXPECT_EQ(row.at(Defense::kNone), CellOutcome::kExploited) << name;
+  }
+}
+
+TEST_F(DefenseMatrixTest, StackGuardStopsOnlyTheContiguousStackSmash) {
+  // §6's point, mechanized: return-address protection is mature, but it
+  // covers exactly one of the reference-inconsistency families.
+  EXPECT_EQ(at("GHTTPD", Defense::kStackGuard), CellOutcome::kFoiled);
+  EXPECT_EQ(at("rpc.statd", Defense::kStackGuard), CellOutcome::kIneffective);
+  EXPECT_EQ(at("Sendmail", Defense::kStackGuard), CellOutcome::kIneffective);
+  EXPECT_EQ(at("#5774", Defense::kStackGuard), CellOutcome::kIneffective);
+  EXPECT_EQ(at("#6255", Defense::kStackGuard), CellOutcome::kIneffective);
+}
+
+TEST_F(DefenseMatrixTest, ReferenceConsistencyStopsEveryExploit) {
+  for (const auto& [name, row] : grid) {
+    EXPECT_EQ(row.at(Defense::kRefConsistency), CellOutcome::kFoiled) << name;
+  }
+}
+
+TEST_F(DefenseMatrixTest, InputValidationMissesExactlyTheDiscoveredBug) {
+  EXPECT_EQ(at("Sendmail", Defense::kInputValidation), CellOutcome::kFoiled);
+  EXPECT_EQ(at("#5774", Defense::kInputValidation), CellOutcome::kFoiled);
+  EXPECT_EQ(at("GHTTPD", Defense::kInputValidation), CellOutcome::kFoiled);
+  EXPECT_EQ(at("rpc.statd", Defense::kInputValidation), CellOutcome::kFoiled);
+  // #6255: the truthful Content-Length sails past the validation — the
+  // reason it stayed hidden in the patched server.
+  EXPECT_EQ(at("#6255", Defense::kInputValidation), CellOutcome::kIneffective);
+}
+
+TEST_F(DefenseMatrixTest, BoundedCopyAppliesWhereThereIsACopy) {
+  EXPECT_EQ(at("#5774", Defense::kBoundedCopy), CellOutcome::kFoiled);
+  EXPECT_EQ(at("#6255", Defense::kBoundedCopy), CellOutcome::kFoiled);
+  EXPECT_EQ(at("GHTTPD", Defense::kBoundedCopy), CellOutcome::kFoiled);
+  EXPECT_EQ(at("Sendmail", Defense::kBoundedCopy), CellOutcome::kNotApplicable);
+  EXPECT_EQ(at("rpc.statd", Defense::kBoundedCopy), CellOutcome::kNotApplicable);
+}
+
+TEST_F(DefenseMatrixTest, RenderingShowsEveryRowAndColumn) {
+  const auto text = render_defense_matrix(defense_matrix());
+  EXPECT_NE(text.find("Sendmail"), std::string::npos);
+  EXPECT_NE(text.find("#6255"), std::string::npos);
+  EXPECT_NE(text.find("StackGuard"), std::string::npos);
+  EXPECT_NE(text.find("EXPLOITED (bypassed)"), std::string::npos);
+  EXPECT_NE(text.find("foiled"), std::string::npos);
+}
+
+TEST(DefenseNames, ToString) {
+  EXPECT_STREQ(to_string(Defense::kRefConsistency), "reference consistency");
+  EXPECT_STREQ(to_string(CellOutcome::kNotApplicable), "n/a");
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

@@ -1,0 +1,80 @@
+#include "analysis/discovery.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(Discovery, V051CampaignRediscoversBugtraq6255) {
+  const auto report = probe_nullhttpd_v051();
+  EXPECT_TRUE(report.found_new_vulnerability);
+  EXPECT_GT(report.violations, 0u);
+  EXPECT_NE(report.finding.find("6255"), std::string::npos);
+  EXPECT_NE(report.finding.find("'||'"), std::string::npos);
+}
+
+TEST(Discovery, V051ViolationsAllHaveTruthfulContentLen) {
+  // The patched server rejects negative contentLen, so every violation it
+  // still exhibits is the NEW bug.
+  const auto report = probe_nullhttpd_v051();
+  for (const auto& p : report.probes) {
+    if (p.predicate_violated) {
+      EXPECT_GE(p.content_len, 0) << "a negative-cl violation slipped past the patch";
+      EXPECT_GT(p.bytes_read, p.buffer_size);
+    }
+  }
+}
+
+TEST(Discovery, FixedServerIsCleanAcrossTheWholeCampaign) {
+  const auto report = probe_nullhttpd_fixed();
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_FALSE(report.found_new_vulnerability);
+  for (const auto& p : report.probes) {
+    EXPECT_LE(p.bytes_read, p.buffer_size == 0 ? p.bytes_read : p.buffer_size);
+  }
+}
+
+TEST(Discovery, V05ShowsBothTheKnownAndTheNewSignature) {
+  const auto report = probe_nullhttpd_v05();
+  bool negative_violation = false;
+  bool truthful_violation = false;
+  for (const auto& p : report.probes) {
+    if (!p.predicate_violated) continue;
+    if (p.content_len < 0) negative_violation = true;
+    if (p.content_len >= 0) truthful_violation = true;
+  }
+  EXPECT_TRUE(negative_violation) << "#5774 signature missing";
+  EXPECT_TRUE(truthful_violation) << "#6255 signature missing";
+}
+
+TEST(Discovery, ProbesRecordBufferGeometry) {
+  const auto report = probe_nullhttpd_v051();
+  bool saw_boundary_pair = false;
+  for (const auto& p : report.probes) {
+    if (p.buffer_size != 0 && p.body_len == p.buffer_size + 1) {
+      saw_boundary_pair = true;
+      // The off-by-one probe is exactly the boundary the predicate guards.
+      if (p.content_len >= 0) {
+        EXPECT_TRUE(p.predicate_violated);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_boundary_pair);
+}
+
+TEST(Discovery, ExactFitBodiesNeverViolate) {
+  const DiscoveryReport reports[] = {probe_nullhttpd_v051(),
+                                     probe_nullhttpd_fixed()};
+  for (const auto& report : reports) {
+    for (const auto& p : report.probes) {
+      if (p.rejected || p.buffer_size == 0) continue;
+      if (p.body_len <= p.buffer_size) {
+        EXPECT_FALSE(p.predicate_violated)
+            << "cl=" << p.content_len << " body=" << p.body_len;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

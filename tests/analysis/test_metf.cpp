@@ -1,0 +1,109 @@
+#include "analysis/metf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/models.h"
+#include "apps/xterm.h"
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(Metf, EmptyChainIsTriviallyCompromised) {
+  const auto r = metf({});
+  EXPECT_EQ(r.attempt_success_probability, 1.0);
+  EXPECT_EQ(r.expected_attempts, 1.0);
+  EXPECT_EQ(r.expected_actions, 0.0);
+  EXPECT_FALSE(r.secure);
+}
+
+TEST(Metf, AllOpenBarriersSucceedInOneAttempt) {
+  const auto r = metf({{"a", 1.0}, {"b", 1.0}, {"c", 1.0}});
+  EXPECT_EQ(r.attempt_success_probability, 1.0);
+  EXPECT_EQ(r.expected_attempts, 1.0);
+  EXPECT_EQ(r.expected_actions, 3.0);  // exactly one action per barrier
+}
+
+TEST(Metf, OneClosedBarrierMakesTheChainSecure) {
+  const auto r = metf({{"a", 1.0}, {"b", 0.0}, {"c", 1.0}});
+  EXPECT_TRUE(r.secure);
+  EXPECT_TRUE(std::isinf(r.expected_attempts));
+  EXPECT_TRUE(std::isinf(r.expected_actions));
+  EXPECT_EQ(r.attempt_success_probability, 0.0);
+}
+
+TEST(Metf, SingleProbabilisticBarrierIsGeometric) {
+  const auto r = metf({{"race", 0.1}});
+  EXPECT_DOUBLE_EQ(r.attempt_success_probability, 0.1);
+  EXPECT_DOUBLE_EQ(r.expected_attempts, 10.0);
+  EXPECT_DOUBLE_EQ(r.expected_actions, 10.0);  // one action per attempt
+}
+
+TEST(Metf, TwoBarrierClosedFormMatchesHandComputation) {
+  // p1 = 1, p2 = 0.5: each attempt costs the first action, then the
+  // second passes half the time.
+  // E = a0 / (1 - b0) with a = [1 + 1*(1 + .5*0)] = 2, b = [1*( .5*0 + .5)] = .5
+  // E = 2 / 0.5 = 4.
+  const auto r = metf({{"open", 1.0}, {"coin", 0.5}});
+  EXPECT_DOUBLE_EQ(r.expected_actions, 4.0);
+  EXPECT_DOUBLE_EQ(r.expected_attempts, 2.0);
+}
+
+TEST(Metf, ExpectedActionsAtLeastAttemptsTimesOne) {
+  const auto r = metf({{"a", 0.5}, {"b", 0.5}, {"c", 0.5}});
+  EXPECT_DOUBLE_EQ(r.attempt_success_probability, 0.125);
+  EXPECT_GT(r.expected_actions, r.expected_attempts);
+}
+
+TEST(Metf, ProbabilitiesAreClamped) {
+  const auto r = metf({{"weird", 2.5}});
+  EXPECT_EQ(r.attempt_success_probability, 1.0);
+}
+
+TEST(MetfModel, VulnerableModelFallsInPfsmCountActions) {
+  const auto model = apps::standard_models()[0];  // Sendmail: 3 pFSMs, all open
+  const auto barriers = barriers_from_model(model);
+  const auto r = metf(barriers);
+  EXPECT_FALSE(r.secure);
+  EXPECT_DOUBLE_EQ(r.expected_actions, static_cast<double>(model.pfsm_count()));
+}
+
+TEST(MetfModel, DeclaredSecurePfsmClosesTheChain) {
+  const auto xterm = apps::standard_models()[2];  // pFSM1 declared secure
+  const auto r = metf(barriers_from_model(xterm));
+  EXPECT_TRUE(r.secure);
+}
+
+TEST(MetfModel, OverridesPlugInMeasuredProbabilities) {
+  // The xterm race: pFSM1's permission check is deterministic for a
+  // pre-planted symlink, but the attacker races it — plug the measured
+  // violating-schedule fraction in as pFSM2's pass probability and treat
+  // pFSM1 as passed (the attacker always presents a currently-valid file).
+  apps::XtermLogger app;
+  const auto race = app.run_race(/*window_steps=*/1);
+  const double fraction = race.report.violation_fraction();
+  ASSERT_GT(fraction, 0.0);
+
+  const auto xterm = apps::standard_models()[2];
+  const auto barriers = barriers_from_model(
+      xterm, /*vulnerable_pass=*/1.0,
+      {{"pFSM1", 1.0}, {"pFSM2", fraction}});
+  const auto r = metf(barriers);
+  EXPECT_FALSE(r.secure);
+  EXPECT_NEAR(r.expected_attempts, 1.0 / fraction, 1e-9);
+}
+
+TEST(MetfModel, HardeningMonotonicallyRaisesTheEffort) {
+  // Lowering a barrier's pass probability must never lower the METF.
+  const auto model = apps::standard_models()[1];  // NULL HTTPD, 4 pFSMs
+  double last = 0.0;
+  for (const double pass : {1.0, 0.5, 0.25, 0.1}) {
+    const auto r = metf(barriers_from_model(model, pass));
+    EXPECT_GT(r.expected_actions, last);
+    last = r.expected_actions;
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

@@ -1,0 +1,144 @@
+#include "analysis/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/ghttpd.h"
+#include "apps/iis.h"
+#include "apps/nullhttpd.h"
+#include "apps/rpcstatd.h"
+#include "apps/rwall.h"
+#include "apps/sendmail.h"
+#include "apps/xterm.h"
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(Monitor, BenignSendmailRunProducesNoViolations) {
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  const auto result = monitor.observe(sendmail_observation("7", "3", true));
+  EXPECT_TRUE(result.completed());
+  EXPECT_FALSE(result.exploited());
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_GT(monitor.trace().size(), 0u);
+}
+
+TEST(Monitor, ExploitRunFlagsEveryViolatedActivity) {
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  // The #3163 exploit facts: str_x > 2^31, GOT tampered by call time.
+  const auto result =
+      monitor.observe(sendmail_observation("4294958848", "7842561", false));
+  EXPECT_TRUE(result.exploited());
+  // pFSM1 (type), pFSM2 (range) and pFSM3 (reference) all violated.
+  EXPECT_EQ(monitor.violations().size(), 3u);
+  EXPECT_NE(monitor.violations()[0].find("pFSM1"), std::string::npos);
+  EXPECT_NE(monitor.violations()[2].find("pFSM3"), std::string::npos);
+}
+
+TEST(Monitor, ViolationRecordsNameTheOperationAndObject) {
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  (void)monitor.observe(sendmail_observation("4294958848", "1", true));
+  ASSERT_FALSE(monitor.violations().empty());
+  const auto& v = monitor.violations()[0];
+  EXPECT_NE(v.find("Write debug level"), std::string::npos);
+  EXPECT_NE(v.find("long_x"), std::string::npos);
+}
+
+TEST(Monitor, NullHttpdObservationMatchesTheExploitNarrative) {
+  RuntimeMonitor monitor{apps::NullHttpd::figure4_model()};
+  // #5774 facts: contentLen=-800, 256 bytes into a 224-byte buffer,
+  // links corrupted, GOT corrupted.
+  const auto result = monitor.observe(
+      nullhttpd_observation(-800, 256, 224, false, false));
+  EXPECT_TRUE(result.exploited());
+  EXPECT_EQ(monitor.violations().size(), 4u);
+}
+
+TEST(Monitor, SecuredActivityShowsUpAsFoiledNotViolated) {
+  RuntimeMonitor monitor{apps::NullHttpd::figure4_model()};
+  // #6255 facts: contentLen valid (pFSM1 passes), everything else bad.
+  const auto result = monitor.observe(
+      nullhttpd_observation(0, 1056, 1024, false, false));
+  EXPECT_TRUE(result.exploited());
+  EXPECT_EQ(monitor.violations().size(), 3u);  // pFSM1 took SPEC_ACPT
+}
+
+TEST(Monitor, TraceAccumulatesAcrossObservations) {
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  (void)monitor.observe(sendmail_observation("7", "3", true));
+  const auto size_after_first = monitor.trace().size();
+  (void)monitor.observe(sendmail_observation("8", "2", true));
+  EXPECT_GT(monitor.trace().size(), size_after_first);
+}
+
+TEST(Monitor, ResetClearsState) {
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  (void)monitor.observe(sendmail_observation("4294958848", "1", false));
+  monitor.reset();
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_TRUE(monitor.trace().empty());
+}
+
+TEST(Monitor, XtermObservationMatchesTheRaceFacts) {
+  RuntimeMonitor monitor{apps::XtermLogger::figure5_model()};
+  // The race winner: the file looked fine at check time, but the binding
+  // was swapped before the open.
+  const auto won = monitor.observe(xterm_observation(true, false, false));
+  EXPECT_TRUE(won.exploited());
+  EXPECT_EQ(monitor.violations().size(), 1u);  // only pFSM2 (pFSM1 secure)
+  monitor.reset();
+  // Pre-planted symlink: the SECURE pFSM1 foils it (IMPL_REJ).
+  const auto foiled = monitor.observe(xterm_observation(false, true, false));
+  EXPECT_FALSE(foiled.exploited());
+  EXPECT_TRUE(foiled.foiled_at_operation.has_value());
+}
+
+TEST(Monitor, RwallObservationMatchesFigure6) {
+  RuntimeMonitor monitor{apps::RwallDaemon::figure6_model()};
+  const auto attack = monitor.observe(rwall_observation(false, "file"));
+  EXPECT_TRUE(attack.exploited());
+  EXPECT_EQ(monitor.violations().size(), 2u);
+  monitor.reset();
+  const auto benign = monitor.observe(rwall_observation(true, "terminal"));
+  EXPECT_FALSE(benign.exploited());
+  EXPECT_TRUE(benign.completed());
+}
+
+TEST(Monitor, IisObservationSeparatesTheDecodeForms) {
+  RuntimeMonitor monitor{apps::IisDecoder::figure7_model()};
+  const auto nimda = monitor.observe(iis_observation("..%2fx", "../x"));
+  EXPECT_TRUE(nimda.exploited());
+  monitor.reset();
+  const auto plain = monitor.observe(iis_observation("../x", "../x"));
+  EXPECT_FALSE(plain.exploited());  // the shipped check catches this form
+}
+
+TEST(Monitor, GhttpdAndStatdObservations) {
+  RuntimeMonitor ghttpd{apps::Ghttpd::ghttpd_model()};
+  EXPECT_TRUE(ghttpd.observe(ghttpd_observation(203, false)).exploited());
+  ghttpd.reset();
+  EXPECT_FALSE(ghttpd.observe(ghttpd_observation(24, true)).exploited());
+
+  RuntimeMonitor statd{apps::RpcStatd::statd_model()};
+  EXPECT_TRUE(
+      statd.observe(rpcstatd_observation("%7842561c%4$n", false)).exploited());
+  statd.reset();
+  EXPECT_FALSE(
+      statd.observe(rpcstatd_observation("/var/lib/nfs/state", true)).exploited());
+}
+
+TEST(Monitor, AgreesWithTheConcreteSandboxRun) {
+  // The model-level monitor and the byte-level sandbox must tell the same
+  // story for the same inputs — the core fidelity claim.
+  apps::SendmailTTflag app;
+  const auto exploit = app.build_exploit();
+  const auto concrete = app.run_debug_command(exploit.str_x, exploit.str_i);
+
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  const auto modeled = monitor.observe(sendmail_observation(
+      exploit.str_x, exploit.str_i, app.process().got().unchanged("setuid")));
+
+  EXPECT_EQ(concrete.mcode_executed, modeled.exploited());
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

@@ -1,0 +1,88 @@
+#include "analysis/predicates.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::analysis::predicates {
+namespace {
+
+using core::Object;
+
+TEST(PredicateLibrary, RepresentableAsInt32) {
+  const auto p = representable_as_int32("v");
+  EXPECT_TRUE(p.accepts(Object{"o"}.with("v", std::int64_t{2147483647})));
+  EXPECT_TRUE(p.accepts(Object{"o"}.with("v", std::int64_t{-2147483648LL})));
+  EXPECT_FALSE(p.accepts(Object{"o"}.with("v", std::int64_t{2147483648LL})));
+  EXPECT_FALSE(p.accepts(Object{"o"}.with("v", std::int64_t{4294958848LL})));
+  EXPECT_FALSE(p.accepts(Object{"o"}));  // missing attribute
+}
+
+TEST(PredicateLibrary, FileTypeIs) {
+  const auto p = file_type_is("type", "terminal");
+  EXPECT_TRUE(p.accepts(Object{"o"}.with("type", std::string("terminal"))));
+  EXPECT_FALSE(p.accepts(Object{"o"}.with("type", std::string("file"))));
+  EXPECT_FALSE(p.accepts(Object{"o"}));
+}
+
+TEST(PredicateLibrary, IntRangeAndBounds) {
+  EXPECT_TRUE(int_in_range("x", 0, 100).accepts(Object{"o"}.with("x", std::int64_t{100})));
+  EXPECT_FALSE(int_in_range("x", 0, 100).accepts(Object{"o"}.with("x", std::int64_t{-1})));
+  EXPECT_TRUE(int_at_least("n", 0).accepts(Object{"o"}.with("n", std::int64_t{0})));
+  EXPECT_FALSE(int_at_least("n", 0).accepts(Object{"o"}.with("n", std::int64_t{-800})));
+  EXPECT_TRUE(int_at_most("x", 100).accepts(Object{"o"}.with("x", std::int64_t{-8448})));
+  // The incomplete upper-bound-only check accepting negatives is exactly
+  // the Sendmail hidden path.
+}
+
+TEST(PredicateLibrary, LengthChecks) {
+  const auto cap = length_within_capacity("len", "cap");
+  EXPECT_TRUE(cap.accepts(
+      Object{"o"}.with("len", std::int64_t{10}).with("cap", std::int64_t{10})));
+  EXPECT_FALSE(cap.accepts(
+      Object{"o"}.with("len", std::int64_t{11}).with("cap", std::int64_t{10})));
+  EXPECT_FALSE(cap.accepts(Object{"o"}.with("len", std::int64_t{1})));  // no cap
+
+  const auto at_most = length_at_most("msg", 200);
+  EXPECT_TRUE(at_most.accepts(Object{"o"}.with("msg", std::int64_t{200})));
+  EXPECT_FALSE(at_most.accepts(Object{"o"}.with("msg", std::int64_t{201})));
+  // String payload variant measures the string directly.
+  EXPECT_TRUE(at_most.accepts(Object{"o"}.with("msg", std::string(200, 'a'))));
+  EXPECT_FALSE(at_most.accepts(Object{"o"}.with("msg", std::string(201, 'a'))));
+}
+
+TEST(PredicateLibrary, FormatAndTraversal) {
+  EXPECT_FALSE(no_format_directives("s").accepts(
+      Object{"o"}.with("s", std::string("%7842561c%4$n"))));
+  EXPECT_TRUE(no_format_directives("s").accepts(
+      Object{"o"}.with("s", std::string("/var/lib/nfs/state"))));
+  EXPECT_FALSE(no_path_traversal("p").accepts(
+      Object{"o"}.with("p", std::string("../../winnt/cmd.exe"))));
+  EXPECT_TRUE(no_path_traversal("p").accepts(
+      Object{"o"}.with("p", std::string("scripts/tool.cgi"))));
+}
+
+TEST(PredicateLibrary, PrivilegeAndReference) {
+  EXPECT_TRUE(caller_is_root("root").accepts(Object{"o"}.with("root", true)));
+  EXPECT_FALSE(caller_is_root("root").accepts(Object{"o"}.with("root", false)));
+  EXPECT_TRUE(reference_unchanged("u").accepts(Object{"o"}.with("u", true)));
+  EXPECT_FALSE(reference_unchanged("u").accepts(Object{"o"}.with("u", false)));
+  EXPECT_FALSE(reference_unchanged("u").accepts(Object{"o"}));  // unknown: reject
+}
+
+TEST(PredicateLibrary, DescriptionsAreHumanReadable) {
+  EXPECT_EQ(int_in_range("x", 0, 100).description(), "0 <= x <= 100");
+  EXPECT_EQ(int_at_least("contentLen", 0).description(), "contentLen >= 0");
+  EXPECT_EQ(length_at_most("message", 200).description(), "size(message) <= 200");
+}
+
+TEST(PredicateLibrary, CatalogueCoversAllThreeGenericTypes) {
+  const auto& cat = catalogue();
+  EXPECT_GE(cat.size(), 10u);
+  bool has[3] = {false, false, false};
+  for (const auto& e : cat) has[static_cast<std::size_t>(e.type)] = true;
+  EXPECT_TRUE(has[0]);
+  EXPECT_TRUE(has[1]);
+  EXPECT_TRUE(has[2]);
+}
+
+}  // namespace
+}  // namespace dfsm::analysis::predicates

@@ -1,0 +1,77 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/models.h"
+
+namespace dfsm::analysis {
+namespace {
+
+TEST(ReportTable1, ContainsTheThreeReportsAndTheirCategories) {
+  const std::string t = render_table1();
+  EXPECT_NE(t.find("#3163"), std::string::npos);
+  EXPECT_NE(t.find("#5493"), std::string::npos);
+  EXPECT_NE(t.find("#3958"), std::string::npos);
+  EXPECT_NE(t.find("Input Validation Error"), std::string::npos);
+  EXPECT_NE(t.find("Boundary Condition Error"), std::string::npos);
+  EXPECT_NE(t.find("Access Validation Error"), std::string::npos);
+  // The classifier reproduces each assignment.
+  EXPECT_EQ(t.find("NO"), std::string::npos);
+}
+
+TEST(ReportTable2, ListsEveryModelAndItsPfsmQuestions) {
+  const auto models = apps::standard_models();
+  const std::string t = render_table2(models);
+  for (const auto& m : models) {
+    EXPECT_NE(t.find(m.name()), std::string::npos) << m.name();
+  }
+  EXPECT_NE(t.find("0 <= x <= 100"), std::string::npos);
+  EXPECT_NE(t.find("contentLen >= 0"), std::string::npos);
+  EXPECT_NE(t.find("size(message) <= 200"), std::string::npos);
+}
+
+TEST(ReportFigure2, ShowsTheThreeOutcomeRows) {
+  const std::string f = render_figure2();
+  EXPECT_NE(f.find("SPEC_ACPT"), std::string::npos);
+  EXPECT_NE(f.find("SPEC_REJ, IMPL_REJ"), std::string::npos);
+  EXPECT_NE(f.find("SPEC_REJ, IMPL_ACPT"), std::string::npos);
+  EXPECT_NE(f.find("HIDDEN PATH"), std::string::npos);
+}
+
+TEST(ReportFigure8, CensusSharesSumToOneHundredPercent) {
+  const auto models = apps::standard_models();
+  const std::string f = render_figure8(models);
+  EXPECT_NE(f.find("Object Type Check"), std::string::npos);
+  EXPECT_NE(f.find("Content and Attribute Check"), std::string::npos);
+  EXPECT_NE(f.find("Reference Consistency Check"), std::string::npos);
+  EXPECT_NE(f.find("Total pFSMs: 16"), std::string::npos);
+}
+
+TEST(ReportLemma, OneRowPerCaseStudy) {
+  const auto reports = sweep_all();
+  const std::string t = render_lemma(reports);
+  for (const auto& r : reports) {
+    EXPECT_NE(t.find(r.study_name), std::string::npos) << r.study_name;
+  }
+  EXPECT_EQ(t.find(" NO"), std::string::npos) << "a Lemma column regressed";
+}
+
+TEST(ReportMaskTable, ShowsEveryMask) {
+  const auto reports = sweep_all();
+  const std::string t = render_mask_table(reports[0]);  // Sendmail, 8 masks
+  EXPECT_NE(t.find("000"), std::string::npos);
+  EXPECT_NE(t.find("111"), std::string::npos);
+  EXPECT_NE(t.find("all 8 check combinations"), std::string::npos);
+}
+
+TEST(ReportDiscovery, NarratesTheCampaign) {
+  const std::string t = render_discovery(probe_nullhttpd_v051());
+  EXPECT_NE(t.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(t.find("NEW VULNERABILITY"), std::string::npos);
+  const std::string clean = render_discovery(probe_nullhttpd_fixed());
+  EXPECT_EQ(clean.find("NEW VULNERABILITY"), std::string::npos);
+  EXPECT_NE(clean.find("no predicate violations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfsm::analysis

@@ -1,0 +1,103 @@
+#include "apps/fmtfamily.h"
+
+#include <gtest/gtest.h>
+
+#include "bugtraq/category.h"
+#include "bugtraq/curated.h"
+
+namespace dfsm::apps {
+namespace {
+
+constexpr FmtProfile kAll[] = {FmtProfile::kWuFtpd, FmtProfile::kSplitvt,
+                               FmtProfile::kIcecast};
+
+TEST(FmtFamily, BenignInputIsHandledUnderEveryProfile) {
+  for (FmtProfile p : kAll) {
+    FmtFamilyVictim app{p};
+    const auto r = app.handle_input("ordinary client text");
+    EXPECT_TRUE(r.logged) << to_string(p);
+    EXPECT_FALSE(r.ret_modified) << to_string(p);
+    EXPECT_FALSE(r.mcode_executed) << to_string(p);
+  }
+}
+
+TEST(FmtFamily, EveryProfileExploitReachesMcode) {
+  for (FmtProfile p : kAll) {
+    FmtFamilyVictim app{p};
+    const auto r = app.handle_input(app.build_exploit());
+    EXPECT_TRUE(r.mcode_executed) << to_string(p);
+    EXPECT_TRUE(r.ret_modified) << to_string(p);
+  }
+}
+
+TEST(FmtFamily, WuFtpdAndSplitvtUsePercentNIcecastDoesNot) {
+  FmtFamilyVictim wuftpd{FmtProfile::kWuFtpd};
+  FmtFamilyVictim icecast{FmtProfile::kIcecast};
+  EXPECT_NE(wuftpd.build_exploit().find("%"), std::string::npos);
+  EXPECT_NE(wuftpd.build_exploit().find("$n"), std::string::npos);
+  // The boundary-flavour exploit is pure literal bytes.
+  EXPECT_EQ(icecast.build_exploit().find('%'), std::string::npos);
+}
+
+TEST(FmtFamily, DirectiveFilterStopsTheNFlavoursButNotIcecast) {
+  // The input-validation fix that kills #1387/#2210 does NOT address
+  // #2264's literal-overflow flavour — which is exactly why Bugtraq filed
+  // them under different categories.
+  for (FmtProfile p : {FmtProfile::kWuFtpd, FmtProfile::kSplitvt}) {
+    FmtFamilyVictim app{p, FmtFamilyChecks{.no_format_directives = true}};
+    const auto r = app.handle_input(app.build_exploit());
+    EXPECT_TRUE(r.rejected) << to_string(p);
+    EXPECT_FALSE(r.mcode_executed) << to_string(p);
+  }
+  FmtFamilyVictim icecast{FmtProfile::kIcecast,
+                          FmtFamilyChecks{.no_format_directives = true}};
+  const auto r = icecast.handle_input(icecast.build_exploit());
+  EXPECT_FALSE(r.rejected);
+  EXPECT_TRUE(r.mcode_executed) << "the filter must not stop the literal flavour";
+}
+
+TEST(FmtFamily, BoundedExpansionStopsIcecast) {
+  FmtFamilyVictim app{FmtProfile::kIcecast,
+                      FmtFamilyChecks{.bounded_expansion = true}};
+  const auto r = app.handle_input(app.build_exploit());
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_TRUE(r.logged);
+}
+
+TEST(FmtFamily, RetConsistencyStopsAllThree) {
+  for (FmtProfile p : kAll) {
+    FmtFamilyVictim app{p, FmtFamilyChecks{.ret_consistency = true}};
+    const auto r = app.handle_input(app.build_exploit());
+    EXPECT_FALSE(r.mcode_executed) << to_string(p);
+    EXPECT_TRUE(r.rejected) << to_string(p);
+  }
+}
+
+TEST(FmtFamily, PaperCategoriesMatchTheCuratedRecords) {
+  // The three-way classification of §3.2, tied to the curated database.
+  const auto db = bugtraq::curated_records();
+  EXPECT_EQ(db.by_id(1387)->category, bugtraq::Category::kInputValidationError);
+  EXPECT_EQ(db.by_id(2210)->category, bugtraq::Category::kAccessValidationError);
+  EXPECT_EQ(db.by_id(2264)->category, bugtraq::Category::kBoundaryConditionError);
+  EXPECT_STREQ(FmtFamilyVictim::paper_category(FmtProfile::kWuFtpd),
+               "Input Validation Error");
+  EXPECT_STREQ(FmtFamilyVictim::paper_category(FmtProfile::kSplitvt),
+               "Access Validation Error");
+  EXPECT_STREQ(FmtFamilyVictim::paper_category(FmtProfile::kIcecast),
+               "Boundary Condition Error");
+}
+
+TEST(FmtFamilyCaseStudy, AllThreeProfilesSatisfyTheLemmaShape) {
+  for (FmtProfile p : kAll) {
+    const auto study = make_fmtfamily_case_study(p);
+    EXPECT_TRUE(study->run_exploit({false, false}).exploited) << to_string(p);
+    EXPECT_FALSE(study->run_exploit({true, false}).exploited) << to_string(p);
+    EXPECT_FALSE(study->run_exploit({false, true}).exploited) << to_string(p);
+    EXPECT_TRUE(study->run_benign({true, true}).service_ok) << to_string(p);
+    EXPECT_EQ(study->model().pfsm_count(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::apps

@@ -1,0 +1,138 @@
+#include "apps/ghttpd.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+TEST(Ghttpd, BenignRequestIsLoggedAndReturnsNormally) {
+  Ghttpd app;
+  const auto r = app.serve("GET /index.html HTTP/1.0");
+  EXPECT_TRUE(r.logged);
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_NE(r.detail.find("serveconnection"), std::string::npos);
+}
+
+TEST(Ghttpd, ExactlyFullBufferDoesNotSmash) {
+  Ghttpd app;
+  const auto r = app.serve(std::string(Ghttpd::kLogBufferSize - 1, 'a'));
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(Ghttpd, OverflowWithoutCraftedBytesCrashes) {
+  Ghttpd app;
+  // 300 'a's smash the return address with 0x616161... — a wild address.
+  const auto r = app.serve(std::string(300, 'a'));
+  EXPECT_TRUE(r.ret_modified);
+  EXPECT_TRUE(r.crashed);
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(Ghttpd, CraftedExploitLandsInMcode) {
+  Ghttpd app;
+  const auto payload = app.build_exploit();
+  EXPECT_EQ(payload.size(), Ghttpd::kLogBufferSize + 3);
+  const auto r = app.serve(payload);
+  EXPECT_TRUE(r.ret_modified);
+  EXPECT_TRUE(r.mcode_executed);
+  EXPECT_FALSE(r.canary_smashed);  // no canary configured in this build
+}
+
+TEST(Ghttpd, LengthCheckFoilsTheExploit) {
+  Ghttpd app{GhttpdChecks{.length_check = true}};
+  const auto r = app.serve(app.build_exploit());
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM1");
+  EXPECT_FALSE(r.logged);
+}
+
+TEST(Ghttpd, LengthCheckPassesBenignRequests) {
+  Ghttpd app{GhttpdChecks{.length_check = true}};
+  const auto r = app.serve("GET / HTTP/1.0");
+  EXPECT_TRUE(r.logged);
+  EXPECT_FALSE(r.rejected);
+}
+
+TEST(Ghttpd, StackGuardDetectsTheSmash) {
+  Ghttpd app{GhttpdChecks{.stackguard = true}};
+  const auto r = app.serve(app.build_exploit());
+  EXPECT_TRUE(r.canary_smashed);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM2");
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(Ghttpd, StackGuardPassesBenignRequests) {
+  Ghttpd app{GhttpdChecks{.stackguard = true}};
+  const auto r = app.serve("GET / HTTP/1.0");
+  EXPECT_FALSE(r.canary_smashed);
+  EXPECT_FALSE(r.rejected);
+}
+
+TEST(Ghttpd, ExploitUsesThreeByteAddressTrick) {
+  // The payload carries only the three NUL-free low bytes of the Mcode
+  // address; the terminator plus pre-existing zero high bytes complete
+  // the 64-bit pointer — the 2003 exploit mechanics.
+  Ghttpd app;
+  const auto payload = app.build_exploit();
+  const auto mcode = SandboxProcess::kMcodeBase;
+  EXPECT_EQ(static_cast<std::uint8_t>(payload[Ghttpd::kLogBufferSize]),
+            mcode & 0xFF);
+  EXPECT_EQ(static_cast<std::uint8_t>(payload[Ghttpd::kLogBufferSize + 2]),
+            (mcode >> 16) & 0xFF);
+  for (std::size_t i = Ghttpd::kLogBufferSize; i < payload.size(); ++i) {
+    EXPECT_NE(payload[i], '\0');
+  }
+}
+
+TEST(Ghttpd, SnprintfFixStopsTheOverflowSilently) {
+  // The actual GHTTPD patch: vsnprintf caps the copy; the request is
+  // still logged (truncated) and the return address survives.
+  apps::GhttpdChecks fixed;
+  fixed.use_snprintf = true;
+  Ghttpd app{fixed};
+  const auto r = app.serve(app.build_exploit());
+  EXPECT_TRUE(r.logged);
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_FALSE(r.crashed);
+}
+
+TEST(Ghttpd, RetConsistencyCheckFoilsWithoutACanary) {
+  apps::GhttpdChecks checks;
+  checks.ret_consistency = true;  // split-stack style, no canary
+  Ghttpd app{checks};
+  const auto r = app.serve(app.build_exploit());
+  EXPECT_TRUE(r.ret_modified);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM2");
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_FALSE(r.canary_smashed);
+}
+
+TEST(Ghttpd, SnprintfFixAcrossLengthSweep) {
+  apps::GhttpdChecks fixed;
+  fixed.use_snprintf = true;
+  for (const std::size_t len : {0u, 199u, 200u, 201u, 300u, 5000u}) {
+    Ghttpd app{fixed};
+    const auto r = app.serve(std::string(len, 'a'));
+    EXPECT_FALSE(r.ret_modified) << len;
+    EXPECT_FALSE(r.crashed) << len;
+  }
+}
+
+TEST(GhttpdCaseStudy, MaskSweepShape) {
+  const auto study = make_ghttpd_case_study();
+  EXPECT_EQ(study->checks().size(), 2u);
+  EXPECT_TRUE(study->run_exploit({false, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({true, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({false, true}).exploited);
+  EXPECT_TRUE(study->run_benign({true, true}).service_ok);
+  // The two pFSMs belong to different operations (Table 2's GHTTPD row).
+  EXPECT_NE(study->checks()[0].operation_index, study->checks()[1].operation_index);
+}
+
+}  // namespace
+}  // namespace dfsm::apps

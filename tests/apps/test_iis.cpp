@@ -1,0 +1,120 @@
+#include "apps/iis.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+TEST(Iis, BenignCgiRequestExecutesInsideScripts) {
+  IisDecoder app;
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, "hello.cgi");
+  EXPECT_TRUE(r.executed);
+  EXPECT_FALSE(r.outside_scripts);
+  EXPECT_EQ(r.resolved_path, "/wwwroot/scripts/hello.cgi");
+}
+
+TEST(Iis, EncodedBenignPathDecodesAndExecutes) {
+  IisDecoder app;
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, "hello%2ecgi");
+  EXPECT_TRUE(r.executed);
+  EXPECT_EQ(r.resolved_path, "/wwwroot/scripts/hello.cgi");
+}
+
+TEST(Iis, PlainTraversalIsRejectedByTheShippedCheck) {
+  IisDecoder app;
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, "../../winnt/system32/cmd.exe");
+  EXPECT_TRUE(r.rejected);
+  EXPECT_FALSE(r.executed);
+}
+
+TEST(Iis, SingleEncodedTraversalIsAlsoRejected) {
+  // "..%2f" decodes to "../" in the FIRST pass — the shipped check sees it.
+  IisDecoder app;
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, "..%2f..%2fwinnt/system32/cmd.exe");
+  EXPECT_TRUE(r.rejected);
+}
+
+TEST(Iis, DoubleEncodedTraversalSlipsThrough) {
+  IisDecoder app;
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, IisDecoder::nimda_payload());
+  EXPECT_FALSE(r.rejected);
+  EXPECT_EQ(r.decoded_once, "..%2f..%2fwinnt/system32/cmd.exe");
+  EXPECT_EQ(r.decoded_twice, "../../winnt/system32/cmd.exe");
+  EXPECT_TRUE(r.executed);
+  EXPECT_TRUE(r.outside_scripts);
+  EXPECT_EQ(r.resolved_path, "/winnt/system32/cmd.exe");
+}
+
+TEST(Iis, SingleDecodeFixFoilsNimda) {
+  IisDecoder app{IisChecks{.single_decode = true}};
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, IisDecoder::nimda_payload());
+  // The once-decoded name "..%2f..." is just a weird filename that does
+  // not exist under the scripts root.
+  EXPECT_FALSE(r.executed);
+  EXPECT_FALSE(r.outside_scripts && r.executed);
+}
+
+TEST(Iis, RecheckAfterDecodeFoilsNimda) {
+  IisDecoder app{IisChecks{.recheck_after_decode = true}};
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, IisDecoder::nimda_payload());
+  EXPECT_TRUE(r.rejected);
+  EXPECT_NE(r.rejected_by.find("re-check"), std::string::npos);
+}
+
+TEST(Iis, FixesDoNotBreakBenignRequests) {
+  for (const bool single : {false, true}) {
+    for (const bool recheck : {false, true}) {
+      IisDecoder app{IisChecks{single, recheck}};
+      auto fs = app.initial_world();
+      const auto r = app.handle_cgi_request(fs, "hello.cgi");
+      EXPECT_TRUE(r.executed) << single << recheck;
+      EXPECT_FALSE(r.outside_scripts);
+    }
+  }
+}
+
+TEST(Iis, MissingTargetIsNotExecution) {
+  IisDecoder app;
+  auto fs = app.initial_world();
+  const auto r = app.handle_cgi_request(fs, "ghost.cgi");
+  EXPECT_FALSE(r.executed);
+  EXPECT_FALSE(r.rejected);
+}
+
+TEST(IisCaseStudy, EitherFixAloneFoils) {
+  const auto study = make_iis_case_study();
+  EXPECT_TRUE(study->run_exploit({false, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({true, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({false, true}).exploited);
+  EXPECT_FALSE(study->run_exploit({true, true}).exploited);
+  EXPECT_TRUE(study->run_benign({false, false}).service_ok);
+}
+
+TEST(IisCaseStudy, ModelPredicatesDisagreeExactlyOnDoubleEncodedNames) {
+  const auto model = make_iis_case_study()->model();
+  const auto& pfsm = model.chain().operations()[0].pfsms()[0];
+  core::Object nimda{"filepath"};
+  nimda.with("once_decoded", std::string("..%2fwinnt"))
+       .with("fully_decoded", std::string("../winnt"));
+  EXPECT_TRUE(pfsm.hidden_path_for(nimda));
+
+  core::Object plain{"filepath"};
+  plain.with("once_decoded", std::string("../x"))
+       .with("fully_decoded", std::string("../x"));
+  EXPECT_FALSE(pfsm.hidden_path_for(plain));  // impl also rejects
+
+  core::Object benign{"filepath"};
+  benign.with("once_decoded", std::string("hello.cgi"))
+        .with("fully_decoded", std::string("hello.cgi"));
+  EXPECT_FALSE(pfsm.hidden_path_for(benign));
+}
+
+}  // namespace
+}  // namespace dfsm::apps

@@ -1,0 +1,233 @@
+#include "apps/nullhttpd.h"
+
+#include <gtest/gtest.h>
+
+#include "memsim/heap.h"
+#include "netsim/http.h"
+
+namespace dfsm::apps {
+namespace {
+
+std::string body_from(const std::vector<std::uint8_t>& bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+TEST(NullHttpd, BenignPostIsServed) {
+  NullHttpd app;
+  const std::string body(300, 'b');
+  const auto r = app.handle_post(300, body);
+  EXPECT_TRUE(r.served);
+  EXPECT_FALSE(r.heap_overflowed);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_EQ(r.bytes_read, 300u);
+  EXPECT_GE(r.postdata_usable, 1324u);  // contentLen + 1024
+}
+
+TEST(NullHttpd, NegativeContentLenUndersizesTheBuffer) {
+  NullHttpd app;
+  const auto r = app.handle_post(-800, std::string(100, 'x'));
+  // calloc(-800 + 1024) = calloc(224): the undersized buffer of #5774.
+  EXPECT_EQ(r.postdata_usable, 224u);
+}
+
+TEST(NullHttpd, VeryNegativeContentLenFailsCallocLikeTheRealServer) {
+  NullHttpd app;
+  const auto r = app.handle_post(-2000, "x");
+  EXPECT_TRUE(r.crashed);
+  EXPECT_NE(r.detail.find("calloc"), std::string::npos);
+}
+
+TEST(NullHttpd, ScoutMatchesALiveInstanceLayout) {
+  const auto info = NullHttpd::scout(-800);
+  EXPECT_EQ(info.postdata_usable, 224u);
+  EXPECT_NE(info.following_chunk, 0u);
+  EXPECT_EQ(info.got_free_slot, SandboxProcess::kGotBase);
+  EXPECT_EQ(info.mcode, SandboxProcess::kMcodeBase);
+  // Scouting is deterministic.
+  const auto again = NullHttpd::scout(-800);
+  EXPECT_EQ(info.postdata_user, again.postdata_user);
+  EXPECT_EQ(info.b_size_field, again.b_size_field);
+}
+
+TEST(NullHttpd, OverflowBodyLayout) {
+  const auto info = NullHttpd::scout(-800);
+  const auto body = NullHttpd::build_overflow_body(info);
+  EXPECT_EQ(body.size(), info.postdata_usable + 32);
+  // The poisoned fd: &addr_free - offsetof(bk), little-endian at usable+16.
+  std::uint64_t fd = 0;
+  for (int i = 0; i < 8; ++i) {
+    fd |= static_cast<std::uint64_t>(body[info.postdata_usable + 16 + i]) << (8 * i);
+  }
+  EXPECT_EQ(fd, info.got_free_slot - memsim::ChunkLayout::kBkOffset);
+}
+
+TEST(NullHttpd, Exploit5774ExecutesMcode) {
+  const auto info = NullHttpd::scout(-800);
+  NullHttpd app;
+  const auto r = app.handle_post(-800, body_from(NullHttpd::build_overflow_body(info)));
+  EXPECT_TRUE(r.heap_overflowed);
+  EXPECT_TRUE(r.mcode_executed);
+  EXPECT_FALSE(app.process().got().unchanged("free"));
+  EXPECT_EQ(app.process().got().current("free"), info.mcode);
+}
+
+TEST(NullHttpd, Exploit6255UsesTruthfulContentLen) {
+  NullHttpdChecks v051;
+  v051.content_len_nonneg = true;
+  const auto info = NullHttpd::scout(0, v051);
+  NullHttpd app{v051};
+  const auto r = app.handle_post(0, body_from(NullHttpd::build_overflow_body(info)));
+  EXPECT_FALSE(r.rejected) << "contentLen 0 is valid — the patch must pass it";
+  EXPECT_TRUE(r.heap_overflowed);
+  EXPECT_TRUE(r.mcode_executed);
+}
+
+TEST(NullHttpd, Check1FoilsNegativeContentLenOnly) {
+  NullHttpdChecks v051;
+  v051.content_len_nonneg = true;
+  NullHttpd app{v051};
+  const auto r = app.handle_post(-800, std::string(1200, 'x'));
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM1");
+}
+
+TEST(NullHttpd, Check2BoundsTheReadLoop) {
+  NullHttpdChecks fixed;
+  fixed.bounded_read_loop = true;
+  NullHttpd app{fixed};
+  // Even with the undersized buffer, the bounded loop never overruns.
+  const auto info = NullHttpd::scout(-800, fixed);
+  const auto r = app.handle_post(-800, body_from(NullHttpd::build_overflow_body(info)));
+  EXPECT_FALSE(r.heap_overflowed);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_LE(r.bytes_read, r.postdata_usable);
+  EXPECT_TRUE(r.served);
+}
+
+TEST(NullHttpd, Check3SafeUnlinkDetectsTamperedLinks) {
+  NullHttpdChecks checks;
+  checks.heap_safe_unlink = true;
+  const auto info = NullHttpd::scout(-800, checks);
+  NullHttpd app{checks};
+  const auto r = app.handle_post(-800, body_from(NullHttpd::build_overflow_body(info)));
+  EXPECT_TRUE(r.heap_overflowed);  // the overflow itself still happens...
+  EXPECT_TRUE(r.rejected);          // ...but the unlink refuses to fire
+  EXPECT_EQ(r.rejected_by, "pFSM3");
+  EXPECT_TRUE(app.process().got().unchanged("free"));
+}
+
+TEST(NullHttpd, Check4GotConsistencyStopsTheFinalCall) {
+  NullHttpdChecks checks;
+  checks.got_free_unchanged = true;
+  const auto info = NullHttpd::scout(-800, checks);
+  NullHttpd app{checks};
+  const auto r = app.handle_post(-800, body_from(NullHttpd::build_overflow_body(info)));
+  // The GOT is corrupted by the unlink, but the next free() verifies the
+  // slot against its load-time snapshot and refuses the call.
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM4");
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(NullHttpd, GarbageOverflowCrashesRatherThanExploits) {
+  NullHttpd app;
+  const auto r = app.handle_post(-800, std::string(1024, 'A'));
+  EXPECT_TRUE(r.heap_overflowed);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_TRUE(r.crashed);  // corrupted metadata kills free()
+}
+
+TEST(NullHttpd, SocketErrorClosesConnection) {
+  NullHttpd app;
+  // An empty body means the first recv hits EOF; serving continues and
+  // the request completes with zero bytes read.
+  const auto r = app.handle_post(100, "");
+  EXPECT_EQ(r.bytes_read, 0u);
+  EXPECT_FALSE(r.crashed);
+}
+
+TEST(NullHttpd, RecvLoopReadsInKilobyteChunks) {
+  NullHttpd app;
+  const std::string body(2500, 'z');
+  const auto r = app.handle_post(2500, body);
+  EXPECT_EQ(r.bytes_read, 2500u);
+  EXPECT_TRUE(r.served);
+}
+
+// --- The raw HTTP front door. -------------------------------------------
+
+TEST(NullHttpdRaw, BenignRequestRoundTripsThroughTheParser) {
+  netsim::HttpRequest req;
+  req.method = "POST";
+  req.path = "/form";
+  req.headers["Content-Length"] = "300";
+  NullHttpd app;
+  const auto r = app.handle_raw(netsim::serialize(req, std::string(300, 'b')));
+  EXPECT_TRUE(r.served);
+  EXPECT_EQ(r.content_len, 300);
+  EXPECT_EQ(r.bytes_read, 300u);
+}
+
+TEST(NullHttpdRaw, MalformedHeadRejected) {
+  NullHttpd app;
+  const auto r = app.handle_raw("not http at all");
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "parser");
+}
+
+TEST(NullHttpdRaw, GetRequestsNeverReachReadPostData) {
+  NullHttpd app;
+  const auto r = app.handle_raw("GET /index.html HTTP/1.0\r\n\r\n");
+  EXPECT_TRUE(r.rejected);
+}
+
+TEST(NullHttpdRaw, ExploitRequestWorksEndToEndOffTheWire) {
+  const auto info = NullHttpd::scout(-800);
+  const auto raw = NullHttpd::build_exploit_request(info, -800);
+  NullHttpd app;
+  const auto r = app.handle_raw(raw);
+  EXPECT_TRUE(r.mcode_executed);
+}
+
+TEST(NullHttpdRaw, WrappedContentLengthHeaderParsesLikeAtoi) {
+  // The attacker can also write the negative length as 2^32 - 800 — the
+  // header parser's atoi semantics wrap it identically.
+  const auto info = NullHttpd::scout(-800);
+  const auto body = NullHttpd::build_overflow_body(info);
+  netsim::HttpRequest req;
+  req.method = "POST";
+  req.path = "/form";
+  req.headers["Content-Length"] = "4294966496";  // 2^32 - 800
+  NullHttpd app;
+  const auto r =
+      app.handle_raw(netsim::serialize(req, std::string(body.begin(), body.end())));
+  EXPECT_EQ(r.content_len, -800);
+  EXPECT_TRUE(r.mcode_executed);
+}
+
+TEST(NullHttpdCaseStudy, BothVariantsExposeTheRightChecks) {
+  const auto known = make_nullhttpd_case_study();
+  const auto discovered = make_nullhttpd_6255_case_study();
+  EXPECT_EQ(known->checks().size(), 4u);
+  EXPECT_EQ(discovered->checks().size(), 4u);
+
+  // #5774 is foiled by the v0.5.1 patch (check 1)...
+  EXPECT_FALSE(known->run_exploit({true, false, false, false}).exploited);
+  // ...but #6255 is NOT — the discovery that motivated the Bugtraq report.
+  EXPECT_TRUE(discovered->run_exploit({true, false, false, false}).exploited);
+  // The '&&' loop fix foils both.
+  EXPECT_FALSE(known->run_exploit({false, true, false, false}).exploited);
+  EXPECT_FALSE(discovered->run_exploit({false, true, false, false}).exploited);
+}
+
+TEST(NullHttpdCaseStudy, OperationIndicesMatchFigure4) {
+  const auto study = make_nullhttpd_case_study();
+  const auto checks = study->checks();
+  EXPECT_EQ(checks[0].operation_index, 0u);  // pFSM1, pFSM2: operation 1
+  EXPECT_EQ(checks[1].operation_index, 0u);
+  EXPECT_EQ(checks[2].operation_index, 1u);  // pFSM3: operation 2
+  EXPECT_EQ(checks[3].operation_index, 2u);  // pFSM4: operation 3
+}
+
+}  // namespace
+}  // namespace dfsm::apps

@@ -1,0 +1,98 @@
+#include "apps/rpcstatd.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+TEST(RpcStatd, BenignFilenameIsLogged) {
+  RpcStatd app;
+  const auto r = app.handle_mon_request("/var/lib/nfs/state");
+  EXPECT_TRUE(r.logged);
+  EXPECT_EQ(r.n_stores, 0u);
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(RpcStatd, HarmlessDirectivesLeakButDoNotHijack) {
+  RpcStatd app;
+  // %x-style directives leak stack words (an information disclosure) but
+  // the return address is untouched.
+  const auto r = app.handle_mon_request("%x %x %x");
+  EXPECT_TRUE(r.logged);
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(RpcStatd, ExploitRewritesReturnAddressViaPercentN) {
+  RpcStatd app;
+  const auto r = app.handle_mon_request(app.build_exploit());
+  EXPECT_EQ(r.n_stores, 1u);
+  EXPECT_TRUE(r.ret_modified);
+  EXPECT_TRUE(r.mcode_executed);
+}
+
+TEST(RpcStatd, CanaryStaysIntactUnderTheFormatStringAttack) {
+  // The %n write goes DIRECTLY to the return-address slot: StackGuard's
+  // canary never sees it. This is why the paper's pFSM2 for statd is a
+  // return-address consistency check rather than a canary.
+  RpcStatd app{RpcStatdChecks{}, /*with_canary=*/true};
+  const auto r = app.handle_mon_request(app.build_exploit());
+  EXPECT_TRUE(r.canary_intact);
+  EXPECT_TRUE(r.mcode_executed);
+}
+
+TEST(RpcStatd, DirectiveFilterFoilsTheExploit) {
+  RpcStatd app{RpcStatdChecks{.no_format_directives = true}};
+  const auto r = app.handle_mon_request(app.build_exploit());
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM1");
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(RpcStatd, DirectiveFilterPassesCleanFilenames) {
+  RpcStatd app{RpcStatdChecks{.no_format_directives = true}};
+  const auto r = app.handle_mon_request("/var/lib/nfs/state");
+  EXPECT_TRUE(r.logged);
+  EXPECT_FALSE(r.rejected);
+}
+
+TEST(RpcStatd, RetConsistencyCheckFoilsTheExploit) {
+  RpcStatd app{RpcStatdChecks{.ret_consistency = true}};
+  const auto r = app.handle_mon_request(app.build_exploit());
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM2");
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_TRUE(r.ret_modified);  // detected, not prevented
+}
+
+TEST(RpcStatd, ExploitLayoutIsDeterministic) {
+  RpcStatd a;
+  RpcStatd b;
+  EXPECT_EQ(a.build_exploit(), b.build_exploit());
+  EXPECT_EQ(a.ret_slot(), SandboxProcess::kStackBase + SandboxProcess::kStackSize - 8);
+}
+
+TEST(RpcStatd, ExploitEmbedsRetSlotAddressAtWordOffset24) {
+  RpcStatd app;
+  const auto payload = app.build_exploit();
+  ASSERT_EQ(payload.size(), 27u);
+  std::uint64_t planted = 0;
+  for (int i = 0; i < 3; ++i) {
+    planted |= static_cast<std::uint64_t>(
+                   static_cast<std::uint8_t>(payload[24 + i])) << (8 * i);
+  }
+  EXPECT_EQ(planted, app.ret_slot());
+}
+
+TEST(RpcStatdCaseStudy, MaskSweepShape) {
+  const auto study = make_rpcstatd_case_study();
+  EXPECT_EQ(study->checks().size(), 2u);
+  EXPECT_TRUE(study->run_exploit({false, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({true, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({false, true}).exploited);
+  EXPECT_TRUE(study->run_benign({true, true}).service_ok);
+}
+
+}  // namespace
+}  // namespace dfsm::apps

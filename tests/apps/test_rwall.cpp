@@ -1,0 +1,96 @@
+#include "apps/rwall.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+TEST(Rwall, BenignWallReachesTheTerminal) {
+  RwallDaemon app;
+  auto fs = app.initial_world();
+  const auto r = app.run_benign(fs, "shutdown at 5pm\n");
+  ASSERT_EQ(r.wrote_to.size(), 1u);
+  EXPECT_EQ(r.wrote_to[0], "/dev/pts/25");
+  EXPECT_EQ(fs.read("/dev/pts/25").value, "shutdown at 5pm\n");
+  EXPECT_FALSE(r.passwd_corrupted);
+}
+
+TEST(Rwall, AttackCorruptsPasswdInTheVulnerableConfiguration) {
+  RwallDaemon app;  // utmp world-writable, no type check
+  auto fs = app.initial_world();
+  const auto r = app.run_attack(fs, "../etc/passwd", "evil::0:0::/:/bin/sh\n");
+  EXPECT_TRUE(r.utmp_tampered);
+  EXPECT_TRUE(r.passwd_corrupted);
+  EXPECT_NE(fs.read("/etc/passwd").value.find("evil"), std::string::npos);
+}
+
+TEST(Rwall, AttackAlsoDeliversToLegitimateTerminals) {
+  RwallDaemon app;
+  auto fs = app.initial_world();
+  const auto r = app.run_attack(fs, "../etc/passwd", "msg\n");
+  // Both the terminal and the regular file receive the message.
+  EXPECT_EQ(r.wrote_to.size(), 2u);
+}
+
+TEST(Rwall, RootOnlyUtmpFoilsTheAttackAtStepOne) {
+  RwallDaemon app{RwallChecks{.utmp_root_only = true}};
+  auto fs = app.initial_world();
+  const auto r = app.run_attack(fs, "../etc/passwd", "evil\n");
+  EXPECT_TRUE(r.attacker_rejected);
+  EXPECT_FALSE(r.utmp_tampered);
+  EXPECT_FALSE(r.passwd_corrupted);
+}
+
+TEST(Rwall, TerminalTypeCheckFoilsTheWrite) {
+  RwallDaemon app{RwallChecks{.terminal_type_check = true}};
+  auto fs = app.initial_world();
+  const auto r = app.run_attack(fs, "../etc/passwd", "evil\n");
+  EXPECT_TRUE(r.utmp_tampered);  // the entry lands in utmp...
+  EXPECT_FALSE(r.passwd_corrupted);  // ...but the daemon refuses the target
+  ASSERT_EQ(r.skipped.size(), 1u);
+  EXPECT_EQ(r.skipped[0], "/etc/passwd");
+}
+
+TEST(Rwall, TypeCheckDoesNotBreakBenignDelivery) {
+  RwallDaemon app{RwallChecks{.utmp_root_only = true, .terminal_type_check = true}};
+  auto fs = app.initial_world();
+  const auto r = app.run_benign(fs, "hello\n");
+  EXPECT_EQ(r.wrote_to.size(), 1u);
+}
+
+TEST(Rwall, MissingEntriesAreSkippedQuietly) {
+  RwallDaemon app;
+  auto fs = app.initial_world();
+  const auto r = app.run_attack(fs, "pts/does-not-exist", "msg\n");
+  EXPECT_FALSE(r.passwd_corrupted);
+  EXPECT_EQ(r.wrote_to.size(), 1u);  // only the real terminal
+}
+
+TEST(Rwall, UtmpPathsResolveRelativeToDev) {
+  RwallDaemon app;
+  auto fs = app.initial_world();
+  const auto r = app.run_benign(fs, "m\n");
+  EXPECT_EQ(r.wrote_to[0].rfind("/dev/", 0), 0u);
+}
+
+TEST(RwallCaseStudy, LemmaShape) {
+  const auto study = make_rwall_case_study();
+  EXPECT_EQ(study->checks().size(), 2u);
+  // The two checks live in DIFFERENT operations (Figure 6's operation 1
+  // and operation 2) — securing either forms a secured operation.
+  EXPECT_EQ(study->checks()[0].operation_index, 0u);
+  EXPECT_EQ(study->checks()[1].operation_index, 1u);
+  EXPECT_TRUE(study->run_exploit({false, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({true, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({false, true}).exploited);
+  EXPECT_TRUE(study->run_benign({true, true}).service_ok);
+}
+
+TEST(RwallCaseStudy, ModelHasObjectTypeCheck) {
+  const auto model = make_rwall_case_study()->model();
+  const auto census = model.type_census();
+  EXPECT_EQ(census[static_cast<std::size_t>(core::PfsmType::kObjectTypeCheck)], 1u);
+}
+
+}  // namespace
+}  // namespace dfsm::apps

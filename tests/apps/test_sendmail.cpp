@@ -1,0 +1,167 @@
+#include "apps/sendmail.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/http.h"
+
+namespace dfsm::apps {
+namespace {
+
+TEST(Sendmail, BenignDebugCommandWritesTTvect) {
+  SendmailTTflag app;
+  const auto r = app.run_debug_command("7", "3");
+  EXPECT_FALSE(r.rejected);
+  EXPECT_TRUE(r.wrote);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_EQ(r.x, 7);
+  EXPECT_EQ(r.i, 3);
+  EXPECT_EQ(app.process().mem().read64(app.ttvect() + 7 * 8), 3u);
+}
+
+TEST(Sendmail, ShippedCheckRejectsLargePositiveIndex) {
+  SendmailTTflag app;
+  const auto r = app.run_debug_command("101", "1");
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM2(impl)");  // x <= 100 exists in the original
+}
+
+TEST(Sendmail, ExploitOverwritesGotAndExecutesMcode) {
+  SendmailTTflag app;
+  const auto e = app.build_exploit();
+  const auto r = app.run_debug_command(e.str_x, e.str_i);
+  EXPECT_FALSE(r.rejected);
+  EXPECT_TRUE(r.wrote);
+  EXPECT_TRUE(r.mcode_executed);
+  EXPECT_LT(r.x, 0) << "the wrap must produce a negative index";
+  EXPECT_FALSE(app.process().got().unchanged("setuid"));
+  EXPECT_EQ(app.process().got().current("setuid"), app.process().mcode());
+}
+
+TEST(Sendmail, ExploitStringExceedsInt32ByConstruction) {
+  SendmailTTflag app;
+  const auto e = app.build_exploit();
+  // The published exploit uses the signed-integer overflow: the string
+  // value must be > 2^31 so pFSM1's spec would reject it.
+  EXPECT_GT(netsim::atol64(e.str_x), std::int64_t{1} << 31);
+}
+
+TEST(Sendmail, Check1FoilsTheExploit) {
+  SendmailTTflag app{SendmailChecks{.input_representable = true}};
+  const auto e = app.build_exploit();
+  const auto r = app.run_debug_command(e.str_x, e.str_i);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM1");
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(Sendmail, Check2FoilsTheExploit) {
+  SendmailTTflag app{SendmailChecks{.index_full_range = true}};
+  const auto e = app.build_exploit();
+  const auto r = app.run_debug_command(e.str_x, e.str_i);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM2");
+  EXPECT_TRUE(app.process().got().unchanged("setuid"));
+}
+
+TEST(Sendmail, Check3FoilsTheExploitAfterCorruption) {
+  SendmailTTflag app{SendmailChecks{.got_unchanged = true}};
+  const auto e = app.build_exploit();
+  const auto r = app.run_debug_command(e.str_x, e.str_i);
+  // The write happens (checks 1-2 are off) but the tampered GOT entry is
+  // detected before the call.
+  EXPECT_TRUE(r.wrote);
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.rejected_by, "pFSM3");
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(Sendmail, ChecksDoNotBreakBenignTraffic) {
+  SendmailTTflag app{SendmailChecks{true, true, true}};
+  const auto r = app.run_debug_command("100", "9");
+  EXPECT_FALSE(r.rejected);
+  EXPECT_TRUE(r.wrote);
+}
+
+TEST(Sendmail, WildIndexCrashesInsteadOfExploiting) {
+  SendmailTTflag app;
+  // A negative index pointing into unmapped memory: SIGSEGV, no exploit.
+  const auto r = app.run_debug_command("-100000", "1");
+  EXPECT_TRUE(r.crashed);
+  EXPECT_FALSE(r.mcode_executed);
+}
+
+TEST(Sendmail, DirectNegativeIndexAlsoWorksAsExploit) {
+  // The impl checks only x <= 100, so even a literal negative string
+  // slips through — the paper's point that the shipped predicate is
+  // incomplete, not merely wrap-sensitive.
+  SendmailTTflag app;
+  const auto e = app.build_exploit();
+  const auto wrapped = netsim::atoi32(e.str_x);
+  const auto r = app.run_debug_command(std::to_string(wrapped), e.str_i);
+  EXPECT_TRUE(r.mcode_executed);
+}
+
+// --- Byte-wise mode: the real u_char tTvect[100] exploit mechanics. ----
+
+TEST(SendmailByteMode, ExploitSessionComposesTheAddressByteByByte) {
+  SendmailTTflag app;
+  const auto flags = app.build_exploit_session();
+  ASSERT_EQ(flags.size(), 8u);
+  const auto r = app.run_debug_session(flags);
+  EXPECT_TRUE(r.mcode_executed);
+  EXPECT_EQ(app.process().got().current("setuid"), app.process().mcode());
+}
+
+TEST(SendmailByteMode, EveryFlagIndexIsWrapEncoded) {
+  SendmailTTflag app;
+  for (const auto& [str_x, str_i] : app.build_exploit_session()) {
+    EXPECT_GT(netsim::atol64(str_x), std::int64_t{1} << 31) << str_x;
+    EXPECT_LE(netsim::atol64(str_i), 255) << str_i;  // one byte per flag
+  }
+}
+
+TEST(SendmailByteMode, PartialSessionCrashesInsteadOfExploiting) {
+  SendmailTTflag app;
+  auto flags = app.build_exploit_session();
+  flags.resize(2);  // only the two lowest bytes land
+  const auto r = app.run_debug_session(flags);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_TRUE(r.crashed);  // half-composed pointer -> wild jump
+}
+
+TEST(SendmailByteMode, ChecksFoilTheSessionLikeTheSingleWrite) {
+  for (int check = 0; check < 3; ++check) {
+    SendmailChecks checks;
+    checks.input_representable = (check == 0);
+    checks.index_full_range = (check == 1);
+    checks.got_unchanged = (check == 2);
+    SendmailTTflag app{checks};
+    const auto r = app.run_debug_session(app.build_exploit_session());
+    EXPECT_FALSE(r.mcode_executed) << "check " << check;
+    EXPECT_TRUE(r.rejected) << "check " << check;
+  }
+}
+
+TEST(SendmailByteMode, BenignByteSessionWorks) {
+  SendmailTTflag app{SendmailChecks{true, true, true}};
+  const auto r = app.run_debug_session({{"7", "1"}, {"8", "255"}, {"9", "0"}});
+  EXPECT_FALSE(r.rejected);
+  EXPECT_TRUE(r.wrote);
+  EXPECT_FALSE(r.mcode_executed);
+  EXPECT_EQ(app.process().mem().read8(app.ttvect() + 8), 255);
+}
+
+TEST(SendmailCaseStudy, ChecksAndModelShapes) {
+  const auto study = make_sendmail_case_study();
+  EXPECT_EQ(study->checks().size(), 3u);
+  EXPECT_EQ(study->checks()[0].operation_index, 0u);
+  EXPECT_EQ(study->checks()[2].operation_index, 1u);
+  EXPECT_EQ(study->model().pfsm_count(), 3u);
+  EXPECT_TRUE(study->run_exploit({false, false, false}).exploited);
+  EXPECT_FALSE(study->run_exploit({true, false, false}).exploited);
+  EXPECT_TRUE(study->run_benign({true, true, true}).service_ok);
+  EXPECT_THROW((void)study->run_exploit({true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfsm::apps

@@ -1,0 +1,169 @@
+#include "apps/xterm.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+TEST(Xterm, BenignLoggingReachesTheLogFile) {
+  XtermLogger app;
+  EXPECT_TRUE(app.run_benign());
+}
+
+TEST(Xterm, RaceWindowExistsInTheVulnerableConfiguration) {
+  XtermLogger app;  // permission check on, no atomic binding (real xterm)
+  const auto r = app.run_race(/*window_steps=*/0);
+  EXPECT_TRUE(r.report.race_exists());
+  // Victim 3 steps, attacker 2: C(5,2) = 10 schedules; exactly one places
+  // both attacker steps inside the check-to-open window.
+  EXPECT_EQ(r.report.total_schedules, 10u);
+  EXPECT_EQ(r.report.violating_schedules, 1u);
+}
+
+TEST(Xterm, WideningTheWindowRaisesTheViolationFraction) {
+  XtermLogger app;
+  double last = -1.0;
+  for (std::size_t w : {0u, 1u, 2u, 4u}) {
+    const auto r = app.run_race(w);
+    EXPECT_GT(r.report.violation_fraction(), last)
+        << "window " << w << " should be strictly more dangerous";
+    last = r.report.violation_fraction();
+  }
+}
+
+TEST(Xterm, ViolatingScheduleHasBothAttackerStepsInTheWindow) {
+  XtermLogger app;
+  const auto r = app.run_race(0);
+  for (const auto& outcome : r.report.outcomes) {
+    if (!outcome.violated) continue;
+    // Order must be: check, unlink, symlink, open, write.
+    const auto pos = [&outcome](const std::string& needle) {
+      for (std::size_t i = 0; i < outcome.order.size(); ++i) {
+        if (outcome.order[i].find(needle) != std::string::npos) return i;
+      }
+      return outcome.order.size();
+    };
+    EXPECT_LT(pos("access("), pos("tom: unlink"));
+    EXPECT_LT(pos("tom: unlink"), pos("tom: symlink"));
+    EXPECT_LT(pos("tom: symlink"), pos("xterm: open"));
+  }
+}
+
+TEST(Xterm, AtomicBindingFoilsEverySchedule) {
+  XtermLogger app{XtermChecks{.write_permission = true, .atomic_binding = true}};
+  for (std::size_t w : {0u, 1u, 3u}) {
+    const auto r = app.run_race(w);
+    EXPECT_FALSE(r.report.race_exists()) << "window " << w;
+  }
+  // And benign logging still works with the fix.
+  EXPECT_TRUE(app.run_benign());
+}
+
+TEST(Xterm, DisabledPermissionCheckIsWorseThanARace) {
+  // With pFSM1 off, the attacker doesn't even need to win a window: a
+  // pre-planted symlink suffices (more schedules violate).
+  XtermLogger vulnerable{XtermChecks{.write_permission = false}};
+  XtermLogger normal{};
+  EXPECT_GT(vulnerable.run_race(0).report.violating_schedules,
+            normal.run_race(0).report.violating_schedules);
+}
+
+TEST(Xterm, PermissionCheckAloneStopsPrePlantedSymlinks) {
+  // Schedules where the symlink exists BEFORE the check must all be safe:
+  // access(tom, link->/etc/passwd, W) is false.
+  XtermLogger app;
+  const auto r = app.run_race(0);
+  for (const auto& outcome : r.report.outcomes) {
+    if (outcome.violated) continue;
+    // Fine — just assert the converse via counts (1 violating of 10).
+  }
+  EXPECT_EQ(r.report.violating_schedules, 1u);
+}
+
+TEST(XtermAtomic, SingleStepAttackerWinsMoreSchedules) {
+  XtermLogger app;
+  for (const std::size_t w : {0u, 1u, 3u}) {
+    const auto two_step = app.run_race(w);
+    const auto atomic = app.run_race_atomic(w);
+    EXPECT_GT(atomic.report.violation_fraction(),
+              two_step.report.violation_fraction())
+        << "window " << w;
+  }
+}
+
+TEST(XtermAtomic, ViolationCountMatchesClosedForm) {
+  // Victim w+3 steps, attacker 1 step: w+4 schedules; the rename wins
+  // whenever it lands in one of the w+1 gaps between check and open.
+  XtermLogger app;
+  for (const std::size_t w : {0u, 1u, 2u, 4u}) {
+    const auto r = app.run_race_atomic(w);
+    EXPECT_EQ(r.report.total_schedules, w + 4u) << w;
+    EXPECT_EQ(r.report.violating_schedules, w + 1u) << w;
+  }
+}
+
+TEST(XtermAtomic, AtomicBindingFixStillFoilsTheStrongerAttacker) {
+  XtermLogger app{XtermChecks{.write_permission = true, .atomic_binding = true}};
+  for (const std::size_t w : {0u, 2u, 4u}) {
+    EXPECT_FALSE(app.run_race_atomic(w).report.race_exists()) << w;
+  }
+}
+
+TEST(XtermAtomic, PreStagedSymlinkAloneDoesNotDefeatThePermissionCheck) {
+  // If the rename happens BEFORE the check, access() sees /etc/passwd and
+  // refuses — only the window placement wins.
+  XtermLogger app;
+  const auto r = app.run_race_atomic(0);
+  for (const auto& o : r.report.outcomes) {
+    if (o.order.front().find("rename") != std::string::npos) {
+      EXPECT_FALSE(o.violated);
+    }
+  }
+}
+
+TEST(FsRename, AtomicReplaceSemantics) {
+  XtermLogger app;
+  auto fs = app.initial_world_with_staged_symlink();
+  const fssim::Cred tom = fssim::Cred::user_named("tom");
+  ASSERT_TRUE(fs.rename(tom, "/usr/tom/evil", "/usr/tom/x"));
+  // The old file is gone, the symlink sits at its name, the source name
+  // is free.
+  auto st = fs.lstat("/usr/tom/x");
+  ASSERT_TRUE(st);
+  EXPECT_EQ(st.value.type, fssim::NodeType::kSymlink);
+  EXPECT_EQ(fs.lstat("/usr/tom/evil").error, fssim::FsError::kNoEnt);
+}
+
+TEST(FsRename, PermissionAndDirectoryRules) {
+  XtermLogger app;
+  auto fs = app.initial_world_with_staged_symlink();
+  const fssim::Cred eve = fssim::Cred::user_named("eve");
+  EXPECT_EQ(fs.rename(eve, "/usr/tom/evil", "/usr/tom/x").error,
+            fssim::FsError::kAccess);
+  const fssim::Cred root = fssim::Cred::root();
+  EXPECT_EQ(fs.rename(root, "/usr/tom/evil", "/usr/tom").error,
+            fssim::FsError::kIsDir);
+  EXPECT_EQ(fs.rename(root, "/usr/tom/ghost", "/usr/tom/x2").error,
+            fssim::FsError::kNoEnt);
+}
+
+TEST(XtermCaseStudy, MasksBehaveLikeThePaper) {
+  const auto study = make_xterm_case_study();
+  EXPECT_EQ(study->checks().size(), 2u);
+  EXPECT_TRUE(study->run_exploit({true, false}).exploited);   // real xterm
+  EXPECT_FALSE(study->run_exploit({true, true}).exploited);   // fixed
+  EXPECT_FALSE(study->run_exploit({false, true}).exploited);  // binding alone
+  EXPECT_TRUE(study->run_benign({true, true}).service_ok);
+}
+
+TEST(XtermCaseStudy, ModelDeclaresPfsm1Secure) {
+  const auto model = make_xterm_case_study()->model();
+  const auto summaries = model.summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_TRUE(summaries[0].declared_secure);
+  EXPECT_FALSE(summaries[1].declared_secure);
+  EXPECT_EQ(summaries[1].type, core::PfsmType::kReferenceConsistencyCheck);
+}
+
+}  // namespace
+}  // namespace dfsm::apps

@@ -1,0 +1,80 @@
+#include "bugtraq/category.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfsm::bugtraq {
+namespace {
+
+TEST(Category, TwelveCategoriesWithUniqueNames) {
+  EXPECT_EQ(kAllCategories.size(), 12u);
+  std::set<std::string> names;
+  for (Category c : kAllCategories) names.insert(to_string(c));
+  EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(Category, NamesMatchFigure1) {
+  EXPECT_STREQ(to_string(Category::kBoundaryConditionError),
+               "Boundary Condition Error");
+  EXPECT_STREQ(to_string(Category::kInputValidationError),
+               "Input Validation Error");
+  EXPECT_STREQ(to_string(Category::kFailureToHandleExceptionalConditions),
+               "Failure to Handle Exceptional Conditions");
+  EXPECT_STREQ(to_string(Category::kRaceConditionError), "Race Condition Error");
+}
+
+TEST(Category, DefinitionsMatchThePaper) {
+  // The definitions Figure 1 reprints.
+  EXPECT_NE(std::string(definition(Category::kBoundaryConditionError))
+                .find("classic buffer overflow"),
+            std::string::npos);
+  EXPECT_NE(std::string(definition(Category::kInputValidationError))
+                .find("syntactically incorrect input"),
+            std::string::npos);
+  EXPECT_NE(std::string(definition(Category::kRaceConditionError))
+                .find("timing window"),
+            std::string::npos);
+  // Design and Origin Validation: "Not defined."
+  EXPECT_STREQ(definition(Category::kDesignError), "not defined");
+  EXPECT_STREQ(definition(Category::kOriginValidationError), "not defined");
+}
+
+TEST(Category, StringRoundTrip) {
+  for (Category c : kAllCategories) {
+    const auto parsed = category_from_string(to_string(c));
+    ASSERT_TRUE(parsed) << to_string(c);
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(category_from_string("Not A Category"));
+}
+
+TEST(VulnClass, StudiedSetIsThePaperFive) {
+  // §6: "these four account for 22%" — buffer overflow counted as stack +
+  // heap in our class enum, plus integer, format string, race.
+  EXPECT_TRUE(is_studied_class(VulnClass::kStackBufferOverflow));
+  EXPECT_TRUE(is_studied_class(VulnClass::kHeapOverflow));
+  EXPECT_TRUE(is_studied_class(VulnClass::kIntegerOverflow));
+  EXPECT_TRUE(is_studied_class(VulnClass::kFormatString));
+  EXPECT_TRUE(is_studied_class(VulnClass::kFileRaceCondition));
+  EXPECT_FALSE(is_studied_class(VulnClass::kPathTraversal));
+  EXPECT_FALSE(is_studied_class(VulnClass::kOther));
+}
+
+TEST(VulnClass, StringRoundTrip) {
+  const VulnClass all[] = {
+      VulnClass::kStackBufferOverflow, VulnClass::kHeapOverflow,
+      VulnClass::kIntegerOverflow,     VulnClass::kFormatString,
+      VulnClass::kFileRaceCondition,   VulnClass::kPathTraversal,
+      VulnClass::kOther,
+  };
+  for (VulnClass c : all) {
+    const auto parsed = vuln_class_from_string(to_string(c));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(vuln_class_from_string("nope"));
+}
+
+}  // namespace
+}  // namespace dfsm::bugtraq

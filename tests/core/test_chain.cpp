@@ -1,0 +1,125 @@
+#include "core/chain.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+Predicate flag_true(const std::string& key) {
+  return Predicate{key, [key](const Object& o) {
+                     return o.attr_bool(key).value_or(false);
+                   }};
+}
+
+Object flagged(const std::string& name, const std::string& key, bool v) {
+  return Object{name}.with(key, v);
+}
+
+/// A two-operation chain: op1 has an unchecked pFSM (hidden path exists),
+/// op2 has a secure pFSM.
+ExploitChain two_op_chain(bool op2_secure) {
+  Operation op1{"op1", "obj1"};
+  op1.add(Pfsm::unchecked("p1", PfsmType::kContentAttributeCheck, "a",
+                          flag_true("ok1")));
+  Operation op2{"op2", "obj2"};
+  if (op2_secure) {
+    op2.add(Pfsm::secure("p2", PfsmType::kReferenceConsistencyCheck, "b",
+                         flag_true("ok2")));
+  } else {
+    op2.add(Pfsm::unchecked("p2", PfsmType::kReferenceConsistencyCheck, "b",
+                            flag_true("ok2")));
+  }
+  ExploitChain chain{"chain"};
+  chain.add(std::move(op1), PropagationGate{"op1 exploited"});
+  chain.add(std::move(op2), PropagationGate{"Execute Mcode"});
+  return chain;
+}
+
+TEST(ExploitChain, RequiresName) {
+  EXPECT_THROW(ExploitChain{""}, std::invalid_argument);
+}
+
+TEST(ExploitChain, EmptyChainCannotEvaluate) {
+  ExploitChain c{"c"};
+  EXPECT_THROW((void)c.evaluate({}), std::invalid_argument);
+}
+
+TEST(ExploitChain, ArityMismatchThrows) {
+  auto c = two_op_chain(false);
+  EXPECT_THROW((void)c.evaluate({{Object{"o"}}}), std::invalid_argument);
+  EXPECT_THROW((void)c.flow({Object{"o"}}), std::invalid_argument);
+}
+
+TEST(ExploitChain, FullExploitTraversesAllGates) {
+  auto c = two_op_chain(false);
+  const auto r = c.evaluate({{flagged("o1", "ok1", false)},   // hidden path 1
+                             {flagged("o2", "ok2", false)}}); // hidden path 2
+  EXPECT_TRUE(r.completed());
+  EXPECT_TRUE(r.exploited());
+  EXPECT_EQ(r.hidden_path_count(), 2u);
+  EXPECT_FALSE(r.foiled_at_operation);
+}
+
+TEST(ExploitChain, BenignTrafficIsNotAnExploit) {
+  auto c = two_op_chain(false);
+  const auto r = c.evaluate({{flagged("o1", "ok1", true)},
+                             {flagged("o2", "ok2", true)}});
+  EXPECT_TRUE(r.completed());
+  // All SPEC_ACPT transitions: completed but NOT exploited.
+  EXPECT_FALSE(r.exploited());
+  EXPECT_EQ(r.hidden_path_count(), 0u);
+}
+
+TEST(ExploitChain, SecuringDownstreamOperationFoilsTheChain) {
+  // Lemma statement 2: one secure operation suffices.
+  auto c = two_op_chain(/*op2_secure=*/true);
+  const auto r = c.evaluate({{flagged("o1", "ok1", false)},
+                             {flagged("o2", "ok2", false)}});
+  EXPECT_FALSE(r.completed());
+  EXPECT_FALSE(r.exploited());
+  ASSERT_TRUE(r.foiled_at_operation);
+  EXPECT_EQ(*r.foiled_at_operation, 1u);
+  // The first operation WAS violated — but the gate after op2 never fired.
+  EXPECT_EQ(r.hidden_path_count(), 1u);
+}
+
+TEST(ExploitChain, FoiledOperationStopsEvaluation) {
+  Operation op1{"op1", "o"};
+  op1.add(Pfsm::secure("p1", PfsmType::kContentAttributeCheck, "a",
+                       flag_true("ok")));
+  Operation op2{"op2", "o"};
+  op2.add(Pfsm::unchecked("p2", PfsmType::kContentAttributeCheck, "b",
+                          flag_true("ok")));
+  ExploitChain c{"c"};
+  c.add(std::move(op1), PropagationGate{"g1"});
+  c.add(std::move(op2), PropagationGate{"g2"});
+  const auto r = c.evaluate({{flagged("o", "ok", false)},
+                             {flagged("o", "ok", false)}});
+  // Only op1's result exists; op2 was never evaluated.
+  EXPECT_EQ(r.operations.size(), 1u);
+  EXPECT_EQ(*r.foiled_at_operation, 0u);
+}
+
+TEST(ExploitChain, GatesAreRecordedInOrder) {
+  const auto c = two_op_chain(false);
+  ASSERT_EQ(c.gates().size(), 2u);
+  EXPECT_EQ(c.gates()[0].condition, "op1 exploited");
+  EXPECT_EQ(c.gates()[1].condition, "Execute Mcode");
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(ExploitChain, FlowVariantMatchesEvaluate) {
+  auto c = two_op_chain(false);
+  const auto r = c.flow({flagged("o1", "ok1", false), flagged("o2", "ok2", false)});
+  EXPECT_TRUE(r.exploited());
+}
+
+TEST(ChainResult, EmptyResultIsNeitherCompletedNorExploited) {
+  ChainResult r;
+  EXPECT_FALSE(r.completed());
+  EXPECT_FALSE(r.exploited());
+  EXPECT_EQ(r.hidden_path_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dfsm::core

@@ -1,0 +1,143 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/models.h"
+
+namespace dfsm::core {
+namespace {
+
+FsmModel tiny_model() {
+  Operation op1{"op1", "o"};
+  op1.add(Pfsm::unchecked("p1", PfsmType::kObjectTypeCheck, "a",
+                          Predicate::reject_all("never")));
+  op1.add(Pfsm::secure("p2", PfsmType::kContentAttributeCheck, "b",
+                       Predicate::accept_all("always")));
+  Operation op2{"op2", "o"};
+  op2.add(Pfsm::unchecked("p3", PfsmType::kReferenceConsistencyCheck, "c",
+                          Predicate::accept_all("always")));
+  ExploitChain chain{"chain"};
+  chain.add(std::move(op1), PropagationGate{"g1"});
+  chain.add(std::move(op2), PropagationGate{"g2"});
+  return FsmModel{"Tiny", {123}, "Test Class", "testware", "bad things", std::move(chain)};
+}
+
+TEST(FsmModel, RequiresNameAndNonEmptyChain) {
+  ExploitChain empty{"c"};
+  EXPECT_THROW((FsmModel{"x", {}, "c", "s", "q", std::move(empty)}),
+               std::invalid_argument);
+}
+
+TEST(FsmModel, CountsPfsms) {
+  EXPECT_EQ(tiny_model().pfsm_count(), 3u);
+}
+
+TEST(FsmModel, SummariesFlattenOperations) {
+  const auto s = tiny_model().summaries();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].pfsm_name, "p1");
+  EXPECT_EQ(s[0].operation_name, "op1");
+  EXPECT_EQ(s[0].model_name, "Tiny");
+  EXPECT_FALSE(s[0].declared_secure);
+  EXPECT_TRUE(s[1].declared_secure);
+  EXPECT_EQ(s[2].type, PfsmType::kReferenceConsistencyCheck);
+  EXPECT_EQ(s[0].question, "never");
+}
+
+TEST(FsmModel, TypeCensusCountsPerType) {
+  const auto c = tiny_model().type_census();
+  EXPECT_EQ(c[static_cast<std::size_t>(PfsmType::kObjectTypeCheck)], 1u);
+  EXPECT_EQ(c[static_cast<std::size_t>(PfsmType::kContentAttributeCheck)], 1u);
+  EXPECT_EQ(c[static_cast<std::size_t>(PfsmType::kReferenceConsistencyCheck)], 1u);
+}
+
+TEST(FsmModel, DeclaredVulnerableCount) {
+  EXPECT_EQ(tiny_model().declared_vulnerable_count(), 2u);
+}
+
+TEST(FsmModel, MetadataAccessors) {
+  const auto m = tiny_model();
+  EXPECT_EQ(m.name(), "Tiny");
+  ASSERT_EQ(m.bugtraq_ids().size(), 1u);
+  EXPECT_EQ(m.bugtraq_ids()[0], 123);
+  EXPECT_EQ(m.vulnerability_class(), "Test Class");
+  EXPECT_EQ(m.software(), "testware");
+  EXPECT_EQ(m.consequence(), "bad things");
+}
+
+TEST(Census, AggregatesAcrossModels) {
+  const auto c = census({tiny_model(), tiny_model()});
+  EXPECT_EQ(c.total, 6u);
+  EXPECT_EQ(c.of(PfsmType::kObjectTypeCheck), 2u);
+}
+
+// --- The paper's model registry (Table 2 ground truth) -----------------
+
+TEST(StandardModels, SevenModelsRegistered) {
+  EXPECT_EQ(apps::standard_models().size(), 7u);
+}
+
+TEST(StandardModels, PfsmCountsMatchThePaperFigures) {
+  const auto models = apps::standard_models();
+  // Figure 3: Sendmail has 3 pFSMs in 2 operations.
+  EXPECT_EQ(models[0].pfsm_count(), 3u);
+  EXPECT_EQ(models[0].chain().size(), 2u);
+  // Figure 4: NULL HTTPD has 4 pFSMs in 3 operations.
+  EXPECT_EQ(models[1].pfsm_count(), 4u);
+  EXPECT_EQ(models[1].chain().size(), 3u);
+  // Figure 5: xterm has 2 pFSMs in 1 operation.
+  EXPECT_EQ(models[2].pfsm_count(), 2u);
+  EXPECT_EQ(models[2].chain().size(), 1u);
+  // Figure 6: rwall has 2 pFSMs in 2 operations.
+  EXPECT_EQ(models[3].pfsm_count(), 2u);
+  EXPECT_EQ(models[3].chain().size(), 2u);
+  // Figure 7: IIS has 1 pFSM.
+  EXPECT_EQ(models[4].pfsm_count(), 1u);
+  // GHTTPD and rpc.statd: 2 pFSMs each.
+  EXPECT_EQ(models[5].pfsm_count(), 2u);
+  EXPECT_EQ(models[6].pfsm_count(), 2u);
+}
+
+TEST(StandardModels, TotalPfsmCensusMatchesTable2) {
+  // Table 2 lists 16 pFSMs across the seven vulnerabilities
+  // (3+4+2+2+1+2+2).
+  const auto c = census(apps::standard_models());
+  EXPECT_EQ(c.total, 16u);
+  // §6: "The most common cause of the analyzed vulnerabilities is an
+  // incomplete content and/or attribute check ... Incompleteness of a
+  // reference consistency check is another frequent reason."
+  EXPECT_GT(c.of(PfsmType::kContentAttributeCheck),
+            c.of(PfsmType::kReferenceConsistencyCheck));
+  EXPECT_GT(c.of(PfsmType::kReferenceConsistencyCheck),
+            c.of(PfsmType::kObjectTypeCheck));
+  EXPECT_GE(c.of(PfsmType::kObjectTypeCheck), 2u);  // Sendmail + rwall
+}
+
+TEST(StandardModels, OnlyXtermDeclaresASecurePfsm) {
+  const auto models = apps::standard_models();
+  // Paper: "although there is no hidden path in pFSM1 [of xterm], i.e.,
+  // the implementation corresponding to pFSM1 is secure".
+  std::size_t secure_count = 0;
+  for (const auto& m : models) {
+    for (const auto& s : m.summaries()) {
+      if (s.declared_secure) {
+        ++secure_count;
+        EXPECT_EQ(m.name(), "xterm Log File Race Condition (Figure 5)");
+        EXPECT_EQ(s.pfsm_name, "pFSM1");
+      }
+    }
+  }
+  EXPECT_EQ(secure_count, 1u);
+}
+
+TEST(StandardModels, BugtraqIdsArePaperIds) {
+  const auto models = apps::standard_models();
+  EXPECT_EQ(models[0].bugtraq_ids(), (std::vector<int>{3163}));
+  EXPECT_EQ(models[1].bugtraq_ids(), (std::vector<int>{5774, 6255}));
+  EXPECT_EQ(models[4].bugtraq_ids(), (std::vector<int>{2708}));
+  EXPECT_EQ(models[5].bugtraq_ids(), (std::vector<int>{5960}));
+  EXPECT_EQ(models[6].bugtraq_ids(), (std::vector<int>{1480}));
+}
+
+}  // namespace
+}  // namespace dfsm::core

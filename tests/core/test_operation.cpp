@@ -1,0 +1,134 @@
+#include "core/operation.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+Object with_attr(const std::string& name, const std::string& key, std::int64_t v) {
+  return Object{name}.with(key, v);
+}
+
+Predicate int_range(const std::string& key, std::int64_t lo, std::int64_t hi) {
+  return Predicate{key + " in [" + std::to_string(lo) + "," + std::to_string(hi) + "]",
+                   [key, lo, hi](const Object& o) {
+                     const auto v = o.attr_int(key);
+                     return v && *v >= lo && *v <= hi;
+                   }};
+}
+
+/// Two-stage operation mimicking Sendmail operation 1: pFSM1 unchecked
+/// (type check), pFSM2 impl checks only the upper bound.
+Operation sendmail_op1() {
+  Operation op{"Write debug level i to tTvect[x]", "input integers"};
+  op.add(Pfsm::unchecked("pFSM1", PfsmType::kObjectTypeCheck, "get strings",
+                         int_range("long_x", -2147483648LL, 2147483647LL)));
+  op.add(Pfsm{"pFSM2", PfsmType::kContentAttributeCheck, "write tTvect[x]",
+              int_range("x", 0, 100),
+              Predicate{"x <= 100",
+                        [](const Object& o) {
+                          const auto v = o.attr_int("x");
+                          return v && *v <= 100;
+                        }}});
+  return op;
+}
+
+TEST(Operation, RequiresName) {
+  EXPECT_THROW((Operation{"", "obj"}), std::invalid_argument);
+}
+
+TEST(Operation, EmptyOperationCannotEvaluate) {
+  Operation op{"empty", "obj"};
+  EXPECT_THROW((void)op.evaluate({}), std::invalid_argument);
+  EXPECT_THROW((void)op.flow(Object{"o"}), std::invalid_argument);
+}
+
+TEST(Operation, ArityMismatchThrows) {
+  auto op = sendmail_op1();
+  EXPECT_THROW((void)op.evaluate({Object{"only one"}}), std::invalid_argument);
+  EXPECT_THROW((void)op.evaluate({Object{"a"}, Object{"b"}, Object{"c"}}),
+               std::invalid_argument);
+}
+
+TEST(Operation, BenignInputCompletesWithoutViolation) {
+  auto op = sendmail_op1();
+  const auto r = op.evaluate({with_attr("strs", "long_x", 7),
+                              with_attr("x", "x", 7)});
+  EXPECT_TRUE(r.completed());
+  EXPECT_FALSE(r.violated());
+  EXPECT_FALSE(r.foiled_at());
+  EXPECT_EQ(r.operation_name, "Write debug level i to tTvect[x]");
+}
+
+TEST(Operation, ExploitInputCompletesViaHiddenPaths) {
+  auto op = sendmail_op1();
+  // The #3163 exploit: str_x > 2^31 (pFSM1 hidden path), x wraps negative
+  // (pFSM2 hidden path).
+  const auto r = op.evaluate({with_attr("strs", "long_x", 4294958848LL),
+                              with_attr("x", "x", -8448)});
+  EXPECT_TRUE(r.completed());
+  EXPECT_TRUE(r.violated());
+  EXPECT_EQ(r.outcomes[0].result, PfsmResult::kHiddenAccept);
+  EXPECT_EQ(r.outcomes[1].result, PfsmResult::kHiddenAccept);
+}
+
+TEST(Operation, SerialChainStopsAtFirstReject) {
+  Operation op{"op", "obj"};
+  op.add(Pfsm::secure("p1", PfsmType::kContentAttributeCheck, "a",
+                      int_range("v", 0, 10)));
+  op.add(Pfsm::secure("p2", PfsmType::kContentAttributeCheck, "b",
+                      int_range("v", 0, 10)));
+  const auto r = op.evaluate({with_attr("o", "v", 99), with_attr("o", "v", 99)});
+  EXPECT_FALSE(r.completed());
+  // Observation 1: failure at ONE elementary activity foils the exploit —
+  // the second pFSM is never reached.
+  EXPECT_EQ(r.outcomes.size(), 1u);
+  ASSERT_TRUE(r.foiled_at());
+  EXPECT_EQ(*r.foiled_at(), 0u);
+}
+
+TEST(Operation, FlowAppliesTransformsBetweenStages) {
+  Operation op{"op", "obj"};
+  op.add(Pfsm::unchecked("p1", PfsmType::kObjectTypeCheck, "get",
+                         int_range("long_x", -100, 100)),
+         // The Action: convert the long to a (wrapped) int attribute.
+         [](const Object& o) {
+           auto next = Object{"x"};
+           next.with("x", o.attr_int("long_x").value_or(0) % 128);
+           return next;
+         });
+  op.add(Pfsm::secure("p2", PfsmType::kContentAttributeCheck, "use",
+                      int_range("x", 0, 100)));
+  const auto r = op.flow(with_attr("in", "long_x", 55));
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.outcomes[1].result, PfsmResult::kSecureAccept);
+}
+
+TEST(Operation, FlowWithoutTransformPassesObjectThrough) {
+  Operation op{"op", "obj"};
+  op.add(Pfsm::secure("p1", PfsmType::kContentAttributeCheck, "a",
+                      int_range("v", 0, 10)));
+  op.add(Pfsm::secure("p2", PfsmType::kContentAttributeCheck, "b",
+                      int_range("v", 5, 10)));
+  EXPECT_TRUE(op.flow(with_attr("o", "v", 7)).completed());
+  // v=3 passes p1 but p2 rejects it: same object at both stages.
+  const auto r = op.flow(with_attr("o", "v", 3));
+  EXPECT_FALSE(r.completed());
+  EXPECT_EQ(*r.foiled_at(), 1u);
+}
+
+TEST(OperationResult, EmptyOutcomesIsNotCompleted) {
+  OperationResult r;
+  EXPECT_FALSE(r.completed());
+  EXPECT_FALSE(r.violated());
+}
+
+TEST(Operation, SizeAndAccessors) {
+  const auto op = sendmail_op1();
+  EXPECT_EQ(op.size(), 2u);
+  EXPECT_EQ(op.pfsms()[0].name(), "pFSM1");
+  EXPECT_EQ(op.object_description(), "input integers");
+}
+
+}  // namespace
+}  // namespace dfsm::core

@@ -1,0 +1,160 @@
+#include "core/pfsm.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+Object with_x(std::int64_t v) { return Object{"x"}.with("x", v); }
+
+Predicate spec_0_100() {
+  return Predicate{"0 <= x <= 100", [](const Object& o) {
+                     const auto v = o.attr_int("x");
+                     return v && *v >= 0 && *v <= 100;
+                   }};
+}
+
+Predicate impl_le_100() {
+  return Predicate{"x <= 100", [](const Object& o) {
+                     const auto v = o.attr_int("x");
+                     return v && *v <= 100;
+                   }};
+}
+
+Pfsm sendmail_pfsm2() {
+  return Pfsm{"pFSM2", PfsmType::kContentAttributeCheck, "write i to tTvect[x]",
+              spec_0_100(), impl_le_100(), "tTvect[x] = i"};
+}
+
+TEST(Pfsm, RequiresName) {
+  EXPECT_THROW((Pfsm{"", PfsmType::kObjectTypeCheck, "a", spec_0_100(),
+                     impl_le_100()}),
+               std::invalid_argument);
+}
+
+TEST(Pfsm, SecureAcceptPath) {
+  const auto out = sendmail_pfsm2().evaluate(with_x(50));
+  EXPECT_EQ(out.result, PfsmResult::kSecureAccept);
+  EXPECT_EQ(out.final_state, PfsmState::kAccept);
+  ASSERT_EQ(out.path.size(), 1u);
+  EXPECT_EQ(out.path[0], PfsmTransition::kSpecAccept);
+  EXPECT_TRUE(out.accepted());
+  EXPECT_FALSE(out.hidden_path_taken());
+}
+
+TEST(Pfsm, FoiledPath) {
+  // x = 101: spec rejects, impl rejects too (x <= 100 fails as well).
+  const auto out = sendmail_pfsm2().evaluate(with_x(101));
+  EXPECT_EQ(out.result, PfsmResult::kFoiled);
+  EXPECT_EQ(out.final_state, PfsmState::kReject);
+  ASSERT_EQ(out.path.size(), 2u);
+  EXPECT_EQ(out.path[0], PfsmTransition::kSpecReject);
+  EXPECT_EQ(out.path[1], PfsmTransition::kImplReject);
+  EXPECT_FALSE(out.accepted());
+}
+
+TEST(Pfsm, HiddenPathIsTheVulnerability) {
+  // x = -8448 (the Sendmail exploit index): spec rejects, impl accepts.
+  const auto out = sendmail_pfsm2().evaluate(with_x(-8448));
+  EXPECT_EQ(out.result, PfsmResult::kHiddenAccept);
+  EXPECT_EQ(out.final_state, PfsmState::kAccept);
+  ASSERT_EQ(out.path.size(), 2u);
+  EXPECT_EQ(out.path[0], PfsmTransition::kSpecReject);
+  EXPECT_EQ(out.path[1], PfsmTransition::kImplAccept);
+  EXPECT_TRUE(out.accepted());
+  EXPECT_TRUE(out.hidden_path_taken());
+}
+
+TEST(Pfsm, HiddenPathForAgreesWithEvaluate) {
+  const auto p = sendmail_pfsm2();
+  EXPECT_TRUE(p.hidden_path_for(with_x(-1)));
+  EXPECT_FALSE(p.hidden_path_for(with_x(1)));
+  EXPECT_FALSE(p.hidden_path_for(with_x(101)));
+}
+
+TEST(Pfsm, SecureFactoryHasNoHiddenPath) {
+  const auto p = Pfsm::secure("pFSM1", PfsmType::kContentAttributeCheck,
+                              "activity", spec_0_100());
+  EXPECT_TRUE(p.declared_secure());
+  // With impl == spec, no object can take the hidden path.
+  for (std::int64_t x : {-1000, -1, 0, 50, 100, 101, 1000}) {
+    EXPECT_FALSE(p.hidden_path_for(with_x(x))) << "x=" << x;
+  }
+  const auto out = p.evaluate(with_x(-5));
+  EXPECT_EQ(out.result, PfsmResult::kFoiled);
+}
+
+TEST(Pfsm, UncheckedFactoryAcceptsEverythingSpecRejects) {
+  const auto p = Pfsm::unchecked("pFSM1", PfsmType::kObjectTypeCheck,
+                                 "activity", spec_0_100());
+  EXPECT_FALSE(p.declared_secure());
+  // Every spec-rejected object traverses the hidden path: the IMPL_REJ
+  // transition (the "?" in the paper's figures) does not exist.
+  EXPECT_TRUE(p.hidden_path_for(with_x(-1)));
+  EXPECT_TRUE(p.hidden_path_for(with_x(101)));
+  EXPECT_EQ(p.evaluate(with_x(-1)).result, PfsmResult::kHiddenAccept);
+  EXPECT_EQ(p.evaluate(with_x(50)).result, PfsmResult::kSecureAccept);
+}
+
+TEST(Pfsm, OutcomeRecordsObjectDescription) {
+  const auto out = sendmail_pfsm2().evaluate(with_x(-8448));
+  EXPECT_NE(out.object_description.find("-8448"), std::string::npos);
+}
+
+TEST(Pfsm, AccessorsExposeConstruction) {
+  const auto p = sendmail_pfsm2();
+  EXPECT_EQ(p.name(), "pFSM2");
+  EXPECT_EQ(p.type(), PfsmType::kContentAttributeCheck);
+  EXPECT_EQ(p.activity(), "write i to tTvect[x]");
+  EXPECT_EQ(p.spec().description(), "0 <= x <= 100");
+  EXPECT_EQ(p.impl().description(), "x <= 100");
+  EXPECT_EQ(p.action(), "tTvect[x] = i");
+}
+
+TEST(PfsmEnums, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(PfsmState::kSpecCheck), "SPEC_CHECK");
+  EXPECT_STREQ(to_string(PfsmState::kReject), "REJECT");
+  EXPECT_STREQ(to_string(PfsmState::kAccept), "ACCEPT");
+  EXPECT_STREQ(to_string(PfsmTransition::kSpecAccept), "SPEC_ACPT");
+  EXPECT_STREQ(to_string(PfsmTransition::kSpecReject), "SPEC_REJ");
+  EXPECT_STREQ(to_string(PfsmTransition::kImplReject), "IMPL_REJ");
+  EXPECT_STREQ(to_string(PfsmTransition::kImplAccept), "IMPL_ACPT");
+  EXPECT_STREQ(to_string(PfsmType::kObjectTypeCheck), "Object Type Check");
+  EXPECT_STREQ(to_string(PfsmType::kContentAttributeCheck),
+               "Content and Attribute Check");
+  EXPECT_STREQ(to_string(PfsmType::kReferenceConsistencyCheck),
+               "Reference Consistency Check");
+  EXPECT_STREQ(to_string(PfsmResult::kSecureAccept), "SECURE_ACCEPT");
+  EXPECT_STREQ(to_string(PfsmResult::kFoiled), "FOILED");
+  EXPECT_STREQ(to_string(PfsmResult::kHiddenAccept), "HIDDEN_ACCEPT");
+}
+
+// Property sweep: for every x, exactly one of the three results occurs,
+// and hidden_path_for is consistent with the evaluation (Figure 2 is a
+// total, deterministic machine).
+class PfsmSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(PfsmSweep, EvaluationIsTotalAndConsistent) {
+  const auto p = sendmail_pfsm2();
+  const auto o = with_x(GetParam());
+  const auto out = p.evaluate(o);
+  const bool spec_ok = p.spec().accepts(o);
+  const bool impl_ok = p.impl().accepts(o);
+  if (spec_ok) {
+    EXPECT_EQ(out.result, PfsmResult::kSecureAccept);
+  } else if (impl_ok) {
+    EXPECT_EQ(out.result, PfsmResult::kHiddenAccept);
+  } else {
+    EXPECT_EQ(out.result, PfsmResult::kFoiled);
+  }
+  EXPECT_EQ(p.hidden_path_for(o), out.hidden_path_taken());
+  EXPECT_EQ(out.accepted(), out.final_state == PfsmState::kAccept);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundaryValues, PfsmSweep,
+                         ::testing::Values(-8448, -100, -1, 0, 1, 50, 99, 100,
+                                           101, 1000, 2147483647,
+                                           -2147483648LL));
+
+}  // namespace
+}  // namespace dfsm::core

@@ -1,0 +1,91 @@
+#include "core/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+Predicate in_range_0_100() {
+  return Predicate{"0 <= x <= 100", [](const Object& o) {
+                     const auto v = o.attr_int("x");
+                     return v && *v >= 0 && *v <= 100;
+                   }};
+}
+
+Object with_x(std::int64_t v) { return Object{"x"}.with("x", v); }
+
+TEST(Predicate, RequiresCallable) {
+  EXPECT_THROW((Predicate{"bad", Predicate::Fn{}}), std::invalid_argument);
+}
+
+TEST(Predicate, EvaluatesVerdict) {
+  const auto p = in_range_0_100();
+  EXPECT_TRUE(p.accepts(with_x(0)));
+  EXPECT_TRUE(p.accepts(with_x(100)));
+  EXPECT_FALSE(p.accepts(with_x(-1)));
+  EXPECT_FALSE(p.accepts(with_x(101)));
+  EXPECT_EQ(p.verdict(with_x(5)), Verdict::kAccept);
+  EXPECT_EQ(p.verdict(with_x(-5)), Verdict::kReject);
+}
+
+TEST(Predicate, MissingAttributeRejects) {
+  // A predicate that cannot establish its fact must not accept.
+  EXPECT_FALSE(in_range_0_100().accepts(Object{"x"}));
+}
+
+TEST(Predicate, AcceptAllAndRejectAll) {
+  EXPECT_TRUE(Predicate::accept_all().accepts(Object{"anything"}));
+  EXPECT_FALSE(Predicate::reject_all().accepts(Object{"anything"}));
+  EXPECT_EQ(Predicate::accept_all().description(), "-");
+}
+
+TEST(Predicate, ConjunctionSemantics) {
+  const auto ge0 = Predicate{"x >= 0", [](const Object& o) {
+                               return o.attr_int("x").value_or(-1) >= 0;
+                             }};
+  const auto le100 = Predicate{"x <= 100", [](const Object& o) {
+                                 return o.attr_int("x").value_or(101) <= 100;
+                               }};
+  const auto both = ge0 && le100;
+  EXPECT_TRUE(both.accepts(with_x(50)));
+  EXPECT_FALSE(both.accepts(with_x(-1)));
+  EXPECT_FALSE(both.accepts(with_x(200)));
+  EXPECT_EQ(both.description(), "(x >= 0 && x <= 100)");
+}
+
+TEST(Predicate, DisjunctionSemantics) {
+  const auto neg = Predicate{"x < 0", [](const Object& o) {
+                               return o.attr_int("x").value_or(0) < 0;
+                             }};
+  const auto big = Predicate{"x > 100", [](const Object& o) {
+                               return o.attr_int("x").value_or(0) > 100;
+                             }};
+  const auto either = neg || big;
+  EXPECT_TRUE(either.accepts(with_x(-5)));
+  EXPECT_TRUE(either.accepts(with_x(200)));
+  EXPECT_FALSE(either.accepts(with_x(50)));
+}
+
+TEST(Predicate, NegationSemantics) {
+  const auto p = in_range_0_100();
+  const auto np = !p;
+  EXPECT_FALSE(np.accepts(with_x(5)));
+  EXPECT_TRUE(np.accepts(with_x(-5)));
+  EXPECT_EQ(np.description(), "!(0 <= x <= 100)");
+}
+
+TEST(Predicate, CombinatorsDoNotAliasOriginals) {
+  auto p = in_range_0_100();
+  const auto q = !p;
+  // p must still behave as before after building q.
+  EXPECT_TRUE(p.accepts(with_x(1)));
+  EXPECT_FALSE(q.accepts(with_x(1)));
+}
+
+TEST(Verdict, ToString) {
+  EXPECT_STREQ(to_string(Verdict::kAccept), "ACCEPT");
+  EXPECT_STREQ(to_string(Verdict::kReject), "REJECT");
+}
+
+}  // namespace
+}  // namespace dfsm::core

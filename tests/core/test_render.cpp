@@ -1,0 +1,77 @@
+#include "core/render.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/models.h"
+
+namespace dfsm::core {
+namespace {
+
+TEST(RenderDot, ProducesWellFormedGraphForEveryStandardModel) {
+  for (const auto& m : apps::standard_models()) {
+    const std::string dot = to_dot(m);
+    EXPECT_EQ(dot.rfind("digraph", 0), 0u) << m.name();
+    // Braces balance.
+    const auto open = std::count(dot.begin(), dot.end(), '{');
+    const auto close = std::count(dot.begin(), dot.end(), '}');
+    EXPECT_EQ(open, close) << m.name();
+    // One cluster per operation, one gate per operation, a consequence box.
+    for (std::size_t i = 0; i < m.chain().size(); ++i) {
+      EXPECT_NE(dot.find("cluster_op" + std::to_string(i)), std::string::npos);
+      EXPECT_NE(dot.find("gate" + std::to_string(i)), std::string::npos);
+    }
+    EXPECT_NE(dot.find("consequence"), std::string::npos);
+  }
+}
+
+TEST(RenderDot, HiddenPathsAreDashedAndSecurePfsmsAreNot) {
+  const auto models = apps::standard_models();
+  const std::string sendmail = to_dot(models[0]);
+  EXPECT_NE(sendmail.find("style=dashed"), std::string::npos);
+  EXPECT_NE(sendmail.find("IMPL_ACPT (hidden)"), std::string::npos);
+
+  // xterm's pFSM1 is secure: its cluster must contain a plain IMPL_REJ.
+  const std::string xterm = to_dot(models[2]);
+  EXPECT_NE(xterm.find("label=\"IMPL_REJ\""), std::string::npos);
+}
+
+TEST(RenderDot, EscapesQuotesInLabels) {
+  // IIS predicates contain quoted "../" strings.
+  const std::string dot = to_dot(apps::standard_models()[4]);
+  EXPECT_EQ(dot.find("\"\"../\"\""), std::string::npos);  // no raw nested quotes
+}
+
+TEST(RenderAscii, PfsmShowsHiddenPathOnlyWhenVulnerable) {
+  const auto vulnerable = Pfsm::unchecked(
+      "pV", PfsmType::kContentAttributeCheck, "act", Predicate::reject_all("p"));
+  const auto secure = Pfsm::secure("pS", PfsmType::kContentAttributeCheck, "act",
+                                   Predicate::reject_all("p"));
+  EXPECT_NE(to_ascii(vulnerable).find("hidden path"), std::string::npos);
+  EXPECT_EQ(to_ascii(secure).find("hidden path"), std::string::npos);
+  EXPECT_NE(to_ascii(secure).find("implementation matches specification"),
+            std::string::npos);
+}
+
+TEST(RenderAscii, ModelListsOperationsGatesAndConsequence) {
+  const auto m = apps::standard_models()[1];  // NULL HTTPD
+  const std::string text = to_ascii(m);
+  EXPECT_NE(text.find("Operation 1"), std::string::npos);
+  EXPECT_NE(text.find("Operation 3"), std::string::npos);
+  EXPECT_NE(text.find("--gate-->"), std::string::npos);
+  EXPECT_NE(text.find("#5774"), std::string::npos);
+  EXPECT_NE(text.find("#6255"), std::string::npos);
+  EXPECT_NE(text.find("Consequence:"), std::string::npos);
+}
+
+TEST(RenderAscii, EveryPfsmNameAppears) {
+  for (const auto& m : apps::standard_models()) {
+    const std::string text = to_ascii(m);
+    for (const auto& s : m.summaries()) {
+      EXPECT_NE(text.find(s.pfsm_name), std::string::npos)
+          << m.name() << " missing " << s.pfsm_name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::core

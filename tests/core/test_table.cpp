@@ -1,0 +1,64 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+TEST(TextTable, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(TextTable{{}}, std::invalid_argument);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable t{{"Category", "Count"}};
+  t.add_row({"Input Validation Error", "1363"});
+  t.add_row({"Unknown", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Category"), std::string::npos);
+  EXPECT_NE(s.find("1363"), std::string::npos);
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+  // Column separator present on data rows.
+  EXPECT_NE(s.find("Unknown"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsPadToWidestCell) {
+  TextTable t{{"h", "x"}};
+  t.add_row({"wiiiiiide", "1"});
+  const std::string s = t.to_string();
+  // Header row must be padded to the data width: "h" followed by spaces
+  // then the separator at the same offset as in the data row.
+  const auto header_sep = s.find('\n');
+  const std::string header = s.substr(0, header_sep);
+  EXPECT_NE(header.find("h         |"), std::string::npos);
+}
+
+TEST(TextTable, TitleRenderedWithUnderline) {
+  TextTable t{{"a"}};
+  t.title("My Title");
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.rfind("My Title", 0), 0u);
+  EXPECT_NE(s.find("========"), std::string::npos);
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t{{"a", "b", "c"}};
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Pct, FormatsPercentages) {
+  EXPECT_EQ(pct(1363, 5925), "23.0%");
+  EXPECT_EQ(pct(1, 3, 2), "33.33%");
+  EXPECT_EQ(pct(0, 100), "0.0%");
+  EXPECT_EQ(pct(5, 0), "n/a");
+}
+
+}  // namespace
+}  // namespace dfsm::core

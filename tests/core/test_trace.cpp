@@ -1,0 +1,79 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+TEST(Trace, RecordsEventsInOrderWithSequenceNumbers) {
+  Trace t;
+  t.record("op1", "pFSM1", "SPEC_REJ", "x=-1");
+  t.record("op1", "pFSM1", "IMPL_ACPT", "x=-1");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0].seq, 0u);
+  EXPECT_EQ(t.events()[1].seq, 1u);
+  EXPECT_EQ(t.events()[1].kind, "IMPL_ACPT");
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Trace, CountKind) {
+  Trace t;
+  t.record("", "", "A", "");
+  t.record("", "", "B", "");
+  t.record("", "", "A", "");
+  EXPECT_EQ(t.count_kind("A"), 2u);
+  EXPECT_EQ(t.count_kind("B"), 1u);
+  EXPECT_EQ(t.count_kind("C"), 0u);
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  Trace t;
+  t.record("", "", "A", "");
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Trace, ToTextContainsEveryEvent) {
+  Trace t;
+  t.record("op", "pFSM2", "SPEC_REJ", "x=-8448");
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("op"), std::string::npos);
+  EXPECT_NE(text.find("pFSM2"), std::string::npos);
+  EXPECT_NE(text.find("SPEC_REJ"), std::string::npos);
+  EXPECT_NE(text.find("x=-8448"), std::string::npos);
+}
+
+TEST(Trace, AppendChainResultRecordsTransitionsAndVerdict) {
+  Operation op{"op1", "o"};
+  op.add(Pfsm::unchecked("p1", PfsmType::kContentAttributeCheck, "a",
+                         Predicate::reject_all("never")));
+  ExploitChain chain{"c"};
+  chain.add(std::move(op), PropagationGate{"gate"});
+  const auto result = chain.evaluate({{Object{"o"}}});
+  ASSERT_TRUE(result.exploited());
+
+  Trace t;
+  t.append(result);
+  EXPECT_EQ(t.count_kind("SPEC_REJ"), 1u);
+  EXPECT_EQ(t.count_kind("IMPL_ACPT"), 1u);
+  EXPECT_EQ(t.count_kind("EXPLOITED"), 1u);
+}
+
+TEST(Trace, AppendFoiledChainRecordsFoiledEvent) {
+  Operation op{"op1", "o"};
+  op.add(Pfsm::secure("p1", PfsmType::kContentAttributeCheck, "a",
+                      Predicate::reject_all("never")));
+  ExploitChain chain{"c"};
+  chain.add(std::move(op), PropagationGate{"gate"});
+  const auto result = chain.evaluate({{Object{"o"}}});
+  ASSERT_FALSE(result.exploited());
+
+  Trace t;
+  t.append(result);
+  EXPECT_EQ(t.count_kind("FOILED"), 1u);
+  EXPECT_EQ(t.count_kind("EXPLOITED"), 0u);
+  EXPECT_EQ(t.count_kind("IMPL_REJ"), 1u);
+}
+
+}  // namespace
+}  // namespace dfsm::core

@@ -1,0 +1,108 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::core {
+namespace {
+
+TEST(Value, ToStringCoversEveryAlternative) {
+  EXPECT_EQ(to_string(Value{}), "<none>");
+  EXPECT_EQ(to_string(Value{true}), "true");
+  EXPECT_EQ(to_string(Value{false}), "false");
+  EXPECT_EQ(to_string(Value{std::int64_t{-42}}), "-42");
+  EXPECT_EQ(to_string(Value{std::uint64_t{0x2a}}), "0x2a");
+  EXPECT_EQ(to_string(Value{std::string{"hi"}}), "\"hi\"");
+  EXPECT_EQ(to_string(Value{Bytes{1, 2, 3}}), "bytes[3]");
+}
+
+TEST(Value, ToStringEscapesControlCharactersInStrings) {
+  const std::string s = "a\"b\\c\nd\te\x01";
+  const std::string rendered = to_string(Value{s});
+  EXPECT_NE(rendered.find("\\\""), std::string::npos);
+  EXPECT_NE(rendered.find("\\\\"), std::string::npos);
+  EXPECT_NE(rendered.find("\\n"), std::string::npos);
+  EXPECT_NE(rendered.find("\\t"), std::string::npos);
+  EXPECT_NE(rendered.find("\\x01"), std::string::npos);
+}
+
+TEST(Value, EqualityIsAlternativeAndValueSensitive) {
+  EXPECT_TRUE(value_equal(Value{std::int64_t{1}}, Value{std::int64_t{1}}));
+  EXPECT_FALSE(value_equal(Value{std::int64_t{1}}, Value{std::int64_t{2}}));
+  // Same numeric value, different alternative: not equal.
+  EXPECT_FALSE(value_equal(Value{std::int64_t{1}}, Value{std::uint64_t{1}}));
+}
+
+TEST(Object, RequiresNonEmptyName) {
+  EXPECT_THROW(Object{""}, std::invalid_argument);
+  EXPECT_THROW((Object{"", Value{std::int64_t{1}}}), std::invalid_argument);
+}
+
+TEST(Object, CarriesPayloadValue) {
+  Object o{"x", Value{std::int64_t{7}}};
+  EXPECT_EQ(o.name(), "x");
+  ASSERT_TRUE(o.as_int());
+  EXPECT_EQ(*o.as_int(), 7);
+  o.set_value(Value{std::string{"s"}});
+  EXPECT_FALSE(o.as_int());
+  ASSERT_TRUE(o.as_string());
+  EXPECT_EQ(*o.as_string(), "s");
+}
+
+TEST(Object, AttributeRoundTrip) {
+  Object o{"input"};
+  o.with("length", std::int64_t{1400}).with("remote", true);
+  ASSERT_TRUE(o.attr_int("length"));
+  EXPECT_EQ(*o.attr_int("length"), 1400);
+  ASSERT_TRUE(o.attr_bool("remote"));
+  EXPECT_TRUE(*o.attr_bool("remote"));
+  EXPECT_TRUE(o.has_attr("length"));
+  EXPECT_FALSE(o.has_attr("missing"));
+}
+
+TEST(Object, MissingAttributeYieldsNullopt) {
+  const Object o{"x"};
+  EXPECT_FALSE(o.attr("nope"));
+  EXPECT_FALSE(o.attr_int("nope"));
+  EXPECT_FALSE(o.attr_bool("nope"));
+  EXPECT_FALSE(o.attr_string("nope"));
+  EXPECT_FALSE(o.attr_uint("nope"));
+}
+
+TEST(Object, TypeMismatchedAttributeYieldsNullopt) {
+  Object o{"x"};
+  o.with("k", std::string{"not an int"});
+  EXPECT_FALSE(o.attr_int("k"));
+  EXPECT_TRUE(o.attr_string("k"));
+}
+
+TEST(Object, AttributeOverwriteReplacesValue) {
+  Object o{"x"};
+  o.with("k", std::int64_t{1});
+  o.with("k", std::int64_t{2});
+  EXPECT_EQ(*o.attr_int("k"), 2);
+  EXPECT_EQ(o.attrs().size(), 1u);
+}
+
+TEST(Object, EmptyAttributeKeyRejected) {
+  Object o{"x"};
+  EXPECT_THROW(o.with("", std::int64_t{1}), std::invalid_argument);
+}
+
+TEST(Object, DescribeIncludesNameValueAndAttributes) {
+  Object o{"str_x", Value{std::string{"4294958848"}}};
+  o.with("wrapped", std::int64_t{-8448});
+  const std::string d = o.describe();
+  EXPECT_NE(d.find("str_x"), std::string::npos);
+  EXPECT_NE(d.find("4294958848"), std::string::npos);
+  EXPECT_NE(d.find("wrapped"), std::string::npos);
+  EXPECT_NE(d.find("-8448"), std::string::npos);
+}
+
+TEST(Object, WithReturnsReferenceForChaining) {
+  Object o{"x"};
+  Object& ref = o.with("a", std::int64_t{1});
+  EXPECT_EQ(&ref, &o);
+}
+
+}  // namespace
+}  // namespace dfsm::core

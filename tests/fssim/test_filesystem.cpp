@@ -1,0 +1,207 @@
+#include "fssim/filesystem.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::fssim {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest() : root(Cred::root()), tom(Cred::user_named("tom")) {
+    fs.mkdir(root, "/etc");
+    fs.mkdir(root, "/usr");
+    fs.mkdir(root, "/usr/tom");
+    fs.chown(root, "/usr/tom", "tom");
+  }
+  FileSystem fs;
+  Cred root;
+  Cred tom;
+};
+
+TEST_F(FsTest, CreateAndReadBack) {
+  ASSERT_TRUE(fs.create(root, "/etc/passwd"));
+  auto h = fs.open(root, "/etc/passwd", OpenFlags{.write = true});
+  ASSERT_TRUE(h);
+  ASSERT_TRUE(fs.write(h.value, "root:x:0:0\n"));
+  auto content = fs.read("/etc/passwd");
+  ASSERT_TRUE(content);
+  EXPECT_EQ(content.value, "root:x:0:0\n");
+}
+
+TEST_F(FsTest, MissingPathsReportEnoent) {
+  EXPECT_EQ(fs.read("/nope").error, FsError::kNoEnt);
+  EXPECT_EQ(fs.stat("/etc/missing").error, FsError::kNoEnt);
+  EXPECT_EQ(fs.open(root, "/missing/deep", OpenFlags{}).error, FsError::kNoEnt);
+}
+
+TEST_F(FsTest, DuplicateCreateReportsEexist) {
+  fs.create(root, "/etc/f");
+  EXPECT_EQ(fs.create(root, "/etc/f").error, FsError::kExist);
+  EXPECT_EQ(fs.mkdir(root, "/etc").error, FsError::kExist);
+}
+
+TEST_F(FsTest, PermissionChecksHonorOwnerAndOther) {
+  fs.create(tom, "/usr/tom/x", Mode::file_default());  // 0644, owner tom
+  EXPECT_TRUE(fs.access(tom, "/usr/tom/x", Access::kWrite));
+  EXPECT_TRUE(fs.access(Cred::user_named("eve"), "/usr/tom/x", Access::kRead));
+  EXPECT_FALSE(fs.access(Cred::user_named("eve"), "/usr/tom/x", Access::kWrite));
+  EXPECT_TRUE(fs.access(root, "/usr/tom/x", Access::kWrite));  // root bypass
+}
+
+TEST_F(FsTest, OpenEnforcesPermissions) {
+  fs.create(root, "/etc/secret", Mode::private_file());
+  EXPECT_EQ(fs.open(tom, "/etc/secret", OpenFlags{}).error, FsError::kAccess);
+  EXPECT_EQ(fs.open(tom, "/etc/secret", OpenFlags{.write = true}).error,
+            FsError::kAccess);
+  EXPECT_TRUE(fs.open(root, "/etc/secret", OpenFlags{.write = true}));
+}
+
+TEST_F(FsTest, NonOwnerCannotCreateInProtectedDir) {
+  EXPECT_EQ(fs.create(tom, "/etc/evil").error, FsError::kAccess);
+  // But tom can create inside his own directory.
+  EXPECT_TRUE(fs.create(tom, "/usr/tom/mine"));
+}
+
+TEST_F(FsTest, UnlinkRules) {
+  fs.create(tom, "/usr/tom/x");
+  EXPECT_TRUE(fs.unlink(tom, "/usr/tom/x"));
+  EXPECT_EQ(fs.unlink(tom, "/usr/tom/x").error, FsError::kNoEnt);
+  // Cannot unlink from a directory tom cannot write.
+  fs.create(root, "/etc/f");
+  EXPECT_EQ(fs.unlink(tom, "/etc/f").error, FsError::kAccess);
+  // Directories are not unlinked.
+  EXPECT_EQ(fs.unlink(root, "/usr/tom").error, FsError::kIsDir);
+}
+
+TEST_F(FsTest, SymlinkResolutionFollowsTarget) {
+  fs.create(root, "/etc/passwd");
+  {
+    auto h = fs.open(root, "/etc/passwd", OpenFlags{.write = true});
+    fs.write(h.value, "data");
+  }
+  ASSERT_TRUE(fs.symlink(tom, "/etc/passwd", "/usr/tom/link"));
+  auto via_link = fs.read("/usr/tom/link");
+  ASSERT_TRUE(via_link);
+  EXPECT_EQ(via_link.value, "data");
+}
+
+TEST_F(FsTest, StatFollowsLstatDoesNot) {
+  fs.create(root, "/etc/passwd");
+  fs.symlink(tom, "/etc/passwd", "/usr/tom/link");
+  auto st = fs.stat("/usr/tom/link");
+  ASSERT_TRUE(st);
+  EXPECT_EQ(st.value.type, NodeType::kFile);
+  EXPECT_EQ(st.value.owner, "root");
+  auto lst = fs.lstat("/usr/tom/link");
+  ASSERT_TRUE(lst);
+  EXPECT_EQ(lst.value.type, NodeType::kSymlink);
+  EXPECT_EQ(lst.value.symlink_target, "/etc/passwd");
+  EXPECT_EQ(lst.value.owner, "tom");
+}
+
+TEST_F(FsTest, AccessFollowsSymlinksLikeTheRealSyscall) {
+  fs.create(root, "/etc/passwd", Mode::file_default());
+  fs.symlink(tom, "/etc/passwd", "/usr/tom/link");
+  // Tom cannot write /etc/passwd, so access(W) through the link is false —
+  // this is exactly why xterm's check forces the attacker to race.
+  EXPECT_FALSE(fs.access(tom, "/usr/tom/link", Access::kWrite));
+}
+
+TEST_F(FsTest, RelativeSymlinkTargetsRejected) {
+  EXPECT_FALSE(fs.symlink(tom, "etc/passwd", "/usr/tom/rel"));
+  EXPECT_FALSE(fs.symlink(tom, "", "/usr/tom/empty"));
+  EXPECT_EQ(fs.lstat("/usr/tom/rel").error, FsError::kNoEnt);
+}
+
+TEST_F(FsTest, OpenCreateNeedsAnExistingParent) {
+  EXPECT_EQ(fs.open(tom, "/usr/tom/sub/file",
+                    OpenFlags{.write = true, .create = true}).error,
+            FsError::kNoEnt);
+}
+
+TEST_F(FsTest, SymlinkLoopsReportEloop) {
+  fs.symlink(tom, "/usr/tom/b", "/usr/tom/a");
+  fs.symlink(tom, "/usr/tom/a", "/usr/tom/b");
+  EXPECT_EQ(fs.read("/usr/tom/a").error, FsError::kLoop);
+}
+
+TEST_F(FsTest, NofollowRefusesSymlinkFinalComponent) {
+  fs.create(root, "/etc/passwd");
+  fs.symlink(tom, "/etc/passwd", "/usr/tom/link");
+  const auto r = fs.open(root, "/usr/tom/link",
+                         OpenFlags{.write = true, .nofollow = true});
+  EXPECT_EQ(r.error, FsError::kLoop);
+  // Plain files still open fine with nofollow.
+  fs.create(tom, "/usr/tom/plain");
+  EXPECT_TRUE(fs.open(root, "/usr/tom/plain",
+                      OpenFlags{.write = true, .nofollow = true}));
+}
+
+TEST_F(FsTest, OpenCreateFlag) {
+  const auto r = fs.open(tom, "/usr/tom/new", OpenFlags{.write = true, .create = true});
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(fs.stat("/usr/tom/new"));
+}
+
+TEST_F(FsTest, FstatReflectsTheOpenedInode) {
+  fs.create(root, "/etc/passwd");
+  fs.symlink(tom, "/etc/passwd", "/usr/tom/link");
+  auto h = fs.open(root, "/usr/tom/link", OpenFlags{.write = true});
+  ASSERT_TRUE(h);
+  auto st = fs.fstat(h.value);
+  ASSERT_TRUE(st);
+  // fstat sees the TARGET — the post-open ownership re-check primitive.
+  EXPECT_EQ(st.value.owner, "root");
+  EXPECT_EQ(st.value.type, NodeType::kFile);
+}
+
+TEST_F(FsTest, WriteThroughStaleHandleAfterUnlink) {
+  fs.create(tom, "/usr/tom/x");
+  auto h = fs.open(tom, "/usr/tom/x", OpenFlags{.write = true});
+  ASSERT_TRUE(h);
+  fs.unlink(tom, "/usr/tom/x");
+  // POSIX keeps the inode alive for open handles; our model marks it dead
+  // and rejects the write — either way no OTHER file is touched.
+  (void)fs.write(h.value, "zombie");
+  EXPECT_EQ(fs.read("/usr/tom/x").error, FsError::kNoEnt);
+}
+
+TEST_F(FsTest, ChmodAndChownRules) {
+  fs.create(tom, "/usr/tom/x");
+  EXPECT_TRUE(fs.chmod(tom, "/usr/tom/x", Mode::world_writable()));
+  EXPECT_FALSE(fs.chmod(Cred::user_named("eve"), "/usr/tom/x", Mode::private_file()));
+  EXPECT_FALSE(fs.chown(tom, "/usr/tom/x", "eve"));  // chown is root-only
+  EXPECT_TRUE(fs.chown(root, "/usr/tom/x", "eve"));
+  EXPECT_EQ(fs.stat("/usr/tom/x").value.owner, "eve");
+}
+
+TEST_F(FsTest, TerminalNodesHaveDistinctType) {
+  fs.mkdir(root, "/dev");
+  fs.create(root, "/dev/tty1", Mode::world_writable(), NodeType::kTerminal);
+  EXPECT_EQ(fs.stat("/dev/tty1").value.type, NodeType::kTerminal);
+}
+
+TEST_F(FsTest, FileSystemIsAValueType) {
+  fs.create(tom, "/usr/tom/x");
+  FileSystem copy = fs;
+  copy.unlink(tom, "/usr/tom/x");
+  // The original is unaffected: schedules can fork the world.
+  EXPECT_TRUE(fs.stat("/usr/tom/x"));
+  EXPECT_EQ(copy.stat("/usr/tom/x").error, FsError::kNoEnt);
+}
+
+TEST_F(FsTest, PathSplitting) {
+  EXPECT_EQ(split_path("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_path("/"), std::vector<std::string>{});
+  EXPECT_EQ(split_path("a//b/"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(FsTest, ErrorNamesRendered) {
+  EXPECT_STREQ(to_string(FsError::kNoEnt), "ENOENT");
+  EXPECT_STREQ(to_string(FsError::kAccess), "EACCES");
+  EXPECT_STREQ(to_string(FsError::kLoop), "ELOOP");
+  EXPECT_STREQ(to_string(NodeType::kTerminal), "terminal");
+}
+
+}  // namespace
+}  // namespace dfsm::fssim

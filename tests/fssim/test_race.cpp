@@ -1,0 +1,130 @@
+#include "fssim/race.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::fssim {
+namespace {
+
+FileSystem world_with(const std::string& path) {
+  FileSystem fs;
+  fs.mkdir(Cred::root(), "/d");
+  fs.create(Cred::root(), path);
+  return fs;
+}
+
+TEST(InterleavingCount, MatchesBinomialCoefficients) {
+  EXPECT_EQ(interleaving_count(0, 0), 1u);
+  EXPECT_EQ(interleaving_count(1, 0), 1u);
+  EXPECT_EQ(interleaving_count(1, 1), 2u);
+  EXPECT_EQ(interleaving_count(3, 2), 10u);
+  EXPECT_EQ(interleaving_count(4, 2), 15u);
+  EXPECT_EQ(interleaving_count(5, 5), 252u);
+}
+
+TEST(Race, EnumeratesAllSchedules) {
+  const auto world = world_with("/d/f");
+  std::vector<Step> a{{"a1", [](FileSystem&) {}}, {"a2", [](FileSystem&) {}}};
+  std::vector<Step> b{{"b1", [](FileSystem&) {}}};
+  const auto report = enumerate_interleavings(world, a, b,
+                                              [](const FileSystem&) { return false; });
+  EXPECT_EQ(report.total_schedules, 3u);
+  EXPECT_EQ(report.violating_schedules, 0u);
+  EXPECT_FALSE(report.race_exists());
+  EXPECT_EQ(report.outcomes.size(), 3u);
+}
+
+TEST(Race, SchedulesPreserveIntraProcessOrder) {
+  const auto world = world_with("/d/f");
+  std::vector<Step> a{{"a1", [](FileSystem&) {}}, {"a2", [](FileSystem&) {}}};
+  std::vector<Step> b{{"b1", [](FileSystem&) {}}};
+  const auto report = enumerate_interleavings(world, a, b,
+                                              [](const FileSystem&) { return false; });
+  for (const auto& o : report.outcomes) {
+    const auto i1 = std::find(o.order.begin(), o.order.end(), "a1");
+    const auto i2 = std::find(o.order.begin(), o.order.end(), "a2");
+    EXPECT_LT(i1, i2);
+  }
+}
+
+TEST(Race, EachScheduleRunsOnAForkedWorld) {
+  const auto world = world_with("/d/f");
+  // A destructive step must not leak into other schedules: if worlds were
+  // shared, the second schedule would find the file already deleted.
+  std::vector<Step> a{{"del", [](FileSystem& fs) {
+                         ASSERT_TRUE(fs.unlink(Cred::root(), "/d/f"));
+                       }}};
+  std::vector<Step> b{{"noop", [](FileSystem&) {}}};
+  const auto report = enumerate_interleavings(
+      world, a, b, [](const FileSystem& fs) { return !fs.stat("/d/f").ok(); });
+  EXPECT_EQ(report.total_schedules, 2u);
+  EXPECT_EQ(report.violating_schedules, 2u);  // deleted in every schedule
+  // And the ORIGINAL world still has the file.
+  EXPECT_TRUE(world.stat("/d/f").ok());
+}
+
+TEST(Race, OrderSensitiveOutcomeSplitsSchedules) {
+  const auto world = world_with("/d/f");
+  // Victim writes the file; attacker deletes it. The final content
+  // depends on the order.
+  std::vector<Step> victim{{"write", [](FileSystem& fs) {
+                              auto h = fs.open(Cred::root(), "/d/f",
+                                               OpenFlags{.write = true});
+                              if (h.ok()) fs.write(h.value, "V");
+                            }}};
+  std::vector<Step> attacker{{"delete", [](FileSystem& fs) {
+                                fs.unlink(Cred::root(), "/d/f");
+                              }}};
+  const auto report = enumerate_interleavings(
+      world, victim, attacker, [](const FileSystem& fs) {
+        auto c = fs.read("/d/f");
+        return !c.ok();  // violated when the file is gone at the end
+      });
+  EXPECT_EQ(report.total_schedules, 2u);
+  EXPECT_EQ(report.violating_schedules, 2u);  // file deleted either way
+}
+
+TEST(RaceCtx, ContextIsFreshPerSchedule) {
+  const auto world = world_with("/d/f");
+  std::vector<CtxStep> victim{
+      {"bump", [](FileSystem&, RaceContext& ctx) { ctx.ints["n"] += 1; }},
+      {"bump", [](FileSystem&, RaceContext& ctx) { ctx.ints["n"] += 1; }}};
+  std::vector<CtxStep> attacker{{"noop", [](FileSystem&, RaceContext&) {}}};
+  const auto report = enumerate_interleavings(
+      world, victim, attacker,
+      [](const FileSystem&, const RaceContext& ctx) {
+        // If the context leaked across schedules, n would exceed 2.
+        return ctx.ints.at("n") != 2;
+      });
+  EXPECT_EQ(report.total_schedules, 3u);
+  EXPECT_EQ(report.violating_schedules, 0u);
+}
+
+TEST(RaceCtx, AbortFlagShortCircuitsVictimSteps) {
+  const auto world = world_with("/d/f");
+  std::vector<CtxStep> victim{
+      {"check", [](FileSystem&, RaceContext& ctx) { ctx.aborted = true; }},
+      {"act", [](FileSystem& fs, RaceContext& ctx) {
+         if (ctx.aborted) return;
+         auto h = fs.open(Cred::root(), "/d/f", OpenFlags{.write = true});
+         fs.write(h.value, "MUST NOT HAPPEN");
+       }}};
+  std::vector<CtxStep> attacker{};
+  const auto report = enumerate_interleavings(
+      world, victim, attacker, [](const FileSystem& fs, const RaceContext&) {
+        return fs.read("/d/f").value.find("MUST NOT") != std::string::npos;
+      });
+  EXPECT_EQ(report.violating_schedules, 0u);
+}
+
+TEST(RaceCtx, TotalSchedulesMatchFormula) {
+  const auto world = world_with("/d/f");
+  std::vector<CtxStep> victim(4, CtxStep{"v", [](FileSystem&, RaceContext&) {}});
+  std::vector<CtxStep> attacker(2, CtxStep{"a", [](FileSystem&, RaceContext&) {}});
+  const auto report = enumerate_interleavings(
+      world, victim, attacker,
+      [](const FileSystem&, const RaceContext&) { return false; });
+  EXPECT_EQ(report.total_schedules, interleaving_count(4, 2));
+}
+
+}  // namespace
+}  // namespace dfsm::fssim

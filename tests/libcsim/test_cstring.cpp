@@ -1,0 +1,86 @@
+#include "libcsim/cstring.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::libcsim {
+namespace {
+
+class CStringTest : public ::testing::Test {
+ protected:
+  CStringTest() { as.map("rw", 0x1000, 0x1000, memsim::Perm::kRW); }
+  AddressSpace as;
+};
+
+TEST_F(CStringTest, StrlenCountsToNul) {
+  as.write_string(0x1000, "hello");
+  EXPECT_EQ(c_strlen(as, 0x1000), 5u);
+  as.write_string(0x1100, "");
+  EXPECT_EQ(c_strlen(as, 0x1100), 0u);
+}
+
+TEST_F(CStringTest, StrcpyCopiesIncludingTerminator) {
+  c_strcpy(as, 0x1000, std::string("abc"));
+  EXPECT_EQ(as.read_cstring(0x1000), "abc");
+  EXPECT_EQ(as.read8(0x1003), 0u);
+}
+
+TEST_F(CStringTest, StrcpySandboxToSandbox) {
+  as.write_string(0x1000, "source");
+  c_strcpy(as, 0x1100, memsim::Addr{0x1000});
+  EXPECT_EQ(as.read_cstring(0x1100), "source");
+}
+
+TEST_F(CStringTest, StrcpyHasNoBoundsCheck) {
+  // Copy 64 bytes "into" an 8-byte conceptual buffer at the end of the
+  // segment — the copy happily overruns and faults only at the segment
+  // boundary, like a real wild strcpy.
+  const std::string long_str(0x1001, 'x');
+  EXPECT_THROW(c_strcpy(as, 0x1FF8, long_str), memsim::MemoryFault);
+}
+
+TEST_F(CStringTest, StrncpyTruncatesWithoutTerminatorWhenFull) {
+  c_strncpy(as, 0x1000, "abcdef", 4);
+  const auto bytes = as.read_bytes(0x1000, 4);
+  EXPECT_EQ(bytes, (std::vector<std::uint8_t>{'a', 'b', 'c', 'd'}));
+  // strncpy semantics: NOT NUL-terminated when source >= n.
+}
+
+TEST_F(CStringTest, StrncpyPadsWithNulsWhenShort) {
+  as.write_bytes(0x1000, std::vector<std::uint8_t>(8, 0xFF));
+  c_strncpy(as, 0x1000, "ab", 8);
+  EXPECT_EQ(as.read_cstring(0x1000), "ab");
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(as.read8(0x1000 + i), 0u);
+}
+
+TEST_F(CStringTest, StrcatAppends) {
+  c_strcpy(as, 0x1000, std::string("foo"));
+  c_strcat(as, 0x1000, "bar");
+  EXPECT_EQ(as.read_cstring(0x1000), "foobar");
+}
+
+TEST_F(CStringTest, MemcpyAndMemset) {
+  c_memset(as, 0x1000, 0x5A, 16);
+  EXPECT_EQ(as.read8(0x100F), 0x5A);
+  const std::vector<std::uint8_t> src{9, 8, 7};
+  c_memcpy(as, 0x1020, src);
+  EXPECT_EQ(as.read_bytes(0x1020, 3), src);
+}
+
+TEST_F(CStringTest, GetsIsUnbounded) {
+  const std::string line(100, 'q');
+  c_gets(as, 0x1000, line);
+  EXPECT_EQ(c_strlen(as, 0x1000), 100u);
+}
+
+TEST_F(CStringTest, GetnsIsBounded) {
+  c_getns(as, 0x1000, 8, std::string(100, 'q'));
+  EXPECT_EQ(c_strlen(as, 0x1000), 7u);  // n-1 chars + NUL
+  c_getns(as, 0x1100, 8, "ab");
+  EXPECT_EQ(as.read_cstring(0x1100), "ab");
+  // n == 0 writes nothing.
+  c_getns(as, 0x1200, 0, "zz");
+  EXPECT_EQ(as.read8(0x1200), 0u);
+}
+
+}  // namespace
+}  // namespace dfsm::libcsim

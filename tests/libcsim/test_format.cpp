@@ -1,0 +1,184 @@
+#include "libcsim/format.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::libcsim {
+namespace {
+
+class FormatTest : public ::testing::Test {
+ protected:
+  FormatTest() : engine(as) { as.map("rw", 0x1000, 0x2000, memsim::Perm::kRW); }
+
+  std::string fmt(const std::string& f, std::vector<std::uint64_t> args = {}) {
+    const ArgProvider ap{as, std::move(args)};
+    return engine.format_to_string(f, ap).text;
+  }
+
+  AddressSpace as;
+  FormatEngine engine;
+};
+
+TEST_F(FormatTest, PlainTextPassesThrough) {
+  EXPECT_EQ(fmt("hello world"), "hello world");
+}
+
+TEST_F(FormatTest, PercentEscape) {
+  EXPECT_EQ(fmt("100%%"), "100%");
+  EXPECT_EQ(fmt("%"), "%");  // trailing lone %
+}
+
+TEST_F(FormatTest, IntegerConversions) {
+  EXPECT_EQ(fmt("%d", {static_cast<std::uint64_t>(-42)}), "-42");
+  EXPECT_EQ(fmt("%i", {7}), "7");
+  EXPECT_EQ(fmt("%u", {7}), "7");
+  EXPECT_EQ(fmt("%x", {255}), "ff");
+  EXPECT_EQ(fmt("%p", {255}), "0xff");
+  EXPECT_EQ(fmt("%c", {'A'}), "A");
+}
+
+TEST_F(FormatTest, WidthPadsWithSpaces) {
+  EXPECT_EQ(fmt("%5d", {42}), "   42");
+  EXPECT_EQ(fmt("%2d", {12345}), "12345");  // width smaller than value
+  EXPECT_EQ(fmt("%3c", {'x'}), "  x");
+}
+
+TEST_F(FormatTest, StringConversionReadsSandboxMemory) {
+  as.write_string(0x1000, "from sandbox");
+  EXPECT_EQ(fmt("<%s>", {0x1000}), "<from sandbox>");
+  EXPECT_EQ(fmt("%s", {0}), "(null)");
+}
+
+TEST_F(FormatTest, SequentialArgumentConsumption) {
+  EXPECT_EQ(fmt("%d %d %d", {1, 2, 3}), "1 2 3");
+}
+
+TEST_F(FormatTest, PositionalArgumentsDoNotAdvanceSequential) {
+  EXPECT_EQ(fmt("%2$d %d", {10, 20}), "20 10");
+}
+
+TEST_F(FormatTest, ExhaustedExplicitArgsWithoutVarargBaseYieldZero) {
+  EXPECT_EQ(fmt("%d", {}), "0");
+}
+
+TEST_F(FormatTest, ArgWalkReadsMemoryPastExplicitArgs) {
+  as.write64(0x1100, 1111);
+  as.write64(0x1108, 2222);
+  const ArgProvider ap{as, {42}, 0x1100};
+  const auto r = engine.format_to_string("%d %d %d", ap);
+  // arg0 = explicit 42; arg1/arg2 walk memory from the vararg base.
+  EXPECT_EQ(r.text, "42 1111 2222");
+}
+
+TEST_F(FormatTest, UnknownDirectiveCopiedVerbatim) {
+  EXPECT_EQ(fmt("%q"), "%q");
+  EXPECT_EQ(fmt("a%zb"), "a%zb");
+}
+
+TEST_F(FormatTest, CountIsExactWithVirtualPadding) {
+  const ArgProvider ap{as, {'x'}};
+  const auto r = engine.format_to_string("%100000c", ap, /*materialize_cap=*/64);
+  EXPECT_EQ(r.count, 100000u);
+  EXPECT_EQ(r.bytes_written, 64u);
+  EXPECT_EQ(r.text.size(), 64u);
+}
+
+TEST_F(FormatTest, PercentNStoresTheCount) {
+  const ArgProvider ap{as, {0x1800}};
+  const auto r = engine.format_to_string("12345%n", ap);
+  EXPECT_EQ(r.n_stores, 1u);
+  EXPECT_EQ(as.read64(0x1800), 5u);
+}
+
+TEST_F(FormatTest, PercentHnStoresSixteenBits) {
+  as.write64(0x1800, 0xFFFFFFFFFFFFFFFFull);
+  const ArgProvider ap{as, {0x1800}};
+  (void)engine.format_to_string("abc%hn", ap);
+  EXPECT_EQ(as.read16(0x1800), 3u);
+  EXPECT_EQ(as.read8(0x1802), 0xFF);  // only two bytes written
+}
+
+TEST_F(FormatTest, PercentNWithVirtualPaddingWritesLargeValues) {
+  // The rpc.statd mechanism: a huge pad width makes the count equal an
+  // attacker-chosen address without materializing megabytes.
+  const ArgProvider ap{as, {'x', 0x1800}};
+  const auto r = engine.format_to_string("%7842561c%n", ap, 128);
+  EXPECT_EQ(r.count, 7842561u);
+  EXPECT_EQ(as.read64(0x1800), 7842561u);
+}
+
+TEST_F(FormatTest, PositionalPercentN) {
+  as.write64(0x1200, 0x1800);  // pointer planted in walked memory
+  const ArgProvider ap{as, {}, 0x1200};
+  (void)engine.format_to_string("hi%1$n", ap);
+  EXPECT_EQ(as.read64(0x1800), 2u);
+}
+
+TEST_F(FormatTest, VsprintfMaterializesIntoSandboxWithTerminator) {
+  const ArgProvider ap{as, {99}};
+  const auto r = engine.vsprintf(0x1000, "n=%d!", ap);
+  EXPECT_EQ(as.read_cstring(0x1000), "n=99!");
+  EXPECT_EQ(r.bytes_written, 5u);
+}
+
+TEST_F(FormatTest, VsprintfHasNoBoundsCheck) {
+  // Writing a 64-byte expansion "into" a buffer at the segment's end
+  // faults at the boundary — the GHTTPD overflow in miniature.
+  as.write_string(0x1100, std::string(200, 'y'));
+  const ArgProvider ap{as, {0x1100}};
+  EXPECT_THROW((void)engine.vsprintf(0x2F80, "%s", ap), memsim::MemoryFault);
+}
+
+TEST_F(FormatTest, ContainsDirectivesDetector) {
+  EXPECT_TRUE(FormatEngine::contains_directives("%n"));
+  EXPECT_TRUE(FormatEngine::contains_directives("hello %d"));
+  EXPECT_TRUE(FormatEngine::contains_directives("%7842561c%4$n"));
+  EXPECT_FALSE(FormatEngine::contains_directives("plain"));
+  EXPECT_FALSE(FormatEngine::contains_directives("100%% sure"));
+  EXPECT_FALSE(FormatEngine::contains_directives("trailing %"));
+  EXPECT_FALSE(FormatEngine::contains_directives(""));
+  EXPECT_TRUE(FormatEngine::contains_directives("%%%d"));  // escaped then real
+}
+
+TEST_F(FormatTest, MalformedTrailingDirectiveCopiedVerbatim) {
+  EXPECT_EQ(fmt("abc%42"), "abc%42");
+  EXPECT_EQ(fmt("abc%4$"), "abc%4$");
+}
+
+TEST_F(FormatTest, PrecisionTruncatesStrings) {
+  as.write_string(0x1100, "truncate me please");
+  EXPECT_EQ(fmt("%.8s", {0x1100}), "truncate");
+  EXPECT_EQ(fmt("%.0s", {0x1100}), "");
+  EXPECT_EQ(fmt("%.99s", {0x1100}), "truncate me please");
+  // Width combines with precision: pad the truncated form.
+  EXPECT_EQ(fmt("%10.8s", {0x1100}), "  truncate");
+}
+
+TEST_F(FormatTest, VsnprintfTruncatesButCountsInFull) {
+  const ArgProvider ap{as, {0x1100}};
+  as.write_string(0x1100, std::string(300, 'z'));
+  const auto r = engine.vsnprintf(0x1000, 16, "%s", ap);
+  EXPECT_EQ(r.bytes_written, 15u);                 // n-1 bytes
+  EXPECT_EQ(r.count, 300u);                        // C99: full length
+  EXPECT_EQ(as.read_cstring(0x1000).size(), 15u);  // NUL at dst+15
+  EXPECT_EQ(as.read8(0x1000 + 15), 0u);
+}
+
+TEST_F(FormatTest, VsnprintfNeverOverrunsItsBound) {
+  // Even a huge expansion near the segment end stays inside the bound —
+  // the GHTTPD fix in one call.
+  as.write_string(0x1100, std::string(600, 'y'));
+  const ArgProvider ap{as, {0x1100}};
+  EXPECT_NO_THROW((void)engine.vsnprintf(0x2FF0, 16, "%s", ap));
+}
+
+TEST_F(FormatTest, VsnprintfZeroBoundWritesNothing) {
+  as.write8(0x1000, 0x55);
+  const ArgProvider ap{as, {7}};
+  const auto r = engine.vsnprintf(0x1000, 0, "%d", ap);
+  EXPECT_EQ(r.bytes_written, 0u);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(as.read8(0x1000), 0x55);  // untouched
+}
+
+}  // namespace
+}  // namespace dfsm::libcsim

@@ -1,0 +1,55 @@
+#include "libcsim/io.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::libcsim {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  IoTest() { as.map("rw", 0x1000, 0x2000, memsim::Perm::kRW); }
+  AddressSpace as;
+  netsim::ByteStream stream;
+};
+
+TEST_F(IoTest, RecvDeliversBytesIntoSandbox) {
+  stream.send(std::string("payload"));
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 1024), 7);
+  EXPECT_EQ(as.read_bytes(0x1000, 7),
+            (std::vector<std::uint8_t>{'p', 'a', 'y', 'l', 'o', 'a', 'd'}));
+}
+
+TEST_F(IoTest, RecvIsBoundedByMax) {
+  stream.send(std::string(2000, 'x'));
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 1024), 1024);
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 1024), 976);
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 1024), 0);  // drained
+}
+
+TEST_F(IoTest, RecvZeroAtEof) {
+  stream.close_write();
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 64), 0);
+}
+
+TEST_F(IoTest, RecvMinusOneOnInjectedError) {
+  stream.send(std::string("data"));
+  stream.inject_error();
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 64), -1);
+  // The error is one-shot; the queued data is still there afterwards.
+  EXPECT_EQ(c_recv(as, stream, 0x1000, 64), 4);
+}
+
+TEST_F(IoTest, RecvWritesNothingOnErrorOrEof) {
+  as.write64(0x1000, 0x1122334455667788ull);
+  stream.inject_error();
+  (void)c_recv(as, stream, 0x1000, 64);
+  EXPECT_EQ(as.read64(0x1000), 0x1122334455667788ull);
+}
+
+TEST_F(IoTest, RecvFaultsWhenBufferRunsOffSegment) {
+  stream.send(std::string(64, 'x'));
+  EXPECT_THROW((void)c_recv(as, stream, 0x2FF0, 64), memsim::MemoryFault);
+}
+
+}  // namespace
+}  // namespace dfsm::libcsim

@@ -1,0 +1,139 @@
+#include "memsim/address_space.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::memsim {
+namespace {
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  AddressSpaceTest() {
+    as.map("rw", 0x1000, 0x1000, Perm::kRW);
+    as.map("ro", 0x3000, 0x100, Perm::kRead);
+    as.map("rx", 0x4000, 0x100, Perm::kRX);
+  }
+  AddressSpace as;
+};
+
+TEST_F(AddressSpaceTest, MappingRejectsOverlapZeroSizeAndNullBase) {
+  EXPECT_THROW(as.map("dup", 0x1800, 0x10, Perm::kRW), std::invalid_argument);
+  EXPECT_THROW(as.map("edge", 0x0FFF, 0x2, Perm::kRW), std::invalid_argument);
+  EXPECT_THROW(as.map("zero", 0x9000, 0, Perm::kRW), std::invalid_argument);
+  EXPECT_THROW(as.map("null", 0, 0x10, Perm::kRW), std::invalid_argument);
+  // Adjacent (end-to-start) mapping is fine.
+  EXPECT_NO_THROW(as.map("adjacent", 0x2000, 0x10, Perm::kRW));
+}
+
+TEST_F(AddressSpaceTest, SegmentsStartZeroFilled) {
+  EXPECT_EQ(as.read64(0x1000), 0u);
+  EXPECT_EQ(as.read8(0x1FFF), 0u);
+}
+
+TEST_F(AddressSpaceTest, LittleEndianRoundTrip) {
+  as.write64(0x1000, 0x0123456789ABCDEFull);
+  EXPECT_EQ(as.read64(0x1000), 0x0123456789ABCDEFull);
+  EXPECT_EQ(as.read8(0x1000), 0xEF);   // lowest byte first
+  EXPECT_EQ(as.read8(0x1007), 0x01);
+  EXPECT_EQ(as.read32(0x1000), 0x89ABCDEFu);
+  EXPECT_EQ(as.read16(0x1000), 0xCDEF);
+}
+
+TEST_F(AddressSpaceTest, MixedWidthWrites) {
+  as.write32(0x1100, 0xAABBCCDD);
+  as.write16(0x1104, 0x1122);
+  as.write8(0x1106, 0x33);
+  EXPECT_EQ(as.read8(0x1100), 0xDD);
+  EXPECT_EQ(as.read16(0x1104), 0x1122);
+  EXPECT_EQ(as.read8(0x1106), 0x33);
+}
+
+TEST_F(AddressSpaceTest, UnmappedAccessFaults) {
+  EXPECT_THROW((void)as.read8(0x9999), MemoryFault);
+  EXPECT_THROW(as.write8(0x9999, 1), MemoryFault);
+  EXPECT_THROW((void)as.read64(0x0), MemoryFault);  // null never mapped
+}
+
+TEST_F(AddressSpaceTest, CrossSegmentAccessFaults) {
+  // Read straddling the end of a segment must fault, not wrap.
+  EXPECT_THROW((void)as.read64(0x1FFC), MemoryFault);
+  EXPECT_NO_THROW((void)as.read32(0x1FFC));
+}
+
+TEST_F(AddressSpaceTest, PermissionEnforcement) {
+  EXPECT_NO_THROW((void)as.read8(0x3000));
+  EXPECT_THROW(as.write8(0x3000, 1), MemoryFault);
+  EXPECT_THROW(as.write8(0x4000, 1), MemoryFault);
+  EXPECT_TRUE(as.executable(0x4000));
+  EXPECT_FALSE(as.executable(0x1000));
+  EXPECT_FALSE(as.executable(0x999999));
+}
+
+TEST_F(AddressSpaceTest, FaultCarriesAddress) {
+  try {
+    as.write8(0x3000, 1);
+    FAIL() << "expected MemoryFault";
+  } catch (const MemoryFault& f) {
+    EXPECT_EQ(f.addr(), 0x3000u);
+    EXPECT_NE(std::string(f.what()).find("permission"), std::string::npos);
+  }
+}
+
+TEST_F(AddressSpaceTest, BulkBytesRoundTrip) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  as.write_bytes(0x1200, data);
+  EXPECT_EQ(as.read_bytes(0x1200, 5), data);
+  EXPECT_TRUE(as.read_bytes(0x1200, 0).empty());
+}
+
+TEST_F(AddressSpaceTest, CStringRoundTrip) {
+  as.write_string(0x1300, "hello");
+  EXPECT_EQ(as.read_cstring(0x1300), "hello");
+  // An unterminated string running into the segment end must fault.
+  as.write_string(0x1FF0, "0123456789ABCDEF", /*nul_terminate=*/false);
+  EXPECT_THROW((void)as.read_cstring(0x1FF0), MemoryFault);
+}
+
+TEST_F(AddressSpaceTest, CStringMaxLenGuard) {
+  as.write_string(0x1400, std::string(64, 'x'));
+  EXPECT_THROW((void)as.read_cstring(0x1400, 10), MemoryFault);
+}
+
+TEST_F(AddressSpaceTest, FindAndSegmentNamed) {
+  const Segment* s = as.find(0x1800);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->name, "rw");
+  EXPECT_EQ(as.find(0xDEAD0000), nullptr);
+  ASSERT_NE(as.segment_named("ro"), nullptr);
+  EXPECT_EQ(as.segment_named("ro")->base, 0x3000u);
+  EXPECT_EQ(as.segment_named("nope"), nullptr);
+}
+
+TEST_F(AddressSpaceTest, JournalRecordsWritesWhenEnabled) {
+  as.enable_journal(true);
+  as.write64(0x1000, 1);
+  as.write8(0x1010, 2);
+  (void)as.read8(0x1000);
+  EXPECT_EQ(as.journal().size(), 3u);
+  EXPECT_EQ(as.writes_in(0x1000, 0x1008), 1u);
+  EXPECT_EQ(as.writes_in(0x1000, 0x1011), 2u);
+  EXPECT_EQ(as.writes_in(0x2000, 0x3000), 0u);
+  as.clear_journal();
+  EXPECT_TRUE(as.journal().empty());
+}
+
+TEST_F(AddressSpaceTest, JournalDisabledByDefault) {
+  as.write64(0x1000, 1);
+  EXPECT_TRUE(as.journal().empty());
+}
+
+TEST_F(AddressSpaceTest, WritesInDetectsOverlappingRanges) {
+  as.enable_journal(true);
+  as.write_bytes(0x1100, std::vector<std::uint8_t>(16, 0xAA));
+  // A 16-byte write overlaps any window intersecting [0x1100, 0x1110).
+  EXPECT_EQ(as.writes_in(0x10F8, 0x1101), 1u);
+  EXPECT_EQ(as.writes_in(0x110F, 0x1200), 1u);
+  EXPECT_EQ(as.writes_in(0x1110, 0x1200), 0u);
+}
+
+}  // namespace
+}  // namespace dfsm::memsim

@@ -1,0 +1,102 @@
+#include "memsim/cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::memsim {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : cpu(as, 0x10000, 0x100), got(as, 0x20000, 8) {}
+  AddressSpace as;
+  CpuContext cpu;
+  Got got;
+};
+
+TEST_F(CpuTest, FunctionsGetSpacedTextAddresses) {
+  const Addr a = cpu.register_function("setuid");
+  const Addr b = cpu.register_function("free");
+  EXPECT_EQ(a, 0x10000u);
+  EXPECT_EQ(b, 0x10010u);
+  EXPECT_TRUE(cpu.is_function(a));
+  EXPECT_FALSE(cpu.is_function(a + 1));
+  EXPECT_EQ(cpu.function_address("free"), b);
+}
+
+TEST_F(CpuTest, DuplicateAndUnknownFunctions) {
+  cpu.register_function("f");
+  EXPECT_THROW(cpu.register_function("f"), std::invalid_argument);
+  EXPECT_THROW((void)cpu.function_address("missing"), std::invalid_argument);
+}
+
+TEST_F(CpuTest, TextSegmentCapacityEnforced) {
+  for (int i = 0; i < 16; ++i) cpu.register_function("f" + std::to_string(i));
+  EXPECT_THROW(cpu.register_function("overflow"), std::invalid_argument);
+}
+
+TEST_F(CpuTest, DispatchClassifiesLandings) {
+  const Addr fn = cpu.register_function("setuid");
+  cpu.plant_mcode(0x77AB01, 0x1000);
+
+  const auto l1 = cpu.dispatch(fn);
+  EXPECT_EQ(l1.kind, LandingKind::kFunction);
+  EXPECT_EQ(l1.function, "setuid");
+
+  const auto l2 = cpu.dispatch(0x77AB01 + 0x10);
+  EXPECT_EQ(l2.kind, LandingKind::kMcode);
+
+  const auto l3 = cpu.dispatch(0xDEAD);
+  EXPECT_EQ(l3.kind, LandingKind::kWild);
+}
+
+TEST_F(CpuTest, McodeRegionBoundariesAreExact) {
+  cpu.plant_mcode(0x77AB01, 0x100);
+  EXPECT_TRUE(cpu.is_mcode(0x77AB01));
+  EXPECT_TRUE(cpu.is_mcode(0x77AB01 + 0xFF));
+  EXPECT_FALSE(cpu.is_mcode(0x77AB01 + 0x100));
+  EXPECT_FALSE(cpu.is_mcode(0x77AB00));
+}
+
+TEST_F(CpuTest, NoMcodeMeansNothingIsMcode) {
+  EXPECT_FALSE(cpu.is_mcode(0x77AB01));
+}
+
+TEST_F(CpuTest, CallThroughGotFollowsCurrentSlotValue) {
+  const Addr fn = cpu.register_function("setuid");
+  cpu.plant_mcode(0x77AB01, 0x1000);
+  got.bind("setuid", fn);
+
+  EXPECT_EQ(cpu.call_through_got(got, "setuid").kind, LandingKind::kFunction);
+
+  // Corrupt the slot: the same call now lands in Mcode.
+  as.write64(got.slot_address("setuid"), 0x77AB01);
+  const auto landing = cpu.call_through_got(got, "setuid");
+  EXPECT_EQ(landing.kind, LandingKind::kMcode);
+  EXPECT_EQ(landing.address, 0x77AB01u);
+}
+
+TEST_F(CpuTest, LandingCounterCountsOnlyMcode) {
+  const Addr fn = cpu.register_function("f");
+  cpu.plant_mcode(0x77AB01, 0x1000);
+  cpu.count_landing(cpu.dispatch(fn));
+  EXPECT_EQ(cpu.mcode_landings(), 0u);
+  cpu.count_landing(cpu.dispatch(0x77AB01));
+  cpu.count_landing(cpu.dispatch(0x77AB02));
+  EXPECT_EQ(cpu.mcode_landings(), 2u);
+}
+
+TEST_F(CpuTest, McodeSegmentIsWritableAndExecutable) {
+  cpu.plant_mcode(0x77AB01, 0x1000);
+  // unlink's mirror write (BK->fd = FD) lands at mcode+16; it must not fault.
+  as.write64(0x77AB01 + 16, 0x1234);
+  EXPECT_TRUE(as.executable(0x77AB01));
+}
+
+TEST(LandingKindNames, ToString) {
+  EXPECT_STREQ(to_string(LandingKind::kFunction), "FUNCTION");
+  EXPECT_STREQ(to_string(LandingKind::kMcode), "MCODE");
+  EXPECT_STREQ(to_string(LandingKind::kWild), "WILD");
+}
+
+}  // namespace
+}  // namespace dfsm::memsim

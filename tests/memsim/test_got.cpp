@@ -1,0 +1,79 @@
+#include "memsim/got.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::memsim {
+namespace {
+
+class GotTest : public ::testing::Test {
+ protected:
+  GotTest() : got(as, 0x20000, 4) {}
+  AddressSpace as;
+  Got got;
+};
+
+TEST_F(GotTest, BindReturnsSequentialSlots) {
+  EXPECT_EQ(got.bind("setuid", 0x10000), 0x20000u);
+  EXPECT_EQ(got.bind("free", 0x10010), 0x20008u);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST_F(GotTest, SlotHoldsTheFunctionAddressInMemory) {
+  got.bind("setuid", 0x10000);
+  EXPECT_EQ(as.read64(0x20000), 0x10000u);
+  EXPECT_EQ(got.current("setuid"), 0x10000u);
+  EXPECT_EQ(got.loaded("setuid"), 0x10000u);
+  EXPECT_TRUE(got.unchanged("setuid"));
+}
+
+TEST_F(GotTest, MemoryCorruptionIsVisibleThroughCurrent) {
+  got.bind("setuid", 0x10000);
+  // The attack: an out-of-bounds array write lands on the slot.
+  as.write64(got.slot_address("setuid"), 0x77AB01);
+  EXPECT_EQ(got.current("setuid"), 0x77AB01u);
+  EXPECT_EQ(got.loaded("setuid"), 0x10000u);  // snapshot unchanged
+  EXPECT_FALSE(got.unchanged("setuid"));      // the pFSM3 predicate fails
+}
+
+TEST_F(GotTest, RestoringTheValueRestoresConsistency) {
+  got.bind("free", 0x10010);
+  as.write64(got.slot_address("free"), 0xBAD);
+  as.write64(got.slot_address("free"), 0x10010);
+  EXPECT_TRUE(got.unchanged("free"));
+}
+
+TEST_F(GotTest, DuplicateSymbolRejected) {
+  got.bind("setuid", 0x10000);
+  EXPECT_THROW(got.bind("setuid", 0x10020), std::invalid_argument);
+}
+
+TEST_F(GotTest, CapacityEnforced) {
+  got.bind("a", 1);
+  got.bind("b", 2);
+  got.bind("c", 3);
+  got.bind("d", 4);
+  EXPECT_THROW(got.bind("e", 5), std::invalid_argument);
+}
+
+TEST_F(GotTest, UnknownSymbolThrows) {
+  EXPECT_THROW((void)got.slot_address("nope"), std::invalid_argument);
+  EXPECT_THROW((void)got.current("nope"), std::invalid_argument);
+  EXPECT_THROW((void)got.loaded("nope"), std::invalid_argument);
+  EXPECT_FALSE(got.has("nope"));
+}
+
+TEST_F(GotTest, TableIsWritableSegment) {
+  // The GOT must be writable (non-RELRO) or the studied exploits would be
+  // impossible — verify the segment's permissions.
+  const Segment* seg = as.segment_named("got");
+  ASSERT_NE(seg, nullptr);
+  EXPECT_TRUE(has_perm(seg->perms, Perm::kWrite));
+}
+
+TEST(Got, ZeroCapacityRejected) {
+  AddressSpace as;
+  EXPECT_THROW((Got{as, 0x20000, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfsm::memsim

@@ -1,0 +1,293 @@
+#include "memsim/heap.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::memsim {
+namespace {
+
+constexpr Addr kHeapBase = 0x100000;
+constexpr std::size_t kHeapSize = 0x10000;
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapTest() : heap(as, kHeapBase, kHeapSize) {
+    as.map("got", 0x20000, 0x100, Perm::kRW);  // a corruption target
+  }
+  AddressSpace as;
+  HeapAllocator heap;
+};
+
+TEST_F(HeapTest, FreshHeapAuditsClean) {
+  EXPECT_TRUE(heap.audit().empty());
+  const auto chunks = heap.chunks();
+  ASSERT_EQ(chunks.size(), 1u);  // one big free chunk
+  EXPECT_TRUE(chunks[0].is_free);
+}
+
+TEST_F(HeapTest, MallocReturnsUsableZeroableMemory) {
+  const Addr p = heap.malloc(100);
+  EXPECT_GE(heap.usable_size(p), 100u);
+  as.write_bytes(p, std::vector<std::uint8_t>(100, 0xAB));
+  EXPECT_EQ(as.read8(p + 99), 0xAB);
+  EXPECT_TRUE(heap.audit().empty());
+}
+
+TEST_F(HeapTest, CallocZeroes) {
+  const Addr p = heap.malloc(64);
+  as.write_bytes(p, std::vector<std::uint8_t>(64, 0xFF));
+  heap.free(p);
+  const Addr q = heap.calloc(64, 1);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(as.read8(q + i), 0u) << i;
+}
+
+TEST_F(HeapTest, CallocOverflowGuard) {
+  EXPECT_THROW((void)heap.calloc(static_cast<std::size_t>(-1), 16), HeapError);
+}
+
+TEST_F(HeapTest, HugeRequestFailsCleanly) {
+  // The NULL HTTPD (size_t)(negative int) pattern.
+  EXPECT_THROW((void)heap.malloc(static_cast<std::size_t>(-976)), HeapError);
+  EXPECT_TRUE(heap.audit().empty());
+}
+
+TEST_F(HeapTest, DistinctAllocationsDoNotOverlap) {
+  const Addr a = heap.malloc(40);
+  const Addr b = heap.malloc(40);
+  const Addr c = heap.malloc(40);
+  EXPECT_GE(b, a + 40);
+  EXPECT_GE(c, b + 40);
+}
+
+TEST_F(HeapTest, FreeMakesMemoryReusable) {
+  const Addr a = heap.malloc(128);
+  heap.free(a);
+  const Addr b = heap.malloc(128);
+  EXPECT_EQ(a, b);  // first fit reuses the same spot
+}
+
+TEST_F(HeapTest, DoubleFreeDetected) {
+  const Addr a = heap.malloc(64);
+  heap.malloc(64);  // guard so a does not merge into top
+  heap.free(a);
+  EXPECT_THROW(heap.free(a), HeapError);
+}
+
+TEST_F(HeapTest, FreeOfForeignPointerRejected) {
+  EXPECT_THROW(heap.free(0x20000), HeapError);
+  EXPECT_THROW(heap.free(kHeapBase + kHeapSize + 64), HeapError);
+}
+
+TEST_F(HeapTest, ForwardCoalesceMergesWithNextFreeChunk) {
+  const Addr a = heap.malloc(64);
+  const Addr b = heap.malloc(64);
+  heap.malloc(64);  // plug so b does not merge into top when freed
+  heap.free(b);
+  const auto before = heap.chunks().size();
+  heap.free(a);  // must merge a with b
+  EXPECT_LT(heap.chunks().size(), before + 1);
+  EXPECT_TRUE(heap.audit().empty());
+  EXPECT_GT(heap.stats().coalesces, 0u);
+}
+
+TEST_F(HeapTest, BackwardCoalesceMergesWithPreviousFreeChunk) {
+  const Addr a = heap.malloc(64);
+  const Addr b = heap.malloc(64);
+  heap.malloc(64);
+  heap.free(a);
+  heap.free(b);  // b merges backward into a
+  EXPECT_TRUE(heap.audit().empty());
+  // The merged chunk serves a request as large as both.
+  const Addr c = heap.malloc(140);
+  EXPECT_EQ(c, a);
+}
+
+TEST_F(HeapTest, SplitLeavesAuditCleanRemainder) {
+  const Addr a = heap.malloc(kHeapSize / 4);
+  heap.free(a);
+  const Addr b = heap.malloc(32);  // splits the big free chunk
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(heap.audit().empty());
+  EXPECT_GT(heap.stats().splits, 0u);
+}
+
+TEST_F(HeapTest, FollowingFreeChunkSeesTheTop) {
+  const Addr a = heap.malloc(64);
+  const Addr b = heap.following_free_chunk(a);
+  ASSERT_NE(b, 0u);
+  // fd/bk of the following free chunk are live list pointers.
+  const Addr fd = as.read64(b + ChunkLayout::kFdOffset);
+  const Addr bk = as.read64(b + ChunkLayout::kBkOffset);
+  EXPECT_EQ(fd, heap.bin());
+  EXPECT_EQ(bk, heap.bin());
+}
+
+TEST_F(HeapTest, FollowingFreeChunkIsZeroWhenNextAllocated) {
+  const Addr a = heap.malloc(64);
+  heap.malloc(64);
+  EXPECT_EQ(heap.following_free_chunk(a), 0u);
+}
+
+// --- The exploit mechanics of Figure 4 ---------------------------------
+
+TEST_F(HeapTest, CorruptedFdBkUnlinkIsWriteWhatWhere) {
+  const Addr target_slot = 0x20000;  // pretend GOT slot
+  as.write64(target_slot, 0x10010);  // original function pointer
+  const Addr mcode = 0x20080;        // attacker-chosen value (mapped RW here)
+
+  const Addr a = heap.malloc(224);
+  const Addr b = heap.following_free_chunk(a);
+  ASSERT_NE(b, 0u);
+
+  // The overflow: rewrite B's fd and bk (header fields preserved).
+  as.write64(b + ChunkLayout::kFdOffset, target_slot - ChunkLayout::kBkOffset);
+  as.write64(b + ChunkLayout::kBkOffset, mcode);
+
+  heap.free(a);  // forward coalesce unlinks B: FD->bk = BK
+
+  EXPECT_EQ(as.read64(target_slot), mcode) << "write-what-where did not fire";
+  // And the mirror write BK->fd = FD clobbered mcode+16.
+  EXPECT_EQ(as.read64(mcode + ChunkLayout::kFdOffset),
+            target_slot - ChunkLayout::kBkOffset);
+}
+
+TEST_F(HeapTest, SafeUnlinkDetectsTamperedLinks) {
+  heap.set_safe_unlink(true);
+  const Addr a = heap.malloc(224);
+  const Addr b = heap.following_free_chunk(a);
+  ASSERT_NE(b, 0u);
+  as.write64(b + ChunkLayout::kFdOffset, 0x20000 - ChunkLayout::kBkOffset);
+  as.write64(b + ChunkLayout::kBkOffset, 0x20080);
+  EXPECT_THROW(heap.free(a), HeapError);                // pFSM3 foils
+  EXPECT_EQ(as.read64(0x20000), 0u) << "no write must have happened";
+}
+
+TEST_F(HeapTest, SafeUnlinkPermitsLegitimateOperation) {
+  HeapAllocator safe{as, 0x200000, 0x8000, /*safe_unlink=*/true, "heap2"};
+  const Addr a = safe.malloc(100);
+  const Addr b = safe.malloc(100);
+  safe.free(a);
+  safe.free(b);
+  const Addr c = safe.malloc(180);
+  (void)c;
+  EXPECT_TRUE(safe.audit().empty());
+}
+
+TEST_F(HeapTest, AuditDetectsCorruptSizeField) {
+  const Addr a = heap.malloc(64);
+  heap.malloc(64);
+  as.write64(a - ChunkLayout::kHeader + 8, 0x4141414141414141ull);
+  EXPECT_FALSE(heap.audit().empty());
+}
+
+TEST_F(HeapTest, AuditDetectsTamperedFreeListLinks) {
+  const Addr a = heap.malloc(64);
+  const Addr b = heap.following_free_chunk(a);
+  ASSERT_NE(b, 0u);
+  as.write64(b + ChunkLayout::kBkOffset, 0x20000);
+  const auto findings = heap.audit();
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("tampered"), std::string::npos);
+}
+
+TEST_F(HeapTest, StatsAccumulate) {
+  const Addr a = heap.malloc(10);
+  heap.free(a);
+  EXPECT_EQ(heap.stats().mallocs, 1u);
+  EXPECT_EQ(heap.stats().frees, 1u);
+  EXPECT_GT(heap.stats().unlinks, 0u);
+}
+
+TEST_F(HeapTest, ReallocGrowsAndPreservesContent) {
+  const Addr a = heap.malloc(32);
+  as.write_bytes(a, std::vector<std::uint8_t>{1, 2, 3, 4});
+  const Addr b = heap.realloc(a, 500);
+  EXPECT_GE(heap.usable_size(b), 500u);
+  EXPECT_EQ(as.read_bytes(b, 4), (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(heap.audit().empty());
+}
+
+TEST_F(HeapTest, ReallocShrinksAndTruncates) {
+  const Addr a = heap.malloc(500);
+  as.write_bytes(a, std::vector<std::uint8_t>(500, 0x7E));
+  const Addr b = heap.realloc(a, 16);
+  EXPECT_EQ(as.read8(b + 15), 0x7E);
+  EXPECT_TRUE(heap.audit().empty());
+}
+
+TEST_F(HeapTest, ReallocNullAndZeroEdges) {
+  const Addr a = heap.realloc(0, 64);  // == malloc
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(heap.realloc(a, 0), 0u);  // == free
+  EXPECT_TRUE(heap.audit().empty());
+}
+
+TEST_F(HeapTest, CoalescingIsCompleteAfterFreeingEverything) {
+  // Allocate a pile in mixed sizes, free in an order that exercises both
+  // coalescing directions, then demand one allocation spanning almost the
+  // whole heap: only complete coalescing can satisfy it.
+  std::vector<Addr> ptrs;
+  for (const std::size_t n : {64u, 200u, 32u, 1024u, 16u, 512u, 300u}) {
+    ptrs.push_back(heap.malloc(n));
+  }
+  // Free evens forward, odds backward.
+  for (std::size_t i = 0; i < ptrs.size(); i += 2) heap.free(ptrs[i]);
+  for (std::size_t i = ptrs.size() - (ptrs.size() % 2 ? 0 : 1); i-- > 0;) {
+    if (i % 2 == 1) heap.free(ptrs[i]);
+  }
+  EXPECT_TRUE(heap.audit().empty());
+  const auto chunks = heap.chunks();
+  ASSERT_EQ(chunks.size(), 1u) << "fragmentation survived a full free";
+  EXPECT_TRUE(chunks[0].is_free);
+  // And the single chunk is allocatable as one block.
+  EXPECT_NO_THROW((void)heap.malloc(chunks[0].size - 2 * 16));
+}
+
+TEST(HeapStandalone, TooSmallHeapRejected) {
+  AddressSpace as;
+  EXPECT_THROW((HeapAllocator{as, 0x1000, 64}), std::invalid_argument);
+}
+
+// Property: a mixed alloc/free workload driven by a deterministic pattern
+// leaves the heap audit-clean and all live allocations intact.
+class HeapWorkload : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HeapWorkload, MixedWorkloadKeepsInvariants) {
+  AddressSpace as;
+  HeapAllocator heap{as, kHeapBase, kHeapSize, GetParam() % 2 == 1};
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull * (GetParam() + 1);
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::vector<std::pair<Addr, std::uint8_t>> live;
+  for (int step = 0; step < 400; ++step) {
+    if (live.size() < 4 || next() % 3 != 0) {
+      const std::size_t n = 16 + next() % 600;
+      try {
+        const Addr p = heap.malloc(n);
+        const auto tag = static_cast<std::uint8_t>(next() & 0xFF);
+        as.write_bytes(p, std::vector<std::uint8_t>(heap.usable_size(p), tag));
+        live.emplace_back(p, tag);
+      } catch (const HeapError&) {
+        // exhaustion under fragmentation is legitimate
+      }
+    } else {
+      const std::size_t idx = next() % live.size();
+      heap.free(live[idx].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_TRUE(heap.audit().empty()) << "step " << step;
+  }
+  // Every live allocation still holds its tag (no overlap ever happened).
+  for (const auto& [p, tag] : live) {
+    EXPECT_EQ(as.read8(p), tag);
+    EXPECT_EQ(as.read8(p + heap.usable_size(p) - 1), tag);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapWorkload, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace dfsm::memsim

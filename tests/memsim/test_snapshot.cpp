@@ -1,0 +1,90 @@
+#include "memsim/snapshot.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::memsim {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() {
+    as.map("got", 0x20000, 0x100, Perm::kRW);
+    as.map("data", 0x30000, 0x100, Perm::kRW);
+    as.write64(0x20000, 0x10000);  // a bound function pointer
+    as.write64(0x20008, 0x10010);
+  }
+  AddressSpace as;
+};
+
+TEST_F(SnapshotTest, FreshSnapshotReportsUnchanged) {
+  const auto snap = MemorySnapshot::capture(as);
+  EXPECT_TRUE(snap.unchanged(as));
+  EXPECT_TRUE(snap.diff(as).empty());
+  EXPECT_EQ(snap.segment_count(), 2u);
+}
+
+TEST_F(SnapshotTest, SingleWriteYieldsOneRegion) {
+  const auto snap = MemorySnapshot::capture(as);
+  as.write64(0x20000, 0x77AB01);  // the GOT corruption
+  const auto regions = snap.diff(as);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].segment, "got");
+  EXPECT_EQ(regions[0].start, 0x20000u);
+  // Only the bytes that actually differ count (high bytes were already 0).
+  EXPECT_LE(regions[0].length, 8u);
+  EXPECT_GE(regions[0].length, 3u);
+}
+
+TEST_F(SnapshotTest, RewritingTheSameValueIsNotAChange) {
+  const auto snap = MemorySnapshot::capture(as);
+  as.write64(0x20000, 0x10000);  // same value
+  EXPECT_TRUE(snap.unchanged(as));
+}
+
+TEST_F(SnapshotTest, DisjointWritesYieldSeparateRegions) {
+  const auto snap = MemorySnapshot::capture(as);
+  as.write8(0x20010, 0xAA);
+  as.write8(0x20020, 0xBB);
+  as.write8(0x30000, 0xCC);
+  const auto regions = snap.diff(as);
+  ASSERT_EQ(regions.size(), 3u);
+  EXPECT_EQ(regions[0].start, 0x20010u);
+  EXPECT_EQ(regions[1].start, 0x20020u);
+  EXPECT_EQ(regions[2].segment, "data");
+}
+
+TEST_F(SnapshotTest, AdjacentChangedBytesCoalesce) {
+  const auto snap = MemorySnapshot::capture(as);
+  as.write_bytes(0x30010, std::vector<std::uint8_t>(16, 0xFF));
+  const auto regions = snap.diff(as);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].length, 16u);
+}
+
+TEST_F(SnapshotTest, ChangedWithinAnswersRangeQueries) {
+  const auto snap = MemorySnapshot::capture(as);
+  as.write8(0x20008, 0x42);
+  EXPECT_TRUE(snap.changed_within(as, 0x20008, 0x20010));
+  EXPECT_TRUE(snap.changed_within(as, 0x20000, 0x20100));
+  EXPECT_FALSE(snap.changed_within(as, 0x20010, 0x20100));
+  EXPECT_FALSE(snap.changed_within(as, 0x30000, 0x30100));
+}
+
+TEST_F(SnapshotTest, SelectiveCaptureIgnoresOtherSegments) {
+  const auto snap = MemorySnapshot::capture(as, {"got"});
+  EXPECT_EQ(snap.segment_count(), 1u);
+  as.write8(0x30000, 0xEE);  // data changes are invisible
+  EXPECT_TRUE(snap.unchanged(as));
+  as.write8(0x20000, 0xEE);
+  EXPECT_FALSE(snap.unchanged(as));
+}
+
+TEST_F(SnapshotTest, RemappedSegmentsAreSkippedNotMisreported) {
+  auto snap = MemorySnapshot::capture(as);
+  AddressSpace other;
+  other.map("got", 0x50000, 0x100, Perm::kRW);  // different base
+  EXPECT_TRUE(snap.diff(other).empty());
+}
+
+}  // namespace
+}  // namespace dfsm::memsim

@@ -1,0 +1,113 @@
+#include "memsim/stack.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::memsim {
+namespace {
+
+constexpr Addr kBase = 0x200000;
+constexpr std::size_t kSize = 0x4000;
+
+class StackTest : public ::testing::Test {
+ protected:
+  AddressSpace as;
+};
+
+TEST_F(StackTest, FrameLayoutPlacesBufferBelowReturnAddress) {
+  Stack st{as, kBase, kSize};
+  const auto f = st.push_frame("Log", 0x10040, {{"temp", 200}});
+  EXPECT_EQ(f.ret_slot, kBase + kSize - 8);
+  EXPECT_FALSE(f.canary_slot);
+  const Addr temp = f.locals.at("temp");
+  // temp + 200 runs exactly into the ret slot: the stack-smash geometry.
+  EXPECT_EQ(temp + 200, f.ret_slot);
+  EXPECT_EQ(st.sp(), temp);
+  EXPECT_EQ(as.read64(f.ret_slot), 0x10040u);
+}
+
+TEST_F(StackTest, CanaryFrameInsertsGuardWord) {
+  Stack st{as, kBase, kSize, /*canaries=*/true};
+  const auto f = st.push_frame("Log", 0x10040, {{"temp", 200}});
+  ASSERT_TRUE(f.canary_slot);
+  EXPECT_EQ(*f.canary_slot, f.ret_slot - 8);
+  EXPECT_EQ(f.locals.at("temp") + 200, *f.canary_slot);
+  EXPECT_EQ(as.read64(*f.canary_slot), st.canary_value());
+}
+
+TEST_F(StackTest, LocalsAreEightByteAlignedAndOrdered) {
+  Stack st{as, kBase, kSize};
+  const auto f = st.push_frame("f", 0x10040, {{"a", 13}, {"b", 8}});
+  // a (aligned to 16) sits just below the ret slot, b below a.
+  EXPECT_EQ(f.locals.at("a") + 16, f.ret_slot);
+  EXPECT_EQ(f.locals.at("b") + 8, f.locals.at("a"));
+  EXPECT_EQ(f.low, f.locals.at("b"));
+}
+
+TEST_F(StackTest, CleanPopReturnsPushedAddress) {
+  Stack st{as, kBase, kSize, true};
+  const auto f = st.push_frame("f", 0x10040, {{"x", 8}});
+  const auto r = st.pop_frame(f);
+  EXPECT_EQ(r.return_address, 0x10040u);
+  EXPECT_TRUE(r.canary_intact);
+  EXPECT_FALSE(r.ret_modified);
+  EXPECT_EQ(st.depth(), 0u);
+  EXPECT_EQ(st.sp(), kBase + kSize);
+}
+
+TEST_F(StackTest, SmashedReturnAddressIsReadBack) {
+  Stack st{as, kBase, kSize};
+  const auto f = st.push_frame("f", 0x10040, {{"buf", 16}});
+  as.write64(f.ret_slot, 0x77AB01);  // the overflow's effect
+  EXPECT_EQ(st.saved_return(f), 0x77AB01u);
+  const auto r = st.pop_frame(f);
+  EXPECT_EQ(r.return_address, 0x77AB01u);
+  EXPECT_TRUE(r.ret_modified);
+  EXPECT_TRUE(r.canary_intact);  // no canary configured
+}
+
+TEST_F(StackTest, SmashedCanaryDetectedOnPop) {
+  Stack st{as, kBase, kSize, true};
+  const auto f = st.push_frame("f", 0x10040, {{"buf", 16}});
+  as.write64(*f.canary_slot, 0x4141414141414141ull);
+  const auto r = st.pop_frame(f);
+  EXPECT_FALSE(r.canary_intact);
+}
+
+TEST_F(StackTest, NestedFramesPopInLifoOrder) {
+  Stack st{as, kBase, kSize};
+  const auto f1 = st.push_frame("outer", 0x10040, {{"a", 8}});
+  const auto f2 = st.push_frame("inner", 0x10050, {{"b", 8}});
+  EXPECT_EQ(st.depth(), 2u);
+  EXPECT_LT(f2.ret_slot, f1.low);  // inner frame strictly below outer
+  EXPECT_THROW((void)st.pop_frame(f1), std::logic_error);  // not innermost
+  EXPECT_EQ(st.pop_frame(f2).return_address, 0x10050u);
+  EXPECT_EQ(st.pop_frame(f1).return_address, 0x10040u);
+}
+
+TEST_F(StackTest, PopOnEmptyStackThrows) {
+  Stack st{as, kBase, kSize};
+  Frame bogus;
+  EXPECT_THROW((void)st.pop_frame(bogus), std::logic_error);
+}
+
+TEST_F(StackTest, ZeroSizedLocalRejected) {
+  Stack st{as, kBase, kSize};
+  EXPECT_THROW((void)st.push_frame("f", 0x10040, {{"z", 0}}),
+               std::invalid_argument);
+}
+
+TEST_F(StackTest, ExhaustionFaults) {
+  Stack st{as, kBase, 0x100};
+  EXPECT_THROW((void)st.push_frame("big", 0x10040, {{"huge", 0x200}}),
+               MemoryFault);
+}
+
+TEST_F(StackTest, LocalsAreOrdinaryMemory) {
+  Stack st{as, kBase, kSize};
+  const auto f = st.push_frame("f", 0x10040, {{"buf", 32}});
+  as.write_string(f.locals.at("buf"), "payload");
+  EXPECT_EQ(as.read_cstring(f.locals.at("buf")), "payload");
+}
+
+}  // namespace
+}  // namespace dfsm::memsim

@@ -1,0 +1,72 @@
+#include "netsim/bytestream.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::netsim {
+namespace {
+
+TEST(ByteStream, RecvReturnsQueuedBytesUpToMax) {
+  ByteStream s;
+  s.send(std::string("abcdef"));
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(s.recv(buf, 4), 4);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{'a', 'b', 'c', 'd'}));
+  EXPECT_EQ(s.recv(buf, 4), 2);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{'e', 'f'}));
+}
+
+TEST(ByteStream, EmptyStreamReportsEof) {
+  ByteStream s;
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(s.recv(buf, 16), 0);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(ByteStream, PendingTracksQueueDepth) {
+  ByteStream s;
+  EXPECT_EQ(s.pending(), 0u);
+  s.send(std::string("xyz"));
+  EXPECT_EQ(s.pending(), 3u);
+  std::vector<std::uint8_t> buf;
+  (void)s.recv(buf, 2);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(ByteStream, SpanSendMatchesStringSend) {
+  ByteStream s;
+  const std::vector<std::uint8_t> bytes{0, 1, 255};
+  s.send(bytes);
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(s.recv(buf, 16), 3);
+  EXPECT_EQ(buf, bytes);
+}
+
+TEST(ByteStream, ErrorIsOneShotAndPrecedesData) {
+  ByteStream s;
+  s.send(std::string("keep"));
+  s.inject_error();
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(s.recv(buf, 16), -1);
+  EXPECT_EQ(s.recv(buf, 16), 4);
+}
+
+TEST(ByteStream, CloseWriteFlagVisible) {
+  ByteStream s;
+  EXPECT_FALSE(s.write_closed());
+  s.close_write();
+  EXPECT_TRUE(s.write_closed());
+}
+
+TEST(ByteStream, BinaryBytesSurviveRoundTrip) {
+  ByteStream s;
+  std::vector<std::uint8_t> all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  s.send(all);
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(s.recv(buf, 256), 256);
+  EXPECT_EQ(buf, all);
+}
+
+}  // namespace
+}  // namespace dfsm::netsim

@@ -1,0 +1,74 @@
+#include "netsim/decode.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::netsim {
+namespace {
+
+TEST(PercentDecode, BasicEscapes) {
+  EXPECT_EQ(percent_decode("%2f"), "/");
+  EXPECT_EQ(percent_decode("%2F"), "/");
+  EXPECT_EQ(percent_decode("%25"), "%");
+  EXPECT_EQ(percent_decode("a%20b"), "a b");
+  EXPECT_EQ(percent_decode("plain"), "plain");
+}
+
+TEST(PercentDecode, MalformedEscapesPassThrough) {
+  EXPECT_EQ(percent_decode("%zz"), "%zz");
+  EXPECT_EQ(percent_decode("%2"), "%2");
+  EXPECT_EQ(percent_decode("%"), "%");
+  EXPECT_EQ(percent_decode("100%"), "100%");
+}
+
+TEST(PercentDecode, TheIisDoubleDecodeChain) {
+  // Paper footnote 10: "%25" -> '%', "%2f" -> '/', so "..%252f" becomes
+  // "..%2f" after the first decoding and "../" after the second.
+  EXPECT_EQ(percent_decode("..%252f"), "..%2f");
+  EXPECT_EQ(percent_decode("..%2f"), "../");
+  EXPECT_EQ(percent_decode_twice("..%252f"), "../");
+}
+
+TEST(ContainsDotdot, DetectsTraversals) {
+  EXPECT_TRUE(contains_dotdot("../x"));
+  EXPECT_TRUE(contains_dotdot("a/../b"));
+  EXPECT_TRUE(contains_dotdot("a/.."));
+  EXPECT_TRUE(contains_dotdot(".."));
+  EXPECT_TRUE(contains_dotdot("..\\windows"));
+  EXPECT_FALSE(contains_dotdot("..%2f"));  // the encoded form slips through
+  EXPECT_FALSE(contains_dotdot("a..b/c"));
+  EXPECT_FALSE(contains_dotdot("normal/path"));
+  EXPECT_FALSE(contains_dotdot("trailing.."));  // not a path component
+}
+
+TEST(LexicallyNormalize, CollapsesDotAndDotdot) {
+  EXPECT_EQ(lexically_normalize("/a/b/../c"), "/a/c");
+  EXPECT_EQ(lexically_normalize("/a/./b"), "/a/b");
+  EXPECT_EQ(lexically_normalize("a//b"), "a/b");
+  EXPECT_EQ(lexically_normalize("/"), "/");
+  EXPECT_EQ(lexically_normalize(""), ".");
+}
+
+TEST(LexicallyNormalize, RootEscapesAreClamped) {
+  // POSIX: /.. at the root stays at the root.
+  EXPECT_EQ(lexically_normalize("/../etc/passwd"), "/etc/passwd");
+  EXPECT_EQ(lexically_normalize("/dev/../etc/passwd"), "/etc/passwd");
+}
+
+TEST(LexicallyNormalize, RelativeEscapesPreserved) {
+  EXPECT_EQ(lexically_normalize("../x"), "../x");
+  EXPECT_EQ(lexically_normalize("a/../../x"), "../x");
+}
+
+TEST(StaysUnder, ContainmentJudgments) {
+  EXPECT_TRUE(stays_under("/wwwroot/scripts", "hello.cgi"));
+  EXPECT_TRUE(stays_under("/wwwroot/scripts", "sub/dir/tool.cgi"));
+  EXPECT_TRUE(stays_under("/wwwroot/scripts", "a/../b.cgi"));
+  EXPECT_FALSE(stays_under("/wwwroot/scripts", "../secret"));
+  EXPECT_FALSE(stays_under("/wwwroot/scripts", "../../winnt/system32/cmd.exe"));
+  // Prefix trickery: /wwwroot/scripts-evil is NOT under /wwwroot/scripts.
+  EXPECT_FALSE(stays_under("/wwwroot/scripts", "../scripts-evil/x"));
+  EXPECT_TRUE(stays_under("/wwwroot/scripts", "."));
+}
+
+}  // namespace
+}  // namespace dfsm::netsim

@@ -1,0 +1,95 @@
+#include "netsim/http.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::netsim {
+namespace {
+
+TEST(Atoi32, ParsesPlainIntegers) {
+  EXPECT_EQ(atoi32("0"), 0);
+  EXPECT_EQ(atoi32("1024"), 1024);
+  EXPECT_EQ(atoi32("-800"), -800);
+  EXPECT_EQ(atoi32("  42"), 42);
+  EXPECT_EQ(atoi32("+7"), 7);
+  EXPECT_EQ(atoi32("12abc"), 12);   // C atoi stops at the first non-digit
+  EXPECT_EQ(atoi32("abc"), 0);
+}
+
+TEST(Atoi32, WrapsAtThirtyTwoBits) {
+  // THE root cause of #3163: a value in (2^31, 2^32) wraps negative.
+  EXPECT_EQ(atoi32("2147483647"), 2147483647);
+  EXPECT_EQ(atoi32("2147483648"), -2147483648LL);
+  EXPECT_EQ(atoi32("4294958848"), -8448);
+  EXPECT_EQ(atoi32("4294967295"), -1);
+  EXPECT_EQ(atoi32("4294967296"), 0);  // full wrap
+}
+
+TEST(Atol64, ParsesAndSaturates) {
+  EXPECT_EQ(atol64("4294958848"), 4294958848LL);  // no 32-bit wrap here
+  EXPECT_EQ(atol64("-42"), -42);
+  EXPECT_EQ(atol64("99999999999999999999999"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(atol64("-99999999999999999999999"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(HttpParse, RoundTripThroughSerialize) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/cgi-bin/upload";
+  req.headers["content-length"] = "300";
+  req.headers["host"] = "victim";
+  const std::string raw = serialize(req, "0123456789");
+
+  std::size_t consumed = 0;
+  const auto parsed = parse_head(raw, &consumed);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->path, "/cgi-bin/upload");
+  EXPECT_EQ(parsed->headers.at("content-length"), "300");
+  EXPECT_EQ(raw.substr(consumed), "0123456789");
+}
+
+TEST(HttpParse, HeaderKeysAreCaseInsensitive) {
+  const std::string raw =
+      "POST / HTTP/1.0\r\nContent-Length: -800\r\nX-Other: v\r\n\r\nbody";
+  const auto parsed = parse_head(raw);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->content_length());
+  EXPECT_EQ(*parsed->content_length(), -800);
+}
+
+TEST(HttpParse, MissingContentLengthIsNullopt) {
+  const auto parsed = parse_head("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_FALSE(parsed->content_length());
+}
+
+TEST(HttpParse, ContentLengthUsesAtoiSemantics) {
+  const auto parsed =
+      parse_head("POST / HTTP/1.0\r\ncontent-length: 4294958848\r\n\r\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed->content_length(), -8448);  // silent 32-bit wrap
+}
+
+TEST(HttpParse, IncompleteHeadRejected) {
+  EXPECT_FALSE(parse_head("POST / HTTP/1.0\r\ncontent-length: 3\r\n"));
+  EXPECT_FALSE(parse_head(""));
+}
+
+TEST(HttpParse, MalformedHeaderLineRejected) {
+  EXPECT_FALSE(parse_head("POST / HTTP/1.0\r\nno-colon-here\r\n\r\n"));
+}
+
+TEST(HttpParse, MalformedRequestLineRejected) {
+  EXPECT_FALSE(parse_head("JUSTONE\r\n\r\n"));
+}
+
+TEST(HttpParse, HeaderValuesAreTrimmed) {
+  const auto parsed = parse_head("GET / HTTP/1.0\r\nk:   spaced   \r\n\r\n");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->headers.at("k"), "spaced");
+}
+
+}  // namespace
+}  // namespace dfsm::netsim

@@ -1,0 +1,28 @@
+#!/bin/sh
+# regenerate.sh — build everything, run the full test suite and every
+# benchmark binary, and capture the outputs the repository ships
+# (test_output.txt, bench_output.txt, dot/*.dot).
+#
+#   $ tools/regenerate.sh [build-dir]
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+cmake -B "$BUILD" -G Ninja -S "$ROOT"
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "==================== $(basename "$b") ====================" \
+    | tee -a "$ROOT/bench_output.txt"
+  "$b" 2>&1 | tee -a "$ROOT/bench_output.txt"
+done
+
+"$BUILD/examples/export_dot" "$ROOT/dot"
+
+echo
+echo "Regenerated: test_output.txt, bench_output.txt, dot/*.dot"
