@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7.dir/bench_figure7.cpp.o"
+  "CMakeFiles/bench_figure7.dir/bench_figure7.cpp.o.d"
+  "bench_figure7"
+  "bench_figure7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma.dir/bench_lemma.cpp.o"
+  "CMakeFiles/bench_lemma.dir/bench_lemma.cpp.o.d"
+  "bench_lemma"
+  "bench_lemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

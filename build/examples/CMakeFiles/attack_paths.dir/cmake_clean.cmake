@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_paths.dir/attack_paths.cpp.o"
+  "CMakeFiles/attack_paths.dir/attack_paths.cpp.o.d"
+  "attack_paths"
+  "attack_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

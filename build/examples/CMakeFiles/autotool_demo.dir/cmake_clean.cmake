@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotool_demo.dir/autotool_demo.cpp.o"
+  "CMakeFiles/autotool_demo.dir/autotool_demo.cpp.o.d"
+  "autotool_demo"
+  "autotool_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotool_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

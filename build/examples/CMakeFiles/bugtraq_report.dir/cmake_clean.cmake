@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bugtraq_report.dir/bugtraq_report.cpp.o"
+  "CMakeFiles/bugtraq_report.dir/bugtraq_report.cpp.o.d"
+  "bugtraq_report"
+  "bugtraq_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bugtraq_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

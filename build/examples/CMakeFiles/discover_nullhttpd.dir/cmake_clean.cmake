@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_nullhttpd.dir/discover_nullhttpd.cpp.o"
+  "CMakeFiles/discover_nullhttpd.dir/discover_nullhttpd.cpp.o.d"
+  "discover_nullhttpd"
+  "discover_nullhttpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_nullhttpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_dot.dir/export_dot.cpp.o"
+  "CMakeFiles/export_dot.dir/export_dot.cpp.o.d"
+  "export_dot"
+  "export_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_hunter.dir/race_hunter.cpp.o"
+  "CMakeFiles/race_hunter.dir/race_hunter.cpp.o.d"
+  "race_hunter"
+  "race_hunter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anomaly.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/anomaly.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/anomaly.cpp.o.d"
+  "/root/repo/src/analysis/attack_graph.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/attack_graph.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/attack_graph.cpp.o.d"
+  "/root/repo/src/analysis/autotool.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/autotool.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/autotool.cpp.o.d"
+  "/root/repo/src/analysis/chain_analyzer.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/chain_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/chain_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/defense_matrix.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/defense_matrix.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/defense_matrix.cpp.o.d"
+  "/root/repo/src/analysis/discovery.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/discovery.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/discovery.cpp.o.d"
+  "/root/repo/src/analysis/hidden_path.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/hidden_path.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/hidden_path.cpp.o.d"
+  "/root/repo/src/analysis/metf.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/metf.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/metf.cpp.o.d"
+  "/root/repo/src/analysis/monitor.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/monitor.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/monitor.cpp.o.d"
+  "/root/repo/src/analysis/predicates.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/predicates.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/predicates.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/specs.cpp" "src/analysis/CMakeFiles/dfsm_analysis.dir/specs.cpp.o" "gcc" "src/analysis/CMakeFiles/dfsm_analysis.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dfsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/DependInfo.cmake"
+  "/root/repo/build/src/libcsim/CMakeFiles/dfsm_libcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dfsm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dfsm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssim/CMakeFiles/dfsm_fssim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_analysis.dir/anomaly.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/anomaly.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/attack_graph.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/attack_graph.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/autotool.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/autotool.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/chain_analyzer.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/chain_analyzer.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/defense_matrix.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/defense_matrix.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/discovery.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/discovery.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/hidden_path.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/hidden_path.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/metf.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/metf.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/monitor.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/monitor.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/predicates.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/predicates.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/report.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/dfsm_analysis.dir/specs.cpp.o"
+  "CMakeFiles/dfsm_analysis.dir/specs.cpp.o.d"
+  "libdfsm_analysis.a"
+  "libdfsm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

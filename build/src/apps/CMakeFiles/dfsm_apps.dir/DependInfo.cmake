@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/case_study.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/case_study.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/case_study.cpp.o.d"
+  "/root/repo/src/apps/fmtfamily.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/fmtfamily.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/fmtfamily.cpp.o.d"
+  "/root/repo/src/apps/ghttpd.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/ghttpd.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/ghttpd.cpp.o.d"
+  "/root/repo/src/apps/iis.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/iis.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/iis.cpp.o.d"
+  "/root/repo/src/apps/models.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/models.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/models.cpp.o.d"
+  "/root/repo/src/apps/nullhttpd.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/nullhttpd.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/nullhttpd.cpp.o.d"
+  "/root/repo/src/apps/rpcstatd.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/rpcstatd.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/rpcstatd.cpp.o.d"
+  "/root/repo/src/apps/rwall.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/rwall.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/rwall.cpp.o.d"
+  "/root/repo/src/apps/sandbox.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/sandbox.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/sandbox.cpp.o.d"
+  "/root/repo/src/apps/sendmail.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/sendmail.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/sendmail.cpp.o.d"
+  "/root/repo/src/apps/xterm.cpp" "src/apps/CMakeFiles/dfsm_apps.dir/xterm.cpp.o" "gcc" "src/apps/CMakeFiles/dfsm_apps.dir/xterm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dfsm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/libcsim/CMakeFiles/dfsm_libcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dfsm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssim/CMakeFiles/dfsm_fssim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_apps.dir/case_study.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/case_study.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/fmtfamily.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/fmtfamily.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/ghttpd.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/ghttpd.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/iis.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/iis.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/models.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/models.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/nullhttpd.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/nullhttpd.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/rpcstatd.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/rpcstatd.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/rwall.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/rwall.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/sandbox.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/sandbox.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/sendmail.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/sendmail.cpp.o.d"
+  "CMakeFiles/dfsm_apps.dir/xterm.cpp.o"
+  "CMakeFiles/dfsm_apps.dir/xterm.cpp.o.d"
+  "libdfsm_apps.a"
+  "libdfsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bugtraq/category.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/category.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/category.cpp.o.d"
+  "/root/repo/src/bugtraq/classifier.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/classifier.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/classifier.cpp.o.d"
+  "/root/repo/src/bugtraq/corpus.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/corpus.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/corpus.cpp.o.d"
+  "/root/repo/src/bugtraq/curated.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/curated.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/curated.cpp.o.d"
+  "/root/repo/src/bugtraq/database.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/database.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/database.cpp.o.d"
+  "/root/repo/src/bugtraq/record.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/record.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/record.cpp.o.d"
+  "/root/repo/src/bugtraq/stats.cpp" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/stats.cpp.o" "gcc" "src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

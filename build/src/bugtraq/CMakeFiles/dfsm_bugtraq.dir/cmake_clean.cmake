@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_bugtraq.dir/category.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/category.cpp.o.d"
+  "CMakeFiles/dfsm_bugtraq.dir/classifier.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/classifier.cpp.o.d"
+  "CMakeFiles/dfsm_bugtraq.dir/corpus.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/corpus.cpp.o.d"
+  "CMakeFiles/dfsm_bugtraq.dir/curated.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/curated.cpp.o.d"
+  "CMakeFiles/dfsm_bugtraq.dir/database.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/database.cpp.o.d"
+  "CMakeFiles/dfsm_bugtraq.dir/record.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/record.cpp.o.d"
+  "CMakeFiles/dfsm_bugtraq.dir/stats.cpp.o"
+  "CMakeFiles/dfsm_bugtraq.dir/stats.cpp.o.d"
+  "libdfsm_bugtraq.a"
+  "libdfsm_bugtraq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_bugtraq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/dfsm_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/dfsm_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/operation.cpp" "src/core/CMakeFiles/dfsm_core.dir/operation.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/operation.cpp.o.d"
+  "/root/repo/src/core/pfsm.cpp" "src/core/CMakeFiles/dfsm_core.dir/pfsm.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/pfsm.cpp.o.d"
+  "/root/repo/src/core/predicate.cpp" "src/core/CMakeFiles/dfsm_core.dir/predicate.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/predicate.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/dfsm_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/table.cpp" "src/core/CMakeFiles/dfsm_core.dir/table.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/table.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/dfsm_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/dfsm_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/dfsm_core.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

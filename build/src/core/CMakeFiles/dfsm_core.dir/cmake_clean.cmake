@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_core.dir/chain.cpp.o"
+  "CMakeFiles/dfsm_core.dir/chain.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/model.cpp.o"
+  "CMakeFiles/dfsm_core.dir/model.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/operation.cpp.o"
+  "CMakeFiles/dfsm_core.dir/operation.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/pfsm.cpp.o"
+  "CMakeFiles/dfsm_core.dir/pfsm.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/predicate.cpp.o"
+  "CMakeFiles/dfsm_core.dir/predicate.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/render.cpp.o"
+  "CMakeFiles/dfsm_core.dir/render.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/table.cpp.o"
+  "CMakeFiles/dfsm_core.dir/table.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/trace.cpp.o"
+  "CMakeFiles/dfsm_core.dir/trace.cpp.o.d"
+  "CMakeFiles/dfsm_core.dir/value.cpp.o"
+  "CMakeFiles/dfsm_core.dir/value.cpp.o.d"
+  "libdfsm_core.a"
+  "libdfsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fssim/filesystem.cpp" "src/fssim/CMakeFiles/dfsm_fssim.dir/filesystem.cpp.o" "gcc" "src/fssim/CMakeFiles/dfsm_fssim.dir/filesystem.cpp.o.d"
+  "/root/repo/src/fssim/race.cpp" "src/fssim/CMakeFiles/dfsm_fssim.dir/race.cpp.o" "gcc" "src/fssim/CMakeFiles/dfsm_fssim.dir/race.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

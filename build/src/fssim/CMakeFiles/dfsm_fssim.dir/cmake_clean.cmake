@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_fssim.dir/filesystem.cpp.o"
+  "CMakeFiles/dfsm_fssim.dir/filesystem.cpp.o.d"
+  "CMakeFiles/dfsm_fssim.dir/race.cpp.o"
+  "CMakeFiles/dfsm_fssim.dir/race.cpp.o.d"
+  "libdfsm_fssim.a"
+  "libdfsm_fssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_fssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

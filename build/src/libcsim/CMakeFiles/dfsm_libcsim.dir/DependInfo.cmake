@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libcsim/cstring.cpp" "src/libcsim/CMakeFiles/dfsm_libcsim.dir/cstring.cpp.o" "gcc" "src/libcsim/CMakeFiles/dfsm_libcsim.dir/cstring.cpp.o.d"
+  "/root/repo/src/libcsim/format.cpp" "src/libcsim/CMakeFiles/dfsm_libcsim.dir/format.cpp.o" "gcc" "src/libcsim/CMakeFiles/dfsm_libcsim.dir/format.cpp.o.d"
+  "/root/repo/src/libcsim/io.cpp" "src/libcsim/CMakeFiles/dfsm_libcsim.dir/io.cpp.o" "gcc" "src/libcsim/CMakeFiles/dfsm_libcsim.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/dfsm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dfsm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_libcsim.dir/cstring.cpp.o"
+  "CMakeFiles/dfsm_libcsim.dir/cstring.cpp.o.d"
+  "CMakeFiles/dfsm_libcsim.dir/format.cpp.o"
+  "CMakeFiles/dfsm_libcsim.dir/format.cpp.o.d"
+  "CMakeFiles/dfsm_libcsim.dir/io.cpp.o"
+  "CMakeFiles/dfsm_libcsim.dir/io.cpp.o.d"
+  "libdfsm_libcsim.a"
+  "libdfsm_libcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_libcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dfsm_libcsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/address_space.cpp" "src/memsim/CMakeFiles/dfsm_memsim.dir/address_space.cpp.o" "gcc" "src/memsim/CMakeFiles/dfsm_memsim.dir/address_space.cpp.o.d"
+  "/root/repo/src/memsim/cpu.cpp" "src/memsim/CMakeFiles/dfsm_memsim.dir/cpu.cpp.o" "gcc" "src/memsim/CMakeFiles/dfsm_memsim.dir/cpu.cpp.o.d"
+  "/root/repo/src/memsim/got.cpp" "src/memsim/CMakeFiles/dfsm_memsim.dir/got.cpp.o" "gcc" "src/memsim/CMakeFiles/dfsm_memsim.dir/got.cpp.o.d"
+  "/root/repo/src/memsim/heap.cpp" "src/memsim/CMakeFiles/dfsm_memsim.dir/heap.cpp.o" "gcc" "src/memsim/CMakeFiles/dfsm_memsim.dir/heap.cpp.o.d"
+  "/root/repo/src/memsim/snapshot.cpp" "src/memsim/CMakeFiles/dfsm_memsim.dir/snapshot.cpp.o" "gcc" "src/memsim/CMakeFiles/dfsm_memsim.dir/snapshot.cpp.o.d"
+  "/root/repo/src/memsim/stack.cpp" "src/memsim/CMakeFiles/dfsm_memsim.dir/stack.cpp.o" "gcc" "src/memsim/CMakeFiles/dfsm_memsim.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

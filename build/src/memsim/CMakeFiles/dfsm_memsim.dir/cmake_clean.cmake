@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_memsim.dir/address_space.cpp.o"
+  "CMakeFiles/dfsm_memsim.dir/address_space.cpp.o.d"
+  "CMakeFiles/dfsm_memsim.dir/cpu.cpp.o"
+  "CMakeFiles/dfsm_memsim.dir/cpu.cpp.o.d"
+  "CMakeFiles/dfsm_memsim.dir/got.cpp.o"
+  "CMakeFiles/dfsm_memsim.dir/got.cpp.o.d"
+  "CMakeFiles/dfsm_memsim.dir/heap.cpp.o"
+  "CMakeFiles/dfsm_memsim.dir/heap.cpp.o.d"
+  "CMakeFiles/dfsm_memsim.dir/snapshot.cpp.o"
+  "CMakeFiles/dfsm_memsim.dir/snapshot.cpp.o.d"
+  "CMakeFiles/dfsm_memsim.dir/stack.cpp.o"
+  "CMakeFiles/dfsm_memsim.dir/stack.cpp.o.d"
+  "libdfsm_memsim.a"
+  "libdfsm_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/bytestream.cpp" "src/netsim/CMakeFiles/dfsm_netsim.dir/bytestream.cpp.o" "gcc" "src/netsim/CMakeFiles/dfsm_netsim.dir/bytestream.cpp.o.d"
+  "/root/repo/src/netsim/decode.cpp" "src/netsim/CMakeFiles/dfsm_netsim.dir/decode.cpp.o" "gcc" "src/netsim/CMakeFiles/dfsm_netsim.dir/decode.cpp.o.d"
+  "/root/repo/src/netsim/http.cpp" "src/netsim/CMakeFiles/dfsm_netsim.dir/http.cpp.o" "gcc" "src/netsim/CMakeFiles/dfsm_netsim.dir/http.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfsm_netsim.dir/bytestream.cpp.o"
+  "CMakeFiles/dfsm_netsim.dir/bytestream.cpp.o.d"
+  "CMakeFiles/dfsm_netsim.dir/decode.cpp.o"
+  "CMakeFiles/dfsm_netsim.dir/decode.cpp.o.d"
+  "CMakeFiles/dfsm_netsim.dir/http.cpp.o"
+  "CMakeFiles/dfsm_netsim.dir/http.cpp.o.d"
+  "libdfsm_netsim.a"
+  "libdfsm_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfsm_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

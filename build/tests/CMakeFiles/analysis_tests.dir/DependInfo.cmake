@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_anomaly.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o.d"
+  "/root/repo/tests/analysis/test_attack_graph.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_attack_graph.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_attack_graph.cpp.o.d"
+  "/root/repo/tests/analysis/test_autotool.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_autotool.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_autotool.cpp.o.d"
+  "/root/repo/tests/analysis/test_chain_analyzer.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_chain_analyzer.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_chain_analyzer.cpp.o.d"
+  "/root/repo/tests/analysis/test_defense_matrix.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_defense_matrix.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_defense_matrix.cpp.o.d"
+  "/root/repo/tests/analysis/test_discovery.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_discovery.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_discovery.cpp.o.d"
+  "/root/repo/tests/analysis/test_hidden_path.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_hidden_path.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_hidden_path.cpp.o.d"
+  "/root/repo/tests/analysis/test_metf.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_metf.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_metf.cpp.o.d"
+  "/root/repo/tests/analysis/test_monitor.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_monitor.cpp.o.d"
+  "/root/repo/tests/analysis/test_predicates.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_predicates.cpp.o.d"
+  "/root/repo/tests/analysis/test_report.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_report.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dfsm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/libcsim/CMakeFiles/dfsm_libcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dfsm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssim/CMakeFiles/dfsm_fssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dfsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dfsm_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

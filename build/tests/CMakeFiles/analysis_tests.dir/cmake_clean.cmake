@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_attack_graph.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_attack_graph.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_autotool.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_autotool.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_chain_analyzer.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_chain_analyzer.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_defense_matrix.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_defense_matrix.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_discovery.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_discovery.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_hidden_path.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_hidden_path.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_metf.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_metf.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_monitor.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_monitor.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_predicates.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_predicates.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_report.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_report.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_fmtfamily.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_fmtfamily.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_fmtfamily.cpp.o.d"
+  "/root/repo/tests/apps/test_ghttpd.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_ghttpd.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_ghttpd.cpp.o.d"
+  "/root/repo/tests/apps/test_iis.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_iis.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_iis.cpp.o.d"
+  "/root/repo/tests/apps/test_nullhttpd.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_nullhttpd.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_nullhttpd.cpp.o.d"
+  "/root/repo/tests/apps/test_rpcstatd.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_rpcstatd.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_rpcstatd.cpp.o.d"
+  "/root/repo/tests/apps/test_rwall.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_rwall.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_rwall.cpp.o.d"
+  "/root/repo/tests/apps/test_sendmail.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_sendmail.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_sendmail.cpp.o.d"
+  "/root/repo/tests/apps/test_xterm.cpp" "tests/CMakeFiles/apps_tests.dir/apps/test_xterm.cpp.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/test_xterm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dfsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/dfsm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/libcsim/CMakeFiles/dfsm_libcsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dfsm_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssim/CMakeFiles/dfsm_fssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bugtraq/CMakeFiles/dfsm_bugtraq.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dfsm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dfsm_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/test_fmtfamily.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_fmtfamily.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_ghttpd.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_ghttpd.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_iis.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_iis.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_nullhttpd.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_nullhttpd.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_rpcstatd.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_rpcstatd.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_rwall.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_rwall.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_sendmail.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_sendmail.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/test_xterm.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/test_xterm.cpp.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+  "apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

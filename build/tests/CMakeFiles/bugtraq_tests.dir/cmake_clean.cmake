@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_category.cpp.o"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_category.cpp.o.d"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_classifier.cpp.o"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_classifier.cpp.o.d"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_corpus.cpp.o"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_corpus.cpp.o.d"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_database.cpp.o"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_database.cpp.o.d"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_stats.cpp.o"
+  "CMakeFiles/bugtraq_tests.dir/bugtraq/test_stats.cpp.o.d"
+  "bugtraq_tests"
+  "bugtraq_tests.pdb"
+  "bugtraq_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bugtraq_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

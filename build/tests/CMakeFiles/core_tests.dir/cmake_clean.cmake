@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_chain.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_chain.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_model.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_model.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_operation.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_operation.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_pfsm.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_pfsm.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_predicate.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_predicate.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_render.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_render.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_table.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_table.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_trace.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_trace.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_value.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_value.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

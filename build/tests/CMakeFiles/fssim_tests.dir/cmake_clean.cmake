@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fssim_tests.dir/fssim/test_filesystem.cpp.o"
+  "CMakeFiles/fssim_tests.dir/fssim/test_filesystem.cpp.o.d"
+  "CMakeFiles/fssim_tests.dir/fssim/test_race.cpp.o"
+  "CMakeFiles/fssim_tests.dir/fssim/test_race.cpp.o.d"
+  "fssim_tests"
+  "fssim_tests.pdb"
+  "fssim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fssim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libcsim_tests.dir/libcsim/test_cstring.cpp.o"
+  "CMakeFiles/libcsim_tests.dir/libcsim/test_cstring.cpp.o.d"
+  "CMakeFiles/libcsim_tests.dir/libcsim/test_format.cpp.o"
+  "CMakeFiles/libcsim_tests.dir/libcsim/test_format.cpp.o.d"
+  "CMakeFiles/libcsim_tests.dir/libcsim/test_io.cpp.o"
+  "CMakeFiles/libcsim_tests.dir/libcsim/test_io.cpp.o.d"
+  "libcsim_tests"
+  "libcsim_tests.pdb"
+  "libcsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libcsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

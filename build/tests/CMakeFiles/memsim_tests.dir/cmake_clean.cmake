@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_tests.dir/memsim/test_address_space.cpp.o"
+  "CMakeFiles/memsim_tests.dir/memsim/test_address_space.cpp.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/test_cpu.cpp.o"
+  "CMakeFiles/memsim_tests.dir/memsim/test_cpu.cpp.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/test_got.cpp.o"
+  "CMakeFiles/memsim_tests.dir/memsim/test_got.cpp.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/test_heap.cpp.o"
+  "CMakeFiles/memsim_tests.dir/memsim/test_heap.cpp.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/test_snapshot.cpp.o"
+  "CMakeFiles/memsim_tests.dir/memsim/test_snapshot.cpp.o.d"
+  "CMakeFiles/memsim_tests.dir/memsim/test_stack.cpp.o"
+  "CMakeFiles/memsim_tests.dir/memsim/test_stack.cpp.o.d"
+  "memsim_tests"
+  "memsim_tests.pdb"
+  "memsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

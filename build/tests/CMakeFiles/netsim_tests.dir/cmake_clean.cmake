@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_tests.dir/netsim/test_bytestream.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/test_bytestream.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/test_decode.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/test_decode.cpp.o.d"
+  "CMakeFiles/netsim_tests.dir/netsim/test_http.cpp.o"
+  "CMakeFiles/netsim_tests.dir/netsim/test_http.cpp.o.d"
+  "netsim_tests"
+  "netsim_tests.pdb"
+  "netsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
