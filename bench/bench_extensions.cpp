@@ -4,14 +4,24 @@
 // generation. Prints the artifacts, then benchmarks each engine.
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
 #include "analysis/anomaly.h"
 #include "analysis/attack_graph.h"
 #include "analysis/autotool.h"
+#include "analysis/discovery.h"
+#include "analysis/hidden_path.h"
 #include "analysis/metf.h"
+#include "analysis/predicates.h"
 #include "apps/models.h"
 #include "apps/nullhttpd.h"
 #include "apps/xterm.h"
+#include "bugtraq/corpus.h"
+#include "bugtraq/database.h"
 #include "core/table.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -145,6 +155,119 @@ void BM_AnomalyScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnomalyScore);
+
+// --- Serial-vs-parallel pairs over the runtime (src/runtime/) ----------
+//
+// Each benchmark takes the worker count as its argument: Arg(1) pins the
+// global pool to serial fallback, Arg(kParallelThreads) uses the
+// hardware. The workloads are the three wired hot paths; equivalence
+// tests (tests/runtime/) assert the outputs are byte-identical, so these
+// measure pure speedup. UseRealTime: the work happens on pool workers,
+// so wall clock is the honest metric.
+
+const int kParallelThreads = static_cast<int>(
+    std::max(2u, std::thread::hardware_concurrency()));
+
+void set_pool_threads(std::int64_t threads) {
+  runtime::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+}
+
+void restore_pool() {
+  runtime::ThreadPool::set_global_threads(
+      runtime::ThreadPool::default_threads());
+}
+
+/// A probe-hunt campaign an order of magnitude heavier than the paper's
+/// specs: `activities` boundary-checked activities, each hunted over a
+/// dense integer domain of `domain` objects.
+VulnerabilitySpec bench_campaign_spec(std::size_t activities,
+                                      std::int64_t domain) {
+  VulnerabilitySpec spec;
+  spec.name = "bench probe-hunt campaign";
+  spec.vulnerability_class = "Integer Overflow";
+  spec.software = "bench";
+  spec.consequence = "n/a";
+  OperationSpec op;
+  op.name = "sweep every bounds-checked input";
+  op.object_description = "input integers";
+  op.gate_condition = "n/a";
+  for (std::size_t i = 0; i < activities; ++i) {
+    const std::string pname = "pFSM" + std::to_string(i + 1);
+    op.activities.push_back(ActivitySpec{
+        pname, core::PfsmType::kContentAttributeCheck, "bounds-check x",
+        predicates::int_in_range("x", 0, 100), ActivitySpec::Impl::kCustom,
+        predicates::int_at_most("x", 100), "use x"});
+    spec.probe_domains[pname] =
+        int_range_domain("x", "x", -domain / 2, domain / 2);
+  }
+  spec.operations = {std::move(op)};
+  return spec;
+}
+
+void BM_AutoToolProbeHunt(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto spec = bench_campaign_spec(/*activities=*/16, /*domain=*/1 << 13);
+  for (auto _ : state) {
+    auto report = AutoTool::analyze(spec);
+    benchmark::DoNotOptimize(report.vulnerable());
+  }
+  restore_pool();
+}
+BENCHMARK(BM_AutoToolProbeHunt)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CorpusSweep(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto db = bugtraq::synthetic_corpus();
+  for (auto _ : state) {
+    // The templated hot path: a content scan over all 5925 records.
+    auto n = db.count([](const bugtraq::VulnRecord& r) {
+      return r.remote && r.description.find("overflow") != std::string::npos;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+  restore_pool();
+}
+BENCHMARK(BM_CorpusSweep)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CorpusHistogramRebuild(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto db = bugtraq::synthetic_corpus();
+  for (auto _ : state) {
+    state.PauseTiming();
+    bugtraq::Database copy{db};  // fresh cache: measure the columnar sweep
+    state.ResumeTiming();
+    auto hist = copy.count_by_category();
+    benchmark::DoNotOptimize(hist.size());
+  }
+  restore_pool();
+}
+BENCHMARK(BM_CorpusHistogramRebuild)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DiscoveryCampaign(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  for (auto _ : state) {
+    auto report = probe_nullhttpd_v051();
+    benchmark::DoNotOptimize(report.found_new_vulnerability);
+  }
+  restore_pool();
+}
+BENCHMARK(BM_DiscoveryCampaign)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_AttackGraphBuild(benchmark::State& state) {
   // A larger synthetic enterprise: a chain of n subnets.

@@ -6,6 +6,7 @@
 #include "analysis/hidden_path.h"
 #include "analysis/predicates.h"
 #include "core/render.h"
+#include "runtime/parallel.h"
 
 namespace dfsm::analysis {
 
@@ -55,26 +56,40 @@ core::FsmModel AutoTool::assemble(const VulnerabilitySpec& spec) {
 
 AutoToolReport AutoTool::analyze(const VulnerabilitySpec& spec) {
   AutoToolReport report{assemble(spec), {}};
+
+  // Flatten the (operation, pFSM) pairs so every probe hunt — the hot
+  // part, one domain scan per probed activity — fans out across the
+  // runtime pool. parallel_map keeps findings in flattening order, so
+  // the report is byte-identical to the serial walk at any thread count.
+  struct Item {
+    const core::Operation* op;
+    const core::Pfsm* pfsm;
+  };
+  std::vector<Item> items;
   for (const auto& op : report.model.chain().operations()) {
-    for (const auto& p : op.pfsms()) {
-      AutoToolFinding f;
-      f.operation = op.name();
-      f.pfsm_name = p.name();
-      f.type = p.type();
-      f.declared_secure = p.declared_secure();
-      auto it = spec.probe_domains.find(p.name());
-      if (it != spec.probe_domains.end()) {
-        f.probed = true;
-        const auto hp = detect_hidden_path(p, it->second, /*max_witnesses=*/1);
-        f.domain_size = hp.domain_size;
-        f.hidden_path = hp.vulnerable();
-        if (!hp.witnesses.empty()) {
-          f.sample_witness = hp.witnesses.front().describe();
-        }
-      }
-      report.findings.push_back(std::move(f));
-    }
+    for (const auto& p : op.pfsms()) items.push_back({&op, &p});
   }
+
+  report.findings = runtime::parallel_map<AutoToolFinding>(
+      items.size(), [&](std::size_t i) {
+        const auto& [op, p] = items[i];
+        AutoToolFinding f;
+        f.operation = op->name();
+        f.pfsm_name = p->name();
+        f.type = p->type();
+        f.declared_secure = p->declared_secure();
+        auto it = spec.probe_domains.find(p->name());
+        if (it != spec.probe_domains.end()) {
+          f.probed = true;
+          const auto hp = detect_hidden_path(*p, it->second, /*max_witnesses=*/1);
+          f.domain_size = hp.domain_size;
+          f.hidden_path = hp.vulnerable();
+          if (!hp.witnesses.empty()) {
+            f.sample_witness = hp.witnesses.front().describe();
+          }
+        }
+        return f;
+      });
   return report;
 }
 

@@ -1,6 +1,7 @@
 #include "analysis/discovery.h"
 
 #include "apps/nullhttpd.h"
+#include "runtime/parallel.h"
 
 namespace dfsm::analysis {
 
@@ -13,7 +14,14 @@ DiscoveryReport run_campaign(std::string configuration,
 
   // Boundary-value probe plan: truthful contentLen values, body lengths
   // straddling both contentLen and the derived buffer size, plus the
-  // known-bad negative contentLen as a control.
+  // known-bad negative contentLen as a control. The plan is laid out
+  // serially (the per-contentLen scout is cheap and feeds the body-length
+  // grid) so the probe order is fixed before any probe fires.
+  struct PlannedProbe {
+    std::int32_t content_len;
+    std::size_t body_len;
+  };
+  std::vector<PlannedProbe> plan;
   const std::int32_t content_lens[] = {-800, 0, 1, 100, 1000, 2048};
   for (std::int32_t cl : content_lens) {
     std::size_t buffer = 0;
@@ -32,23 +40,34 @@ DiscoveryReport run_campaign(std::string configuration,
         buffer + 64,
         buffer + 1024,
     };
-    for (std::size_t bl : body_lens) {
-      apps::NullHttpd server{checks};
-      const auto r = server.handle_post(cl, std::string(bl, 'A'));
+    for (std::size_t bl : body_lens) plan.push_back({cl, bl});
+  }
 
-      DiscoveryProbe probe;
-      probe.content_len = cl;
-      probe.body_len = bl;
-      probe.buffer_size = r.postdata_usable;
-      probe.bytes_read = r.bytes_read;
-      probe.rejected = r.rejected;
-      probe.predicate_violated = r.heap_overflowed;
-      probe.note = r.detail;
-      if (probe.predicate_violated) {
-        ++report.violations;
-        if (cl >= 0) report.found_new_vulnerability = true;
-      }
-      report.probes.push_back(std::move(probe));
+  // Fire the grid across the runtime pool — every probe gets its own
+  // simulated server, so probes are independent; parallel_map keeps them
+  // in plan order and the verdict pass below stays serial, making the
+  // report byte-identical to the serial campaign.
+  report.probes = runtime::parallel_map<DiscoveryProbe>(
+      plan.size(), [&](std::size_t i) {
+        apps::NullHttpd server{checks};
+        const auto r =
+            server.handle_post(plan[i].content_len,
+                               std::string(plan[i].body_len, 'A'));
+        DiscoveryProbe probe;
+        probe.content_len = plan[i].content_len;
+        probe.body_len = plan[i].body_len;
+        probe.buffer_size = r.postdata_usable;
+        probe.bytes_read = r.bytes_read;
+        probe.rejected = r.rejected;
+        probe.predicate_violated = r.heap_overflowed;
+        probe.note = r.detail;
+        return probe;
+      });
+
+  for (const auto& probe : report.probes) {
+    if (probe.predicate_violated) {
+      ++report.violations;
+      if (probe.content_len >= 0) report.found_new_vulnerability = true;
     }
   }
 

@@ -80,7 +80,12 @@ void Database::add(VulnRecord record) {
     throw std::invalid_argument("duplicate Bugtraq ID: " + std::to_string(record.id));
   }
   if (record.id != 0) index_[record.id] = records_.size();
+  category_col_.push_back(record.category);
+  class_col_.push_back(record.vuln_class);
+  remote_col_.push_back(record.remote ? 1 : 0);
   records_.push_back(std::move(record));
+  std::lock_guard<std::mutex> lock{cache_->mu};
+  cache_->valid = false;
 }
 
 const VulnRecord* Database::by_id(int id) const {
@@ -91,32 +96,64 @@ const VulnRecord* Database::by_id(int id) const {
 
 std::vector<const VulnRecord*> Database::query(
     const std::function<bool(const VulnRecord&)>& pred) const {
-  std::vector<const VulnRecord*> out;
-  for (const auto& r : records_) {
-    if (pred(r)) out.push_back(&r);
-  }
-  return out;
+  return query<const std::function<bool(const VulnRecord&)>&>(pred);
 }
 
 std::size_t Database::count(
     const std::function<bool(const VulnRecord&)>& pred) const {
-  std::size_t n = 0;
-  for (const auto& r : records_) {
-    if (pred(r)) ++n;
+  return count<const std::function<bool(const VulnRecord&)>&>(pred);
+}
+
+void Database::ensure_histograms(
+    std::array<std::size_t, kCategoryCount>* categories,
+    std::array<std::size_t, kVulnClassCount>* classes) const {
+  std::lock_guard<std::mutex> lock{cache_->mu};
+  if (!cache_->valid) {
+    struct Hist {
+      std::array<std::size_t, kCategoryCount> cat{};
+      std::array<std::size_t, kVulnClassCount> cls{};
+    };
+    const auto& cat_col = category_col_;
+    const auto& cls_col = class_col_;
+    const Hist h = runtime::parallel_reduce(
+        cat_col.size(), Hist{},
+        [&](std::size_t begin, std::size_t end) {
+          Hist local;
+          for (std::size_t i = begin; i < end; ++i) {
+            ++local.cat[static_cast<std::size_t>(cat_col[i])];
+            ++local.cls[static_cast<std::size_t>(cls_col[i])];
+          }
+          return local;
+        },
+        [](Hist& acc, const Hist& part) {
+          for (std::size_t k = 0; k < kCategoryCount; ++k)
+            acc.cat[k] += part.cat[k];
+          for (std::size_t k = 0; k < kVulnClassCount; ++k)
+            acc.cls[k] += part.cls[k];
+        });
+    cache_->by_category = h.cat;
+    cache_->by_class = h.cls;
+    cache_->valid = true;
   }
-  return n;
+  if (categories) *categories = cache_->by_category;
+  if (classes) *classes = cache_->by_class;
 }
 
 std::map<Category, std::size_t> Database::count_by_category() const {
+  std::array<std::size_t, kCategoryCount> counts{};
+  ensure_histograms(&counts, nullptr);
   std::map<Category, std::size_t> out;
-  for (Category c : kAllCategories) out[c] = 0;
-  for (const auto& r : records_) ++out[r.category];
+  for (Category c : kAllCategories) out[c] = counts[static_cast<std::size_t>(c)];
   return out;
 }
 
 std::map<VulnClass, std::size_t> Database::count_by_class() const {
+  std::array<std::size_t, kVulnClassCount> counts{};
+  ensure_histograms(nullptr, &counts);
   std::map<VulnClass, std::size_t> out;
-  for (const auto& r : records_) ++out[r.vuln_class];
+  for (std::size_t k = 0; k < kVulnClassCount; ++k) {
+    if (counts[k] != 0) out[static_cast<VulnClass>(k)] = counts[k];
+  }
   return out;
 }
 

@@ -2,22 +2,55 @@
 // round-trip. Stands in for the Bugtraq list at securityfocus.com, which
 // the paper chose "because its vulnerability reports are better organized
 // and more amenable to automatic processing and statistical study".
+//
+// Storage is row-major (`records_`) plus columnar category/class/remote
+// vectors grown in add(): statistics sweeps touch 1 byte-ish columns
+// instead of ~200-byte records, and the histogram sweeps shard across the
+// parallel runtime (runtime/parallel.h) with per-shard accumulators
+// merged in index order — results are byte-identical to a serial walk at
+// any thread count. Histograms are cached and invalidated on mutation.
 #ifndef DFSM_BUGTRAQ_DATABASE_H
 #define DFSM_BUGTRAQ_DATABASE_H
 
+#include <array>
+#include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bugtraq/record.h"
+#include "runtime/parallel.h"
 
 namespace dfsm::bugtraq {
 
 class Database {
  public:
   Database() = default;
+
+  /// Copies carry the data, not the cache (it refills on first use).
+  Database(const Database& other)
+      : records_(other.records_),
+        index_(other.index_),
+        category_col_(other.category_col_),
+        class_col_(other.class_col_),
+        remote_col_(other.remote_col_) {}
+  Database& operator=(const Database& other) {
+    if (this != &other) {
+      records_ = other.records_;
+      index_ = other.index_;
+      category_col_ = other.category_col_;
+      class_col_ = other.class_col_;
+      remote_col_ = other.remote_col_;
+      cache_ = std::make_unique<HistCache>();
+    }
+    return *this;
+  }
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
 
   /// Adds a record. Throws std::invalid_argument on a duplicate non-zero
   /// Bugtraq ID (real IDs are unique).
@@ -28,20 +61,72 @@ class Database {
     return records_;
   }
 
+  /// Columnar projections, index-parallel to records(). Hot sweeps
+  /// (histograms, remote/local splits) read these instead of records_.
+  [[nodiscard]] const std::vector<Category>& categories() const noexcept {
+    return category_col_;
+  }
+  [[nodiscard]] const std::vector<VulnClass>& classes() const noexcept {
+    return class_col_;
+  }
+  [[nodiscard]] const std::vector<unsigned char>& remote_flags() const noexcept {
+    return remote_col_;
+  }
+
   /// Lookup by Bugtraq ID (non-zero IDs only).
   [[nodiscard]] const VulnRecord* by_id(int id) const;
 
-  /// All records matching a predicate.
+  /// All records matching a predicate, in insertion order. The sweep is
+  /// sharded across the runtime pool; per-shard hit lists concatenate in
+  /// shard order, so the result equals the serial scan exactly.
+  template <typename Pred>
+  [[nodiscard]] std::vector<const VulnRecord*> query(Pred&& pred) const {
+    const auto& recs = records_;
+    return runtime::parallel_reduce(
+        recs.size(), std::vector<const VulnRecord*>{},
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<const VulnRecord*> hits;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (pred(recs[i])) hits.push_back(&recs[i]);
+          }
+          return hits;
+        },
+        [](std::vector<const VulnRecord*>& acc,
+           std::vector<const VulnRecord*>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        });
+  }
+
+  template <typename Pred>
+  [[nodiscard]] std::size_t count(Pred&& pred) const {
+    const auto& recs = records_;
+    return runtime::parallel_reduce(
+        recs.size(), std::size_t{0},
+        [&](std::size_t begin, std::size_t end) {
+          std::size_t n = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (pred(recs[i])) ++n;
+          }
+          return n;
+        },
+        [](std::size_t& acc, std::size_t part) { acc += part; });
+  }
+
+  /// Type-erased forms kept for existing callers; they delegate to the
+  /// templated overloads above (one std::function indirection per record
+  /// instead of per call site).
   [[nodiscard]] std::vector<const VulnRecord*> query(
       const std::function<bool(const VulnRecord&)>& pred) const;
-
   [[nodiscard]] std::size_t count(
       const std::function<bool(const VulnRecord&)>& pred) const;
 
   /// Histogram over categories (every category present, possibly 0).
+  /// Served from the cache; a miss shards the columnar sweep across the
+  /// runtime pool.
   [[nodiscard]] std::map<Category, std::size_t> count_by_category() const;
 
-  /// Histogram over vulnerability classes.
+  /// Histogram over vulnerability classes (only classes with a non-zero
+  /// count appear, matching the historical row-walk behavior).
   [[nodiscard]] std::map<VulnClass, std::size_t> count_by_class() const;
 
   /// CSV serialization: header + one line per record (activities joined
@@ -56,8 +141,24 @@ class Database {
   void merge(const Database& other);
 
  private:
+  struct HistCache {
+    std::mutex mu;
+    bool valid = false;
+    std::array<std::size_t, kCategoryCount> by_category{};
+    std::array<std::size_t, kVulnClassCount> by_class{};
+  };
+
+  /// Fills the cache if stale; returns it locked-consistent by value
+  /// semantics (callers copy the arrays under the lock).
+  void ensure_histograms(std::array<std::size_t, kCategoryCount>* categories,
+                         std::array<std::size_t, kVulnClassCount>* classes) const;
+
   std::vector<VulnRecord> records_;
   std::map<int, std::size_t> index_;  // id -> position, non-zero ids only
+  std::vector<Category> category_col_;
+  std::vector<VulnClass> class_col_;
+  std::vector<unsigned char> remote_col_;
+  mutable std::unique_ptr<HistCache> cache_ = std::make_unique<HistCache>();
 };
 
 }  // namespace dfsm::bugtraq

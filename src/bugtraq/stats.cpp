@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/table.h"
+#include "runtime/parallel.h"
 
 namespace dfsm::bugtraq {
 
@@ -54,17 +55,35 @@ StudiedShare studied_share(const Database& db) {
 }
 
 RemoteLocalSplit remote_local_split(const Database& db) {
+  // Sharded sweep over the 1-byte remote column; per-shard sums merge in
+  // index order (runtime/parallel.h), identical to the serial walk.
+  const auto& remote = db.remote_flags();
   RemoteLocalSplit s;
-  for (const auto& r : db.records()) {
-    if (r.remote) ++s.remote;
-    else ++s.local;
-  }
+  s.remote = runtime::parallel_reduce(
+      remote.size(), std::size_t{0},
+      [&](std::size_t begin, std::size_t end) {
+        std::size_t n = 0;
+        for (std::size_t i = begin; i < end; ++i) n += remote[i] != 0;
+        return n;
+      },
+      [](std::size_t& acc, std::size_t part) { acc += part; });
+  s.local = db.size() - s.remote;
   return s;
 }
 
 std::vector<YearCount> by_year(const Database& db) {
-  std::map<int, std::size_t> counts;
-  for (const auto& r : db.records()) ++counts[r.year];
+  const auto& recs = db.records();
+  const auto counts = runtime::parallel_reduce(
+      recs.size(), std::map<int, std::size_t>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::map<int, std::size_t> local;
+        for (std::size_t i = begin; i < end; ++i) ++local[recs[i].year];
+        return local;
+      },
+      [](std::map<int, std::size_t>& acc,
+         const std::map<int, std::size_t>& part) {
+        for (const auto& [year, count] : part) acc[year] += count;
+      });
   std::vector<YearCount> out;
   out.reserve(counts.size());
   for (const auto& [year, count] : counts) out.push_back({year, count});
@@ -72,8 +91,18 @@ std::vector<YearCount> by_year(const Database& db) {
 }
 
 std::vector<SoftwareCount> top_software(const Database& db, std::size_t n) {
-  std::map<std::string, std::size_t> counts;
-  for (const auto& r : db.records()) ++counts[r.software];
+  const auto& recs = db.records();
+  const auto counts = runtime::parallel_reduce(
+      recs.size(), std::map<std::string, std::size_t>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::map<std::string, std::size_t> local;
+        for (std::size_t i = begin; i < end; ++i) ++local[recs[i].software];
+        return local;
+      },
+      [](std::map<std::string, std::size_t>& acc,
+         const std::map<std::string, std::size_t>& part) {
+        for (const auto& [software, count] : part) acc[software] += count;
+      });
   std::vector<SoftwareCount> out;
   out.reserve(counts.size());
   for (const auto& [software, count] : counts) out.push_back({software, count});

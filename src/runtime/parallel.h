@@ -1,0 +1,108 @@
+// parallel.h — deterministic data-parallel skeletons over the thread pool.
+//
+// Determinism contract (DESIGN.md §7): [0, n) is cut into at most
+// pool.parallelism() contiguous blocks by STATIC partitioning — block
+// boundaries depend only on n and the block count, never on thread
+// timing — and reductions merge per-block results in ascending block
+// order. Any code whose serial result is a deterministic function of the
+// element order therefore produces byte-identical output at every thread
+// count, including the serial fallback.
+#ifndef DFSM_RUNTIME_PARALLEL_H
+#define DFSM_RUNTIME_PARALLEL_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace dfsm::runtime {
+
+/// One contiguous index block [begin, end).
+struct Block {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Cuts [0, n) into at most `max_blocks` near-equal contiguous blocks
+/// (the first n % max_blocks blocks are one element longer). Pure
+/// function of (n, max_blocks): the partition is the determinism anchor.
+[[nodiscard]] inline std::vector<Block> static_blocks(std::size_t n,
+                                                      std::size_t max_blocks) {
+  std::vector<Block> blocks;
+  if (n == 0) return blocks;
+  if (max_blocks == 0) max_blocks = 1;
+  const std::size_t count = n < max_blocks ? n : max_blocks;
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  blocks.reserve(count);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    blocks.push_back({begin, begin + len});
+    begin += len;
+  }
+  return blocks;
+}
+
+/// Runs body(begin, end) over a static partition of [0, n). Blocks run
+/// concurrently on the pool (inline in serial fallback); returns after
+/// all blocks finish; the lowest-block exception propagates.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body,
+                  ThreadPool& pool = ThreadPool::global()) {
+  const auto blocks = static_blocks(n, pool.parallelism());
+  if (blocks.empty()) return;
+  if (blocks.size() == 1) {
+    body(blocks[0].begin, blocks[0].end);
+    return;
+  }
+  pool.run_indexed(blocks.size(), [&](std::size_t i) {
+    body(blocks[i].begin, blocks[i].end);
+  });
+}
+
+/// Maps each block [begin, end) to an accumulator via shard(begin, end)
+/// and folds the per-block results into `identity` IN BLOCK ORDER with
+/// merge(acc, block_result). Equivalent to
+/// merge(...merge(merge(identity, shard(b0)), shard(b1))..., shard(bk)),
+/// so even non-commutative merges (string concatenation, ordered
+/// appends) match the serial result exactly.
+template <typename T, typename Shard, typename Merge>
+[[nodiscard]] T parallel_reduce(std::size_t n, T identity, Shard&& shard,
+                                Merge&& merge,
+                                ThreadPool& pool = ThreadPool::global()) {
+  const auto blocks = static_blocks(n, pool.parallelism());
+  T acc = std::move(identity);
+  if (blocks.empty()) return acc;
+  if (blocks.size() == 1) {
+    merge(acc, shard(blocks[0].begin, blocks[0].end));
+    return acc;
+  }
+  std::vector<T> partial(blocks.size());
+  pool.run_indexed(blocks.size(), [&](std::size_t i) {
+    partial[i] = shard(blocks[i].begin, blocks[i].end);
+  });
+  for (auto& p : partial) merge(acc, std::move(p));
+  return acc;
+}
+
+/// Element-wise map preserving index order: out[i] = fn(i). R must be
+/// default-constructible (each slot is assigned exactly once).
+template <typename R, typename Fn>
+[[nodiscard]] std::vector<R> parallel_map(std::size_t n, Fn&& fn,
+                                          ThreadPool& pool =
+                                              ThreadPool::global()) {
+  std::vector<R> out(n);
+  parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      pool);
+  return out;
+}
+
+}  // namespace dfsm::runtime
+
+#endif  // DFSM_RUNTIME_PARALLEL_H

@@ -1,0 +1,132 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace dfsm::runtime {
+
+namespace {
+
+/// Set for the lifetime of each pool worker thread; run_indexed consults
+/// it to run nested submissions inline instead of deadlocking the queue.
+thread_local bool t_on_worker = false;
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global;  // guarded by g_global_mu
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads <= 1) return;  // serial fallback: no workers
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  std::vector<std::exception_ptr> errors(count);
+
+  // Inline path: serial fallback, a single index, or a nested submission
+  // from a worker (queueing from a worker can deadlock when every worker
+  // is blocked waiting on queued children). Behavior matches the pooled
+  // path exactly: every index runs, lowest-index exception wins.
+  if (workers_.empty() || count == 1 || t_on_worker) {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    struct Barrier {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t remaining;
+    };
+    Barrier barrier{{}, {}, count};
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      for (std::size_t i = 0; i < count; ++i) {
+        queue_.emplace_back([&task, &errors, &barrier, i] {
+          try {
+            task(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+          std::lock_guard<std::mutex> done{barrier.mu};
+          if (--barrier.remaining == 0) barrier.cv.notify_one();
+        });
+      }
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock{barrier.mu};
+    barrier.cv.wait(lock, [&barrier] { return barrier.remaining == 0; });
+  }
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("DFSM_THREADS")) {
+    try {
+      const long v = std::stol(env);
+      if (v < 0) throw std::out_of_range{"negative"};
+      return static_cast<std::size_t>(v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument{"DFSM_THREADS must be a non-negative "
+                                  "integer, got '" +
+                                  std::string{env} + "'"};
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock{g_global_mu};
+  if (!g_global) g_global = std::make_unique<ThreadPool>(default_threads());
+  return *g_global;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock{g_global_mu};
+  g_global = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace dfsm::runtime

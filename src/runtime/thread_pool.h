@@ -1,0 +1,91 @@
+// thread_pool.h — the parallel analysis runtime's execution engine: a
+// fixed-size pool of worker threads with deterministic, index-ordered
+// dispatch and exception propagation.
+//
+// The ROADMAP's north star ("as fast as the hardware allows") meets the
+// paper's reproducibility requirement here: every figure and table this
+// repo emits must be byte-identical run-to-run, so the pool deliberately
+// has NO work stealing and NO dynamic scheduling. Work is cut into static
+// contiguous blocks (see parallel.h), every block runs exactly once, and
+// merges happen in block-index order — the parallel result is the serial
+// result, always, at any thread count.
+//
+// Configuration: the DFSM_THREADS environment variable overrides the
+// worker count for the process-wide pool. 0 or 1 means "serial fallback"
+// (no worker threads; everything runs inline on the caller). Unset means
+// std::thread::hardware_concurrency().
+#ifndef DFSM_RUNTIME_THREAD_POOL_H
+#define DFSM_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfsm::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 or 1 spawns none: the pool is in serial
+  /// fallback and run_indexed executes inline on the caller.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 in serial fallback).
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_.size(); }
+
+  /// Useful degree of parallelism: max(1, workers()). parallel.h cuts
+  /// work into at most this many blocks.
+  [[nodiscard]] std::size_t parallelism() const noexcept {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Runs task(0), task(1), ..., task(count-1), each exactly once, and
+  /// returns only after all have finished. Every index runs even if an
+  /// earlier one throws; afterwards the exception of the LOWEST index
+  /// that threw is rethrown (deterministic regardless of thread timing —
+  /// the serial fallback behaves identically).
+  ///
+  /// Nested-submit safe: when called from inside a pool worker (or when
+  /// the pool is serial), the indices run inline on the caller instead of
+  /// being queued, so nested parallel_for can never deadlock the pool.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& task);
+
+  /// True when the calling thread is one of this process's pool workers.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
+  // --- process-wide pool ------------------------------------------------
+
+  /// The shared pool every analysis hot path uses. Created on first use
+  /// with default_threads() workers.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Worker count the global pool is created with: DFSM_THREADS if set
+  /// (0/1 => serial fallback), otherwise std::thread::hardware_concurrency().
+  [[nodiscard]] static std::size_t default_threads();
+
+  /// Replaces the global pool with one of `threads` workers. Test/bench
+  /// hook for serial-vs-parallel comparisons in one process; must not be
+  /// called while parallel work is in flight.
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace dfsm::runtime
+
+#endif  // DFSM_RUNTIME_THREAD_POOL_H

@@ -1,0 +1,150 @@
+// Parallel-vs-serial equivalence: the determinism contract, checked on
+// the three wired hot paths. Each test runs the same computation with
+// the global pool in serial fallback and again with several workers and
+// requires byte-identical results.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/autotool.h"
+#include "analysis/discovery.h"
+#include "bugtraq/corpus.h"
+#include "bugtraq/database.h"
+#include "bugtraq/stats.h"
+#include "runtime/thread_pool.h"
+
+namespace dfsm {
+namespace {
+
+using runtime::ThreadPool;
+
+/// Runs fn with the global pool at 1 worker (serial fallback) and at 4
+/// workers, restores the default, and returns the two results.
+template <typename Fn>
+auto serial_and_parallel(Fn&& fn) {
+  ThreadPool::set_global_threads(1);
+  auto serial = fn();
+  ThreadPool::set_global_threads(4);
+  auto parallel = fn();
+  ThreadPool::set_global_threads(ThreadPool::default_threads());
+  return std::make_pair(std::move(serial), std::move(parallel));
+}
+
+TEST(ParallelEquivalence, AutoToolAnalyzeOnAllSpecs) {
+  const auto [serial, parallel] = serial_and_parallel([] {
+    std::vector<std::string> reports;
+    for (const auto& spec : analysis::all_specs()) {
+      reports.push_back(analysis::AutoTool::analyze(spec).to_text());
+    }
+    return reports;
+  });
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "spec #" << i;
+  }
+}
+
+TEST(ParallelEquivalence, CorpusHistogramsAndSweeps) {
+  const auto db = bugtraq::synthetic_corpus();
+  const auto [serial, parallel] = serial_and_parallel([&] {
+    // A fresh copy per run so the histogram cache cannot leak results
+    // from one thread count to the other.
+    const bugtraq::Database copy{db};
+    struct Out {
+      std::map<bugtraq::Category, std::size_t> by_category;
+      std::map<bugtraq::VulnClass, std::size_t> by_class;
+      std::size_t remote_overflows;
+      std::vector<std::pair<int, std::string>> hits;  // (id, title), in order
+      std::string figure1;
+    } out;
+    out.by_category = copy.count_by_category();
+    out.by_class = copy.count_by_class();
+    out.remote_overflows = copy.count([](const bugtraq::VulnRecord& r) {
+      return r.remote && r.vuln_class == bugtraq::VulnClass::kHeapOverflow;
+    });
+    for (const auto* r : copy.query([](const bugtraq::VulnRecord& r) {
+           return r.year == 2001 && !r.remote;
+         })) {
+      out.hits.emplace_back(r->id, r->title);
+    }
+    out.figure1 = bugtraq::render_figure1(copy);
+    return out;
+  });
+
+  EXPECT_EQ(serial.by_category, parallel.by_category);
+  EXPECT_EQ(serial.by_class, parallel.by_class);
+  EXPECT_EQ(serial.remote_overflows, parallel.remote_overflows);
+  EXPECT_EQ(serial.figure1, parallel.figure1);
+  // Hit lists were materialized by value; order and content must match.
+  EXPECT_EQ(serial.hits, parallel.hits);
+}
+
+TEST(ParallelEquivalence, TemplatedAndTypeErasedOverloadsAgree) {
+  const auto db = bugtraq::synthetic_corpus();
+  const auto is_remote = [](const bugtraq::VulnRecord& r) { return r.remote; };
+  const std::function<bool(const bugtraq::VulnRecord&)> erased = is_remote;
+  EXPECT_EQ(db.count(is_remote), db.count(erased));
+  EXPECT_EQ(db.query(is_remote), db.query(erased));
+}
+
+TEST(ParallelEquivalence, StatsSweeps) {
+  const auto db = bugtraq::synthetic_corpus();
+  const auto [serial, parallel] = serial_and_parallel([&] {
+    struct Out {
+      std::size_t remote, local;
+      std::vector<bugtraq::YearCount> years;
+      std::vector<bugtraq::SoftwareCount> top;
+    } out;
+    const auto split = bugtraq::remote_local_split(db);
+    out.remote = split.remote;
+    out.local = split.local;
+    out.years = bugtraq::by_year(db);
+    out.top = bugtraq::top_software(db, 10);
+    return out;
+  });
+  EXPECT_EQ(serial.remote, parallel.remote);
+  EXPECT_EQ(serial.local, parallel.local);
+  ASSERT_EQ(serial.years.size(), parallel.years.size());
+  for (std::size_t i = 0; i < serial.years.size(); ++i) {
+    EXPECT_EQ(serial.years[i].year, parallel.years[i].year);
+    EXPECT_EQ(serial.years[i].count, parallel.years[i].count);
+  }
+  ASSERT_EQ(serial.top.size(), parallel.top.size());
+  for (std::size_t i = 0; i < serial.top.size(); ++i) {
+    EXPECT_EQ(serial.top[i].software, parallel.top[i].software);
+    EXPECT_EQ(serial.top[i].count, parallel.top[i].count);
+  }
+}
+
+TEST(ParallelEquivalence, DiscoveryCampaigns) {
+  const auto [serial, parallel] = serial_and_parallel([] {
+    std::vector<analysis::DiscoveryReport> reports;
+    reports.push_back(analysis::probe_nullhttpd_v051());
+    reports.push_back(analysis::probe_nullhttpd_fixed());
+    reports.push_back(analysis::probe_nullhttpd_v05());
+    return reports;
+  });
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    const auto& s = serial[k];
+    const auto& p = parallel[k];
+    EXPECT_EQ(s.configuration, p.configuration);
+    EXPECT_EQ(s.violations, p.violations);
+    EXPECT_EQ(s.found_new_vulnerability, p.found_new_vulnerability);
+    EXPECT_EQ(s.finding, p.finding);
+    ASSERT_EQ(s.probes.size(), p.probes.size());
+    for (std::size_t i = 0; i < s.probes.size(); ++i) {
+      EXPECT_EQ(s.probes[i].content_len, p.probes[i].content_len) << k << ":" << i;
+      EXPECT_EQ(s.probes[i].body_len, p.probes[i].body_len) << k << ":" << i;
+      EXPECT_EQ(s.probes[i].buffer_size, p.probes[i].buffer_size) << k << ":" << i;
+      EXPECT_EQ(s.probes[i].bytes_read, p.probes[i].bytes_read) << k << ":" << i;
+      EXPECT_EQ(s.probes[i].predicate_violated, p.probes[i].predicate_violated);
+      EXPECT_EQ(s.probes[i].rejected, p.probes[i].rejected);
+      EXPECT_EQ(s.probes[i].note, p.probes[i].note) << k << ":" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsm

@@ -1,0 +1,164 @@
+// Unit tests for the parallel analysis runtime: the pool itself, the
+// deterministic skeletons, exception propagation, serial fallback, and
+// nested-submit safety.
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dfsm::runtime {
+namespace {
+
+TEST(StaticBlocks, CoversRangeExactlyOnceInOrder) {
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 5925u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 8u, 64u, 10000u}) {
+      const auto blocks = static_blocks(n, shards);
+      std::size_t expect_begin = 0;
+      for (const auto& b : blocks) {
+        EXPECT_EQ(b.begin, expect_begin);
+        EXPECT_LT(b.begin, b.end);
+        expect_begin = b.end;
+      }
+      EXPECT_EQ(expect_begin, n);
+      if (n > 0) {
+        EXPECT_EQ(blocks.size(), std::min(n, shards));
+        // Near-equal: sizes differ by at most one.
+        std::size_t lo = n, hi = 0;
+        for (const auto& b : blocks) {
+          lo = std::min(lo, b.end - b.begin);
+          hi = std::max(hi, b.end - b.begin);
+        }
+        EXPECT_LE(hi - lo, 1u);
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {0u, 1u, 2u, 4u}) {
+    ThreadPool pool{threads};
+    constexpr std::size_t kN = 257;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.run_indexed(kN, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SerialFallbackSpawnsNoWorkers) {
+  EXPECT_EQ(ThreadPool{0}.workers(), 0u);
+  EXPECT_EQ(ThreadPool{1}.workers(), 0u);
+  EXPECT_EQ(ThreadPool{0}.parallelism(), 1u);
+  EXPECT_EQ(ThreadPool{4}.workers(), 4u);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsAtAnyThreadCount) {
+  for (std::size_t threads : {0u, 4u}) {
+    ThreadPool pool{threads};
+    std::atomic<int> ran{0};
+    try {
+      pool.run_indexed(16, [&](std::size_t i) {
+        ++ran;
+        if (i == 3 || i == 11) {
+          throw std::runtime_error{"block " + std::to_string(i)};
+        }
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "block 3");
+    }
+    // Every block still ran — a throwing block never cancels its peers.
+    EXPECT_EQ(ran.load(), 16);
+  }
+}
+
+TEST(ThreadPool, NestedSubmitRunsInlineAndCompletes) {
+  ThreadPool pool{4};
+  std::atomic<int> inner_total{0};
+  pool.run_indexed(8, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    // A nested submission must not deadlock: it runs inline.
+    pool.run_indexed(8, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
+  const char* saved = std::getenv("DFSM_THREADS");
+  const std::string saved_value = saved ? saved : "";
+
+  setenv("DFSM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  setenv("DFSM_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 0u);
+  setenv("DFSM_THREADS", "banana", 1);
+  EXPECT_THROW(ThreadPool::default_threads(), std::invalid_argument);
+  unsetenv("DFSM_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+
+  if (saved) setenv("DFSM_THREADS", saved_value.c_str(), 1);
+}
+
+TEST(Parallel, ForVisitsEveryElementOnce) {
+  ThreadPool pool{4};
+  constexpr std::size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  parallel_for(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      pool);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(Parallel, ReduceMergesInBlockOrder) {
+  // A non-commutative merge (string concatenation) only matches the
+  // serial result if partials merge in ascending block order.
+  const std::size_t kN = 26;
+  std::string serial;
+  for (std::size_t i = 0; i < kN; ++i) serial += static_cast<char>('a' + i);
+
+  for (std::size_t threads : {0u, 2u, 3u, 7u}) {
+    ThreadPool pool{threads};
+    const std::string parallel = parallel_reduce(
+        kN, std::string{},
+        [](std::size_t begin, std::size_t end) {
+          std::string s;
+          for (std::size_t i = begin; i < end; ++i)
+            s += static_cast<char>('a' + i);
+          return s;
+        },
+        [](std::string& acc, std::string&& part) { acc += part; }, pool);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, MapPreservesIndexOrder) {
+  ThreadPool pool{4};
+  const auto out = parallel_map<std::size_t>(
+      1000, [](std::size_t i) { return i * i; }, pool);
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Parallel, ZeroElementsIsANoop) {
+  ThreadPool pool{4};
+  bool ran = false;
+  parallel_for(0, [&](std::size_t, std::size_t) { ran = true; }, pool);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(parallel_reduce(
+                0, std::size_t{42},
+                [](std::size_t, std::size_t) { return std::size_t{1}; },
+                [](std::size_t& a, std::size_t b) { a += b; }, pool),
+            42u);
+}
+
+}  // namespace
+}  // namespace dfsm::runtime

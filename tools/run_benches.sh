@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# run_benches.sh — run every bench binary with JSON output and merge the
+# results into one BENCH_runtime.json at the repo root, seeding the perf
+# trajectory the ROADMAP asks every PR to extend.
+#
+# Usage: tools/run_benches.sh [build_dir] [output.json]
+#   build_dir   default: build
+#   output.json default: BENCH_runtime.json
+#
+# Extra google-benchmark flags can be passed via DFSM_BENCH_FLAGS, e.g.
+#   DFSM_BENCH_FLAGS='--benchmark_filter=BM_Corpus.*' tools/run_benches.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_runtime.json}"
+bench_dir="$build_dir/bench"
+
+if [ ! -d "$bench_dir" ]; then
+  echo "error: bench dir '$bench_dir' not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+found=0
+for bin in "$bench_dir"/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name" >&2
+  # Artifact text goes to stdout before the benchmarks; route JSON to a
+  # file so the merge only sees benchmark output.
+  "$bin" --benchmark_format=json \
+         --benchmark_out="$tmp_dir/$name.json" \
+         --benchmark_out_format=json \
+         ${DFSM_BENCH_FLAGS:-} > "$tmp_dir/$name.artifact.txt"
+  found=$((found + 1))
+done
+
+if [ "$found" -eq 0 ]; then
+  echo "error: no bench_* binaries in $bench_dir" >&2
+  exit 1
+fi
+
+python3 - "$out_json" "$tmp_dir"/bench_*.json <<'EOF'
+import json, sys
+
+out_path, paths = sys.argv[1], sys.argv[2:]
+merged = {"context": None, "benchmarks": []}
+for path in sorted(paths):
+    with open(path) as f:
+        doc = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = doc.get("context", {})
+    binary = path.rsplit("/", 1)[-1].removesuffix(".json")
+    for bench in doc.get("benchmarks", []):
+        bench["binary"] = binary
+        merged["benchmarks"].append(bench)
+
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}: {len(merged['benchmarks'])} benchmarks "
+      f"from {len(paths)} binaries")
+EOF
