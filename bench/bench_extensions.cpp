@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <thread>
 
 #include "analysis/anomaly.h"
@@ -165,8 +167,10 @@ BENCHMARK(BM_AnomalyScore);
 // measure pure speedup. UseRealTime: the work happens on pool workers,
 // so wall clock is the honest metric.
 
+// DFSM_THREADS pins the parallel arm (the CI bench-regression job sets 4
+// so runs compare like-for-like); unset falls back to the hardware.
 const int kParallelThreads = static_cast<int>(
-    std::max(2u, std::thread::hardware_concurrency()));
+    std::max<std::size_t>(2, runtime::ThreadPool::default_threads()));
 
 void set_pool_threads(std::int64_t threads) {
   runtime::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
@@ -254,6 +258,78 @@ BENCHMARK(BM_CorpusHistogramRebuild)
     ->Arg(kParallelThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+// --- Million-record corpus scaling (ROADMAP "corpus scaling") ----------
+//
+// Serial-vs-parallel ingest/sweep pairs at 10^4 / 10^5 / 10^6 records:
+// Args are {workers, corpus size}. Corpora and their CSV serializations
+// are generated once per size and cached for the whole binary run —
+// the timed region is only the sharded reader (CSV parse + bulk
+// add_batch) or the columnar sweep.
+
+const bugtraq::Database& scaled_corpus(std::size_t n) {
+  static std::map<std::size_t, bugtraq::Database> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, bugtraq::synthetic_corpus_n(n, /*seed=*/42)).first;
+  }
+  return it->second;
+}
+
+const std::string& scaled_corpus_csv(std::size_t n) {
+  static std::map<std::size_t, std::string> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, scaled_corpus(n).to_csv()).first;
+  }
+  return it->second;
+}
+
+void BM_CorpusIngestScaled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const std::string& csv = scaled_corpus_csv(n);
+  set_pool_threads(state.range(0));
+  for (auto _ : state) {
+    auto db = bugtraq::Database::from_csv(csv);
+    benchmark::DoNotOptimize(db.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(csv.size()));
+}
+BENCHMARK(BM_CorpusIngestScaled)
+    ->Args({1, 10'000})
+    ->Args({kParallelThreads, 10'000})
+    ->Args({1, 100'000})
+    ->Args({kParallelThreads, 100'000})
+    ->Args({1, 1'000'000})
+    ->Args({kParallelThreads, 1'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CorpusSweepScaled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto& db = scaled_corpus(n);
+  set_pool_threads(state.range(0));
+  for (auto _ : state) {
+    auto hits = db.count([](const bugtraq::VulnRecord& r) {
+      return r.remote && r.title.find("overflow") != std::string::npos;
+    });
+    benchmark::DoNotOptimize(hits);
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CorpusSweepScaled)
+    ->Args({1, 10'000})
+    ->Args({kParallelThreads, 10'000})
+    ->Args({1, 100'000})
+    ->Args({kParallelThreads, 100'000})
+    ->Args({1, 1'000'000})
+    ->Args({kParallelThreads, 1'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DiscoveryCampaign(benchmark::State& state) {
   set_pool_threads(state.range(0));

@@ -1,12 +1,21 @@
 #include "bugtraq/corpus.h"
 
+#include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/parallel.h"
 
 namespace dfsm::bugtraq {
 
+namespace {
+constexpr std::uint64_t kSplitmixGamma = 0x9E3779B97F4A7C15ull;
+}  // namespace
+
 std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  std::uint64_t z = (state += kSplitmixGamma);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   return z ^ (z >> 31);
@@ -33,38 +42,64 @@ constexpr std::array<const char*, 16> kSoftware = {
     "rwalld",
 };
 
-struct Emitter {
-  Database& db;
-  std::uint64_t rng_state;
-  int next_id = 100000;
-
-  void emit(std::size_t n, Category cat, VulnClass cls, const char* noun) {
-    for (std::size_t i = 0; i < n; ++i) {
-      VulnRecord r;
-      r.id = next_id++;
-      const std::uint64_t bits = splitmix64(rng_state);
-      const auto& software = kSoftware[bits % kSoftware.size()];
-      r.software = software;
-      r.title = std::string(software) + " " + noun + " vulnerability (synthetic #" +
-                std::to_string(r.id) + ")";
-      r.year = 1999 + static_cast<int>((bits >> 8) % 4);  // 1999..2002
-      r.remote = ((bits >> 16) & 1) != 0;
-      r.category = cat;
-      r.vuln_class = cls;
-      r.description = std::string("Synthetic stand-in record in category '") +
-                      to_string(cat) + "'";
-      db.add(std::move(r));
-    }
-  }
+/// One contiguous run of identically-shaped records in the emission order.
+struct Segment {
+  std::size_t count = 0;
+  Category category = Category::kUnknown;
+  VulnClass vuln_class = VulnClass::kOther;
+  const char* noun = "";
 };
 
-}  // namespace
+/// The emission order is part of the byte-identity contract: studied
+/// classes first (inside their host categories), then each category's
+/// remainder as class Other, in the historical order below.
+std::vector<Segment> emission_segments(const CorpusPlan& plan) {
+  std::vector<Segment> segs;
+  segs.reserve(19);
+  auto seg = [&](std::size_t n, Category cat, VulnClass cls, const char* noun) {
+    segs.push_back({n, cat, cls, noun});
+  };
+  seg(plan.stack_overflow, Category::kBoundaryConditionError,
+      VulnClass::kStackBufferOverflow, "stack buffer overflow");
+  seg(plan.heap_overflow, Category::kBoundaryConditionError,
+      VulnClass::kHeapOverflow, "heap overflow");
+  seg(plan.integer_overflow_boundary, Category::kBoundaryConditionError,
+      VulnClass::kIntegerOverflow, "signed integer overflow");
+  seg(plan.integer_overflow_input, Category::kInputValidationError,
+      VulnClass::kIntegerOverflow, "signed integer overflow");
+  seg(plan.integer_overflow_access, Category::kAccessValidationError,
+      VulnClass::kIntegerOverflow, "signed integer overflow");
+  seg(plan.format_string, Category::kInputValidationError,
+      VulnClass::kFormatString, "format string");
+  seg(plan.file_race, Category::kRaceConditionError,
+      VulnClass::kFileRaceCondition, "file race condition");
 
-Database synthetic_corpus(std::uint64_t seed, const CorpusPlan& plan) {
-  if (plan.total() != kBugtraqSize2002) {
-    throw std::invalid_argument("corpus plan totals " + std::to_string(plan.total()) +
-                                ", expected " + std::to_string(kBugtraqSize2002));
-  }
+  seg(plan.boundary_condition - plan.stack_overflow - plan.heap_overflow -
+          plan.integer_overflow_boundary,
+      Category::kBoundaryConditionError, VulnClass::kOther, "boundary condition");
+  seg(plan.input_validation - plan.format_string - plan.integer_overflow_input,
+      Category::kInputValidationError, VulnClass::kOther, "input validation");
+  seg(plan.access_validation - plan.integer_overflow_access,
+      Category::kAccessValidationError, VulnClass::kOther, "access validation");
+  seg(plan.race_condition - plan.file_race, Category::kRaceConditionError,
+      VulnClass::kOther, "race condition");
+  seg(plan.design, Category::kDesignError, VulnClass::kOther, "design");
+  seg(plan.failure_to_handle, Category::kFailureToHandleExceptionalConditions,
+      VulnClass::kOther, "exception handling");
+  seg(plan.configuration, Category::kConfigurationError, VulnClass::kOther,
+      "configuration");
+  seg(plan.origin_validation, Category::kOriginValidationError, VulnClass::kOther,
+      "origin validation");
+  seg(plan.atomicity, Category::kAtomicityError, VulnClass::kOther, "atomicity");
+  seg(plan.environment, Category::kEnvironmentError, VulnClass::kOther,
+      "environment");
+  seg(plan.serialization, Category::kSerializationError, VulnClass::kOther,
+      "serialization");
+  seg(plan.unknown, Category::kUnknown, VulnClass::kOther, "unclassified");
+  return segs;
+}
+
+void validate_plan_consistency(const CorpusPlan& plan) {
   if (plan.stack_overflow + plan.heap_overflow + plan.integer_overflow_boundary >
           plan.boundary_condition ||
       plan.format_string + plan.integer_overflow_input > plan.input_validation ||
@@ -72,52 +107,127 @@ Database synthetic_corpus(std::uint64_t seed, const CorpusPlan& plan) {
       plan.file_race > plan.race_condition) {
     throw std::invalid_argument("studied-class counts exceed their host categories");
   }
+}
 
+/// Record `index`'s bits: splitmix64 advances its state by a fixed gamma
+/// per draw, so the i-th draw from `seed` is a pure function of
+/// seed + i*gamma — the anchor that lets generation fan out over the pool
+/// while staying byte-identical to a serial emit loop.
+std::uint64_t record_bits(std::uint64_t seed, std::size_t index) {
+  std::uint64_t state = seed + static_cast<std::uint64_t>(index) * kSplitmixGamma;
+  return splitmix64(state);
+}
+
+VulnRecord make_record(std::uint64_t seed, std::size_t index, const Segment& seg) {
+  VulnRecord r;
+  r.id = 100000 + static_cast<int>(index);
+  const std::uint64_t bits = record_bits(seed, index);
+  const auto& software = kSoftware[bits % kSoftware.size()];
+  r.software = software;
+  r.title = std::string(software) + " " + seg.noun + " vulnerability (synthetic #" +
+            std::to_string(r.id) + ")";
+  r.year = 1999 + static_cast<int>((bits >> 8) % 4);  // 1999..2002
+  r.remote = ((bits >> 16) & 1) != 0;
+  r.category = seg.category;
+  r.vuln_class = seg.vuln_class;
+  r.description = std::string("Synthetic stand-in record in category '") +
+                  to_string(seg.category) + "'";
+  return r;
+}
+
+Database generate(std::uint64_t seed, const CorpusPlan& plan) {
+  validate_plan_consistency(plan);
+  const auto segs = emission_segments(plan);
+  // Segment start offsets in the global emission index space.
+  std::vector<std::size_t> starts;
+  starts.reserve(segs.size());
+  std::size_t off = 0;
+  for (const auto& s : segs) {
+    starts.push_back(off);
+    off += s.count;
+  }
+  const std::size_t n = off;
+  auto records = runtime::parallel_map<VulnRecord>(n, [&](std::size_t i) {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), i);
+    const auto& seg = segs[static_cast<std::size_t>(it - starts.begin()) - 1];
+    return make_record(seed, i, seg);
+  });
   Database db;
-  Emitter e{db, seed, 100000};
-
-  // Studied classes first (they sit inside their host categories).
-  e.emit(plan.stack_overflow, Category::kBoundaryConditionError,
-         VulnClass::kStackBufferOverflow, "stack buffer overflow");
-  e.emit(plan.heap_overflow, Category::kBoundaryConditionError,
-         VulnClass::kHeapOverflow, "heap overflow");
-  e.emit(plan.integer_overflow_boundary, Category::kBoundaryConditionError,
-         VulnClass::kIntegerOverflow, "signed integer overflow");
-  e.emit(plan.integer_overflow_input, Category::kInputValidationError,
-         VulnClass::kIntegerOverflow, "signed integer overflow");
-  e.emit(plan.integer_overflow_access, Category::kAccessValidationError,
-         VulnClass::kIntegerOverflow, "signed integer overflow");
-  e.emit(plan.format_string, Category::kInputValidationError,
-         VulnClass::kFormatString, "format string");
-  e.emit(plan.file_race, Category::kRaceConditionError,
-         VulnClass::kFileRaceCondition, "file race condition");
-
-  // Remainder of each category as class Other.
-  auto rest = [&](std::size_t category_total, std::size_t used, Category cat,
-                  const char* noun) {
-    e.emit(category_total - used, cat, VulnClass::kOther, noun);
-  };
-  rest(plan.boundary_condition,
-       plan.stack_overflow + plan.heap_overflow + plan.integer_overflow_boundary,
-       Category::kBoundaryConditionError, "boundary condition");
-  rest(plan.input_validation, plan.format_string + plan.integer_overflow_input,
-       Category::kInputValidationError, "input validation");
-  rest(plan.access_validation, plan.integer_overflow_access,
-       Category::kAccessValidationError, "access validation");
-  rest(plan.race_condition, plan.file_race, Category::kRaceConditionError,
-       "race condition");
-  rest(plan.design, 0, Category::kDesignError, "design");
-  rest(plan.failure_to_handle, 0, Category::kFailureToHandleExceptionalConditions,
-       "exception handling");
-  rest(plan.configuration, 0, Category::kConfigurationError, "configuration");
-  rest(plan.origin_validation, 0, Category::kOriginValidationError,
-       "origin validation");
-  rest(plan.atomicity, 0, Category::kAtomicityError, "atomicity");
-  rest(plan.environment, 0, Category::kEnvironmentError, "environment");
-  rest(plan.serialization, 0, Category::kSerializationError, "serialization");
-  rest(plan.unknown, 0, Category::kUnknown, "unclassified");
-
+  db.add_batch(std::move(records));
   return db;
+}
+
+}  // namespace
+
+CorpusPlan scaled_plan(std::size_t n) {
+  if (n == kBugtraqSize2002) return CorpusPlan{};
+  const CorpusPlan base;
+  const std::array<std::size_t, kCategoryCount> defaults = {
+      base.input_validation, base.boundary_condition, base.design,
+      base.failure_to_handle, base.access_validation, base.race_condition,
+      base.configuration,     base.origin_validation, base.atomicity,
+      base.environment,       base.serialization,     base.unknown,
+  };
+  // Largest-remainder (Hamilton) apportionment of n seats to the Figure-1
+  // fractions d_i/5925: floor quotas first, then one extra seat per
+  // category in descending remainder order (ties to the earlier category).
+  std::array<std::size_t, kCategoryCount> counts{};
+  std::array<std::size_t, kCategoryCount> remainders{};
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const std::size_t scaled = defaults[i] * n;
+    counts[i] = scaled / kBugtraqSize2002;
+    remainders[i] = scaled % kBugtraqSize2002;
+    assigned += counts[i];
+  }
+  std::array<std::size_t, kCategoryCount> order{};
+  for (std::size_t i = 0; i < kCategoryCount; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t k = 0; assigned < n; ++k) {
+    ++counts[order[k % kCategoryCount]];
+    ++assigned;
+  }
+
+  CorpusPlan p;
+  p.input_validation = counts[0];
+  p.boundary_condition = counts[1];
+  p.design = counts[2];
+  p.failure_to_handle = counts[3];
+  p.access_validation = counts[4];
+  p.race_condition = counts[5];
+  p.configuration = counts[6];
+  p.origin_validation = counts[7];
+  p.atomicity = counts[8];
+  p.environment = counts[9];
+  p.serialization = counts[10];
+  p.unknown = counts[11];
+
+  // Studied sub-counts scale by floor: floor(a)+floor(b) <= floor(a+b)
+  // and every category got at least its floor quota, so the host-category
+  // constraints hold at every n.
+  auto floor_scale = [&](std::size_t d) { return d * n / kBugtraqSize2002; };
+  p.stack_overflow = floor_scale(base.stack_overflow);
+  p.heap_overflow = floor_scale(base.heap_overflow);
+  p.format_string = floor_scale(base.format_string);
+  p.file_race = floor_scale(base.file_race);
+  p.integer_overflow_input = floor_scale(base.integer_overflow_input);
+  p.integer_overflow_boundary = floor_scale(base.integer_overflow_boundary);
+  p.integer_overflow_access = floor_scale(base.integer_overflow_access);
+  return p;
+}
+
+Database synthetic_corpus(std::uint64_t seed, const CorpusPlan& plan) {
+  if (plan.total() != kBugtraqSize2002) {
+    throw std::invalid_argument("corpus plan totals " + std::to_string(plan.total()) +
+                                ", expected " + std::to_string(kBugtraqSize2002));
+  }
+  return generate(seed, plan);
+}
+
+Database synthetic_corpus_n(std::size_t n, std::uint64_t seed) {
+  return generate(seed, scaled_plan(n));
 }
 
 }  // namespace dfsm::bugtraq

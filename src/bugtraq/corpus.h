@@ -1,5 +1,5 @@
 // corpus.h — a seeded synthetic Bugtraq corpus whose marginals reproduce
-// Figure 1 exactly.
+// Figure 1 exactly, at the published snapshot size or scaled to any N.
 //
 // Substitution (DESIGN.md §2): we cannot ship the 5925 proprietary
 // securityfocus.com reports, but every number the paper derives from them
@@ -17,6 +17,14 @@
 //     categories the way Table 1 documents.
 // Titles/software/remote flags are pseudo-random from the seed so query
 // code has realistic variety to chew on.
+//
+// Corpus scaling (ROADMAP): `scaled_plan(n)` apportions the Figure-1
+// fractions to any corpus size by largest-remainder rounding, and
+// `synthetic_corpus_n` generates that plan — 10^6-record corpora for
+// Massacci-scale sweeps keep every category within ±0.5% of Figure 1.
+// Record i's pseudo-random bits are a pure function of (seed, i), so
+// generation fans out over the runtime pool and is byte-identical to the
+// serial emitter at any DFSM_THREADS.
 #ifndef DFSM_BUGTRAQ_CORPUS_H
 #define DFSM_BUGTRAQ_CORPUS_H
 
@@ -55,13 +63,28 @@ struct CorpusPlan {
 
   [[nodiscard]] std::size_t total() const;
   [[nodiscard]] std::size_t studied_total() const;
+
+  friend bool operator==(const CorpusPlan&, const CorpusPlan&) = default;
 };
 
+/// Apportions the default (Figure-1) plan to a corpus of `n` records:
+/// category counts by largest-remainder rounding (sum is exactly `n`,
+/// every share within 1/n of its Figure-1 fraction), studied sub-counts
+/// by floor scaling (never exceeding their host categories). At
+/// n == kBugtraqSize2002 this is the default plan, exactly.
+[[nodiscard]] CorpusPlan scaled_plan(std::size_t n);
+
 /// Generates the corpus. Deterministic in `seed` — equal seeds give
-/// byte-identical databases. Synthetic IDs start at 100000 to avoid
-/// colliding with curated real Bugtraq IDs.
+/// byte-identical databases at every thread count. Synthetic IDs start at
+/// 100000 to avoid colliding with curated real Bugtraq IDs.
 [[nodiscard]] Database synthetic_corpus(std::uint64_t seed = 0x20021130,
                                         const CorpusPlan& plan = {});
+
+/// Size-parameterized generator: synthetic_corpus_n(kBugtraqSize2002, s)
+/// is byte-identical to synthetic_corpus(s); other sizes generate
+/// scaled_plan(n). Ingested in one bulk batch (Database::add_batch).
+[[nodiscard]] Database synthetic_corpus_n(std::size_t n,
+                                          std::uint64_t seed = 0x20021130);
 
 /// splitmix64 — the corpus's deterministic PRNG step (exposed for tests).
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);

@@ -1,0 +1,62 @@
+#include "bugtraq/csv_shards.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/parallel.h"
+
+namespace dfsm::bugtraq {
+
+std::string shard_path(const std::string& base, std::size_t index,
+                       std::size_t count) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, "-%05zu-of-%05zu.csv", index, count);
+  return base + suffix;
+}
+
+std::vector<std::string> shard_paths(const std::string& base, std::size_t count) {
+  std::vector<std::string> paths;
+  paths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) paths.push_back(shard_path(base, i, count));
+  return paths;
+}
+
+std::vector<std::string> write_csv_shards(const Database& db,
+                                          const std::string& base,
+                                          std::size_t shards) {
+  if (shards == 0) shards = 1;
+  // The record ranges are the static partition of (size, shards): at most
+  // `shards` non-empty blocks, padded with empty tail ranges so exactly
+  // `shards` files always exist.
+  auto blocks = runtime::static_blocks(db.size(), shards);
+  while (blocks.size() < shards) blocks.push_back({db.size(), db.size()});
+  // Shard bodies serialize concurrently (each one a contiguous range);
+  // their contents depend only on the partition, not the thread count.
+  const auto bodies = runtime::parallel_map<std::string>(
+      shards, [&](std::size_t i) { return db.to_csv(blocks[i].begin, blocks[i].end); });
+  const auto paths = shard_paths(base, shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    std::ofstream out{paths[i], std::ios::binary | std::ios::trunc};
+    if (!out || !(out << bodies[i]) || !out.flush()) {
+      throw std::runtime_error("cannot write corpus shard: " + paths[i]);
+    }
+  }
+  return paths;
+}
+
+Database read_csv_shards(const std::vector<std::string>& paths) {
+  std::vector<std::string> parts;
+  parts.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw std::runtime_error("cannot read corpus shard: " + path);
+    std::string text{std::istreambuf_iterator<char>{in},
+                     std::istreambuf_iterator<char>{}};
+    if (in.bad()) throw std::runtime_error("cannot read corpus shard: " + path);
+    parts.push_back(std::move(text));
+  }
+  return Database::from_csv_parts(parts);
+}
+
+}  // namespace dfsm::bugtraq

@@ -1,0 +1,48 @@
+// csv_shards.h — the on-disk sharded corpus format: a database split into
+// K CSV files, each carrying the standard header plus one contiguous
+// record range. Shard boundaries are the static_blocks partition of
+// (record count, shard count) — a pure function of those two numbers,
+// never of DFSM_THREADS — so the files a corpus serializes to are
+// byte-identical on every machine. Reading concatenates shards in path
+// order and parses rows on the runtime pool; the resulting database
+// equals a serial read exactly at any thread count.
+//
+// This is the ingest path for 10^6+-record corpora (ROADMAP "corpus
+// scaling"): tools/gen_corpus emits shards, benches and sweeps read them
+// back through Database::add_batch in one bulk ingest.
+#ifndef DFSM_BUGTRAQ_CSV_SHARDS_H
+#define DFSM_BUGTRAQ_CSV_SHARDS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bugtraq/database.h"
+
+namespace dfsm::bugtraq {
+
+/// Canonical shard file name: "<base>-00003-of-00008.csv".
+[[nodiscard]] std::string shard_path(const std::string& base, std::size_t index,
+                                     std::size_t count);
+
+/// All `count` shard paths for `base`, in shard order.
+[[nodiscard]] std::vector<std::string> shard_paths(const std::string& base,
+                                                   std::size_t count);
+
+/// Writes the database as `shards` CSV files under `base` (0 is treated
+/// as 1). Every file exists even when the database has fewer records
+/// than shards — the tail shards are header-only. Returns the paths in
+/// shard order. Throws std::runtime_error if a file cannot be written.
+std::vector<std::string> write_csv_shards(const Database& db,
+                                          const std::string& base,
+                                          std::size_t shards);
+
+/// Reads shard files in path order into one database (one bulk
+/// add_batch). Each file must carry the standard header; header-only
+/// files contribute zero records. Throws std::runtime_error on an
+/// unreadable file, std::invalid_argument on malformed CSV.
+[[nodiscard]] Database read_csv_shards(const std::vector<std::string>& paths);
+
+}  // namespace dfsm::bugtraq
+
+#endif  // DFSM_BUGTRAQ_CSV_SHARDS_H

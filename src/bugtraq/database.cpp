@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace dfsm::bugtraq {
 
@@ -18,32 +19,43 @@ std::string csv_quote(const std::string& s) {
   return out;
 }
 
-/// Splits a whole CSV body into records of fields, honoring quotes —
-/// including newlines inside quoted fields (descriptions may be
-/// multi-line).
-std::vector<std::vector<std::string>> csv_records(const std::string& text) {
-  std::vector<std::vector<std::string>> records;
-  std::vector<std::string> row;
+constexpr const char* kHeader =
+    "id,title,software,year,remote,category,class,description,activities,"
+    "reference_activity";
+
+/// Offsets [begin, end) of each non-empty CSV row of `text`: rows split
+/// at newlines outside quotes, so quoted fields keep their embedded
+/// newlines (descriptions may be multi-line). This boundary scan is the
+/// only serial pass of the reader; field/record parsing fans out per row.
+std::vector<std::pair<std::size_t, std::size_t>> row_spans(const std::string& text) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  bool in_quotes = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') {
+      in_quotes = !in_quotes;
+    } else if (c == '\n' && !in_quotes) {
+      if (i > start) spans.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (text.size() > start) spans.emplace_back(start, text.size());
+  return spans;
+}
+
+/// Splits one row span into its fields, honoring quotes ("" escapes a
+/// literal quote inside a quoted field).
+std::vector<std::string> parse_fields(const std::string& text, std::size_t begin,
+                                      std::size_t end) {
+  std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
-  bool row_has_content = false;
-  auto end_field = [&] {
-    row.push_back(cur);
-    cur.clear();
-  };
-  auto end_row = [&] {
-    if (row_has_content || !row.empty() || !cur.empty()) {
-      end_field();
-      records.push_back(std::move(row));
-      row.clear();
-    }
-    row_has_content = false;
-  };
-  for (std::size_t i = 0; i < text.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     const char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
+        if (i + 1 < end && text[i + 1] == '"') {
           cur.push_back('"');
           ++i;
         } else {
@@ -54,26 +66,139 @@ std::vector<std::vector<std::string>> csv_records(const std::string& text) {
       }
     } else if (c == '"') {
       in_quotes = true;
-      row_has_content = true;
     } else if (c == ',') {
-      end_field();
-      row_has_content = true;
-    } else if (c == '\n') {
-      end_row();
+      fields.push_back(std::move(cur));
+      cur.clear();
     } else {
       cur.push_back(c);
-      row_has_content = true;
     }
   }
-  end_row();
-  return records;
+  fields.push_back(std::move(cur));
+  return fields;
 }
 
-constexpr const char* kHeader =
-    "id,title,software,year,remote,category,class,description,activities,"
-    "reference_activity";
+void check_header(const std::string& text,
+                  const std::vector<std::pair<std::size_t, std::size_t>>& spans) {
+  if (spans.empty()) throw std::invalid_argument("bad CSV header");
+  const auto fields = parse_fields(text, spans[0].first, spans[0].second);
+  if (fields.size() != 10) throw std::invalid_argument("bad CSV header");
+  std::string joined;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) joined += ',';
+    joined += fields[i];
+  }
+  if (joined != kHeader) throw std::invalid_argument("bad CSV header");
+}
+
+VulnRecord parse_record(const std::vector<std::string>& fields,
+                        std::size_t row_number) {
+  if (fields.size() != 10) {
+    throw std::invalid_argument("bad CSV row " + std::to_string(row_number));
+  }
+  VulnRecord r;
+  r.id = std::stoi(fields[0]);
+  r.title = fields[1];
+  r.software = fields[2];
+  r.year = std::stoi(fields[3]);
+  r.remote = fields[4] == "1";
+  auto cat = category_from_string(fields[5]);
+  auto cls = vuln_class_from_string(fields[6]);
+  if (!cat || !cls) {
+    throw std::invalid_argument("bad category/class in CSV row " +
+                                std::to_string(row_number));
+  }
+  r.category = *cat;
+  r.vuln_class = *cls;
+  r.description = fields[7];
+  if (!fields[8].empty()) {
+    std::istringstream as{fields[8]};
+    std::string a;
+    while (std::getline(as, a, ';')) {
+      // Linear match against the enum's printable names.
+      bool found = false;
+      for (int k = 0; k <= static_cast<int>(ElementaryActivity::kFreeBuffer); ++k) {
+        const auto act = static_cast<ElementaryActivity>(k);
+        if (a == to_string(act)) {
+          r.activities.push_back(act);
+          found = true;
+          break;
+        }
+      }
+      if (!found) throw std::invalid_argument("bad activity: " + a);
+    }
+  }
+  r.reference_activity = std::stoi(fields[9]);
+  return r;
+}
+
+void append_csv_row(std::string& out, const VulnRecord& r) {
+  std::string acts;
+  for (std::size_t i = 0; i < r.activities.size(); ++i) {
+    if (i) acts += ';';
+    acts += to_string(r.activities[i]);
+  }
+  out += std::to_string(r.id);
+  out += ',';
+  out += csv_quote(r.title);
+  out += ',';
+  out += csv_quote(r.software);
+  out += ',';
+  out += std::to_string(r.year);
+  out += ',';
+  out += r.remote ? '1' : '0';
+  out += ',';
+  out += csv_quote(to_string(r.category));
+  out += ',';
+  out += csv_quote(to_string(r.vuln_class));
+  out += ',';
+  out += csv_quote(r.description);
+  out += ',';
+  out += csv_quote(acts);
+  out += ',';
+  out += std::to_string(r.reference_activity);
+  out += '\n';
+}
+
+/// One data row of one CSV document: where it lives, and its 1-based row
+/// number within that document (for error messages).
+struct RowRef {
+  const std::string* text = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t row_number = 0;
+};
+
+Database parse_csv_docs(const std::vector<const std::string*>& docs) {
+  std::vector<RowRef> rows;
+  for (const std::string* doc : docs) {
+    const auto spans = row_spans(*doc);
+    check_header(*doc, spans);
+    rows.reserve(rows.size() + spans.size() - 1);
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      rows.push_back({doc, spans[i].first, spans[i].second, i});
+    }
+  }
+  // Row parsing shards across the pool; the pool rethrows the exception
+  // of the lowest index that threw, so malformed input reports the same
+  // first-bad-row error a serial scan would.
+  auto records = runtime::parallel_map<VulnRecord>(rows.size(), [&](std::size_t i) {
+    const RowRef& row = rows[i];
+    return parse_record(parse_fields(*row.text, row.begin, row.end),
+                        row.row_number);
+  });
+  Database db;
+  db.add_batch(std::move(records));
+  return db;
+}
 
 }  // namespace
+
+std::uint32_t Database::intern_software(const std::string& name) {
+  const auto [it, inserted] =
+      software_ids_.emplace(name, static_cast<std::uint32_t>(software_names_.size()));
+  if (inserted) software_names_.push_back(name);
+  return it->second;
+}
 
 void Database::add(VulnRecord record) {
   if (record.id != 0 && index_.count(record.id) != 0) {
@@ -83,7 +208,42 @@ void Database::add(VulnRecord record) {
   category_col_.push_back(record.category);
   class_col_.push_back(record.vuln_class);
   remote_col_.push_back(record.remote ? 1 : 0);
+  year_col_.push_back(record.year);
+  software_col_.push_back(intern_software(record.software));
   records_.push_back(std::move(record));
+  std::lock_guard<std::mutex> lock{cache_->mu};
+  cache_->valid = false;
+}
+
+void Database::add_batch(std::vector<VulnRecord> batch) {
+  if (batch.empty()) return;
+  // Validate every ID before mutating anything, so a duplicate anywhere
+  // in the batch leaves the database untouched.
+  std::unordered_set<int> batch_ids;
+  batch_ids.reserve(batch.size());
+  for (const auto& r : batch) {
+    if (r.id == 0) continue;
+    if (index_.count(r.id) != 0 || !batch_ids.insert(r.id).second) {
+      throw std::invalid_argument("duplicate Bugtraq ID: " + std::to_string(r.id));
+    }
+  }
+  const std::size_t base = records_.size();
+  records_.reserve(base + batch.size());
+  category_col_.reserve(base + batch.size());
+  class_col_.reserve(base + batch.size());
+  remote_col_.reserve(base + batch.size());
+  year_col_.reserve(base + batch.size());
+  software_col_.reserve(base + batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    VulnRecord& r = batch[i];
+    if (r.id != 0) index_[r.id] = base + i;
+    category_col_.push_back(r.category);
+    class_col_.push_back(r.vuln_class);
+    remote_col_.push_back(r.remote ? 1 : 0);
+    year_col_.push_back(r.year);
+    software_col_.push_back(intern_software(r.software));
+    records_.push_back(std::move(r));
+  }
   std::lock_guard<std::mutex> lock{cache_->mu};
   cache_->valid = false;
 }
@@ -106,22 +266,34 @@ std::size_t Database::count(
 
 void Database::ensure_histograms(
     std::array<std::size_t, kCategoryCount>* categories,
-    std::array<std::size_t, kVulnClassCount>* classes) const {
+    std::array<std::size_t, kVulnClassCount>* classes,
+    std::map<int, std::size_t>* years,
+    std::vector<std::size_t>* software) const {
   std::lock_guard<std::mutex> lock{cache_->mu};
   if (!cache_->valid) {
     struct Hist {
       std::array<std::size_t, kCategoryCount> cat{};
       std::array<std::size_t, kVulnClassCount> cls{};
+      std::map<int, std::size_t> year;
+      std::vector<std::size_t> software;
     };
     const auto& cat_col = category_col_;
     const auto& cls_col = class_col_;
+    const auto& year_col = year_col_;
+    const auto& soft_col = software_col_;
+    const std::size_t software_count = software_names_.size();
+    Hist identity;
+    identity.software.assign(software_count, 0);
     const Hist h = runtime::parallel_reduce(
-        cat_col.size(), Hist{},
+        cat_col.size(), std::move(identity),
         [&](std::size_t begin, std::size_t end) {
           Hist local;
+          local.software.assign(software_count, 0);
           for (std::size_t i = begin; i < end; ++i) {
             ++local.cat[static_cast<std::size_t>(cat_col[i])];
             ++local.cls[static_cast<std::size_t>(cls_col[i])];
+            ++local.year[year_col[i]];
+            ++local.software[soft_col[i]];
           }
           return local;
         },
@@ -130,13 +302,20 @@ void Database::ensure_histograms(
             acc.cat[k] += part.cat[k];
           for (std::size_t k = 0; k < kVulnClassCount; ++k)
             acc.cls[k] += part.cls[k];
+          for (const auto& [year, count] : part.year) acc.year[year] += count;
+          for (std::size_t k = 0; k < part.software.size(); ++k)
+            acc.software[k] += part.software[k];
         });
     cache_->by_category = h.cat;
     cache_->by_class = h.cls;
+    cache_->by_year = h.year;
+    cache_->by_software = h.software;
     cache_->valid = true;
   }
   if (categories) *categories = cache_->by_category;
   if (classes) *classes = cache_->by_class;
+  if (years) *years = cache_->by_year;
+  if (software) *software = cache_->by_software;
 }
 
 std::map<Category, std::size_t> Database::count_by_category() const {
@@ -157,83 +336,58 @@ std::map<VulnClass, std::size_t> Database::count_by_class() const {
   return out;
 }
 
-std::string Database::to_csv() const {
-  std::ostringstream os;
-  os << kHeader << '\n';
-  for (const auto& r : records_) {
-    std::string acts;
-    for (std::size_t i = 0; i < r.activities.size(); ++i) {
-      if (i) acts += ';';
-      acts += to_string(r.activities[i]);
-    }
-    os << r.id << ',' << csv_quote(r.title) << ',' << csv_quote(r.software) << ','
-       << r.year << ',' << (r.remote ? 1 : 0) << ',' << csv_quote(to_string(r.category))
-       << ',' << csv_quote(to_string(r.vuln_class)) << ','
-       << csv_quote(r.description) << ',' << csv_quote(acts) << ','
-       << r.reference_activity << '\n';
+std::map<int, std::size_t> Database::count_by_year() const {
+  std::map<int, std::size_t> counts;
+  ensure_histograms(nullptr, nullptr, &counts);
+  return counts;
+}
+
+std::map<std::string, std::size_t> Database::count_by_software() const {
+  std::vector<std::size_t> counts;
+  ensure_histograms(nullptr, nullptr, nullptr, &counts);
+  std::map<std::string, std::size_t> out;
+  for (std::size_t id = 0; id < counts.size(); ++id) {
+    if (counts[id] != 0) out[software_names_[id]] = counts[id];
   }
-  return os.str();
+  return out;
+}
+
+std::string Database::to_csv() const { return to_csv(0, records_.size()); }
+
+std::string Database::to_csv(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > records_.size()) {
+    throw std::out_of_range("bad record range for to_csv");
+  }
+  const auto& recs = records_;
+  std::string out = std::string(kHeader) + '\n';
+  // Per-block row strings concatenate in block order (runtime/parallel.h),
+  // so the bytes equal a serial row walk at any thread count.
+  out += runtime::parallel_reduce(
+      end - begin, std::string{},
+      [&](std::size_t b, std::size_t e) {
+        std::string part;
+        for (std::size_t i = b; i < e; ++i) {
+          append_csv_row(part, recs[begin + i]);
+        }
+        return part;
+      },
+      [](std::string& acc, std::string&& part) { acc += part; });
+  return out;
 }
 
 Database Database::from_csv(const std::string& csv) {
-  const auto rows = csv_records(csv);
-  if (rows.empty() || rows[0].size() != 10) {
-    throw std::invalid_argument("bad CSV header");
-  }
-  {
-    std::string joined;
-    for (std::size_t i = 0; i < rows[0].size(); ++i) {
-      if (i) joined += ',';
-      joined += rows[0][i];
-    }
-    if (joined != kHeader) throw std::invalid_argument("bad CSV header");
-  }
-  Database db;
-  for (std::size_t ri = 1; ri < rows.size(); ++ri) {
-    const auto& fields = rows[ri];
-    if (fields.size() != 10) {
-      throw std::invalid_argument("bad CSV row " + std::to_string(ri));
-    }
-    VulnRecord r;
-    r.id = std::stoi(fields[0]);
-    r.title = fields[1];
-    r.software = fields[2];
-    r.year = std::stoi(fields[3]);
-    r.remote = fields[4] == "1";
-    auto cat = category_from_string(fields[5]);
-    auto cls = vuln_class_from_string(fields[6]);
-    if (!cat || !cls) {
-      throw std::invalid_argument("bad category/class in CSV row " +
-                                  std::to_string(ri));
-    }
-    r.category = *cat;
-    r.vuln_class = *cls;
-    r.description = fields[7];
-    if (!fields[8].empty()) {
-      std::istringstream as{fields[8]};
-      std::string a;
-      while (std::getline(as, a, ';')) {
-        // Linear match against the enum's printable names.
-        bool found = false;
-        for (int k = 0; k <= static_cast<int>(ElementaryActivity::kFreeBuffer); ++k) {
-          const auto act = static_cast<ElementaryActivity>(k);
-          if (a == to_string(act)) {
-            r.activities.push_back(act);
-            found = true;
-            break;
-          }
-        }
-        if (!found) throw std::invalid_argument("bad activity: " + a);
-      }
-    }
-    r.reference_activity = std::stoi(fields[9]);
-    db.add(std::move(r));
-  }
-  return db;
+  return parse_csv_docs({&csv});
+}
+
+Database Database::from_csv_parts(const std::vector<std::string>& parts) {
+  std::vector<const std::string*> docs;
+  docs.reserve(parts.size());
+  for (const auto& p : parts) docs.push_back(&p);
+  return parse_csv_docs(docs);
 }
 
 void Database::merge(const Database& other) {
-  for (const auto& r : other.records_) add(r);
+  add_batch(other.records_);
 }
 
 }  // namespace dfsm::bugtraq

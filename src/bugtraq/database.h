@@ -3,17 +3,21 @@
 // the paper chose "because its vulnerability reports are better organized
 // and more amenable to automatic processing and statistical study".
 //
-// Storage is row-major (`records_`) plus columnar category/class/remote
-// vectors grown in add(): statistics sweeps touch 1 byte-ish columns
-// instead of ~200-byte records, and the histogram sweeps shard across the
-// parallel runtime (runtime/parallel.h) with per-shard accumulators
-// merged in index order — results are byte-identical to a serial walk at
-// any thread count. Histograms are cached and invalidated on mutation.
+// Storage is row-major (`records_`) plus columnar category/class/remote/
+// year/software vectors (software interned to dense ids): statistics
+// sweeps touch narrow columns instead of ~200-byte records, and the
+// histogram sweeps shard across the parallel runtime (runtime/parallel.h)
+// with per-shard accumulators merged in index order — results are
+// byte-identical to a serial walk at any thread count. All histograms
+// (category, class, year, software) are cached and invalidated on
+// mutation; add_batch() ingests a whole batch with one column extension
+// and one cache invalidation instead of per-record work.
 #ifndef DFSM_BUGTRAQ_DATABASE_H
 #define DFSM_BUGTRAQ_DATABASE_H
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,7 +41,11 @@ class Database {
         index_(other.index_),
         category_col_(other.category_col_),
         class_col_(other.class_col_),
-        remote_col_(other.remote_col_) {}
+        remote_col_(other.remote_col_),
+        year_col_(other.year_col_),
+        software_col_(other.software_col_),
+        software_names_(other.software_names_),
+        software_ids_(other.software_ids_) {}
   Database& operator=(const Database& other) {
     if (this != &other) {
       records_ = other.records_;
@@ -45,6 +53,10 @@ class Database {
       category_col_ = other.category_col_;
       class_col_ = other.class_col_;
       remote_col_ = other.remote_col_;
+      year_col_ = other.year_col_;
+      software_col_ = other.software_col_;
+      software_names_ = other.software_names_;
+      software_ids_ = other.software_ids_;
       cache_ = std::make_unique<HistCache>();
     }
     return *this;
@@ -55,6 +67,13 @@ class Database {
   /// Adds a record. Throws std::invalid_argument on a duplicate non-zero
   /// Bugtraq ID (real IDs are unique).
   void add(VulnRecord record);
+
+  /// Bulk ingest: appends every record of `batch` (insertion order
+  /// preserved), extending the columnar store once and invalidating the
+  /// histogram cache once, instead of per-record. Duplicate non-zero IDs
+  /// (against the database or within the batch) throw std::invalid_argument
+  /// before anything is appended.
+  void add_batch(std::vector<VulnRecord> batch);
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   [[nodiscard]] const std::vector<VulnRecord>& records() const noexcept {
@@ -71,6 +90,16 @@ class Database {
   }
   [[nodiscard]] const std::vector<unsigned char>& remote_flags() const noexcept {
     return remote_col_;
+  }
+  [[nodiscard]] const std::vector<int>& years() const noexcept {
+    return year_col_;
+  }
+  /// Software column as dense interned ids; software_name(id) decodes.
+  [[nodiscard]] const std::vector<std::uint32_t>& software_ids() const noexcept {
+    return software_col_;
+  }
+  [[nodiscard]] const std::string& software_name(std::uint32_t id) const {
+    return software_names_[id];
   }
 
   /// Lookup by Bugtraq ID (non-zero IDs only).
@@ -129,13 +158,36 @@ class Database {
   /// count appear, matching the historical row-walk behavior).
   [[nodiscard]] std::map<VulnClass, std::size_t> count_by_class() const;
 
+  /// Histogram over discovery years (only years present appear). Served
+  /// from the same cache as the category/class histograms.
+  [[nodiscard]] std::map<int, std::size_t> count_by_year() const;
+
+  /// Histogram over software packages (only packages present appear).
+  /// Served from the cache via the interned software column.
+  [[nodiscard]] std::map<std::string, std::size_t> count_by_software() const;
+
   /// CSV serialization: header + one line per record (activities joined
-  /// with ';'). Fields containing separators are quoted.
+  /// with ';'). Fields containing separators are quoted. The row bodies
+  /// are built in index-sharded blocks on the runtime pool and
+  /// concatenated in block order — byte-identical at any thread count.
   [[nodiscard]] std::string to_csv() const;
 
+  /// CSV for the record range [begin, end) only (same header). The unit
+  /// of sharded corpus files (csv_shards.h).
+  [[nodiscard]] std::string to_csv(std::size_t begin, std::size_t end) const;
+
   /// Parses a CSV produced by to_csv. Throws std::invalid_argument on a
-  /// malformed header or row.
+  /// malformed header or row. Row parsing is sharded across the runtime
+  /// pool (the result is identical at any thread count; on malformed
+  /// input the lowest-index row's error is the one thrown), and the
+  /// parsed records land in one add_batch.
   [[nodiscard]] static Database from_csv(const std::string& csv);
+
+  /// Parses several CSV documents (each with the standard header) into
+  /// one database, rows concatenated in part order — the in-memory half
+  /// of the sharded corpus reader (csv_shards.h).
+  [[nodiscard]] static Database from_csv_parts(
+      const std::vector<std::string>& parts);
 
   /// Merges another database into this one (duplicate-ID rules apply).
   void merge(const Database& other);
@@ -146,18 +198,30 @@ class Database {
     bool valid = false;
     std::array<std::size_t, kCategoryCount> by_category{};
     std::array<std::size_t, kVulnClassCount> by_class{};
+    std::map<int, std::size_t> by_year;
+    std::vector<std::size_t> by_software;  // indexed by interned software id
   };
 
-  /// Fills the cache if stale; returns it locked-consistent by value
-  /// semantics (callers copy the arrays under the lock).
-  void ensure_histograms(std::array<std::size_t, kCategoryCount>* categories,
-                         std::array<std::size_t, kVulnClassCount>* classes) const;
+  /// Fills the cache if stale; copies the requested histograms out under
+  /// the lock (null pointers skip).
+  void ensure_histograms(
+      std::array<std::size_t, kCategoryCount>* categories,
+      std::array<std::size_t, kVulnClassCount>* classes,
+      std::map<int, std::size_t>* years = nullptr,
+      std::vector<std::size_t>* software = nullptr) const;
+
+  /// Interns a software name, returning its dense id.
+  std::uint32_t intern_software(const std::string& name);
 
   std::vector<VulnRecord> records_;
   std::map<int, std::size_t> index_;  // id -> position, non-zero ids only
   std::vector<Category> category_col_;
   std::vector<VulnClass> class_col_;
   std::vector<unsigned char> remote_col_;
+  std::vector<int> year_col_;
+  std::vector<std::uint32_t> software_col_;
+  std::vector<std::string> software_names_;        // id -> name
+  std::map<std::string, std::uint32_t> software_ids_;  // name -> id
   mutable std::unique_ptr<HistCache> cache_ = std::make_unique<HistCache>();
 };
 

@@ -72,18 +72,10 @@ RemoteLocalSplit remote_local_split(const Database& db) {
 }
 
 std::vector<YearCount> by_year(const Database& db) {
-  const auto& recs = db.records();
-  const auto counts = runtime::parallel_reduce(
-      recs.size(), std::map<int, std::size_t>{},
-      [&](std::size_t begin, std::size_t end) {
-        std::map<int, std::size_t> local;
-        for (std::size_t i = begin; i < end; ++i) ++local[recs[i].year];
-        return local;
-      },
-      [](std::map<int, std::size_t>& acc,
-         const std::map<int, std::size_t>& part) {
-        for (const auto& [year, count] : part) acc[year] += count;
-      });
+  // Served from the database's cached columnar histogram (the per-call
+  // record-walk map merge this used to do is gone — ROADMAP "histogram
+  // cache breadth").
+  const auto counts = db.count_by_year();
   std::vector<YearCount> out;
   out.reserve(counts.size());
   for (const auto& [year, count] : counts) out.push_back({year, count});
@@ -91,18 +83,7 @@ std::vector<YearCount> by_year(const Database& db) {
 }
 
 std::vector<SoftwareCount> top_software(const Database& db, std::size_t n) {
-  const auto& recs = db.records();
-  const auto counts = runtime::parallel_reduce(
-      recs.size(), std::map<std::string, std::size_t>{},
-      [&](std::size_t begin, std::size_t end) {
-        std::map<std::string, std::size_t> local;
-        for (std::size_t i = begin; i < end; ++i) ++local[recs[i].software];
-        return local;
-      },
-      [](std::map<std::string, std::size_t>& acc,
-         const std::map<std::string, std::size_t>& part) {
-        for (const auto& [software, count] : part) acc[software] += count;
-      });
+  const auto counts = db.count_by_software();
   std::vector<SoftwareCount> out;
   out.reserve(counts.size());
   for (const auto& [software, count] : counts) out.push_back({software, count});

@@ -1,0 +1,138 @@
+// Sharded CSV equivalence: write -> read -> write is byte-identical,
+// parallel reads equal serial reads at 10^5 records, and shard file
+// layout is a pure function of (size, shard count).
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bugtraq/corpus.h"
+#include "bugtraq/csv_shards.h"
+#include "runtime/thread_pool.h"
+
+namespace dfsm::bugtraq {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CsvShardsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dfsm-shards-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string base(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CsvShardsTest, ShardPathNaming) {
+  EXPECT_EQ(shard_path("/tmp/c", 3, 8), "/tmp/c-00003-of-00008.csv");
+  const auto paths = shard_paths("x", 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "x-00000-of-00002.csv");
+  EXPECT_EQ(paths[1], "x-00001-of-00002.csv");
+}
+
+TEST_F(CsvShardsTest, WriteReadWriteIsByteIdentical) {
+  const auto db = synthetic_corpus_n(2000, 7);
+  const auto first = write_csv_shards(db, base("a"), 4);
+  ASSERT_EQ(first.size(), 4u);
+
+  const auto restored = read_csv_shards(first);
+  EXPECT_EQ(restored.to_csv(), db.to_csv());
+
+  const auto second = write_csv_shards(restored, base("b"), 4);
+  ASSERT_EQ(second.size(), first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(slurp(first[i]), slurp(second[i])) << "shard " << i;
+  }
+}
+
+TEST_F(CsvShardsTest, ShardContentsAreThreadCountIndependent) {
+  const auto db = synthetic_corpus_n(3000, 3);
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = write_csv_shards(db, base("serial"), 5);
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel = write_csv_shards(db, base("parallel"), 5);
+  runtime::ThreadPool::set_global_threads(runtime::ThreadPool::default_threads());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(slurp(serial[i]), slurp(parallel[i])) << "shard " << i;
+  }
+}
+
+TEST_F(CsvShardsTest, ParallelReadEqualsSerialReadAtHundredThousand) {
+  const auto db = synthetic_corpus_n(100'000, 42);
+  const auto paths = write_csv_shards(db, base("big"), 8);
+  const auto expected = db.to_csv();
+
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = read_csv_shards(paths);
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel = read_csv_shards(paths);
+  runtime::ThreadPool::set_global_threads(runtime::ThreadPool::default_threads());
+
+  EXPECT_EQ(serial.to_csv(), expected);
+  EXPECT_EQ(parallel.to_csv(), expected);
+  EXPECT_EQ(serial.count_by_category(), parallel.count_by_category());
+}
+
+TEST_F(CsvShardsTest, MoreShardsThanRecordsPadsWithHeaderOnlyFiles) {
+  const auto db = synthetic_corpus_n(3, 1);
+  const auto paths = write_csv_shards(db, base("tiny"), 8);
+  ASSERT_EQ(paths.size(), 8u);
+  for (std::size_t i = 3; i < 8; ++i) {
+    const auto text = slurp(paths[i]);
+    EXPECT_EQ(text.find('\n'), text.size() - 1) << "shard " << i
+        << " should be header-only";
+  }
+  EXPECT_EQ(read_csv_shards(paths).to_csv(), db.to_csv());
+}
+
+TEST_F(CsvShardsTest, EmptyDatabaseRoundTrips) {
+  const Database empty;
+  const auto paths = write_csv_shards(empty, base("empty"), 3);
+  ASSERT_EQ(paths.size(), 3u);
+  const auto restored = read_csv_shards(paths);
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_EQ(restored.to_csv(), empty.to_csv());
+}
+
+TEST_F(CsvShardsTest, ZeroShardCountMeansOne) {
+  const auto db = synthetic_corpus_n(10, 2);
+  const auto paths = write_csv_shards(db, base("one"), 0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(read_csv_shards(paths).to_csv(), db.to_csv());
+}
+
+TEST_F(CsvShardsTest, MissingShardFileThrows) {
+  EXPECT_THROW((void)read_csv_shards({base("nope") + ".csv"}), std::runtime_error);
+}
+
+TEST_F(CsvShardsTest, MalformedShardThrows) {
+  const auto path = base("bad") + ".csv";
+  std::ofstream{path} << "not,a,valid,header\n";
+  EXPECT_THROW((void)read_csv_shards({path}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfsm::bugtraq

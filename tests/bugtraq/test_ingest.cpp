@@ -1,0 +1,162 @@
+// Bulk ingest (Database::add_batch), the year/software columnar
+// histograms, and DFSM_THREADS edge cases over the sharded ingest path:
+// 0 and 1 (serial fallback), more threads than shards, empty corpus,
+// single-record corpus.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bugtraq/corpus.h"
+#include "bugtraq/csv_shards.h"
+#include "bugtraq/database.h"
+#include "runtime/thread_pool.h"
+
+namespace dfsm::bugtraq {
+namespace {
+
+using runtime::ThreadPool;
+
+VulnRecord sample(int id, int year = 2001, const std::string& software = "testd") {
+  VulnRecord r;
+  r.id = id;
+  r.title = "Sample #" + std::to_string(id);
+  r.software = software;
+  r.year = year;
+  r.remote = (id % 2) == 0;
+  r.category = Category::kBoundaryConditionError;
+  r.vuln_class = VulnClass::kStackBufferOverflow;
+  r.description = "sample";
+  return r;
+}
+
+TEST(AddBatch, EquivalentToPerRecordAdds) {
+  const auto corpus = synthetic_corpus_n(500, 11);
+
+  Database incremental;
+  for (const auto& r : corpus.records()) incremental.add(r);
+
+  Database bulk;
+  bulk.add_batch(corpus.records());
+
+  EXPECT_EQ(bulk.to_csv(), incremental.to_csv());
+  EXPECT_EQ(bulk.count_by_category(), incremental.count_by_category());
+  EXPECT_EQ(bulk.count_by_class(), incremental.count_by_class());
+  EXPECT_EQ(bulk.count_by_year(), incremental.count_by_year());
+  EXPECT_EQ(bulk.count_by_software(), incremental.count_by_software());
+}
+
+TEST(AddBatch, EmptyBatchIsANoOp) {
+  Database db;
+  db.add(sample(1));
+  db.add_batch({});
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(AddBatch, DuplicateWithinBatchLeavesDatabaseUntouched) {
+  Database db;
+  db.add(sample(1));
+  std::vector<VulnRecord> batch = {sample(2), sample(3), sample(2)};
+  EXPECT_THROW(db.add_batch(batch), std::invalid_argument);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.by_id(2), nullptr);
+}
+
+TEST(AddBatch, DuplicateAgainstDatabaseLeavesDatabaseUntouched) {
+  Database db;
+  db.add(sample(1));
+  std::vector<VulnRecord> batch = {sample(5), sample(1)};
+  EXPECT_THROW(db.add_batch(batch), std::invalid_argument);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.by_id(5), nullptr);
+}
+
+TEST(AddBatch, ZeroIdsMayRepeatWithinABatch) {
+  Database db;
+  db.add_batch({sample(0), sample(0), sample(7)});
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_NE(db.by_id(7), nullptr);
+}
+
+TEST(Histograms, YearAndSoftwareColumnsServeTheCounts) {
+  Database db;
+  db.add_batch({sample(1, 1999, "BIND"), sample(2, 1999, "BIND"),
+                sample(3, 2002, "Sendmail")});
+  const auto years = db.count_by_year();
+  ASSERT_EQ(years.size(), 2u);
+  EXPECT_EQ(years.at(1999), 2u);
+  EXPECT_EQ(years.at(2002), 1u);
+
+  const auto software = db.count_by_software();
+  ASSERT_EQ(software.size(), 2u);
+  EXPECT_EQ(software.at("BIND"), 2u);
+  EXPECT_EQ(software.at("Sendmail"), 1u);
+}
+
+TEST(Histograms, CacheInvalidatesOnMutation) {
+  Database db;
+  db.add(sample(1, 1999));
+  EXPECT_EQ(db.count_by_year().at(1999), 1u);
+  db.add(sample(2, 1999));
+  EXPECT_EQ(db.count_by_year().at(1999), 2u);
+  db.add_batch({sample(3, 2000), sample(4, 2000)});
+  const auto years = db.count_by_year();
+  EXPECT_EQ(years.at(1999), 2u);
+  EXPECT_EQ(years.at(2000), 2u);
+}
+
+// --- DFSM_THREADS edge cases over the ingest path -----------------------
+
+class IngestThreads : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dfsm-ingest-" + std::to_string(GetParam()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    ThreadPool::set_global_threads(ThreadPool::default_threads());
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_P(IngestThreads, ShardedIngestMatchesAtEveryPoolSize) {
+  // Corpus sizes covering the edges: empty, single-record, fewer records
+  // than shards, and a multi-block corpus.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{257}}) {
+    const auto db = synthetic_corpus_n(n, 13);
+    const auto expected = db.to_csv();
+    const auto paths = write_csv_shards(
+        db, (dir_ / ("c" + std::to_string(n))).string(), 4);
+
+    // GetParam() threads vs the shard count of 4: 0/1 are the serial
+    // fallback, 16 is "more threads than shards".
+    ThreadPool::set_global_threads(GetParam());
+    const auto restored = read_csv_shards(paths);
+    EXPECT_EQ(restored.to_csv(), expected) << "n=" << n;
+    EXPECT_EQ(restored.size(), n) << "n=" << n;
+
+    const auto direct = Database::from_csv(expected);
+    EXPECT_EQ(direct.to_csv(), expected) << "n=" << n;
+  }
+}
+
+TEST_P(IngestThreads, GenerationAndHistogramsMatchAtEveryPoolSize) {
+  ThreadPool::set_global_threads(GetParam());
+  const auto db = synthetic_corpus_n(1000, 21);
+  ThreadPool::set_global_threads(ThreadPool::default_threads());
+  const auto reference = synthetic_corpus_n(1000, 21);
+  EXPECT_EQ(db.to_csv(), reference.to_csv());
+  EXPECT_EQ(db.count_by_year(), reference.count_by_year());
+  EXPECT_EQ(db.count_by_software(), reference.count_by_software());
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, IngestThreads,
+                         ::testing::Values(0, 1, 2, 4, 16));
+
+}  // namespace
+}  // namespace dfsm::bugtraq

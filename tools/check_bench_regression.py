@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare a fresh tools/run_benches.sh run against the committed baseline.
+
+The gate watches the serial-vs-parallel benchmark pairs (families that run
+with a worker-count argument of 1 and again with >1 workers, e.g.
+``BM_CorpusSweepScaled/1/1000000`` vs ``BM_CorpusSweepScaled/4/1000000``).
+For every pair present in both runs it compares the parallel *speedup*
+(serial median real_time / parallel median real_time) — a ratio, so the
+check is stable across machines of different absolute speed — and fails
+when a fresh speedup drops more than ``--threshold`` (default 25%) below
+the baseline's.
+
+Usage:
+  tools/check_bench_regression.py \
+      --baseline BENCH_runtime.json --fresh BENCH_fresh.json \
+      [--threshold 0.25] [--report report.md]
+
+Exit status: 0 = no regression (or nothing comparable), 1 = regression,
+2 = bad invocation/input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from collections import defaultdict
+
+
+def load_benchmarks(path):
+    """Returns {pair_key: {"serial": [times], "parallel": [times], ...}}.
+
+    pair_key identifies a serial-vs-parallel family: (binary, base name,
+    non-thread args). The first numeric path segment of a benchmark name
+    is the worker-count argument; trailing non-numeric segments
+    (real_time, process_time, aggregate names) are ignored.
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+    groups = defaultdict(lambda: {"serial": [], "parallel": [], "unit": None})
+    for bench in doc.get("benchmarks", []):
+        # Prefer median aggregates when a run has repetitions; otherwise
+        # use the raw iterations.
+        run_type = bench.get("run_type", "iteration")
+        if run_type == "aggregate" and bench.get("aggregate_name") != "median":
+            continue
+        segments = bench.get("name", "").split("/")
+        base, args = segments[0], []
+        for seg in segments[1:]:
+            try:
+                args.append(int(seg))
+            except ValueError:
+                pass  # real_time / process_time / aggregate suffixes
+        if not args:
+            continue  # not a thread-parameterized benchmark
+        threads, rest = args[0], tuple(args[1:])
+        key = (bench.get("binary", ""), base, rest)
+        side = "serial" if threads == 1 else "parallel"
+        groups[key][side].append(float(bench["real_time"]))
+        groups[key]["unit"] = bench.get("time_unit", "ns")
+
+    return {
+        key: g for key, g in groups.items() if g["serial"] and g["parallel"]
+    }
+
+
+def speedup(group):
+    return statistics.median(group["serial"]) / statistics.median(group["parallel"])
+
+
+def fmt_key(key):
+    binary, base, rest = key
+    name = base + "".join(f"/{a}" for a in rest)
+    return f"{binary}:{name}" if binary else name
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_runtime.json")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly produced merged bench JSON")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional speedup drop (default 0.25)")
+    ap.add_argument("--report", default=None,
+                    help="write a markdown comparison report here")
+    args = ap.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    common = sorted(set(baseline) & set(fresh))
+    only_baseline = sorted(set(baseline) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(baseline))
+
+    rows = []
+    regressions = []
+    for key in common:
+        base_sp = speedup(baseline[key])
+        fresh_sp = speedup(fresh[key])
+        # Fresh speedup may not drop more than threshold below baseline.
+        floor = base_sp * (1.0 - args.threshold)
+        regressed = fresh_sp < floor
+        rows.append((key, base_sp, fresh_sp, regressed))
+        if regressed:
+            regressions.append((key, base_sp, fresh_sp))
+
+    lines = ["# Bench regression report", ""]
+    lines.append(f"Baseline: `{args.baseline}` — fresh: `{args.fresh}` — "
+                 f"threshold: {args.threshold:.0%} speedup drop")
+    lines.append("")
+    if rows:
+        lines.append("| serial-vs-parallel pair | baseline speedup | "
+                     "fresh speedup | status |")
+        lines.append("|---|---|---|---|")
+        for key, base_sp, fresh_sp, regressed in rows:
+            status = "**REGRESSED**" if regressed else "ok"
+            lines.append(f"| `{fmt_key(key)}` | {base_sp:.2f}x | "
+                         f"{fresh_sp:.2f}x | {status} |")
+    else:
+        lines.append("No serial-vs-parallel pairs common to both runs.")
+    for label, keys in (("Only in baseline", only_baseline),
+                        ("Only in fresh run", only_fresh)):
+        if keys:
+            lines.append("")
+            lines.append(f"{label} (not gated): " +
+                         ", ".join(f"`{fmt_key(k)}`" for k in keys))
+    report = "\n".join(lines) + "\n"
+
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+    print(report)
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} pair(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for key, base_sp, fresh_sp in regressions:
+            print(f"  {fmt_key(key)}: {base_sp:.2f}x -> {fresh_sp:.2f}x",
+                  file=sys.stderr)
+        return 1
+    print(f"OK: {len(rows)} serial-vs-parallel pair(s) within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,18 +26,32 @@ tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
 found=0
+failed=()
 for bin in "$bench_dir"/bench_*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   echo "== $name" >&2
   # Artifact text goes to stdout before the benchmarks; route JSON to a
-  # file so the merge only sees benchmark output.
-  "$bin" --benchmark_format=json \
-         --benchmark_out="$tmp_dir/$name.json" \
-         --benchmark_out_format=json \
-         ${DFSM_BENCH_FLAGS:-} > "$tmp_dir/$name.artifact.txt"
+  # file so the merge only sees benchmark output. A failing binary must
+  # fail the whole run (after every binary has had its turn) — merging
+  # partial JSON would silently report a shrunken benchmark set.
+  if ! "$bin" --benchmark_format=json \
+              --benchmark_out="$tmp_dir/$name.json" \
+              --benchmark_out_format=json \
+              ${DFSM_BENCH_FLAGS:-} > "$tmp_dir/$name.artifact.txt"; then
+    echo "error: $name exited non-zero" >&2
+    failed+=("$name")
+    rm -f "$tmp_dir/$name.json"
+    continue
+  fi
   found=$((found + 1))
 done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "error: ${#failed[@]} bench binaries failed: ${failed[*]}" >&2
+  echo "error: refusing to merge partial results into $out_json" >&2
+  exit 1
+fi
 
 if [ "$found" -eq 0 ]; then
   echo "error: no bench_* binaries in $bench_dir" >&2
