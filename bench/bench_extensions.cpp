@@ -188,6 +188,7 @@ VulnerabilitySpec bench_campaign_spec(std::size_t activities,
                                       std::int64_t domain) {
   VulnerabilitySpec spec;
   spec.name = "bench probe-hunt campaign";
+  spec.bugtraq_ids = {99992};  // synthetic report id for the bench spec
   spec.vulnerability_class = "Integer Overflow";
   spec.software = "bench";
   spec.consequence = "n/a";

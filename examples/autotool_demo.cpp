@@ -30,6 +30,7 @@ int main() {
   //    file-handle binding.
   VulnerabilitySpec spec;
   spec.name = "hypothetical upload handler";
+  spec.bugtraq_ids = {99990};  // synthetic report id for the demo spec
   spec.vulnerability_class = "Heap Overflow";
   spec.software = "uploadd 0.9";
   spec.consequence = "attacker-controlled write past the upload buffer";

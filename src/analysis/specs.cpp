@@ -88,6 +88,9 @@ VulnerabilitySpec nullhttpd_spec() {
 VulnerabilitySpec xterm_spec() {
   VulnerabilitySpec spec;
   spec.name = "xterm log-file race (autotool)";
+  // Pre-Bugtraq CERT advisory (1993); id 0 is the curated-database
+  // convention for reports that predate Bugtraq numbering.
+  spec.bugtraq_ids = {0};
   spec.vulnerability_class = "File Race Condition";
   spec.software = "xterm (X11)";
   spec.consequence = "regular user appends chosen data to /etc/passwd";
@@ -133,6 +136,9 @@ VulnerabilitySpec xterm_spec() {
 VulnerabilitySpec rwall_spec() {
   VulnerabilitySpec spec;
   spec.name = "Solaris rwall file corruption (autotool)";
+  // Pre-Bugtraq CERT advisory CA-1994-06; see the id-0 convention note
+  // in xterm_spec above.
+  spec.bugtraq_ids = {0};
   spec.vulnerability_class = "Access Validation";
   spec.software = "Solaris rwalld";
   spec.consequence = "daemon rewrites /etc/passwd with attacker content";

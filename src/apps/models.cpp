@@ -1,5 +1,6 @@
 #include "apps/models.h"
 
+#include "apps/fmtfamily.h"
 #include "apps/ghttpd.h"
 #include "apps/iis.h"
 #include "apps/nullhttpd.h"
@@ -19,6 +20,15 @@ std::vector<core::FsmModel> standard_models() {
   models.push_back(IisDecoder::figure7_model());
   models.push_back(Ghttpd::ghttpd_model());
   models.push_back(RpcStatd::statd_model());
+  return models;
+}
+
+std::vector<core::FsmModel> all_models() {
+  auto models = standard_models();
+  for (const auto profile :
+       {FmtProfile::kWuFtpd, FmtProfile::kSplitvt, FmtProfile::kIcecast}) {
+    models.push_back(make_fmtfamily_case_study(profile)->model());
+  }
   return models;
 }
 

@@ -14,6 +14,11 @@ namespace dfsm::apps {
 /// GHTTPD and rpc.statd ([21], Table 2 rows 6-7).
 [[nodiscard]] std::vector<core::FsmModel> standard_models();
 
+/// The full curated registry: standard_models() plus the three
+/// format-string-family profiles of §3.2 (#1387 wu-ftpd, #2210 splitvt,
+/// #2264 icecast). This is the set the static linter sweeps.
+[[nodiscard]] std::vector<core::FsmModel> all_models();
+
 }  // namespace dfsm::apps
 
 #endif  // DFSM_APPS_MODELS_H

@@ -135,8 +135,10 @@ core::FsmModel RwallDaemon::figure6_model() {
             core::PropagationGate{
                 "rwall daemon writes the user message to regular file /etc/passwd"});
 
+  // id 0 = pre-Bugtraq CERT advisory (CA-1994-06), matching the curated
+  // database's convention for this record.
   return core::FsmModel{"Solaris Rwall Arbitrary File Corruption (Figure 6)",
-                        {},
+                        {0},
                         "Access Validation",
                         "Solaris rwalld",
                         "a regular user rewrites /etc/passwd via the daemon",

@@ -186,8 +186,10 @@ core::FsmModel XtermLogger::figure5_model() {
   chain.add(std::move(op1),
             core::PropagationGate{"Tom appends his own data to the file /etc/passwd"});
 
+  // id 0 = pre-Bugtraq CERT advisory era (the 1993 xterm logging race),
+  // matching the curated database's convention for this record.
   return core::FsmModel{"xterm Log File Race Condition (Figure 5)",
-                        {},
+                        {0},
                         "File Race Condition",
                         "xterm (X11)",
                         "a regular user appends chosen data to /etc/passwd",

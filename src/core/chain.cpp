@@ -31,6 +31,13 @@ ExploitChain::ExploitChain(std::string name) : name_(std::move(name)) {
 }
 
 ExploitChain& ExploitChain::add(Operation op, PropagationGate gate_after) {
+  for (const auto& existing : operations_) {
+    if (existing.name() == op.name()) {
+      throw std::invalid_argument("ExploitChain '" + name_ +
+                                  "' already has an operation named '" +
+                                  op.name() + "'");
+    }
+  }
   operations_.push_back(std::move(op));
   gates_.push_back(std::move(gate_after));
   return *this;

@@ -57,7 +57,10 @@ class ExploitChain {
  public:
   explicit ExploitChain(std::string name);
 
-  /// Appends an operation and the gate that follows it.
+  /// Appends an operation and the gate that follows it. Throws
+  /// std::invalid_argument if an operation with the same name is already
+  /// in the chain (names locate findings in the static linter, so they
+  /// must be unique per chain).
   ExploitChain& add(Operation op, PropagationGate gate_after);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }

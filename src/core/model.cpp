@@ -14,6 +14,12 @@ FsmModel::FsmModel(std::string name, std::vector<int> bugtraq_ids,
       consequence_(std::move(consequence)),
       chain_(std::move(chain)) {
   if (name_.empty()) throw std::invalid_argument("FsmModel requires a non-empty name");
+  if (bugtraq_ids_.empty()) {
+    throw std::invalid_argument(
+        "FsmModel '" + name_ +
+        "' requires at least one report id (use 0 for pre-Bugtraq CERT "
+        "advisories, as in bugtraq::curated_database)");
+  }
   if (chain_.size() == 0) {
     throw std::invalid_argument("FsmModel '" + name_ + "' requires a non-empty chain");
   }

@@ -3,11 +3,15 @@
 namespace dfsm::core {
 
 Predicate Predicate::accept_all(std::string description) {
-  return Predicate{std::move(description), [](const Object&) { return true; }};
+  Predicate p{std::move(description), [](const Object&) { return true; }};
+  p.kind_ = PredicateKind::kAcceptAll;
+  return p;
 }
 
 Predicate Predicate::reject_all(std::string description) {
-  return Predicate{std::move(description), [](const Object&) { return false; }};
+  Predicate p{std::move(description), [](const Object&) { return false; }};
+  p.kind_ = PredicateKind::kRejectAll;
+  return p;
 }
 
 Predicate Predicate::operator&&(const Predicate& rhs) const {

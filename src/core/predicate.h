@@ -30,6 +30,26 @@ enum class Verdict {
   return v == Verdict::kAccept ? "ACCEPT" : "REJECT";
 }
 
+/// How a predicate was constructed. The static linter (src/staticlint/)
+/// reads this to reason about predicates without evaluating them: an
+/// accept-all implementation is the "no check exists" pattern, a
+/// reject-all pair forms an operation that foils every object by
+/// construction.
+enum class PredicateKind {
+  kCustom,     ///< arbitrary user-supplied callable
+  kAcceptAll,  ///< built by accept_all(): accepts every object
+  kRejectAll,  ///< built by reject_all(): rejects every object
+};
+
+[[nodiscard]] constexpr const char* to_string(PredicateKind k) noexcept {
+  switch (k) {
+    case PredicateKind::kCustom: return "custom";
+    case PredicateKind::kAcceptAll: return "accept-all";
+    case PredicateKind::kRejectAll: return "reject-all";
+  }
+  return "?";
+}
+
 /// A named boolean predicate over objects.
 ///
 /// Invariant: `fn` is callable (checked at construction). The description
@@ -47,6 +67,11 @@ class Predicate {
   [[nodiscard]] const std::string& description() const noexcept {
     return description_;
   }
+
+  /// Construction provenance (accept_all / reject_all / custom). Purely
+  /// structural metadata: two kCustom predicates may still be
+  /// extensionally equal.
+  [[nodiscard]] PredicateKind kind() const noexcept { return kind_; }
 
   /// Evaluates the predicate; true means "accept the object".
   [[nodiscard]] bool accepts(const Object& o) const { return fn_(o); }
@@ -72,6 +97,7 @@ class Predicate {
  private:
   std::string description_;
   Fn fn_;
+  PredicateKind kind_ = PredicateKind::kCustom;
 };
 
 }  // namespace dfsm::core

@@ -1,6 +1,6 @@
 // parallel.h — deterministic data-parallel skeletons over the thread pool.
 //
-// Determinism contract (DESIGN.md §7): [0, n) is cut into at most
+// Determinism contract (DESIGN.md §6): [0, n) is cut into at most
 // pool.parallelism() contiguous blocks by STATIC partitioning — block
 // boundaries depend only on n and the block count, never on thread
 // timing — and reductions merge per-block results in ascending block

@@ -1,0 +1,21 @@
+#include "staticlint/diagnostic.h"
+
+namespace dfsm::staticlint {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Location::qualified() const {
+  std::string out = model;
+  if (!operation.empty()) out += "/" + operation;
+  if (!pfsm.empty()) out += "/" + pfsm;
+  return out;
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,54 @@
+// diagnostic.h — typed findings of the static model verifier.
+//
+// A Diagnostic pins one rule violation to one place in a model tree
+// (model / operation / pFSM), with a human-readable message and a fix
+// hint. Findings carry no evaluation results: the linter never drives an
+// object through a chain (that is analysis/hidden_path.h's job) — every
+// diagnostic is derivable from structure alone.
+#ifndef DFSM_STATICLINT_DIAGNOSTIC_H
+#define DFSM_STATICLINT_DIAGNOSTIC_H
+
+#include <string>
+
+namespace dfsm::staticlint {
+
+/// Finding severity. kError findings indicate a model that cannot mean
+/// what its author intended (the Lemma or the structure is violated);
+/// kWarning findings indicate dead weight or taxonomy drift; kNote is
+/// advisory.
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Where in the model tree a finding anchors. `operation` and `pfsm` are
+/// empty for model- and operation-level findings respectively.
+struct Location {
+  std::string model;
+  std::string operation;
+  std::string pfsm;
+
+  /// "model", "model/operation" or "model/operation/pfsm".
+  [[nodiscard]] std::string qualified() const;
+};
+
+/// One rule violation.
+struct Diagnostic {
+  std::string rule_id;  ///< e.g. "ST004"
+  Severity severity = Severity::kWarning;
+  Location where;
+  std::string message;  ///< what is wrong, in one sentence
+  std::string hint;     ///< how to fix it, in one sentence
+
+  /// Repo-relative source file of the offending model, when known
+  /// (copied from LintModel::source_hint by the linter; feeds SARIF
+  /// physical locations).
+  std::string source_hint;
+};
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_DIAGNOSTIC_H

@@ -1,0 +1,158 @@
+#include "staticlint/emit.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <sstream>
+
+namespace dfsm::staticlint {
+
+namespace {
+
+constexpr const char* kToolName = "dfsm_lint";
+constexpr const char* kToolVersion = "1.0.0";
+constexpr const char* kToolUri =
+    "https://github.com/paper-repro/dfsm/blob/main/DESIGN.md";
+constexpr const char* kSarifSchema =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+    "sarif-schema-2.1.0.json";
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "none";
+}
+
+std::size_t rule_index(const std::string& id) {
+  const auto& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (id == rules[i].info.id) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string emit_text(const LintRun& run) {
+  std::ostringstream os;
+  os << kToolName << ": checked " << run.models_checked << " model(s) against "
+     << run.rules_run << " rule(s)\n";
+  for (const auto& d : run.findings) {
+    os << to_string(d.severity) << " " << d.rule_id << ": "
+       << d.where.qualified() << ": " << d.message << "\n";
+    if (!d.hint.empty()) os << "    hint: " << d.hint << "\n";
+  }
+  if (run.findings.empty()) {
+    os << "no findings\n";
+  } else {
+    os << run.errors() << " error(s), " << run.warnings() << " warning(s), "
+       << run.count(Severity::kNote) << " note(s)\n";
+  }
+  return os.str();
+}
+
+std::string emit_json(const LintRun& run) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"tool\": \"" << kToolName << "\",\n"
+     << "  \"version\": \"" << kToolVersion << "\",\n"
+     << "  \"models_checked\": " << run.models_checked << ",\n"
+     << "  \"rules_run\": " << run.rules_run << ",\n"
+     << "  \"errors\": " << run.errors() << ",\n"
+     << "  \"warnings\": " << run.warnings() << ",\n"
+     << "  \"findings\": [";
+  for (std::size_t i = 0; i < run.findings.size(); ++i) {
+    const auto& d = run.findings[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "    {\"rule\": \"" << json_escape(d.rule_id) << "\", "
+       << "\"severity\": \"" << to_string(d.severity) << "\", "
+       << "\"model\": \"" << json_escape(d.where.model) << "\", "
+       << "\"operation\": \"" << json_escape(d.where.operation) << "\", "
+       << "\"pfsm\": \"" << json_escape(d.where.pfsm) << "\", "
+       << "\"message\": \"" << json_escape(d.message) << "\", "
+       << "\"hint\": \"" << json_escape(d.hint) << "\", "
+       << "\"source\": \"" << json_escape(d.source_hint) << "\"}";
+  }
+  os << (run.findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  return os.str();
+}
+
+std::string emit_sarif(const LintRun& run) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"" << kSarifSchema << "\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"" << kToolName << "\",\n"
+     << "          \"version\": \"" << kToolVersion << "\",\n"
+     << "          \"informationUri\": \"" << kToolUri << "\",\n"
+     << "          \"rules\": [";
+  const auto& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const auto& info = rules[i].info;
+    os << (i == 0 ? "\n" : ",\n")
+       << "            {\"id\": \"" << info.id << "\", "
+       << "\"shortDescription\": {\"text\": \"" << json_escape(info.summary)
+       << "\"}, "
+       << "\"defaultConfiguration\": {\"level\": \""
+       << sarif_level(info.severity) << "\"}, "
+       << "\"properties\": {\"group\": \"" << info.group << "\"}}";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < run.findings.size(); ++i) {
+    const auto& d = run.findings[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "        {\"ruleId\": \"" << json_escape(d.rule_id) << "\", "
+       << "\"ruleIndex\": " << rule_index(d.rule_id) << ", "
+       << "\"level\": \"" << sarif_level(d.severity) << "\", "
+       << "\"message\": {\"text\": \"" << json_escape(d.message) << "\"}, "
+       << "\"locations\": [{";
+    if (!d.source_hint.empty()) {
+      os << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+         << json_escape(d.source_hint)
+         << "\", \"uriBaseId\": \"%SRCROOT%\"}, "
+         << "\"region\": {\"startLine\": 1}}, ";
+    }
+    os << "\"logicalLocations\": [{\"fullyQualifiedName\": \""
+       << json_escape(d.where.qualified()) << "\", \"kind\": \"object\"}]"
+       << "}]}";
+  }
+  os << (run.findings.empty() ? "]\n" : "\n      ]\n")
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,28 @@
+// emit.h — renderers for lint results: human-readable text, plain JSON,
+// and SARIF 2.1.0 (the format GitHub code scanning ingests to annotate
+// pull requests).
+#ifndef DFSM_STATICLINT_EMIT_H
+#define DFSM_STATICLINT_EMIT_H
+
+#include <string>
+
+#include "staticlint/linter.h"
+
+namespace dfsm::staticlint {
+
+/// Terminal-friendly listing: one line per finding plus a summary.
+[[nodiscard]] std::string emit_text(const LintRun& run);
+
+/// A flat JSON document (tool, counts, findings array).
+[[nodiscard]] std::string emit_json(const LintRun& run);
+
+/// SARIF 2.1.0. Every registry rule appears in the driver's rule array
+/// (so suppressed-to-zero runs still document the rule set); results
+/// reference rules by id + ruleIndex and carry both a logicalLocation
+/// (model/operation/pfsm path) and, when the model has a source hint, a
+/// physicalLocation GitHub can annotate.
+[[nodiscard]] std::string emit_sarif(const LintRun& run);
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_EMIT_H

@@ -1,0 +1,57 @@
+#include "staticlint/linter.h"
+
+#include <stdexcept>
+
+#include "runtime/parallel.h"
+
+namespace dfsm::staticlint {
+
+std::size_t LintRun::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : findings) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+LintRun lint(const std::vector<LintModel>& models, const LintOptions& options,
+             runtime::ThreadPool& pool) {
+  std::vector<const Rule*> selected;
+  if (options.rule_ids.empty()) {
+    for (const auto& r : all_rules()) selected.push_back(&r);
+  } else {
+    for (const auto& id : options.rule_ids) {
+      const Rule* r = find_rule(id);
+      if (r == nullptr) {
+        throw std::invalid_argument("unknown lint rule id '" + id + "'");
+      }
+      selected.push_back(r);
+    }
+  }
+
+  LintRun run;
+  run.models_checked = models.size();
+  run.rules_run = selected.size();
+
+  // One grid cell per (model, rule) pair, model-major. Each cell is
+  // independent, so the whole grid fans out; flattening in index order
+  // reproduces the serial nested walk byte-for-byte.
+  const std::size_t cells = models.size() * selected.size();
+  auto per_cell = runtime::parallel_map<std::vector<Diagnostic>>(
+      cells,
+      [&](std::size_t i) {
+        const LintModel& m = models[i / selected.size()];
+        const Rule& r = *selected[i % selected.size()];
+        std::vector<Diagnostic> out;
+        r.check(r.info, m, out);
+        for (auto& d : out) d.source_hint = m.source_hint;
+        return out;
+      },
+      pool);
+  for (auto& cell : per_cell) {
+    for (auto& d : cell) run.findings.push_back(std::move(d));
+  }
+  return run;
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,51 @@
+// linter.h — runs the rule set over a set of models, in parallel, with
+// a deterministic finding order.
+//
+// Determinism contract (DESIGN.md §7): the (model, rule) grid is
+// fanned out through runtime::parallel_map — each cell is a pure
+// function of its model and rule — and the per-cell finding vectors are
+// concatenated in (model index, rule registry index) order. The output
+// is therefore byte-identical at every DFSM_THREADS setting, matching
+// the serial walk exactly.
+#ifndef DFSM_STATICLINT_LINTER_H
+#define DFSM_STATICLINT_LINTER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "staticlint/diagnostic.h"
+#include "staticlint/model_ir.h"
+#include "staticlint/rules.h"
+
+namespace dfsm::staticlint {
+
+/// Which rules to run. Empty rule_ids = the whole registry.
+struct LintOptions {
+  std::vector<std::string> rule_ids;
+};
+
+/// Outcome of one lint run.
+struct LintRun {
+  std::vector<Diagnostic> findings;  ///< deterministic order (see header)
+  std::size_t models_checked = 0;
+  std::size_t rules_run = 0;  ///< rules applied per model
+
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
+  [[nodiscard]] std::size_t warnings() const {
+    return count(Severity::kWarning);
+  }
+};
+
+/// Lints every model with the selected rules. Throws
+/// std::invalid_argument if an option names an unknown rule id.
+[[nodiscard]] LintRun lint(const std::vector<LintModel>& models,
+                           const LintOptions& options = {},
+                           runtime::ThreadPool& pool =
+                               runtime::ThreadPool::global());
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_LINTER_H

@@ -1,0 +1,67 @@
+#include "staticlint/model_ir.h"
+
+namespace dfsm::staticlint {
+
+LintPredicate LintPredicate::from(const core::Predicate& p) {
+  return LintPredicate{p.description(), p.kind()};
+}
+
+LintPfsm LintPfsm::from(const core::Pfsm& p) {
+  LintPfsm out;
+  out.name = p.name();
+  out.type = p.type();
+  out.activity = p.activity();
+  out.action = p.action();
+  out.spec = LintPredicate::from(p.spec());
+  out.impl = LintPredicate::from(p.impl());
+  out.declared_secure = p.declared_secure();
+  return out;
+}
+
+LintOperation LintOperation::from(const core::Operation& op) {
+  LintOperation out;
+  out.name = op.name();
+  out.object_description = op.object_description();
+  out.pfsms.reserve(op.size());
+  for (const auto& p : op.pfsms()) out.pfsms.push_back(LintPfsm::from(p));
+  return out;
+}
+
+namespace {
+
+void copy_chain(const core::ExploitChain& c, LintModel& out) {
+  out.operations.reserve(c.size());
+  for (const auto& op : c.operations()) {
+    out.operations.push_back(LintOperation::from(op));
+  }
+  out.gates.reserve(c.gates().size());
+  for (const auto& g : c.gates()) out.gates.push_back(g.condition);
+}
+
+}  // namespace
+
+LintModel LintModel::from_model(const core::FsmModel& m,
+                                std::string source_hint) {
+  LintModel out;
+  out.name = m.name();
+  out.bugtraq_ids = m.bugtraq_ids();
+  out.vulnerability_class = m.vulnerability_class();
+  out.software = m.software();
+  out.consequence = m.consequence();
+  out.has_metadata = true;
+  out.source_hint = std::move(source_hint);
+  copy_chain(m.chain(), out);
+  return out;
+}
+
+LintModel LintModel::from_chain(const core::ExploitChain& c,
+                                std::string source_hint) {
+  LintModel out;
+  out.name = c.name();
+  out.has_metadata = false;
+  out.source_hint = std::move(source_hint);
+  copy_chain(c, out);
+  return out;
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,81 @@
+// model_ir.h — the linter's read-only view of a model tree.
+//
+// Rules run over this flattened IR rather than over core types directly,
+// for two reasons:
+//   1. The linter must not be able to evaluate anything. The IR copies
+//      only structural facts (names, types, predicate descriptions and
+//      construction kinds) — the predicate callables never cross over,
+//      so a rule *cannot* drive an object through a chain even by
+//      accident.
+//   2. Some defects the rules guard against (gate/operation arity skew,
+//      duplicate operation names) are unreachable through the hardened
+//      core builders. Test fixtures construct the IR directly to inject
+//      them, keeping every rule executable and asserted.
+#ifndef DFSM_STATICLINT_MODEL_IR_H
+#define DFSM_STATICLINT_MODEL_IR_H
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace dfsm::staticlint {
+
+/// Structural snapshot of a core::Predicate: its transition-label text
+/// and how it was constructed. No callable.
+struct LintPredicate {
+  std::string description;
+  core::PredicateKind kind = core::PredicateKind::kCustom;
+
+  [[nodiscard]] static LintPredicate from(const core::Predicate& p);
+};
+
+/// Structural snapshot of a core::Pfsm.
+struct LintPfsm {
+  std::string name;
+  core::PfsmType type = core::PfsmType::kContentAttributeCheck;
+  std::string activity;
+  std::string action;
+  LintPredicate spec;
+  LintPredicate impl;
+  bool declared_secure = false;
+
+  [[nodiscard]] static LintPfsm from(const core::Pfsm& p);
+};
+
+/// Structural snapshot of a core::Operation.
+struct LintOperation {
+  std::string name;
+  std::string object_description;
+  std::vector<LintPfsm> pfsms;
+
+  [[nodiscard]] static LintOperation from(const core::Operation& op);
+};
+
+/// Structural snapshot of a whole model (or of a bare chain, in which
+/// case has_metadata is false and the Lemma rules that need report
+/// metadata skip it).
+struct LintModel {
+  std::string name;
+  std::vector<int> bugtraq_ids;
+  std::string vulnerability_class;
+  std::string software;
+  std::string consequence;
+  bool has_metadata = true;
+
+  /// Repo-relative path of the file defining the model, when known.
+  /// Used by the SARIF emitter so GitHub can annotate the source.
+  std::string source_hint;
+
+  std::vector<LintOperation> operations;
+  std::vector<std::string> gates;  ///< gate conditions, parallel to operations
+
+  [[nodiscard]] static LintModel from_model(const core::FsmModel& m,
+                                            std::string source_hint = "");
+  [[nodiscard]] static LintModel from_chain(const core::ExploitChain& c,
+                                            std::string source_hint = "");
+};
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_MODEL_IR_H

@@ -1,0 +1,46 @@
+#include "staticlint/registry.h"
+
+#include <array>
+
+#include "apps/models.h"
+
+namespace dfsm::staticlint {
+
+namespace {
+
+struct Origin {
+  std::string_view needle;  ///< substring of the model name
+  std::string_view file;
+};
+
+constexpr std::array<Origin, 8> kOrigins = {{
+    {"Sendmail", "src/apps/sendmail.cpp"},
+    {"NULL HTTPD", "src/apps/nullhttpd.cpp"},
+    {"xterm", "src/apps/xterm.cpp"},
+    {"Rwall", "src/apps/rwall.cpp"},
+    {"IIS", "src/apps/iis.cpp"},
+    {"GHTTPD", "src/apps/ghttpd.cpp"},
+    {"rpc.statd", "src/apps/rpcstatd.cpp"},
+    {"format-string family", "src/apps/fmtfamily.cpp"},
+}};
+
+}  // namespace
+
+std::string source_hint_for(std::string_view model_name) {
+  for (const auto& o : kOrigins) {
+    if (model_name.find(o.needle) != std::string_view::npos) {
+      return std::string{o.file};
+    }
+  }
+  return "";
+}
+
+std::vector<LintModel> curated_lint_models() {
+  std::vector<LintModel> out;
+  for (const auto& m : apps::all_models()) {
+    out.push_back(LintModel::from_model(m, source_hint_for(m.name())));
+  }
+  return out;
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,24 @@
+// registry.h — the curated model set the linter and the dfsm_lint CLI
+// sweep, with source hints for SARIF physical locations.
+#ifndef DFSM_STATICLINT_REGISTRY_H
+#define DFSM_STATICLINT_REGISTRY_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "staticlint/model_ir.h"
+
+namespace dfsm::staticlint {
+
+/// IR snapshots of every curated model (apps::all_models(): the seven
+/// paper case studies plus the three format-string-family profiles),
+/// each tagged with the src/apps file that defines it.
+[[nodiscard]] std::vector<LintModel> curated_lint_models();
+
+/// Repo-relative file defining a curated model, or "" if unknown.
+[[nodiscard]] std::string source_hint_for(std::string_view model_name);
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_REGISTRY_H

@@ -1,0 +1,348 @@
+#include "staticlint/rules.h"
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "staticlint/table2.h"
+
+namespace dfsm::staticlint {
+
+namespace {
+
+using core::PfsmType;
+using core::PredicateKind;
+
+Diagnostic make(const RuleInfo& info, Location where, std::string message,
+                std::string hint) {
+  Diagnostic d;
+  d.rule_id = info.id;
+  d.severity = info.severity;
+  d.where = std::move(where);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+// --- structural --------------------------------------------------------
+
+void st001_chain_empty(const RuleInfo& info, const LintModel& m,
+                       std::vector<Diagnostic>& out) {
+  if (!m.operations.empty()) return;
+  out.push_back(make(info, Location{m.name, "", ""},
+                     "the exploit chain has no operations",
+                     "add at least one operation (paper §4 step 3: a chain "
+                     "cascades one or more vulnerable operations)"));
+}
+
+void st002_gate_arity(const RuleInfo& info, const LintModel& m,
+                      std::vector<Diagnostic>& out) {
+  if (m.gates.size() == m.operations.size()) return;
+  out.push_back(make(
+      info, Location{m.name, "", ""},
+      "the chain has " + std::to_string(m.operations.size()) +
+          " operations but " + std::to_string(m.gates.size()) +
+          " propagation gates",
+      "pair exactly one gate with each operation; the last gate carries "
+      "the attack consequence"));
+}
+
+void st003_operation_empty(const RuleInfo& info, const LintModel& m,
+                           std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    if (!op.pfsms.empty()) continue;
+    out.push_back(make(info, Location{m.name, op.name, ""},
+                       "the operation contains no pFSMs",
+                       "model at least one elementary activity (Observation "
+                       "2: an operation is a series of pFSMs)"));
+  }
+}
+
+void st004_duplicate_operation(const RuleInfo& info, const LintModel& m,
+                               std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < m.operations.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (m.operations[j].name != m.operations[i].name) continue;
+      out.push_back(make(info, Location{m.name, m.operations[i].name, ""},
+                         "duplicate operation name (also used by operation " +
+                             std::to_string(j + 1) + " of the chain)",
+                         "rename one of the operations; names locate "
+                         "findings and Table 2 rows"));
+      break;
+    }
+  }
+}
+
+void st005_duplicate_pfsm(const RuleInfo& info, const LintModel& m,
+                          std::vector<Diagnostic>& out) {
+  std::vector<std::pair<std::string, std::string>> seen;  // (pfsm, op)
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      bool dup = false;
+      for (const auto& [name, first_op] : seen) {
+        if (name != p.name) continue;
+        out.push_back(make(info, Location{m.name, op.name, p.name},
+                           "duplicate pFSM name (first used in operation '" +
+                               first_op + "')",
+                           "number pFSMs uniquely across the model, as the "
+                           "paper figures do (pFSM1, pFSM2, ...)"));
+        dup = true;
+        break;
+      }
+      if (!dup) seen.emplace_back(p.name, op.name);
+    }
+  }
+}
+
+void st006_empty_activity(const RuleInfo& info, const LintModel& m,
+                          std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      if (!p.activity.empty()) continue;
+      out.push_back(make(info, Location{m.name, op.name, p.name},
+                         "the pFSM has no elementary-activity description",
+                         "describe the activity the pFSM models (e.g. "
+                         "\"write i to tTvect[x]\")"));
+    }
+  }
+}
+
+void st007_empty_predicate(const RuleInfo& info, const LintModel& m,
+                           std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      if (p.spec.description.empty() || p.spec.description == "-") {
+        out.push_back(make(info, Location{m.name, op.name, p.name},
+                           "the specification predicate has no description",
+                           "state the security predicate in question form "
+                           "(the Table 2 'question' column)"));
+      }
+      // "-" is the documented placeholder for "no implementation check
+      // exists" (Pfsm::unchecked); only a truly empty label is flagged.
+      if (p.impl.description.empty()) {
+        out.push_back(make(info, Location{m.name, op.name, p.name},
+                           "the implementation predicate has no description",
+                           "describe what the code actually enforces, or "
+                           "use \"-\" for an absent check"));
+      }
+    }
+  }
+}
+
+void st008_missing_consequence(const RuleInfo& info, const LintModel& m,
+                               std::vector<Diagnostic>& out) {
+  if (m.gates.empty() || m.gates.size() != m.operations.size()) return;
+  if (!m.gates.back().empty()) return;
+  out.push_back(make(info, Location{m.name, "", ""},
+                     "the final propagation gate names no consequence",
+                     "name the attack consequence on the last gate (e.g. "
+                     "\"Execute Mcode\")"));
+}
+
+// --- lemma -------------------------------------------------------------
+
+void lm001_all_secure(const RuleInfo& info, const LintModel& m,
+                      std::vector<Diagnostic>& out) {
+  if (!m.has_metadata || m.operations.empty()) return;
+  std::size_t pfsms = 0;
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      if (!p.declared_secure) return;
+      ++pfsms;
+    }
+  }
+  if (pfsms == 0) return;
+  out.push_back(make(
+      info, Location{m.name, "", ""},
+      "the model is registered as a vulnerability but every pFSM is "
+      "declared secure; per the Lemma it cannot be exploited",
+      "mark the pFSM(s) whose implementation deviates from the spec as "
+      "vulnerable (Pfsm::unchecked or an explicit impl predicate)"));
+}
+
+void lm002_secure_impl_mismatch(const RuleInfo& info, const LintModel& m,
+                                std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      if (!p.declared_secure) continue;
+      if (p.spec.description == p.impl.description &&
+          p.spec.kind == p.impl.kind) {
+        continue;
+      }
+      out.push_back(make(
+          info, Location{m.name, op.name, p.name},
+          "the pFSM is declared secure but its implementation predicate "
+          "('" + p.impl.description + "', " + to_string(p.impl.kind) +
+              ") differs from its spec ('" + p.spec.description + "', " +
+              to_string(p.spec.kind) + ")",
+          "a secure pFSM enforces exactly its specification (Lemma "
+          "statement 1); construct it with Pfsm::secure"));
+    }
+  }
+}
+
+void lm003_unreachable(const RuleInfo& info, const LintModel& m,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 1 < m.operations.size(); ++i) {
+    for (const auto& p : m.operations[i].pfsms) {
+      if (p.spec.kind != PredicateKind::kRejectAll ||
+          p.impl.kind != PredicateKind::kRejectAll) {
+        continue;
+      }
+      const std::size_t downstream = m.operations.size() - i - 1;
+      out.push_back(make(
+          info, Location{m.name, m.operations[i].name, p.name},
+          "the pFSM rejects every object by construction, so this "
+          "operation always foils the chain and the " +
+              std::to_string(downstream) +
+              " downstream operation(s) are unreachable dead weight",
+          "drop the unreachable operations or replace the reject-all "
+          "predicate with the real check (Lemma statement 2: one secure "
+          "operation already foils the cascade)"));
+      return;  // downstream operations are dead; deeper findings are noise
+    }
+  }
+}
+
+// --- taxonomy ----------------------------------------------------------
+
+/// The Figure 8 trio maps question forms to generic types: reference-
+/// consistency questions ask whether a binding is unchanged between
+/// check and use; object-type questions ask whether the object is of the
+/// operation's expected type; everything else verifies content or
+/// attributes (the paper's dominant, unmarked case).
+enum class QuestionForm { kReference, kObjectType, kContentAttribute };
+
+bool contains_any(const std::string& text,
+                  std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (text.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+QuestionForm question_form(const std::string& q) {
+  if (contains_any(q, {"unchanged", "re-bound", "rebound", "between check",
+                       "not modified since"})) {
+    return QuestionForm::kReference;
+  }
+  if (contains_any(q, {"represents a", "represents an", " is of type",
+                       " is a ", " is an "})) {
+    return QuestionForm::kObjectType;
+  }
+  return QuestionForm::kContentAttribute;
+}
+
+PfsmType expected_type(QuestionForm f) {
+  switch (f) {
+    case QuestionForm::kReference: return PfsmType::kReferenceConsistencyCheck;
+    case QuestionForm::kObjectType: return PfsmType::kObjectTypeCheck;
+    case QuestionForm::kContentAttribute:
+      return PfsmType::kContentAttributeCheck;
+  }
+  return PfsmType::kContentAttributeCheck;
+}
+
+void tx001_type_question(const RuleInfo& info, const LintModel& m,
+                         std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      const PfsmType want = expected_type(question_form(p.spec.description));
+      if (want == p.type) continue;
+      out.push_back(make(
+          info, Location{m.name, op.name, p.name},
+          std::string("the question '") + p.spec.description +
+              "' reads as a " + to_string(want) + " but the pFSM is typed " +
+              to_string(p.type),
+          "retype the pFSM or rephrase the question so the Figure 8 "
+          "classification and the predicate agree"));
+    }
+  }
+}
+
+void tx002_table2_census(const RuleInfo& info, const LintModel& m,
+                         std::vector<Diagnostic>& out) {
+  const auto expected = table2_entry(m.name);
+  if (!expected) return;
+  std::array<std::size_t, 3> actual{};
+  for (const auto& op : m.operations) {
+    for (const auto& p : op.pfsms) {
+      actual[static_cast<std::size_t>(p.type)]++;
+    }
+  }
+  const std::array<std::size_t, 3> want = {
+      expected->object_type, expected->content_attribute,
+      expected->reference_consistency};
+  if (actual == want) return;
+  const auto census = [](const std::array<std::size_t, 3>& c) {
+    return std::to_string(c[0]) + " object type / " + std::to_string(c[1]) +
+           " content-attribute / " + std::to_string(c[2]) +
+           " reference-consistency";
+  };
+  out.push_back(make(
+      info, Location{m.name, "", ""},
+      "the model's pFSM inventory (" + census(actual) +
+          ") does not match its Table 2 row (" + census(want) + ")",
+      "restore the published inventory, or update the Table 2 census in "
+      "staticlint/table2.cpp if the model legitimately changed"));
+}
+
+const std::vector<Rule>& registry() {
+  static const std::vector<Rule> rules = {
+      {{"ST001", "structural", Severity::kError,
+        "exploit chain has no operations"},
+       st001_chain_empty},
+      {{"ST002", "structural", Severity::kError,
+        "propagation gates do not pair 1:1 with operations"},
+       st002_gate_arity},
+      {{"ST003", "structural", Severity::kError,
+        "operation has no pFSMs"},
+       st003_operation_empty},
+      {{"ST004", "structural", Severity::kError,
+        "duplicate operation name within a chain"},
+       st004_duplicate_operation},
+      {{"ST005", "structural", Severity::kError,
+        "duplicate pFSM name within a model"},
+       st005_duplicate_pfsm},
+      {{"ST006", "structural", Severity::kWarning,
+        "pFSM has an empty elementary-activity description"},
+       st006_empty_activity},
+      {{"ST007", "structural", Severity::kWarning,
+        "predicate has an empty description"},
+       st007_empty_predicate},
+      {{"ST008", "structural", Severity::kError,
+        "final propagation gate names no consequence"},
+       st008_missing_consequence},
+      {{"LM001", "lemma", Severity::kError,
+        "vulnerability model in which every pFSM is declared secure"},
+       lm001_all_secure},
+      {{"LM002", "lemma", Severity::kError,
+        "declared-secure pFSM whose implementation differs from its spec"},
+       lm002_secure_impl_mismatch},
+      {{"LM003", "lemma", Severity::kWarning,
+        "operations unreachable behind a reject-all pFSM"},
+       lm003_unreachable},
+      {{"TX001", "taxonomy", Severity::kWarning,
+        "pFSM type disagrees with its question form"},
+       tx001_type_question},
+      {{"TX002", "taxonomy", Severity::kError,
+        "pFSM inventory disagrees with the model's Table 2 row"},
+       tx002_table2_census},
+  };
+  return rules;
+}
+
+}  // namespace
+
+const std::vector<Rule>& all_rules() { return registry(); }
+
+const Rule* find_rule(std::string_view id) {
+  for (const auto& r : all_rules()) {
+    if (id == r.info.id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace dfsm::staticlint

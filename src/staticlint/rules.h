@@ -1,0 +1,65 @@
+// rules.h — the rule set of the static model verifier.
+//
+// Three groups, following the Lemma of paper §6:
+//
+//   structural (ST) — the model tree is well-formed: a chain has
+//     operations, every operation has pFSMs, gates pair 1:1 with
+//     operations and the last one names the attack consequence, and
+//     names are unique enough to locate findings.
+//
+//   lemma (LM) — the model is consistent with the Lemma. Statement 1:
+//     an operation is secure iff ALL of its pFSM predicates are
+//     correctly implemented — so a model registered as a vulnerability
+//     in which every pFSM is declared secure cannot be exploited and is
+//     self-contradictory (LM001), and a declared-secure pFSM whose
+//     implementation predicate differs from its spec contradicts the
+//     declaration (LM002). Statement 2: one secure operation foils the
+//     cascade — so an operation that rejects every object by
+//     construction makes everything downstream unreachable (LM003).
+//
+//   taxonomy (TX) — the Figure 8 / Table 2 classification is coherent:
+//     a pFSM's generic type matches its question form (TX001) and a
+//     registered model's inventory matches its published Table 2 row
+//     (TX002).
+//
+// Every rule is a pure function of the IR: no object construction, no
+// predicate evaluation, no I/O.
+#ifndef DFSM_STATICLINT_RULES_H
+#define DFSM_STATICLINT_RULES_H
+
+#include <string_view>
+#include <vector>
+
+#include "staticlint/diagnostic.h"
+#include "staticlint/model_ir.h"
+
+namespace dfsm::staticlint {
+
+/// Static metadata of one rule (also exported into SARIF's rule array).
+struct RuleInfo {
+  const char* id;        ///< stable identifier, e.g. "ST004"
+  const char* group;     ///< "structural" | "lemma" | "taxonomy"
+  Severity severity;     ///< severity every finding of this rule carries
+  const char* summary;   ///< one-line description
+};
+
+/// One registered rule: metadata plus the checking function, which
+/// appends its findings (with info.id / info.severity filled in) to
+/// `out` in deterministic walk order.
+struct Rule {
+  RuleInfo info;
+  void (*check)(const RuleInfo& info, const LintModel& model,
+                std::vector<Diagnostic>& out);
+};
+
+/// All rules, in stable registry order (ST*, LM*, TX*). The order is
+/// part of the determinism contract: the linter emits findings in
+/// (model, registry index) order.
+[[nodiscard]] const std::vector<Rule>& all_rules();
+
+/// Looks a rule up by id; nullptr if unknown.
+[[nodiscard]] const Rule* find_rule(std::string_view id);
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_RULES_H

@@ -1,0 +1,42 @@
+#include "staticlint/table2.h"
+
+#include <array>
+#include <utility>
+
+namespace dfsm::staticlint {
+
+namespace {
+
+struct Row {
+  std::string_view name;
+  Table2Entry entry;
+};
+
+// One row per registered model, keyed by the model's exact name.
+// Counts are {object type, content/attribute, reference consistency}.
+// The seven paper models total 16 pFSMs (Table 2); the format-string
+// family rows follow the paper's §3.2 three-activity argument with the
+// same two-operation shape as rpc.statd.
+constexpr std::array<Row, 10> kTable2 = {{
+    {"Sendmail Signed Integer Overflow (Figure 3)", {1, 1, 1}},
+    {"NULL HTTPD Heap Overflow (Figure 4)", {0, 2, 2}},
+    {"xterm Log File Race Condition (Figure 5)", {0, 1, 1}},
+    {"Solaris Rwall Arbitrary File Corruption (Figure 6)", {1, 1, 0}},
+    {"IIS Filename Superfluous Decoding (Figure 7)", {0, 1, 0}},
+    {"GHTTPD Log() Buffer Overflow on Stack ([21])", {0, 1, 1}},
+    {"rpc.statd Remote Format String ([21])", {0, 1, 1}},
+    {"format-string family: wu-ftpd #1387 (SITE EXEC)", {0, 1, 1}},
+    {"format-string family: splitvt #2210 (setuid)", {0, 1, 1}},
+    {"format-string family: icecast #2264 (print_client)", {0, 1, 1}},
+}};
+
+}  // namespace
+
+std::optional<Table2Entry> table2_entry(std::string_view model_name) {
+  for (const auto& row : kTable2) {
+    if (row.name == model_name) return row.entry;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,35 @@
+// table2.h — the paper's Table 2 pFSM inventory, as lint ground truth.
+//
+// Table 2 lists, for every case-study vulnerability, how many pFSMs of
+// each Figure-8 generic type its model contains. Rule TX002 cross-checks
+// a registered model's actual inventory against this census: a model
+// that drifts from its published row (a pFSM added, dropped, or
+// retyped) is flagged before any object is ever evaluated through it.
+#ifndef DFSM_STATICLINT_TABLE2_H
+#define DFSM_STATICLINT_TABLE2_H
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace dfsm::staticlint {
+
+/// Expected pFSM counts per generic type for one Table 2 row.
+struct Table2Entry {
+  std::size_t object_type = 0;
+  std::size_t content_attribute = 0;
+  std::size_t reference_consistency = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return object_type + content_attribute + reference_consistency;
+  }
+};
+
+/// The Table 2 row for a registered model name, if the paper covers it.
+/// Models without a row (user-authored chains) are simply not checked.
+[[nodiscard]] std::optional<Table2Entry> table2_entry(
+    std::string_view model_name);
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_TABLE2_H

@@ -155,6 +155,7 @@ TEST(AutoTool, CustomImplWeakerThanSpecIsTheClassicPattern) {
   using predicates::int_in_range;
   VulnerabilitySpec spec;
   spec.name = "range check missing the lower bound";
+  spec.bugtraq_ids = {99991};  // synthetic report id for the demo spec
   spec.vulnerability_class = "Integer Overflow";
   spec.software = "demo";
   spec.consequence = "array underflow";

@@ -39,6 +39,19 @@ TEST(ExploitChain, RequiresName) {
   EXPECT_THROW(ExploitChain{""}, std::invalid_argument);
 }
 
+TEST(ExploitChain, RejectsDuplicateOperationNames) {
+  Operation op1{"op1", "o"};
+  op1.add(Pfsm::unchecked("p1", PfsmType::kContentAttributeCheck, "a",
+                          flag_true("ok1")));
+  Operation dup{"op1", "o"};
+  dup.add(Pfsm::unchecked("p2", PfsmType::kContentAttributeCheck, "b",
+                          flag_true("ok2")));
+  ExploitChain chain{"chain"};
+  chain.add(std::move(op1), PropagationGate{"g1"});
+  EXPECT_THROW(chain.add(std::move(dup), PropagationGate{"g2"}),
+               std::invalid_argument);
+}
+
 TEST(ExploitChain, EmptyChainCannotEvaluate) {
   ExploitChain c{"c"};
   EXPECT_THROW((void)c.evaluate({}), std::invalid_argument);

@@ -24,7 +24,17 @@ FsmModel tiny_model() {
 
 TEST(FsmModel, RequiresNameAndNonEmptyChain) {
   ExploitChain empty{"c"};
-  EXPECT_THROW((FsmModel{"x", {}, "c", "s", "q", std::move(empty)}),
+  EXPECT_THROW((FsmModel{"x", {1}, "c", "s", "q", std::move(empty)}),
+               std::invalid_argument);
+}
+
+TEST(FsmModel, RequiresAtLeastOneReportId) {
+  Operation op{"op1", "o"};
+  op.add(Pfsm::unchecked("p1", PfsmType::kContentAttributeCheck, "a",
+                         Predicate::accept_all("always")));
+  ExploitChain chain{"chain"};
+  chain.add(std::move(op), PropagationGate{"g"});
+  EXPECT_THROW((FsmModel{"x", {}, "c", "s", "q", std::move(chain)}),
                std::invalid_argument);
 }
 

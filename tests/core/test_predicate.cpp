@@ -39,6 +39,19 @@ TEST(Predicate, AcceptAllAndRejectAll) {
   EXPECT_EQ(Predicate::accept_all().description(), "-");
 }
 
+TEST(Predicate, KindRecordsConstructionProvenance) {
+  EXPECT_EQ(Predicate::accept_all().kind(), PredicateKind::kAcceptAll);
+  EXPECT_EQ(Predicate::reject_all().kind(), PredicateKind::kRejectAll);
+  const Predicate custom{"x", [](const Object&) { return true; }};
+  EXPECT_EQ(custom.kind(), PredicateKind::kCustom);
+  // Combinators produce new custom predicates, whatever the inputs were.
+  EXPECT_EQ((Predicate::accept_all() && Predicate::reject_all()).kind(),
+            PredicateKind::kCustom);
+  // Copies preserve the kind.
+  const Predicate copy = Predicate::reject_all();
+  EXPECT_EQ(copy.kind(), PredicateKind::kRejectAll);
+}
+
 TEST(Predicate, ConjunctionSemantics) {
   const auto ge0 = Predicate{"x >= 0", [](const Object& o) {
                                return o.attr_int("x").value_or(-1) >= 0;

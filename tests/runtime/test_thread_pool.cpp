@@ -98,7 +98,7 @@ TEST(ThreadPool, DefaultThreadsHonorsEnvOverride) {
   setenv("DFSM_THREADS", "0", 1);
   EXPECT_EQ(ThreadPool::default_threads(), 0u);
   setenv("DFSM_THREADS", "banana", 1);
-  EXPECT_THROW(ThreadPool::default_threads(), std::invalid_argument);
+  EXPECT_THROW((void)ThreadPool::default_threads(), std::invalid_argument);
   unsetenv("DFSM_THREADS");
   EXPECT_GE(ThreadPool::default_threads(), 1u);
 

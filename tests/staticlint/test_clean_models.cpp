@@ -1,0 +1,67 @@
+// The curated registry must lint clean: every shipped model — the seven
+// paper case studies plus the three format-string family profiles —
+// passes the full rule set with zero findings. This is the test-side
+// twin of the blocking dfsm_lint CI job.
+#include "staticlint/registry.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "staticlint/linter.h"
+#include "staticlint/rules.h"
+
+namespace dfsm::staticlint {
+namespace {
+
+TEST(CuratedModels, RegistryHasAllTenModels) {
+  const auto models = curated_lint_models();
+  ASSERT_EQ(models.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& m : models) names.insert(m.name);
+  EXPECT_EQ(names.size(), 10u) << "model names must be unique";
+  for (const char* needle :
+       {"Sendmail", "NULL HTTPD", "xterm", "Rwall", "IIS", "GHTTPD",
+        "rpc.statd", "wu-ftpd", "splitvt", "icecast"}) {
+    bool found = false;
+    for (const auto& name : names) {
+      if (name.find(needle) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << "missing curated model: " << needle;
+  }
+}
+
+TEST(CuratedModels, EveryModelCarriesASourceHint) {
+  for (const auto& m : curated_lint_models()) {
+    EXPECT_FALSE(m.source_hint.empty()) << m.name;
+    EXPECT_EQ(m.source_hint.rfind("src/apps/", 0), 0u) << m.source_hint;
+  }
+}
+
+TEST(CuratedModels, FullRuleSetReportsZeroFindings) {
+  const LintRun run = lint(curated_lint_models());
+  EXPECT_EQ(run.models_checked, 10u);
+  EXPECT_EQ(run.rules_run, all_rules().size());
+  EXPECT_TRUE(run.findings.empty()) << [&] {
+    std::string listing;
+    for (const auto& f : run.findings) {
+      listing += f.rule_id + " at " + f.where.qualified() + ": " + f.message +
+                 "\n";
+    }
+    return listing;
+  }();
+  EXPECT_EQ(run.errors(), 0u);
+  EXPECT_EQ(run.warnings(), 0u);
+}
+
+TEST(CuratedModels, SourceHintLookupIsPrefixIndependent) {
+  EXPECT_EQ(source_hint_for("Sendmail Signed Integer Overflow (Figure 3)"),
+            "src/apps/sendmail.cpp");
+  EXPECT_EQ(source_hint_for("format-string family: splitvt #2210 (setuid)"),
+            "src/apps/fmtfamily.cpp");
+  EXPECT_EQ(source_hint_for("a model nobody registered"), "");
+}
+
+}  // namespace
+}  // namespace dfsm::staticlint

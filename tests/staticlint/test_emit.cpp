@@ -1,0 +1,127 @@
+// Emitter tests: text/JSON/SARIF structure, JSON string escaping, and
+// the determinism contract — the full pipeline (curated registry →
+// lint → emit) is byte-identical at every thread count.
+#include "staticlint/emit.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+#include "staticlint/linter.h"
+#include "staticlint/model_ir.h"
+#include "staticlint/registry.h"
+#include "staticlint/rules.h"
+
+namespace dfsm::staticlint {
+namespace {
+
+/// One-operation model with an injected ST003 defect (and a message-
+/// hostile name) so the emitters have a finding to render.
+LintModel defective_model() {
+  LintModel m;
+  m.name = "quote\" backslash\\ newline\n tab\t bell\x07 model";
+  m.bugtraq_ids = {42};
+  m.has_metadata = true;
+  m.source_hint = "src/apps/demo.cpp";
+  LintOperation op;
+  op.name = "op1";
+  m.operations.push_back(op);  // no pFSMs -> ST003
+  m.gates = {"Execute code"};
+  return m;
+}
+
+LintRun defective_run() {
+  LintOptions opt;
+  opt.rule_ids = {"ST003"};
+  return lint({defective_model()}, opt);
+}
+
+TEST(EmitText, ListsFindingAndSummary) {
+  const std::string text = emit_text(defective_run());
+  EXPECT_NE(text.find("checked 1 model(s) against 1 rule(s)"),
+            std::string::npos);
+  EXPECT_NE(text.find("error ST003:"), std::string::npos);
+  EXPECT_NE(text.find("/op1: the operation contains no pFSMs"),
+            std::string::npos);
+  EXPECT_NE(text.find("    hint: "), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s)"), std::string::npos);
+
+  const std::string clean = emit_text(lint({}));
+  EXPECT_NE(clean.find("no findings"), std::string::npos);
+}
+
+TEST(EmitJson, EscapesEveryHostileCharacter) {
+  const std::string json = emit_json(defective_run());
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ newline\\n tab\\t "
+                      "bell\\u0007 model"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"ST003\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\": \"src/apps/demo.cpp\""),
+            std::string::npos);
+  // The raw control characters must not survive into the document.
+  EXPECT_EQ(json.find('\x07'), std::string::npos);
+}
+
+TEST(EmitSarif, CarriesSchemaRulesAndLocations) {
+  const std::string sarif = emit_sarif(defective_run());
+  EXPECT_NE(sarif.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"dfsm_lint\""), std::string::npos);
+  // Every registry rule is documented even when only one fired.
+  for (const auto& r : all_rules()) {
+    EXPECT_NE(sarif.find(std::string("{\"id\": \"") + r.info.id + "\""),
+              std::string::npos)
+        << r.info.id;
+  }
+  // ST003 is registry index 2; the result must reference it.
+  EXPECT_NE(sarif.find("\"ruleId\": \"ST003\", \"ruleIndex\": 2, "
+                       "\"level\": \"error\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/apps/demo.cpp\", "
+                       "\"uriBaseId\": \"%SRCROOT%\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"logicalLocations\""), std::string::npos);
+
+  // A model without a source hint gets a logical location only.
+  LintModel bare = defective_model();
+  bare.source_hint.clear();
+  LintOptions opt;
+  opt.rule_ids = {"ST003"};
+  const std::string no_hint = emit_sarif(lint({bare}, opt));
+  EXPECT_EQ(no_hint.find("physicalLocation"), std::string::npos);
+  EXPECT_NE(no_hint.find("logicalLocations"), std::string::npos);
+}
+
+TEST(EmitDeterminism, ByteIdenticalAtEveryThreadCount) {
+  // Curated models plus injected defects, so the comparison covers a
+  // non-trivial finding order and not just the zero-findings footer.
+  auto models = curated_lint_models();
+  for (int i = 0; i < 3; ++i) {
+    LintModel bad = defective_model();
+    bad.name = "defective #" + std::to_string(i);
+    bad.gates.pop_back();  // adds ST002 next to ST003
+    models.push_back(bad);
+  }
+
+  // Reference: explicit serial pool.
+  runtime::ThreadPool serial{0};
+  const LintRun base_run = lint(models, {}, serial);
+  EXPECT_GE(base_run.findings.size(), 6u);
+  const std::string base_json = emit_json(base_run);
+  const std::string base_sarif = emit_sarif(base_run);
+  const std::string base_text = emit_text(base_run);
+
+  for (std::size_t threads : {0u, 1u, 4u}) {
+    runtime::ThreadPool::set_global_threads(threads);
+    const LintRun run = lint(models);
+    EXPECT_EQ(emit_json(run), base_json) << "threads=" << threads;
+    EXPECT_EQ(emit_sarif(run), base_sarif) << "threads=" << threads;
+    EXPECT_EQ(emit_text(run), base_text) << "threads=" << threads;
+  }
+  runtime::ThreadPool::set_global_threads(runtime::ThreadPool::default_threads());
+}
+
+}  // namespace
+}  // namespace dfsm::staticlint

@@ -1,0 +1,303 @@
+// Per-rule tests for the static model verifier: a clean base fixture
+// passes the whole registry, and one injected defect per rule triggers
+// exactly that rule at the expected location. Fixtures are built
+// directly in the IR so defects the hardened core builders refuse
+// (gate-arity skew, duplicate names) stay testable.
+#include "staticlint/rules.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/sendmail.h"
+#include "core/chain.h"
+#include "core/pfsm.h"
+#include "core/predicate.h"
+#include "staticlint/linter.h"
+#include "staticlint/model_ir.h"
+
+namespace dfsm::staticlint {
+namespace {
+
+using core::PfsmType;
+using core::PredicateKind;
+
+LintPfsm make_pfsm(std::string name, std::string question) {
+  LintPfsm p;
+  p.name = std::move(name);
+  p.type = PfsmType::kContentAttributeCheck;
+  p.activity = "write x";
+  p.action = "reject the input";
+  p.spec = LintPredicate{std::move(question), PredicateKind::kCustom};
+  p.impl = LintPredicate{"-", PredicateKind::kCustom};
+  p.declared_secure = false;
+  return p;
+}
+
+/// A two-operation model that violates no rule: unique names, 1:1
+/// gates, a final consequence, content-form questions on
+/// content-typed pFSMs, and no Table 2 row (the name is unregistered).
+LintModel clean_base() {
+  LintModel m;
+  m.name = "base";
+  m.bugtraq_ids = {1};
+  m.vulnerability_class = "boundary condition error";
+  m.software = "demo";
+  m.consequence = "execute code";
+  m.has_metadata = true;
+  LintOperation op1;
+  op1.name = "op1";
+  op1.object_description = "attacker input";
+  op1.pfsms.push_back(make_pfsm("pFSM1", "does x fit the buffer?"));
+  LintOperation op2;
+  op2.name = "op2";
+  op2.object_description = "derived pointer";
+  op2.pfsms.push_back(make_pfsm("pFSM2", "does the write stay in bounds?"));
+  m.operations = {op1, op2};
+  m.gates = {"corrupt x", "Execute code"};
+  return m;
+}
+
+/// Runs exactly one rule over one model.
+std::vector<Diagnostic> run_rule(const char* id, const LintModel& m) {
+  LintOptions opt;
+  opt.rule_ids = {id};
+  return lint({m}, opt).findings;
+}
+
+TEST(Registry, CleanBasePassesEveryRule) {
+  const LintRun run = lint({clean_base()});
+  EXPECT_TRUE(run.findings.empty());
+  EXPECT_EQ(run.models_checked, 1u);
+  EXPECT_EQ(run.rules_run, all_rules().size());
+}
+
+TEST(Registry, StableGroupOrderAndLookup) {
+  const auto& rules = all_rules();
+  ASSERT_EQ(rules.size(), 13u);
+  // ST* precede LM* precede TX* — finding order depends on this.
+  std::string last_group_seen;
+  std::vector<std::string> group_order;
+  for (const auto& r : rules) {
+    if (r.info.group != last_group_seen) {
+      group_order.push_back(r.info.group);
+      last_group_seen = r.info.group;
+    }
+  }
+  EXPECT_EQ(group_order,
+            (std::vector<std::string>{"structural", "lemma", "taxonomy"}));
+  ASSERT_NE(find_rule("ST001"), nullptr);
+  EXPECT_EQ(find_rule("ST001")->info.severity, Severity::kError);
+  EXPECT_EQ(find_rule("ZZ999"), nullptr);
+}
+
+TEST(Linter, UnknownRuleIdThrows) {
+  LintOptions opt;
+  opt.rule_ids = {"ST001", "NOPE"};
+  EXPECT_THROW((void)lint({clean_base()}, opt), std::invalid_argument);
+}
+
+TEST(RuleST001, EmptyChain) {
+  LintModel m = clean_base();
+  m.operations.clear();
+  m.gates.clear();
+  const auto out = run_rule("ST001", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST001");
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].where.qualified(), "base");
+}
+
+TEST(RuleST002, GateAritySkew) {
+  LintModel m = clean_base();
+  m.gates.pop_back();
+  const auto out = run_rule("ST002", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST002");
+  EXPECT_NE(out[0].message.find("2 operations"), std::string::npos);
+  EXPECT_NE(out[0].message.find("1 propagation gates"), std::string::npos);
+}
+
+TEST(RuleST003, OperationWithoutPfsms) {
+  LintModel m = clean_base();
+  m.operations[1].pfsms.clear();
+  const auto out = run_rule("ST003", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST003");
+  EXPECT_EQ(out[0].where.qualified(), "base/op2");
+}
+
+TEST(RuleST004, DuplicateOperationName) {
+  LintModel m = clean_base();
+  m.operations[1].name = "op1";
+  const auto out = run_rule("ST004", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST004");
+  // Anchored at the *second* occurrence, pointing back at the first.
+  EXPECT_EQ(out[0].where.qualified(), "base/op1");
+  EXPECT_NE(out[0].message.find("operation 1"), std::string::npos);
+}
+
+TEST(RuleST005, DuplicatePfsmNameAcrossOperations) {
+  LintModel m = clean_base();
+  m.operations[1].pfsms[0].name = "pFSM1";
+  const auto out = run_rule("ST005", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST005");
+  EXPECT_EQ(out[0].where.qualified(), "base/op2/pFSM1");
+  EXPECT_NE(out[0].message.find("first used in operation 'op1'"),
+            std::string::npos);
+}
+
+TEST(RuleST006, EmptyActivity) {
+  LintModel m = clean_base();
+  m.operations[0].pfsms[0].activity.clear();
+  const auto out = run_rule("ST006", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST006");
+  EXPECT_EQ(out[0].severity, Severity::kWarning);
+  EXPECT_EQ(out[0].where.qualified(), "base/op1/pFSM1");
+}
+
+TEST(RuleST007, EmptyPredicateDescriptions) {
+  LintModel m = clean_base();
+  m.operations[0].pfsms[0].spec.description.clear();
+  m.operations[1].pfsms[0].impl.description.clear();
+  const auto out = run_rule("ST007", m);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].where.qualified(), "base/op1/pFSM1");
+  EXPECT_NE(out[0].message.find("specification"), std::string::npos);
+  EXPECT_EQ(out[1].where.qualified(), "base/op2/pFSM2");
+  EXPECT_NE(out[1].message.find("implementation"), std::string::npos);
+  // "-" is the documented no-check placeholder for impl and is clean.
+  EXPECT_TRUE(run_rule("ST007", clean_base()).empty());
+}
+
+TEST(RuleST008, FinalGateNamesNoConsequence) {
+  LintModel m = clean_base();
+  m.gates.back().clear();
+  const auto out = run_rule("ST008", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "ST008");
+  EXPECT_EQ(out[0].where.qualified(), "base");
+}
+
+TEST(RuleLM001, AllPfsmsDeclaredSecure) {
+  LintModel m = clean_base();
+  for (auto& op : m.operations) {
+    for (auto& p : op.pfsms) {
+      p.declared_secure = true;
+      p.impl = p.spec;  // keep LM002 out of the picture
+    }
+  }
+  const auto out = run_rule("LM001", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "LM001");
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].where.qualified(), "base");
+
+  // A bare chain carries no vulnerability-report metadata, so the
+  // self-contradiction cannot arise and the rule skips it.
+  m.has_metadata = false;
+  EXPECT_TRUE(run_rule("LM001", m).empty());
+}
+
+TEST(RuleLM002, DeclaredSecureImplMismatch) {
+  LintModel m = clean_base();
+  auto& p = m.operations[0].pfsms[0];
+  p.declared_secure = true;  // impl stays "-", differing from the spec
+  const auto out = run_rule("LM002", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "LM002");
+  EXPECT_EQ(out[0].where.qualified(), "base/op1/pFSM1");
+
+  // Matching description AND construction kind is consistent.
+  p.impl = p.spec;
+  EXPECT_TRUE(run_rule("LM002", m).empty());
+
+  // Same text but a reject-all construction still contradicts the
+  // declaration: the kinds differ.
+  p.impl.kind = PredicateKind::kRejectAll;
+  EXPECT_EQ(run_rule("LM002", m).size(), 1u);
+}
+
+TEST(RuleLM003, RejectAllFoilsDownstreamOperations) {
+  LintModel m = clean_base();
+  auto& p = m.operations[0].pfsms[0];
+  p.spec.kind = PredicateKind::kRejectAll;
+  p.impl.kind = PredicateKind::kRejectAll;
+  const auto out = run_rule("LM003", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "LM003");
+  EXPECT_EQ(out[0].severity, Severity::kWarning);
+  EXPECT_EQ(out[0].where.qualified(), "base/op1/pFSM1");
+  EXPECT_NE(out[0].message.find("1 downstream operation(s)"),
+            std::string::npos);
+
+  // A reject-all in the *last* operation leaves nothing unreachable.
+  LintModel tail = clean_base();
+  auto& last = tail.operations[1].pfsms[0];
+  last.spec.kind = PredicateKind::kRejectAll;
+  last.impl.kind = PredicateKind::kRejectAll;
+  EXPECT_TRUE(run_rule("LM003", tail).empty());
+}
+
+TEST(RuleTX001, QuestionFormDisagreesWithType) {
+  LintModel m = clean_base();
+  auto& p = m.operations[0].pfsms[0];
+  // A reference-consistency question on a content-typed pFSM.
+  p.spec.description = "is the file binding unchanged between check and use?";
+  const auto out = run_rule("TX001", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "TX001");
+  EXPECT_EQ(out[0].where.qualified(), "base/op1/pFSM1");
+
+  // Retyping the pFSM to match the question clears the finding.
+  p.type = PfsmType::kReferenceConsistencyCheck;
+  EXPECT_TRUE(run_rule("TX001", m).empty());
+
+  // An object-type question on a content-typed pFSM.
+  LintModel m2 = clean_base();
+  m2.operations[0].pfsms[0].spec.description =
+      "the input represents a long integer?";
+  EXPECT_EQ(run_rule("TX001", m2).size(), 1u);
+}
+
+TEST(RuleTX002, CensusDisagreesWithTable2Row) {
+  LintModel m = clean_base();
+  // Adopt a registered name: IIS's Table 2 row is one lone
+  // content/attribute check, but the base fixture carries two.
+  m.name = "IIS Filename Superfluous Decoding (Figure 7)";
+  const auto out = run_rule("TX002", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "TX002");
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].where.qualified(),
+            "IIS Filename Superfluous Decoding (Figure 7)");
+  EXPECT_NE(out[0].message.find("0 object type / 2 content-attribute"),
+            std::string::npos);
+
+  // Unregistered names have no row to disagree with.
+  EXPECT_TRUE(run_rule("TX002", clean_base()).empty());
+}
+
+TEST(ModelIr, SnapshotsCoreModelWithoutCallables) {
+  const auto model = apps::make_sendmail_case_study()->model();
+  const LintModel ir = LintModel::from_model(model, "src/apps/sendmail.cpp");
+  EXPECT_EQ(ir.name, model.name());
+  EXPECT_TRUE(ir.has_metadata);
+  EXPECT_EQ(ir.source_hint, "src/apps/sendmail.cpp");
+  ASSERT_EQ(ir.operations.size(), model.chain().size());
+  EXPECT_EQ(ir.gates.size(), model.chain().gates().size());
+
+  // from_chain drops the report metadata and records that it did.
+  const LintModel bare = LintModel::from_chain(model.chain());
+  EXPECT_FALSE(bare.has_metadata);
+  EXPECT_TRUE(bare.bugtraq_ids.empty());
+  EXPECT_EQ(bare.operations.size(), ir.operations.size());
+}
+
+}  // namespace
+}  // namespace dfsm::staticlint

@@ -1,0 +1,179 @@
+// dfsm_lint — static model verifier CLI (DESIGN.md §7).
+//
+// Lints the curated model registry (or a --models subset) against the
+// staticlint rule set without evaluating a single object, and emits the
+// findings as text, JSON, or SARIF 2.1.0 for GitHub code scanning.
+//
+//   dfsm_lint                          # lint everything, human-readable
+//   dfsm_lint --models Sendmail,IIS    # substring-filtered subset
+//   dfsm_lint --rules LM001,LM002     # Lemma-consistency rules only
+//   dfsm_lint --format sarif --out dfsm_lint.sarif
+//   dfsm_lint --list-rules
+//
+// Exit codes: 0 = clean (below the --fail-on threshold), 1 = findings
+// at or above the threshold, 2 = usage error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "staticlint/emit.h"
+#include "staticlint/linter.h"
+#include "staticlint/registry.h"
+
+namespace {
+
+using dfsm::staticlint::LintModel;
+using dfsm::staticlint::LintOptions;
+using dfsm::staticlint::Severity;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss{csv};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --models <csv>   lint only models whose name contains one of\n"
+      << "                   the given substrings (default: all curated)\n"
+      << "  --rules <csv>    run only the given rule ids (default: all)\n"
+      << "  --format <f>     text | json | sarif  (default: text)\n"
+      << "  --out <file>     write the report to <file> instead of stdout\n"
+      << "  --fail-on <s>    error | warning | never  (default: warning)\n"
+      << "  --threads <n>    worker threads (default: DFSM_THREADS)\n"
+      << "  --list-rules     print the rule table and exit\n"
+      << "  --list-models    print the curated model names and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> model_filters;
+  LintOptions options;
+  std::string format = "text";
+  std::string out_path;
+  std::string fail_on = "warning";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--models") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      model_filters = split_csv(v);
+    } else if (arg == "--rules") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.rule_ids = split_csv(v);
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      format = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--fail-on") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      fail_on = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      dfsm::runtime::ThreadPool::set_global_threads(
+          static_cast<std::size_t>(std::stoul(v)));
+    } else if (arg == "--list-rules") {
+      for (const auto& r : dfsm::staticlint::all_rules()) {
+        std::cout << r.info.id << "  [" << r.info.group << ", "
+                  << to_string(r.info.severity) << "]  " << r.info.summary
+                  << "\n";
+      }
+      return 0;
+    } else if (arg == "--list-models") {
+      for (const auto& m : dfsm::staticlint::curated_lint_models()) {
+        std::cout << m.name << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "unknown format: " << format << "\n";
+    return usage(argv[0]);
+  }
+  if (fail_on != "error" && fail_on != "warning" && fail_on != "never") {
+    std::cerr << "unknown --fail-on value: " << fail_on << "\n";
+    return usage(argv[0]);
+  }
+
+  std::vector<LintModel> models;
+  for (auto& m : dfsm::staticlint::curated_lint_models()) {
+    if (!model_filters.empty()) {
+      bool selected = false;
+      for (const auto& f : model_filters) {
+        if (m.name.find(f) != std::string::npos) {
+          selected = true;
+          break;
+        }
+      }
+      if (!selected) continue;
+    }
+    models.push_back(std::move(m));
+  }
+  if (models.empty()) {
+    std::cerr << "no curated model matches the --models filter\n";
+    return 2;
+  }
+
+  dfsm::staticlint::LintRun run;
+  try {
+    run = dfsm::staticlint::lint(models, options);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::string report;
+  if (format == "json") {
+    report = dfsm::staticlint::emit_json(run);
+  } else if (format == "sarif") {
+    report = dfsm::staticlint::emit_sarif(run);
+  } else {
+    report = dfsm::staticlint::emit_text(run);
+  }
+
+  if (out_path.empty()) {
+    std::cout << report;
+  } else {
+    std::ofstream out{out_path};
+    if (!out) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 2;
+    }
+    out << report;
+    std::cerr << "dfsm_lint: wrote " << out_path << " (" << run.errors()
+              << " error(s), " << run.warnings() << " warning(s))\n";
+  }
+
+  if (fail_on == "never") return 0;
+  if (run.errors() > 0) return 1;
+  if (fail_on == "warning" && run.warnings() > 0) return 1;
+  return 0;
+}
