@@ -23,24 +23,50 @@ constexpr const char* kHeader =
     "id,title,software,year,remote,category,class,description,activities,"
     "reference_activity";
 
-/// Offsets [begin, end) of each non-empty CSV row of `text`: rows split
-/// at newlines outside quotes, so quoted fields keep their embedded
-/// newlines (descriptions may be multi-line). This boundary scan is the
-/// only serial pass of the reader; field/record parsing fans out per row.
-std::vector<std::pair<std::size_t, std::size_t>> row_spans(const std::string& text) {
-  std::vector<std::pair<std::size_t, std::size_t>> spans;
+/// One non-empty CSV row of a document: its byte span and the 1-based
+/// line number the span starts on (error messages and quarantine entries
+/// report lines, not row ordinals, so multi-line quoted rows stay
+/// locatable in an editor).
+struct RowSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t line = 1;
+};
+
+/// Spans of each non-empty CSV row of `text`: rows split at newlines
+/// outside quotes, so quoted fields keep their embedded newlines
+/// (descriptions may be multi-line). A UTF-8 BOM before the header and a
+/// '\r' before each row-terminating '\n' (CRLF files) are excluded from
+/// the spans. This boundary scan is the only serial pass of the reader;
+/// field/record parsing fans out per row.
+std::vector<RowSpan> row_spans(const std::string& text) {
+  std::vector<RowSpan> spans;
   bool in_quotes = false;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
+  std::size_t start = text.rfind("\xEF\xBB\xBF", 0) == 0 ? 3 : 0;
+  std::size_t line = 1;
+  std::size_t start_line = 1;
+  const auto emit = [&](std::size_t end) {
+    // An unterminated quote swallows the file's final newline into the
+    // last span; strip it (and a CRLF '\r') so quarantine line counts
+    // reflect the source lines the span actually covers.
+    if (end > start && text[end - 1] == '\n') --end;
+    if (end > start && text[end - 1] == '\r') --end;
+    if (end > start) spans.push_back({start, end, start_line});
+  };
+  for (std::size_t i = start; i < text.size(); ++i) {
     const char c = text[i];
     if (c == '"') {
       in_quotes = !in_quotes;
-    } else if (c == '\n' && !in_quotes) {
-      if (i > start) spans.emplace_back(start, i);
-      start = i + 1;
+    } else if (c == '\n') {
+      if (!in_quotes) {
+        emit(i);
+        start = i + 1;
+        start_line = line + 1;
+      }
+      ++line;
     }
   }
-  if (text.size() > start) spans.emplace_back(start, text.size());
+  emit(text.size());
   return spans;
 }
 
@@ -77,35 +103,49 @@ std::vector<std::string> parse_fields(const std::string& text, std::size_t begin
   return fields;
 }
 
-void check_header(const std::string& text,
-                  const std::vector<std::pair<std::size_t, std::size_t>>& spans) {
-  if (spans.empty()) throw std::invalid_argument("bad CSV header");
-  const auto fields = parse_fields(text, spans[0].first, spans[0].second);
-  if (fields.size() != 10) throw std::invalid_argument("bad CSV header");
+bool header_ok(const std::string& text, const std::vector<RowSpan>& spans) {
+  if (spans.empty()) return false;
+  const auto fields = parse_fields(text, spans[0].begin, spans[0].end);
+  if (fields.size() != 10) return false;
   std::string joined;
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i) joined += ',';
     joined += fields[i];
   }
-  if (joined != kHeader) throw std::invalid_argument("bad CSV header");
+  return joined == kHeader;
 }
 
-VulnRecord parse_record(const std::vector<std::string>& fields,
-                        std::size_t row_number) {
+/// Strict integer field: the whole field must be one base-10 integer
+/// (std::stoi alone would accept "123abc", hiding corruption).
+int parse_int_field(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos == s.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument(std::string("bad ") + what + " '" + s + "'");
+}
+
+/// Parses one data row's fields into a record. Reasons carry no location
+/// — the caller prefixes "<shard>:<line>: " so the same parse serves
+/// strict throws and lenient quarantine entries.
+VulnRecord parse_record(const std::vector<std::string>& fields) {
   if (fields.size() != 10) {
-    throw std::invalid_argument("bad CSV row " + std::to_string(row_number));
+    throw std::invalid_argument("bad CSV row: expected 10 fields, got " +
+                                std::to_string(fields.size()));
   }
   VulnRecord r;
-  r.id = std::stoi(fields[0]);
+  r.id = parse_int_field(fields[0], "id");
   r.title = fields[1];
   r.software = fields[2];
-  r.year = std::stoi(fields[3]);
+  r.year = parse_int_field(fields[3], "year");
   r.remote = fields[4] == "1";
   auto cat = category_from_string(fields[5]);
+  if (!cat) throw std::invalid_argument("bad category '" + fields[5] + "'");
   auto cls = vuln_class_from_string(fields[6]);
-  if (!cat || !cls) {
-    throw std::invalid_argument("bad category/class in CSV row " +
-                                std::to_string(row_number));
+  if (!cls) {
+    throw std::invalid_argument("bad vulnerability class '" + fields[6] + "'");
   }
   r.category = *cat;
   r.vuln_class = *cls;
@@ -124,10 +164,10 @@ VulnRecord parse_record(const std::vector<std::string>& fields,
           break;
         }
       }
-      if (!found) throw std::invalid_argument("bad activity: " + a);
+      if (!found) throw std::invalid_argument("bad activity '" + a + "'");
     }
   }
-  r.reference_activity = std::stoi(fields[9]);
+  r.reference_activity = parse_int_field(fields[9], "reference_activity");
   return r;
 }
 
@@ -159,39 +199,130 @@ void append_csv_row(std::string& out, const VulnRecord& r) {
   out += '\n';
 }
 
-/// One data row of one CSV document: where it lives, and its 1-based row
-/// number within that document (for error messages).
+/// One data row of one CSV document: where it lives, which document it
+/// came from, and the 1-based line its span starts on (for error
+/// messages and quarantine entries).
 struct RowRef {
   const std::string* text = nullptr;
+  const std::string* name = nullptr;
   std::size_t begin = 0;
   std::size_t end = 0;
-  std::size_t row_number = 0;
+  std::size_t line = 0;
 };
 
-Database parse_csv_docs(const std::vector<const std::string*>& docs) {
+std::string located(const RowRef& row, const std::string& reason) {
+  return *row.name + ":" + std::to_string(row.line) + ": " + reason;
+}
+
+Database parse_csv_docs(const std::vector<const std::string*>& docs,
+                        const std::vector<std::string>& names,
+                        IngestPolicy policy, IngestReport* report) {
+  // Serial boundary pass: flatten every document's data rows into one
+  // array so parsing shards evenly even when shard sizes are skewed.
   std::vector<RowRef> rows;
-  for (const std::string* doc : docs) {
-    const auto spans = row_spans(*doc);
-    check_header(*doc, spans);
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    const std::string& doc = *docs[d];
+    const auto spans = row_spans(doc);
+    if (!header_ok(doc, spans)) {
+      const std::size_t line = spans.empty() ? 1 : spans[0].line;
+      if (policy == IngestPolicy::kStrict) {
+        throw std::invalid_argument(names[d] + ":" + std::to_string(line) +
+                                    ": bad CSV header");
+      }
+      report->shards.push_back({names[d], "bad CSV header", 1, spans.size()});
+      continue;
+    }
     rows.reserve(rows.size() + spans.size() - 1);
     for (std::size_t i = 1; i < spans.size(); ++i) {
-      rows.push_back({doc, spans[i].first, spans[i].second, i});
+      rows.push_back({&doc, &names[d], spans[i].begin, spans[i].end,
+                      spans[i].line});
     }
   }
-  // Row parsing shards across the pool; the pool rethrows the exception
-  // of the lowest index that threw, so malformed input reports the same
-  // first-bad-row error a serial scan would.
-  auto records = runtime::parallel_map<VulnRecord>(rows.size(), [&](std::size_t i) {
-    const RowRef& row = rows[i];
-    return parse_record(parse_fields(*row.text, row.begin, row.end),
-                        row.row_number);
-  });
+
+  // Per-row result slots keep the outcome order-stable at any thread
+  // count: slot i is written exactly once by whichever block owns row i.
+  std::vector<VulnRecord> parsed(rows.size());
+  std::vector<std::string> reasons(rows.size());  // empty => parsed OK
+  const auto parse_rows = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const RowRef& row = rows[i];
+      try {
+        parsed[i] = parse_record(parse_fields(*row.text, row.begin, row.end));
+      } catch (const std::exception& ex) {
+        if (policy == IngestPolicy::kStrict) {
+          // Contextualize and rethrow: cancellation keeps the remaining
+          // blocks from parsing doomed work, and the lowest failing
+          // block's first failure is the overall first bad row — the same
+          // error a serial scan reports.
+          throw std::invalid_argument(located(row, ex.what()));
+        }
+        reasons[i] = ex.what();
+      }
+    }
+  };
+  if (policy == IngestPolicy::kStrict) {
+    const runtime::TaskErrors errs = runtime::parallel_for_collect(
+        rows.size(), parse_rows, runtime::CancelPolicy::kCancelAfterError);
+    if (!errs.ok()) std::rethrow_exception(errs.errors.front().error);
+  } else {
+    runtime::parallel_for(rows.size(), parse_rows);
+  }
+
   Database db;
-  db.add_batch(std::move(records));
+  std::vector<VulnRecord> batch;
+  batch.reserve(rows.size());
+  std::vector<std::size_t> origin;  // batch position -> global row index
+  origin.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!reasons[i].empty()) continue;
+    origin.push_back(i);
+    batch.push_back(std::move(parsed[i]));
+  }
+  if (policy == IngestPolicy::kStrict) {
+    db.add_batch(std::move(batch));
+    return db;
+  }
+  // Lenient dedup: add_batch reports rejected batch positions; map them
+  // back to source rows so the quarantine entry carries shard + line.
+  for (const BatchReject& rej : db.add_batch(std::move(batch), policy)) {
+    reasons[origin[rej.index]] = rej.reason;
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (reasons[i].empty()) continue;
+    const RowRef& row = rows[i];
+    report->rows.push_back(
+        {*row.name, row.line, reasons[i],
+         row.text->substr(row.begin, row.end - row.begin)});
+  }
+  report->ingested = db.size();
   return db;
 }
 
 }  // namespace
+
+const char* to_string(IngestPolicy p) noexcept {
+  switch (p) {
+    case IngestPolicy::kStrict:
+      return "strict";
+    case IngestPolicy::kLenient:
+      return "lenient";
+  }
+  return "unknown";
+}
+
+std::size_t QuarantinedRow::lines_consumed() const {
+  std::size_t lines = 1;
+  for (char c : raw) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+std::size_t IngestReport::quarantined_lines() const {
+  std::size_t total = 0;
+  for (const auto& row : rows) total += row.lines_consumed();
+  return total;
+}
 
 std::uint32_t Database::intern_software(const std::string& name) {
   const auto [it, inserted] =
@@ -246,6 +377,54 @@ void Database::add_batch(std::vector<VulnRecord> batch) {
   }
   std::lock_guard<std::mutex> lock{cache_->mu};
   cache_->valid = false;
+}
+
+std::vector<BatchReject> Database::add_batch(std::vector<VulnRecord> batch,
+                                             IngestPolicy policy) {
+  if (policy == IngestPolicy::kStrict) {
+    add_batch(std::move(batch));
+    return {};
+  }
+  // Lenient: one serial pass decides acceptance (first occurrence of a
+  // non-zero ID wins, matching the order a strict ingest would commit),
+  // then one bulk append extends the columnar store and invalidates the
+  // histogram cache once, like the strict path.
+  std::vector<BatchReject> rejects;
+  std::vector<unsigned char> accept(batch.size(), 1);
+  std::unordered_set<int> batch_ids;
+  batch_ids.reserve(batch.size());
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const int id = batch[i].id;
+    if (id != 0 && (index_.count(id) != 0 || !batch_ids.insert(id).second)) {
+      accept[i] = 0;
+      rejects.push_back({i, "duplicate Bugtraq ID: " + std::to_string(id)});
+      continue;
+    }
+    ++accepted;
+  }
+  if (accepted == 0) return rejects;
+  const std::size_t base = records_.size();
+  records_.reserve(base + accepted);
+  category_col_.reserve(base + accepted);
+  class_col_.reserve(base + accepted);
+  remote_col_.reserve(base + accepted);
+  year_col_.reserve(base + accepted);
+  software_col_.reserve(base + accepted);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!accept[i]) continue;
+    VulnRecord& r = batch[i];
+    if (r.id != 0) index_[r.id] = records_.size();
+    category_col_.push_back(r.category);
+    class_col_.push_back(r.vuln_class);
+    remote_col_.push_back(r.remote ? 1 : 0);
+    year_col_.push_back(r.year);
+    software_col_.push_back(intern_software(r.software));
+    records_.push_back(std::move(r));
+  }
+  std::lock_guard<std::mutex> lock{cache_->mu};
+  cache_->valid = false;
+  return rejects;
 }
 
 const VulnRecord* Database::by_id(int id) const {
@@ -376,14 +555,33 @@ std::string Database::to_csv(std::size_t begin, std::size_t end) const {
 }
 
 Database Database::from_csv(const std::string& csv) {
-  return parse_csv_docs({&csv});
+  return from_csv_parts({csv}, {"<csv>"}, IngestPolicy::kStrict);
 }
 
 Database Database::from_csv_parts(const std::vector<std::string>& parts) {
+  std::vector<std::string> names;
+  names.reserve(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    names.push_back("part " + std::to_string(i));
+  }
+  return from_csv_parts(parts, names, IngestPolicy::kStrict);
+}
+
+Database Database::from_csv_parts(const std::vector<std::string>& parts,
+                                  const std::vector<std::string>& names,
+                                  IngestPolicy policy, IngestReport* report) {
+  if (parts.size() != names.size()) {
+    throw std::invalid_argument("from_csv_parts: " + std::to_string(parts.size()) +
+                                " parts but " + std::to_string(names.size()) +
+                                " names");
+  }
+  if (policy == IngestPolicy::kLenient && report == nullptr) {
+    throw std::invalid_argument("from_csv_parts: lenient ingest requires a report");
+  }
   std::vector<const std::string*> docs;
   docs.reserve(parts.size());
   for (const auto& p : parts) docs.push_back(&p);
-  return parse_csv_docs(docs);
+  return parse_csv_docs(docs, names, policy, report);
 }
 
 void Database::merge(const Database& other) {

@@ -31,6 +31,66 @@
 
 namespace dfsm::bugtraq {
 
+/// How ingest treats malformed input (DESIGN.md §9). kStrict throws on
+/// the first defect, with shard path + 1-based line context; kLenient
+/// quarantines defective rows/shards into an IngestReport and keeps the
+/// rest — graceful degradation for million-record shard sets where one
+/// bad row must not abort the whole ingest.
+enum class IngestPolicy {
+  kStrict,
+  kLenient,
+};
+
+[[nodiscard]] const char* to_string(IngestPolicy p) noexcept;
+
+/// One CSV row a lenient ingest refused, with enough context to replay
+/// or repair it: the source shard, the 1-based line its span starts on,
+/// the parse/dedup reason, and the raw row text.
+struct QuarantinedRow {
+  std::string shard;
+  std::size_t line = 0;
+  std::string reason;
+  std::string raw;
+
+  /// Source lines the row span consumed (a mangled quote can merge many
+  /// physical lines into one span): newline count in `raw` plus one.
+  [[nodiscard]] std::size_t lines_consumed() const;
+};
+
+/// One whole shard a lenient ingest refused (unreadable after retries,
+/// or its header did not parse).
+struct QuarantinedShard {
+  std::string shard;
+  std::string reason;
+  std::size_t attempts = 1;    ///< open/read attempts made
+  std::size_t lines_seen = 0;  ///< non-empty lines observed (0 if unreadable)
+};
+
+/// Structured outcome of a lenient ingest: what landed, what was
+/// quarantined, and how many transient-I/O retries were spent. Entry
+/// order is deterministic at any thread count: rows ascend by (shard
+/// order, line), shards follow path order.
+struct IngestReport {
+  std::size_t ingested = 0;
+  std::size_t retries = 0;  ///< extra open/read attempts beyond the first
+  std::vector<QuarantinedRow> rows;
+  std::vector<QuarantinedShard> shards;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return rows.empty() && shards.empty();
+  }
+  /// Total source lines consumed by quarantined rows (zero-loss
+  /// accounting: generated == ingested + quarantined_lines() + lines of
+  /// quarantined shards).
+  [[nodiscard]] std::size_t quarantined_lines() const;
+};
+
+/// One record a lenient add_batch refused (duplicate Bugtraq ID).
+struct BatchReject {
+  std::size_t index = 0;  ///< position within the batch
+  std::string reason;
+};
+
 class Database {
  public:
   Database() = default;
@@ -74,6 +134,14 @@ class Database {
   /// (against the database or within the batch) throw std::invalid_argument
   /// before anything is appended.
   void add_batch(std::vector<VulnRecord> batch);
+
+  /// Policy-aware bulk ingest. kStrict behaves exactly like add_batch
+  /// (throws on any duplicate, nothing appended) and returns an empty
+  /// vector. kLenient appends every acceptable record (first occurrence
+  /// of an ID wins) and returns the rejected batch positions with
+  /// reasons, in ascending index order.
+  std::vector<BatchReject> add_batch(std::vector<VulnRecord> batch,
+                                     IngestPolicy policy);
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   [[nodiscard]] const std::vector<VulnRecord>& records() const noexcept {
@@ -177,17 +245,33 @@ class Database {
   [[nodiscard]] std::string to_csv(std::size_t begin, std::size_t end) const;
 
   /// Parses a CSV produced by to_csv. Throws std::invalid_argument on a
-  /// malformed header or row. Row parsing is sharded across the runtime
-  /// pool (the result is identical at any thread count; on malformed
-  /// input the lowest-index row's error is the one thrown), and the
-  /// parsed records land in one add_batch.
+  /// malformed header or row — the message carries the 1-based line
+  /// number ("<csv>:7: bad CSV row: ..."). Row parsing is sharded across
+  /// the runtime pool (the result is identical at any thread count; on
+  /// malformed input parsing cancels cooperatively and the lowest row's
+  /// error is the one thrown), and the parsed records land in one
+  /// add_batch. Tolerates CRLF line endings and a UTF-8 BOM.
   [[nodiscard]] static Database from_csv(const std::string& csv);
 
   /// Parses several CSV documents (each with the standard header) into
   /// one database, rows concatenated in part order — the in-memory half
-  /// of the sharded corpus reader (csv_shards.h).
+  /// of the sharded corpus reader (csv_shards.h). Strict; parts are
+  /// labeled "part <k>" in error messages.
   [[nodiscard]] static Database from_csv_parts(
       const std::vector<std::string>& parts);
+
+  /// Policy-aware variant: `names[i]` labels part i in error messages
+  /// and report entries (csv_shards passes the shard paths). kStrict
+  /// throws std::invalid_argument as "<name>:<line>: <reason>"; kLenient
+  /// quarantines malformed rows, whole parts with bad headers, and
+  /// duplicate IDs into `report` (required non-null for kLenient) and
+  /// returns the partial database — byte-identical, report included, at
+  /// any thread count. Throws std::invalid_argument if names and parts
+  /// differ in length.
+  [[nodiscard]] static Database from_csv_parts(
+      const std::vector<std::string>& parts,
+      const std::vector<std::string>& names, IngestPolicy policy,
+      IngestReport* report = nullptr);
 
   /// Merges another database into this one (duplicate-ID rules apply).
   void merge(const Database& other);

@@ -1,0 +1,413 @@
+#include "faultinject/campaign.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/hidden_path.h"
+#include "bugtraq/corpus.h"
+#include "bugtraq/csv_shards.h"
+#include "faultinject/corpus_faults.h"
+#include "faultinject/model_faults.h"
+#include "runtime/parallel.h"
+#include "staticlint/linter.h"
+#include "staticlint/registry.h"
+
+namespace dfsm::faultinject {
+
+namespace {
+
+/// Strips every occurrence of "<workdir>/" so reports never contain the
+/// absolute workdir (byte-identical reports across machines).
+std::string strip_workdir(std::string text, const std::string& workdir) {
+  const std::string prefix = workdir + "/";
+  std::size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    text.erase(pos, prefix.size());
+  }
+  return text;
+}
+
+void fail(TrialResult& r, const std::string& why) {
+  if (!r.failure.empty()) r.failure += "; ";
+  r.failure += why;
+}
+
+TrialResult run_corpus_trial(const CampaignConfig& cfg, std::size_t t,
+                             Rng& rng) {
+  TrialResult r;
+  r.trial = t;
+  r.kind = "corpus";
+
+  // A fresh world per trial: a seeded corpus sharded exactly the way
+  // write_csv_shards would cut it, built in memory so the mutator edits
+  // bytes before anything touches disk.
+  const std::size_t n =
+      cfg.min_records + rng.below(cfg.max_records - cfg.min_records + 1);
+  const std::size_t nshards = 2 + rng.below(cfg.max_shards - 1);
+  const std::uint64_t corpus_seed = rng.next();
+  const bugtraq::Database db = bugtraq::synthetic_corpus_n(n, corpus_seed);
+  auto blocks = runtime::static_blocks(n, nshards);
+  while (blocks.size() < nshards) blocks.push_back({n, n});
+  ShardSet set;
+  set.paths = bugtraq::shard_paths(cfg.workdir + "/t", nshards);
+  for (std::size_t i = 0; i < nshards; ++i) {
+    set.contents.push_back(db.to_csv(blocks[i].begin, blocks[i].end));
+    set.data_rows.push_back(blocks[i].end - blocks[i].begin);
+  }
+  std::map<std::string, std::size_t> rows_of;
+  for (std::size_t i = 0; i < nshards; ++i) rows_of[set.paths[i]] = set.data_rows[i];
+  r.generated = n;
+
+  const CorpusFault fault = kAllCorpusFaults[rng.below(kAllCorpusFaults.size())];
+  const CorpusMutation mut =
+      apply_corpus_fault(fault, set, rng, cfg.max_attempts);
+  r.fault = to_string(fault);
+  r.target = strip_workdir(mut.shard, cfg.workdir);
+  r.line = mut.line;
+  r.detail = mut.detail;
+
+  for (std::size_t i = 0; i < set.paths.size(); ++i) {
+    std::ofstream out{set.paths[i], std::ios::binary | std::ios::trunc};
+    if (!out || !(out << set.contents[i]) || !out.flush()) {
+      throw std::runtime_error("cannot write fault shard: " + set.paths[i]);
+    }
+  }
+
+  bugtraq::IngestOptions options;
+  options.policy = bugtraq::IngestPolicy::kLenient;
+  options.max_attempts = cfg.max_attempts;
+  options.backoff_base_ms = 0;  // exercise the retry loop, not the clock
+  if (mut.fail_attempts > 0) {
+    options.fault_hook = [shard = mut.shard, fails = mut.fail_attempts](
+                             const std::string& path, std::size_t attempt) {
+      return path == shard && attempt <= fails;
+    };
+  }
+
+  bugtraq::ShardIngestResult lenient;
+  try {
+    lenient = bugtraq::read_csv_shards(set.paths, options);
+  } catch (const std::exception& ex) {
+    fail(r, std::string("lenient ingest threw: ") + ex.what());
+    return r;
+  }
+  r.ingested = lenient.report.ingested;
+  r.quarantined_rows = lenient.report.rows.size();
+  r.quarantined_row_lines = lenient.report.quarantined_lines();
+  r.quarantined_shards = lenient.report.shards.size();
+  r.retries = lenient.report.retries;
+
+  // Zero-silent-loss accounting: every generated source line is either
+  // ingested or explicitly quarantined (as a row or inside a shard),
+  // after correcting for lines the mutation injected or put beyond
+  // reach (dropped / unreadable shards).
+  long long expected =
+      static_cast<long long>(r.generated) + mut.injected_lines;
+  for (const auto& lost : mut.lost_shards) {
+    expected -= static_cast<long long>(rows_of.at(lost));
+  }
+  long long actual = static_cast<long long>(r.ingested) +
+                     static_cast<long long>(r.quarantined_row_lines);
+  for (const auto& shard : lenient.report.shards) {
+    actual += static_cast<long long>(shard.lines_seen);
+  }
+  r.conserved = expected == actual;
+  if (!r.conserved) {
+    fail(r, "silent data loss: expected " + std::to_string(expected) +
+                " accounted lines, found " + std::to_string(actual));
+  }
+
+  // Benign mutations (order change, recovered I/O, shorter manifest)
+  // must not quarantine anything.
+  const bool benign = fault == CorpusFault::kDropShard ||
+                      fault == CorpusFault::kReorderShards ||
+                      fault == CorpusFault::kTransientIo;
+  if (benign && !lenient.report.clean()) {
+    fail(r, "benign mutation produced quarantine entries");
+  }
+  if (fault == CorpusFault::kTransientIo && r.retries != mut.fail_attempts) {
+    fail(r, "expected " + std::to_string(mut.fail_attempts) +
+                " retries, saw " + std::to_string(r.retries));
+  }
+
+  // Strict ingest must throw exactly when the mutation planted a defect,
+  // and the error must name the defective shard.
+  bugtraq::IngestOptions strict = options;
+  strict.policy = bugtraq::IngestPolicy::kStrict;
+  try {
+    const auto direct = bugtraq::read_csv_shards(set.paths, strict);
+    r.strict_threw = false;
+    (void)direct;
+  } catch (const std::exception& ex) {
+    r.strict_threw = true;
+    r.strict_error = strip_workdir(ex.what(), cfg.workdir);
+  }
+  if (r.strict_threw != mut.expect_strict_throw) {
+    fail(r, mut.expect_strict_throw
+                ? "strict ingest accepted a defective shard set"
+                : "strict ingest threw on a benign mutation: " +
+                      r.strict_error);
+  } else if (r.strict_threw && !r.target.empty() &&
+             r.strict_error.find(r.target) == std::string::npos) {
+    fail(r, "strict error lacks shard context: " + r.strict_error);
+  }
+
+  r.ok = r.failure.empty();
+  return r;
+}
+
+TrialResult run_chain_trial(std::size_t t, Rng& rng) {
+  TrialResult r;
+  r.trial = t;
+  r.kind = "chain";
+  r.fault = "widen-impl";
+  const ChainFaultFixture fx = make_chain_fault(rng);
+  r.target = fx.chain.name() + "/" + fx.vulnerable_pfsm;
+  r.detail = fx.detail;
+  r.expected_rules = {"hidden-path", "chain-exploited"};
+
+  // The defect is extensional (structure is clean), so the dynamic
+  // analyses are on the hook: hidden-path detection must produce a
+  // witness and the crafted input must exploit the chain, while benign
+  // traffic still passes.
+  const core::Pfsm& pfsm = fx.chain.operations()[1].pfsms()[0];
+  const auto domain = analysis::int_boundary_domain(
+      "payload", "len", {0, fx.limit, fx.impl_limit});
+  const auto hp = analysis::detect_hidden_path(pfsm, domain);
+  if (hp.vulnerable()) r.caught_rules.push_back("hidden-path");
+
+  const auto attack = fx.chain.evaluate(fx.inputs_for(fx.overflow_len));
+  if (attack.exploited()) r.caught_rules.push_back("chain-exploited");
+  const auto benign = fx.chain.evaluate(fx.inputs_for(fx.benign_len));
+
+  r.detected = hp.vulnerable() && attack.exploited();
+  if (!hp.vulnerable()) fail(r, "no hidden-path witness for the widened impl");
+  if (!attack.exploited()) fail(r, "crafted overflow input not exploited");
+  if (!benign.completed() || benign.exploited()) {
+    fail(r, "benign input mishandled by the faulty chain");
+  }
+  r.ok = r.failure.empty();
+  return r;
+}
+
+TrialResult run_model_trial(const CampaignConfig& cfg, std::size_t t, Rng& rng,
+                            const std::vector<staticlint::LintModel>& curated) {
+  if (rng.below(4) == 0) return run_chain_trial(t, rng);
+
+  TrialResult r;
+  r.trial = t;
+  r.kind = "model";
+
+  // Walk the (model, fault) grid from a seeded start until a fault
+  // applies — every curated model hosts at least kDropGate, so this
+  // always terminates.
+  const std::size_t num_faults = kAllModelFaults.size();
+  const std::size_t mi = rng.below(curated.size());
+  const std::size_t fi = rng.below(num_faults);
+  for (std::size_t k = 0; k < curated.size() * num_faults; ++k) {
+    staticlint::LintModel copy = curated[(mi + k / num_faults) % curated.size()];
+    const ModelFault fault = kAllModelFaults[(fi + k) % num_faults];
+    const auto mut = apply_model_fault(fault, copy, rng);
+    if (!mut) continue;
+
+    r.fault = to_string(fault);
+    r.target = mut->model + (mut->target.empty() ? "" : "/" + mut->target);
+    r.detail = mut->detail;
+    r.expected_rules = mut->expected_rules;
+    const auto run = staticlint::lint({copy});
+    for (const auto& finding : run.findings) {
+      bool seen = false;
+      for (const auto& id : r.caught_rules) seen = seen || id == finding.rule_id;
+      if (!seen) r.caught_rules.push_back(finding.rule_id);
+    }
+    for (const auto& want : r.expected_rules) {
+      for (const auto& got : r.caught_rules) {
+        if (want == got) r.detected = true;
+      }
+    }
+    if (!r.detected) {
+      fail(r, "injected defect escaped the linter (expected one of " +
+                  [&] {
+                    std::string ids;
+                    for (const auto& id : r.expected_rules) {
+                      if (!ids.empty()) ids += ", ";
+                      ids += id;
+                    }
+                    return ids;
+                  }() +
+                  ")");
+    }
+    (void)cfg;
+    r.ok = r.failure.empty();
+    return r;
+  }
+  fail(r, "no applicable model fault found");
+  return r;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emit_string_array(std::ostringstream& os,
+                       const std::vector<std::string>& items) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ',';
+    os << '"' << json_escape(items[i]) << '"';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+const char* to_string(CampaignKind k) noexcept {
+  switch (k) {
+    case CampaignKind::kCorpus: return "corpus";
+    case CampaignKind::kModel: return "model";
+    case CampaignKind::kAll: return "all";
+  }
+  return "unknown";
+}
+
+CampaignReport run_campaign(const CampaignConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("campaign needs at least one trial");
+  }
+  if (config.max_attempts < 2) {
+    throw std::invalid_argument("campaign needs max_attempts >= 2");
+  }
+  if (config.min_records > config.max_records) {
+    throw std::invalid_argument("campaign min_records exceeds max_records");
+  }
+  if (config.max_shards < 2 || config.min_records < config.max_shards) {
+    throw std::invalid_argument(
+        "campaign needs 2 <= max_shards <= min_records so every shard "
+        "carries data rows");
+  }
+  CampaignReport report;
+  report.config = config;
+  const auto curated = staticlint::curated_lint_models();
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    // All trial randomness is a pure function of (seed, t); trials are
+    // order-independent and individually replayable.
+    Rng rng{config.seed, t};
+    bool corpus = false;
+    switch (config.campaign) {
+      case CampaignKind::kCorpus: corpus = true; break;
+      case CampaignKind::kModel: corpus = false; break;
+      case CampaignKind::kAll: corpus = rng.below(2) == 0; break;
+    }
+    TrialResult r = corpus ? run_corpus_trial(config, t, rng)
+                           : run_model_trial(config, t, rng, curated);
+    if (corpus) {
+      ++report.corpus_trials;
+    } else {
+      ++report.model_trials;
+    }
+    if (!r.ok) ++report.failures;
+    report.trials.push_back(std::move(r));
+  }
+  return report;
+}
+
+std::string emit_text(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "fault campaign: seed " << report.config.seed << ", "
+     << report.trials.size() << " trial(s), kind "
+     << to_string(report.config.campaign) << "\n";
+  for (const auto& t : report.trials) {
+    os << "  [" << (t.ok ? "ok" : "FAIL") << "] trial " << t.trial << " "
+       << t.kind << "/" << t.fault;
+    if (!t.target.empty()) {
+      os << " @ " << t.target;
+      if (t.line != 0) os << ":" << t.line;
+    }
+    if (t.kind == "corpus") {
+      os << " (generated " << t.generated << ", ingested " << t.ingested
+         << ", quarantined " << t.quarantined_rows << " row(s) / "
+         << t.quarantined_shards << " shard(s)";
+      if (t.retries != 0) os << ", " << t.retries << " retries";
+      os << ")";
+    } else {
+      os << " (caught:";
+      for (const auto& id : t.caught_rules) os << " " << id;
+      os << ")";
+    }
+    if (!t.ok) os << " -- " << t.failure;
+    os << "\n";
+  }
+  os << (report.ok() ? "PASS" : "FAIL") << ": " << report.corpus_trials
+     << " corpus trial(s), " << report.model_trials << " model trial(s), "
+     << report.failures << " failure(s)\n";
+  return os.str();
+}
+
+std::string emit_json(const CampaignReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"campaign\": {\"seed\": " << report.config.seed
+     << ", \"trials\": " << report.config.trials << ", \"kind\": \""
+     << to_string(report.config.campaign)
+     << "\", \"min_records\": " << report.config.min_records
+     << ", \"max_records\": " << report.config.max_records
+     << ", \"max_shards\": " << report.config.max_shards
+     << ", \"max_attempts\": " << report.config.max_attempts << "},\n";
+  os << "  \"summary\": {\"corpus_trials\": " << report.corpus_trials
+     << ", \"model_trials\": " << report.model_trials
+     << ", \"failures\": " << report.failures << ", \"ok\": "
+     << (report.ok() ? "true" : "false") << "},\n";
+  os << "  \"trials\": [\n";
+  for (std::size_t i = 0; i < report.trials.size(); ++i) {
+    const auto& t = report.trials[i];
+    os << "    {\"trial\": " << t.trial << ", \"kind\": \"" << t.kind
+       << "\", \"fault\": \"" << json_escape(t.fault) << "\", \"target\": \""
+       << json_escape(t.target) << "\", \"line\": " << t.line
+       << ", \"detail\": \"" << json_escape(t.detail) << "\", ";
+    if (t.kind == "corpus") {
+      os << "\"generated\": " << t.generated << ", \"ingested\": "
+         << t.ingested << ", \"quarantined_rows\": " << t.quarantined_rows
+         << ", \"quarantined_row_lines\": " << t.quarantined_row_lines
+         << ", \"quarantined_shards\": " << t.quarantined_shards
+         << ", \"retries\": " << t.retries << ", \"strict_threw\": "
+         << (t.strict_threw ? "true" : "false") << ", \"strict_error\": \""
+         << json_escape(t.strict_error) << "\", \"conserved\": "
+         << (t.conserved ? "true" : "false") << ", ";
+    } else {
+      os << "\"expected_rules\": ";
+      emit_string_array(os, t.expected_rules);
+      os << ", \"caught_rules\": ";
+      emit_string_array(os, t.caught_rules);
+      os << ", \"detected\": " << (t.detected ? "true" : "false") << ", ";
+    }
+    os << "\"ok\": " << (t.ok ? "true" : "false") << ", \"failure\": \""
+       << json_escape(t.failure) << "\"}"
+       << (i + 1 < report.trials.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace dfsm::faultinject

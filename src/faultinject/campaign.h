@@ -1,0 +1,114 @@
+// campaign.h — seeded fault-injection campaigns over the corpus and
+// model pipelines (DESIGN.md §9).
+//
+// A campaign runs `trials` independent scenarios. Each trial derives its
+// entire randomness from (seed, trial index), generates a fresh faulty
+// world (a mutated shard set on disk, or a defective model/chain), runs
+// the production pipeline against it, and checks the pipeline's two
+// standing promises:
+//
+//   * zero silent data loss — for corpus faults, every generated source
+//     line is either ingested or accounted for in the IngestReport
+//     (quarantined rows/shards), and strict ingest throws exactly when
+//     the mutation planted a defect, with shard+line context;
+//   * no undetected defect — for model faults, at least one staticlint
+//     rule (IR faults) or dynamic analysis (hidden-path witnesses +
+//     chain evaluation, for live-chain faults) flags the injection.
+//
+// Reports are deterministic: same seed, same trials, same report bytes
+// at every DFSM_THREADS setting (CI diffs the JSON across thread
+// counts). Nothing in a report depends on the clock or the absolute
+// workdir path.
+#ifndef DFSM_FAULTINJECT_CAMPAIGN_H
+#define DFSM_FAULTINJECT_CAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsm::faultinject {
+
+/// Which fault surface a campaign exercises.
+enum class CampaignKind {
+  kCorpus,  ///< shard-set mutations through the ingest pipeline
+  kModel,   ///< IR/chain mutations through staticlint + dynamic analysis
+  kAll,     ///< seeded mix of both
+};
+
+[[nodiscard]] const char* to_string(CampaignKind k) noexcept;
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  std::size_t trials = 200;
+  CampaignKind campaign = CampaignKind::kAll;
+
+  /// Directory for the per-trial shard files (must exist and be
+  /// writable). Report entries use paths relative to it.
+  std::string workdir = ".";
+
+  /// Per-trial synthetic corpus size is drawn from [min_records,
+  /// max_records]; shard count from [2, max_shards].
+  std::size_t min_records = 50;
+  std::size_t max_records = 400;
+  std::size_t max_shards = 5;
+
+  /// Retry budget handed to the shard reader (>= 2).
+  std::size_t max_attempts = 3;
+};
+
+/// One trial's outcome. Corpus and model trials share the record; unused
+/// fields stay zero/empty.
+struct TrialResult {
+  std::size_t trial = 0;
+  std::string kind;    ///< "corpus" | "model" | "chain"
+  std::string fault;   ///< mutator name
+  std::string target;  ///< shard (workdir-relative) or model/operation
+  std::size_t line = 0;
+  std::string detail;
+
+  // corpus trials
+  std::size_t generated = 0;
+  std::size_t ingested = 0;
+  std::size_t quarantined_rows = 0;
+  std::size_t quarantined_row_lines = 0;
+  std::size_t quarantined_shards = 0;
+  std::size_t retries = 0;
+  bool strict_threw = false;
+  std::string strict_error;  ///< workdir prefix stripped
+  bool conserved = false;    ///< zero-silent-loss accounting held
+
+  // model/chain trials
+  std::vector<std::string> expected_rules;
+  std::vector<std::string> caught_rules;
+  bool detected = false;
+
+  bool ok = false;        ///< the trial's invariant held
+  std::string failure;    ///< why it failed ("" when ok)
+};
+
+struct CampaignReport {
+  CampaignConfig config;
+  std::vector<TrialResult> trials;
+  std::size_t corpus_trials = 0;
+  std::size_t model_trials = 0;
+  std::size_t failures = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return failures == 0; }
+};
+
+/// Runs the campaign. Throws std::invalid_argument on a bad config
+/// (zero trials, max_attempts < 2, min > max records); I/O failures in
+/// the workdir surface as std::runtime_error.
+[[nodiscard]] CampaignReport run_campaign(const CampaignConfig& config);
+
+/// Human-readable report (one line per trial + summary).
+[[nodiscard]] std::string emit_text(const CampaignReport& report);
+
+/// Machine-readable report. Deterministic byte-for-byte for equal
+/// (config, trial outcomes) — the CI determinism gate diffs this across
+/// DFSM_THREADS settings.
+[[nodiscard]] std::string emit_json(const CampaignReport& report);
+
+}  // namespace dfsm::faultinject
+
+#endif  // DFSM_FAULTINJECT_CAMPAIGN_H

@@ -1,0 +1,318 @@
+#include "faultinject/model_faults.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/operation.h"
+#include "core/pfsm.h"
+#include "core/predicate.h"
+
+namespace dfsm::faultinject {
+
+namespace {
+
+using staticlint::LintModel;
+using staticlint::LintPfsm;
+
+/// Flattened (operation index, pFSM index) positions.
+std::vector<std::pair<std::size_t, std::size_t>> pfsm_positions(
+    const LintModel& m) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < m.operations.size(); ++i) {
+    for (std::size_t j = 0; j < m.operations[i].pfsms.size(); ++j) {
+      out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+ModelMutation made(ModelFault fault, const LintModel& m, std::string target,
+                   std::string detail, std::vector<std::string> rules) {
+  ModelMutation mut;
+  mut.fault = fault;
+  mut.model = m.name;
+  mut.target = std::move(target);
+  mut.detail = std::move(detail);
+  mut.expected_rules = std::move(rules);
+  return mut;
+}
+
+std::optional<ModelMutation> drop_all_operations(LintModel& m, Rng&) {
+  if (m.operations.empty()) return std::nullopt;
+  const std::size_t n = m.operations.size();
+  m.operations.clear();
+  m.gates.clear();
+  return made(ModelFault::kDropAllOperations, m, "",
+              "deleted all " + std::to_string(n) + " operations", {"ST001"});
+}
+
+std::optional<ModelMutation> drop_gate(LintModel& m, Rng& rng) {
+  if (m.gates.empty()) return std::nullopt;
+  const std::size_t g = rng.below(m.gates.size());
+  m.gates.erase(m.gates.begin() + static_cast<std::ptrdiff_t>(g));
+  return made(ModelFault::kDropGate, m, "",
+              "deleted propagation gate " + std::to_string(g + 1), {"ST002"});
+}
+
+std::optional<ModelMutation> empty_operation(LintModel& m, Rng& rng) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < m.operations.size(); ++i) {
+    if (!m.operations[i].pfsms.empty()) candidates.push_back(i);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const std::size_t i = candidates[rng.below(candidates.size())];
+  m.operations[i].pfsms.clear();
+  return made(ModelFault::kEmptyOperation, m, m.operations[i].name,
+              "deleted every pFSM of the operation", {"ST003"});
+}
+
+std::optional<ModelMutation> duplicate_operation_name(LintModel& m, Rng& rng) {
+  if (m.operations.size() < 2) return std::nullopt;
+  const std::size_t j = 1 + rng.below(m.operations.size() - 1);
+  const std::size_t i = rng.below(j);
+  const std::string old = m.operations[j].name;
+  m.operations[j].name = m.operations[i].name;
+  return made(ModelFault::kDuplicateOperationName, m, m.operations[j].name,
+              "renamed operation '" + old + "' to collide with operation " +
+                  std::to_string(i + 1),
+              {"ST004"});
+}
+
+std::optional<ModelMutation> duplicate_pfsm_name(LintModel& m, Rng& rng) {
+  const auto positions = pfsm_positions(m);
+  if (positions.size() < 2) return std::nullopt;
+  const std::size_t b = 1 + rng.below(positions.size() - 1);
+  const std::size_t a = rng.below(b);
+  auto& victim = m.operations[positions[b].first].pfsms[positions[b].second];
+  const std::string old = victim.name;
+  victim.name = m.operations[positions[a].first].pfsms[positions[a].second].name;
+  return made(ModelFault::kDuplicatePfsmName, m,
+              m.operations[positions[b].first].name + "/" + victim.name,
+              "renamed pFSM '" + old + "' to collide with an earlier pFSM",
+              {"ST005"});
+}
+
+std::optional<ModelMutation> clear_activity(LintModel& m, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (const auto& [i, j] : pfsm_positions(m)) {
+    if (!m.operations[i].pfsms[j].activity.empty()) candidates.emplace_back(i, j);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const auto [i, j] = candidates[rng.below(candidates.size())];
+  auto& p = m.operations[i].pfsms[j];
+  p.activity.clear();
+  return made(ModelFault::kClearActivity, m,
+              m.operations[i].name + "/" + p.name,
+              "erased the elementary-activity description", {"ST006"});
+}
+
+std::optional<ModelMutation> clear_spec_description(LintModel& m, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (const auto& [i, j] : pfsm_positions(m)) {
+    const auto& d = m.operations[i].pfsms[j].spec.description;
+    if (!d.empty() && d != "-") candidates.emplace_back(i, j);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const auto [i, j] = candidates[rng.below(candidates.size())];
+  auto& p = m.operations[i].pfsms[j];
+  p.spec.description.clear();
+  return made(ModelFault::kClearSpecDescription, m,
+              m.operations[i].name + "/" + p.name,
+              "erased the specification predicate's description", {"ST007"});
+}
+
+std::optional<ModelMutation> clear_consequence(LintModel& m, Rng&) {
+  if (m.gates.empty() || m.gates.size() != m.operations.size() ||
+      m.gates.back().empty()) {
+    return std::nullopt;
+  }
+  const std::string old = m.gates.back();
+  m.gates.back().clear();
+  return made(ModelFault::kClearConsequence, m, "",
+              "erased the final gate's consequence ('" + old + "')",
+              {"ST008"});
+}
+
+std::optional<ModelMutation> declare_all_secure(LintModel& m, Rng&) {
+  if (!m.has_metadata || pfsm_positions(m).empty()) return std::nullopt;
+  std::size_t flipped = 0;
+  for (auto& op : m.operations) {
+    for (auto& p : op.pfsms) {
+      if (!p.declared_secure) ++flipped;
+      p.declared_secure = true;
+      p.impl = p.spec;  // keep LM002 quiet; LM001 is the target
+    }
+  }
+  return made(ModelFault::kDeclareAllSecure, m, "",
+              "declared all pFSMs secure (" + std::to_string(flipped) +
+                  " flipped) in a registered vulnerability model",
+              {"LM001"});
+}
+
+std::optional<ModelMutation> flip_declared_secure(LintModel& m, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (const auto& [i, j] : pfsm_positions(m)) {
+    const auto& p = m.operations[i].pfsms[j];
+    if (!p.declared_secure && (p.spec.description != p.impl.description ||
+                               p.spec.kind != p.impl.kind)) {
+      candidates.emplace_back(i, j);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  const auto [i, j] = candidates[rng.below(candidates.size())];
+  auto& p = m.operations[i].pfsms[j];
+  p.declared_secure = true;
+  return made(ModelFault::kFlipDeclaredSecure, m,
+              m.operations[i].name + "/" + p.name,
+              "declared the pFSM secure although impl ('" +
+                  p.impl.description + "') differs from spec ('" +
+                  p.spec.description + "')",
+              {"LM002"});
+}
+
+std::optional<ModelMutation> inject_reject_all(LintModel& m, Rng& rng) {
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+  for (const auto& [i, j] : pfsm_positions(m)) {
+    if (i + 1 < m.operations.size()) candidates.emplace_back(i, j);
+  }
+  if (candidates.empty()) return std::nullopt;
+  const auto [i, j] = candidates[rng.below(candidates.size())];
+  auto& p = m.operations[i].pfsms[j];
+  p.spec.kind = core::PredicateKind::kRejectAll;
+  p.spec.description = "reject all";
+  p.impl.kind = core::PredicateKind::kRejectAll;
+  p.impl.description = "reject all";
+  return made(ModelFault::kInjectRejectAll, m,
+              m.operations[i].name + "/" + p.name,
+              "replaced the predicate pair with reject-all, stranding " +
+                  std::to_string(m.operations.size() - i - 1) +
+                  " downstream operation(s)",
+              {"LM003"});
+}
+
+std::optional<ModelMutation> retype_pfsm(LintModel& m, Rng& rng) {
+  const auto positions = pfsm_positions(m);
+  if (positions.empty()) return std::nullopt;
+  const auto [i, j] = positions[rng.below(positions.size())];
+  auto& p = m.operations[i].pfsms[j];
+  const auto old = p.type;
+  p.type = static_cast<core::PfsmType>(
+      (static_cast<int>(old) + 1 + static_cast<int>(rng.below(2))) % 3);
+  return made(ModelFault::kRetypePfsm, m,
+              m.operations[i].name + "/" + p.name,
+              std::string("retyped the pFSM from ") + to_string(old) +
+                  " to " + to_string(p.type),
+              {"TX001", "TX002"});
+}
+
+}  // namespace
+
+const char* to_string(ModelFault f) noexcept {
+  switch (f) {
+    case ModelFault::kDropAllOperations: return "drop-all-operations";
+    case ModelFault::kDropGate: return "drop-gate";
+    case ModelFault::kEmptyOperation: return "empty-operation";
+    case ModelFault::kDuplicateOperationName: return "duplicate-operation-name";
+    case ModelFault::kDuplicatePfsmName: return "duplicate-pfsm-name";
+    case ModelFault::kClearActivity: return "clear-activity";
+    case ModelFault::kClearSpecDescription: return "clear-spec-description";
+    case ModelFault::kClearConsequence: return "clear-consequence";
+    case ModelFault::kDeclareAllSecure: return "declare-all-secure";
+    case ModelFault::kFlipDeclaredSecure: return "flip-declared-secure";
+    case ModelFault::kInjectRejectAll: return "inject-reject-all";
+    case ModelFault::kRetypePfsm: return "retype-pfsm";
+  }
+  return "unknown";
+}
+
+std::optional<ModelMutation> apply_model_fault(ModelFault fault,
+                                               staticlint::LintModel& model,
+                                               Rng& rng) {
+  switch (fault) {
+    case ModelFault::kDropAllOperations: return drop_all_operations(model, rng);
+    case ModelFault::kDropGate: return drop_gate(model, rng);
+    case ModelFault::kEmptyOperation: return empty_operation(model, rng);
+    case ModelFault::kDuplicateOperationName:
+      return duplicate_operation_name(model, rng);
+    case ModelFault::kDuplicatePfsmName: return duplicate_pfsm_name(model, rng);
+    case ModelFault::kClearActivity: return clear_activity(model, rng);
+    case ModelFault::kClearSpecDescription:
+      return clear_spec_description(model, rng);
+    case ModelFault::kClearConsequence: return clear_consequence(model, rng);
+    case ModelFault::kDeclareAllSecure: return declare_all_secure(model, rng);
+    case ModelFault::kFlipDeclaredSecure:
+      return flip_declared_secure(model, rng);
+    case ModelFault::kInjectRejectAll: return inject_reject_all(model, rng);
+    case ModelFault::kRetypePfsm: return retype_pfsm(model, rng);
+  }
+  throw std::invalid_argument("unknown model fault");
+}
+
+std::vector<std::vector<core::Object>> ChainFaultFixture::inputs_for(
+    std::int64_t len) const {
+  core::Object payload{"payload"};
+  payload.with("len", len);
+  return {{payload}, {payload}};
+}
+
+ChainFaultFixture make_chain_fault(Rng& rng) {
+  const std::int64_t limit = 64LL << rng.below(4);  // 64..512
+  const bool unchecked = rng.chance(1, 2);
+  const std::int64_t slack =
+      1 + static_cast<std::int64_t>(rng.below(static_cast<std::size_t>(limit)));
+  const std::int64_t impl_limit = limit + slack;
+
+  const auto len_at_most = [](std::int64_t hi) {
+    return core::Predicate{
+        "0 <= len <= " + std::to_string(hi), [hi](const core::Object& o) {
+          const auto len = o.attr_int("len");
+          return len.has_value() && *len >= 0 && *len <= hi;
+        }};
+  };
+
+  core::Operation receive{"receive request", "payload from the socket"};
+  receive.add(core::Pfsm::secure(
+      "pFSM1", core::PfsmType::kContentAttributeCheck,
+      "read the len-byte payload",
+      core::Predicate{"len >= 0",
+                      [](const core::Object& o) {
+                        const auto len = o.attr_int("len");
+                        return len.has_value() && *len >= 0;
+                      }},
+      "store payload"));
+
+  core::Operation copy{"copy payload", "payload into a fixed buffer"};
+  const std::string activity =
+      "copy len bytes into buf[" + std::to_string(limit) + "]";
+  if (unchecked) {
+    copy.add(core::Pfsm::unchecked("pFSM2",
+                                   core::PfsmType::kContentAttributeCheck,
+                                   activity, len_at_most(limit),
+                                   "memcpy(buf, payload, len)"));
+  } else {
+    copy.add(core::Pfsm{"pFSM2", core::PfsmType::kContentAttributeCheck,
+                        activity, len_at_most(limit), len_at_most(impl_limit),
+                        "memcpy(buf, payload, len)"});
+  }
+
+  core::ExploitChain chain{"seeded-overflow-chain"};
+  chain.add(std::move(receive), {"crafted payload reaches the copy loop"});
+  chain.add(std::move(copy), {"saved return address overwritten"});
+
+  ChainFaultFixture f{std::move(chain),
+                      "pFSM2",
+                      limit,
+                      impl_limit,
+                      unchecked,
+                      limit + 1,
+                      limit / 2,
+                      unchecked
+                          ? "impl performs no length check at all"
+                          : "impl allows len up to " +
+                                std::to_string(impl_limit) +
+                                " against a spec bound of " +
+                                std::to_string(limit)};
+  return f;
+}
+
+}  // namespace dfsm::faultinject

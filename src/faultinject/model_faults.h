@@ -1,0 +1,104 @@
+// model_faults.h — seeded defect injection for the model pipeline
+// (DESIGN.md §9). Two injection surfaces:
+//
+//   1. IR faults perturb a LintModel snapshot (flip a declared-secure
+//      bit, delete a gate, corrupt a consequence, duplicate a name,
+//      ...). The invariant: every injected defect is caught by at least
+//      one of the staticlint rules the mutation names in
+//      expected_rules. Structural defects the hardened core builders
+//      make unconstructible (gate/operation arity skew, duplicate
+//      names) are reachable here because the IR is a plain struct —
+//      exactly the reason the linter runs on IR, not on core types.
+//
+//   2. Chain faults build a LIVE ExploitChain whose buffer-copy pFSM
+//      has a seeded implementation defect (the impl accepts lengths the
+//      spec rejects). Static structure stays clean; the defect is
+//      extensional, so the dynamic analyses must catch it:
+//      analysis::detect_hidden_path produces witnesses and
+//      ExploitChain::evaluate reports the crafted input as exploited.
+#ifndef DFSM_FAULTINJECT_MODEL_FAULTS_H
+#define DFSM_FAULTINJECT_MODEL_FAULTS_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chain.h"
+#include "faultinject/rng.h"
+#include "staticlint/model_ir.h"
+
+namespace dfsm::faultinject {
+
+/// The IR fault taxonomy. Each member names the lint rule(s) that must
+/// catch it (see apply_model_fault).
+enum class ModelFault {
+  kDropAllOperations,      ///< ST001
+  kDropGate,               ///< ST002
+  kEmptyOperation,         ///< ST003
+  kDuplicateOperationName, ///< ST004
+  kDuplicatePfsmName,      ///< ST005
+  kClearActivity,          ///< ST006
+  kClearSpecDescription,   ///< ST007
+  kClearConsequence,       ///< ST008
+  kDeclareAllSecure,       ///< LM001
+  kFlipDeclaredSecure,     ///< LM002
+  kInjectRejectAll,        ///< LM003
+  kRetypePfsm,             ///< TX001 (and TX002 for Table-2 models)
+};
+
+inline constexpr std::array<ModelFault, 12> kAllModelFaults = {
+    ModelFault::kDropAllOperations,      ModelFault::kDropGate,
+    ModelFault::kEmptyOperation,         ModelFault::kDuplicateOperationName,
+    ModelFault::kDuplicatePfsmName,      ModelFault::kClearActivity,
+    ModelFault::kClearSpecDescription,   ModelFault::kClearConsequence,
+    ModelFault::kDeclareAllSecure,       ModelFault::kFlipDeclaredSecure,
+    ModelFault::kInjectRejectAll,        ModelFault::kRetypePfsm,
+};
+
+[[nodiscard]] const char* to_string(ModelFault f) noexcept;
+
+/// What an IR mutation did and which rules are on the hook for it.
+struct ModelMutation {
+  ModelFault fault = ModelFault::kDropGate;
+  std::string model;
+  std::string target;  ///< "operation" or "operation/pfsm" ("" = model-level)
+  std::string detail;
+  std::vector<std::string> expected_rules;  ///< >=1 of these must fire
+};
+
+/// Mutates `model` in place. Returns nullopt when the model's shape
+/// cannot host this fault (e.g. duplicating an operation name in a
+/// one-operation chain); the model is untouched in that case.
+/// Detection is guaranteed for models that lint clean before mutation
+/// (the curated registry is gated on that).
+[[nodiscard]] std::optional<ModelMutation> apply_model_fault(
+    ModelFault fault, staticlint::LintModel& model, Rng& rng);
+
+/// A live two-operation exploit chain with one seeded defect: the
+/// buffer-copy pFSM's spec demands 0 <= len <= `limit` but its
+/// implementation accepts up to `impl_limit` (or everything, when
+/// `impl_unchecked`). `overflow_len` is a length in the gap.
+struct ChainFaultFixture {
+  core::ExploitChain chain;
+  std::string vulnerable_pfsm;  ///< name of the defective pFSM
+  std::int64_t limit = 0;
+  std::int64_t impl_limit = 0;  ///< == limit + slack (meaningless if unchecked)
+  bool impl_unchecked = false;
+  std::int64_t overflow_len = 0;
+  std::int64_t benign_len = 0;
+  std::string detail;
+
+  /// Evaluation inputs for ExploitChain::evaluate with a payload of the
+  /// given length (one object per pFSM per operation).
+  [[nodiscard]] std::vector<std::vector<core::Object>> inputs_for(
+      std::int64_t len) const;
+};
+
+/// Builds the fixture; deterministic in `rng`.
+[[nodiscard]] ChainFaultFixture make_chain_fault(Rng& rng);
+
+}  // namespace dfsm::faultinject
+
+#endif  // DFSM_FAULTINJECT_MODEL_FAULTS_H

@@ -1,0 +1,53 @@
+// rng.h — the fault-campaign PRNG: splitmix64 over a (seed, stream)
+// pair, so every trial's randomness is a pure function of the campaign
+// seed and the trial index. No global state, no time, no
+// std::random_device — two runs of the same campaign produce the same
+// mutations byte for byte, which is what makes a failing trial
+// replayable from its seed alone (DESIGN.md §9).
+#ifndef DFSM_FAULTINJECT_RNG_H
+#define DFSM_FAULTINJECT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dfsm::faultinject {
+
+/// Deterministic per-trial random stream.
+class Rng {
+ public:
+  /// Streams with equal (seed, stream) pairs are identical; distinct
+  /// pairs are statistically independent (splitmix64's guarantee).
+  Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+      : state_(mix(seed ^ mix(stream + kGamma))) {}
+
+  /// Next 64 pseudo-random bits.
+  std::uint64_t next() noexcept {
+    state_ += kGamma;
+    return mix(state_);
+  }
+
+  /// Uniform-ish draw from [0, n); 0 when n == 0.
+  std::size_t below(std::size_t n) noexcept {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+
+  /// True with probability num/den.
+  bool chance(std::size_t num, std::size_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  static constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+  static std::uint64_t mix(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+};
+
+}  // namespace dfsm::faultinject
+
+#endif  // DFSM_FAULTINJECT_RNG_H

@@ -62,6 +62,23 @@ void parallel_for(std::size_t n, Body&& body,
   });
 }
 
+/// Fault-tolerant variant of parallel_for: runs body over the static
+/// partition and returns every failing block's exception in ascending
+/// block order instead of rethrowing. Under kCancelAfterError a fatal
+/// block cooperatively stops blocks above the lowest failing one (its
+/// error is the only one returned) — the strict-ingest path uses this so
+/// one bad shard stops the remaining parse work deterministically.
+template <typename Body>
+[[nodiscard]] TaskErrors parallel_for_collect(
+    std::size_t n, Body&& body, CancelPolicy policy = CancelPolicy::kRunAll,
+    ThreadPool& pool = ThreadPool::global()) {
+  const auto blocks = static_blocks(n, pool.parallelism());
+  if (blocks.empty()) return {};
+  return pool.run_indexed_collect(
+      blocks.size(),
+      [&](std::size_t i) { body(blocks[i].begin, blocks[i].end); }, policy);
+}
+
 /// Maps each block [begin, end) to an accumulator via shard(begin, end)
 /// and folds the per-block results into `identity` IN BLOCK ORDER with
 /// merge(acc, block_result). Equivalent to

@@ -56,21 +56,51 @@ bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
 
 void ThreadPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& task) {
-  if (count == 0) return;
+  const TaskErrors errs = run_indexed_collect(count, task, CancelPolicy::kRunAll);
+  if (!errs.errors.empty()) std::rethrow_exception(errs.errors.front().error);
+}
+
+TaskErrors ThreadPool::run_indexed_collect(
+    std::size_t count, const std::function<void(std::size_t)>& task,
+    CancelPolicy policy) {
+  TaskErrors out;
+  if (count == 0) return out;
+
+  constexpr std::size_t kNoError = static_cast<std::size_t>(-1);
   std::vector<std::exception_ptr> errors(count);
+  // The cancellation watermark: the lowest index that has thrown so far.
+  // Under kCancelAfterError, a task only runs when its index is at or
+  // below the watermark — indices below any thrower therefore always run,
+  // which makes the final watermark (and the error it names) the same at
+  // every thread count.
+  std::atomic<std::size_t> first_error{kNoError};
+  std::atomic<std::size_t> cancelled{0};
+
+  const auto run_one = [&](std::size_t i) {
+    if (policy == CancelPolicy::kCancelAfterError &&
+        i > first_error.load(std::memory_order_acquire)) {
+      cancelled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    try {
+      task(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+      std::size_t cur = first_error.load(std::memory_order_relaxed);
+      while (i < cur &&
+             !first_error.compare_exchange_weak(cur, i,
+                                                std::memory_order_acq_rel)) {
+      }
+    }
+  };
 
   // Inline path: serial fallback, a single index, or a nested submission
   // from a worker (queueing from a worker can deadlock when every worker
   // is blocked waiting on queued children). Behavior matches the pooled
-  // path exactly: every index runs, lowest-index exception wins.
+  // path exactly: every index runs (or is cooperatively skipped), and the
+  // collected error set follows the CancelPolicy contract.
   if (workers_.empty() || count == 1 || t_on_worker) {
-    for (std::size_t i = 0; i < count; ++i) {
-      try {
-        task(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
+    for (std::size_t i = 0; i < count; ++i) run_one(i);
   } else {
     struct Barrier {
       std::mutex mu;
@@ -81,12 +111,8 @@ void ThreadPool::run_indexed(std::size_t count,
     {
       std::lock_guard<std::mutex> lock{mu_};
       for (std::size_t i = 0; i < count; ++i) {
-        queue_.emplace_back([&task, &errors, &barrier, i] {
-          try {
-            task(i);
-          } catch (...) {
-            errors[i] = std::current_exception();
-          }
+        queue_.emplace_back([&run_one, &barrier, i] {
+          run_one(i);
           std::lock_guard<std::mutex> done{barrier.mu};
           if (--barrier.remaining == 0) barrier.cv.notify_one();
         });
@@ -97,9 +123,17 @@ void ThreadPool::run_indexed(std::size_t count,
     barrier.cv.wait(lock, [&barrier] { return barrier.remaining == 0; });
   }
 
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+  const std::size_t lowest = first_error.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!errors[i]) continue;
+    // Under cancellation, throws above the watermark are timing-dependent
+    // (a racing worker may have started before the watermark dropped);
+    // only the deterministic lowest-index failure is reported.
+    if (policy == CancelPolicy::kCancelAfterError && i > lowest) continue;
+    out.errors.push_back({i, errors[i]});
   }
+  out.cancelled = cancelled.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::size_t ThreadPool::default_threads() {

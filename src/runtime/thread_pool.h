@@ -20,12 +20,42 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace dfsm::runtime {
+
+/// One task's failure: which index threw, and what it threw.
+struct TaskError {
+  std::size_t index = 0;
+  std::exception_ptr error;
+};
+
+/// Aggregated outcome of a run_indexed_collect call: every collected
+/// failure in ascending index order, plus how many indices were skipped
+/// by cooperative cancellation.
+struct TaskErrors {
+  std::vector<TaskError> errors;  ///< ascending index order
+  std::size_t cancelled = 0;      ///< indices skipped, never run
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// What run_indexed_collect does with indices after a failure.
+enum class CancelPolicy {
+  /// Every index runs regardless of earlier failures; errors holds every
+  /// exception thrown, in index order. Fully deterministic.
+  kRunAll,
+  /// Cooperative cancellation: once a task throws, indices ABOVE the
+  /// lowest throwing index are skipped as workers reach them. Indices
+  /// below any thrower always run, so errors deterministically holds
+  /// exactly the lowest-index failure; `cancelled` is timing-dependent
+  /// and informational only.
+  kCancelAfterError,
+};
 
 class ThreadPool {
  public:
@@ -57,6 +87,16 @@ class ThreadPool {
   /// being queued, so nested parallel_for can never deadlock the pool.
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& task);
+
+  /// Like run_indexed, but never rethrows: every task failure is
+  /// collected and returned in ascending index order. Under kRunAll the
+  /// full error set is deterministic at any thread count (graceful-
+  /// degradation callers quarantine per-index failures from it); under
+  /// kCancelAfterError a fatal task stops remaining work cooperatively
+  /// and the returned list is exactly the lowest-index failure.
+  [[nodiscard]] TaskErrors run_indexed_collect(
+      std::size_t count, const std::function<void(std::size_t)>& task,
+      CancelPolicy policy = CancelPolicy::kRunAll);
 
   /// True when the calling thread is one of this process's pool workers.
   [[nodiscard]] static bool on_worker_thread() noexcept;

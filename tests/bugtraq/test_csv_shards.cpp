@@ -134,5 +134,227 @@ TEST_F(CsvShardsTest, MalformedShardThrows) {
   EXPECT_THROW((void)read_csv_shards({path}), std::invalid_argument);
 }
 
+// --- strict error context (DESIGN.md §9) --------------------------------
+
+TEST_F(CsvShardsTest, ParseErrorCarriesShardPathAndLine) {
+  const auto db = synthetic_corpus_n(4, 9);
+  auto csv = db.to_csv();
+  // Corrupt the id of the SECOND data row — line 3 of the shard (header
+  // is line 1) — and demand the exact "<path>:<line>: <reason>" message.
+  std::size_t pos = csv.find('\n');            // end of header
+  pos = csv.find('\n', pos + 1);               // end of row 1
+  const std::size_t row_begin = pos + 1;
+  const std::string id = csv.substr(row_begin, csv.find(',', row_begin) - row_begin);
+  csv.insert(row_begin, 1, 'x');
+  const auto path = base("ctx") + ".csv";
+  std::ofstream{path, std::ios::binary} << csv;
+  try {
+    (void)read_csv_shards({path});
+    FAIL() << "malformed row must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), path + ":3: bad id 'x" + id + "'");
+  }
+}
+
+TEST_F(CsvShardsTest, FieldCountErrorCarriesShardPathAndLine) {
+  const auto db = synthetic_corpus_n(2, 9);
+  const auto csv = db.to_csv();
+  const auto path = base("short") + ".csv";
+  std::ofstream{path, std::ios::binary}
+      << csv.substr(0, csv.find('\n') + 1) << "only,three,fields\n";
+  try {
+    (void)read_csv_shards({path});
+    FAIL() << "short row must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              path + ":2: bad CSV row: expected 10 fields, got 3");
+  }
+}
+
+// --- CSV edge cases ------------------------------------------------------
+
+TEST_F(CsvShardsTest, CrlfLineEndingsParse) {
+  const auto db = synthetic_corpus_n(50, 5);
+  auto csv = db.to_csv();
+  std::string crlf;
+  for (char c : csv) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const auto path = base("crlf") + ".csv";
+  std::ofstream{path, std::ios::binary} << crlf;
+  EXPECT_EQ(read_csv_shards({path}).to_csv(), csv);
+}
+
+TEST_F(CsvShardsTest, MissingTrailingNewlineParses) {
+  const auto db = synthetic_corpus_n(20, 5);
+  auto csv = db.to_csv();
+  ASSERT_EQ(csv.back(), '\n');
+  const auto path = base("torn") + ".csv";
+  std::ofstream{path, std::ios::binary} << csv.substr(0, csv.size() - 1);
+  EXPECT_EQ(read_csv_shards({path}).to_csv(), csv);
+}
+
+TEST_F(CsvShardsTest, Utf8BomIsSkipped) {
+  const auto db = synthetic_corpus_n(20, 5);
+  const auto csv = db.to_csv();
+  const auto path = base("bom") + ".csv";
+  std::ofstream{path, std::ios::binary} << "\xEF\xBB\xBF" << csv;
+  EXPECT_EQ(read_csv_shards({path}).to_csv(), csv);
+}
+
+TEST_F(CsvShardsTest, HeaderOnlyShardFollowedByPopulatedShard) {
+  const auto db = synthetic_corpus_n(30, 5);
+  const auto csv = db.to_csv();
+  const auto empty_path = base("h0") + ".csv";
+  const auto full_path = base("h1") + ".csv";
+  std::ofstream{empty_path, std::ios::binary} << csv.substr(0, csv.find('\n') + 1);
+  std::ofstream{full_path, std::ios::binary} << csv;
+  EXPECT_EQ(read_csv_shards({empty_path, full_path}).to_csv(), csv);
+}
+
+TEST_F(CsvShardsTest, EmptyPathsVectorYieldsEmptyDatabase) {
+  const auto db = read_csv_shards(std::vector<std::string>{});
+  EXPECT_EQ(db.size(), 0u);
+}
+
+// --- policy-aware reader (IngestOptions) ---------------------------------
+
+TEST_F(CsvShardsTest, LenientQuarantinesBadRowAndKeepsRest) {
+  const auto db = synthetic_corpus_n(40, 5);
+  const auto paths = write_csv_shards(db, base("len"), 2);
+  auto text = slurp(paths[0]);
+  const std::size_t row_begin = text.find('\n') + 1;
+  text.insert(row_begin, 1, 'x');  // first data row's id goes bad
+  const std::string raw_row = text.substr(row_begin, text.find('\n', row_begin) - row_begin);
+  std::ofstream{paths[0], std::ios::binary | std::ios::trunc} << text;
+
+  IngestOptions options;
+  options.policy = IngestPolicy::kLenient;
+  const auto result = read_csv_shards(paths, options);
+  EXPECT_EQ(result.db.size(), 39u);
+  EXPECT_EQ(result.report.ingested, 39u);
+  ASSERT_EQ(result.report.rows.size(), 1u);
+  const auto& row = result.report.rows[0];
+  EXPECT_EQ(row.shard, paths[0]);
+  EXPECT_EQ(row.line, 2u);
+  EXPECT_EQ(row.raw, raw_row);
+  EXPECT_NE(row.reason.find("bad id"), std::string::npos);
+  EXPECT_TRUE(result.report.shards.empty());
+}
+
+TEST_F(CsvShardsTest, LenientQuarantinesBadHeaderShardWhole) {
+  const auto db = synthetic_corpus_n(40, 5);
+  const auto paths = write_csv_shards(db, base("hdr"), 2);
+  const auto original = slurp(paths[1]);
+  const std::size_t shard1_rows = [&] {
+    std::size_t n = 0;
+    for (char c : original) n += c == '\n';
+    return n - 1;  // minus the header
+  }();
+  std::ofstream{paths[1], std::ios::binary | std::ios::trunc}
+      << "not,the header\n" << original.substr(original.find('\n') + 1);
+
+  IngestOptions options;
+  options.policy = IngestPolicy::kLenient;
+  const auto result = read_csv_shards(paths, options);
+  EXPECT_EQ(result.db.size(), 40u - shard1_rows);
+  ASSERT_EQ(result.report.shards.size(), 1u);
+  EXPECT_EQ(result.report.shards[0].shard, paths[1]);
+  EXPECT_EQ(result.report.shards[0].reason, "bad CSV header");
+  EXPECT_EQ(result.report.shards[0].lines_seen, shard1_rows + 1);
+}
+
+TEST_F(CsvShardsTest, TransientFaultRecoversAndCountsRetries) {
+  const auto db = synthetic_corpus_n(30, 5);
+  const auto paths = write_csv_shards(db, base("transient"), 2);
+  IngestOptions options;
+  options.policy = IngestPolicy::kLenient;
+  options.max_attempts = 3;
+  options.fault_hook = [&](const std::string& path, std::size_t attempt) {
+    return path == paths[0] && attempt <= 2;
+  };
+  const auto result = read_csv_shards(paths, options);
+  EXPECT_EQ(result.db.to_csv(), db.to_csv());
+  EXPECT_TRUE(result.report.clean());
+  EXPECT_EQ(result.report.retries, 2u);
+}
+
+TEST_F(CsvShardsTest, LenientQuarantinesUnreadableShardAfterRetries) {
+  const auto db = synthetic_corpus_n(30, 5);
+  const auto paths = write_csv_shards(db, base("unread"), 2);
+  const std::size_t shard1_rows = [&] {
+    const auto text = slurp(paths[1]);
+    std::size_t n = 0;
+    for (char c : text) n += c == '\n';
+    return n - 1;
+  }();
+  IngestOptions options;
+  options.policy = IngestPolicy::kLenient;
+  options.max_attempts = 3;
+  options.fault_hook = [&](const std::string& path, std::size_t) {
+    return path == paths[1];
+  };
+  const auto result = read_csv_shards(paths, options);
+  EXPECT_EQ(result.db.size(), 30u - shard1_rows);
+  ASSERT_EQ(result.report.shards.size(), 1u);
+  EXPECT_EQ(result.report.shards[0].shard, paths[1]);
+  EXPECT_EQ(result.report.shards[0].attempts, 3u);
+  EXPECT_EQ(result.report.shards[0].lines_seen, 0u);
+  EXPECT_NE(result.report.shards[0].reason.find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(result.report.retries, 2u);
+}
+
+TEST_F(CsvShardsTest, StrictUnreadableThrowsWithAttemptCount) {
+  const auto db = synthetic_corpus_n(10, 5);
+  const auto paths = write_csv_shards(db, base("strictio"), 1);
+  IngestOptions options;
+  options.max_attempts = 3;
+  options.fault_hook = [](const std::string&, std::size_t) { return true; };
+  try {
+    (void)read_csv_shards(paths, options);
+    FAIL() << "unreadable shard must throw under strict";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(paths[0]), std::string::npos);
+    EXPECT_NE(what.find("after 3 attempts"), std::string::npos);
+  }
+}
+
+TEST_F(CsvShardsTest, PolicyReaderMatchesLegacyOnCleanInput) {
+  const auto db = synthetic_corpus_n(500, 5);
+  const auto paths = write_csv_shards(db, base("clean"), 3);
+  const auto legacy = read_csv_shards(paths);
+  const auto strict = read_csv_shards(paths, IngestOptions{});
+  EXPECT_EQ(strict.db.to_csv(), legacy.to_csv());
+  EXPECT_TRUE(strict.report.clean());
+  EXPECT_EQ(strict.report.ingested, 500u);
+}
+
+TEST_F(CsvShardsTest, LenientReportIsThreadCountIndependent) {
+  const auto db = synthetic_corpus_n(300, 5);
+  const auto paths = write_csv_shards(db, base("det"), 3);
+  auto text = slurp(paths[1]);
+  text.insert(text.find('\n') + 1, 1, 'x');
+  std::ofstream{paths[1], std::ios::binary | std::ios::trunc} << text;
+
+  IngestOptions options;
+  options.policy = IngestPolicy::kLenient;
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = read_csv_shards(paths, options);
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel = read_csv_shards(paths, options);
+  runtime::ThreadPool::set_global_threads(runtime::ThreadPool::default_threads());
+
+  EXPECT_EQ(serial.db.to_csv(), parallel.db.to_csv());
+  ASSERT_EQ(serial.report.rows.size(), 1u);
+  ASSERT_EQ(parallel.report.rows.size(), 1u);
+  EXPECT_EQ(serial.report.rows[0].shard, parallel.report.rows[0].shard);
+  EXPECT_EQ(serial.report.rows[0].line, parallel.report.rows[0].line);
+  EXPECT_EQ(serial.report.rows[0].raw, parallel.report.rows[0].raw);
+  EXPECT_EQ(serial.report.rows[0].reason, parallel.report.rows[0].reason);
+}
+
 }  // namespace
 }  // namespace dfsm::bugtraq

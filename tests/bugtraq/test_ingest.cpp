@@ -79,6 +79,53 @@ TEST(AddBatch, ZeroIdsMayRepeatWithinABatch) {
   EXPECT_NE(db.by_id(7), nullptr);
 }
 
+TEST(AddBatch, LenientKeepsFirstOccurrenceAndReportsRejects) {
+  Database db;
+  db.add(sample(1));
+  const auto rejects = db.add_batch(
+      {sample(2), sample(1), sample(3), sample(2)}, IngestPolicy::kLenient);
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_NE(db.by_id(2), nullptr);
+  EXPECT_NE(db.by_id(3), nullptr);
+  ASSERT_EQ(rejects.size(), 2u);
+  EXPECT_EQ(rejects[0].index, 1u);
+  EXPECT_EQ(rejects[0].reason, "duplicate Bugtraq ID: 1");
+  EXPECT_EQ(rejects[1].index, 3u);
+  EXPECT_EQ(rejects[1].reason, "duplicate Bugtraq ID: 2");
+}
+
+TEST(AddBatch, LenientAcceptsZeroIdsWithoutRejects) {
+  Database db;
+  const auto rejects =
+      db.add_batch({sample(0), sample(0), sample(9)}, IngestPolicy::kLenient);
+  EXPECT_TRUE(rejects.empty());
+  EXPECT_EQ(db.size(), 3u);
+}
+
+TEST(AddBatch, StrictPolicyMatchesPlainAddBatch) {
+  Database db;
+  db.add(sample(1));
+  EXPECT_THROW((void)db.add_batch({sample(2), sample(1)}, IngestPolicy::kStrict),
+               std::invalid_argument);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.by_id(2), nullptr);
+}
+
+TEST(AddBatch, LenientPreservesInsertionOrderOfAccepted) {
+  Database db;
+  (void)db.add_batch({sample(5), sample(4), sample(5), sample(6)},
+                     IngestPolicy::kLenient);
+  ASSERT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.records()[0].id, 5);
+  EXPECT_EQ(db.records()[1].id, 4);
+  EXPECT_EQ(db.records()[2].id, 6);
+}
+
+TEST(IngestPolicyNames, RoundTrip) {
+  EXPECT_STREQ(to_string(IngestPolicy::kStrict), "strict");
+  EXPECT_STREQ(to_string(IngestPolicy::kLenient), "lenient");
+}
+
 TEST(Histograms, YearAndSoftwareColumnsServeTheCounts) {
   Database db;
   db.add_batch({sample(1, 1999, "BIND"), sample(2, 1999, "BIND"),

@@ -1,0 +1,127 @@
+// Campaign engine (DESIGN.md §9): seeded campaigns pass with zero
+// failures, reports are byte-identical across thread counts, config
+// validation rejects degenerate inputs, and both emitters are stable.
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "faultinject/campaign.h"
+#include "runtime/thread_pool.h"
+
+namespace dfsm::faultinject {
+namespace {
+
+namespace fs = std::filesystem;
+using runtime::ThreadPool;
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("dfsm-campaign-" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    ThreadPool::set_global_threads(ThreadPool::default_threads());
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] CampaignConfig config(std::size_t trials) const {
+    CampaignConfig c;
+    c.seed = 1;
+    c.trials = trials;
+    c.workdir = dir_.string();
+    return c;
+  }
+  fs::path dir_;
+};
+
+TEST_F(CampaignTest, SeededCampaignPassesOnBothSurfaces) {
+  const auto report = run_campaign(config(20));
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.trials.size(), 20u);
+  EXPECT_EQ(report.corpus_trials + report.model_trials, 20u);
+  EXPECT_GT(report.corpus_trials, 0u);
+  EXPECT_GT(report.model_trials, 0u);
+  for (const auto& t : report.trials) {
+    EXPECT_TRUE(t.ok) << "trial " << t.trial << ": " << t.failure;
+    // Report entries never leak the absolute workdir.
+    EXPECT_EQ(t.target.find(dir_.string()), std::string::npos);
+    EXPECT_EQ(t.strict_error.find(dir_.string()), std::string::npos);
+  }
+}
+
+TEST_F(CampaignTest, ReportIsByteIdenticalAcrossThreadCounts) {
+  ThreadPool::set_global_threads(1);
+  const auto serial = run_campaign(config(12));
+  const auto serial_json = emit_json(serial);
+  ThreadPool::set_global_threads(4);
+  const auto parallel = run_campaign(config(12));
+  const auto parallel_json = emit_json(parallel);
+  EXPECT_EQ(serial_json, parallel_json);
+  EXPECT_EQ(emit_text(serial), emit_text(parallel));
+}
+
+TEST_F(CampaignTest, CorpusOnlyAndModelOnlyCampaignsRun) {
+  auto corpus_cfg = config(6);
+  corpus_cfg.campaign = CampaignKind::kCorpus;
+  const auto corpus = run_campaign(corpus_cfg);
+  EXPECT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus.corpus_trials, 6u);
+  EXPECT_EQ(corpus.model_trials, 0u);
+
+  auto model_cfg = config(6);
+  model_cfg.campaign = CampaignKind::kModel;
+  const auto model = run_campaign(model_cfg);
+  EXPECT_TRUE(model.ok());
+  EXPECT_EQ(model.model_trials, 6u);
+  EXPECT_EQ(model.corpus_trials, 0u);
+}
+
+TEST_F(CampaignTest, DifferentSeedsGiveDifferentCampaigns) {
+  auto a = config(8);
+  auto b = config(8);
+  b.seed = 2;
+  EXPECT_NE(emit_json(run_campaign(a)), emit_json(run_campaign(b)));
+}
+
+TEST_F(CampaignTest, EmittersCoverEveryTrial) {
+  const auto report = run_campaign(config(5));
+  const auto text = emit_text(report);
+  const auto json = emit_json(report);
+  for (const auto& t : report.trials) {
+    EXPECT_NE(text.find(t.fault), std::string::npos);
+    EXPECT_NE(json.find("\"fault\": \"" + t.fault + "\""), std::string::npos);
+  }
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+}
+
+TEST_F(CampaignTest, BadConfigsThrow) {
+  auto zero = config(0);
+  EXPECT_THROW((void)run_campaign(zero), std::invalid_argument);
+  auto attempts = config(5);
+  attempts.max_attempts = 1;
+  EXPECT_THROW((void)run_campaign(attempts), std::invalid_argument);
+  auto swapped = config(5);
+  swapped.min_records = 100;
+  swapped.max_records = 50;
+  EXPECT_THROW((void)run_campaign(swapped), std::invalid_argument);
+  auto thin = config(5);
+  thin.min_records = 2;
+  thin.max_shards = 5;
+  EXPECT_THROW((void)run_campaign(thin), std::invalid_argument);
+}
+
+TEST(CampaignKindNames, RoundTrip) {
+  EXPECT_STREQ(to_string(CampaignKind::kCorpus), "corpus");
+  EXPECT_STREQ(to_string(CampaignKind::kModel), "model");
+  EXPECT_STREQ(to_string(CampaignKind::kAll), "all");
+}
+
+}  // namespace
+}  // namespace dfsm::faultinject

@@ -1,0 +1,137 @@
+// Model-fault invariant (DESIGN.md §9): every injected IR defect is
+// caught by at least one of the lint rules the mutation names, on every
+// curated model that can host it; live-chain defects are caught by the
+// dynamic analyses (hidden-path witnesses + chain evaluation).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/hidden_path.h"
+#include "faultinject/model_faults.h"
+#include "staticlint/linter.h"
+#include "staticlint/registry.h"
+
+namespace dfsm::faultinject {
+namespace {
+
+using staticlint::LintModel;
+
+bool any_expected_caught(const std::vector<std::string>& expected,
+                         const staticlint::LintRun& run) {
+  for (const auto& finding : run.findings) {
+    for (const auto& id : expected) {
+      if (finding.rule_id == id) return true;
+    }
+  }
+  return false;
+}
+
+TEST(ModelFaults, EveryAppliedFaultIsCaughtOnEveryCuratedModel) {
+  const auto curated = staticlint::curated_lint_models();
+  ASSERT_FALSE(curated.empty());
+  std::size_t applied = 0;
+  for (const auto& original : curated) {
+    for (const ModelFault fault : kAllModelFaults) {
+      for (std::uint64_t stream = 0; stream < 3; ++stream) {
+        LintModel copy = original;
+        Rng rng{17, stream};
+        const auto mut = apply_model_fault(fault, copy, rng);
+        if (!mut) continue;
+        ++applied;
+        EXPECT_EQ(mut->fault, fault);
+        EXPECT_EQ(mut->model, original.name);
+        ASSERT_FALSE(mut->expected_rules.empty());
+        const auto run = staticlint::lint({copy});
+        EXPECT_TRUE(any_expected_caught(mut->expected_rules, run))
+            << to_string(fault) << " escaped on " << original.name
+            << " (stream " << stream << ")";
+      }
+    }
+  }
+  // The grid must actually exercise the taxonomy, not vacuously pass.
+  EXPECT_GT(applied, curated.size() * kAllModelFaults.size());
+}
+
+TEST(ModelFaults, EveryFaultAppliesSomewhereInTheRegistry) {
+  const auto curated = staticlint::curated_lint_models();
+  for (const ModelFault fault : kAllModelFaults) {
+    bool hosted = false;
+    for (const auto& original : curated) {
+      LintModel copy = original;
+      Rng rng{23, 1};
+      if (apply_model_fault(fault, copy, rng)) {
+        hosted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(hosted) << to_string(fault) << " applies to no curated model";
+  }
+}
+
+TEST(ModelFaults, InapplicableFaultReturnsNulloptAndLeavesModelClean) {
+  // A metadata-free single-operation chain snapshot cannot host the
+  // duplicate-operation or Lemma faults.
+  LintModel tiny;
+  tiny.name = "tiny";
+  tiny.has_metadata = false;
+  staticlint::LintOperation op;
+  op.name = "only";
+  staticlint::LintPfsm p;
+  p.name = "pFSM1";
+  p.activity = "do the thing";
+  p.spec.description = "len <= 8";
+  p.impl.description = "len <= 8";
+  op.pfsms.push_back(p);
+  tiny.operations.push_back(op);
+  tiny.gates.push_back("consequence");
+
+  for (const ModelFault fault :
+       {ModelFault::kDuplicateOperationName, ModelFault::kDuplicatePfsmName,
+        ModelFault::kDeclareAllSecure, ModelFault::kInjectRejectAll}) {
+    LintModel copy = tiny;
+    Rng rng{29, 2};
+    EXPECT_FALSE(apply_model_fault(fault, copy, rng).has_value())
+        << to_string(fault);
+    EXPECT_EQ(copy.operations.size(), 1u);
+    EXPECT_EQ(copy.operations[0].pfsms.size(), 1u);
+    EXPECT_EQ(copy.operations[0].name, "only");
+  }
+}
+
+TEST(ModelFaults, ChainFixtureIsCaughtByDynamicAnalyses) {
+  for (std::uint64_t stream = 0; stream < 12; ++stream) {
+    Rng rng{31, stream};
+    const ChainFaultFixture fx = make_chain_fault(rng);
+    ASSERT_EQ(fx.chain.size(), 2u);
+    EXPECT_GT(fx.overflow_len, fx.limit);
+    EXPECT_LE(fx.benign_len, fx.limit);
+
+    const core::Pfsm& pfsm = fx.chain.operations()[1].pfsms()[0];
+    EXPECT_EQ(pfsm.name(), fx.vulnerable_pfsm);
+    const auto domain = analysis::int_boundary_domain(
+        "payload", "len", {0, fx.limit, fx.impl_limit});
+    const auto hp = analysis::detect_hidden_path(pfsm, domain);
+    EXPECT_TRUE(hp.vulnerable()) << "stream " << stream << ": " << fx.detail;
+
+    const auto attack = fx.chain.evaluate(fx.inputs_for(fx.overflow_len));
+    EXPECT_TRUE(attack.exploited()) << "stream " << stream;
+    const auto benign = fx.chain.evaluate(fx.inputs_for(fx.benign_len));
+    EXPECT_TRUE(benign.completed()) << "stream " << stream;
+    EXPECT_FALSE(benign.exploited()) << "stream " << stream;
+  }
+}
+
+TEST(ModelFaults, ChainFixtureIsDeterministicInTheRng) {
+  Rng ra{37, 4}, rb{37, 4};
+  const auto a = make_chain_fault(ra);
+  const auto b = make_chain_fault(rb);
+  EXPECT_EQ(a.limit, b.limit);
+  EXPECT_EQ(a.impl_limit, b.impl_limit);
+  EXPECT_EQ(a.impl_unchecked, b.impl_unchecked);
+  EXPECT_EQ(a.overflow_len, b.overflow_len);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+}  // namespace
+}  // namespace dfsm::faultinject

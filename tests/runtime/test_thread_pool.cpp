@@ -148,6 +148,81 @@ TEST(Parallel, MapPreservesIndexOrder) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
 }
 
+TEST(ThreadPoolCollect, OkRunWithNoErrors) {
+  ThreadPool pool{4};
+  std::atomic<int> hits{0};
+  const auto errs =
+      pool.run_indexed_collect(100, [&](std::size_t) { ++hits; });
+  EXPECT_TRUE(errs.ok());
+  EXPECT_EQ(errs.cancelled, 0u);
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPoolCollect, RunAllCollectsEveryErrorInIndexOrder) {
+  for (std::size_t threads : {0u, 1u, 4u}) {
+    ThreadPool pool{threads};
+    const auto errs = pool.run_indexed_collect(
+        20,
+        [](std::size_t i) {
+          if (i % 5 == 0) throw std::runtime_error("boom " + std::to_string(i));
+        },
+        CancelPolicy::kRunAll);
+    ASSERT_EQ(errs.errors.size(), 4u) << "threads=" << threads;
+    EXPECT_EQ(errs.cancelled, 0u);
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(errs.errors[k].index, k * 5);
+      try {
+        std::rethrow_exception(errs.errors[k].error);
+      } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "boom " + std::to_string(k * 5));
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolCollect, CancelAfterErrorKeepsExactlyLowestFailure) {
+  for (std::size_t threads : {0u, 1u, 4u}) {
+    ThreadPool pool{threads};
+    std::atomic<int> low_ran{0};
+    const auto errs = pool.run_indexed_collect(
+        200,
+        [&](std::size_t i) {
+          if (i < 7) ++low_ran;
+          if (i == 7) throw std::logic_error("first failure");
+          if (i == 150) throw std::logic_error("late failure");
+        },
+        CancelPolicy::kCancelAfterError);
+    ASSERT_EQ(errs.errors.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(errs.errors[0].index, 7u);
+    // Indices below the lowest thrower always run, cancelled or not.
+    EXPECT_EQ(low_ran.load(), 7);
+    try {
+      std::rethrow_exception(errs.errors[0].error);
+    } catch (const std::logic_error& e) {
+      EXPECT_EQ(std::string(e.what()), "first failure");
+    }
+  }
+}
+
+TEST(ThreadPoolCollect, ZeroTasksIsClean) {
+  ThreadPool pool{2};
+  const auto errs = pool.run_indexed_collect(0, [](std::size_t) {});
+  EXPECT_TRUE(errs.ok());
+  EXPECT_EQ(errs.cancelled, 0u);
+}
+
+TEST(Parallel, ForCollectQuarantinesFailingBlocks) {
+  ThreadPool pool{4};
+  const auto errs = parallel_for_collect(
+      100,
+      [](std::size_t begin, std::size_t) {
+        if (begin == 0) throw std::runtime_error("block zero");
+      },
+      CancelPolicy::kRunAll, pool);
+  ASSERT_EQ(errs.errors.size(), 1u);
+  EXPECT_EQ(errs.errors[0].index, 0u);
+}
+
 TEST(Parallel, ZeroElementsIsANoop) {
   ThreadPool pool{4};
   bool ran = false;

@@ -34,7 +34,10 @@ def load_benchmarks(path):
     pair_key identifies a serial-vs-parallel family: (binary, base name,
     non-thread args). The first numeric path segment of a benchmark name
     is the worker-count argument; trailing non-numeric segments
-    (real_time, process_time, aggregate names) are ignored.
+    (real_time, process_time) are ignored. When a run carries median
+    aggregates (run_benches.sh runs 3 repetitions and reports aggregates
+    only), ONLY those medians feed the comparison; raw per-repetition
+    iterations are used as the fallback for older single-run baselines.
     """
     try:
         with open(path) as f:
@@ -42,31 +45,45 @@ def load_benchmarks(path):
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot load {path}: {e}")
 
-    groups = defaultdict(lambda: {"serial": [], "parallel": [], "unit": None})
+    def side_bucket():
+        return {"agg": [], "raw": []}
+
+    groups = defaultdict(lambda: {"serial": side_bucket(),
+                                  "parallel": side_bucket(), "unit": None})
     for bench in doc.get("benchmarks", []):
-        # Prefer median aggregates when a run has repetitions; otherwise
-        # use the raw iterations.
         run_type = bench.get("run_type", "iteration")
-        if run_type == "aggregate" and bench.get("aggregate_name") != "median":
-            continue
-        segments = bench.get("name", "").split("/")
+        if run_type == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            bucket = "agg"
+        else:
+            bucket = "raw"
+        # Aggregates append "_median" to name; run_name is the bare
+        # benchmark path either way.
+        name = bench.get("run_name") or bench.get("name", "")
+        segments = name.split("/")
         base, args = segments[0], []
         for seg in segments[1:]:
             try:
                 args.append(int(seg))
             except ValueError:
-                pass  # real_time / process_time / aggregate suffixes
+                pass  # real_time / process_time suffixes
         if not args:
             continue  # not a thread-parameterized benchmark
         threads, rest = args[0], tuple(args[1:])
         key = (bench.get("binary", ""), base, rest)
         side = "serial" if threads == 1 else "parallel"
-        groups[key][side].append(float(bench["real_time"]))
+        groups[key][side][bucket].append(float(bench["real_time"]))
         groups[key]["unit"] = bench.get("time_unit", "ns")
 
-    return {
-        key: g for key, g in groups.items() if g["serial"] and g["parallel"]
-    }
+    out = {}
+    for key, g in groups.items():
+        serial = g["serial"]["agg"] or g["serial"]["raw"]
+        parallel = g["parallel"]["agg"] or g["parallel"]["raw"]
+        if serial and parallel:
+            out[key] = {"serial": serial, "parallel": parallel,
+                        "unit": g["unit"]}
+    return out
 
 
 def speedup(group):

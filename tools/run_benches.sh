@@ -9,6 +9,13 @@
 #
 # Extra google-benchmark flags can be passed via DFSM_BENCH_FLAGS, e.g.
 #   DFSM_BENCH_FLAGS='--benchmark_filter=BM_Corpus.*' tools/run_benches.sh
+#
+# Each benchmark runs DFSM_BENCH_REPETITIONS times (default 3) and only
+# the aggregates (median/mean/stddev) are emitted — the regression gate
+# compares medians, which shrugs off a single noisy repetition. A bench
+# binary that exits non-zero is retried once before it fails the run
+# (shared CI machines occasionally hiccup a process for reasons that
+# have nothing to do with the code under test).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,24 +32,37 @@ fi
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
+repetitions="${DFSM_BENCH_REPETITIONS:-3}"
+
+run_one() {
+  # Artifact text goes to stdout before the benchmarks; route JSON to a
+  # file so the merge only sees benchmark output.
+  "$1" --benchmark_format=json \
+       --benchmark_out="$tmp_dir/$2.json" \
+       --benchmark_out_format=json \
+       --benchmark_repetitions="$repetitions" \
+       --benchmark_report_aggregates_only=true \
+       ${DFSM_BENCH_FLAGS:-} > "$tmp_dir/$2.artifact.txt"
+}
+
 found=0
 failed=()
 for bin in "$bench_dir"/bench_*; do
   [ -f "$bin" ] && [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   echo "== $name" >&2
-  # Artifact text goes to stdout before the benchmarks; route JSON to a
-  # file so the merge only sees benchmark output. A failing binary must
-  # fail the whole run (after every binary has had its turn) — merging
-  # partial JSON would silently report a shrunken benchmark set.
-  if ! "$bin" --benchmark_format=json \
-              --benchmark_out="$tmp_dir/$name.json" \
-              --benchmark_out_format=json \
-              ${DFSM_BENCH_FLAGS:-} > "$tmp_dir/$name.artifact.txt"; then
-    echo "error: $name exited non-zero" >&2
-    failed+=("$name")
+  # A failing binary gets one retry; a second failure must fail the
+  # whole run (after every binary has had its turn) — merging partial
+  # JSON would silently report a shrunken benchmark set.
+  if ! run_one "$bin" "$name"; then
+    echo "warning: $name exited non-zero, retrying once" >&2
     rm -f "$tmp_dir/$name.json"
-    continue
+    if ! run_one "$bin" "$name"; then
+      echo "error: $name exited non-zero twice" >&2
+      failed+=("$name")
+      rm -f "$tmp_dir/$name.json"
+      continue
+    fi
   fi
   found=$((found + 1))
 done
@@ -65,7 +85,11 @@ out_path, paths = sys.argv[1], sys.argv[2:]
 merged = {"context": None, "benchmarks": []}
 for path in sorted(paths):
     with open(path) as f:
-        doc = json.load(f)
+        text = f.read()
+    if not text.strip():
+        # A binary whose every benchmark was filtered out writes nothing.
+        continue
+    doc = json.loads(text)
     if merged["context"] is None:
         merged["context"] = doc.get("context", {})
     binary = path.rsplit("/", 1)[-1].removesuffix(".json")
