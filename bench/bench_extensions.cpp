@@ -7,19 +7,24 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "analysis/anomaly.h"
 #include "analysis/attack_graph.h"
 #include "analysis/autotool.h"
+#include "analysis/chain_analyzer.h"
 #include "analysis/discovery.h"
 #include "analysis/hidden_path.h"
 #include "analysis/metf.h"
 #include "analysis/predicates.h"
 #include "apps/models.h"
 #include "apps/nullhttpd.h"
+#include "apps/synthetic.h"
 #include "apps/xterm.h"
+#include "core/chain.h"
 #include "bugtraq/corpus.h"
 #include "bugtraq/database.h"
 #include "core/table.h"
@@ -329,6 +334,155 @@ BENCHMARK(BM_CorpusSweepScaled)
     ->Args({kParallelThreads, 100'000})
     ->Args({1, 1'000'000})
     ->Args({kParallelThreads, 1'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- Chain evaluation engine (DESIGN.md §10) ---------------------------
+//
+// Serial-vs-parallel pairs over the memoized Lemma sweep (k = 12/16/20
+// on the synthetic wide-chain fixture), the direct sweep, batch chain
+// evaluation, and the model scan — plus the cross-engine pair the
+// regression gate holds: BM_LemmaSweepEngineK16's "serial" arm is the
+// DIRECT 2^k enumeration and its "parallel" arm is the default MEMOIZED
+// engine, so its reported speedup is this engine's end-to-end gain.
+
+const apps::CaseStudy& sweep_study(std::size_t operations,
+                                   std::size_t checks_per_operation) {
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::unique_ptr<apps::CaseStudy>>
+      cache;
+  const auto key = std::make_pair(operations, checks_per_operation);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    apps::SyntheticStudyConfig config;
+    config.operations = operations;
+    config.checks_per_operation = checks_per_operation;
+    it = cache.emplace(key, apps::make_synthetic_wide_study(config)).first;
+  }
+  return *it->second;
+}
+
+void BM_LemmaSweepMemoized(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto& study = sweep_study(k / 4, 4);
+  for (auto _ : state) {
+    auto report = sweep(study);
+    benchmark::DoNotOptimize(report.lemma2_holds);
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << k));  // masks composed
+}
+BENCHMARK(BM_LemmaSweepMemoized)
+    ->Args({1, 12})
+    ->Args({kParallelThreads, 12})
+    ->Args({1, 16})
+    ->Args({kParallelThreads, 16})
+    ->Args({1, 20})
+    ->Args({kParallelThreads, 20})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LemmaSweepDirect(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto& study = sweep_study(k / 4, 4);
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  for (auto _ : state) {
+    auto report = sweep(study, direct);
+    benchmark::DoNotOptimize(report.lemma2_holds);
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * (std::int64_t{1} << k));
+}
+BENCHMARK(BM_LemmaSweepDirect)
+    ->Args({1, 16})
+    ->Args({kParallelThreads, 16})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LemmaSweepEngineK16(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto& study = sweep_study(4, 4);
+  SweepOptions opts;
+  opts.mode = state.range(0) == 1 ? SweepMode::kDirect : SweepMode::kMemoized;
+  for (auto _ : state) {
+    auto report = sweep(study, opts);
+    benchmark::DoNotOptimize(report.lemma2_holds);
+  }
+  restore_pool();
+}
+BENCHMARK(BM_LemmaSweepEngineK16)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+core::ExploitChain batch_bench_chain(std::size_t operations) {
+  core::ExploitChain chain{"bench batch chain"};
+  for (std::size_t i = 0; i < operations; ++i) {
+    core::Operation op{"op" + std::to_string(i), "request field"};
+    op.add(core::Pfsm::unchecked(
+        "p" + std::to_string(i), core::PfsmType::kContentAttributeCheck,
+        "bounds-check the field",
+        core::Predicate{"ok", [](const core::Object& o) {
+                          return o.attr_bool("ok").value_or(false);
+                        }}));
+    chain.add(std::move(op),
+              core::PropagationGate{"gate " + std::to_string(i)});
+  }
+  return chain;
+}
+
+void BM_ChainEvaluateBatch(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto chain = batch_bench_chain(/*operations=*/8);
+  constexpr std::size_t kBatch = 4096;
+  std::vector<std::vector<std::vector<core::Object>>> batch;
+  batch.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::vector<std::vector<core::Object>> inputs;
+    inputs.reserve(chain.size());
+    for (std::size_t op = 0; op < chain.size(); ++op) {
+      inputs.push_back({core::Object{"o"}.with("ok", (i + op) % 3 == 0)});
+    }
+    batch.push_back(std::move(inputs));
+  }
+  for (auto _ : state) {
+    auto results = chain.evaluate_batch(batch);
+    benchmark::DoNotOptimize(results.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_ChainEvaluateBatch)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HiddenPathScanModel(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto model = sweep_study(5, 4).model();  // 20 pFSMs
+  const auto domain = int_range_domain("x", "x", -4096, 4096);
+  std::map<std::string, std::vector<core::Object>> domains;
+  for (const auto& op : model.chain().operations()) {
+    for (const auto& pfsm : op.pfsms()) domains[pfsm.name()] = domain;
+  }
+  for (auto _ : state) {
+    auto reports = scan_model(model, domains);
+    benchmark::DoNotOptimize(reports.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(domains.size()));
+}
+BENCHMARK(BM_HiddenPathScanModel)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

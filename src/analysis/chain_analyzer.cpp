@@ -1,8 +1,264 @@
 #include "analysis/chain_analyzer.h"
 
+#include <bit>
 #include <set>
+#include <stdexcept>
+
+#include "runtime/parallel.h"
 
 namespace dfsm::analysis {
+
+namespace {
+
+/// One operation's slice of the check vector: which global check
+/// positions belong to it, in ascending position order.
+struct OpChecks {
+  std::size_t op = 0;
+  std::vector<std::size_t> positions;
+};
+
+/// One memoized cell: the study's outcome with ONLY this operation's
+/// checks enabled (per its sub-mask), everything else off. `*_blocks`
+/// records whether that run diverged from the all-checks-off baseline —
+/// by the Lemma's predicate independence, a non-diverging operation is
+/// behaviourally absent from every composed mask.
+struct CacheEntry {
+  apps::RunOutcome exploit;
+  apps::RunOutcome benign;
+  bool exploit_blocks = false;
+  bool benign_blocks = false;
+};
+
+std::vector<OpChecks> op_layout(const std::vector<apps::CheckSpec>& checks) {
+  std::set<std::size_t> op_ids;
+  for (const auto& c : checks) op_ids.insert(c.operation_index);
+  std::vector<OpChecks> ops;
+  ops.reserve(op_ids.size());
+  for (std::size_t op : op_ids) {
+    OpChecks oc;
+    oc.op = op;
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (checks[i].operation_index == op) oc.positions.push_back(i);
+    }
+    ops.push_back(std::move(oc));
+  }
+  return ops;
+}
+
+std::vector<bool> mask_bits(std::uint64_t bits, std::size_t k) {
+  std::vector<bool> mask(k);
+  for (std::size_t i = 0; i < k; ++i) mask[i] = (bits >> i) & 1;
+  return mask;
+}
+
+/// The mask ids a sweep enumerates: all of [0, total) when it fits the
+/// cap, otherwise an evenly-strided sample that pins mask 0 and mask
+/// total-1. Pure function of (total, max_masks) — the determinism anchor
+/// for sampled sweeps.
+std::vector<std::uint64_t> sweep_mask_ids(std::uint64_t total,
+                                          std::uint64_t max_masks) {
+  std::vector<std::uint64_t> ids;
+  if (max_masks == 0 || total <= max_masks) {
+    ids.reserve(static_cast<std::size_t>(total));
+    for (std::uint64_t m = 0; m < total; ++m) ids.push_back(m);
+    return ids;
+  }
+  if (max_masks == 1) return {0};
+  ids.reserve(static_cast<std::size_t>(max_masks));
+  for (std::uint64_t i = 0; i < max_masks; ++i) {
+    // i scaled onto [0, total-1]; strictly increasing since total > max.
+    ids.push_back(i * ((total - 1) / (max_masks - 1)) +
+                  (i * ((total - 1) % (max_masks - 1))) / (max_masks - 1));
+  }
+  return ids;
+}
+
+/// The full-length mask holding `submask` at this operation's check
+/// positions and 0 everywhere else — the cache-fill plumbing through the
+/// study's ordinary run_exploit/run_benign mask interface.
+std::vector<bool> expand_submask(const OpChecks& oc, std::uint64_t submask,
+                                 std::size_t k) {
+  std::vector<bool> mask(k);
+  for (std::size_t j = 0; j < oc.positions.size(); ++j) {
+    if ((submask >> j) & 1) mask[oc.positions[j]] = true;
+  }
+  return mask;
+}
+
+std::uint64_t gather_submask(const OpChecks& oc, std::uint64_t mask_id) {
+  std::uint64_t s = 0;
+  for (std::size_t j = 0; j < oc.positions.size(); ++j) {
+    if ((mask_id >> oc.positions[j]) & 1) s |= std::uint64_t{1} << j;
+  }
+  return s;
+}
+
+/// The memoized engine: per-operation outcome caches plus the gate
+/// composition that reconstitutes any full-mask row (DESIGN.md §10).
+struct MemoizedEngine {
+  std::vector<OpChecks> ops;
+  CacheEntry baseline;                          ///< all checks off
+  std::vector<std::vector<CacheEntry>> cache;   ///< [op][submask]
+  bool compose_from_last = false;  ///< SweepFault::kWrongGateComposition
+
+  /// Evaluates each operation at most 2^{k_op} times: sub-mask 0 aliases
+  /// the shared baseline run, so the study runs exactly
+  /// 1 + sum_ops (2^{k_op} - 1) times per workload.
+  void fill(const apps::CaseStudy& study,
+            const std::vector<apps::CheckSpec>& checks, LemmaReport& report) {
+    const std::size_t k = checks.size();
+    ops = op_layout(checks);
+
+    baseline.exploit = study.run_exploit(std::vector<bool>(k));
+    baseline.benign = study.run_benign(std::vector<bool>(k));
+    report.exploit_evaluations = 1;
+    report.benign_evaluations = 1;
+
+    // Flatten the (operation, non-zero sub-mask) grid so one
+    // deterministic parallel_map fills every cell.
+    struct Cell {
+      std::size_t op_slot = 0;
+      std::uint64_t submask = 0;
+    };
+    std::vector<Cell> cells;
+    cache.resize(ops.size());
+    for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+      const std::uint64_t sub_total = std::uint64_t{1}
+                                      << ops[oi].positions.size();
+      cache[oi].resize(static_cast<std::size_t>(sub_total));
+      cache[oi][0] = baseline;
+      for (std::uint64_t s = 1; s < sub_total; ++s) cells.push_back({oi, s});
+    }
+    const auto filled = runtime::parallel_map<CacheEntry>(
+        cells.size(), [&](std::size_t i) {
+          const auto& cell = cells[i];
+          const auto mask = expand_submask(ops[cell.op_slot], cell.submask, k);
+          CacheEntry e;
+          e.exploit = study.run_exploit(mask);
+          e.benign = study.run_benign(mask);
+          e.exploit_blocks = !(e.exploit == baseline.exploit);
+          e.benign_blocks = !(e.benign == baseline.benign);
+          return e;
+        });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      cache[cells[i].op_slot][static_cast<std::size_t>(cells[i].submask)] =
+          filled[i];
+    }
+    report.exploit_evaluations += cells.size();
+    report.benign_evaluations += cells.size();
+  }
+
+  /// Rebuilds the full-mask row from the caches: operations execute in
+  /// chain order, and a passing check is behaviourally absent, so the
+  /// first operation whose sub-mask diverged from baseline owns the row
+  /// (its propagation gate never fires — Lemma statement 2).
+  [[nodiscard]] MaskResult compose(std::uint64_t mask_id, std::size_t k) const {
+    MaskResult row;
+    row.mask = mask_bits(mask_id, k);
+    const CacheEntry* exploit_owner = nullptr;
+    const CacheEntry* benign_owner = nullptr;
+    for (const auto& oc : ops) {
+      const std::size_t oi = static_cast<std::size_t>(&oc - ops.data());
+      const std::uint64_t s = gather_submask(oc, mask_id);
+      const CacheEntry& e = cache[oi][static_cast<std::size_t>(s)];
+      if (e.exploit_blocks && (!exploit_owner || compose_from_last)) {
+        exploit_owner = &e;
+      }
+      if (e.benign_blocks && (!benign_owner || compose_from_last)) {
+        benign_owner = &e;
+      }
+    }
+    row.exploit = exploit_owner ? exploit_owner->exploit : baseline.exploit;
+    row.benign = benign_owner ? benign_owner->benign : baseline.benign;
+    return row;
+  }
+};
+
+/// Fills the verdict fields from the enumerated rows. `ids[i]` is the
+/// mask id of `report.results[i]` (rows ascend, so sampled sweeps keep
+/// the same logic).
+void finalize_report(LemmaReport& report, const std::vector<std::uint64_t>& ids) {
+  report.lemma2_holds = true;
+  report.benign_preserved = true;
+  const std::set<std::size_t> op_ids = [&] {
+    std::set<std::size_t> s;
+    for (const auto& c : report.checks) s.insert(c.operation_index);
+    return s;
+  }();
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    MaskResult& row = report.results[i];
+    const std::uint64_t bits = ids[i];
+    for (std::size_t op : op_ids) {
+      if (operation_secured(report.checks, row.mask, op)) {
+        row.some_operation_secured = true;
+        break;
+      }
+    }
+    if (bits == 0) report.baseline_exploited = row.exploit.exploited;
+    if (bits == report.total_masks - 1) {
+      report.all_checks_foil = !row.exploit.exploited;
+    }
+    if (row.some_operation_secured && row.exploit.exploited) {
+      report.lemma2_holds = false;  // a counterexample to Lemma 2
+    }
+    if (!row.benign.service_ok) report.benign_preserved = false;
+    if (std::popcount(bits) == 1 && !row.exploit.exploited) {
+      report.foiling_single_checks.push_back(
+          static_cast<std::size_t>(std::countr_zero(bits)));
+    }
+  }
+}
+
+LemmaReport sweep_prepared(const apps::CaseStudy& study,
+                           const SweepOptions& options,
+                           MemoizedEngine* faulty_engine) {
+  LemmaReport report;
+  report.study_name = study.name();
+  report.checks = study.checks();
+  const std::size_t k = report.checks.size();
+
+  if (k >= kMaxExhaustiveSweepChecks && options.max_masks == 0) {
+    throw std::invalid_argument(
+        "sweep: '" + report.study_name + "' has " + std::to_string(k) +
+        " checks; an exhaustive sweep would materialize 2^" +
+        std::to_string(k) + " mask rows (limit 2^" +
+        std::to_string(kMaxExhaustiveSweepChecks - 1) +
+        ") — set SweepOptions::max_masks for a sampled sweep");
+  }
+  if (k >= 63) {
+    throw std::invalid_argument("sweep: '" + report.study_name + "' has " +
+                                std::to_string(k) +
+                                " checks; mask ids are 64-bit");
+  }
+
+  report.total_masks = std::uint64_t{1} << k;
+  const auto ids = sweep_mask_ids(report.total_masks, options.max_masks);
+  report.sampled = ids.size() < report.total_masks;
+
+  if (faulty_engine != nullptr || options.mode == SweepMode::kMemoized) {
+    MemoizedEngine own;
+    MemoizedEngine* engine = faulty_engine ? faulty_engine : &own;
+    if (!faulty_engine) engine->fill(study, report.checks, report);
+    report.results = runtime::parallel_map<MaskResult>(
+        ids.size(), [&](std::size_t i) { return engine->compose(ids[i], k); });
+  } else {
+    report.results = runtime::parallel_map<MaskResult>(
+        ids.size(), [&](std::size_t i) {
+          MaskResult row;
+          row.mask = mask_bits(ids[i], k);
+          row.exploit = study.run_exploit(row.mask);
+          row.benign = study.run_benign(row.mask);
+          return row;
+        });
+    report.exploit_evaluations = ids.size();
+    report.benign_evaluations = ids.size();
+  }
+
+  finalize_report(report, ids);
+  return report;
+}
+
+}  // namespace
 
 bool operation_secured(const std::vector<apps::CheckSpec>& checks,
                        const std::vector<bool>& mask, std::size_t op) {
@@ -15,59 +271,124 @@ bool operation_secured(const std::vector<apps::CheckSpec>& checks,
   return has_any;
 }
 
-LemmaReport sweep(const apps::CaseStudy& study) {
-  LemmaReport report;
-  report.study_name = study.name();
-  report.checks = study.checks();
-  const std::size_t k = report.checks.size();
-
-  std::set<std::size_t> operations;
-  for (const auto& c : report.checks) operations.insert(c.operation_index);
-
-  report.lemma2_holds = true;
-  report.benign_preserved = true;
-
-  for (std::size_t bits = 0; bits < (std::size_t{1} << k); ++bits) {
-    MaskResult row;
-    row.mask.resize(k);
-    for (std::size_t i = 0; i < k; ++i) row.mask[i] = (bits >> i) & 1;
-
-    row.exploit = study.run_exploit(row.mask);
-    row.benign = study.run_benign(row.mask);
-    for (std::size_t op : operations) {
-      if (operation_secured(report.checks, row.mask, op)) {
-        row.some_operation_secured = true;
-        break;
-      }
-    }
-
-    if (bits == 0) report.baseline_exploited = row.exploit.exploited;
-    if (bits == (std::size_t{1} << k) - 1) {
-      report.all_checks_foil = !row.exploit.exploited;
-    }
-    if (row.some_operation_secured && row.exploit.exploited) {
-      report.lemma2_holds = false;  // a counterexample to Lemma 2
-    }
-    if (!row.benign.service_ok) report.benign_preserved = false;
-
-    // Single-check masks: exactly one bit set.
-    if (bits != 0 && (bits & (bits - 1)) == 0 && !row.exploit.exploited) {
-      std::size_t idx = 0;
-      while (((bits >> idx) & 1) == 0) ++idx;
-      report.foiling_single_checks.push_back(idx);
-    }
-
-    report.results.push_back(std::move(row));
-  }
-  return report;
+LemmaReport sweep(const apps::CaseStudy& study, const SweepOptions& options) {
+  return sweep_prepared(study, options, nullptr);
 }
 
-std::vector<LemmaReport> sweep_all() {
-  std::vector<LemmaReport> out;
-  for (const auto& study : apps::all_case_studies()) {
-    out.push_back(sweep(*study));
+LemmaReport sweep(const apps::CaseStudy& study) {
+  return sweep(study, SweepOptions{});
+}
+
+std::vector<LemmaReport> sweep_all() { return sweep_all(SweepOptions{}); }
+
+std::vector<LemmaReport> sweep_all(const SweepOptions& options) {
+  const auto studies = apps::all_case_studies();
+  // Outer shard over the study grid; the inner mask loops run nested on
+  // the same pool (inline on a worker), so the whole (study x mask) grid
+  // is covered without oversubscription.
+  return runtime::parallel_map<LemmaReport>(
+      studies.size(),
+      [&](std::size_t i) { return sweep(*studies[i], options); });
+}
+
+bool reports_equivalent(const LemmaReport& a, const LemmaReport& b) {
+  if (a.study_name != b.study_name) return false;
+  if (a.results.size() != b.results.size()) return false;
+  if (a.baseline_exploited != b.baseline_exploited ||
+      a.all_checks_foil != b.all_checks_foil ||
+      a.lemma2_holds != b.lemma2_holds ||
+      a.benign_preserved != b.benign_preserved ||
+      a.foiling_single_checks != b.foiling_single_checks ||
+      a.total_masks != b.total_masks || a.sampled != b.sampled) {
+    return false;
   }
-  return out;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const MaskResult& x = a.results[i];
+    const MaskResult& y = b.results[i];
+    if (x.mask != y.mask || !(x.exploit == y.exploit) ||
+        !(x.benign == y.benign) ||
+        x.some_operation_secured != y.some_operation_secured) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const char* to_string(SweepFault f) noexcept {
+  switch (f) {
+    case SweepFault::kStaleSubmaskEntry: return "stale-submask-entry";
+    case SweepFault::kFlippedCacheOutcome: return "flipped-cache-outcome";
+    case SweepFault::kWrongGateComposition: return "wrong-gate-composition";
+  }
+  return "unknown";
+}
+
+std::optional<SweepFaultReport> sweep_with_fault(const apps::CaseStudy& study,
+                                                 SweepFault fault,
+                                                 const SweepOptions& options) {
+  LemmaReport scratch;
+  scratch.study_name = study.name();
+  scratch.checks = study.checks();
+  MemoizedEngine engine;
+  engine.fill(study, scratch.checks, scratch);
+
+  SweepFaultReport out;
+  switch (fault) {
+    case SweepFault::kStaleSubmaskEntry:
+    case SweepFault::kFlippedCacheOutcome: {
+      // Corrupt the first blocking cell (ascending op, then sub-mask):
+      // the mask that is exactly that cell's expansion composes through
+      // it, so the corruption is guaranteed to surface in some row.
+      for (std::size_t oi = 0; oi < engine.cache.size(); ++oi) {
+        for (std::size_t s = 1; s < engine.cache[oi].size(); ++s) {
+          CacheEntry& e = engine.cache[oi][s];
+          if (!e.exploit_blocks && !e.benign_blocks) continue;
+          if (fault == SweepFault::kStaleSubmaskEntry) {
+            e = engine.baseline;  // stale: pre-fill (all-checks-off) value
+          } else {
+            e.exploit.exploited = !e.exploit.exploited;
+          }
+          out.target = "operation " + std::to_string(engine.ops[oi].op) +
+                       " submask " + std::to_string(s);
+          out.report = sweep_prepared(study, options, &engine);
+          return out;
+        }
+      }
+      return std::nullopt;  // no blocking cell: nothing to corrupt
+    }
+    case SweepFault::kWrongGateComposition: {
+      // Hostable only when two operations' blocking outcomes differ —
+      // otherwise first-vs-last composition is extensionally identical.
+      bool hostable = false;
+      for (std::size_t oi = 0; oi < engine.cache.size() && !hostable; ++oi) {
+        for (std::size_t oj = oi + 1; oj < engine.cache.size() && !hostable;
+             ++oj) {
+          for (const auto& ei : engine.cache[oi]) {
+            for (const auto& ej : engine.cache[oj]) {
+              // A mask combining these two sub-masks resolves to ei
+              // under first-blocker composition and ej under last: it
+              // diverges only where both cells block the same workload
+              // with different outcomes.
+              if ((ei.exploit_blocks && ej.exploit_blocks &&
+                   !(ei.exploit == ej.exploit)) ||
+                  (ei.benign_blocks && ej.benign_blocks &&
+                   !(ei.benign == ej.benign))) {
+                hostable = true;
+                break;
+              }
+            }
+            if (hostable) break;
+          }
+        }
+      }
+      if (!hostable) return std::nullopt;
+      engine.compose_from_last = true;
+      out.target = "gate composition";
+      out.report = sweep_prepared(study, options, &engine);
+      return out;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace dfsm::analysis

@@ -15,9 +15,24 @@
 //   * all checks on -> not exploited AND benign service intact (Lemma 1's
 //     "sufficient" direction plus no functional regression),
 //   * benign traffic is served under EVERY mask (checks are free).
+//
+// Two engines produce the same report (DESIGN.md §10):
+//   * kDirect runs the study once per mask — 2^k full app runs, the
+//     reference semantics;
+//   * kMemoized exploits the Lemma's predicate independence: an
+//     operation's behaviour depends only on the sub-mask of its OWN
+//     checks, so each operation is evaluated at most 2^{k_op} times (a
+//     per-operation OutcomeCache keyed by sub-mask) and the 2^k rows are
+//     composed through the propagation-gate order — the first operation
+//     whose sub-mask perturbs the run determines the row.
+// Both engines fan out over the deterministic parallel runtime; reports
+// are byte-identical at every DFSM_THREADS setting and across engines
+// (tests + the fault-injection cross-check gate on it).
 #ifndef DFSM_ANALYSIS_CHAIN_ANALYZER_H
 #define DFSM_ANALYSIS_CHAIN_ANALYZER_H
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,7 +52,7 @@ struct MaskResult {
 struct LemmaReport {
   std::string study_name;
   std::vector<apps::CheckSpec> checks;
-  std::vector<MaskResult> results;  ///< 2^k rows, mask = binary counting order
+  std::vector<MaskResult> results;  ///< mask rows in ascending mask order
 
   bool baseline_exploited = false;   ///< mask 0...0 exploited
   bool all_checks_foil = false;      ///< mask 1...1 not exploited
@@ -46,18 +61,93 @@ struct LemmaReport {
   /// Single-check masks that already foil the exploit (the paper's "each
   /// elementary activity provides a security checking opportunity").
   std::vector<std::size_t> foiling_single_checks;
+
+  // --- sweep accounting --------------------------------------------------
+  std::uint64_t total_masks = 0;  ///< 2^k (even when rows were sampled)
+  bool sampled = false;           ///< results hold a max_masks subset
+  /// How many times study.run_exploit / run_benign actually ran. Direct:
+  /// one each per row. Memoized: at most 1 + sum_ops (2^{k_op} - 1) each
+  /// regardless of 2^k (tests assert the bound).
+  std::size_t exploit_evaluations = 0;
+  std::size_t benign_evaluations = 0;
 };
 
-/// Sweeps all 2^k masks of one study.
+/// Which evaluation engine drives the sweep.
+enum class SweepMode {
+  kMemoized,  ///< per-operation sub-mask cache + gate composition (default)
+  kDirect,    ///< one full study run per mask (reference semantics)
+};
+
+/// Checks-count ceiling for exhaustive sweeps: 2^26 MaskResult rows is
+/// already multi-GiB of report; beyond it a sweep must sample.
+inline constexpr std::size_t kMaxExhaustiveSweepChecks = 26;
+
+struct SweepOptions {
+  SweepMode mode = SweepMode::kMemoized;
+  /// 0 = enumerate all 2^k masks. Otherwise an evenly-strided,
+  /// deterministic sample of at most max_masks masks that always
+  /// includes mask 0...0 and mask 1...1 (so the baseline/all-checks
+  /// verdicts stay meaningful); required once k >= 26.
+  std::uint64_t max_masks = 0;
+};
+
+/// Sweeps one study's masks. Throws std::invalid_argument when the study
+/// has kMaxExhaustiveSweepChecks or more checks and no max_masks cap.
+[[nodiscard]] LemmaReport sweep(const apps::CaseStudy& study,
+                                const SweepOptions& options);
+
+/// Exhaustive sweep with default options (memoized engine).
 [[nodiscard]] LemmaReport sweep(const apps::CaseStudy& study);
 
-/// Sweeps every registered case study.
+/// Sweeps every registered case study, sharding the (study x mask) work
+/// over the parallel runtime; reports come back in registry order.
 [[nodiscard]] std::vector<LemmaReport> sweep_all();
+[[nodiscard]] std::vector<LemmaReport> sweep_all(const SweepOptions& options);
 
 /// True iff, under this mask, operation `op` of the study has every one of
 /// its checks enabled.
 [[nodiscard]] bool operation_secured(const std::vector<apps::CheckSpec>& checks,
                                      const std::vector<bool>& mask, std::size_t op);
+
+/// Result equality modulo accounting: same rows (masks, outcomes,
+/// secured flags) and same verdicts, ignoring evaluation counters. This
+/// is the memoized-vs-direct cross-check contract.
+[[nodiscard]] bool reports_equivalent(const LemmaReport& a,
+                                      const LemmaReport& b);
+
+// --- fault-injection surface (src/faultinject/) -------------------------
+
+/// Seeded defects aimed at the memoized engine's cache. Each must be
+/// caught by the memoized-vs-direct cross-check (reports_equivalent
+/// returning false) — that cross-check is the safety net that licenses
+/// shipping the memoized engine as the default.
+enum class SweepFault {
+  /// A blocking sub-mask entry is overwritten with the baseline outcome,
+  /// as if the cache were stale from a previous (all-checks-off) fill.
+  kStaleSubmaskEntry,
+  /// A blocking entry's cached exploit outcome has its `exploited` bit
+  /// flipped (memoized rows inherit the corrupted verdict).
+  kFlippedCacheOutcome,
+  /// Rows are composed from the LAST blocking operation instead of the
+  /// first — the propagation-gate order is applied backwards.
+  kWrongGateComposition,
+};
+
+[[nodiscard]] const char* to_string(SweepFault f) noexcept;
+
+/// What a sweep fault hit.
+struct SweepFaultReport {
+  LemmaReport report;  ///< the (corrupted) memoized sweep
+  std::string target;  ///< "op <i> submask <s>" or "gate composition"
+};
+
+/// Runs the memoized sweep with the given fault injected. Returns
+/// nullopt when the study cannot host the fault (no blocking cache entry
+/// to corrupt, or — for kWrongGateComposition — no two operations whose
+/// blocking outcomes differ, so first-vs-last is indistinguishable).
+[[nodiscard]] std::optional<SweepFaultReport> sweep_with_fault(
+    const apps::CaseStudy& study, SweepFault fault,
+    const SweepOptions& options = {});
 
 }  // namespace dfsm::analysis
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <set>
 
+#include "runtime/parallel.h"
+
 namespace dfsm::analysis {
 
 HiddenPathReport detect_hidden_path(const core::Pfsm& pfsm,
@@ -26,15 +28,27 @@ std::vector<HiddenPathReport> scan_model(
     const core::FsmModel& model,
     const std::map<std::string, std::vector<core::Object>>& domains,
     std::size_t max_witnesses) {
-  std::vector<HiddenPathReport> out;
+  // Flatten the (operation x pFSM) grid in chain order, then shard the
+  // per-pFSM domain scans over the parallel runtime. parallel_map keeps
+  // index order, so the report sequence is byte-identical to the serial
+  // walk at every DFSM_THREADS setting.
+  struct Job {
+    const core::Pfsm* pfsm = nullptr;
+    const std::vector<core::Object>* domain = nullptr;
+  };
+  std::vector<Job> jobs;
   for (const auto& op : model.chain().operations()) {
     for (const auto& p : op.pfsms()) {
       auto it = domains.find(p.name());
       if (it == domains.end()) continue;
-      out.push_back(detect_hidden_path(p, it->second, max_witnesses));
+      jobs.push_back({&p, &it->second});
     }
   }
-  return out;
+  return runtime::parallel_map<HiddenPathReport>(
+      jobs.size(), [&](std::size_t i) {
+        return detect_hidden_path(*jobs[i].pfsm, *jobs[i].domain,
+                                  max_witnesses);
+      });
 }
 
 std::vector<core::Object> int_boundary_domain(

@@ -38,6 +38,9 @@ struct HiddenPathReport {
 
 /// Runs detect_hidden_path over every pFSM of a model, with a caller-
 /// supplied domain per pFSM name (pFSMs without a domain are skipped).
+/// The (operation x pFSM) grid is sharded over the parallel runtime with
+/// an index-ordered merge, so the report order matches the serial walk
+/// at every DFSM_THREADS setting.
 [[nodiscard]] std::vector<HiddenPathReport> scan_model(
     const core::FsmModel& model,
     const std::map<std::string, std::vector<core::Object>>& domains,

@@ -32,6 +32,11 @@ struct RunOutcome {
   bool crashed = false;     ///< uncontrolled failure (fault, wild jump)
   bool service_ok = false;  ///< for benign runs: the request was served
   std::string detail;       ///< human-readable narration
+
+  /// Field-for-field equality (detail included): the memoized Lemma
+  /// sweep keys its composition on "does this sub-mask change the run",
+  /// and the fault-injection cross-check diffs whole reports.
+  [[nodiscard]] bool operator==(const RunOutcome&) const = default;
 };
 
 /// The uniform case-study interface.

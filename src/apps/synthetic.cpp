@@ -1,0 +1,149 @@
+#include "apps/synthetic.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dfsm::apps {
+
+namespace {
+
+using core::Object;
+using core::Pfsm;
+using core::PfsmType;
+using core::Predicate;
+
+std::uint64_t mix(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+class SyntheticWideStudy final : public CaseStudy {
+ public:
+  explicit SyntheticWideStudy(SyntheticStudyConfig config) : config_(config) {
+    if (config_.operations == 0 || config_.checks_per_operation == 0) {
+      throw std::invalid_argument(
+          "synthetic wide study needs >= 1 operation and >= 1 check per "
+          "operation");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "Synthetic wide chain (" + std::to_string(config_.operations) +
+           " ops x " + std::to_string(config_.checks_per_operation) +
+           " checks)";
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    std::vector<CheckSpec> out;
+    out.reserve(config_.operations * config_.checks_per_operation);
+    for (std::size_t op = 0; op < config_.operations; ++op) {
+      for (std::size_t c = 0; c < config_.checks_per_operation; ++c) {
+        out.push_back({"op" + std::to_string(op) + " pFSM" + std::to_string(c),
+                       op, PfsmType::kContentAttributeCheck});
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(
+      const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    RunOutcome out;
+    const std::uint64_t h = simulate_application_work(enabled);
+    // Observation 1 semantics: every elementary activity is a checking
+    // opportunity, so the first enabled check — in chain order — foils
+    // the published exploit at its operation.
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (!enabled[i]) continue;
+      const std::size_t op = i / config_.checks_per_operation;
+      out.foiled = true;
+      out.detail = "exploit foiled at operation " + std::to_string(op) +
+                   " by check '" + "op" + std::to_string(op) + " pFSM" +
+                   std::to_string(i % config_.checks_per_operation) + "'";
+      return out;
+    }
+    out.exploited = true;
+    out.detail = "hidden path traversed through all " +
+                 std::to_string(config_.operations) + " operations";
+    if (h == 0) out.detail += " (!)";  // keeps the work loop observable
+    return out;
+  }
+
+  [[nodiscard]] RunOutcome run_benign(
+      const std::vector<bool>& enabled) const override {
+    require_mask(*this, enabled);
+    RunOutcome out;
+    const std::uint64_t h = simulate_application_work(enabled);
+    out.service_ok = true;
+    out.detail = "benign request served";
+    if (h == 1) out.detail += " (!)";
+    return out;
+  }
+
+  [[nodiscard]] core::FsmModel model() const override {
+    core::ExploitChain chain{name()};
+    for (std::size_t op = 0; op < config_.operations; ++op) {
+      core::Operation operation{"synthetic operation " + std::to_string(op),
+                                "synthetic payload"};
+      for (std::size_t c = 0; c < config_.checks_per_operation; ++c) {
+        Predicate spec{"0 <= x <= 100", [](const Object& o) {
+                         const auto v = o.attr_int("x");
+                         return v && *v >= 0 && *v <= 100;
+                       }};
+        Predicate impl{"x <= 100", [](const Object& o) {
+                         const auto v = o.attr_int("x");
+                         return v && *v <= 100;
+                       }};
+        operation.add(Pfsm{"op" + std::to_string(op) + " pFSM" +
+                               std::to_string(c),
+                           PfsmType::kContentAttributeCheck,
+                           "bounds-check synthetic input x", std::move(spec),
+                           std::move(impl), "consume x"});
+      }
+      chain.add(std::move(operation),
+                core::PropagationGate{
+                    op + 1 < config_.operations
+                        ? "operation " + std::to_string(op) +
+                              " output feeds operation " +
+                              std::to_string(op + 1)
+                        : "attacker-controlled consequence executes"});
+    }
+    return core::FsmModel{name(),
+                          {0},  // synthetic: no Bugtraq report
+                          "Synthetic",
+                          "synthetic wide chain",
+                          "synthetic consequence",
+                          std::move(chain)};
+  }
+
+ private:
+  /// A deterministic slug of arithmetic standing in for the application
+  /// run the curated studies perform (memory writes, HTTP parsing, ...).
+  /// Folded into the run so the sweep engines are measured against a
+  /// realistic nonzero per-run cost; the result cannot affect outcomes
+  /// (the sentinel comparisons above are never true in practice but keep
+  /// the compiler from deleting the loop).
+  [[nodiscard]] std::uint64_t simulate_application_work(
+      const std::vector<bool>& enabled) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      h = mix(h ^ (enabled[i] ? i + 1 : 0));
+    }
+    for (std::size_t w = 0; w < config_.work; ++w) h = mix(h + w);
+    return h;
+  }
+
+  SyntheticStudyConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<CaseStudy> make_synthetic_wide_study(
+    const SyntheticStudyConfig& config) {
+  return std::make_unique<SyntheticWideStudy>(config);
+}
+
+}  // namespace dfsm::apps

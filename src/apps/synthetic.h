@@ -1,0 +1,42 @@
+// synthetic.h — a size-parameterized wide exploit chain for scaling the
+// Lemma sweep machinery past the paper's case studies.
+//
+// The curated studies top out at 6 checks; the candidate-chain space of
+// chained multi-vulnerability exploits is effectively unbounded, so the
+// sweep engines are benchmarked and stress-tested on synthetic chains of
+// `operations x checks_per_operation` checks (k = 12/16/20 in
+// bench_extensions). The study honours the paper's structure exactly:
+// the published exploit is foiled by the FIRST enabled check in chain
+// order (every elementary activity is a checking opportunity,
+// Observation 1), benign traffic is served under every mask, and each
+// run burns a deterministic slug of simulated application work so the
+// sweep engines are measured against realistic per-run cost.
+//
+// Synthetic studies are NOT part of apps::all_case_studies(): the
+// curated registry stays exactly the paper's eleven.
+#ifndef DFSM_APPS_SYNTHETIC_H
+#define DFSM_APPS_SYNTHETIC_H
+
+#include <cstddef>
+#include <memory>
+
+#include "apps/case_study.h"
+
+namespace dfsm::apps {
+
+struct SyntheticStudyConfig {
+  std::size_t operations = 4;            ///< chain length
+  std::size_t checks_per_operation = 4;  ///< k = operations * checks_per_operation
+  /// Simulated per-run application work (arithmetic mixing rounds) —
+  /// models the cost of driving a real exploit once.
+  std::size_t work = 64;
+};
+
+/// Builds the wide-chain study. Throws std::invalid_argument when
+/// operations or checks_per_operation is zero.
+[[nodiscard]] std::unique_ptr<CaseStudy> make_synthetic_wide_study(
+    const SyntheticStudyConfig& config);
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_SYNTHETIC_H

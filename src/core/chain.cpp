@@ -2,7 +2,23 @@
 
 #include <stdexcept>
 
+#include "runtime/parallel.h"
+
 namespace dfsm::core {
+
+namespace {
+
+std::size_t count_hidden_paths(const std::vector<OperationResult>& operations) {
+  std::size_t n = 0;
+  for (const auto& op : operations) {
+    for (const auto& o : op.outcomes) {
+      if (o.hidden_path_taken()) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
 
 bool ChainResult::exploited() const {
   return completed() && hidden_path_count() > 0;
@@ -17,13 +33,8 @@ bool ChainResult::completed() const {
 }
 
 std::size_t ChainResult::hidden_path_count() const {
-  std::size_t n = 0;
-  for (const auto& op : operations) {
-    for (const auto& o : op.outcomes) {
-      if (o.hidden_path_taken()) ++n;
-    }
-  }
-  return n;
+  if (cached_hidden_paths) return *cached_hidden_paths;
+  return count_hidden_paths(operations);
 }
 
 ExploitChain::ExploitChain(std::string name) : name_(std::move(name)) {
@@ -31,12 +42,10 @@ ExploitChain::ExploitChain(std::string name) : name_(std::move(name)) {
 }
 
 ExploitChain& ExploitChain::add(Operation op, PropagationGate gate_after) {
-  for (const auto& existing : operations_) {
-    if (existing.name() == op.name()) {
-      throw std::invalid_argument("ExploitChain '" + name_ +
-                                  "' already has an operation named '" +
-                                  op.name() + "'");
-    }
+  if (!operation_names_.insert(op.name()).second) {
+    throw std::invalid_argument("ExploitChain '" + name_ +
+                                "' already has an operation named '" +
+                                op.name() + "'");
   }
   operations_.push_back(std::move(op));
   gates_.push_back(std::move(gate_after));
@@ -56,13 +65,19 @@ ChainResult ExploitChain::evaluate(
   }
   ChainResult result;
   result.chain_name = name_;
+  result.operations.reserve(operations_.size());
+  std::size_t hidden = 0;
   for (std::size_t i = 0; i < operations_.size(); ++i) {
     result.operations.push_back(operations_[i].evaluate(inputs[i]));
+    for (const auto& o : result.operations.back().outcomes) {
+      if (o.hidden_path_taken()) ++hidden;
+    }
     if (!result.operations.back().completed()) {
       result.foiled_at_operation = i;
       break;  // the gate after operation i never fires
     }
   }
+  result.cached_hidden_paths = hidden;
   return result;
 }
 
@@ -78,14 +93,32 @@ ChainResult ExploitChain::flow(const std::vector<Object>& starts) const {
   }
   ChainResult result;
   result.chain_name = name_;
+  result.operations.reserve(operations_.size());
+  std::size_t hidden = 0;
   for (std::size_t i = 0; i < operations_.size(); ++i) {
     result.operations.push_back(operations_[i].flow(starts[i]));
+    for (const auto& o : result.operations.back().outcomes) {
+      if (o.hidden_path_taken()) ++hidden;
+    }
     if (!result.operations.back().completed()) {
       result.foiled_at_operation = i;
       break;
     }
   }
+  result.cached_hidden_paths = hidden;
   return result;
+}
+
+std::vector<ChainResult> ExploitChain::evaluate_batch(
+    const std::vector<std::vector<std::vector<Object>>>& input_sets) const {
+  return runtime::parallel_map<ChainResult>(
+      input_sets.size(), [&](std::size_t i) { return evaluate(input_sets[i]); });
+}
+
+std::vector<ChainResult> ExploitChain::flow_batch(
+    const std::vector<std::vector<Object>>& start_sets) const {
+  return runtime::parallel_map<ChainResult>(
+      start_sets.size(), [&](std::size_t i) { return flow(start_sets[i]); });
 }
 
 }  // namespace dfsm::core

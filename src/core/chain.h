@@ -16,6 +16,7 @@
 #define DFSM_CORE_CHAIN_H
 
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct ChainResult {
   std::vector<OperationResult> operations;  ///< one per operation reached
   std::optional<std::size_t> foiled_at_operation;
 
+  /// Hidden-path total, filled in by ExploitChain::evaluate/flow while
+  /// the outcomes are walked. Hand-built results may leave it empty;
+  /// hidden_path_count() then recomputes from `operations`.
+  std::optional<std::size_t> cached_hidden_paths;
+
   /// The exploit succeeded: every operation completed AND at least one
   /// hidden path was traversed somewhere (a chain of purely SPEC_ACPT
   /// transitions is benign traffic, not an exploit).
@@ -44,7 +50,8 @@ struct ChainResult {
   /// Every operation completed (benign or not).
   [[nodiscard]] bool completed() const;
 
-  /// Total hidden-path traversals across all operations.
+  /// Total hidden-path traversals across all operations (O(1) when the
+  /// evaluator cached it).
   [[nodiscard]] std::size_t hidden_path_count() const;
 };
 
@@ -83,10 +90,27 @@ class ExploitChain {
   /// Flow variant: one starting object per operation.
   [[nodiscard]] ChainResult flow(const std::vector<Object>& starts) const;
 
+  /// Evaluates many input sets at once, fanned out over the parallel
+  /// runtime in deterministic static partitions: out[i] ==
+  /// evaluate(input_sets[i]) at every DFSM_THREADS setting, and the
+  /// lowest-index exception propagates. The batch form is the hot path
+  /// for Lemma sweeps and discovery campaigns, where one chain is
+  /// driven by thousands of candidate input sets.
+  [[nodiscard]] std::vector<ChainResult> evaluate_batch(
+      const std::vector<std::vector<std::vector<Object>>>& input_sets) const;
+
+  /// Batch flow: out[i] == flow(start_sets[i]), same contract as
+  /// evaluate_batch.
+  [[nodiscard]] std::vector<ChainResult> flow_batch(
+      const std::vector<std::vector<Object>>& start_sets) const;
+
  private:
   std::string name_;
   std::vector<Operation> operations_;
   std::vector<PropagationGate> gates_;
+  /// Side index over operation names: keeps add()'s duplicate check
+  /// O(log n) so building wide synthetic chains stays linear overall.
+  std::set<std::string> operation_names_;
 };
 
 }  // namespace dfsm::core

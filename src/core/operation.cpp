@@ -53,6 +53,7 @@ OperationResult Operation::evaluate(const std::vector<Object>& objects) const {
   }
   OperationResult result;
   result.operation_name = name_;
+  result.outcomes.reserve(pfsms_.size());
   for (std::size_t i = 0; i < pfsms_.size(); ++i) {
     result.outcomes.push_back(pfsms_[i].evaluate(objects[i]));
     if (!result.outcomes.back().accepted()) break;  // serial chain: foiled
@@ -64,6 +65,7 @@ OperationResult Operation::flow(const Object& start) const {
   if (pfsms_.empty()) throw std::invalid_argument("Operation '" + name_ + "' has no pFSMs");
   OperationResult result;
   result.operation_name = name_;
+  result.outcomes.reserve(pfsms_.size());
   Object current = start;
   for (std::size_t i = 0; i < pfsms_.size(); ++i) {
     result.outcomes.push_back(pfsms_[i].evaluate(current));

@@ -1,5 +1,6 @@
 #include "faultinject/campaign.h"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -7,7 +8,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/chain_analyzer.h"
 #include "analysis/hidden_path.h"
+#include "apps/case_study.h"
 #include "bugtraq/corpus.h"
 #include "bugtraq/csv_shards.h"
 #include "faultinject/corpus_faults.h"
@@ -194,9 +197,65 @@ TrialResult run_chain_trial(std::size_t t, Rng& rng) {
   return r;
 }
 
-TrialResult run_model_trial(const CampaignConfig& cfg, std::size_t t, Rng& rng,
-                            const std::vector<staticlint::LintModel>& curated) {
-  if (rng.below(4) == 0) return run_chain_trial(t, rng);
+/// Corrupts the memoized Lemma-sweep engine's per-operation cache and
+/// requires the memoized-vs-direct cross-check to notice. The three
+/// mutators (stale sub-mask entry, flipped cached outcome, wrong gate
+/// composition) are the failure modes a buggy cache implementation
+/// would actually exhibit; escaping the cross-check would mean the
+/// default sweep engine could silently ship wrong Lemma verdicts.
+TrialResult run_sweep_trial(
+    std::size_t t, Rng& rng,
+    const std::vector<std::unique_ptr<apps::CaseStudy>>& studies) {
+  TrialResult r;
+  r.trial = t;
+  r.kind = "sweep";
+
+  constexpr std::array<analysis::SweepFault, 3> kSweepFaults = {
+      analysis::SweepFault::kStaleSubmaskEntry,
+      analysis::SweepFault::kFlippedCacheOutcome,
+      analysis::SweepFault::kWrongGateComposition,
+  };
+
+  // Walk the (study, fault) grid from a seeded start until a fault is
+  // hostable — every curated study hosts the two cache-cell faults (each
+  // has at least one blocking check), so this always terminates.
+  const std::size_t si = rng.below(studies.size());
+  const std::size_t fi = rng.below(kSweepFaults.size());
+  for (std::size_t k = 0; k < studies.size() * kSweepFaults.size(); ++k) {
+    const apps::CaseStudy& study =
+        *studies[(si + k / kSweepFaults.size()) % studies.size()];
+    const analysis::SweepFault fault = kSweepFaults[(fi + k) % kSweepFaults.size()];
+    const auto faulty = analysis::sweep_with_fault(study, fault);
+    if (!faulty) continue;
+
+    r.fault = analysis::to_string(fault);
+    r.target = study.name() + "/" + faulty->target;
+    r.detail = "memoized sweep with corrupted cache vs direct reference sweep";
+    r.expected_rules = {"memoized-vs-direct"};
+    analysis::SweepOptions direct_opts;
+    direct_opts.mode = analysis::SweepMode::kDirect;
+    const auto direct = analysis::sweep(study, direct_opts);
+    r.detected = !analysis::reports_equivalent(direct, faulty->report);
+    if (r.detected) {
+      r.caught_rules.push_back("memoized-vs-direct");
+    } else {
+      fail(r, "corrupted sweep cache escaped the memoized-vs-direct "
+              "cross-check");
+    }
+    r.ok = r.failure.empty();
+    return r;
+  }
+  fail(r, "no case study hosts a sweep-cache fault");
+  return r;
+}
+
+TrialResult run_model_trial(
+    const CampaignConfig& cfg, std::size_t t, Rng& rng,
+    const std::vector<staticlint::LintModel>& curated,
+    const std::vector<std::unique_ptr<apps::CaseStudy>>& studies) {
+  const std::size_t surface = rng.below(8);
+  if (surface < 2) return run_chain_trial(t, rng);
+  if (surface < 4) return run_sweep_trial(t, rng, studies);
 
   TrialResult r;
   r.trial = t;
@@ -311,6 +370,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   CampaignReport report;
   report.config = config;
   const auto curated = staticlint::curated_lint_models();
+  const auto studies = apps::all_case_studies();
   for (std::size_t t = 0; t < config.trials; ++t) {
     // All trial randomness is a pure function of (seed, t); trials are
     // order-independent and individually replayable.
@@ -322,7 +382,7 @@ CampaignReport run_campaign(const CampaignConfig& config) {
       case CampaignKind::kAll: corpus = rng.below(2) == 0; break;
     }
     TrialResult r = corpus ? run_corpus_trial(config, t, rng)
-                           : run_model_trial(config, t, rng, curated);
+                           : run_model_trial(config, t, rng, curated, studies);
     if (corpus) {
       ++report.corpus_trials;
     } else {

@@ -12,8 +12,11 @@
 //     (quarantined rows/shards), and strict ingest throws exactly when
 //     the mutation planted a defect, with shard+line context;
 //   * no undetected defect — for model faults, at least one staticlint
-//     rule (IR faults) or dynamic analysis (hidden-path witnesses +
-//     chain evaluation, for live-chain faults) flags the injection.
+//     rule (IR faults), dynamic analysis (hidden-path witnesses +
+//     chain evaluation, for live-chain faults), or the memoized-vs-
+//     direct sweep cross-check (sweep-cache faults: stale sub-mask
+//     entry, flipped cached outcome, wrong gate composition) flags the
+//     injection.
 //
 // Reports are deterministic: same seed, same trials, same report bytes
 // at every DFSM_THREADS setting (CI diffs the JSON across thread
@@ -31,7 +34,8 @@ namespace dfsm::faultinject {
 /// Which fault surface a campaign exercises.
 enum class CampaignKind {
   kCorpus,  ///< shard-set mutations through the ingest pipeline
-  kModel,   ///< IR/chain mutations through staticlint + dynamic analysis
+  kModel,   ///< IR/chain/sweep-cache mutations through staticlint +
+            ///< dynamic analysis + the memoized-vs-direct cross-check
   kAll,     ///< seeded mix of both
 };
 
@@ -60,7 +64,7 @@ struct CampaignConfig {
 /// fields stay zero/empty.
 struct TrialResult {
   std::size_t trial = 0;
-  std::string kind;    ///< "corpus" | "model" | "chain"
+  std::string kind;    ///< "corpus" | "model" | "chain" | "sweep"
   std::string fault;   ///< mutator name
   std::string target;  ///< shard (workdir-relative) or model/operation
   std::size_t line = 0;

@@ -1,9 +1,46 @@
 #include "analysis/chain_analyzer.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "apps/synthetic.h"
 
 namespace dfsm::analysis {
 namespace {
+
+apps::SyntheticStudyConfig synthetic_config(std::size_t ops,
+                                            std::size_t checks) {
+  apps::SyntheticStudyConfig c;
+  c.operations = ops;
+  c.checks_per_operation = checks;
+  c.work = 4;  // tests measure semantics, not throughput
+  return c;
+}
+
+std::uint64_t mask_bits(const std::vector<bool>& mask) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+/// 1 + sum over operations of (2^{k_op} - 1): the memoized engine's
+/// evaluation budget (one shared baseline + every non-empty sub-mask).
+std::size_t memoized_budget(const std::vector<apps::CheckSpec>& checks) {
+  std::map<std::size_t, std::size_t> per_op;
+  for (const auto& c : checks) ++per_op[c.operation_index];
+  std::size_t total = 1;
+  for (const auto& [op, k_op] : per_op) {
+    total += (std::size_t{1} << k_op) - 1;
+  }
+  return total;
+}
 
 TEST(OperationSecured, RequiresEveryCheckOfTheOperation) {
   const std::vector<apps::CheckSpec> checks = {
@@ -92,6 +129,140 @@ TEST(Sweep, ChecksNeverBreakBenignService) {
           << report.study_name << " benign traffic failed under a mask";
     }
   }
+}
+
+// --- Memoized engine (DESIGN.md §10) -----------------------------------
+
+TEST(MemoizedSweep, MatchesDirectOnEveryCaseStudy) {
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  for (const auto& study : apps::all_case_studies()) {
+    const auto memoized = sweep(*study);  // kMemoized is the default
+    const auto reference = sweep(*study, direct);
+    EXPECT_TRUE(reports_equivalent(memoized, reference)) << study->name();
+  }
+}
+
+TEST(MemoizedSweep, EvaluationCountStaysWithinTheLemmaBound) {
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  for (const auto& study : apps::all_case_studies()) {
+    const auto report = sweep(*study);
+    const std::size_t budget = memoized_budget(report.checks);
+    // Exactly one baseline run plus one run per non-empty sub-mask —
+    // and therefore at most sum_ops 2^{k_op}, never the direct 2^k.
+    EXPECT_EQ(report.exploit_evaluations, budget) << study->name();
+    EXPECT_EQ(report.benign_evaluations, budget) << study->name();
+    std::size_t loose = 0;
+    std::map<std::size_t, std::size_t> per_op;
+    for (const auto& c : report.checks) ++per_op[c.operation_index];
+    for (const auto& [op, k_op] : per_op) loose += std::size_t{1} << k_op;
+    EXPECT_LE(report.exploit_evaluations, loose) << study->name();
+
+    const auto reference = sweep(*study, direct);
+    EXPECT_EQ(reference.exploit_evaluations, reference.results.size())
+        << study->name();
+  }
+}
+
+TEST(MemoizedSweep, MatchesDirectOnTheSyntheticWideChain) {
+  const auto study = apps::make_synthetic_wide_study(synthetic_config(3, 4));
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  const auto memoized = sweep(*study);
+  const auto reference = sweep(*study, direct);
+  EXPECT_TRUE(reports_equivalent(memoized, reference));
+  EXPECT_EQ(memoized.results.size(), std::size_t{1} << 12);
+  // 3 operations x 4 checks: 1 + 3 * 15 = 46 runs instead of 4096.
+  EXPECT_EQ(memoized.exploit_evaluations, 46u);
+}
+
+TEST(Sweep, ExhaustiveSweepBeyondTheCeilingRequiresSampling) {
+  const auto study = apps::make_synthetic_wide_study(synthetic_config(7, 4));
+  EXPECT_THROW((void)sweep(*study), std::invalid_argument);  // k = 28
+  try {
+    (void)sweep(*study);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("max_masks"), std::string::npos);
+  }
+}
+
+TEST(Sweep, SampledSweepPinsBaselineAndAllChecksRows) {
+  const auto study = apps::make_synthetic_wide_study(synthetic_config(7, 4));
+  SweepOptions options;
+  options.max_masks = 512;
+  const auto report = sweep(*study, options);
+  EXPECT_TRUE(report.sampled);
+  EXPECT_EQ(report.total_masks, std::uint64_t{1} << 28);
+  ASSERT_EQ(report.results.size(), 512u);
+  EXPECT_EQ(mask_bits(report.results.front().mask), 0u);
+  EXPECT_EQ(mask_bits(report.results.back().mask),
+            (std::uint64_t{1} << 28) - 1);
+  for (std::size_t i = 1; i < report.results.size(); ++i) {
+    EXPECT_LT(mask_bits(report.results[i - 1].mask),
+              mask_bits(report.results[i].mask));
+  }
+  EXPECT_TRUE(report.baseline_exploited);
+  EXPECT_TRUE(report.all_checks_foil);
+}
+
+TEST(Sweep, SampledSweepIsDeterministicAcrossEngines) {
+  const auto study = apps::make_synthetic_wide_study(synthetic_config(5, 4));
+  SweepOptions memoized;
+  memoized.max_masks = 200;
+  SweepOptions direct = memoized;
+  direct.mode = SweepMode::kDirect;
+  const auto a = sweep(*study, memoized);
+  const auto b = sweep(*study, memoized);
+  const auto c = sweep(*study, direct);
+  EXPECT_TRUE(reports_equivalent(a, b));
+  EXPECT_TRUE(reports_equivalent(a, c));
+}
+
+TEST(Sweep, SweepAllHonoursOptions) {
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  const auto memoized = sweep_all();
+  const auto reference = sweep_all(direct);
+  ASSERT_EQ(memoized.size(), reference.size());
+  for (std::size_t i = 0; i < memoized.size(); ++i) {
+    EXPECT_TRUE(reports_equivalent(memoized[i], reference[i]))
+        << memoized[i].study_name;
+  }
+}
+
+TEST(SweepFaults, EveryFaultIsCaughtByTheCrossCheckWhereHosted) {
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  const auto studies = apps::all_case_studies();
+  for (const SweepFault fault :
+       {SweepFault::kStaleSubmaskEntry, SweepFault::kFlippedCacheOutcome,
+        SweepFault::kWrongGateComposition}) {
+    std::size_t hosted = 0;
+    for (const auto& study : studies) {
+      const auto faulty = sweep_with_fault(*study, fault);
+      if (!faulty) continue;
+      ++hosted;
+      const auto reference = sweep(*study, direct);
+      EXPECT_FALSE(reports_equivalent(reference, faulty->report))
+          << to_string(fault) << " escaped on " << study->name() << " ("
+          << faulty->target << ")";
+    }
+    // Each mutator must be exercisable somewhere in the curated registry,
+    // or the fault campaign would silently skip it.
+    EXPECT_GT(hosted, 0u) << to_string(fault);
+  }
+}
+
+TEST(SweepFaults, CleanMemoizedSweepStaysEquivalent) {
+  // Sanity for the cross-check itself: without an injected fault the two
+  // engines agree, so any inequivalence in the campaign is a real catch.
+  const auto studies = apps::all_case_studies();
+  SweepOptions direct;
+  direct.mode = SweepMode::kDirect;
+  const auto& study = *studies[0];
+  EXPECT_TRUE(reports_equivalent(sweep(study), sweep(study, direct)));
 }
 
 }  // namespace

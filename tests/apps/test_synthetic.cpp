@@ -1,0 +1,77 @@
+#include "apps/synthetic.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+SyntheticStudyConfig config(std::size_t ops, std::size_t checks) {
+  SyntheticStudyConfig c;
+  c.operations = ops;
+  c.checks_per_operation = checks;
+  return c;
+}
+
+std::vector<bool> mask_of(std::size_t k, std::uint64_t bits) {
+  std::vector<bool> m(k, false);
+  for (std::size_t i = 0; i < k; ++i) m[i] = (bits >> i) & 1;
+  return m;
+}
+
+TEST(SyntheticStudy, RejectsDegenerateShapes) {
+  EXPECT_THROW((void)make_synthetic_wide_study(config(0, 4)),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_synthetic_wide_study(config(4, 0)),
+               std::invalid_argument);
+}
+
+TEST(SyntheticStudy, ChecksCoverTheFullGridInChainOrder) {
+  const auto study = make_synthetic_wide_study(config(3, 4));
+  const auto checks = study->checks();
+  ASSERT_EQ(checks.size(), 12u);
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    EXPECT_EQ(checks[i].operation_index, i / 4) << "check #" << i;
+  }
+  EXPECT_EQ(checks.front().name, "op0 pFSM0");
+  EXPECT_EQ(checks.back().name, "op2 pFSM3");
+}
+
+TEST(SyntheticStudy, BaselineExploitsAndFirstEnabledCheckFoils) {
+  const auto study = make_synthetic_wide_study(config(3, 4));
+  const auto baseline = study->run_exploit(mask_of(12, 0));
+  EXPECT_TRUE(baseline.exploited);
+  EXPECT_FALSE(baseline.foiled);
+
+  // Enabling checks in operations 1 and 2: the chain-order-first one
+  // (operation 1) is the foiler.
+  const auto foiled =
+      study->run_exploit(mask_of(12, (1u << 6) | (1u << 9)));
+  EXPECT_TRUE(foiled.foiled);
+  EXPECT_FALSE(foiled.exploited);
+  EXPECT_NE(foiled.detail.find("operation 1"), std::string::npos);
+}
+
+TEST(SyntheticStudy, BenignTrafficServedUnderEveryMaskShape) {
+  const auto study = make_synthetic_wide_study(config(2, 2));
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    EXPECT_TRUE(study->run_benign(mask_of(4, bits)).service_ok)
+        << "mask " << bits;
+  }
+}
+
+TEST(SyntheticStudy, ModelMirrorsTheCheckGrid) {
+  const auto study = make_synthetic_wide_study(config(4, 3));
+  const auto model = study->model();
+  const auto& chain = model.chain();
+  ASSERT_EQ(chain.size(), 4u);
+  for (const auto& op : chain.operations()) {
+    EXPECT_EQ(op.pfsms().size(), 3u);
+  }
+  EXPECT_EQ(model.vulnerability_class(), "Synthetic");
+}
+
+}  // namespace
+}  // namespace dfsm::apps

@@ -1,6 +1,11 @@
 #include "core/chain.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
 
 namespace dfsm::core {
 namespace {
@@ -132,6 +137,107 @@ TEST(ChainResult, EmptyResultIsNeitherCompletedNorExploited) {
   EXPECT_FALSE(r.completed());
   EXPECT_FALSE(r.exploited());
   EXPECT_EQ(r.hidden_path_count(), 0u);
+}
+
+TEST(ChainResult, HiddenPathCountIsCachedByTheEvaluator) {
+  auto c = two_op_chain(false);
+  const auto r = c.evaluate({{flagged("o1", "ok1", false)},
+                             {flagged("o2", "ok2", false)}});
+  ASSERT_TRUE(r.cached_hidden_paths.has_value());
+  EXPECT_EQ(*r.cached_hidden_paths, 2u);
+  EXPECT_EQ(r.hidden_path_count(), 2u);
+}
+
+TEST(ChainResult, HandBuiltResultRecomputesHiddenPaths) {
+  auto c = two_op_chain(false);
+  auto r = c.evaluate({{flagged("o1", "ok1", false)},
+                       {flagged("o2", "ok2", false)}});
+  r.cached_hidden_paths.reset();  // a hand-built result has no cache
+  EXPECT_EQ(r.hidden_path_count(), 2u);
+}
+
+void expect_same_result(const ChainResult& a, const ChainResult& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.chain_name, b.chain_name) << context;
+  EXPECT_EQ(a.foiled_at_operation, b.foiled_at_operation) << context;
+  EXPECT_EQ(a.hidden_path_count(), b.hidden_path_count()) << context;
+  EXPECT_EQ(a.completed(), b.completed()) << context;
+  EXPECT_EQ(a.exploited(), b.exploited()) << context;
+  ASSERT_EQ(a.operations.size(), b.operations.size()) << context;
+  for (std::size_t op = 0; op < a.operations.size(); ++op) {
+    const auto& ao = a.operations[op];
+    const auto& bo = b.operations[op];
+    EXPECT_EQ(ao.operation_name, bo.operation_name) << context;
+    ASSERT_EQ(ao.outcomes.size(), bo.outcomes.size()) << context;
+    for (std::size_t p = 0; p < ao.outcomes.size(); ++p) {
+      EXPECT_EQ(ao.outcomes[p].result, bo.outcomes[p].result) << context;
+      EXPECT_EQ(ao.outcomes[p].final_state, bo.outcomes[p].final_state)
+          << context;
+      EXPECT_EQ(ao.outcomes[p].object_description,
+                bo.outcomes[p].object_description)
+          << context;
+    }
+  }
+}
+
+/// A batch mixing full exploits, benign traffic, and partially foiled
+/// inputs, so batch results differ item-to-item.
+std::vector<std::vector<std::vector<Object>>> mixed_batch(std::size_t n) {
+  std::vector<std::vector<std::vector<Object>>> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back({{flagged("o1", "ok1", i % 2 == 0)},
+                     {flagged("o2", "ok2", i % 3 == 0)}});
+  }
+  return batch;
+}
+
+TEST(ExploitChain, EvaluateBatchMatchesPerItemEvaluate) {
+  const auto c = two_op_chain(/*op2_secure=*/true);
+  const auto batch = mixed_batch(97);  // not a multiple of any pool size
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}}) {
+    runtime::ThreadPool::set_global_threads(threads);
+    const auto results = c.evaluate_batch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_same_result(results[i], c.evaluate(batch[i]),
+                         "threads=" + std::to_string(threads) + " item #" +
+                             std::to_string(i));
+    }
+  }
+  runtime::ThreadPool::set_global_threads(
+      runtime::ThreadPool::default_threads());
+}
+
+TEST(ExploitChain, FlowBatchMatchesPerItemFlow) {
+  const auto c = two_op_chain(false);
+  std::vector<std::vector<Object>> starts;
+  for (std::size_t i = 0; i < 33; ++i) {
+    starts.push_back(
+        {flagged("o1", "ok1", i % 2 == 0), flagged("o2", "ok2", i % 5 == 0)});
+  }
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}}) {
+    runtime::ThreadPool::set_global_threads(threads);
+    const auto results = c.flow_batch(starts);
+    ASSERT_EQ(results.size(), starts.size());
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      expect_same_result(results[i], c.flow(starts[i]),
+                         "threads=" + std::to_string(threads) + " item #" +
+                             std::to_string(i));
+    }
+  }
+  runtime::ThreadPool::set_global_threads(
+      runtime::ThreadPool::default_threads());
+}
+
+TEST(ExploitChain, EvaluateBatchPropagatesTheLowestIndexError) {
+  const auto c = two_op_chain(false);
+  auto batch = mixed_batch(8);
+  batch[3] = {{Object{"o"}}};  // arity mismatch: one op instead of two
+  EXPECT_THROW((void)c.evaluate_batch(batch), std::invalid_argument);
+  EXPECT_TRUE(c.evaluate_batch({}).empty());
 }
 
 }  // namespace

@@ -117,6 +117,27 @@ TEST_F(CampaignTest, BadConfigsThrow) {
   EXPECT_THROW((void)run_campaign(thin), std::invalid_argument);
 }
 
+TEST_F(CampaignTest, ModelCampaignExercisesTheSweepCacheSurface) {
+  auto cfg = config(48);
+  cfg.campaign = CampaignKind::kModel;
+  cfg.seed = 7;
+  const auto report = run_campaign(cfg);
+  EXPECT_TRUE(report.ok());
+  std::size_t sweeps = 0;
+  for (const auto& t : report.trials) {
+    if (t.kind != "sweep") continue;
+    ++sweeps;
+    EXPECT_TRUE(t.detected) << "trial " << t.trial << ": " << t.failure;
+    ASSERT_EQ(t.expected_rules.size(), 1u);
+    EXPECT_EQ(t.expected_rules[0], "memoized-vs-direct");
+    EXPECT_EQ(t.caught_rules, t.expected_rules);
+    EXPECT_FALSE(t.target.empty());
+  }
+  // The seeded dispatch sends ~1/4 of model trials at the sweep cache;
+  // a campaign this size must hit it several times.
+  EXPECT_GE(sweeps, 5u);
+}
+
 TEST(CampaignKindNames, RoundTrip) {
   EXPECT_STREQ(to_string(CampaignKind::kCorpus), "corpus");
   EXPECT_STREQ(to_string(CampaignKind::kModel), "model");

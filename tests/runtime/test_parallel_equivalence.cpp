@@ -2,16 +2,21 @@
 // the three wired hot paths. Each test runs the same computation with
 // the global pool in serial fallback and again with several workers and
 // requires byte-identical results.
+#include <map>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/autotool.h"
+#include "analysis/chain_analyzer.h"
 #include "analysis/discovery.h"
+#include "analysis/hidden_path.h"
+#include "apps/synthetic.h"
 #include "bugtraq/corpus.h"
 #include "bugtraq/database.h"
 #include "bugtraq/stats.h"
+#include "core/chain.h"
 #include "runtime/thread_pool.h"
 
 namespace dfsm {
@@ -144,6 +149,136 @@ TEST(ParallelEquivalence, DiscoveryCampaigns) {
       EXPECT_EQ(s.probes[i].note, p.probes[i].note) << k << ":" << i;
     }
   }
+}
+
+// --- Chain evaluation engine (DESIGN.md §10) ---------------------------
+//
+// The ISSUE contract is byte-identical outputs at DFSM_THREADS 0, 1 and
+// 4 (0 = "decide from the hardware", which must not change results
+// either). These run under TSan in the CI sanitizer matrix.
+
+/// Runs fn at pool sizes 0, 1 and 4, restores the default, and returns
+/// the three results in that order.
+template <typename Fn>
+auto at_thread_counts(Fn&& fn) {
+  std::vector<decltype(fn())> out;
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}}) {
+    ThreadPool::set_global_threads(threads);
+    out.push_back(fn());
+  }
+  ThreadPool::set_global_threads(ThreadPool::default_threads());
+  return out;
+}
+
+std::string render_report(const analysis::LemmaReport& r) {
+  std::string out = r.study_name;
+  for (const auto& row : r.results) {
+    out += '\n';
+    for (const bool b : row.mask) out += b ? '1' : '0';
+    out += ' ' + row.exploit.detail + '|' + row.benign.detail +
+           (row.exploit.exploited ? " E" : "") +
+           (row.some_operation_secured ? " S" : "");
+  }
+  out += "\nverdicts " + std::to_string(r.baseline_exploited) +
+         std::to_string(r.all_checks_foil) + std::to_string(r.lemma2_holds) +
+         std::to_string(r.benign_preserved);
+  for (const auto c : r.foiling_single_checks) {
+    out += ' ' + std::to_string(c);
+  }
+  return out;
+}
+
+TEST(SweepEquivalence, MemoizedSweepIsThreadCountInvariant) {
+  apps::SyntheticStudyConfig config;
+  config.operations = 3;
+  config.checks_per_operation = 4;
+  config.work = 4;
+  const auto study = apps::make_synthetic_wide_study(config);
+  const auto runs =
+      at_thread_counts([&] { return render_report(analysis::sweep(*study)); });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, DirectSweepIsThreadCountInvariant) {
+  const auto studies = apps::all_case_studies();
+  analysis::SweepOptions direct;
+  direct.mode = analysis::SweepMode::kDirect;
+  const auto runs = at_thread_counts(
+      [&] { return render_report(analysis::sweep(*studies[0], direct)); });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, SweepAllIsThreadCountInvariant) {
+  const auto runs = at_thread_counts([] {
+    std::string out;
+    for (const auto& report : analysis::sweep_all()) {
+      out += render_report(report) + "\n---\n";
+    }
+    return out;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, ScanModelIsThreadCountInvariant) {
+  apps::SyntheticStudyConfig config;
+  config.operations = 4;
+  config.checks_per_operation = 3;
+  const auto model =
+      apps::make_synthetic_wide_study(config)->model();
+  const auto domain = analysis::int_range_domain("x", "x", -256, 256);
+  std::map<std::string, std::vector<core::Object>> domains;
+  for (const auto& op : model.chain().operations()) {
+    for (const auto& pfsm : op.pfsms()) domains[pfsm.name()] = domain;
+  }
+  const auto runs = at_thread_counts([&] {
+    std::string out;
+    for (const auto& r : analysis::scan_model(model, domains)) {
+      out += r.pfsm_name + ':' + std::to_string(r.domain_size) + ':' +
+             std::to_string(r.spec_rejects) + ':';
+      for (const auto& w : r.witnesses) out += w.describe() + ',';
+      out += '\n';
+    }
+    return out;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, EvaluateBatchIsThreadCountInvariant) {
+  core::ExploitChain chain{"equivalence chain"};
+  for (int i = 0; i < 3; ++i) {
+    core::Operation op{"op" + std::to_string(i), "obj"};
+    op.add(core::Pfsm::unchecked(
+        "p" + std::to_string(i), core::PfsmType::kContentAttributeCheck, "a",
+        core::Predicate{"ok", [](const core::Object& o) {
+                          return o.attr_bool("ok").value_or(false);
+                        }}));
+    chain.add(std::move(op), core::PropagationGate{"g" + std::to_string(i)});
+  }
+  std::vector<std::vector<std::vector<core::Object>>> batch;
+  for (std::size_t i = 0; i < 41; ++i) {
+    std::vector<std::vector<core::Object>> inputs;
+    for (std::size_t op = 0; op < chain.size(); ++op) {
+      inputs.push_back({core::Object{"o"}.with("ok", (i + op) % 2 == 0)});
+    }
+    batch.push_back(std::move(inputs));
+  }
+  const auto runs = at_thread_counts([&] {
+    std::string out;
+    for (const auto& r : chain.evaluate_batch(batch)) {
+      out += std::to_string(r.hidden_path_count()) +
+             (r.exploited() ? "E" : "-") + (r.completed() ? "C" : "-");
+      if (r.foiled_at_operation) out += '@' + std::to_string(*r.foiled_at_operation);
+      out += '\n';
+    }
+    return out;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
 }
 
 }  // namespace
