@@ -16,6 +16,7 @@
 #include "analysis/attack_graph.h"
 #include "analysis/autotool.h"
 #include "analysis/chain_analyzer.h"
+#include "analysis/defense_matrix.h"
 #include "analysis/discovery.h"
 #include "analysis/hidden_path.h"
 #include "analysis/metf.h"
@@ -521,6 +522,45 @@ void BM_AttackGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_AttackGraphBuild)->Arg(4)->Arg(16)->Arg(64)
     ->Unit(benchmark::kMicrosecond);
+
+// --- patch-candidate ranking: k candidates for the price of one sweep --
+//
+// A cross-name pair the regression gate holds (suffix convention:
+// "...FullSweeps" is the reference arm, "...Incremental" the shared-
+// store arm of the same stem). Ranking every operation of the k = 16
+// synthetic study: the reference runs one full sweep per candidate plus
+// the unpatched base (17 sweeps, each materialising 2^16 rows); the
+// incremental path pays ONE cache fill and answers every candidate by
+// combinatorial composition. Both arms pin the pool to one worker — the
+// gated speedup is algorithmic, not parallelism.
+
+void BM_DefenseRankFullSweeps(benchmark::State& state) {
+  set_pool_threads(1);
+  const auto& study = sweep_study(16, 1);  // k = 16, 16 candidates
+  for (auto _ : state) {
+    auto ranking = rank_patch_candidates(study, RankStrategy::kFullSweeps);
+    benchmark::DoNotOptimize(ranking.candidates.data());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * 17);  // sweeps per ranking
+}
+BENCHMARK(BM_DefenseRankFullSweeps)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DefenseRankIncremental(benchmark::State& state) {
+  set_pool_threads(1);
+  const auto& study = sweep_study(16, 1);
+  for (auto _ : state) {
+    auto ranking = rank_patch_candidates(study, RankStrategy::kIncremental);
+    benchmark::DoNotOptimize(ranking.candidates.data());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * 17);
+}
+BENCHMARK(BM_DefenseRankIncremental)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

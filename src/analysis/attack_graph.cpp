@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <sstream>
+#include <stdexcept>
+
+#include "analysis/chain_analyzer.h"
+#include "analysis/sweep_memo.h"
 
 namespace dfsm::analysis {
 
@@ -156,6 +160,58 @@ std::string AttackGraph::to_text() const {
        << to_string(e.to.privilege) << ")\n";
   }
   return os.str();
+}
+
+CompoundPatchScore score_compound_patch(
+    const std::vector<Host>& hosts, const std::vector<ExploitRule>& rules,
+    const std::vector<Fact>& attacker_start, const Fact& goal,
+    const std::vector<CompoundPatchTarget>& targets, SweepMemoStore* memo) {
+  CompoundPatchScore score;
+
+  const AttackGraph before = AttackGraph::build(hosts, rules, attacker_start);
+  score.facts_before = before.facts().size();
+  score.edges_before = before.edges().size();
+  score.goal_reachable_before = before.reachable(goal);
+
+  // Operation-level effect of each target, through the incremental sweep
+  // path: one cache fill per distinct study (shared further across calls
+  // when `memo` is given), one composition per target.
+  SweepOptions opts;
+  opts.memo = memo;
+  std::vector<ExploitRule> patched_rules = rules;
+  for (const auto& t : targets) {
+    if (t.study == nullptr) {
+      throw std::invalid_argument(
+          "score_compound_patch: target for rule '" + t.rule +
+          "' has no case study");
+    }
+    const auto rule_it =
+        std::find_if(patched_rules.begin(), patched_rules.end(),
+                     [&](const ExploitRule& r) { return r.name == t.rule; });
+    if (rule_it == patched_rules.end()) {
+      throw std::invalid_argument("score_compound_patch: no rule named '" +
+                                  t.rule + "'");
+    }
+    SweepDelta delta;
+    delta.secured_operations = {t.operation};
+    const SweepSummary s = sweep_summary(*t.study, delta, opts);
+    PatchedRuleScore r;
+    r.rule = t.rule;
+    r.study = t.study->name();
+    r.operation = t.operation;
+    r.residual_exploited_masks = s.exploited_masks;
+    r.total_masks = s.total_masks;
+    r.forecloses = s.exploited_masks == 0;
+    if (r.forecloses) rule_it->patched = true;
+    score.rules.push_back(std::move(r));
+  }
+
+  const AttackGraph after =
+      AttackGraph::build(hosts, patched_rules, attacker_start);
+  score.facts_after = after.facts().size();
+  score.edges_after = after.edges().size();
+  score.goal_reachable_after = after.reachable(goal);
+  return score;
 }
 
 }  // namespace dfsm::analysis

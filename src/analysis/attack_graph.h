@@ -14,14 +14,18 @@
 #ifndef DFSM_ANALYSIS_ATTACK_GRAPH_H
 #define DFSM_ANALYSIS_ATTACK_GRAPH_H
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "apps/case_study.h"
 #include "core/model.h"
 
 namespace dfsm::analysis {
+
+class SweepMemoStore;  // sweep_memo.h
 
 /// Privilege the attacker holds on a host.
 enum class Privilege {
@@ -110,6 +114,53 @@ class AttackGraph {
   std::map<Fact, AttackEdge> parent_;  // BFS tree for path reconstruction
   std::set<Fact> start_;
 };
+
+// --- compound patch scoring (chains of chains, incrementally) ----------
+
+/// Ties one graph rule to the case study + operation whose securing
+/// would disable it: "patch rule R by securing operation `operation` of
+/// `study`".
+struct CompoundPatchTarget {
+  const apps::CaseStudy* study = nullptr;
+  std::size_t operation = 0;
+  std::string rule;  ///< ExploitRule::name this patch disables
+};
+
+/// The per-rule verdict inside a compound score.
+struct PatchedRuleScore {
+  std::string rule;
+  std::string study;
+  std::size_t operation = 0;
+  /// Securing the operation leaves zero exploited masks (Lemma 2), so
+  /// the rule is disabled in the patched graph.
+  bool forecloses = false;
+  std::uint64_t residual_exploited_masks = 0;
+  std::uint64_t total_masks = 0;
+};
+
+/// Graph-level effect of applying every target patch at once.
+struct CompoundPatchScore {
+  std::vector<PatchedRuleScore> rules;
+  std::size_t facts_before = 0;
+  std::size_t facts_after = 0;
+  std::size_t edges_before = 0;
+  std::size_t edges_after = 0;
+  bool goal_reachable_before = false;
+  bool goal_reachable_after = false;
+};
+
+/// Scores a compound patch: each target's operation-level effect comes
+/// from the incremental sweep path (analysis::sweep_summary with the
+/// operation pinned, through `memo` when given — repeated what-if
+/// scoring over the same studies re-evaluates nothing), and a rule whose
+/// patch forecloses its exploit is disabled before rebuilding the graph.
+/// Throws std::invalid_argument on a null target study or a rule name
+/// absent from `rules`.
+[[nodiscard]] CompoundPatchScore score_compound_patch(
+    const std::vector<Host>& hosts, const std::vector<ExploitRule>& rules,
+    const std::vector<Fact>& attacker_start, const Fact& goal,
+    const std::vector<CompoundPatchTarget>& targets,
+    SweepMemoStore* memo = nullptr);
 
 }  // namespace dfsm::analysis
 

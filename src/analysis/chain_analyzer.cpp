@@ -1,9 +1,14 @@
 #include "analysis/chain_analyzer.h"
 
+#include <algorithm>
 #include <bit>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 
+#include "analysis/sweep_memo.h"
+#include "apps/secured.h"
+#include "core/fingerprint.h"
 #include "runtime/parallel.h"
 
 namespace dfsm::analysis {
@@ -29,6 +34,12 @@ struct CacheEntry {
   bool benign_blocks = false;
 };
 
+[[nodiscard]] bool entries_equal(const CacheEntry& a, const CacheEntry& b) {
+  return a.exploit == b.exploit && a.benign == b.benign &&
+         a.exploit_blocks == b.exploit_blocks &&
+         a.benign_blocks == b.benign_blocks;
+}
+
 std::vector<OpChecks> op_layout(const std::vector<apps::CheckSpec>& checks) {
   std::set<std::size_t> op_ids;
   for (const auto& c : checks) op_ids.insert(c.operation_index);
@@ -43,6 +54,18 @@ std::vector<OpChecks> op_layout(const std::vector<apps::CheckSpec>& checks) {
     ops.push_back(std::move(oc));
   }
   return ops;
+}
+
+/// Slot of operation id `op` in the layout; throws when the delta names
+/// an operation the study has no checks for.
+std::size_t slot_of(const std::vector<OpChecks>& ops, std::size_t op,
+                    const std::string& study_name, const char* who) {
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    if (ops[oi].op == op) return oi;
+  }
+  throw std::invalid_argument(std::string{who} + ": '" + study_name +
+                              "' has no checks for operation " +
+                              std::to_string(op));
 }
 
 std::vector<bool> mask_bits(std::uint64_t bits, std::size_t k) {
@@ -85,6 +108,15 @@ std::vector<bool> expand_submask(const OpChecks& oc, std::uint64_t submask,
   return mask;
 }
 
+/// Mask-id form of expand_submask (indexes exhaustive baseline rows).
+std::uint64_t expand_submask_bits(const OpChecks& oc, std::uint64_t submask) {
+  std::uint64_t bits = 0;
+  for (std::size_t j = 0; j < oc.positions.size(); ++j) {
+    if ((submask >> j) & 1) bits |= std::uint64_t{1} << oc.positions[j];
+  }
+  return bits;
+}
+
 std::uint64_t gather_submask(const OpChecks& oc, std::uint64_t mask_id) {
   std::uint64_t s = 0;
   for (std::size_t j = 0; j < oc.positions.size(); ++j) {
@@ -93,42 +125,110 @@ std::uint64_t gather_submask(const OpChecks& oc, std::uint64_t mask_id) {
   return s;
 }
 
+/// Per-slot structural fingerprints, from the study's model chain. The
+/// model's operations are indexed by the same operation ids the checks
+/// carry; an id beyond the chain (a study without a full model mapping)
+/// falls back to a (study, op) name fingerprint so it still invalidates
+/// per-family.
+std::vector<std::uint64_t> operation_fingerprints(
+    const apps::CaseStudy& study, const std::vector<OpChecks>& ops) {
+  const auto model = study.model();
+  const auto& chain_ops = model.chain().operations();
+  std::vector<std::uint64_t> fps(ops.size());
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    if (ops[oi].op < chain_ops.size()) {
+      fps[oi] = core::fingerprint(chain_ops[ops[oi].op]);
+    } else {
+      core::Fingerprinter fp;
+      fp.mix(study.name()).mix(static_cast<std::uint64_t>(ops[oi].op));
+      fps[oi] = fp.digest();
+    }
+  }
+  return fps;
+}
+
 /// The memoized engine: per-operation outcome caches plus the gate
 /// composition that reconstitutes any full-mask row (DESIGN.md §10).
+/// With a SweepMemoStore the cache fill runs in three deterministic
+/// phases — serial lookup, parallel evaluation of the misses, serial
+/// insertion — so memo accounting is thread-count-invariant (§11).
 struct MemoizedEngine {
   std::vector<OpChecks> ops;
   CacheEntry baseline;                          ///< all checks off
   std::vector<std::vector<CacheEntry>> cache;   ///< [op][submask]
   bool compose_from_last = false;  ///< SweepFault::kWrongGateComposition
 
-  /// Evaluates each operation at most 2^{k_op} times: sub-mask 0 aliases
-  /// the shared baseline run, so the study runs exactly
-  /// 1 + sum_ops (2^{k_op} - 1) times per workload.
-  void fill(const apps::CaseStudy& study,
-            const std::vector<apps::CheckSpec>& checks, LemmaReport& report) {
-    const std::size_t k = checks.size();
-    ops = op_layout(checks);
-
+  /// Runs (or recalls) the shared all-checks-off baseline. The baseline
+  /// is keyed by the study-family name alone (fingerprint 0): a family
+  /// name identifies unchecked behaviour (DESIGN.md §11), so no
+  /// per-operation patch ever invalidates it.
+  void fill_baseline(const apps::CaseStudy& study, std::size_t k,
+                     LemmaReport& report, SweepMemoStore* memo) {
+    if (memo != nullptr) {
+      const MemoKey key{report.study_name, kBaselineOperation, 0};
+      if (auto e = memo->lookup(key, 0)) {
+        baseline.exploit = std::move(e->exploit);
+        baseline.benign = std::move(e->benign);
+        ++report.memo_hits;
+        return;
+      }
+      ++report.memo_misses;
+    }
     baseline.exploit = study.run_exploit(std::vector<bool>(k));
     baseline.benign = study.run_benign(std::vector<bool>(k));
-    report.exploit_evaluations = 1;
-    report.benign_evaluations = 1;
+    report.exploit_evaluations += 1;
+    report.benign_evaluations += 1;
+    if (memo != nullptr) {
+      MemoEntry e;
+      e.op_fingerprint = 0;
+      e.exploit = baseline.exploit;
+      e.benign = baseline.benign;
+      memo->insert({report.study_name, kBaselineOperation, 0}, std::move(e));
+    }
+  }
 
-    // Flatten the (operation, non-zero sub-mask) grid so one
-    // deterministic parallel_map fills every cell.
+  /// Fills the non-empty sub-mask cells of the given slots, recalling
+  /// what the store can serve and evaluating the rest in one parallel
+  /// pass. Requires fill_baseline (or an equivalent baseline assignment)
+  /// to have happened, and cache to be sized for every slot touched.
+  void fill_slots(const apps::CaseStudy& study, std::size_t k,
+                  const std::vector<std::size_t>& slots, LemmaReport& report,
+                  SweepMemoStore* memo) {
+    std::vector<std::uint64_t> fps;
+    if (memo != nullptr) fps = operation_fingerprints(study, ops);
+
     struct Cell {
       std::size_t op_slot = 0;
       std::uint64_t submask = 0;
     };
+    // Phase 1 (serial): deterministic lookup pass; misses become cells.
     std::vector<Cell> cells;
-    cache.resize(ops.size());
-    for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    for (const std::size_t oi : slots) {
       const std::uint64_t sub_total = std::uint64_t{1}
                                       << ops[oi].positions.size();
-      cache[oi].resize(static_cast<std::size_t>(sub_total));
+      cache[oi].assign(static_cast<std::size_t>(sub_total), CacheEntry{});
       cache[oi][0] = baseline;
-      for (std::uint64_t s = 1; s < sub_total; ++s) cells.push_back({oi, s});
+      for (std::uint64_t s = 1; s < sub_total; ++s) {
+        if (memo != nullptr) {
+          bool invalidated = false;
+          if (auto e = memo->lookup({report.study_name, ops[oi].op, s},
+                                    fps[oi], &invalidated)) {
+            CacheEntry c;
+            c.exploit = std::move(e->exploit);
+            c.benign = std::move(e->benign);
+            c.exploit_blocks = e->exploit_blocks;
+            c.benign_blocks = e->benign_blocks;
+            cache[oi][static_cast<std::size_t>(s)] = std::move(c);
+            ++report.memo_hits;
+            continue;
+          }
+          ++report.memo_misses;
+          if (invalidated) ++report.entries_invalidated;
+        }
+        cells.push_back({oi, s});
+      }
     }
+    // Phase 2 (parallel): evaluate the misses in index order.
     const auto filled = runtime::parallel_map<CacheEntry>(
         cells.size(), [&](std::size_t i) {
           const auto& cell = cells[i];
@@ -140,26 +240,60 @@ struct MemoizedEngine {
           e.benign_blocks = !(e.benign == baseline.benign);
           return e;
         });
+    // Phase 3 (serial): ascending-order insertion, so store recency and
+    // eviction order are byte-identical at every thread count.
     for (std::size_t i = 0; i < cells.size(); ++i) {
       cache[cells[i].op_slot][static_cast<std::size_t>(cells[i].submask)] =
           filled[i];
+      if (memo != nullptr) {
+        MemoEntry e;
+        e.op_fingerprint = fps[cells[i].op_slot];
+        e.exploit = filled[i].exploit;
+        e.benign = filled[i].benign;
+        e.exploit_blocks = filled[i].exploit_blocks;
+        e.benign_blocks = filled[i].benign_blocks;
+        memo->insert({report.study_name, ops[cells[i].op_slot].op,
+                      cells[i].submask},
+                     std::move(e));
+      }
     }
     report.exploit_evaluations += cells.size();
     report.benign_evaluations += cells.size();
   }
 
-  /// Rebuilds the full-mask row from the caches: operations execute in
-  /// chain order, and a passing check is behaviourally absent, so the
-  /// first operation whose sub-mask diverged from baseline owns the row
-  /// (its propagation gate never fires — Lemma statement 2).
-  [[nodiscard]] MaskResult compose(std::uint64_t mask_id, std::size_t k) const {
+  /// Evaluates each operation at most 2^{k_op} times: sub-mask 0 aliases
+  /// the shared baseline run, so the study runs at most
+  /// 1 + sum_ops (2^{k_op} - 1) times per workload (fewer when a memo
+  /// store serves previously evaluated cells).
+  void fill(const apps::CaseStudy& study,
+            const std::vector<apps::CheckSpec>& checks, LemmaReport& report,
+            SweepMemoStore* memo = nullptr) {
+    const std::size_t k = checks.size();
+    ops = op_layout(checks);
+    fill_baseline(study, k, report, memo);
+    cache.resize(ops.size());
+    std::vector<std::size_t> all_slots(ops.size());
+    std::iota(all_slots.begin(), all_slots.end(), std::size_t{0});
+    fill_slots(study, k, all_slots, report, memo);
+  }
+
+  /// Rebuilds one row from the caches: operations execute in chain
+  /// order, and a passing check is behaviourally absent, so the first
+  /// operation whose sub-mask diverged from baseline owns the row (its
+  /// propagation gate never fires — Lemma statement 2). `row_id` is the
+  /// mask the row reports; `effective_id` is the mask the composition
+  /// gathers sub-masks from — they differ only for pinned (secured)
+  /// compositions, where effective_id == row_id | pin.
+  [[nodiscard]] MaskResult compose(std::uint64_t row_id,
+                                   std::uint64_t effective_id,
+                                   std::size_t k) const {
     MaskResult row;
-    row.mask = mask_bits(mask_id, k);
+    row.mask = mask_bits(row_id, k);
     const CacheEntry* exploit_owner = nullptr;
     const CacheEntry* benign_owner = nullptr;
     for (const auto& oc : ops) {
       const std::size_t oi = static_cast<std::size_t>(&oc - ops.data());
-      const std::uint64_t s = gather_submask(oc, mask_id);
+      const std::uint64_t s = gather_submask(oc, effective_id);
       const CacheEntry& e = cache[oi][static_cast<std::size_t>(s)];
       if (e.exploit_blocks && (!exploit_owner || compose_from_last)) {
         exploit_owner = &e;
@@ -209,6 +343,23 @@ void finalize_report(LemmaReport& report, const std::vector<std::uint64_t>& ids)
   }
 }
 
+void require_sweepable(const std::string& study_name, std::size_t k,
+                       std::uint64_t max_masks) {
+  if (k >= kMaxExhaustiveSweepChecks && max_masks == 0) {
+    throw std::invalid_argument(
+        "sweep: '" + study_name + "' has " + std::to_string(k) +
+        " checks; an exhaustive sweep would materialize 2^" +
+        std::to_string(k) + " mask rows (limit 2^" +
+        std::to_string(kMaxExhaustiveSweepChecks - 1) +
+        ") — set SweepOptions::max_masks for a sampled sweep");
+  }
+  if (k >= 63) {
+    throw std::invalid_argument("sweep: '" + study_name + "' has " +
+                                std::to_string(k) +
+                                " checks; mask ids are 64-bit");
+  }
+}
+
 LemmaReport sweep_prepared(const apps::CaseStudy& study,
                            const SweepOptions& options,
                            MemoizedEngine* faulty_engine) {
@@ -217,19 +368,7 @@ LemmaReport sweep_prepared(const apps::CaseStudy& study,
   report.checks = study.checks();
   const std::size_t k = report.checks.size();
 
-  if (k >= kMaxExhaustiveSweepChecks && options.max_masks == 0) {
-    throw std::invalid_argument(
-        "sweep: '" + report.study_name + "' has " + std::to_string(k) +
-        " checks; an exhaustive sweep would materialize 2^" +
-        std::to_string(k) + " mask rows (limit 2^" +
-        std::to_string(kMaxExhaustiveSweepChecks - 1) +
-        ") — set SweepOptions::max_masks for a sampled sweep");
-  }
-  if (k >= 63) {
-    throw std::invalid_argument("sweep: '" + report.study_name + "' has " +
-                                std::to_string(k) +
-                                " checks; mask ids are 64-bit");
-  }
+  require_sweepable(report.study_name, k, options.max_masks);
 
   report.total_masks = std::uint64_t{1} << k;
   const auto ids = sweep_mask_ids(report.total_masks, options.max_masks);
@@ -238,9 +377,10 @@ LemmaReport sweep_prepared(const apps::CaseStudy& study,
   if (faulty_engine != nullptr || options.mode == SweepMode::kMemoized) {
     MemoizedEngine own;
     MemoizedEngine* engine = faulty_engine ? faulty_engine : &own;
-    if (!faulty_engine) engine->fill(study, report.checks, report);
+    if (!faulty_engine) engine->fill(study, report.checks, report, options.memo);
     report.results = runtime::parallel_map<MaskResult>(
-        ids.size(), [&](std::size_t i) { return engine->compose(ids[i], k); });
+        ids.size(),
+        [&](std::size_t i) { return engine->compose(ids[i], ids[i], k); });
   } else {
     report.results = runtime::parallel_map<MaskResult>(
         ids.size(), [&](std::size_t i) {
@@ -256,6 +396,20 @@ LemmaReport sweep_prepared(const apps::CaseStudy& study,
 
   finalize_report(report, ids);
   return report;
+}
+
+/// The pin bits of a secured-operation set (validates every operation).
+std::uint64_t pin_bits_of(const std::vector<OpChecks>& ops,
+                          const std::vector<std::size_t>& secured,
+                          const std::string& study_name, const char* who) {
+  std::uint64_t pin = 0;
+  for (const std::size_t op : secured) {
+    const std::size_t oi = slot_of(ops, op, study_name, who);
+    for (const std::size_t pos : ops[oi].positions) {
+      pin |= std::uint64_t{1} << pos;
+    }
+  }
+  return pin;
 }
 
 }  // namespace
@@ -285,10 +439,234 @@ std::vector<LemmaReport> sweep_all(const SweepOptions& options) {
   const auto studies = apps::all_case_studies();
   // Outer shard over the study grid; the inner mask loops run nested on
   // the same pool (inline on a worker), so the whole (study x mask) grid
-  // is covered without oversubscription.
+  // is covered without oversubscription. A shared options.memo is safe
+  // here: study families keep their keys disjoint.
   return runtime::parallel_map<LemmaReport>(
       studies.size(),
       [&](std::size_t i) { return sweep(*studies[i], options); });
+}
+
+LemmaReport resweep(const apps::CaseStudy& study, const LemmaReport& baseline,
+                    const SweepDelta& delta, const SweepOptions& options) {
+  LemmaReport report;
+  report.checks = study.checks();
+  const std::size_t k = report.checks.size();
+
+  if (baseline.study_name != study.name()) {
+    throw std::invalid_argument("resweep: baseline report is for '" +
+                                baseline.study_name + "', not '" +
+                                study.name() + "'");
+  }
+  if (baseline.sampled ||
+      baseline.results.size() != (std::uint64_t{1} << k)) {
+    throw std::invalid_argument(
+        "resweep: baseline for '" + study.name() +
+        "' must be an exhaustive (unsampled) sweep — its rows are the "
+        "reused sub-mask cells");
+  }
+  require_sweepable(study.name(), k, options.max_masks);
+
+  MemoizedEngine engine;
+  engine.ops = op_layout(report.checks);
+  engine.baseline.exploit = baseline.results[0].exploit;
+  engine.baseline.benign = baseline.results[0].benign;
+
+  std::set<std::size_t> changed;
+  for (const std::size_t op : delta.changed_operations) {
+    changed.insert(engine.ops[slot_of(engine.ops, op, study.name(),
+                                      "resweep")].op);
+  }
+  const std::uint64_t pin =
+      pin_bits_of(engine.ops, delta.secured_operations, study.name(),
+                  "resweep");
+
+  report.study_name =
+      delta.secured_operations.empty()
+          ? baseline.study_name
+          : apps::secured_study_name(study, delta.secured_operations);
+
+  // Unchanged operations reuse the baseline report's rows as cells: the
+  // exhaustive row at mask expand(op, s) IS the cell (op, s). Changed
+  // operations re-evaluate only their own sub-masks.
+  engine.cache.resize(engine.ops.size());
+  std::vector<std::size_t> changed_slots;
+  for (std::size_t oi = 0; oi < engine.ops.size(); ++oi) {
+    if (changed.count(engine.ops[oi].op) != 0) {
+      changed_slots.push_back(oi);
+      continue;
+    }
+    const std::uint64_t sub_total = std::uint64_t{1}
+                                    << engine.ops[oi].positions.size();
+    engine.cache[oi].assign(static_cast<std::size_t>(sub_total),
+                            CacheEntry{});
+    engine.cache[oi][0] = engine.baseline;
+    for (std::uint64_t s = 1; s < sub_total; ++s) {
+      const auto& row = baseline.results[static_cast<std::size_t>(
+          expand_submask_bits(engine.ops[oi], s))];
+      CacheEntry e;
+      e.exploit = row.exploit;
+      e.benign = row.benign;
+      e.exploit_blocks = !(e.exploit == engine.baseline.exploit);
+      e.benign_blocks = !(e.benign == engine.baseline.benign);
+      engine.cache[oi][static_cast<std::size_t>(s)] = std::move(e);
+    }
+  }
+  engine.fill_slots(study, k, changed_slots, report, options.memo);
+
+  report.total_masks = std::uint64_t{1} << k;
+  const auto ids = sweep_mask_ids(report.total_masks, options.max_masks);
+  report.sampled = ids.size() < report.total_masks;
+  report.results = runtime::parallel_map<MaskResult>(
+      ids.size(),
+      [&](std::size_t i) { return engine.compose(ids[i], ids[i] | pin, k); });
+  finalize_report(report, ids);
+  return report;
+}
+
+SweepSummary sweep_summary(const apps::CaseStudy& study,
+                           const SweepDelta& delta,
+                           const SweepOptions& options) {
+  LemmaReport scratch;
+  scratch.study_name = study.name();
+  scratch.checks = study.checks();
+  const std::size_t k = scratch.checks.size();
+  if (k >= 63) {
+    throw std::invalid_argument("sweep_summary: '" + study.name() + "' has " +
+                                std::to_string(k) +
+                                " checks; mask ids are 64-bit");
+  }
+
+  MemoizedEngine engine;
+  engine.fill(study, scratch.checks, scratch, options.memo);
+
+  SweepSummary summary;
+  summary.study_name =
+      delta.secured_operations.empty()
+          ? study.name()
+          : apps::secured_study_name(study, delta.secured_operations);
+  summary.total_masks = std::uint64_t{1} << k;
+  summary.exploit_evaluations = scratch.exploit_evaluations;
+  summary.benign_evaluations = scratch.benign_evaluations;
+  summary.memo_hits = scratch.memo_hits;
+  summary.memo_misses = scratch.memo_misses;
+  summary.entries_invalidated = scratch.entries_invalidated;
+
+  const std::size_t nops = engine.ops.size();
+  std::vector<bool> pinned(nops, false);
+  for (const std::size_t op : delta.secured_operations) {
+    pinned[slot_of(engine.ops, op, study.name(), "sweep_summary")] = true;
+  }
+
+  // The mask space factors into per-operation sub-mask spaces, so each
+  // count is a product-sum over the per-operation tallies: a row is
+  // owned by the FIRST gate-order operation whose (pinned) cell blocks,
+  // with every earlier operation non-blocking and later operations free.
+  struct Tally {
+    std::uint64_t sub_total = 0;       ///< visible sub-masks of this op
+    std::uint64_t exploit_free = 0;    ///< cells that do not block the exploit
+    std::uint64_t exploit_lands = 0;   ///< blocking cells, still exploited
+    std::uint64_t benign_free = 0;     ///< cells that do not block benign
+    std::uint64_t benign_breaks = 0;   ///< blocking cells, service lost
+  };
+  std::vector<Tally> tally(nops);
+  for (std::size_t oi = 0; oi < nops; ++oi) {
+    const std::uint64_t sub_total = std::uint64_t{1}
+                                    << engine.ops[oi].positions.size();
+    const std::uint64_t full = sub_total - 1;
+    tally[oi].sub_total = sub_total;
+    for (std::uint64_t s = 0; s < sub_total; ++s) {
+      // Securing pins every visible sub-mask to the all-on cell.
+      const CacheEntry& e =
+          engine.cache[oi][static_cast<std::size_t>(pinned[oi] ? full : s)];
+      if (e.exploit_blocks) {
+        if (e.exploit.exploited) ++tally[oi].exploit_lands;
+      } else {
+        ++tally[oi].exploit_free;
+      }
+      if (e.benign_blocks) {
+        if (!e.benign.service_ok) ++tally[oi].benign_breaks;
+      } else {
+        ++tally[oi].benign_free;
+      }
+    }
+  }
+
+  // counts(restrict_slot): total masks whose composed exploit lands
+  // (resp. benign breaks), optionally with one operation's visible
+  // sub-mask restricted to all-on (the Lemma-2 probe). Every product is
+  // bounded by 2^k <= 2^62, so the arithmetic stays in uint64.
+  const auto count_masks = [&](std::size_t restrict_slot, bool for_exploit) {
+    const auto restricted = [&](std::size_t oi) -> Tally {
+      Tally t = tally[oi];
+      if (oi == restrict_slot) {
+        const std::uint64_t full = t.sub_total - 1;
+        const CacheEntry& e = engine.cache[oi][static_cast<std::size_t>(full)];
+        t.sub_total = 1;
+        if (for_exploit) {
+          t.exploit_free = e.exploit_blocks ? 0 : 1;
+          t.exploit_lands = (e.exploit_blocks && e.exploit.exploited) ? 1 : 0;
+        } else {
+          t.benign_free = e.benign_blocks ? 0 : 1;
+          t.benign_breaks = (e.benign_blocks && !e.benign.service_ok) ? 1 : 0;
+        }
+      }
+      return t;
+    };
+    std::uint64_t total = 0;
+    for (std::size_t j = 0; j < nops; ++j) {
+      const Tally tj = restricted(j);
+      std::uint64_t term = for_exploit ? tj.exploit_lands : tj.benign_breaks;
+      for (std::size_t i = 0; i < j && term != 0; ++i) {
+        const Tally ti = restricted(i);
+        term *= for_exploit ? ti.exploit_free : ti.benign_free;
+      }
+      for (std::size_t i = j + 1; i < nops && term != 0; ++i) {
+        term *= restricted(i).sub_total;
+      }
+      total += term;
+    }
+    const bool baseline_bad = for_exploit
+                                  ? engine.baseline.exploit.exploited
+                                  : !engine.baseline.benign.service_ok;
+    if (baseline_bad) {
+      std::uint64_t none_block = 1;
+      for (std::size_t i = 0; i < nops && none_block != 0; ++i) {
+        const Tally ti = restricted(i);
+        none_block *= for_exploit ? ti.exploit_free : ti.benign_free;
+      }
+      total += none_block;
+    }
+    return total;
+  };
+  constexpr std::size_t kNoRestriction = static_cast<std::size_t>(-1);
+  summary.exploited_masks = count_masks(kNoRestriction, /*for_exploit=*/true);
+  summary.benign_broken_masks =
+      count_masks(kNoRestriction, /*for_exploit=*/false);
+
+  // Lemma 2: no mask that secures some operation may remain exploited —
+  // equivalently, restricting ANY operation to all-on yields zero
+  // exploited masks.
+  summary.lemma2_holds = true;
+  for (std::size_t oi = 0; oi < nops; ++oi) {
+    if (count_masks(oi, /*for_exploit=*/true) != 0) {
+      summary.lemma2_holds = false;
+      break;
+    }
+  }
+
+  // Baseline (mask 0 after pinning) and all-checks rows, by composition.
+  const auto composed_exploited = [&](bool all_on) {
+    for (std::size_t oi = 0; oi < nops; ++oi) {
+      const std::uint64_t full = tally[oi].sub_total - 1;
+      const std::uint64_t s = (all_on || pinned[oi]) ? full : 0;
+      const CacheEntry& e = engine.cache[oi][static_cast<std::size_t>(s)];
+      if (e.exploit_blocks) return e.exploit.exploited;
+    }
+    return engine.baseline.exploit.exploited;
+  };
+  summary.baseline_exploited = composed_exploited(/*all_on=*/false);
+  summary.all_checks_foil = !composed_exploited(/*all_on=*/true);
+  return summary;
 }
 
 bool reports_equivalent(const LemmaReport& a, const LemmaReport& b) {
@@ -319,6 +697,10 @@ const char* to_string(SweepFault f) noexcept {
     case SweepFault::kStaleSubmaskEntry: return "stale-submask-entry";
     case SweepFault::kFlippedCacheOutcome: return "flipped-cache-outcome";
     case SweepFault::kWrongGateComposition: return "wrong-gate-composition";
+    case SweepFault::kStaleSharedMemoAcrossSweeps:
+      return "stale-shared-memo-across-sweeps";
+    case SweepFault::kMissedInvalidationOnPatch:
+      return "missed-invalidation-on-patch";
   }
   return "unknown";
 }
@@ -355,6 +737,62 @@ std::optional<SweepFaultReport> sweep_with_fault(const apps::CaseStudy& study,
         }
       }
       return std::nullopt;  // no blocking cell: nothing to corrupt
+    }
+    case SweepFault::kStaleSharedMemoAcrossSweeps: {
+      // A shared store that skips the fingerprint check serves whatever
+      // generation it holds: alias the first blocking cell to the first
+      // OTHER cell whose entry differs from both it and the baseline
+      // (kStaleSubmaskEntry already covers the degenerate baseline
+      // alias). The aliased cell still blocks, so the mask that is its
+      // expansion composes through the foreign outcome.
+      for (std::size_t oi = 0; oi < engine.cache.size(); ++oi) {
+        for (std::size_t s = 1; s < engine.cache[oi].size(); ++s) {
+          const CacheEntry victim = engine.cache[oi][s];
+          if (!victim.exploit_blocks && !victim.benign_blocks) continue;
+          for (std::size_t oj = 0; oj < engine.cache.size(); ++oj) {
+            for (std::size_t s2 = 1; s2 < engine.cache[oj].size(); ++s2) {
+              if (oi == oj && s == s2) continue;
+              const CacheEntry& donor = engine.cache[oj][s2];
+              if (entries_equal(donor, victim) ||
+                  entries_equal(donor, engine.baseline)) {
+                continue;
+              }
+              if (!donor.exploit_blocks && !donor.benign_blocks) continue;
+              engine.cache[oi][s] = donor;
+              out.target = "operation " + std::to_string(engine.ops[oi].op) +
+                           " submask " + std::to_string(s) +
+                           " served stale entry of operation " +
+                           std::to_string(engine.ops[oj].op) + " submask " +
+                           std::to_string(s2);
+              out.report = sweep_prepared(study, options, &engine);
+              return out;
+            }
+          }
+        }
+      }
+      return std::nullopt;  // no two differing blocking cells to alias
+    }
+    case SweepFault::kMissedInvalidationOnPatch: {
+      // The incremental patch path must pin the secured operation's
+      // sub-mask to all-on; missing that invalidation composes the
+      // "patched" report from the unpatched cells. The cross-check
+      // reference is the direct sweep of the actually-secured study.
+      for (std::size_t oi = 0; oi < engine.cache.size(); ++oi) {
+        const CacheEntry& full = engine.cache[oi].back();
+        if (!full.exploit_blocks && !full.benign_blocks) continue;
+        const std::size_t op = engine.ops[oi].op;
+        out.target = "operation " + std::to_string(op) +
+                     " pin dropped during resweep";
+        out.report = sweep_prepared(study, options, &engine);
+        out.report.study_name = apps::secured_study_name(study, {op});
+        const auto secured = apps::make_secured_study(study, {op});
+        SweepOptions direct = options;
+        direct.mode = SweepMode::kDirect;
+        direct.memo = nullptr;
+        out.reference = sweep(*secured, direct);
+        return out;
+      }
+      return std::nullopt;  // securing any operation changes nothing
     }
     case SweepFault::kWrongGateComposition: {
       // Hostable only when two operations' blocking outcomes differ —

@@ -22,10 +22,19 @@
 //   * kMemoized exploits the Lemma's predicate independence: an
 //     operation's behaviour depends only on the sub-mask of its OWN
 //     checks, so each operation is evaluated at most 2^{k_op} times (a
-//     per-operation OutcomeCache keyed by sub-mask) and the 2^k rows are
+//     per-operation outcome cache keyed by sub-mask) and the 2^k rows are
 //     composed through the propagation-gate order — the first operation
 //     whose sub-mask perturbs the run determines the row.
-// Both engines fan out over the deterministic parallel runtime; reports
+//
+// On top of the memoized engine sit the cross-sweep layers (DESIGN.md
+// §11): SweepOptions::memo plugs a shared SweepMemoStore under the cache
+// fill so repeated sweeps of the same study family (sampled → exhaustive
+// escalation, fault-campaign trials, sweep_all) re-evaluate nothing, and
+// resweep / sweep_summary recompose a baseline sweep under a SweepDelta
+// (changed and/or secured operations) — k patch-candidate evaluations
+// cost one sweep plus k compositions instead of k sweeps.
+//
+// All engines fan out over the deterministic parallel runtime; reports
 // are byte-identical at every DFSM_THREADS setting and across engines
 // (tests + the fault-injection cross-check gate on it).
 #ifndef DFSM_ANALYSIS_CHAIN_ANALYZER_H
@@ -39,6 +48,8 @@
 #include "apps/case_study.h"
 
 namespace dfsm::analysis {
+
+class SweepMemoStore;  // sweep_memo.h
 
 /// One row of the sweep: a mask and what happened under it.
 struct MaskResult {
@@ -67,9 +78,15 @@ struct LemmaReport {
   bool sampled = false;           ///< results hold a max_masks subset
   /// How many times study.run_exploit / run_benign actually ran. Direct:
   /// one each per row. Memoized: at most 1 + sum_ops (2^{k_op} - 1) each
-  /// regardless of 2^k (tests assert the bound).
+  /// regardless of 2^k (tests assert the bound); with a memo store
+  /// attached, only the cells the store could not serve.
   std::size_t exploit_evaluations = 0;
   std::size_t benign_evaluations = 0;
+
+  // --- shared-store telemetry (all zero without SweepOptions::memo) ------
+  std::size_t memo_hits = 0;           ///< cache cells served by the store
+  std::size_t memo_misses = 0;         ///< cells evaluated then inserted
+  std::size_t entries_invalidated = 0; ///< stale entries dropped (fingerprint)
 };
 
 /// Which evaluation engine drives the sweep.
@@ -89,6 +106,12 @@ struct SweepOptions {
   /// includes mask 0...0 and mask 1...1 (so the baseline/all-checks
   /// verdicts stay meaningful); required once k >= 26.
   std::uint64_t max_masks = 0;
+  /// Optional cross-sweep memo store (memoized engine only; the direct
+  /// engine never touches it). The fill becomes three deterministic
+  /// phases — serial lookup, parallel evaluation of the misses, serial
+  /// insertion — so hit/miss/eviction accounting is byte-identical at
+  /// every DFSM_THREADS setting.
+  SweepMemoStore* memo = nullptr;
 };
 
 /// Sweeps one study's masks. Throws std::invalid_argument when the study
@@ -100,9 +123,70 @@ struct SweepOptions {
 [[nodiscard]] LemmaReport sweep(const apps::CaseStudy& study);
 
 /// Sweeps every registered case study, sharding the (study x mask) work
-/// over the parallel runtime; reports come back in registry order.
+/// over the parallel runtime; reports come back in registry order. An
+/// options.memo store is shared by all studies (their keys are disjoint,
+/// so per-study accounting stays deterministic as long as the store is
+/// unbounded — a bound makes concurrent evictions timing-dependent).
 [[nodiscard]] std::vector<LemmaReport> sweep_all();
 [[nodiscard]] std::vector<LemmaReport> sweep_all(const SweepOptions& options);
+
+// --- incremental re-analysis (DESIGN.md §11) ----------------------------
+
+/// What changed relative to a baseline sweep.
+struct SweepDelta {
+  /// Operations whose pFSM/check set changed: their sub-mask cells are
+  /// re-evaluated against the (new) study; everything else is reused
+  /// from the baseline report.
+  std::vector<std::size_t> changed_operations;
+  /// Operations to secure (the patch candidate): every one of their
+  /// checks is pinned on, by composition only — securing costs ZERO
+  /// re-evaluations. The result equals a full sweep of
+  /// apps::make_secured_study(study, secured_operations).
+  std::vector<std::size_t> secured_operations;
+};
+
+/// Incremental re-analysis: recomposes `baseline` (an exhaustive,
+/// unsampled sweep of `study`) under `delta`, re-evaluating only the
+/// changed operations' sub-masks and recomposing every row through the
+/// existing gate-order composition. Equivalent (reports_equivalent) to a
+/// full memoized or direct sweep of the delta'd study at every
+/// DFSM_THREADS setting. Throws std::invalid_argument when the baseline
+/// is sampled, belongs to a different study, or the delta names an
+/// operation without checks.
+[[nodiscard]] LemmaReport resweep(const apps::CaseStudy& study,
+                                  const LemmaReport& baseline,
+                                  const SweepDelta& delta,
+                                  const SweepOptions& options = {});
+
+/// Aggregate sweep verdicts computed combinatorially from the
+/// per-operation caches WITHOUT materializing the 2^k rows: the mask
+/// space factors into per-operation sub-mask spaces, so every count is a
+/// product-sum over at most sum_ops 2^{k_op} cells. This is the
+/// k-candidates-for-one-sweep hot path: with a shared memo store the
+/// marginal cost of a patch candidate is pure composition.
+struct SweepSummary {
+  std::string study_name;             ///< secured name when delta pins ops
+  std::uint64_t total_masks = 0;
+  std::uint64_t exploited_masks = 0;  ///< masks under which the exploit lands
+  std::uint64_t benign_broken_masks = 0;  ///< masks breaking benign service
+  bool baseline_exploited = false;    ///< mask 0...0 (after pinning)
+  bool all_checks_foil = false;
+  bool lemma2_holds = false;
+  std::size_t exploit_evaluations = 0;
+  std::size_t benign_evaluations = 0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  std::size_t entries_invalidated = 0;
+};
+
+/// Computes the summary for `study` with delta.secured_operations pinned
+/// on (delta.changed_operations is irrelevant here: the fill always
+/// evaluates against the current study, and a memo store revalidates by
+/// fingerprint). Works for any k <= 62. Throws std::invalid_argument on
+/// an operation without checks.
+[[nodiscard]] SweepSummary sweep_summary(const apps::CaseStudy& study,
+                                         const SweepDelta& delta = {},
+                                         const SweepOptions& options = {});
 
 /// True iff, under this mask, operation `op` of the study has every one of
 /// its checks enabled.
@@ -110,17 +194,18 @@ struct SweepOptions {
                                      const std::vector<bool>& mask, std::size_t op);
 
 /// Result equality modulo accounting: same rows (masks, outcomes,
-/// secured flags) and same verdicts, ignoring evaluation counters. This
-/// is the memoized-vs-direct cross-check contract.
+/// secured flags) and same verdicts, ignoring evaluation counters and
+/// memo telemetry. This is the memoized-vs-direct cross-check contract.
 [[nodiscard]] bool reports_equivalent(const LemmaReport& a,
                                       const LemmaReport& b);
 
 // --- fault-injection surface (src/faultinject/) -------------------------
 
-/// Seeded defects aimed at the memoized engine's cache. Each must be
-/// caught by the memoized-vs-direct cross-check (reports_equivalent
-/// returning false) — that cross-check is the safety net that licenses
-/// shipping the memoized engine as the default.
+/// Seeded defects aimed at the memoized engine's cache and the
+/// cross-sweep store. Each must be caught by the memoized-vs-direct
+/// cross-check (reports_equivalent returning false against the
+/// reference) — that cross-check is the safety net that licenses
+/// shipping the memoized engine and the shared store as the default.
 enum class SweepFault {
   /// A blocking sub-mask entry is overwritten with the baseline outcome,
   /// as if the cache were stale from a previous (all-checks-off) fill.
@@ -131,6 +216,15 @@ enum class SweepFault {
   /// Rows are composed from the LAST blocking operation instead of the
   /// first — the propagation-gate order is applied backwards.
   kWrongGateComposition,
+  /// The shared store serves an entry written for a DIFFERENT cell (a
+  /// previous sweep generation) without consulting the invalidation
+  /// fingerprint: one blocking cell inherits another cell's outcome.
+  kStaleSharedMemoAcrossSweeps,
+  /// Incremental re-analysis of a patch misses the invalidation/pinning
+  /// of the secured operation: the "patched" report is composed from the
+  /// unpatched entries. The cross-check reference is the direct sweep of
+  /// the secured study (SweepFaultReport::reference).
+  kMissedInvalidationOnPatch,
 };
 
 [[nodiscard]] const char* to_string(SweepFault f) noexcept;
@@ -139,12 +233,17 @@ enum class SweepFault {
 struct SweepFaultReport {
   LemmaReport report;  ///< the (corrupted) memoized sweep
   std::string target;  ///< "op <i> submask <s>" or "gate composition"
+  /// The report the cross-check must diff against, when it is NOT the
+  /// direct sweep of the study itself (kMissedInvalidationOnPatch
+  /// compares against the secured study's direct sweep).
+  std::optional<LemmaReport> reference;
 };
 
 /// Runs the memoized sweep with the given fault injected. Returns
 /// nullopt when the study cannot host the fault (no blocking cache entry
-/// to corrupt, or — for kWrongGateComposition — no two operations whose
-/// blocking outcomes differ, so first-vs-last is indistinguishable).
+/// to corrupt, no second differing cell to alias, or — for
+/// kWrongGateComposition — no two operations whose blocking outcomes
+/// differ, so first-vs-last is indistinguishable).
 [[nodiscard]] std::optional<SweepFaultReport> sweep_with_fault(
     const apps::CaseStudy& study, SweepFault fault,
     const SweepOptions& options = {});

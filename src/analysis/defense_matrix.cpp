@@ -1,8 +1,13 @@
 #include "analysis/defense_matrix.h"
 
+#include <algorithm>
 #include <map>
+#include <set>
 
+#include "analysis/chain_analyzer.h"
+#include "analysis/sweep_memo.h"
 #include "apps/ghttpd.h"
+#include "apps/secured.h"
 #include "apps/nullhttpd.h"
 #include "apps/rpcstatd.h"
 #include "apps/sendmail.h"
@@ -157,6 +162,142 @@ std::vector<DefenseCell> defense_matrix() {
     cells.push_back(run_statd(d));
   }
   return cells;
+}
+
+const char* to_string(RankStrategy s) noexcept {
+  switch (s) {
+    case RankStrategy::kIncremental: return "incremental";
+    case RankStrategy::kFullSweeps: return "full-sweeps";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Operation display names from the study's FSM model chain; falls back
+/// to "operation <i>" for ids without a modelled operation.
+std::string operation_display_name(const core::FsmModel& model,
+                                   std::size_t op) {
+  const auto& ops = model.chain().operations();
+  if (op < ops.size() && !ops[op].name().empty()) return ops[op].name();
+  return "operation " + std::to_string(op);
+}
+
+std::uint64_t count_exploited_rows(const LemmaReport& r) {
+  std::uint64_t n = 0;
+  for (const auto& row : r.results) {
+    if (row.exploit.exploited) ++n;
+  }
+  return n;
+}
+
+std::uint64_t count_benign_broken_rows(const LemmaReport& r) {
+  std::uint64_t n = 0;
+  for (const auto& row : r.results) {
+    if (!row.benign.service_ok) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+PatchRanking rank_patch_candidates(const apps::CaseStudy& study,
+                                   RankStrategy strategy,
+                                   SweepMemoStore* memo) {
+  PatchRanking ranking;
+  ranking.study_name = study.name();
+  ranking.strategy = strategy;
+
+  const auto checks = study.checks();
+  std::set<std::size_t> op_ids;
+  for (const auto& c : checks) op_ids.insert(c.operation_index);
+  const auto model = study.model();
+
+  if (strategy == RankStrategy::kIncremental) {
+    // One cache fill serves the unpatched summary AND every candidate:
+    // all sweep_summary calls after the first hit the store wall-to-wall
+    // and differ only in composition.
+    SweepMemoStore own_store;
+    SweepOptions opts;
+    opts.memo = memo != nullptr ? memo : &own_store;
+    const auto fold = [&ranking](const SweepSummary& s) {
+      ranking.exploit_evaluations += s.exploit_evaluations;
+      ranking.benign_evaluations += s.benign_evaluations;
+      ranking.memo_hits += s.memo_hits;
+      ranking.memo_misses += s.memo_misses;
+    };
+    const SweepSummary base = sweep_summary(study, {}, opts);
+    fold(base);
+    ranking.total_masks = base.total_masks;
+    ranking.unpatched_exploited_masks = base.exploited_masks;
+    for (const std::size_t op : op_ids) {
+      SweepDelta delta;
+      delta.secured_operations = {op};
+      const SweepSummary s = sweep_summary(study, delta, opts);
+      fold(s);
+      PatchCandidate c;
+      c.operation = op;
+      c.operation_name = operation_display_name(model, op);
+      c.exploited_masks = s.exploited_masks;
+      c.benign_broken_masks = s.benign_broken_masks;
+      c.forecloses = s.exploited_masks == 0;
+      ranking.candidates.push_back(std::move(c));
+    }
+  } else {
+    // Reference strategy: a fresh full sweep per candidate, counting
+    // rows directly.
+    const auto fold = [&ranking](const LemmaReport& r) {
+      ranking.exploit_evaluations += r.exploit_evaluations;
+      ranking.benign_evaluations += r.benign_evaluations;
+    };
+    const LemmaReport base = sweep(study);
+    fold(base);
+    ranking.total_masks = base.total_masks;
+    ranking.unpatched_exploited_masks = count_exploited_rows(base);
+    for (const std::size_t op : op_ids) {
+      const auto secured = apps::make_secured_study(study, {op});
+      const LemmaReport r = sweep(*secured);
+      fold(r);
+      PatchCandidate c;
+      c.operation = op;
+      c.operation_name = operation_display_name(model, op);
+      c.exploited_masks = count_exploited_rows(r);
+      c.benign_broken_masks = count_benign_broken_rows(r);
+      c.forecloses = c.exploited_masks == 0;
+      ranking.candidates.push_back(std::move(c));
+    }
+  }
+
+  std::stable_sort(ranking.candidates.begin(), ranking.candidates.end(),
+                   [](const PatchCandidate& a, const PatchCandidate& b) {
+                     if (a.exploited_masks != b.exploited_masks) {
+                       return a.exploited_masks < b.exploited_masks;
+                     }
+                     if (a.benign_broken_masks != b.benign_broken_masks) {
+                       return a.benign_broken_masks < b.benign_broken_masks;
+                     }
+                     return a.operation < b.operation;
+                   });
+  return ranking;
+}
+
+std::string render_patch_ranking(const PatchRanking& ranking) {
+  core::TextTable t{{"#", "Operation", "residual exploited masks",
+                     "benign broken masks", "forecloses"}};
+  t.title("Patch-candidate ranking for " + ranking.study_name + " (" +
+          std::string{to_string(ranking.strategy)} + ", " +
+          std::to_string(ranking.unpatched_exploited_masks) + "/" +
+          std::to_string(ranking.total_masks) +
+          " masks exploited unpatched)");
+  std::size_t rank = 1;
+  for (const auto& c : ranking.candidates) {
+    t.add_row({std::to_string(rank++), c.operation_name,
+               std::to_string(c.exploited_masks) + "/" +
+                   std::to_string(ranking.total_masks),
+               std::to_string(c.benign_broken_masks),
+               c.forecloses ? "yes" : "no"});
+  }
+  return t.to_string();
 }
 
 std::string render_defense_matrix(const std::vector<DefenseCell>& cells) {

@@ -7,6 +7,47 @@ namespace dfsm::analysis {
 
 namespace {
 
+/// Replays every probe through the Figure-4 chain in one batch and
+/// scores agreement: pFSM2 predicts an overflow exactly when
+/// length(input) > size(PostData), and the sandbox reports one exactly
+/// when the heap really was overrun. Only meaningful against the v0.5
+/// server — Figure 4 models v0.5, where no pFSM is checked, so the chain
+/// runs every probe to completion and op1's second outcome is pFSM2's.
+void cross_validate_model(DiscoveryReport& report) {
+  const auto model = apps::NullHttpd::figure4_model();
+  std::vector<std::vector<std::vector<core::Object>>> input_sets;
+  input_sets.reserve(report.probes.size());
+  for (const auto& probe : report.probes) {
+    // Causal propagation for op2/op3: the free-chunk links and addr_free
+    // stay intact exactly when the copy stayed inside PostData.
+    const bool overrun =
+        probe.body_len > probe.buffer_size;
+    std::vector<std::vector<core::Object>> inputs(3);
+    inputs[0].push_back(core::Object{"request"}.with(
+        "contentLen", static_cast<std::int64_t>(probe.content_len)));
+    inputs[0].push_back(
+        core::Object{"input"}
+            .with("input_length", static_cast<std::int64_t>(probe.body_len))
+            .with("buffer_size",
+                  static_cast<std::int64_t>(probe.buffer_size)));
+    inputs[1].push_back(
+        core::Object{"free chunk B"}.with("links_unchanged", !overrun));
+    inputs[2].push_back(
+        core::Object{"addr_free"}.with("addr_free_unchanged", !overrun));
+    input_sets.push_back(std::move(inputs));
+  }
+  const auto results = model.chain().evaluate_batch(input_sets);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& outcomes = results[i].operations[0].outcomes;
+    if (outcomes.size() < 2) continue;  // op1 stopped before pFSM2
+    ++report.model_checked;
+    const bool predicted = outcomes[1].hidden_path_taken();
+    if (predicted == report.probes[i].predicate_violated) {
+      ++report.model_agreements;
+    }
+  }
+}
+
 DiscoveryReport run_campaign(std::string configuration,
                              apps::NullHttpdChecks checks) {
   DiscoveryReport report;
@@ -106,7 +147,10 @@ DiscoveryReport probe_nullhttpd_fixed() {
 }
 
 DiscoveryReport probe_nullhttpd_v05() {
-  return run_campaign("Null HTTPD 0.5 (no contentLen check, '||' loop)", {});
+  auto report =
+      run_campaign("Null HTTPD 0.5 (no contentLen check, '||' loop)", {});
+  cross_validate_model(report);
+  return report;
 }
 
 }  // namespace dfsm::analysis

@@ -39,6 +39,14 @@ struct DiscoveryReport {
   /// contentLen — i.e. a NEW vulnerability not explained by #5774.
   bool found_new_vulnerability = false;
   std::string finding;               ///< human-readable write-up
+
+  /// Model cross-validation (v0.5 campaign only — Figure 4 models the
+  /// v0.5 server): every probe is replayed through the Figure-4 chain in
+  /// one ExploitChain::evaluate_batch call, and pFSM2's hidden-path
+  /// verdict is compared against the sandboxed heap outcome. A
+  /// disagreement means the model and the system diverged.
+  std::size_t model_checked = 0;     ///< probes replayed through the chain
+  std::size_t model_agreements = 0;  ///< probes where model == sandbox
 };
 
 /// Probes NULL HTTPD v0.5.1 (the patched server) with boundary workloads;

@@ -1,5 +1,6 @@
 #include "analysis/report.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "bugtraq/classifier.h"
@@ -135,6 +136,81 @@ std::string render_discovery(const DiscoveryReport& report) {
   }
   os << t.to_string() << "Violations: " << report.violations << "\n"
      << "Finding: " << report.finding << "\n";
+  if (report.model_checked > 0) {
+    os << "Model cross-validation: Figure-4 chain agrees with the sandbox "
+          "on "
+       << report.model_agreements << "/" << report.model_checked
+       << " probes\n";
+  }
+  return os.str();
+}
+
+std::string render_sweep_telemetry(const std::vector<LemmaReport>& reports) {
+  TextTable t{{"Case study", "exploit runs", "benign runs", "memo hits",
+               "memo misses", "invalidated"}};
+  t.title("Sweep cache telemetry (store hits cost no study run)");
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const auto& r : reports) {
+    hits += r.memo_hits;
+    misses += r.memo_misses;
+    t.add_row({r.study_name, std::to_string(r.exploit_evaluations),
+               std::to_string(r.benign_evaluations),
+               std::to_string(r.memo_hits), std::to_string(r.memo_misses),
+               std::to_string(r.entries_invalidated)});
+  }
+  std::ostringstream os;
+  os << t.to_string();
+  const std::size_t lookups = hits + misses;
+  os << "Store lookups: " << lookups << ", hits: " << hits;
+  if (lookups > 0) {
+    os << " (" << (100 * hits) / lookups << "%)";
+  }
+  os << "\n";
+  return os.str();
+}
+
+namespace {
+
+std::string telemetry_json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string sweep_telemetry_json(const std::vector<LemmaReport>& reports) {
+  std::ostringstream os;
+  os << "{\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& r = reports[i];
+    os << "    {\"study\": \"" << telemetry_json_escape(r.study_name)
+       << "\", "
+       << "\"exploit_evaluations\": " << r.exploit_evaluations << ", "
+       << "\"benign_evaluations\": " << r.benign_evaluations << ", "
+       << "\"memo_hits\": " << r.memo_hits << ", "
+       << "\"memo_misses\": " << r.memo_misses << ", "
+       << "\"entries_invalidated\": " << r.entries_invalidated << "}"
+       << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
   return os.str();
 }
 

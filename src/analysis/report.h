@@ -38,6 +38,18 @@ namespace dfsm::analysis {
 /// The discovery campaign (the #6255 rediscovery narrative).
 [[nodiscard]] std::string render_discovery(const DiscoveryReport& report);
 
+/// Cross-sweep cache telemetry, one row per report: evaluations actually
+/// run, store hits/misses, and entries invalidated by fingerprint. The
+/// output is a pure function of the reports, so it is byte-identical at
+/// every DFSM_THREADS setting (tests gate on it).
+[[nodiscard]] std::string render_sweep_telemetry(
+    const std::vector<LemmaReport>& reports);
+
+/// The same telemetry as machine-readable JSON (dfsm_lint-style:
+/// deterministic key order, escaped strings, trailing newline).
+[[nodiscard]] std::string sweep_telemetry_json(
+    const std::vector<LemmaReport>& reports);
+
 }  // namespace dfsm::analysis
 
 #endif  // DFSM_ANALYSIS_REPORT_H

@@ -1,0 +1,44 @@
+#include "analysis/sweep_memo.h"
+
+namespace dfsm::analysis {
+
+std::optional<MemoEntry> SweepMemoStore::lookup(const MemoKey& key,
+                                                std::uint64_t op_fingerprint,
+                                                bool* invalidated) {
+  if (invalidated != nullptr) *invalidated = false;
+  auto entry = store_.get(key);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  if (!entry) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (entry->op_fingerprint != op_fingerprint) {
+    // Stale: the operation's pFSM set changed since this entry was
+    // written. Only this operation's entries can carry the old
+    // fingerprint, so invalidation never touches a neighbour.
+    store_.erase(key);
+    ++invalidated_;
+    ++misses_;
+    if (invalidated != nullptr) *invalidated = true;
+    return std::nullopt;
+  }
+  ++hits_;
+  return entry;
+}
+
+SweepMemoStore::Stats SweepMemoStore::stats() const {
+  const auto lru = store_.stats();
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.invalidated = invalidated_;
+  }
+  s.evictions = lru.evictions;
+  s.size = store_.size();
+  s.max_entries = store_.max_entries();
+  return s;
+}
+
+}  // namespace dfsm::analysis

@@ -1,0 +1,127 @@
+// sweep_memo.h — the cross-sweep memo store (DESIGN.md §11).
+//
+// PR 5's memoized sweep engine evaluates each operation once per
+// sub-mask of its OWN checks — but it rebuilt that cache from scratch on
+// every sweep invocation. A SweepMemoStore keeps those per-(operation,
+// sub-mask) outcomes alive across sweeps of the same study family:
+// sampled → exhaustive escalation, repeated fault-campaign trials,
+// sweep_all over the curated registry, and the k-candidate patch-ranking
+// loops in defense_matrix / attack_graph all re-fill from it for free.
+//
+// Keying and soundness:
+//   * the FULL key is (study name, operation id, sub-mask) compared by
+//     exact equality — the 64-bit hash only buckets, so a fingerprint or
+//     hash collision across distinct operations cannot alias entries BY
+//     CONSTRUCTION (tests pin this);
+//   * every entry carries the operation's structural fingerprint
+//     (core::fingerprint over its pFSM set). A lookup whose caller-side
+//     fingerprint differs finds a STALE entry: the operation's check set
+//     changed since the entry was written. The entry is dropped, counted
+//     in Stats::invalidated, and the lookup misses — so a changed pFSM
+//     set invalidates exactly that operation's entries and nothing else;
+//   * the study-family name is part of the key AND of the contract: a
+//     family name identifies the application's UNCHECKED (all-off)
+//     behaviour. Changing unchecked behaviour under a reused name is
+//     outside the store's soundness scope — use a new family name (the
+//     secured-study wrapper does exactly that). The
+//     kMissedInvalidationOnPatch fault mutator exercises the violation.
+#ifndef DFSM_ANALYSIS_SWEEP_MEMO_H
+#define DFSM_ANALYSIS_SWEEP_MEMO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "apps/case_study.h"
+#include "core/fingerprint.h"
+#include "runtime/shared_store.h"
+
+namespace dfsm::analysis {
+
+/// Full structural key of one memoized cell.
+struct MemoKey {
+  std::string study;        ///< study-family name
+  std::size_t operation;    ///< operation id (kBaselineOperation = baseline)
+  std::uint64_t submask = 0;
+
+  [[nodiscard]] bool operator==(const MemoKey&) const = default;
+};
+
+/// The baseline (all-checks-off) cell's pseudo operation id.
+inline constexpr std::size_t kBaselineOperation =
+    static_cast<std::size_t>(-1);
+
+struct MemoKeyHash {
+  [[nodiscard]] std::size_t operator()(const MemoKey& k) const noexcept {
+    core::Fingerprinter fp;
+    fp.mix(k.study)
+        .mix(static_cast<std::uint64_t>(k.operation))
+        .mix(k.submask);
+    return static_cast<std::size_t>(fp.digest());
+  }
+};
+
+/// One cached outcome: the study with ONLY this operation's checks
+/// enabled per `submask`, plus whether that run diverged from the
+/// all-off baseline, validated by the operation's fingerprint.
+struct MemoEntry {
+  std::uint64_t op_fingerprint = 0;
+  apps::RunOutcome exploit;
+  apps::RunOutcome benign;
+  bool exploit_blocks = false;
+  bool benign_blocks = false;
+};
+
+/// Thread-safe cross-sweep memo store. See the header comment for the
+/// keying/invalidation contract; see runtime::SharedLruStore for the
+/// concurrency/determinism contract (three-phase fills keep accounting
+/// byte-identical at every DFSM_THREADS setting).
+class SweepMemoStore {
+ public:
+  struct Stats {
+    std::size_t hits = 0;         ///< fresh-fingerprint lookups served
+    std::size_t misses = 0;       ///< absent entries
+    std::size_t invalidated = 0;  ///< stale entries dropped on lookup
+    std::size_t evictions = 0;    ///< entries dropped by the LRU budget
+    std::size_t size = 0;
+    std::size_t max_entries = 0;
+  };
+
+  /// @param max_entries LRU entry budget; 0 = unbounded.
+  explicit SweepMemoStore(std::size_t max_entries = 0)
+      : store_(max_entries) {}
+
+  /// Returns the entry when present AND its fingerprint matches
+  /// `op_fingerprint`. A mismatch erases the stale entry, counts an
+  /// invalidation, and reports a miss. `invalidated`, when non-null, is
+  /// set to whether THIS lookup dropped a stale entry.
+  [[nodiscard]] std::optional<MemoEntry> lookup(
+      const MemoKey& key, std::uint64_t op_fingerprint,
+      bool* invalidated = nullptr);
+
+  /// Inserts (or refreshes) an entry; `entry.op_fingerprint` must already
+  /// be set by the caller.
+  void insert(const MemoKey& key, MemoEntry entry) {
+    store_.put(key, std::move(entry));
+  }
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  void clear() { store_.clear(); }
+
+  /// Keys most-recently-used first (test hook; see SharedLruStore).
+  [[nodiscard]] std::vector<MemoKey> keys_by_recency() const {
+    return store_.keys_by_recency();
+  }
+
+ private:
+  runtime::SharedLruStore<MemoKey, MemoEntry, MemoKeyHash> store_;
+  mutable std::mutex counters_mu_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t invalidated_ = 0;
+};
+
+}  // namespace dfsm::analysis
+
+#endif  // DFSM_ANALYSIS_SWEEP_MEMO_H

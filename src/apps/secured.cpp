@@ -1,0 +1,96 @@
+#include "apps/secured.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfsm::apps {
+
+namespace {
+
+std::vector<std::size_t> normalized_ops(const CaseStudy& base,
+                                        std::vector<std::size_t> ops) {
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  const auto checks = base.checks();
+  for (const std::size_t op : ops) {
+    const bool has_checks =
+        std::any_of(checks.begin(), checks.end(),
+                    [op](const CheckSpec& c) { return c.operation_index == op; });
+    if (!has_checks) {
+      throw std::invalid_argument("make_secured_study: '" + base.name() +
+                                  "' has no checks for operation " +
+                                  std::to_string(op));
+    }
+  }
+  return ops;
+}
+
+class SecuredStudy final : public CaseStudy {
+ public:
+  SecuredStudy(const CaseStudy& base, std::vector<std::size_t> ops)
+      : base_(base), ops_(std::move(ops)) {
+    const auto checks = base_.checks();
+    pin_.assign(checks.size(), false);
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (std::binary_search(ops_.begin(), ops_.end(),
+                             checks[i].operation_index)) {
+        pin_[i] = true;
+      }
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return secured_study_name(base_, ops_);
+  }
+
+  [[nodiscard]] std::vector<CheckSpec> checks() const override {
+    return base_.checks();
+  }
+
+  [[nodiscard]] RunOutcome run_exploit(
+      const std::vector<bool>& enabled) const override {
+    return base_.run_exploit(pinned(enabled));
+  }
+
+  [[nodiscard]] RunOutcome run_benign(
+      const std::vector<bool>& enabled) const override {
+    return base_.run_benign(pinned(enabled));
+  }
+
+  [[nodiscard]] core::FsmModel model() const override { return base_.model(); }
+
+ private:
+  [[nodiscard]] std::vector<bool> pinned(std::vector<bool> mask) const {
+    require_mask(*this, mask);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (pin_[i]) mask[i] = true;
+    }
+    return mask;
+  }
+
+  const CaseStudy& base_;
+  std::vector<std::size_t> ops_;  ///< sorted, deduplicated
+  std::vector<bool> pin_;         ///< per-check pin bit
+};
+
+}  // namespace
+
+std::string secured_study_name(
+    const CaseStudy& base, const std::vector<std::size_t>& secured_operations) {
+  auto ops = secured_operations;
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  std::string name = base.name() + " [secured:";
+  if (ops.empty()) name += " none";
+  for (const std::size_t op : ops) name += " op" + std::to_string(op);
+  name += "]";
+  return name;
+}
+
+std::unique_ptr<CaseStudy> make_secured_study(
+    const CaseStudy& base, std::vector<std::size_t> secured_operations) {
+  return std::make_unique<SecuredStudy>(
+      base, normalized_ops(base, std::move(secured_operations)));
+}
+
+}  // namespace dfsm::apps

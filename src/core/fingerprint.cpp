@@ -1,0 +1,73 @@
+#include "core/fingerprint.h"
+
+namespace dfsm::core {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+Fingerprinter& Fingerprinter::mix(std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffu;
+    hash_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::mix(std::string_view s) noexcept {
+  mix(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+std::uint64_t fingerprint(const Pfsm& pfsm) noexcept {
+  Fingerprinter fp;
+  fp.mix(pfsm.name())
+      .mix(static_cast<std::uint64_t>(pfsm.type()))
+      .mix(pfsm.activity())
+      .mix(pfsm.spec().description())
+      .mix(static_cast<std::uint64_t>(pfsm.spec().kind()))
+      .mix(pfsm.impl().description())
+      .mix(static_cast<std::uint64_t>(pfsm.impl().kind()))
+      .mix(pfsm.action())
+      .mix(static_cast<std::uint64_t>(pfsm.declared_secure() ? 1 : 0));
+  return fp.digest();
+}
+
+std::uint64_t fingerprint(const Operation& op) noexcept {
+  Fingerprinter fp;
+  fp.mix(op.name())
+      .mix(op.object_description())
+      .mix(static_cast<std::uint64_t>(op.pfsms().size()));
+  for (const auto& pfsm : op.pfsms()) fp.mix(fingerprint(pfsm));
+  return fp.digest();
+}
+
+std::uint64_t fingerprint(const ExploitChain& chain) noexcept {
+  Fingerprinter fp;
+  fp.mix(chain.name()).mix(static_cast<std::uint64_t>(chain.size()));
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    fp.mix(fingerprint(chain.operations()[i]));
+    if (i < chain.gates().size()) fp.mix(chain.gates()[i].condition);
+  }
+  return fp.digest();
+}
+
+std::uint64_t fingerprint(const FsmModel& model) noexcept {
+  Fingerprinter fp;
+  fp.mix(model.name())
+      .mix(model.vulnerability_class())
+      .mix(model.software())
+      .mix(model.consequence())
+      .mix(static_cast<std::uint64_t>(model.bugtraq_ids().size()));
+  for (const int id : model.bugtraq_ids()) {
+    fp.mix(static_cast<std::uint64_t>(id));
+  }
+  fp.mix(fingerprint(model.chain()));
+  return fp.digest();
+}
+
+}  // namespace dfsm::core

@@ -183,9 +183,13 @@ TrialResult run_chain_trial(std::size_t t, Rng& rng) {
   const auto hp = analysis::detect_hidden_path(pfsm, domain);
   if (hp.vulnerable()) r.caught_rules.push_back("hidden-path");
 
-  const auto attack = fx.chain.evaluate(fx.inputs_for(fx.overflow_len));
+  // Both workloads go through one evaluate_batch call — the same batch
+  // surface the sweeps and the discovery campaign exercise.
+  const auto runs = fx.chain.evaluate_batch(
+      {fx.inputs_for(fx.overflow_len), fx.inputs_for(fx.benign_len)});
+  const auto& attack = runs[0];
+  const auto& benign = runs[1];
   if (attack.exploited()) r.caught_rules.push_back("chain-exploited");
-  const auto benign = fx.chain.evaluate(fx.inputs_for(fx.benign_len));
 
   r.detected = hp.vulnerable() && attack.exploited();
   if (!hp.vulnerable()) fail(r, "no hidden-path witness for the widened impl");
@@ -197,12 +201,15 @@ TrialResult run_chain_trial(std::size_t t, Rng& rng) {
   return r;
 }
 
-/// Corrupts the memoized Lemma-sweep engine's per-operation cache and
-/// requires the memoized-vs-direct cross-check to notice. The three
-/// mutators (stale sub-mask entry, flipped cached outcome, wrong gate
-/// composition) are the failure modes a buggy cache implementation
-/// would actually exhibit; escaping the cross-check would mean the
-/// default sweep engine could silently ship wrong Lemma verdicts.
+/// Corrupts the memoized Lemma-sweep engine's per-operation cache (or
+/// the cross-sweep store/incremental layers above it) and requires the
+/// memoized-vs-direct cross-check to notice. The five mutators — stale
+/// sub-mask entry, flipped cached outcome, wrong gate composition, a
+/// stale shared-store entry served across sweep generations, and a
+/// missed invalidation when a patch pins an operation — are the failure
+/// modes a buggy cache/store implementation would actually exhibit;
+/// escaping the cross-check would mean the default sweep engine could
+/// silently ship wrong Lemma verdicts.
 TrialResult run_sweep_trial(
     std::size_t t, Rng& rng,
     const std::vector<std::unique_ptr<apps::CaseStudy>>& studies) {
@@ -210,10 +217,12 @@ TrialResult run_sweep_trial(
   r.trial = t;
   r.kind = "sweep";
 
-  constexpr std::array<analysis::SweepFault, 3> kSweepFaults = {
+  constexpr std::array<analysis::SweepFault, 5> kSweepFaults = {
       analysis::SweepFault::kStaleSubmaskEntry,
       analysis::SweepFault::kFlippedCacheOutcome,
       analysis::SweepFault::kWrongGateComposition,
+      analysis::SweepFault::kStaleSharedMemoAcrossSweeps,
+      analysis::SweepFault::kMissedInvalidationOnPatch,
   };
 
   // Walk the (study, fault) grid from a seeded start until a fault is
@@ -232,10 +241,15 @@ TrialResult run_sweep_trial(
     r.target = study.name() + "/" + faulty->target;
     r.detail = "memoized sweep with corrupted cache vs direct reference sweep";
     r.expected_rules = {"memoized-vs-direct"};
+    // The reference is normally the direct sweep of the study itself;
+    // kMissedInvalidationOnPatch supplies its own (the direct sweep of
+    // the actually-secured study).
     analysis::SweepOptions direct_opts;
     direct_opts.mode = analysis::SweepMode::kDirect;
-    const auto direct = analysis::sweep(study, direct_opts);
-    r.detected = !analysis::reports_equivalent(direct, faulty->report);
+    const auto reference = faulty->reference
+                               ? *faulty->reference
+                               : analysis::sweep(study, direct_opts);
+    r.detected = !analysis::reports_equivalent(reference, faulty->report);
     if (r.detected) {
       r.caught_rules.push_back("memoized-vs-direct");
     } else {

@@ -1,0 +1,130 @@
+// shared_store.h — a thread-safe, bounded, deterministically-evicting
+// key/value store shared across analysis invocations.
+//
+// Concurrency: every operation holds one internal mutex, so the store is
+// safe to touch from any pool worker. Determinism is a CALLER contract
+// layered on top: a store mutated only from serial phases (or whose keys
+// are disjoint per concurrent user, with no bound forcing evictions)
+// observes one well-defined operation order, and eviction is strict LRU
+// over that order — byte-identical hit/miss/eviction accounting at every
+// DFSM_THREADS setting. The sweep engine's three-phase fill (serial
+// lookup, parallel evaluate, serial insert) is the canonical user
+// (DESIGN.md §11).
+//
+// Values are stored by copy and returned by copy: no reference escapes
+// the lock, so an eviction can never invalidate a reader.
+#ifndef DFSM_RUNTIME_SHARED_STORE_H
+#define DFSM_RUNTIME_SHARED_STORE_H
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dfsm::runtime {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class SharedLruStore {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  /// @param max_entries entry budget; 0 = unbounded. Inserting past the
+  /// budget evicts least-recently-used entries (a get refreshes recency).
+  explicit SharedLruStore(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
+  SharedLruStore(const SharedLruStore&) = delete;
+  SharedLruStore& operator=(const SharedLruStore&) = delete;
+
+  /// Returns a copy of the value and refreshes its recency, or nullopt.
+  [[nodiscard]] std::optional<V> get(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);  // move to MRU
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; the entry becomes most-recently-used. Evicts
+  /// LRU entries while over budget.
+  void put(const K& key, V value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    while (max_entries_ != 0 && order_.size() > max_entries_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  /// Removes one entry; returns whether it existed.
+  bool erase(const K& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Keys in recency order, most-recently-used first — the eviction
+  /// order read backwards. Exposed so tests can pin the determinism
+  /// contract, not for production traversal.
+  [[nodiscard]] std::vector<K> keys_by_recency() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<K> keys;
+    keys.reserve(order_.size());
+    for (const auto& [key, value] : order_) keys.push_back(key);
+    return keys;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::list<std::pair<K, V>> order_;  ///< MRU at front, LRU at back
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace dfsm::runtime
+
+#endif  // DFSM_RUNTIME_SHARED_STORE_H

@@ -1,6 +1,14 @@
 #include "analysis/attack_graph.h"
 
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "analysis/sweep_memo.h"
+#include "apps/case_study.h"
 
 namespace dfsm::analysis {
 namespace {
@@ -126,6 +134,79 @@ TEST(AttackGraph, StandardRulesCoverAllSevenModels) {
     if (r.remote) ++remote;
   }
   EXPECT_EQ(remote, 5u);  // nullhttpd, rwall, iis, ghttpd, statd
+}
+
+// --- compound patch scoring over the incremental sweep path ------------
+
+/// GHTTPD is the only remote foothold onto "web" in test_network(); the
+/// registry keeps paper order, so find it by name rather than index.
+const apps::CaseStudy& ghttpd_study(
+    const std::vector<std::unique_ptr<apps::CaseStudy>>& studies) {
+  for (const auto& s : studies) {
+    if (s->name().find("GHTTPD") != std::string::npos) return *s;
+  }
+  throw std::logic_error("no GHTTPD study in the registry");
+}
+
+TEST(CompoundPatch, ForeclosingPatchDisablesTheRuleAndCutsTheGraph) {
+  const auto studies = apps::all_case_studies();
+  const auto& ghttpd = ghttpd_study(studies);
+  const std::size_t op = ghttpd.checks().front().operation_index;
+  // Root on the web host needs the remote ghttpd foothold first; the
+  // sendmail escalation is local-only.
+  const Fact goal{"web", Privilege::kRoot};
+  const auto score = score_compound_patch(
+      test_network(), standard_rules(), {start()}, goal,
+      {{&ghttpd, op, "GHTTPD #5960 stack overflow"}});
+  EXPECT_TRUE(score.goal_reachable_before);
+  EXPECT_FALSE(score.goal_reachable_after);
+  ASSERT_EQ(score.rules.size(), 1u);
+  EXPECT_TRUE(score.rules[0].forecloses);  // Lemma 2: securing one op foils
+  EXPECT_EQ(score.rules[0].residual_exploited_masks, 0u);
+  EXPECT_GT(score.rules[0].total_masks, 0u);
+  EXPECT_LT(score.edges_after, score.edges_before);
+  EXPECT_LT(score.facts_after, score.facts_before);
+}
+
+TEST(CompoundPatch, SharedStoreMakesRepeatScoringFree) {
+  const auto studies = apps::all_case_studies();
+  const auto& ghttpd = ghttpd_study(studies);
+  const std::size_t op = ghttpd.checks().front().operation_index;
+  const Fact goal{"web", Privilege::kRoot};
+  const std::vector<CompoundPatchTarget> targets = {
+      {&ghttpd, op, "GHTTPD #5960 stack overflow"}};
+
+  SweepMemoStore store;
+  const auto first = score_compound_patch(test_network(), standard_rules(),
+                                          {start()}, goal, targets, &store);
+  const auto warm = store.stats();
+  EXPECT_GT(warm.misses, 0u);
+
+  const auto second = score_compound_patch(test_network(), standard_rules(),
+                                           {start()}, goal, targets, &store);
+  const auto hot = store.stats();
+  // The second what-if re-evaluates nothing: every cell is served.
+  EXPECT_EQ(hot.misses, warm.misses);
+  EXPECT_GT(hot.hits, warm.hits);
+  ASSERT_EQ(second.rules.size(), first.rules.size());
+  EXPECT_EQ(second.rules[0].forecloses, first.rules[0].forecloses);
+  EXPECT_EQ(second.rules[0].residual_exploited_masks,
+            first.rules[0].residual_exploited_masks);
+  EXPECT_EQ(second.goal_reachable_after, first.goal_reachable_after);
+}
+
+TEST(CompoundPatch, RejectsNullStudyAndUnknownRule) {
+  const auto studies = apps::all_case_studies();
+  const auto& ghttpd = ghttpd_study(studies);
+  const Fact goal{"web", Privilege::kRoot};
+  EXPECT_THROW((void)score_compound_patch(
+                   test_network(), standard_rules(), {start()}, goal,
+                   {{nullptr, 0, "GHTTPD #5960 stack overflow"}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)score_compound_patch(test_network(), standard_rules(), {start()},
+                                 goal, {{&ghttpd, 0, "no such rule"}}),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -238,13 +238,19 @@ TEST(SweepFaults, EveryFaultIsCaughtByTheCrossCheckWhereHosted) {
   const auto studies = apps::all_case_studies();
   for (const SweepFault fault :
        {SweepFault::kStaleSubmaskEntry, SweepFault::kFlippedCacheOutcome,
-        SweepFault::kWrongGateComposition}) {
+        SweepFault::kWrongGateComposition,
+        SweepFault::kStaleSharedMemoAcrossSweeps,
+        SweepFault::kMissedInvalidationOnPatch}) {
     std::size_t hosted = 0;
     for (const auto& study : studies) {
       const auto faulty = sweep_with_fault(*study, fault);
       if (!faulty) continue;
       ++hosted;
-      const auto reference = sweep(*study, direct);
+      // kMissedInvalidationOnPatch ships its own reference (the direct
+      // sweep of the actually-secured study); the rest diff against the
+      // study's direct sweep.
+      const auto reference =
+          faulty->reference ? *faulty->reference : sweep(*study, direct);
       EXPECT_FALSE(reports_equivalent(reference, faulty->report))
           << to_string(fault) << " escaped on " << study->name() << " ("
           << faulty->target << ")";

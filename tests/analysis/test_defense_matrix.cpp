@@ -3,6 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/sweep_memo.h"
+#include "apps/case_study.h"
+#include "apps/synthetic.h"
 
 namespace dfsm::analysis {
 namespace {
@@ -83,6 +89,102 @@ TEST_F(DefenseMatrixTest, RenderingShowsEveryRowAndColumn) {
 TEST(DefenseNames, ToString) {
   EXPECT_STREQ(to_string(Defense::kRefConsistency), "reference consistency");
   EXPECT_STREQ(to_string(CellOutcome::kNotApplicable), "n/a");
+}
+
+// --- patch-candidate ranking (incremental vs full sweeps) ---------------
+
+TEST(PatchRanking, StrategiesAgreeOnEveryCaseStudy) {
+  for (const auto& study : apps::all_case_studies()) {
+    const auto inc = rank_patch_candidates(*study, RankStrategy::kIncremental);
+    const auto full = rank_patch_candidates(*study, RankStrategy::kFullSweeps);
+    EXPECT_EQ(inc.total_masks, full.total_masks) << study->name();
+    EXPECT_EQ(inc.unpatched_exploited_masks, full.unpatched_exploited_masks)
+        << study->name();
+    ASSERT_EQ(inc.candidates.size(), full.candidates.size()) << study->name();
+    for (std::size_t i = 0; i < inc.candidates.size(); ++i) {
+      EXPECT_EQ(inc.candidates[i].operation, full.candidates[i].operation)
+          << study->name() << " rank " << i;
+      EXPECT_EQ(inc.candidates[i].operation_name,
+                full.candidates[i].operation_name)
+          << study->name() << " rank " << i;
+      EXPECT_EQ(inc.candidates[i].exploited_masks,
+                full.candidates[i].exploited_masks)
+          << study->name() << " rank " << i;
+      EXPECT_EQ(inc.candidates[i].benign_broken_masks,
+                full.candidates[i].benign_broken_masks)
+          << study->name() << " rank " << i;
+      EXPECT_EQ(inc.candidates[i].forecloses, full.candidates[i].forecloses)
+          << study->name() << " rank " << i;
+    }
+    // The strategies agree on WHAT; they differ on COST. k candidates for
+    // the price of one sweep vs one sweep per candidate.
+    EXPECT_LT(inc.exploit_evaluations, full.exploit_evaluations)
+        << study->name();
+  }
+}
+
+TEST(PatchRanking, IncrementalRankingCostsExactlyOneCacheFill) {
+  apps::SyntheticStudyConfig config;
+  config.operations = 3;
+  config.checks_per_operation = 2;
+  config.work = 4;
+  const auto study = apps::make_synthetic_wide_study(config);
+  const auto inc = rank_patch_candidates(*study, RankStrategy::kIncremental);
+  const auto full = rank_patch_candidates(*study, RankStrategy::kFullSweeps);
+  // One shared fill: 1 baseline + 3 ops x (2^2 - 1) sub-masks = 10 runs.
+  EXPECT_EQ(inc.exploit_evaluations, 10u);
+  EXPECT_EQ(inc.benign_evaluations, 10u);
+  EXPECT_EQ(inc.memo_misses, 10u);
+  // Reference: the same 10-run fill once for the base sweep and once per
+  // candidate (the secured study is a distinct memo family).
+  EXPECT_EQ(full.exploit_evaluations, 40u);
+}
+
+TEST(PatchRanking, EveryCuratedCandidateForeclosesByLemma2) {
+  for (const auto& study : apps::all_case_studies()) {
+    const auto ranking = rank_patch_candidates(*study);
+    EXPECT_GT(ranking.unpatched_exploited_masks, 0u) << study->name();
+    ASSERT_FALSE(ranking.candidates.empty()) << study->name();
+    for (const auto& c : ranking.candidates) {
+      EXPECT_TRUE(c.forecloses)
+          << study->name() << " op " << c.operation << " violated Lemma 2";
+      EXPECT_EQ(c.exploited_masks, 0u) << study->name();
+      EXPECT_EQ(c.benign_broken_masks, 0u) << study->name();
+    }
+  }
+}
+
+TEST(PatchRanking, SharedStoreMakesRepeatRankingsFree) {
+  const auto studies = apps::all_case_studies();
+  const auto& study = *studies[0];  // Sendmail
+  SweepMemoStore store;
+  const auto first =
+      rank_patch_candidates(study, RankStrategy::kIncremental, &store);
+  EXPECT_GT(first.memo_misses, 0u);
+  const auto second =
+      rank_patch_candidates(study, RankStrategy::kIncremental, &store);
+  EXPECT_EQ(second.exploit_evaluations, 0u);
+  EXPECT_EQ(second.memo_misses, 0u);
+  EXPECT_GT(second.memo_hits, 0u);
+  ASSERT_EQ(second.candidates.size(), first.candidates.size());
+  for (std::size_t i = 0; i < first.candidates.size(); ++i) {
+    EXPECT_EQ(second.candidates[i].operation, first.candidates[i].operation);
+    EXPECT_EQ(second.candidates[i].exploited_masks,
+              first.candidates[i].exploited_masks);
+  }
+}
+
+TEST(PatchRanking, RenderNamesStudyStrategyAndCandidates) {
+  const auto studies = apps::all_case_studies();
+  const auto ranking = rank_patch_candidates(*studies[0]);
+  const auto text = render_patch_ranking(ranking);
+  EXPECT_NE(text.find("Patch-candidate ranking"), std::string::npos);
+  EXPECT_NE(text.find(ranking.study_name), std::string::npos);
+  EXPECT_NE(text.find(to_string(RankStrategy::kIncremental)),
+            std::string::npos);
+  for (const auto& c : ranking.candidates) {
+    EXPECT_NE(text.find(c.operation_name), std::string::npos);
+  }
 }
 
 }  // namespace

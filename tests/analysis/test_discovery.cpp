@@ -76,5 +76,23 @@ TEST(Discovery, ExactFitBodiesNeverViolate) {
   }
 }
 
+TEST(Discovery, Figure4ModelAgreesWithTheSandboxOnEveryV05Probe) {
+  // Cross-validation rides the batched evaluator: one evaluate_batch over
+  // the whole campaign replays every probe through the Figure-4 chain and
+  // compares the pFSM2 verdict against the sandbox outcome.
+  const auto report = probe_nullhttpd_v05();
+  EXPECT_EQ(report.model_checked, report.probes.size());
+  EXPECT_GT(report.model_checked, 0u);
+  EXPECT_EQ(report.model_agreements, report.model_checked)
+      << "the predicate model diverged from the sandboxed server";
+}
+
+TEST(Discovery, OnlyTheV05CampaignIsCrossValidated) {
+  // Figure 4 models the v0.5 server; the patched configurations have no
+  // matching paper model, so their reports carry no model verdicts.
+  EXPECT_EQ(probe_nullhttpd_v051().model_checked, 0u);
+  EXPECT_EQ(probe_nullhttpd_fixed().model_checked, 0u);
+}
+
 }  // namespace
 }  // namespace dfsm::analysis

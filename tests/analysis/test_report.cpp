@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "analysis/chain_analyzer.h"
+#include "analysis/sweep_memo.h"
+#include "apps/case_study.h"
 #include "apps/models.h"
 
 namespace dfsm::analysis {
@@ -71,6 +77,52 @@ TEST(ReportDiscovery, NarratesTheCampaign) {
   const std::string clean = render_discovery(probe_nullhttpd_fixed());
   EXPECT_EQ(clean.find("NEW VULNERABILITY"), std::string::npos);
   EXPECT_NE(clean.find("no predicate violations"), std::string::npos);
+}
+
+TEST(ReportDiscovery, NamesTheModelCrossValidationVerdict) {
+  const std::string v05 = render_discovery(probe_nullhttpd_v05());
+  EXPECT_NE(v05.find("Model cross-validation"), std::string::npos);
+  // Patched configurations carry no model verdicts, so no footer.
+  const std::string fixed = render_discovery(probe_nullhttpd_fixed());
+  EXPECT_EQ(fixed.find("Model cross-validation"), std::string::npos);
+}
+
+TEST(ReportTelemetry, TableShowsStoreTrafficPerSweep) {
+  const auto studies = apps::all_case_studies();
+  SweepMemoStore store;
+  SweepOptions opts;
+  opts.memo = &store;
+  const auto cold = sweep(*studies[0], opts);
+  const auto warm = sweep(*studies[0], opts);
+  const std::string text = render_sweep_telemetry({cold, warm});
+  EXPECT_NE(text.find(cold.study_name), std::string::npos);
+  EXPECT_NE(text.find("memo hits"), std::string::npos);
+  EXPECT_NE(text.find("Store lookups"), std::string::npos);
+  // The warm sweep ran nothing; the renderer shows the zero honestly.
+  EXPECT_GT(warm.memo_hits, 0u);
+  EXPECT_EQ(warm.exploit_evaluations, 0u);
+}
+
+TEST(ReportTelemetry, JsonIsShapedAndEscaped) {
+  LemmaReport weird;
+  weird.study_name = "a\"b\\c\nd";
+  weird.memo_hits = 3;
+  weird.memo_misses = 2;
+  weird.entries_invalidated = 1;
+  const std::string json = sweep_telemetry_json({weird});
+  EXPECT_NE(json.find("\"sweeps\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"memo_hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"memo_misses\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"entries_invalidated\": 1"), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ReportTelemetry, JsonIsEmptyListForNoReports) {
+  const std::string json = sweep_telemetry_json({});
+  EXPECT_NE(json.find("\"sweeps\": ["), std::string::npos);
+  EXPECT_EQ(json.find("\"study\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
 }
 
 }  // namespace

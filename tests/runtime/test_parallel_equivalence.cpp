@@ -10,8 +10,12 @@
 
 #include "analysis/autotool.h"
 #include "analysis/chain_analyzer.h"
+#include "analysis/defense_matrix.h"
 #include "analysis/discovery.h"
 #include "analysis/hidden_path.h"
+#include "analysis/report.h"
+#include "analysis/sweep_memo.h"
+#include "apps/case_study.h"
 #include "apps/synthetic.h"
 #include "bugtraq/corpus.h"
 #include "bugtraq/database.h"
@@ -276,6 +280,70 @@ TEST(SweepEquivalence, EvaluateBatchIsThreadCountInvariant) {
       out += '\n';
     }
     return out;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+// --- shared store / incremental paths (this PR's determinism gates) ----
+
+TEST(SweepEquivalence, StoreBackedSweepIsThreadCountInvariant) {
+  const auto studies = apps::all_case_studies();
+  const auto runs = at_thread_counts([&] {
+    // A fresh store per thread count: the cold fill and its telemetry
+    // must not depend on how many workers raced through it.
+    analysis::SweepMemoStore store;
+    analysis::SweepOptions opts;
+    opts.memo = &store;
+    const auto cold = analysis::sweep(*studies[0], opts);
+    const auto warm = analysis::sweep(*studies[0], opts);
+    return render_report(cold) + "|cold " + std::to_string(cold.memo_hits) +
+           '/' + std::to_string(cold.memo_misses) + "\n" +
+           render_report(warm) + "|warm " + std::to_string(warm.memo_hits) +
+           '/' + std::to_string(warm.memo_misses);
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, ResweepIsThreadCountInvariant) {
+  const auto studies = apps::all_case_studies();
+  const auto runs = at_thread_counts([&] {
+    const auto baseline = analysis::sweep(*studies[0]);
+    analysis::SweepDelta delta;
+    delta.secured_operations = {baseline.checks.front().operation_index};
+    return render_report(analysis::resweep(*studies[0], baseline, delta));
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, PatchRankingIsThreadCountInvariant) {
+  const auto studies = apps::all_case_studies();
+  const auto runs = at_thread_counts([&] {
+    std::string out;
+    for (const auto strategy : {analysis::RankStrategy::kIncremental,
+                                analysis::RankStrategy::kFullSweeps}) {
+      out += render_patch_ranking(
+          analysis::rank_patch_candidates(*studies[0], strategy));
+    }
+    return out;
+  });
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[1], runs[2]);
+}
+
+TEST(SweepEquivalence, TelemetryRenderingIsThreadCountInvariant) {
+  const auto studies = apps::all_case_studies();
+  const auto runs = at_thread_counts([&] {
+    analysis::SweepMemoStore store;
+    analysis::SweepOptions opts;
+    opts.memo = &store;
+    const std::vector<analysis::LemmaReport> reports = {
+        analysis::sweep(*studies[0], opts),
+        analysis::sweep(*studies[0], opts)};
+    return analysis::render_sweep_telemetry(reports) +
+           analysis::sweep_telemetry_json(reports);
   });
   EXPECT_EQ(runs[0], runs[1]);
   EXPECT_EQ(runs[1], runs[2]);

@@ -1,0 +1,126 @@
+// SharedLruStore: the generic bounded, thread-safe LRU map under the
+// sweep memo store and the hidden-path scan store.
+#include "runtime/shared_store.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dfsm::runtime {
+namespace {
+
+using Store = SharedLruStore<int, std::string>;
+
+TEST(SharedStore, GetReturnsWhatPutStored) {
+  Store s;
+  EXPECT_FALSE(s.get(1).has_value());
+  s.put(1, "one");
+  const auto v = s.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SharedStore, PutOverwritesInPlace) {
+  Store s;
+  s.put(1, "one");
+  s.put(1, "uno");
+  EXPECT_EQ(*s.get(1), "uno");
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SharedStore, UnboundedStoreNeverEvicts) {
+  Store s;  // max_entries == 0
+  for (int i = 0; i < 1000; ++i) s.put(i, "v");
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ(s.stats().evictions, 0u);
+  EXPECT_EQ(s.max_entries(), 0u);
+}
+
+TEST(SharedStore, BudgetEvictsLeastRecentlyUsedFirst) {
+  Store s{3};
+  s.put(1, "a");
+  s.put(2, "b");
+  s.put(3, "c");
+  s.put(4, "d");  // evicts 1 (the LRU entry)
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.get(1).has_value());
+  EXPECT_TRUE(s.get(2).has_value());
+  EXPECT_EQ(s.stats().evictions, 1u);
+}
+
+TEST(SharedStore, GetRefreshesRecency) {
+  Store s{2};
+  s.put(1, "a");
+  s.put(2, "b");
+  ASSERT_TRUE(s.get(1).has_value());  // 1 becomes MRU
+  s.put(3, "c");                      // evicts 2, not 1
+  EXPECT_TRUE(s.get(1).has_value());
+  EXPECT_FALSE(s.get(2).has_value());
+}
+
+TEST(SharedStore, PutOverwriteRefreshesRecency) {
+  Store s{2};
+  s.put(1, "a");
+  s.put(2, "b");
+  s.put(1, "a2");  // overwrite: 1 becomes MRU
+  s.put(3, "c");   // evicts 2
+  EXPECT_TRUE(s.get(1).has_value());
+  EXPECT_FALSE(s.get(2).has_value());
+}
+
+TEST(SharedStore, EvictionOrderIsDeterministicInsertionOrder) {
+  // Same operation sequence -> same eviction sequence, observable via
+  // keys_by_recency: MRU first.
+  Store s{4};
+  for (int i = 0; i < 8; ++i) s.put(i, "v");
+  EXPECT_EQ(s.keys_by_recency(), (std::vector<int>{7, 6, 5, 4}));
+}
+
+TEST(SharedStore, EraseAndClear) {
+  Store s;
+  s.put(1, "a");
+  s.put(2, "b");
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(s.size(), 1u);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.get(2).has_value());
+}
+
+TEST(SharedStore, StatsCountHitsAndMisses) {
+  Store s;
+  s.put(1, "a");
+  (void)s.get(1);
+  (void)s.get(1);
+  (void)s.get(2);
+  const auto st = s.stats();
+  EXPECT_EQ(st.hits, 2u);
+  EXPECT_EQ(st.misses, 1u);
+}
+
+TEST(SharedStore, ConcurrentMixedUseKeepsEveryInsertedValueReadable) {
+  // Thread-safety smoke (TSan hunts the races): concurrent put/get on
+  // an unbounded store must lose nothing.
+  Store s;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&s, w] {
+      for (int i = 0; i < 250; ++i) {
+        const int key = w * 1000 + i;
+        s.put(key, std::to_string(key));
+        const auto v = s.get(key);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, std::to_string(key));
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace dfsm::runtime

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
 """Compare a fresh tools/run_benches.sh run against the committed baseline.
 
-The gate watches the serial-vs-parallel benchmark pairs (families that run
-with a worker-count argument of 1 and again with >1 workers, e.g.
-``BM_CorpusSweepScaled/1/1000000`` vs ``BM_CorpusSweepScaled/4/1000000``).
-For every pair present in both runs it compares the parallel *speedup*
-(serial median real_time / parallel median real_time) — a ratio, so the
-check is stable across machines of different absolute speed — and fails
-when a fresh speedup drops more than ``--threshold`` (default 25%) below
-the baseline's.
+The gate watches two kinds of benchmark pairs:
+
+* serial-vs-parallel families that run with a worker-count argument of 1
+  and again with >1 workers, e.g. ``BM_CorpusSweepScaled/1/1000000`` vs
+  ``BM_CorpusSweepScaled/4/1000000``;
+* cross-name algorithm pairs following the suffix convention: a family
+  ``<Stem>FullSweeps`` is the reference arm and ``<Stem>Incremental`` the
+  engine arm of the same stem (e.g. ``BM_DefenseRankFullSweeps`` vs
+  ``BM_DefenseRankIncremental``), regardless of arguments.
+
+For every pair present in both runs it compares the *speedup* (reference
+median real_time / engine median real_time) — a ratio, so the check is
+stable across machines of different absolute speed — and fails when a
+fresh speedup drops more than ``--threshold`` (default 25%) below the
+baseline's. Pairs present only in the fresh run BOOTSTRAP: they are
+reported and recorded, never failed — committing the fresh JSON as the
+new baseline is what arms the gate for them.
 
 Usage:
   tools/check_bench_regression.py \
@@ -28,16 +37,32 @@ import sys
 from collections import defaultdict
 
 
+# Cross-name pairing convention: "<Stem><suffix>" benchmarks form one
+# pair per stem, the first suffix being the reference ("serial") side.
+SUFFIX_PAIR = (("FullSweeps", "serial"), ("Incremental", "parallel"))
+
+
+def suffix_side(base):
+    """Returns (stem, side) for a suffix-convention name, else None."""
+    for suffix, side in SUFFIX_PAIR:
+        if base.endswith(suffix) and len(base) > len(suffix):
+            return base[: -len(suffix)], side
+    return None
+
+
 def load_benchmarks(path):
     """Returns {pair_key: {"serial": [times], "parallel": [times], ...}}.
 
-    pair_key identifies a serial-vs-parallel family: (binary, base name,
-    non-thread args). The first numeric path segment of a benchmark name
-    is the worker-count argument; trailing non-numeric segments
-    (real_time, process_time) are ignored. When a run carries median
-    aggregates (run_benches.sh runs 3 repetitions and reports aggregates
-    only), ONLY those medians feed the comparison; raw per-repetition
-    iterations are used as the fallback for older single-run baselines.
+    pair_key identifies a pair family: (binary, base name, non-thread
+    args). For thread-parameterized families the first numeric path
+    segment of a benchmark name is the worker-count argument; trailing
+    non-numeric segments (real_time, process_time) are ignored. For
+    suffix-convention families (see SUFFIX_PAIR) the two differently
+    named arms merge under their common stem and every argument is part
+    of the key. When a run carries median aggregates (run_benches.sh
+    runs 3 repetitions and reports aggregates only), ONLY those medians
+    feed the comparison; raw per-repetition iterations are used as the
+    fallback for older single-run baselines.
     """
     try:
         with open(path) as f:
@@ -68,11 +93,17 @@ def load_benchmarks(path):
                 args.append(int(seg))
             except ValueError:
                 pass  # real_time / process_time suffixes
-        if not args:
-            continue  # not a thread-parameterized benchmark
-        threads, rest = args[0], tuple(args[1:])
-        key = (bench.get("binary", ""), base, rest)
-        side = "serial" if threads == 1 else "parallel"
+        paired = suffix_side(base)
+        if paired is not None:
+            stem, side = paired
+            key = (bench.get("binary", ""),
+                   stem + "{FullSweeps vs Incremental}", tuple(args))
+        else:
+            if not args:
+                continue  # neither thread-parameterized nor suffix-paired
+            threads, rest = args[0], tuple(args[1:])
+            key = (bench.get("binary", ""), base, rest)
+            side = "serial" if threads == 1 else "parallel"
         groups[key][side][bucket].append(float(bench["real_time"]))
         groups[key]["unit"] = bench.get("time_unit", "ns")
 
@@ -132,7 +163,7 @@ def main():
                  f"threshold: {args.threshold:.0%} speedup drop")
     lines.append("")
     if rows:
-        lines.append("| serial-vs-parallel pair | baseline speedup | "
+        lines.append("| benchmark pair | baseline speedup | "
                      "fresh speedup | status |")
         lines.append("|---|---|---|---|")
         for key, base_sp, fresh_sp, regressed in rows:
@@ -140,13 +171,20 @@ def main():
             lines.append(f"| `{fmt_key(key)}` | {base_sp:.2f}x | "
                          f"{fresh_sp:.2f}x | {status} |")
     else:
-        lines.append("No serial-vs-parallel pairs common to both runs.")
-    for label, keys in (("Only in baseline", only_baseline),
-                        ("Only in fresh run", only_fresh)):
-        if keys:
-            lines.append("")
-            lines.append(f"{label} (not gated): " +
-                         ", ".join(f"`{fmt_key(k)}`" for k in keys))
+        lines.append("No benchmark pairs common to both runs.")
+    if only_baseline:
+        lines.append("")
+        lines.append("Only in baseline (not gated): " +
+                     ", ".join(f"`{fmt_key(k)}`" for k in only_baseline))
+    if only_fresh:
+        # A brand-new pair has no baseline to regress against: record it,
+        # don't fail. Committing the fresh JSON arms the gate next run.
+        lines.append("")
+        lines.append("Bootstrapping (new pair, recorded but not gated "
+                     "until a baseline is committed): " +
+                     ", ".join(f"`{fmt_key(k)}` at "
+                               f"{speedup(fresh[k]):.2f}x"
+                               for k in only_fresh))
     report = "\n".join(lines) + "\n"
 
     if args.report:
@@ -161,7 +199,11 @@ def main():
             print(f"  {fmt_key(key)}: {base_sp:.2f}x -> {fresh_sp:.2f}x",
                   file=sys.stderr)
         return 1
-    print(f"OK: {len(rows)} serial-vs-parallel pair(s) within threshold.")
+    msg = f"OK: {len(rows)} benchmark pair(s) within threshold."
+    if only_fresh:
+        msg += (f" {len(only_fresh)} new pair(s) bootstrapping "
+                "(no baseline yet).")
+    print(msg)
     return 0
 
 
