@@ -464,6 +464,12 @@ LemmaReport resweep(const apps::CaseStudy& study, const LemmaReport& baseline,
         "' must be an exhaustive (unsampled) sweep — its rows are the "
         "reused sub-mask cells");
   }
+  if (baseline.checks != report.checks) {
+    throw std::invalid_argument(
+        "resweep: baseline check layout for '" + study.name() +
+        "' does not match the study's current checks — re-sweep the "
+        "baseline before recomposing from it");
+  }
   require_sweepable(study.name(), k, options.max_masks);
 
   MemoizedEngine engine;
@@ -480,10 +486,11 @@ LemmaReport resweep(const apps::CaseStudy& study, const LemmaReport& baseline,
       pin_bits_of(engine.ops, delta.secured_operations, study.name(),
                   "resweep");
 
-  report.study_name =
-      delta.secured_operations.empty()
-          ? baseline.study_name
-          : apps::secured_study_name(study, delta.secured_operations);
+  // Delta cells are evaluated against the BASE study (fill_slots applies
+  // no pin — securing happens at composition time), so the memo must key
+  // them under the base family; the report only adopts the secured-variant
+  // name after the fill, just before composition.
+  report.study_name = baseline.study_name;
 
   // Unchanged operations reuse the baseline report's rows as cells: the
   // exhaustive row at mask expand(op, s) IS the cell (op, s). Changed
@@ -512,6 +519,10 @@ LemmaReport resweep(const apps::CaseStudy& study, const LemmaReport& baseline,
     }
   }
   engine.fill_slots(study, k, changed_slots, report, options.memo);
+  if (!delta.secured_operations.empty()) {
+    report.study_name =
+        apps::secured_study_name(study, delta.secured_operations);
+  }
 
   report.total_masks = std::uint64_t{1} << k;
   const auto ids = sweep_mask_ids(report.total_masks, options.max_masks);

@@ -7,19 +7,25 @@ std::optional<MemoEntry> SweepMemoStore::lookup(const MemoKey& key,
                                                 bool* invalidated) {
   if (invalidated != nullptr) *invalidated = false;
   auto entry = store_.get(key);
+  if (entry && entry->op_fingerprint != op_fingerprint) {
+    // Stale: the operation's pFSM set changed since this entry was
+    // written. Only this operation's entries can carry the old
+    // fingerprint, so invalidation never touches a neighbour. The erase
+    // re-validates under the store lock so a fresh entry re-inserted by
+    // a concurrent writer between the get and here survives, and only
+    // the thread that actually dropped the entry counts an invalidation.
+    const bool erased = store_.erase_if(key, [&](const MemoEntry& e) {
+      return e.op_fingerprint != op_fingerprint;
+    });
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    if (erased) ++invalidated_;
+    ++misses_;
+    if (invalidated != nullptr) *invalidated = erased;
+    return std::nullopt;
+  }
   std::lock_guard<std::mutex> lock(counters_mu_);
   if (!entry) {
     ++misses_;
-    return std::nullopt;
-  }
-  if (entry->op_fingerprint != op_fingerprint) {
-    // Stale: the operation's pFSM set changed since this entry was
-    // written. Only this operation's entries can carry the old
-    // fingerprint, so invalidation never touches a neighbour.
-    store_.erase(key);
-    ++invalidated_;
-    ++misses_;
-    if (invalidated != nullptr) *invalidated = true;
     return std::nullopt;
   }
   ++hits_;

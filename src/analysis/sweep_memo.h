@@ -72,10 +72,15 @@ struct MemoEntry {
   bool benign_blocks = false;
 };
 
-/// Thread-safe cross-sweep memo store. See the header comment for the
-/// keying/invalidation contract; see runtime::SharedLruStore for the
-/// concurrency/determinism contract (three-phase fills keep accounting
-/// byte-identical at every DFSM_THREADS setting).
+/// Thread-safe cross-sweep memo store: every operation is individually
+/// safe from any thread, and a stale-entry drop re-validates the
+/// fingerprint under the store lock (SharedLruStore::erase_if), so a
+/// racing lookup can never erase a fresh entry a concurrent writer just
+/// re-inserted under the same key. Hit/miss/invalidation COUNTS are only
+/// deterministic under the caller contract — concurrent users keep their
+/// keys disjoint (as sweep_all's per-family keys do) or serialize their
+/// lookup/insert phases (as the engine's three-phase fill does); see
+/// runtime::SharedLruStore and the keying contract above.
 class SweepMemoStore {
  public:
   struct Stats {

@@ -23,6 +23,10 @@ struct CheckSpec {
   std::string name;              ///< e.g. "pFSM2: 0 <= x <= 100"
   std::size_t operation_index;   ///< which operation of the chain it belongs to
   core::PfsmType type;           ///< Figure 8 classification
+
+  /// Field-for-field equality: resweep validates that a baseline report's
+  /// check layout still matches the study before recomposing from it.
+  [[nodiscard]] bool operator==(const CheckSpec&) const = default;
 };
 
 /// Outcome of driving the exploit (or benign traffic) once.

@@ -85,6 +85,22 @@ class SharedLruStore {
     return true;
   }
 
+  /// Removes one entry only when `pred(value)` holds for the CURRENTLY
+  /// stored value, checked under the lock; returns whether an entry was
+  /// erased. This is the compare-and-erase primitive for check-then-act
+  /// callers (e.g. drop-if-still-stale): a plain get-then-erase pair
+  /// could erase a fresh value some other thread re-inserted between the
+  /// two calls, whereas erase_if re-validates atomically.
+  template <typename Pred>
+  bool erase_if(const K& key, Pred pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end() || !pred(it->second->second)) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
     order_.clear();

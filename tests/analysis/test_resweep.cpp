@@ -4,6 +4,7 @@
 
 #include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "analysis/chain_analyzer.h"
@@ -132,6 +133,17 @@ TEST(Resweep, RejectsSampledBaseline) {
   EXPECT_THROW((void)resweep(*study, baseline, {}), std::invalid_argument);
 }
 
+TEST(Resweep, RejectsBaselineWithAMismatchedCheckLayout) {
+  // A baseline recorded by an older build of the same study (same name,
+  // same k, different check layout) must be rejected, not silently
+  // recomposed into a wrong report.
+  const auto study = apps::make_synthetic_wide_study(small_synthetic());
+  LemmaReport stale = sweep(*study);
+  ASSERT_GE(stale.checks.size(), 2u);
+  std::swap(stale.checks[0], stale.checks[1]);
+  EXPECT_THROW((void)resweep(*study, stale, {}), std::invalid_argument);
+}
+
 TEST(Resweep, RejectsUnknownOperations) {
   const auto study = apps::make_synthetic_wide_study(small_synthetic());
   const LemmaReport baseline = sweep(*study);
@@ -221,6 +233,45 @@ TEST(SharedSweepStore, StaleFingerprintEntryIsInvalidatedAndRefilled) {
   EXPECT_EQ(second.memo_misses, 1u);
   EXPECT_EQ(second.exploit_evaluations, 1u);  // only the dropped cell
   EXPECT_TRUE(reports_equivalent(first, second));
+}
+
+TEST(SharedSweepStore, ChangedPlusSecuredDeltaKeysItsCellsUnderTheBaseFamily) {
+  // Regression: a resweep delta with BOTH changed and secured operations
+  // evaluates its cells against the BASE study (securing happens at
+  // composition time), so the memo must serve and insert them under the
+  // base family name — keying them under the secured variant would poison
+  // a later memoized sweep of make_secured_study with unpinned cells.
+  const auto study = apps::make_synthetic_wide_study(small_synthetic());
+  const LemmaReport baseline = sweep(*study);
+
+  SweepMemoStore store;
+  SweepOptions opts;
+  opts.memo = &store;
+  SweepDelta delta;
+  delta.changed_operations = {1};
+  delta.secured_operations = {0};
+  const LemmaReport re = resweep(*study, baseline, delta, opts);
+
+  EXPECT_GT(store.size(), 0u);
+  for (const auto& key : store.keys_by_recency()) {
+    EXPECT_EQ(key.study, study->name());
+  }
+
+  const auto secured = apps::make_secured_study(*study, {0});
+  EXPECT_EQ(re.study_name, secured->name());
+  EXPECT_TRUE(reports_equivalent(re, sweep(*secured, direct_options())));
+
+  // The secured family was never written: its memoized sweep fills from
+  // scratch (zero cross-family hits) and still matches the direct engine.
+  const LemmaReport secured_memo = sweep(*secured, opts);
+  EXPECT_EQ(secured_memo.memo_hits, 0u);
+  EXPECT_TRUE(
+      reports_equivalent(secured_memo, sweep(*secured, direct_options())));
+
+  // And the base family's cells round-trip: a memoized base sweep is
+  // served entirely from what the resweep stored.
+  const LemmaReport base_memo = sweep(*study, opts);
+  EXPECT_TRUE(reports_equivalent(base_memo, baseline));
 }
 
 TEST(SharedSweepStore, SweepAllSharesOneStoreAcrossTheRegistry) {

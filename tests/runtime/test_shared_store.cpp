@@ -91,6 +91,34 @@ TEST(SharedStore, EraseAndClear) {
   EXPECT_FALSE(s.get(2).has_value());
 }
 
+TEST(SharedStore, EraseIfOnlyErasesWhenThePredicateHolds) {
+  Store s;
+  s.put(1, "stale");
+  EXPECT_FALSE(
+      s.erase_if(1, [](const std::string& v) { return v == "fresh"; }));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(
+      s.erase_if(1, [](const std::string& v) { return v == "stale"; }));
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.erase_if(1, [](const std::string&) { return true; }));
+}
+
+TEST(SharedStore, EraseIfRevalidatesAgainstAConcurrentRefresh) {
+  // The check-then-act pattern erase_if exists for: a value observed
+  // stale via get can be refreshed by another thread before the erase
+  // lands. The predicate re-runs on the CURRENT value under the lock,
+  // so the fresh re-insert survives.
+  Store s;
+  s.put(1, "stale");
+  const auto seen = s.get(1);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, "stale");
+  s.put(1, "fresh");  // a concurrent writer wins the race
+  EXPECT_FALSE(
+      s.erase_if(1, [](const std::string& v) { return v == "stale"; }));
+  EXPECT_EQ(*s.get(1), "fresh");
+}
+
 TEST(SharedStore, StatsCountHitsAndMisses) {
   Store s;
   s.put(1, "a");
