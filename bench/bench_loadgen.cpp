@@ -1,0 +1,114 @@
+// bench_loadgen — the monitored-server traffic engine (src/loadgen/):
+// what does attaching the runtime predicate monitor to every connection
+// cost relative to the bare replicas? Prints a sample load report, then
+// benchmarks the monitored and unmonitored arms of the identical
+// workload plus the engine's serial-vs-parallel scaling.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "loadgen/engine.h"
+#include "loadgen/report.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace dfsm;
+
+/// The CI smoke workload scaled for steady iteration: 20k requests at
+/// the 5% exploit mix across all four server replicas.
+loadgen::EngineOptions bench_options(bool monitor) {
+  loadgen::EngineOptions options;
+  options.workload.seed = 7;
+  options.workload.agents = 32;
+  options.workload.requests = 20000;
+  options.workload.exploit_ratio = {5, 100};
+  options.monitor = monitor;
+  return options;
+}
+
+// DFSM_THREADS pins the parallel arm (the CI bench-regression job sets 4
+// so runs compare like-for-like); unset falls back to the hardware.
+const int kParallelThreads = static_cast<int>(
+    std::max<std::size_t>(2, runtime::ThreadPool::default_threads()));
+
+void set_pool_threads(std::int64_t threads) {
+  runtime::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+}
+
+void restore_pool() {
+  runtime::ThreadPool::set_global_threads(
+      runtime::ThreadPool::default_threads());
+}
+
+// --- Monitor-overhead pair ---------------------------------------------
+//
+// Both arms run the identical workload pinned to ONE pool worker, so the
+// ratio isolates the per-request monitor cost from pool scaling.
+// check_bench_regression.py pairs the two names by their suffixes and
+// holds the Unmonitored/Monitored speedup to an absolute floor of 0.5 —
+// i.e. the monitor may at most halve throughput (<= 2x overhead) — in
+// addition to the usual no-regression-vs-baseline check.
+
+void BM_LoadgenUnmonitored(benchmark::State& state) {
+  set_pool_threads(1);
+  const auto options = bench_options(/*monitor=*/false);
+  for (auto _ : state) {
+    auto report = loadgen::run_load(options);
+    benchmark::DoNotOptimize(report.total.requests);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.workload.requests));
+  restore_pool();
+}
+BENCHMARK(BM_LoadgenUnmonitored)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoadgenMonitored(benchmark::State& state) {
+  set_pool_threads(1);
+  const auto options = bench_options(/*monitor=*/true);
+  for (auto _ : state) {
+    auto report = loadgen::run_load(options);
+    benchmark::DoNotOptimize(report.total.false_negatives);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.workload.requests));
+  restore_pool();
+}
+BENCHMARK(BM_LoadgenMonitored)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// --- Engine scaling (serial pool vs hardware) --------------------------
+//
+// Arg(1) pins the pool to serial fallback, Arg(kParallelThreads) uses
+// the hardware; tests/loadgen/ asserts the reports are byte-identical,
+// so this pair measures pure agent-partition speedup.
+
+void BM_LoadgenEngine(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto options = bench_options(/*monitor=*/true);
+  for (auto _ : state) {
+    auto report = loadgen::run_load(options);
+    benchmark::DoNotOptimize(report.total.detected);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.workload.requests));
+  restore_pool();
+}
+BENCHMARK(BM_LoadgenEngine)
+    ->Arg(1)
+    ->Arg(kParallelThreads)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void print_artifacts() {
+  const auto report = loadgen::run_load(bench_options(/*monitor=*/true));
+  bench::print_artifact(
+      "dfsm_loadgen sample report (20k requests, 5% exploits, seed 7)",
+      loadgen::render_text(report));
+}
+
+}  // namespace
+
+DFSM_BENCH_MAIN(print_artifacts)

@@ -10,15 +10,21 @@ RuntimeMonitor::RuntimeMonitor(core::FsmModel model) : model_(std::move(model)) 
 
 core::ChainResult RuntimeMonitor::observe(
     const std::vector<std::vector<core::Object>>& inputs) {
-  auto result = model_.chain().evaluate(inputs);
-  trace_.append(result);
+  // Violations-only monitors skip the per-outcome description strings —
+  // the dominant allocation on the hot benign path — and re-render the
+  // description from the input object on the (rare) violation.
+  auto result = model_.chain().evaluate(inputs, trace_enabled_);
+  if (trace_enabled_) trace_.append(result);
   for (std::size_t oi = 0; oi < result.operations.size(); ++oi) {
     const auto& op = result.operations[oi];
     const auto& pfsms = model_.chain().operations()[oi].pfsms();
     for (std::size_t pi = 0; pi < op.outcomes.size(); ++pi) {
       if (op.outcomes[pi].hidden_path_taken()) {
+        const std::string description =
+            trace_enabled_ ? op.outcomes[pi].object_description
+                           : inputs[oi][pi].describe();
         violations_.push_back(op.operation_name + "/" + pfsms[pi].name() + ": " +
-                              op.outcomes[pi].object_description);
+                              description);
       }
     }
   }
@@ -26,6 +32,9 @@ core::ChainResult RuntimeMonitor::observe(
 }
 
 void RuntimeMonitor::reset() {
+  // clear() keeps the vectors' storage: a monitor reused across a load
+  // run reaches steady state after the first request and stops touching
+  // the allocator (see Monitor.ResetRetainsCapacity).
   trace_.clear();
   violations_.clear();
 }

@@ -38,12 +38,26 @@ class RuntimeMonitor {
     return violations_;
   }
 
+  /// Enables/disables per-transition trace recording (default on).
+  /// Violations — the verdicts — are ALWAYS recorded; the trace is only
+  /// needed when a walk will be rendered or correlated, and recording
+  /// it is the dominant per-observe() allocation cost. The traffic
+  /// engine runs violations-only monitors (loadgen/engine.cpp).
+  void set_trace_enabled(bool enabled) noexcept { trace_enabled_ = enabled; }
+  [[nodiscard]] bool trace_enabled() const noexcept { return trace_enabled_; }
+
+  /// Clears the trace and the violation log for the next connection.
+  /// Contract: capacity is RETAINED (plain clear(), never
+  /// shrink_to_fit) — the load generator calls reset() once per request
+  /// on a per-agent monitor, and steady-state traffic must not
+  /// reallocate these vectors on every connection.
   void reset();
 
  private:
   core::FsmModel model_;
   core::Trace trace_;
   std::vector<std::string> violations_;
+  bool trace_enabled_ = true;
 };
 
 // --- Observation builders for the memory-corruption case studies -------

@@ -53,7 +53,8 @@ ExploitChain& ExploitChain::add(Operation op, PropagationGate gate_after) {
 }
 
 ChainResult ExploitChain::evaluate(
-    const std::vector<std::vector<Object>>& inputs) const {
+    const std::vector<std::vector<Object>>& inputs,
+    bool with_descriptions) const {
   if (operations_.empty()) {
     throw std::invalid_argument("ExploitChain '" + name_ + "' has no operations");
   }
@@ -68,7 +69,7 @@ ChainResult ExploitChain::evaluate(
   result.operations.reserve(operations_.size());
   std::size_t hidden = 0;
   for (std::size_t i = 0; i < operations_.size(); ++i) {
-    result.operations.push_back(operations_[i].evaluate(inputs[i]));
+    result.operations.push_back(operations_[i].evaluate(inputs[i], with_descriptions));
     for (const auto& o : result.operations.back().outcomes) {
       if (o.hidden_path_taken()) ++hidden;
     }

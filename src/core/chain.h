@@ -84,8 +84,11 @@ class ExploitChain {
   /// foiled operation: its propagation gate never fires, so downstream
   /// operations are not reached (Lemma statement 2).
   /// Throws std::invalid_argument on arity mismatch or an empty chain.
+  /// `with_descriptions` false skips the outcomes' object_description
+  /// rendering (Pfsm::evaluate) — the walk itself is unchanged.
   [[nodiscard]] ChainResult evaluate(
-      const std::vector<std::vector<Object>>& inputs) const;
+      const std::vector<std::vector<Object>>& inputs,
+      bool with_descriptions = true) const;
 
   /// Flow variant: one starting object per operation.
   [[nodiscard]] ChainResult flow(const std::vector<Object>& starts) const;

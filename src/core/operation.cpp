@@ -44,7 +44,8 @@ Operation& Operation::add(Pfsm pfsm, ObjectTransform transform_to_next) {
   return *this;
 }
 
-OperationResult Operation::evaluate(const std::vector<Object>& objects) const {
+OperationResult Operation::evaluate(const std::vector<Object>& objects,
+                                    bool with_descriptions) const {
   if (pfsms_.empty()) throw std::invalid_argument("Operation '" + name_ + "' has no pFSMs");
   if (objects.size() != pfsms_.size()) {
     throw std::invalid_argument("Operation '" + name_ + "' expects " +
@@ -55,7 +56,7 @@ OperationResult Operation::evaluate(const std::vector<Object>& objects) const {
   result.operation_name = name_;
   result.outcomes.reserve(pfsms_.size());
   for (std::size_t i = 0; i < pfsms_.size(); ++i) {
-    result.outcomes.push_back(pfsms_[i].evaluate(objects[i]));
+    result.outcomes.push_back(pfsms_[i].evaluate(objects[i], with_descriptions));
     if (!result.outcomes.back().accepted()) break;  // serial chain: foiled
   }
   return result;

@@ -66,7 +66,10 @@ class Operation {
   /// Observation 1: failure at any one elementary activity foils the
   /// exploit). Throws std::invalid_argument if the number of objects does
   /// not match the number of pFSMs, or the operation is empty.
-  [[nodiscard]] OperationResult evaluate(const std::vector<Object>& objects) const;
+  /// `with_descriptions` false propagates to Pfsm::evaluate (skips the
+  /// per-outcome object_description rendering).
+  [[nodiscard]] OperationResult evaluate(const std::vector<Object>& objects,
+                                         bool with_descriptions = true) const;
 
   /// Evaluates by flowing a single starting object through the series,
   /// applying registered transforms between stages (identity if none).

@@ -71,9 +71,9 @@ Pfsm Pfsm::unchecked(std::string name, PfsmType type, std::string activity,
               std::move(action)};
 }
 
-PfsmOutcome Pfsm::evaluate(const Object& o) const {
+PfsmOutcome Pfsm::evaluate(const Object& o, bool with_description) const {
   PfsmOutcome out;
-  out.object_description = o.describe();
+  if (with_description) out.object_description = o.describe();
   if (spec_.accepts(o)) {
     out.path = {PfsmTransition::kSpecAccept};
     out.final_state = PfsmState::kAccept;

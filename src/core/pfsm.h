@@ -141,7 +141,12 @@ class Pfsm {
   ///  - spec rejects, impl too -> SPEC_REJ, IMPL_REJ -> Reject (kFoiled)
   ///  - spec rejects, impl not -> SPEC_REJ, IMPL_ACPT -> Accept
   ///                                                   (kHiddenAccept)
-  [[nodiscard]] PfsmOutcome evaluate(const Object& o) const;
+  /// `with_description` false skips rendering the outcome's
+  /// object_description (the one allocation-heavy field) for callers
+  /// that only consume the walk — e.g. violations-only monitoring; the
+  /// transition path and result are identical either way.
+  [[nodiscard]] PfsmOutcome evaluate(const Object& o,
+                                     bool with_description = true) const;
 
   /// True iff this concrete object would traverse the hidden path.
   [[nodiscard]] bool hidden_path_for(const Object& o) const;

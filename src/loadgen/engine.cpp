@@ -1,0 +1,369 @@
+#include "loadgen/engine.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/monitor.h"
+#include "apps/ghttpd.h"
+#include "apps/iis.h"
+#include "apps/nullhttpd.h"
+#include "fssim/filesystem.h"
+#include "netsim/http.h"
+#include "runtime/parallel.h"
+
+namespace dfsm::loadgen {
+
+void ServerTally::merge(const ServerTally& other) noexcept {
+  requests += other.requests;
+  benign += other.benign;
+  exploit += other.exploit;
+  served += other.served;
+  rejected += other.rejected;
+  crashed += other.crashed;
+  compromised += other.compromised;
+  detected += other.detected;
+  false_negatives += other.false_negatives;
+  false_positives += other.false_positives;
+}
+
+void apply_verdict(ServerTally& tally, bool exploit, bool detected) noexcept {
+  if (detected) ++tally.detected;
+  if (exploit && !detected) ++tally.false_negatives;
+  if (!exploit && detected) ++tally.false_positives;
+}
+
+namespace {
+
+// --- Payloads -----------------------------------------------------------
+
+/// The curated exploit payloads, built once per run. All four are pure
+/// (the sandbox replicas are deterministic), so two runs — and the two
+/// bench arms — fire byte-identical attacks.
+struct ExploitPayloads {
+  std::string nullhttpd_5774;  ///< raw wire request, contentLen = -800
+  std::string nullhttpd_6255;  ///< raw wire request, truthful contentLen
+  std::string ghttpd;          ///< oversized request line
+  std::string iis;             ///< Nimda-style encoded CGI filepath
+};
+
+ExploitPayloads build_exploit_payloads() {
+  ExploitPayloads p;
+  {
+    const auto info = apps::NullHttpd::scout(-800);
+    p.nullhttpd_5774 = apps::NullHttpd::build_exploit_request(info, -800);
+  }
+  {
+    const auto info = apps::NullHttpd::scout(0);
+    p.nullhttpd_6255 = apps::NullHttpd::build_exploit_request(info, 0);
+  }
+  p.ghttpd = apps::Ghttpd{}.build_exploit();
+  p.iis = apps::IisDecoder::nimda_payload();
+  return p;
+}
+
+std::string benign_nullhttpd_request(std::uint32_t size) {
+  netsim::HttpRequest req;
+  req.method = "POST";
+  req.path = "/cgi-bin/form";
+  req.headers["Content-Length"] = std::to_string(size);
+  req.headers["Host"] = "victim";
+  return netsim::serialize(req, std::string(size, 'b'));
+}
+
+std::string benign_ghttpd_line(std::uint32_t size) {
+  // Keep the full line comfortably under the 200-byte log buffer.
+  return "GET /" + std::string(size % 150, 'a') + " HTTP/1.0";
+}
+
+std::string benign_iis_path(std::uint32_t size) {
+  // Both forms resolve to the in-root hello.cgi; the escaped variant
+  // exercises the decoder on benign traffic too.
+  return size % 2 == 0 ? "hello.cgi" : "hello%2ecgi";
+}
+
+std::string payload_for(const RequestSpec& spec, const ExploitPayloads& p) {
+  switch (spec.server) {
+    case ServerKind::kNullHttpd5774:
+      return spec.exploit ? p.nullhttpd_5774
+                          : benign_nullhttpd_request(spec.benign_size);
+    case ServerKind::kNullHttpd6255:
+      return spec.exploit ? p.nullhttpd_6255
+                          : benign_nullhttpd_request(spec.benign_size);
+    case ServerKind::kGhttpd:
+      return spec.exploit ? p.ghttpd : benign_ghttpd_line(spec.benign_size);
+    case ServerKind::kIis:
+      return spec.exploit ? p.iis : benign_iis_path(spec.benign_size);
+  }
+  throw std::logic_error("unreachable server kind");
+}
+
+// --- Per-connection serving state --------------------------------------
+
+/// Simulated service-time model (virtual microseconds): a per-target base
+/// cost, a per-byte wire cost, a per-syscall-event cost and a monitoring
+/// surcharge. Entirely deterministic — the latency histograms depend only
+/// on the request stream, never on the clock (DESIGN.md §12).
+constexpr std::uint64_t kCostBaseNullHttpd = 30;
+constexpr std::uint64_t kCostBaseGhttpd = 12;
+constexpr std::uint64_t kCostBaseIis = 8;
+constexpr std::uint64_t kCostBytesPerUs = 32;
+constexpr std::uint64_t kCostPerEvent = 2;
+constexpr std::uint64_t kCostMonitorBase = 6;
+constexpr std::uint64_t kCostPerViolation = 2;
+
+/// One agent's long-lived serving state: lazily (re)built server
+/// replicas and one monitor per model, reset between requests. Benign
+/// requests reuse the previous instance while it finished cleanly —
+/// a fresh process per request only where fidelity demands it (exploit
+/// runs assume the pristine heap/stack layout the attacker scouted).
+struct ServeContext {
+  std::unique_ptr<apps::NullHttpd> nullhttpd;
+  std::unique_ptr<apps::Ghttpd> ghttpd;
+  std::unique_ptr<apps::IisDecoder> iis;
+  std::unique_ptr<fssim::FileSystem> iis_fs;
+
+  std::unique_ptr<analysis::RuntimeMonitor> mon_nullhttpd;
+  std::unique_ptr<analysis::RuntimeMonitor> mon_ghttpd;
+  std::unique_ptr<analysis::RuntimeMonitor> mon_iis;
+};
+
+/// Lazily builds the per-agent monitor for a server kind. Load monitors
+/// run violations-only: the verdict does not need the per-transition
+/// trace, and skipping its string-heavy recording keeps the monitored
+/// arm inside the <= 2x overhead budget the bench gate enforces.
+analysis::RuntimeMonitor& monitor_for(ServeContext& ctx, ServerKind kind) {
+  const auto fresh = [](core::FsmModel model) {
+    auto mon = std::make_unique<analysis::RuntimeMonitor>(std::move(model));
+    mon->set_trace_enabled(false);
+    return mon;
+  };
+  switch (kind) {
+    case ServerKind::kNullHttpd5774:
+    case ServerKind::kNullHttpd6255:
+      if (!ctx.mon_nullhttpd) {
+        ctx.mon_nullhttpd = fresh(apps::NullHttpd::figure4_model());
+      }
+      return *ctx.mon_nullhttpd;
+    case ServerKind::kGhttpd:
+      if (!ctx.mon_ghttpd) {
+        ctx.mon_ghttpd = fresh(apps::Ghttpd::ghttpd_model());
+      }
+      return *ctx.mon_ghttpd;
+    case ServerKind::kIis:
+      if (!ctx.mon_iis) {
+        ctx.mon_iis = fresh(apps::IisDecoder::figure7_model());
+      }
+      return *ctx.mon_iis;
+  }
+  throw std::logic_error("unreachable server kind");
+}
+
+void observe(ServeContext& ctx, ServerKind kind,
+             const std::vector<std::vector<core::Object>>& facts,
+             RequestOutcome& out) {
+  auto& mon = monitor_for(ctx, kind);
+  mon.reset();  // capacity-retaining clear: no per-request reallocation
+  (void)mon.observe(facts);
+  out.violations = mon.violations().size();
+  out.detected = out.violations > 0;
+  out.cost_us += kCostMonitorBase + kCostPerViolation * out.violations;
+}
+
+RequestOutcome serve_nullhttpd(ServeContext& ctx, const std::string& raw,
+                               bool fresh, bool monitored) {
+  if (fresh || !ctx.nullhttpd) {
+    ctx.nullhttpd = std::make_unique<apps::NullHttpd>();
+  }
+  auto& app = *ctx.nullhttpd;
+  const auto r = app.handle_raw(raw);
+
+  RequestOutcome out;
+  out.served = r.served;
+  out.rejected = r.rejected;
+  out.crashed = r.crashed;
+  out.compromised = r.mcode_executed;
+  out.cost_us = kCostBaseNullHttpd + raw.size() / kCostBytesPerUs +
+                kCostPerEvent * r.events.size();
+  if (monitored) {
+    const bool got_ok = app.process().got().unchanged("free");
+    observe(ctx, ServerKind::kNullHttpd5774,
+            analysis::nullhttpd_observation(
+                r.content_len, static_cast<std::int64_t>(r.bytes_read),
+                static_cast<std::int64_t>(r.postdata_usable),
+                /*links_unchanged=*/!r.heap_overflowed,
+                /*addr_free_unchanged=*/got_ok),
+            out);
+  }
+  // A connection that did anything but serve cleanly leaves a dirtied
+  // process image behind — never reuse it.
+  if (!r.served || r.heap_overflowed || r.mcode_executed || r.crashed) {
+    ctx.nullhttpd.reset();
+  }
+  return out;
+}
+
+RequestOutcome serve_ghttpd(ServeContext& ctx, const std::string& line,
+                            bool fresh, bool monitored) {
+  if (fresh || !ctx.ghttpd) ctx.ghttpd = std::make_unique<apps::Ghttpd>();
+  const auto r = ctx.ghttpd->serve(line);
+
+  RequestOutcome out;
+  out.served = r.logged && !r.rejected && !r.crashed && !r.mcode_executed;
+  out.rejected = r.rejected;
+  out.crashed = r.crashed;
+  out.compromised = r.mcode_executed;
+  out.cost_us = kCostBaseGhttpd + line.size() / kCostBytesPerUs +
+                kCostPerEvent * r.events.size();
+  if (monitored) {
+    observe(ctx, ServerKind::kGhttpd,
+            analysis::ghttpd_observation(
+                static_cast<std::int64_t>(line.size()),
+                /*ret_unchanged=*/!r.ret_modified),
+            out);
+  }
+  if (!out.served) ctx.ghttpd.reset();
+  return out;
+}
+
+RequestOutcome serve_iis(ServeContext& ctx, const std::string& path,
+                         bool monitored) {
+  if (!ctx.iis) {
+    ctx.iis = std::make_unique<apps::IisDecoder>();
+    ctx.iis_fs = std::make_unique<fssim::FileSystem>(ctx.iis->initial_world());
+  }
+  const auto r = ctx.iis->handle_cgi_request(*ctx.iis_fs, path);
+
+  RequestOutcome out;
+  out.served = r.executed && !r.outside_scripts;
+  out.rejected = r.rejected;
+  out.compromised = r.executed && r.outside_scripts;
+  out.cost_us = kCostBaseIis + path.size() / 4;
+  if (monitored) {
+    observe(ctx, ServerKind::kIis,
+            analysis::iis_observation(
+                r.decoded_once,
+                r.decoded_twice.empty() ? r.decoded_once : r.decoded_twice),
+            out);
+  }
+  // The IIS world is read-only under both traffic classes; always reuse.
+  return out;
+}
+
+RequestOutcome serve_one(ServeContext& ctx, ServerKind kind,
+                         const std::string& payload, bool fresh,
+                         bool monitored) {
+  switch (kind) {
+    case ServerKind::kNullHttpd5774:
+    case ServerKind::kNullHttpd6255:
+      return serve_nullhttpd(ctx, payload, fresh, monitored);
+    case ServerKind::kGhttpd:
+      return serve_ghttpd(ctx, payload, fresh, monitored);
+    case ServerKind::kIis:
+      return serve_iis(ctx, payload, monitored);
+  }
+  throw std::logic_error("unreachable server kind");
+}
+
+// --- The agent loop -----------------------------------------------------
+
+struct AgentResult {
+  std::array<ServerTally, kServerKindCount> per_server{};
+  LatencyHistogram latency;
+  std::uint64_t busy_us = 0;
+  netsim::RequestTap tap{0};
+};
+
+AgentResult run_agent(const EngineOptions& options,
+                      const ExploitPayloads& exploits, std::uint64_t agent) {
+  const auto& w = options.workload;
+  AgentResult result;
+  result.tap = netsim::RequestTap{options.capture};
+  ServeContext ctx;
+
+  const std::uint64_t count = agent_request_count(w, agent);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const RequestSpec spec = request_spec(w, agent, i);
+    const std::string payload = payload_for(spec, exploits);
+    const RequestOutcome out =
+        serve_one(ctx, spec.server, payload, /*fresh=*/spec.exploit,
+                  options.monitor);
+
+    auto& tally = result.per_server[static_cast<std::size_t>(spec.server)];
+    ++tally.requests;
+    ++(spec.exploit ? tally.exploit : tally.benign);
+    if (out.served) ++tally.served;
+    if (out.rejected) ++tally.rejected;
+    if (out.crashed) ++tally.crashed;
+    if (out.compromised) ++tally.compromised;
+    if (options.monitor) apply_verdict(tally, spec.exploit, out.detected);
+
+    const std::uint64_t latency_us = out.cost_us + spec.jitter_us;
+    result.latency.record(latency_us);
+    result.busy_us += latency_us;
+
+    if (spec.exploit && options.capture != 0) {
+      result.tap.offer({agent, i, server_name(spec.server), true, payload});
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+LoadReport run_load(const EngineOptions& options) {
+  const auto& w = options.workload;
+  if (w.agents == 0) {
+    throw std::invalid_argument("loadgen: agents must be >= 1");
+  }
+  if (w.servers.empty()) {
+    throw std::invalid_argument("loadgen: at least one server must be enabled");
+  }
+
+  const ExploitPayloads exploits = build_exploit_payloads();
+
+  // Agents are embarrassingly parallel; parallel_map's index order makes
+  // the ascending-agent merge below identical at every thread count.
+  auto per_agent = runtime::parallel_map<AgentResult>(
+      static_cast<std::size_t>(w.agents),
+      [&](std::size_t agent) {
+        return run_agent(options, exploits, static_cast<std::uint64_t>(agent));
+      });
+
+  LoadReport report;
+  report.workload = w;
+  report.monitored = options.monitor;
+  report.samples = netsim::RequestTap{options.capture};
+  for (const auto& agent : per_agent) {
+    for (std::size_t k = 0; k < kServerKindCount; ++k) {
+      report.per_server[k].merge(agent.per_server[k]);
+    }
+    report.latency.merge(agent.latency);
+    report.samples.merge(agent.tap);
+    if (agent.busy_us > report.makespan_us) report.makespan_us = agent.busy_us;
+  }
+  for (const auto& tally : report.per_server) report.total.merge(tally);
+  report.throughput_rps =
+      report.makespan_us == 0
+          ? 0
+          : report.total.requests * 1000000 / report.makespan_us;
+  return report;
+}
+
+RequestOutcome serve_request(ServerKind kind, const std::string& payload,
+                             bool monitored) {
+  ServeContext ctx;
+  return serve_one(ctx, kind, payload, /*fresh=*/true, monitored);
+}
+
+RequestOutcome replay_request(const netsim::CapturedRequest& req,
+                              bool monitored) {
+  ServerKind kind;
+  if (!server_from_name(req.server, &kind)) {
+    throw std::invalid_argument("loadgen: unknown server label '" +
+                                req.server + "'");
+  }
+  return serve_request(kind, req.raw, monitored);
+}
+
+}  // namespace dfsm::loadgen

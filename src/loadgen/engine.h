@@ -1,0 +1,111 @@
+// engine.h — the monitored-server traffic engine.
+//
+// N worker threads (runtime/ thread pool, DFSM_THREADS discipline) ×
+// M simulated agents, each agent a small connect → send → decode →
+// observe → close state machine over its own contiguous slice of the
+// request stream. Requests come from the pure (seed, agent, i) generator
+// (workload.h); servers are the byte-level NULL HTTPD / GHTTPD / IIS
+// replicas behind their real netsim decode front doors; an
+// analysis::RuntimeMonitor is optionally attached per connection and
+// reset between requests. Because the generator knows ground truth, the
+// engine tallies exact false negatives/positives, not estimates.
+//
+// Determinism contract (DESIGN.md §12): agents are embarrassingly
+// parallel and their stats merge in ascending agent order, so the full
+// report — counters, histograms, captured samples — is byte-identical
+// at DFSM_THREADS 0/1/4. Latency is SIMULATED virtual time (a fixed
+// per-request cost model plus generator jitter), which is what keeps
+// the histograms deterministic; wall-clock throughput is measured by
+// the caller (CLI/bench), outside the report.
+#ifndef DFSM_LOADGEN_ENGINE_H
+#define DFSM_LOADGEN_ENGINE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "loadgen/histogram.h"
+#include "loadgen/workload.h"
+#include "netsim/replay.h"
+
+namespace dfsm::loadgen {
+
+struct EngineOptions {
+  WorkloadSpec workload;
+  /// Attach a RuntimeMonitor to every connection (detection accounting
+  /// only happens when true).
+  bool monitor = true;
+  /// Keep the first `capture` exploit requests (by (agent, index)) as raw
+  /// wire bytes in the report's sample section. 0 disables capture.
+  std::size_t capture = 0;
+};
+
+/// Per-target counters. merge() adds element-wise (ascending-agent fold).
+struct ServerTally {
+  std::uint64_t requests = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t exploit = 0;      ///< ground truth from the generator
+  std::uint64_t served = 0;       ///< completed normally
+  std::uint64_t rejected = 0;     ///< refused by a check/parser
+  std::uint64_t crashed = 0;      ///< simulated fault
+  std::uint64_t compromised = 0;  ///< exploit effect fired (Mcode / escape)
+  std::uint64_t detected = 0;     ///< monitor flagged >= 1 violation
+  std::uint64_t false_negatives = 0;  ///< exploit the monitor missed
+  std::uint64_t false_positives = 0;  ///< benign the monitor flagged
+
+  void merge(const ServerTally& other) noexcept;
+  [[nodiscard]] bool operator==(const ServerTally&) const = default;
+};
+
+/// Ground-truth verdict bookkeeping — the single place FN/FP accounting
+/// lives, shared by the agent loop and directly testable on hand-built
+/// batches.
+void apply_verdict(ServerTally& tally, bool exploit, bool detected) noexcept;
+
+/// What one request did, as the engine saw it.
+struct RequestOutcome {
+  bool served = false;
+  bool rejected = false;
+  bool crashed = false;
+  bool compromised = false;
+  bool detected = false;        ///< always false when unmonitored
+  std::uint64_t violations = 0;  ///< monitor violation records
+  std::uint64_t cost_us = 0;     ///< simulated service time (sans jitter)
+};
+
+/// The merged result of a run.
+struct LoadReport {
+  // Workload echo (what the run actually executed).
+  WorkloadSpec workload;
+  bool monitored = true;
+
+  ServerTally total;
+  std::array<ServerTally, kServerKindCount> per_server{};
+
+  LatencyHistogram latency;       ///< simulated per-request latency (µs)
+  std::uint64_t makespan_us = 0;  ///< busiest agent's total simulated time
+  std::uint64_t throughput_rps = 0;  ///< requests / makespan (virtual)
+
+  netsim::RequestTap samples{0};  ///< captured exploit requests
+};
+
+/// Runs the full workload over the global thread pool.
+[[nodiscard]] LoadReport run_load(const EngineOptions& options);
+
+/// Serves ONE request payload against a fresh replica instance, with or
+/// without a monitor — the replay hook for captured requests and the
+/// unit-test entry point. For the NULL HTTPD kinds `payload` is the raw
+/// wire request (netsim front door); for GHTTPD the request line; for
+/// IIS the encoded CGI filepath.
+[[nodiscard]] RequestOutcome serve_request(ServerKind kind,
+                                           const std::string& payload,
+                                           bool monitored);
+
+/// Replays a captured request through serve_request (label -> kind).
+/// Throws std::invalid_argument on an unknown server label.
+[[nodiscard]] RequestOutcome replay_request(const netsim::CapturedRequest& req,
+                                            bool monitored);
+
+}  // namespace dfsm::loadgen
+
+#endif  // DFSM_LOADGEN_ENGINE_H

@@ -1,0 +1,59 @@
+#include "loadgen/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace dfsm::loadgen {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < kUnitBuckets) return static_cast<std::size_t>(v);
+  // v in [2^(o+3), 2^(o+4)) for octave o >= 0; the 3 bits after the
+  // leading one select the sub-bucket.
+  const int width = std::bit_width(v);          // >= 4 here
+  const std::size_t octave = static_cast<std::size_t>(width - 4);
+  const std::size_t sub =
+      static_cast<std::size_t>((v >> octave) & (kSubBuckets - 1));
+  return kUnitBuckets + octave * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t index) noexcept {
+  if (index < kUnitBuckets) return index;
+  const std::size_t octave = (index - kUnitBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kUnitBuckets) % kSubBuckets;
+  return (std::uint64_t{kUnitBuckets} << octave) +
+         (static_cast<std::uint64_t>(sub) << octave);
+}
+
+void LatencyHistogram::record(std::uint64_t v) noexcept {
+  ++buckets_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+std::uint64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bucket_floor(i);
+  }
+  return max_;
+}
+
+}  // namespace dfsm::loadgen

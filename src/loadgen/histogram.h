@@ -1,0 +1,63 @@
+// histogram.h — log-bucketed, mergeable latency histograms.
+//
+// HDR-style layout: values below 8 get exact unit buckets; above that,
+// each power-of-two octave is split into 8 sub-buckets (3 mantissa
+// bits), bounding relative bucket error at 12.5% while covering the
+// full uint64 range in 496 counters. Merging is element-wise addition,
+// so it is associative and commutative — per-agent histograms can be
+// folded in any grouping and the engine's ascending-agent merge yields
+// the same bytes at every thread count.
+#ifndef DFSM_LOADGEN_HISTOGRAM_H
+#define DFSM_LOADGEN_HISTOGRAM_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfsm::loadgen {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kUnitBuckets = 8;   ///< exact buckets [0, 8)
+  static constexpr std::size_t kSubBuckets = 8;    ///< per octave above that
+  static constexpr std::size_t kOctaves = 61;      ///< [2^3, 2^64)
+  static constexpr std::size_t kBucketCount = kUnitBuckets + kOctaves * kSubBuckets;
+
+  /// Bucket index for a value (total order, stable across merges).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept;
+
+  /// Inclusive lower bound of a bucket — the value percentile() reports.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t index) noexcept;
+
+  void record(std::uint64_t v) noexcept;
+
+  /// Element-wise addition; associative and commutative.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Value at percentile p in [0, 100]: the floor of the bucket holding
+  /// the ceil(p/100 * count)-th smallest sample (min/max are exact at the
+  /// ends). 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  /// Integer mean (sum / count); 0 when empty.
+  [[nodiscard]] std::uint64_t mean() const noexcept {
+    return count_ ? sum_ / count_ : 0;
+  }
+
+  [[nodiscard]] bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  std::array<std::uint64_t, kBucketCount> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace dfsm::loadgen
+
+#endif  // DFSM_LOADGEN_HISTOGRAM_H

@@ -1,0 +1,188 @@
+#include "loadgen/report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dfsm::loadgen {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+std::string ratio_string(Ratio r) {
+  return std::to_string(r.num) + "/" + std::to_string(r.den);
+}
+
+std::string percent_string(std::uint64_t bp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%02" PRIu64 "%%", bp / 100,
+                bp % 100);
+  return buf;
+}
+
+void append_tally_json(std::string& out, const ServerTally& t,
+                       const char* indent) {
+  appendf(out,
+          "%s\"requests\": %" PRIu64 ",\n"
+          "%s\"benign\": %" PRIu64 ",\n"
+          "%s\"exploit\": %" PRIu64 ",\n"
+          "%s\"served\": %" PRIu64 ",\n"
+          "%s\"rejected\": %" PRIu64 ",\n"
+          "%s\"crashed\": %" PRIu64 ",\n"
+          "%s\"compromised\": %" PRIu64 ",\n"
+          "%s\"detected\": %" PRIu64 ",\n"
+          "%s\"false_negatives\": %" PRIu64 ",\n"
+          "%s\"false_positives\": %" PRIu64 ",\n"
+          "%s\"detection_rate_bp\": %" PRIu64 "\n",
+          indent, t.requests, indent, t.benign, indent, t.exploit, indent,
+          t.served, indent, t.rejected, indent, t.crashed, indent,
+          t.compromised, indent, t.detected, indent, t.false_negatives,
+          indent, t.false_positives, indent, detection_rate_bp(t));
+}
+
+}  // namespace
+
+std::uint64_t detection_rate_bp(const ServerTally& tally) noexcept {
+  if (tally.exploit == 0) return 10000;
+  return (tally.exploit - tally.false_negatives) * 10000 / tally.exploit;
+}
+
+std::string render_text(const LoadReport& r) {
+  std::string out;
+  out += "== dfsm_loadgen report ==\n";
+  appendf(out,
+          "workload: %" PRIu64 " requests, %" PRIu64
+          " agents, seed %" PRIu64 ", exploit ratio %s, monitor %s\n",
+          r.workload.requests, r.workload.agents, r.workload.seed,
+          ratio_string(r.workload.exploit_ratio).c_str(),
+          r.monitored ? "on" : "off");
+  out += "servers:";
+  for (const auto kind : r.workload.servers) {
+    out += " ";
+    out += server_name(kind);
+  }
+  out += "\n\n";
+
+  appendf(out,
+          "traffic : %" PRIu64 " benign / %" PRIu64
+          " exploit; %" PRIu64 " served, %" PRIu64 " rejected, %" PRIu64
+          " crashed, %" PRIu64 " compromised\n",
+          r.total.benign, r.total.exploit, r.total.served, r.total.rejected,
+          r.total.crashed, r.total.compromised);
+  if (r.monitored) {
+    appendf(out,
+            "monitor : %" PRIu64 " detected, %" PRIu64
+            " false negatives, %" PRIu64
+            " false positives, detection rate %s\n",
+            r.total.detected, r.total.false_negatives,
+            r.total.false_positives,
+            percent_string(detection_rate_bp(r.total)).c_str());
+  } else {
+    out += "monitor : off (no detection accounting)\n";
+  }
+  appendf(out,
+          "latency : min %" PRIu64 "us  mean %" PRIu64 "us  p50 %" PRIu64
+          "us  p90 %" PRIu64 "us  p99 %" PRIu64 "us  p999 %" PRIu64
+          "us  max %" PRIu64 "us (simulated)\n",
+          r.latency.min(), r.latency.mean(), r.latency.percentile(50),
+          r.latency.percentile(90), r.latency.percentile(99),
+          r.latency.percentile(99.9), r.latency.max());
+  appendf(out,
+          "virtual : makespan %" PRIu64 "us, throughput %" PRIu64
+          " req/s (simulated clock)\n\n",
+          r.makespan_us, r.throughput_rps);
+
+  out += "per-server:\n";
+  for (const auto kind : r.workload.servers) {
+    const auto& t = r.per_server[static_cast<std::size_t>(kind)];
+    appendf(out,
+            "  %-15s %8" PRIu64 " req  %7" PRIu64 " exploit  %7" PRIu64
+            " detected  %3" PRIu64 " fn  %3" PRIu64 " fp  (rate %s)\n",
+            server_name(kind), t.requests, t.exploit, t.detected,
+            t.false_negatives, t.false_positives,
+            percent_string(detection_rate_bp(t)).c_str());
+  }
+
+  if (!r.samples.entries().empty()) {
+    out += "\ncaptured exploit requests:\n";
+    for (const auto& s : r.samples.entries()) {
+      appendf(out, "  agent %" PRIu64 " #%" PRIu64 " -> %s: %s\n", s.agent,
+              s.index, s.server.c_str(),
+              netsim::hex_preview(s.raw, 48).c_str());
+    }
+  }
+  return out;
+}
+
+std::string render_json(const LoadReport& r) {
+  std::string out;
+  out += "{\n  \"workload\": {\n";
+  appendf(out,
+          "    \"requests\": %" PRIu64 ",\n    \"agents\": %" PRIu64
+          ",\n    \"seed\": %" PRIu64 ",\n    \"exploit_ratio\": \"%s\",\n",
+          r.workload.requests, r.workload.agents, r.workload.seed,
+          ratio_string(r.workload.exploit_ratio).c_str());
+  out += "    \"servers\": [";
+  for (std::size_t i = 0; i < r.workload.servers.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"";
+    out += server_name(r.workload.servers[i]);
+    out += "\"";
+  }
+  out += "],\n";
+  appendf(out, "    \"monitor\": %s\n  },\n", r.monitored ? "true" : "false");
+
+  out += "  \"totals\": {\n";
+  append_tally_json(out, r.total, "    ");
+  out += "  },\n";
+
+  appendf(out,
+          "  \"latency_us\": {\n"
+          "    \"count\": %" PRIu64 ",\n    \"min\": %" PRIu64
+          ",\n    \"mean\": %" PRIu64 ",\n    \"p50\": %" PRIu64
+          ",\n    \"p90\": %" PRIu64 ",\n    \"p99\": %" PRIu64
+          ",\n    \"p999\": %" PRIu64 ",\n    \"max\": %" PRIu64 "\n  },\n",
+          r.latency.count(), r.latency.min(), r.latency.mean(),
+          r.latency.percentile(50), r.latency.percentile(90),
+          r.latency.percentile(99), r.latency.percentile(99.9),
+          r.latency.max());
+
+  appendf(out,
+          "  \"simulated\": {\n    \"makespan_us\": %" PRIu64
+          ",\n    \"throughput_rps\": %" PRIu64 "\n  },\n",
+          r.makespan_us, r.throughput_rps);
+
+  out += "  \"servers\": [\n";
+  for (std::size_t i = 0; i < r.workload.servers.size(); ++i) {
+    const auto kind = r.workload.servers[i];
+    const auto& t = r.per_server[static_cast<std::size_t>(kind)];
+    appendf(out, "    {\n      \"name\": \"%s\",\n", server_name(kind));
+    append_tally_json(out, t, "      ");
+    out += i + 1 < r.workload.servers.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"samples\": [\n";
+  const auto& samples = r.samples.entries();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    appendf(out,
+            "    {\"agent\": %" PRIu64 ", \"index\": %" PRIu64
+            ", \"server\": \"%s\", \"exploit\": %s, \"raw_hex\": \"%s\"}%s\n",
+            s.agent, s.index, s.server.c_str(), s.exploit ? "true" : "false",
+            netsim::hex_preview(s.raw, 64).c_str(),
+            i + 1 < samples.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace dfsm::loadgen

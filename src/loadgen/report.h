@@ -1,0 +1,31 @@
+// report.h — text and JSON renderings of a LoadReport.
+//
+// Both renderers are pure functions of the report: integer-only
+// arithmetic (detection rate in basis points, mean as integer division),
+// fixed key order, no clocks, no locale — so a report renders to the
+// same bytes on every machine and at every DFSM_THREADS, which is what
+// the CI load-smoke job byte-compares. Wall-clock numbers deliberately
+// live OUTSIDE the report (CLI stderr, bench counters).
+#ifndef DFSM_LOADGEN_REPORT_H
+#define DFSM_LOADGEN_REPORT_H
+
+#include <string>
+
+#include "loadgen/engine.h"
+
+namespace dfsm::loadgen {
+
+/// Detection rate over ground-truth exploits in basis points
+/// ((exploit - false_negatives) * 10000 / exploit); 10000 == 100%.
+/// Returns 10000 when the tally saw no exploits (nothing was missed).
+[[nodiscard]] std::uint64_t detection_rate_bp(const ServerTally& tally) noexcept;
+
+/// Human-readable multi-line report.
+[[nodiscard]] std::string render_text(const LoadReport& report);
+
+/// Deterministic JSON document (trailing newline included).
+[[nodiscard]] std::string render_json(const LoadReport& report);
+
+}  // namespace dfsm::loadgen
+
+#endif  // DFSM_LOADGEN_REPORT_H

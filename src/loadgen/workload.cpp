@@ -1,0 +1,112 @@
+#include "loadgen/workload.h"
+
+#include <stdexcept>
+
+#include "faultinject/rng.h"
+
+namespace dfsm::loadgen {
+
+const char* server_name(ServerKind kind) noexcept {
+  switch (kind) {
+    case ServerKind::kNullHttpd5774: return "nullhttpd-5774";
+    case ServerKind::kNullHttpd6255: return "nullhttpd-6255";
+    case ServerKind::kGhttpd: return "ghttpd";
+    case ServerKind::kIis: return "iis";
+  }
+  return "unknown";
+}
+
+bool server_from_name(const std::string& name, ServerKind* out) {
+  for (std::size_t k = 0; k < kServerKindCount; ++k) {
+    const auto kind = static_cast<ServerKind>(k);
+    if (name == server_name(kind)) {
+      if (out != nullptr) *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+Ratio parse_ratio(const std::string& s) {
+  const auto bad = [&s]() -> Ratio {
+    throw std::invalid_argument("bad exploit ratio '" + s +
+                                "' (want a decimal in [0, 1] with at most "
+                                "6 fraction digits, e.g. 0.05)");
+  };
+  if (s.empty()) return bad();
+  std::size_t pos = 0;
+  std::uint64_t int_part = 0;
+  bool any_digit = false;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+    int_part = int_part * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+    if (int_part > 1) return bad();
+    any_digit = true;
+    ++pos;
+  }
+  Ratio r{int_part, 1};
+  if (pos < s.size()) {
+    if (s[pos] != '.') return bad();
+    ++pos;
+    std::uint64_t frac = 0;
+    std::uint64_t den = 1;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      if (den >= 1000000) return bad();  // > 6 fraction digits
+      frac = frac * 10 + static_cast<std::uint64_t>(s[pos] - '0');
+      den *= 10;
+      any_digit = true;
+      ++pos;
+    }
+    if (pos != s.size()) return bad();
+    r.num = int_part * den + frac;
+    r.den = den;
+  }
+  if (!any_digit || pos != s.size()) return bad();
+  if (r.num > r.den) return bad();  // > 1.0
+  return r;
+}
+
+std::uint64_t agent_request_count(const WorkloadSpec& w, std::uint64_t agent) {
+  if (w.agents == 0 || agent >= w.agents) return 0;
+  const std::uint64_t base = w.requests / w.agents;
+  const std::uint64_t extra = w.requests % w.agents;
+  return base + (agent < extra ? 1 : 0);
+}
+
+std::uint64_t agent_base_offset(const WorkloadSpec& w, std::uint64_t agent) {
+  if (w.agents == 0) return 0;
+  const std::uint64_t base = w.requests / w.agents;
+  const std::uint64_t extra = w.requests % w.agents;
+  return agent * base + (agent < extra ? agent : extra);
+}
+
+bool is_exploit_index(std::uint64_t g, Ratio r) noexcept {
+  if (r.num == 0) return false;
+  // den <= 10^6 (parse_ratio) and realistic g keep the products far from
+  // 64-bit overflow; the Bresenham step is 0 or 1 because num <= den.
+  return (g + 1) * r.num / r.den > g * r.num / r.den;
+}
+
+std::uint64_t exploit_total(std::uint64_t requests, Ratio r) noexcept {
+  if (r.den == 0) return 0;
+  return requests * r.num / r.den;
+}
+
+RequestSpec request_spec(const WorkloadSpec& w, std::uint64_t agent,
+                         std::uint64_t i) {
+  RequestSpec spec;
+  spec.global_index = agent_base_offset(w, agent) + i;
+  spec.exploit = is_exploit_index(spec.global_index, w.exploit_ratio);
+  // One independent splitmix64 stream per request: the stream id is the
+  // globally unique request index, so two agents can never alias and the
+  // draw is random-access (no sequential state to replay).
+  faultinject::Rng rng{w.seed, spec.global_index};
+  const std::size_t pick =
+      w.servers.empty() ? 0 : rng.below(w.servers.size());
+  spec.server = w.servers.empty() ? ServerKind::kNullHttpd5774
+                                  : w.servers[pick];
+  spec.benign_size = 64 + static_cast<std::uint32_t>(rng.below(960));
+  spec.jitter_us = static_cast<std::uint32_t>(rng.below(16));
+  return spec;
+}
+
+}  // namespace dfsm::loadgen

@@ -1,0 +1,101 @@
+// workload.h — the deterministic request stream of the traffic engine.
+//
+// Every request the engine fires is a pure function of (seed, agent,
+// request index): the same triple yields the same RequestSpec no matter
+// which worker thread materialises it, in what order, or how often —
+// the determinism anchor that makes serial and parallel load reports
+// byte-identical (DESIGN.md §12).
+//
+// The benign/exploit mix is apportioned EXACTLY, not statistically: a
+// ratio num/den marks global request g as an exploit iff
+// floor((g+1)*num/den) > floor(g*num/den), a Bresenham walk whose
+// telescoping sum puts exactly floor(R*num/den) exploits into any run of
+// R requests — testable at 10^4 and 10^6 without tolerance bands.
+#ifndef DFSM_LOADGEN_WORKLOAD_H
+#define DFSM_LOADGEN_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsm::loadgen {
+
+/// The monitored server replicas the engine can drive.
+enum class ServerKind : std::uint8_t {
+  kNullHttpd5774 = 0,  ///< NULL HTTPD, negative Content-Length (#5774)
+  kNullHttpd6255,      ///< NULL HTTPD, '||' recv-loop oversend (#6255)
+  kGhttpd,             ///< GHTTPD Log() stack overflow (#5960)
+  kIis,                ///< IIS superfluous decoding (#2708)
+};
+inline constexpr std::size_t kServerKindCount = 4;
+
+/// Stable report/CLI label ("nullhttpd-5774", "ghttpd", ...).
+[[nodiscard]] const char* server_name(ServerKind kind) noexcept;
+
+/// Inverse of server_name; returns false on an unknown label.
+[[nodiscard]] bool server_from_name(const std::string& name, ServerKind* out);
+
+/// Exploit share as an exact rational (num exploits per den requests).
+struct Ratio {
+  std::uint64_t num = 0;
+  std::uint64_t den = 1;
+};
+
+/// Parses a decimal in [0, 1] with at most 6 fraction digits ("0.05" ->
+/// 5/100, ".125" -> 125/1000, "1" -> 1/1). The rational is kept exactly
+/// as written — no normalisation — so reports echo the CLI input.
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] Ratio parse_ratio(const std::string& s);
+
+/// Everything that defines a traffic run. Two equal specs produce two
+/// byte-identical request streams.
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+  std::uint64_t agents = 32;     ///< simulated concurrent connections
+  std::uint64_t requests = 10000;  ///< total across all agents
+  Ratio exploit_ratio{5, 100};
+  /// Enabled targets in selection order (must be non-empty).
+  std::vector<ServerKind> servers = {
+      ServerKind::kNullHttpd5774, ServerKind::kNullHttpd6255,
+      ServerKind::kGhttpd, ServerKind::kIis};
+};
+
+/// Requests assigned to `agent`: the first requests % agents agents get
+/// one extra — same largest-remainder convention as runtime::static_blocks.
+[[nodiscard]] std::uint64_t agent_request_count(const WorkloadSpec& w,
+                                                std::uint64_t agent);
+
+/// Global index of `agent`'s first request (agents own contiguous,
+/// ascending global ranges).
+[[nodiscard]] std::uint64_t agent_base_offset(const WorkloadSpec& w,
+                                              std::uint64_t agent);
+
+/// True iff global request g is an exploit under ratio r (Bresenham).
+[[nodiscard]] bool is_exploit_index(std::uint64_t g, Ratio r) noexcept;
+
+/// Exact exploit count over a run of `requests` requests:
+/// floor(requests * num / den).
+[[nodiscard]] std::uint64_t exploit_total(std::uint64_t requests,
+                                          Ratio r) noexcept;
+
+/// One fully-determined request. All randomness (target pick, benign
+/// payload size, latency jitter) is drawn here, never in the engine, so
+/// purity lives in exactly one place.
+struct RequestSpec {
+  std::uint64_t global_index = 0;
+  ServerKind server = ServerKind::kNullHttpd5774;
+  bool exploit = false;
+  std::uint32_t benign_size = 0;  ///< benign payload size parameter (bytes)
+  std::uint32_t jitter_us = 0;    ///< deterministic per-request latency jitter
+
+  [[nodiscard]] bool operator==(const RequestSpec&) const = default;
+};
+
+/// The pure generator: request i of `agent` under workload `w`.
+/// Call-order independent; safe from any thread.
+[[nodiscard]] RequestSpec request_spec(const WorkloadSpec& w,
+                                       std::uint64_t agent, std::uint64_t i);
+
+}  // namespace dfsm::loadgen
+
+#endif  // DFSM_LOADGEN_WORKLOAD_H

@@ -1,0 +1,44 @@
+#include "netsim/replay.h"
+
+#include <algorithm>
+
+namespace dfsm::netsim {
+
+bool captured_before(const CapturedRequest& a,
+                     const CapturedRequest& b) noexcept {
+  if (a.agent != b.agent) return a.agent < b.agent;
+  return a.index < b.index;
+}
+
+void RequestTap::offer(CapturedRequest req) {
+  if (capacity_ == 0) return;
+  const auto at = std::lower_bound(entries_.begin(), entries_.end(), req,
+                                   captured_before);
+  if (entries_.size() == capacity_) {
+    if (at == entries_.end()) return;  // larger than everything kept
+    entries_.pop_back();
+  }
+  entries_.insert(std::lower_bound(entries_.begin(), entries_.end(), req,
+                                   captured_before),
+                  std::move(req));
+}
+
+void RequestTap::merge(const RequestTap& other) {
+  for (const auto& req : other.entries_) offer(req);
+}
+
+std::string hex_preview(const std::string& raw, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::size_t n = std::min(raw.size(), max_bytes);
+  std::string out;
+  out.reserve(n * 2 + 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<unsigned char>(raw[i]);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  if (raw.size() > n) out += "+" + std::to_string(raw.size() - n);
+  return out;
+}
+
+}  // namespace dfsm::netsim

@@ -1,0 +1,67 @@
+// replay.h — request capture & replay hooks for traffic engines.
+//
+// A RequestTap is a bounded, deterministic sample of the raw requests a
+// load run fired: each capture is keyed by its (agent, index) stream
+// position and the tap keeps the LOWEST keys, so the surviving sample
+// depends only on what was offered — never on thread interleaving.
+// Per-agent taps merge into a run-level tap with the same bound, which
+// is what makes the report's sample section byte-identical at any
+// DFSM_THREADS. A captured request carries the raw wire bytes, so a
+// missed detection can be replayed through the same decode path in
+// isolation (loadgen::replay_request).
+#ifndef DFSM_NETSIM_REPLAY_H
+#define DFSM_NETSIM_REPLAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsm::netsim {
+
+/// One raw request as it went over the simulated wire.
+struct CapturedRequest {
+  std::uint64_t agent = 0;   ///< owning agent (stream id)
+  std::uint64_t index = 0;   ///< request index within the agent's stream
+  std::string server;        ///< target label ("nullhttpd-5774", ...)
+  bool exploit = false;      ///< ground truth from the generator
+  std::string raw;           ///< exact bytes handed to the server
+
+  [[nodiscard]] bool operator==(const CapturedRequest&) const = default;
+};
+
+/// Ordering key: (agent, index) lexicographic.
+[[nodiscard]] bool captured_before(const CapturedRequest& a,
+                                   const CapturedRequest& b) noexcept;
+
+class RequestTap {
+ public:
+  /// A tap of capacity 0 drops everything (capture disabled).
+  explicit RequestTap(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Offers a capture; the tap keeps the `capacity` lowest (agent, index)
+  /// entries seen so far.
+  void offer(CapturedRequest req);
+
+  /// Folds another tap in under the same keep-lowest bound. Associative:
+  /// any merge tree over the same offers yields the same entries.
+  void merge(const RequestTap& other);
+
+  /// Surviving captures in ascending (agent, index) order.
+  [[nodiscard]] const std::vector<CapturedRequest>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<CapturedRequest> entries_;  // sorted ascending, size <= capacity_
+};
+
+/// Hex rendering of the first `max_bytes` raw bytes ("504f5354..."), with
+/// "+<n>" appended when truncated — JSON-safe whatever the payload bytes.
+[[nodiscard]] std::string hex_preview(const std::string& raw,
+                                      std::size_t max_bytes);
+
+}  // namespace dfsm::netsim
+
+#endif  // DFSM_NETSIM_REPLAY_H

@@ -78,6 +78,41 @@ TEST(Monitor, ResetClearsState) {
   EXPECT_TRUE(monitor.trace().empty());
 }
 
+TEST(Monitor, ViolationsOnlyModeStillDetects) {
+  // The load generator disables trace recording; the verdicts must be
+  // identical to a tracing monitor's, with no trace accumulated.
+  RuntimeMonitor tracing{apps::SendmailTTflag::figure3_model()};
+  RuntimeMonitor lean{apps::SendmailTTflag::figure3_model()};
+  lean.set_trace_enabled(false);
+  EXPECT_FALSE(lean.trace_enabled());
+  const auto observation = sendmail_observation("4294958848", "1", false);
+  (void)tracing.observe(observation);
+  (void)lean.observe(observation);
+  EXPECT_EQ(lean.violations(), tracing.violations());
+  EXPECT_FALSE(tracing.trace().empty());
+  EXPECT_TRUE(lean.trace().empty());
+}
+
+TEST(Monitor, ResetRetainsCapacity) {
+  // The load generator resets a per-agent monitor once per request;
+  // after the first request the vectors must be at steady state, so
+  // reset() is contractually a plain clear() — never shrink_to_fit.
+  RuntimeMonitor monitor{apps::SendmailTTflag::figure3_model()};
+  for (int i = 0; i < 8; ++i) {
+    (void)monitor.observe(sendmail_observation("4294958848", "1", false));
+    if (i + 1 < 8) monitor.reset();
+  }
+  const std::size_t trace_capacity = monitor.trace().events().capacity();
+  const std::size_t violation_capacity = monitor.violations().capacity();
+  ASSERT_GT(trace_capacity, 0u);
+  ASSERT_GT(violation_capacity, 0u);
+  monitor.reset();
+  EXPECT_TRUE(monitor.trace().empty());
+  EXPECT_TRUE(monitor.violations().empty());
+  EXPECT_EQ(monitor.trace().events().capacity(), trace_capacity);
+  EXPECT_EQ(monitor.violations().capacity(), violation_capacity);
+}
+
 TEST(Monitor, XtermObservationMatchesTheRaceFacts) {
   RuntimeMonitor monitor{apps::XtermLogger::figure5_model()};
   // The race winner: the file looked fine at check time, but the binding

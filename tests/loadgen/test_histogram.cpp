@@ -1,0 +1,104 @@
+// Tests for the log-bucketed latency histogram: bucket geometry, merge
+// associativity (the property the ascending-agent fold leans on), and
+// percentile semantics.
+#include "loadgen/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dfsm::loadgen {
+namespace {
+
+LatencyHistogram filled(std::uint64_t from, std::uint64_t to,
+                        std::uint64_t step) {
+  LatencyHistogram h;
+  for (std::uint64_t v = from; v < to; v += step) h.record(v);
+  return h;
+}
+
+TEST(LoadgenHistogram, BucketFloorsInvertBucketIndex) {
+  for (std::size_t index = 0; index < LatencyHistogram::kBucketCount;
+       ++index) {
+    const std::uint64_t floor = LatencyHistogram::bucket_floor(index);
+    EXPECT_EQ(LatencyHistogram::bucket_index(floor), index) << index;
+  }
+}
+
+TEST(LoadgenHistogram, BucketIndexIsMonotone) {
+  std::size_t last = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t index = LatencyHistogram::bucket_index(v);
+    EXPECT_GE(index, last);
+    EXPECT_LE(LatencyHistogram::bucket_floor(index), v);
+    last = index;
+  }
+}
+
+TEST(LoadgenHistogram, SmallValuesAreExact) {
+  // The first 8 buckets are unit-width: percentile() reproduces the
+  // sample exactly for sub-8 latencies.
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    LatencyHistogram h;
+    h.record(v);
+    EXPECT_EQ(h.percentile(50), v);
+  }
+}
+
+TEST(LoadgenHistogram, MergeIsAssociativeAndCommutative) {
+  const LatencyHistogram a = filled(0, 1000, 3);
+  const LatencyHistogram b = filled(500, 40000, 7);
+  const LatencyHistogram c = filled(1, 9, 1);
+
+  LatencyHistogram ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  LatencyHistogram ab = a;
+  ab.merge(b);
+
+  EXPECT_EQ(ab_c, a_bc);  // (a + b) + c == a + (b + c)
+  EXPECT_EQ(ab, ba);      // a + b == b + a
+}
+
+TEST(LoadgenHistogram, MergeAddsCountsSumsAndExtremes) {
+  LatencyHistogram a = filled(10, 20, 1);   // 10 samples, sum 145
+  const LatencyHistogram b = filled(100, 105, 1);  // 5 samples, sum 510
+  a.merge(b);
+  EXPECT_EQ(a.count(), 15u);
+  EXPECT_EQ(a.sum(), 145u + 510u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 104u);
+  EXPECT_EQ(a.mean(), (145u + 510u) / 15u);
+}
+
+TEST(LoadgenHistogram, PercentilesAreMonotoneAndBounded) {
+  const LatencyHistogram h = filled(3, 50000, 11);
+  std::uint64_t last = 0;
+  for (const double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t value = h.percentile(p);
+    EXPECT_GE(value, last) << p;
+    last = value;
+  }
+  EXPECT_EQ(h.percentile(0), h.min());
+  EXPECT_EQ(h.percentile(100), h.max());
+}
+
+TEST(LoadgenHistogram, EmptyHistogramReportsZeroes) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+}
+
+}  // namespace
+}  // namespace dfsm::loadgen

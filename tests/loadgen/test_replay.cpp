@@ -1,0 +1,85 @@
+// Tests for the netsim request tap: bounded keep-lowest capture,
+// associative merge, and the JSON-safe hex preview.
+#include "netsim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsm::netsim {
+namespace {
+
+CapturedRequest capture(std::uint64_t agent, std::uint64_t index) {
+  CapturedRequest req;
+  req.agent = agent;
+  req.index = index;
+  req.server = "ghttpd";
+  req.exploit = true;
+  req.raw = "GET /a" + std::to_string(agent) + "i" + std::to_string(index);
+  return req;
+}
+
+TEST(LoadgenReplayTap, KeepsTheLowestStreamPositions) {
+  RequestTap tap{2};
+  tap.offer(capture(3, 0));
+  tap.offer(capture(1, 5));
+  tap.offer(capture(1, 2));
+  tap.offer(capture(0, 9));
+  ASSERT_EQ(tap.entries().size(), 2u);
+  // (agent, index) lexicographic: (0,9) < (1,2) < (1,5) < (3,0).
+  EXPECT_EQ(tap.entries()[0], capture(0, 9));
+  EXPECT_EQ(tap.entries()[1], capture(1, 2));
+}
+
+TEST(LoadgenReplayTap, ZeroCapacityDropsEverything) {
+  RequestTap tap{0};
+  tap.offer(capture(0, 0));
+  EXPECT_TRUE(tap.entries().empty());
+}
+
+TEST(LoadgenReplayTap, MergeIsAssociativeOverAnyGrouping) {
+  const std::vector<CapturedRequest> offers = {
+      capture(2, 1), capture(0, 3), capture(1, 0), capture(0, 1),
+      capture(4, 4), capture(1, 7), capture(3, 2), capture(0, 0),
+  };
+  // One tap that saw every offer directly...
+  RequestTap all{3};
+  for (const auto& req : offers) all.offer(req);
+
+  // ...must match per-agent taps folded in two different groupings.
+  auto tap_for = [&offers](std::uint64_t agent) {
+    RequestTap tap{3};
+    for (const auto& req : offers) {
+      if (req.agent == agent) tap.offer(req);
+    }
+    return tap;
+  };
+  RequestTap left{3};  // ((0 + 1) + 2) + (3 + 4)
+  left.merge(tap_for(0));
+  left.merge(tap_for(1));
+  left.merge(tap_for(2));
+  RequestTap right{3};
+  right.merge(tap_for(3));
+  right.merge(tap_for(4));
+  left.merge(right);
+
+  EXPECT_EQ(left.entries(), all.entries());
+  ASSERT_EQ(left.entries().size(), 3u);
+  EXPECT_EQ(left.entries()[0], capture(0, 0));
+  EXPECT_EQ(left.entries()[1], capture(0, 1));
+  EXPECT_EQ(left.entries()[2], capture(0, 3));
+}
+
+TEST(LoadgenReplayTap, HexPreviewRendersRawBytes) {
+  EXPECT_EQ(hex_preview("POST", 16), "504f5354");
+  EXPECT_EQ(hex_preview("", 16), "");
+  // Truncation appends the number of bytes left off.
+  EXPECT_EQ(hex_preview("ABCDEF", 2), "4142+4");
+  // Non-printable bytes stay JSON-safe.
+  EXPECT_EQ(hex_preview(std::string("\x00\xff", 2), 4), "00ff");
+}
+
+}  // namespace
+}  // namespace dfsm::netsim

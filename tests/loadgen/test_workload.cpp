@@ -1,0 +1,144 @@
+// Tests for the pure request generator: exact ratio parsing, Bresenham
+// exploit apportionment, agent partitioning, and (seed, agent, i) purity.
+#include "loadgen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace dfsm::loadgen {
+namespace {
+
+TEST(LoadgenWorkload, ParseRatioKeepsTheWrittenForm) {
+  const auto check = [](const char* s, std::uint64_t num, std::uint64_t den) {
+    const Ratio r = parse_ratio(s);
+    EXPECT_EQ(r.num, num) << s;
+    EXPECT_EQ(r.den, den) << s;
+  };
+  // The rational echoes the CLI text — 0.05 stays 5/100, not 1/20 — so
+  // the report's workload block reads back exactly what was asked for.
+  check("0.05", 5, 100);
+  check(".125", 125, 1000);
+  check("0", 0, 1);
+  check("1", 1, 1);
+  check("1.0", 10, 10);
+  check("0.000001", 1, 1000000);
+}
+
+TEST(LoadgenWorkload, ParseRatioRejectsAnythingElse) {
+  for (const char* s : {"", "2", "1.5", "-0.1", "abc", "0.05x", "0.0000001",
+                        ".", "0..5"}) {
+    EXPECT_THROW((void)parse_ratio(s), std::invalid_argument) << s;
+  }
+}
+
+TEST(LoadgenWorkload, ExploitApportionmentIsExactNotStatistical) {
+  // The Bresenham walk telescopes: any run of R requests carries exactly
+  // floor(R * num / den) exploits — no tolerance band needed, at 10^4
+  // or at the acceptance scale of 10^6.
+  for (const Ratio r : {Ratio{5, 100}, Ratio{1, 3}, Ratio{125, 1000},
+                        Ratio{999999, 1000000}}) {
+    for (const std::uint64_t requests : {std::uint64_t{10000},
+                                         std::uint64_t{1000000}}) {
+      std::uint64_t counted = 0;
+      for (std::uint64_t g = 0; g < requests; ++g) {
+        counted += is_exploit_index(g, r) ? 1 : 0;
+      }
+      EXPECT_EQ(counted, exploit_total(requests, r))
+          << r.num << "/" << r.den << " over " << requests;
+    }
+  }
+}
+
+TEST(LoadgenWorkload, ExploitEdgeRatios) {
+  for (std::uint64_t g = 0; g < 100; ++g) {
+    EXPECT_FALSE(is_exploit_index(g, Ratio{0, 1}));
+    EXPECT_TRUE(is_exploit_index(g, Ratio{1, 1}));
+  }
+  EXPECT_EQ(exploit_total(1000000, Ratio{0, 1}), 0u);
+  EXPECT_EQ(exploit_total(1000000, Ratio{1, 1}), 1000000u);
+}
+
+TEST(LoadgenWorkload, AgentPartitionIsContiguousAndComplete) {
+  WorkloadSpec w;
+  w.agents = 7;
+  w.requests = 100;
+  std::uint64_t sum = 0;
+  for (std::uint64_t a = 0; a < w.agents; ++a) {
+    // Contiguous: each agent starts where the previous one ended.
+    EXPECT_EQ(agent_base_offset(w, a), sum);
+    sum += agent_request_count(w, a);
+  }
+  EXPECT_EQ(sum, w.requests);
+  // Largest-remainder convention: the first requests % agents agents get
+  // the extra request (same as runtime::static_blocks).
+  EXPECT_EQ(agent_request_count(w, 0), 15u);  // 100/7 = 14 rem 2
+  EXPECT_EQ(agent_request_count(w, 1), 15u);
+  EXPECT_EQ(agent_request_count(w, 2), 14u);
+}
+
+TEST(LoadgenWorkload, GeneratorIsPureAndOrderIndependent) {
+  WorkloadSpec w;
+  w.seed = 42;
+  w.agents = 5;
+  w.requests = 200;
+  // Forward pass...
+  std::vector<RequestSpec> forward;
+  for (std::uint64_t a = 0; a < w.agents; ++a) {
+    for (std::uint64_t i = 0; i < agent_request_count(w, a); ++i) {
+      forward.push_back(request_spec(w, a, i));
+    }
+  }
+  // ...must equal a reverse-order pass: no hidden sequential state.
+  std::size_t at = forward.size();
+  for (std::uint64_t a = w.agents; a-- > 0;) {
+    for (std::uint64_t i = agent_request_count(w, a); i-- > 0;) {
+      EXPECT_EQ(forward[--at], request_spec(w, a, i));
+    }
+  }
+  // Global indices cover 0..requests-1 exactly once, in order.
+  for (std::size_t g = 0; g < forward.size(); ++g) {
+    EXPECT_EQ(forward[g].global_index, g);
+    EXPECT_EQ(forward[g].exploit,
+              is_exploit_index(g, w.exploit_ratio));
+  }
+}
+
+TEST(LoadgenWorkload, SeedChangesTheStream) {
+  WorkloadSpec a;
+  WorkloadSpec b;
+  b.seed = a.seed + 1;
+  bool any_difference = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (!(request_spec(a, 0, i) == request_spec(b, 0, i))) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(LoadgenWorkload, ServerRestrictionIsHonored) {
+  WorkloadSpec w;
+  w.servers = {ServerKind::kGhttpd};
+  w.requests = 500;
+  for (std::uint64_t a = 0; a < w.agents; ++a) {
+    for (std::uint64_t i = 0; i < agent_request_count(w, a); ++i) {
+      EXPECT_EQ(request_spec(w, a, i).server, ServerKind::kGhttpd);
+    }
+  }
+}
+
+TEST(LoadgenWorkload, ServerNamesRoundTrip) {
+  for (std::size_t k = 0; k < kServerKindCount; ++k) {
+    const auto kind = static_cast<ServerKind>(k);
+    ServerKind back{};
+    ASSERT_TRUE(server_from_name(server_name(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  EXPECT_FALSE(server_from_name("apache", nullptr));
+}
+
+}  // namespace
+}  // namespace dfsm::loadgen

@@ -7,9 +7,11 @@ The gate watches two kinds of benchmark pairs:
   and again with >1 workers, e.g. ``BM_CorpusSweepScaled/1/1000000`` vs
   ``BM_CorpusSweepScaled/4/1000000``;
 * cross-name algorithm pairs following the suffix convention: a family
-  ``<Stem>FullSweeps`` is the reference arm and ``<Stem>Incremental`` the
-  engine arm of the same stem (e.g. ``BM_DefenseRankFullSweeps`` vs
-  ``BM_DefenseRankIncremental``), regardless of arguments.
+  ``<Stem><ref-suffix>`` is the reference arm and ``<Stem><eng-suffix>``
+  the engine arm of the same stem, regardless of arguments. The pair
+  table (``SUFFIX_PAIRS``) currently gates ``FullSweeps``/``Incremental``
+  (e.g. ``BM_DefenseRankFullSweeps`` vs ``BM_DefenseRankIncremental``)
+  and ``Unmonitored``/``Monitored`` (the loadgen monitor-overhead pair).
 
 For every pair present in both runs it compares the *speedup* (reference
 median real_time / engine median real_time) — a ratio, so the check is
@@ -18,6 +20,13 @@ fresh speedup drops more than ``--threshold`` (default 25%) below the
 baseline's. Pairs present only in the fresh run BOOTSTRAP: they are
 reported and recorded, never failed — committing the fresh JSON as the
 new baseline is what arms the gate for them.
+
+A pair spec may additionally carry an absolute ``min_speedup`` floor.
+Floors encode an invariant rather than a trend — e.g. the runtime
+monitor may at most double the per-request cost, so the
+``Unmonitored``/``Monitored`` speedup must stay >= 0.5 — and are
+enforced on every fresh run, including bootstrap runs that have no
+baseline yet.
 
 Usage:
   tools/check_bench_regression.py \
@@ -38,15 +47,23 @@ from collections import defaultdict
 
 
 # Cross-name pairing convention: "<Stem><suffix>" benchmarks form one
-# pair per stem, the first suffix being the reference ("serial") side.
-SUFFIX_PAIR = (("FullSweeps", "serial"), ("Incremental", "parallel"))
+# pair per stem. Each spec is (reference suffix, engine suffix,
+# absolute min speedup or None). A floor, when set, is enforced on every
+# fresh run — even while the pair is still bootstrapping — because it
+# encodes an invariant (monitor overhead <= 2x) rather than a trend.
+SUFFIX_PAIRS = (
+    ("FullSweeps", "Incremental", None),
+    ("Unmonitored", "Monitored", 0.5),
+)
 
 
 def suffix_side(base):
-    """Returns (stem, side) for a suffix-convention name, else None."""
-    for suffix, side in SUFFIX_PAIR:
-        if base.endswith(suffix) and len(base) > len(suffix):
-            return base[: -len(suffix)], side
+    """Returns (stem, side, pair_spec) for a paired name, else None."""
+    for spec in SUFFIX_PAIRS:
+        ref, eng, _floor = spec
+        for suffix, side in ((ref, "serial"), (eng, "parallel")):
+            if base.endswith(suffix) and len(base) > len(suffix):
+                return base[: -len(suffix)], side, spec
     return None
 
 
@@ -74,7 +91,8 @@ def load_benchmarks(path):
         return {"agg": [], "raw": []}
 
     groups = defaultdict(lambda: {"serial": side_bucket(),
-                                  "parallel": side_bucket(), "unit": None})
+                                  "parallel": side_bucket(), "unit": None,
+                                  "floor": None})
     for bench in doc.get("benchmarks", []):
         run_type = bench.get("run_type", "iteration")
         if run_type == "aggregate":
@@ -94,10 +112,11 @@ def load_benchmarks(path):
             except ValueError:
                 pass  # real_time / process_time suffixes
         paired = suffix_side(base)
+        floor = None
         if paired is not None:
-            stem, side = paired
+            stem, side, (ref, eng, floor) = paired
             key = (bench.get("binary", ""),
-                   stem + "{FullSweeps vs Incremental}", tuple(args))
+                   stem + "{" + ref + " vs " + eng + "}", tuple(args))
         else:
             if not args:
                 continue  # neither thread-parameterized nor suffix-paired
@@ -106,6 +125,8 @@ def load_benchmarks(path):
             side = "serial" if threads == 1 else "parallel"
         groups[key][side][bucket].append(float(bench["real_time"]))
         groups[key]["unit"] = bench.get("time_unit", "ns")
+        if floor is not None:
+            groups[key]["floor"] = floor
 
     out = {}
     for key, g in groups.items():
@@ -113,7 +134,7 @@ def load_benchmarks(path):
         parallel = g["parallel"]["agg"] or g["parallel"]["raw"]
         if serial and parallel:
             out[key] = {"serial": serial, "parallel": parallel,
-                        "unit": g["unit"]}
+                        "unit": g["unit"], "floor": g["floor"]}
     return out
 
 
@@ -158,6 +179,14 @@ def main():
         if regressed:
             regressions.append((key, base_sp, fresh_sp))
 
+    # Absolute floors bind every fresh pair that declares one — common
+    # AND bootstrapping — because they encode invariants, not trends.
+    floor_failures = []
+    for key in sorted(fresh):
+        min_sp = fresh[key].get("floor")
+        if min_sp is not None and speedup(fresh[key]) < min_sp:
+            floor_failures.append((key, min_sp, speedup(fresh[key])))
+
     lines = ["# Bench regression report", ""]
     lines.append(f"Baseline: `{args.baseline}` — fresh: `{args.fresh}` — "
                  f"threshold: {args.threshold:.0%} speedup drop")
@@ -178,13 +207,20 @@ def main():
                      ", ".join(f"`{fmt_key(k)}`" for k in only_baseline))
     if only_fresh:
         # A brand-new pair has no baseline to regress against: record it,
-        # don't fail. Committing the fresh JSON arms the gate next run.
+        # don't fail (absolute floors still bind). Committing the fresh
+        # JSON arms the trend gate next run.
         lines.append("")
-        lines.append("Bootstrapping (new pair, recorded but not gated "
-                     "until a baseline is committed): " +
+        lines.append("Bootstrapping (new pair, recorded but not "
+                     "trend-gated until a baseline is committed): " +
                      ", ".join(f"`{fmt_key(k)}` at "
                                f"{speedup(fresh[k]):.2f}x"
                                for k in only_fresh))
+    if floor_failures:
+        lines.append("")
+        lines.append("Absolute floor violations: " +
+                     ", ".join(f"`{fmt_key(k)}` at {sp:.2f}x "
+                               f"(floor {fl:.2f}x)"
+                               for k, fl, sp in floor_failures))
     report = "\n".join(lines) + "\n"
 
     if args.report:
@@ -198,6 +234,13 @@ def main():
         for key, base_sp, fresh_sp in regressions:
             print(f"  {fmt_key(key)}: {base_sp:.2f}x -> {fresh_sp:.2f}x",
                   file=sys.stderr)
+    if floor_failures:
+        print(f"FAIL: {len(floor_failures)} pair(s) below their absolute "
+              "speedup floor:", file=sys.stderr)
+        for key, min_sp, fresh_sp in floor_failures:
+            print(f"  {fmt_key(key)}: {fresh_sp:.2f}x < floor {min_sp:.2f}x",
+                  file=sys.stderr)
+    if regressions or floor_failures:
         return 1
     msg = f"OK: {len(rows)} benchmark pair(s) within threshold."
     if only_fresh:

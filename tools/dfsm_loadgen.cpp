@@ -1,0 +1,190 @@
+// dfsm_loadgen — the monitored-server traffic engine CLI: drive a seeded
+// benign/exploit request mix through the NULL HTTPD / GHTTPD / IIS
+// replicas with the runtime predicate monitor attached per connection.
+//
+//   dfsm_loadgen --requests 50000 --exploit-ratio 0.05 --seed 7
+//                --format json --out load.json
+//
+// The report (text or JSON) is a pure function of the workload — run it
+// at DFSM_THREADS 0 and 4 and the bytes match, which is exactly what the
+// CI load-smoke job checks. Wall-clock throughput goes to stderr only,
+// so it never perturbs the byte-compared report. Exit status: 0 = ok,
+// 1 = the monitor missed at least one exploit (false negative) and
+// --allow-fn was not given, 2 = bad invocation.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "loadgen/engine.h"
+#include "loadgen/report.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --requests N        total requests across all agents (default 10000)\n"
+      "  --agents N          simulated concurrent agents (default 32)\n"
+      "  --seed S            workload seed (default 1)\n"
+      "  --exploit-ratio R   exploit share, decimal in [0,1] (default 0.05)\n"
+      "  --servers LIST      comma list of nullhttpd-5774,nullhttpd-6255,\n"
+      "                      ghttpd,iis — or 'all' (default all)\n"
+      "  --no-monitor        detach the runtime monitor (overhead baseline)\n"
+      "  --capture N         keep the first N exploit requests as samples\n"
+      "  --format F          text | json (default text)\n"
+      "  --out FILE          write the report to FILE instead of stdout\n"
+      "  --threads T         worker threads (default: DFSM_THREADS / hardware)\n"
+      "  --allow-fn          do not fail the run on false negatives\n"
+      "  --quiet             suppress the stderr wall-clock summary\n",
+      argv0);
+}
+
+std::uint64_t parse_u64(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "error: bad number '%s'\n", s);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<dfsm::loadgen::ServerKind> parse_servers(const std::string& list) {
+  using dfsm::loadgen::ServerKind;
+  if (list == "all") {
+    return {ServerKind::kNullHttpd5774, ServerKind::kNullHttpd6255,
+            ServerKind::kGhttpd, ServerKind::kIis};
+  }
+  std::vector<ServerKind> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string name =
+        list.substr(start, comma == std::string::npos ? comma : comma - start);
+    ServerKind kind;
+    if (!dfsm::loadgen::server_from_name(name, &kind)) {
+      std::fprintf(stderr, "error: unknown server '%s'\n", name.c_str());
+      std::exit(2);
+    }
+    out.push_back(kind);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfsm;
+
+  loadgen::EngineOptions options;
+  std::string format = "text";
+  std::string out_path;
+  bool allow_fn = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--requests") {
+        options.workload.requests = parse_u64(value());
+      } else if (arg == "--agents") {
+        options.workload.agents = parse_u64(value());
+      } else if (arg == "--seed") {
+        options.workload.seed = parse_u64(value());
+      } else if (arg == "--exploit-ratio") {
+        options.workload.exploit_ratio = loadgen::parse_ratio(value());
+      } else if (arg == "--servers") {
+        options.workload.servers = parse_servers(value());
+      } else if (arg == "--no-monitor") {
+        options.monitor = false;
+      } else if (arg == "--capture") {
+        options.capture = static_cast<std::size_t>(parse_u64(value()));
+      } else if (arg == "--format") {
+        format = value();
+        if (format != "text" && format != "json") {
+          std::fprintf(stderr, "error: --format wants text|json\n");
+          return 2;
+        }
+      } else if (arg == "--out") {
+        out_path = value();
+      } else if (arg == "--threads") {
+        runtime::ThreadPool::set_global_threads(
+            static_cast<std::size_t>(parse_u64(value())));
+      } else if (arg == "--allow-fn") {
+        allow_fn = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  loadgen::LoadReport report;
+  const auto wall_start = std::chrono::steady_clock::now();
+  try {
+    report = loadgen::run_load(options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+
+  const std::string rendered = format == "json" ? loadgen::render_json(report)
+                                                : loadgen::render_text(report);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
+      return 2;
+    }
+    std::fwrite(rendered.data(), 1, rendered.size(), f);
+    std::fclose(f);
+  }
+
+  if (!quiet) {
+    // Wall-clock stays OUT of the report so the report bytes are pure.
+    const double secs = static_cast<double>(wall) / 1e6;
+    std::fprintf(stderr,
+                 "wall: %.2fs for %llu requests (%.0f req/s real)\n", secs,
+                 static_cast<unsigned long long>(report.total.requests),
+                 secs > 0 ? static_cast<double>(report.total.requests) / secs
+                          : 0.0);
+  }
+
+  if (options.monitor && report.total.false_negatives > 0 && !allow_fn) {
+    std::fprintf(stderr,
+                 "FAIL: monitor missed %llu exploit request(s) "
+                 "(false negatives)\n",
+                 static_cast<unsigned long long>(report.total.false_negatives));
+    return 1;
+  }
+  return 0;
+}
