@@ -30,6 +30,9 @@
 #include "bugtraq/database.h"
 #include "core/table.h"
 #include "runtime/thread_pool.h"
+#include "staticlint/linter.h"
+#include "staticlint/memo.h"
+#include "staticlint/registry.h"
 
 namespace {
 
@@ -561,6 +564,45 @@ void BM_DefenseRankIncremental(benchmark::State& state) {
 BENCHMARK(BM_DefenseRankIncremental)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// --- incremental lint: re-lint for the price of a fingerprint --------
+//
+// Second gate-held pair (suffix convention: "...Curated" is the
+// from-scratch arm, "...Memoized" the warmed-store arm of the same
+// stem). Both arms lint the full curated registry; the memoized arm
+// goes through a pre-warmed LintMemoStore, so every (model, rule) cell
+// is a fingerprint-keyed cache hit and zero rules execute. Single
+// worker in both arms — the gated speedup is the memo, not parallelism.
+
+void BM_LintCurated(benchmark::State& state) {
+  set_pool_threads(1);
+  const auto models = staticlint::curated_lint_models();
+  for (auto _ : state) {
+    auto run = staticlint::lint(models);
+    benchmark::DoNotOptimize(run.findings.data());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(models.size()));
+}
+BENCHMARK(BM_LintCurated)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_LintMemoized(benchmark::State& state) {
+  set_pool_threads(1);
+  const auto models = staticlint::curated_lint_models();
+  staticlint::LintMemoStore memo;
+  staticlint::LintOptions options;
+  options.memo = &memo;
+  benchmark::DoNotOptimize(staticlint::lint(models, options));  // warm
+  for (auto _ : state) {
+    auto run = staticlint::lint(models, options);
+    benchmark::DoNotOptimize(run.findings.data());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(models.size()));
+}
+BENCHMARK(BM_LintMemoized)->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

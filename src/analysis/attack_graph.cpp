@@ -162,6 +162,66 @@ std::string AttackGraph::to_text() const {
   return os.str();
 }
 
+CompoundChain compose_attack_path(const std::vector<AttackEdge>& path,
+                                  const std::vector<core::FsmModel>& models) {
+  if (path.empty()) {
+    throw std::invalid_argument("compose_attack_path: empty path");
+  }
+  std::string name = "attack path:";
+  for (const auto& e : path) {
+    name += " [" + e.rule + "]";
+  }
+  CompoundChain cc{name, core::ExploitChain(name), {}};
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    const auto& edge = path[k];
+    const auto model_it =
+        std::find_if(models.begin(), models.end(), [&](const core::FsmModel& m) {
+          return m.name() == edge.rule;
+        });
+    if (model_it == models.end()) {
+      throw std::invalid_argument(
+          "compose_attack_path: no model named '" + edge.rule + "'");
+    }
+    const std::string prefix = "s" + std::to_string(k + 1) + ":";
+    const core::ExploitChain& src = model_it->chain();
+    for (std::size_t oi = 0; oi < src.size(); ++oi) {
+      const core::Operation& op = src.operations()[oi];
+      core::Operation copy(prefix + op.name(), op.object_description());
+      for (const auto& p : op.pfsms()) {
+        if (p.declared_secure()) {
+          copy.add(core::Pfsm::secure(prefix + p.name(), p.type(),
+                                      p.activity(), p.spec(), p.action()));
+        } else {
+          copy.add(core::Pfsm(prefix + p.name(), p.type(), p.activity(),
+                              p.spec(), p.impl(), p.action()));
+        }
+      }
+      // Interior gates keep the source condition; each step's final gate
+      // records the fact the edge establishes, which doubles as the
+      // precondition of step k+1 (the compound's propagation semantics).
+      std::string gate = src.gates()[oi].condition;
+      if (oi + 1 == src.size()) {
+        gate = std::string(to_string(edge.to.privilege)) + "@" + edge.to.host +
+               " via " + edge.rule;
+      }
+      cc.chain.add(std::move(copy), core::PropagationGate{std::move(gate)});
+    }
+    cc.steps.push_back(CompoundStep{edge.rule, edge.from, edge.to});
+  }
+  return cc;
+}
+
+staticlint::LintModel to_lint_model(const CompoundChain& cc) {
+  staticlint::LintModel out = staticlint::LintModel::from_chain(cc.chain);
+  out.compound.reserve(cc.steps.size());
+  for (const auto& s : cc.steps) {
+    out.compound.push_back(staticlint::LintCompoundStep{
+        s.rule, s.pre.host, to_string(s.pre.privilege), s.con.host,
+        to_string(s.con.privilege)});
+  }
+  return out;
+}
+
 CompoundPatchScore score_compound_patch(
     const std::vector<Host>& hosts, const std::vector<ExploitRule>& rules,
     const std::vector<Fact>& attacker_start, const Fact& goal,

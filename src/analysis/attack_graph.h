@@ -22,6 +22,7 @@
 
 #include "apps/case_study.h"
 #include "core/model.h"
+#include "staticlint/model_ir.h"
 
 namespace dfsm::analysis {
 
@@ -114,6 +115,41 @@ class AttackGraph {
   std::map<Fact, AttackEdge> parent_;  // BFS tree for path reconstruction
   std::set<Fact> start_;
 };
+
+// --- compound composition (an attack path as ONE exploit chain) --------
+
+/// One step of a composed attack path: the exploit rule applied, the
+/// fact it consumed and the fact it established.
+struct CompoundStep {
+  std::string rule;
+  Fact pre;
+  Fact con;
+};
+
+/// An attack path flattened into ONE runnable ExploitChain — the "chain
+/// of chains" the graph reasons about, materialized so the same
+/// machinery that drives per-vulnerability models (evaluation, lint)
+/// applies to the compound. Every operation/pFSM name is prefixed
+/// "s<k>:" with its 1-based step index, keeping names unique across
+/// steps that reuse a model.
+struct CompoundChain {
+  std::string name;
+  core::ExploitChain chain;
+  std::vector<CompoundStep> steps;  ///< parallel to the path's edges
+};
+
+/// Composes `path` (as returned by AttackGraph::path_to) into one
+/// chain, pulling each edge's operations from the model whose name
+/// matches the edge's rule. Throws std::invalid_argument on an empty
+/// path or an edge whose rule names no model in `models`.
+[[nodiscard]] CompoundChain compose_attack_path(
+    const std::vector<AttackEdge>& path,
+    const std::vector<core::FsmModel>& models);
+
+/// Snapshots a compound chain into the lint IR with its step facts
+/// filled in, so the GR graph-consistency rules (staticlint/rules.h)
+/// can check the composition statically.
+[[nodiscard]] staticlint::LintModel to_lint_model(const CompoundChain& cc);
 
 // --- compound patch scoring (chains of chains, incrementally) ----------
 

@@ -2,6 +2,8 @@
 
 #include "apps/nullhttpd.h"
 #include "runtime/parallel.h"
+#include "staticlint/linter.h"
+#include "staticlint/registry.h"
 
 namespace dfsm::analysis {
 
@@ -15,6 +17,16 @@ namespace {
 /// runs every probe to completion and op1's second outcome is pFSM2's.
 void cross_validate_model(DiscoveryReport& report) {
   const auto model = apps::NullHttpd::figure4_model();
+
+  // Lint the very chain the probes replay through, via the universal
+  // runtime entry point: a malformed model should fail loudly here, not
+  // only show up as probe-by-probe disagreement.
+  const auto lint_run = staticlint::lint_chain(
+      model.chain(), {}, staticlint::source_hint_for(model.name()));
+  report.lint_rules_run = lint_run.rules_run;
+  report.lint_findings = lint_run.findings.size();
+  report.lint_clean = lint_run.findings.empty();
+
   std::vector<std::vector<std::vector<core::Object>>> input_sets;
   input_sets.reserve(report.probes.size());
   for (const auto& probe : report.probes) {

@@ -47,6 +47,14 @@ struct DiscoveryReport {
   /// disagreement means the model and the system diverged.
   std::size_t model_checked = 0;     ///< probes replayed through the chain
   std::size_t model_agreements = 0;  ///< probes where model == sandbox
+
+  /// Static lint of the replayed chain (v0.5 campaign only): the same
+  /// Figure-4 chain the probes are replayed through goes through
+  /// staticlint::lint_chain — a campaign whose model itself is malformed
+  /// should say so, not just disagree probe-by-probe.
+  std::size_t lint_rules_run = 0;
+  std::size_t lint_findings = 0;
+  bool lint_clean = false;  ///< lint ran and found nothing
 };
 
 /// Probes NULL HTTPD v0.5.1 (the patched server) with boundary workloads;

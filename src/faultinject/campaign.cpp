@@ -39,6 +39,40 @@ void fail(TrialResult& r, const std::string& why) {
   r.failure += why;
 }
 
+/// Campaign-wide incremental-lint state: one memo store shared by every
+/// lint in the run, plus the aggregate LintRun the CLI emits. The trial
+/// loop is serial, so the aggregation order (and the memo telemetry) is
+/// identical at every DFSM_THREADS setting.
+struct LintContext {
+  staticlint::LintMemoStore& memo;
+  staticlint::LintRun& agg;
+  std::size_t& models_linted;
+};
+
+/// Lints one IR model through the campaign's shared memo store, records
+/// the per-trial telemetry, and folds findings + counters into the
+/// aggregate run.
+staticlint::LintRun lint_and_record(const staticlint::LintModel& model,
+                                    LintContext& ctx, TrialResult& r) {
+  staticlint::LintOptions opts;
+  opts.memo = &ctx.memo;
+  const auto run = staticlint::lint_model_ir(model, opts);
+  r.lint_rules_executed += run.rules_executed;
+  r.lint_memo_hits += run.memo_hits;
+  r.lint_memo_misses += run.memo_misses;
+  r.lint_memo_invalidated += run.memo_invalidated;
+  ctx.agg.memoized = true;
+  ctx.agg.models_checked += run.models_checked;
+  ctx.agg.rules_run = run.rules_run;
+  ctx.agg.rules_executed += run.rules_executed;
+  ctx.agg.memo_hits += run.memo_hits;
+  ctx.agg.memo_misses += run.memo_misses;
+  ctx.agg.memo_invalidated += run.memo_invalidated;
+  for (const auto& d : run.findings) ctx.agg.findings.push_back(d);
+  ++ctx.models_linted;
+  return run;
+}
+
 TrialResult run_corpus_trial(const CampaignConfig& cfg, std::size_t t,
                              Rng& rng) {
   TrialResult r;
@@ -163,7 +197,7 @@ TrialResult run_corpus_trial(const CampaignConfig& cfg, std::size_t t,
   return r;
 }
 
-TrialResult run_chain_trial(std::size_t t, Rng& rng) {
+TrialResult run_chain_trial(std::size_t t, Rng& rng, LintContext& lint_ctx) {
   TrialResult r;
   r.trial = t;
   r.kind = "chain";
@@ -172,6 +206,16 @@ TrialResult run_chain_trial(std::size_t t, Rng& rng) {
   r.target = fx.chain.name() + "/" + fx.vulnerable_pfsm;
   r.detail = fx.detail;
   r.expected_rules = {"hidden-path", "chain-exploited"};
+
+  // The defect is EXTENSIONAL — the chain's declared structure is clean
+  // — so the static pass must stay quiet on it: any lint finding here
+  // means lint_chain() flags structure it should not.
+  const auto lint_run = lint_and_record(
+      staticlint::LintModel::from_chain(fx.chain), lint_ctx, r);
+  if (!lint_run.findings.empty()) {
+    fail(r, "structurally clean live chain drew " +
+                std::to_string(lint_run.findings.size()) + " lint finding(s)");
+  }
 
   // The defect is extensional (structure is clean), so the dynamic
   // analyses are on the hook: hidden-path detection must produce a
@@ -263,13 +307,54 @@ TrialResult run_sweep_trial(
   return r;
 }
 
+/// Live-chain lint trial: a runnable chain with one planted lint defect
+/// goes through the universal lint_chain() path, and the mutator's
+/// expected rule id must fire — the same machine-checked-expectation
+/// discipline as the IR grid, on the incremental surface.
+TrialResult run_chain_lint_trial(std::size_t t, Rng& rng,
+                                 LintContext& lint_ctx) {
+  TrialResult r;
+  r.trial = t;
+  r.kind = "chainlint";
+  const ChainLintFault fault =
+      kAllChainLintFaults[rng.below(kAllChainLintFaults.size())];
+  const ChainLintFixture fx = make_chain_lint_fault(fault, rng);
+  r.fault = to_string(fault);
+  r.target =
+      fx.chain.name() + (fx.target.empty() ? "" : "/" + fx.target);
+  r.detail = fx.detail;
+  r.expected_rules = fx.expected_rules;
+
+  const auto run = lint_and_record(
+      staticlint::LintModel::from_chain(fx.chain), lint_ctx, r);
+  for (const auto& finding : run.findings) {
+    bool seen = false;
+    for (const auto& id : r.caught_rules) seen = seen || id == finding.rule_id;
+    if (!seen) r.caught_rules.push_back(finding.rule_id);
+  }
+  r.detected = true;
+  for (const auto& want : r.expected_rules) {
+    bool got = false;
+    for (const auto& id : r.caught_rules) got = got || id == want;
+    if (!got) {
+      r.detected = false;
+      fail(r, "planted chain defect escaped lint_chain (expected " + want +
+                  ")");
+    }
+  }
+  r.ok = r.failure.empty();
+  return r;
+}
+
 TrialResult run_model_trial(
     const CampaignConfig& cfg, std::size_t t, Rng& rng,
     const std::vector<staticlint::LintModel>& curated,
-    const std::vector<std::unique_ptr<apps::CaseStudy>>& studies) {
-  const std::size_t surface = rng.below(8);
-  if (surface < 2) return run_chain_trial(t, rng);
+    const std::vector<std::unique_ptr<apps::CaseStudy>>& studies,
+    LintContext& lint_ctx) {
+  const std::size_t surface = rng.below(10);
+  if (surface < 2) return run_chain_trial(t, rng, lint_ctx);
   if (surface < 4) return run_sweep_trial(t, rng, studies);
+  if (surface < 6) return run_chain_lint_trial(t, rng, lint_ctx);
 
   TrialResult r;
   r.trial = t;
@@ -291,7 +376,11 @@ TrialResult run_model_trial(
     r.target = mut->model + (mut->target.empty() ? "" : "/" + mut->target);
     r.detail = mut->detail;
     r.expected_rules = mut->expected_rules;
-    const auto run = staticlint::lint({copy});
+    // Mutants reuse curated model names with perturbed structure, so the
+    // memoized grid sees a fingerprint mismatch per cell — the campaign
+    // deliberately thrashes the store's invalidation path while the
+    // lint verdicts stay byte-identical to a direct lint.
+    const auto run = lint_and_record(copy, lint_ctx, r);
     for (const auto& finding : run.findings) {
       bool seen = false;
       for (const auto& id : r.caught_rules) seen = seen || id == finding.rule_id;
@@ -385,6 +474,11 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   report.config = config;
   const auto curated = staticlint::curated_lint_models();
   const auto studies = apps::all_case_studies();
+  // One memo store for the whole campaign: repeated fixtures hit, every
+  // mutated curated model invalidates its own cells, and the aggregate
+  // telemetry lands in report.lint.
+  staticlint::LintMemoStore memo;
+  LintContext lint_ctx{memo, report.lint, report.models_linted};
   for (std::size_t t = 0; t < config.trials; ++t) {
     // All trial randomness is a pure function of (seed, t); trials are
     // order-independent and individually replayable.
@@ -395,8 +489,10 @@ CampaignReport run_campaign(const CampaignConfig& config) {
       case CampaignKind::kModel: corpus = false; break;
       case CampaignKind::kAll: corpus = rng.below(2) == 0; break;
     }
-    TrialResult r = corpus ? run_corpus_trial(config, t, rng)
-                           : run_model_trial(config, t, rng, curated, studies);
+    TrialResult r = corpus
+                        ? run_corpus_trial(config, t, rng)
+                        : run_model_trial(config, t, rng, curated, studies,
+                                          lint_ctx);
     if (corpus) {
       ++report.corpus_trials;
     } else {
@@ -434,6 +530,11 @@ std::string emit_text(const CampaignReport& report) {
     if (!t.ok) os << " -- " << t.failure;
     os << "\n";
   }
+  os << "lint: " << report.models_linted << " model(s), "
+     << report.lint.rules_executed << " rule execution(s), "
+     << report.lint.memo_hits << " hit(s), " << report.lint.memo_misses
+     << " miss(es), " << report.lint.memo_invalidated << " invalidated, "
+     << report.lint.findings.size() << " finding(s)\n";
   os << (report.ok() ? "PASS" : "FAIL") << ": " << report.corpus_trials
      << " corpus trial(s), " << report.model_trials << " model trial(s), "
      << report.failures << " failure(s)\n";
@@ -453,6 +554,13 @@ std::string emit_json(const CampaignReport& report) {
      << ", \"model_trials\": " << report.model_trials
      << ", \"failures\": " << report.failures << ", \"ok\": "
      << (report.ok() ? "true" : "false") << "},\n";
+  os << "  \"lint\": {\"models_linted\": " << report.models_linted
+     << ", \"rules_run\": " << report.lint.rules_run
+     << ", \"rules_executed\": " << report.lint.rules_executed
+     << ", \"memo_hits\": " << report.lint.memo_hits
+     << ", \"memo_misses\": " << report.lint.memo_misses
+     << ", \"memo_invalidated\": " << report.lint.memo_invalidated
+     << ", \"findings\": " << report.lint.findings.size() << "},\n";
   os << "  \"trials\": [\n";
   for (std::size_t i = 0; i < report.trials.size(); ++i) {
     const auto& t = report.trials[i];
@@ -474,7 +582,12 @@ std::string emit_json(const CampaignReport& report) {
       emit_string_array(os, t.expected_rules);
       os << ", \"caught_rules\": ";
       emit_string_array(os, t.caught_rules);
-      os << ", \"detected\": " << (t.detected ? "true" : "false") << ", ";
+      os << ", \"detected\": " << (t.detected ? "true" : "false")
+         << ", \"lint_rules_executed\": " << t.lint_rules_executed
+         << ", \"lint_memo_hits\": " << t.lint_memo_hits
+         << ", \"lint_memo_misses\": " << t.lint_memo_misses
+         << ", \"lint_memo_invalidated\": " << t.lint_memo_invalidated
+         << ", ";
     }
     os << "\"ok\": " << (t.ok ? "true" : "false") << ", \"failure\": \""
        << json_escape(t.failure) << "\"}"

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "staticlint/linter.h"
+
 namespace dfsm::faultinject {
 
 /// Which fault surface a campaign exercises.
@@ -86,6 +88,13 @@ struct TrialResult {
   std::vector<std::string> caught_rules;
   bool detected = false;
 
+  // incremental-lint telemetry (trials that route through lint_chain /
+  // the memoized lint grid; zero elsewhere)
+  std::size_t lint_rules_executed = 0;
+  std::size_t lint_memo_hits = 0;
+  std::size_t lint_memo_misses = 0;
+  std::size_t lint_memo_invalidated = 0;
+
   bool ok = false;        ///< the trial's invariant held
   std::string failure;    ///< why it failed ("" when ok)
 };
@@ -96,6 +105,15 @@ struct CampaignReport {
   std::size_t corpus_trials = 0;
   std::size_t model_trials = 0;
   std::size_t failures = 0;
+
+  /// Every model the campaign linted, aggregated into one LintRun: the
+  /// findings concatenate in trial order and the memo telemetry sums
+  /// over one campaign-wide LintMemoStore (the incremental-lint surface
+  /// `dfsm_faultinject --lint-out/--lint-sarif` emits). Deterministic:
+  /// the trial loop is serial and the memoized grid's lookup/insert
+  /// phases are serial at every DFSM_THREADS setting.
+  staticlint::LintRun lint;
+  std::size_t models_linted = 0;
 
   [[nodiscard]] bool ok() const noexcept { return failures == 0; }
 };

@@ -315,4 +315,101 @@ ChainFaultFixture make_chain_fault(Rng& rng) {
   return f;
 }
 
+const char* to_string(ChainLintFault f) noexcept {
+  switch (f) {
+    case ChainLintFault::kCheckThenUseWindow: return "check-then-use-window";
+    case ChainLintFault::kSharedObjectReread: return "shared-object-reread";
+    case ChainLintFault::kMissingConsequence: return "missing-consequence";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Trivial accept-all predicate with a content-attribute question form
+/// (keeps TX001 quiet on fixture pFSMs).
+core::Predicate attr_check(std::string question) {
+  return core::Predicate{std::move(question),
+                         [](const core::Object&) { return true; }};
+}
+
+/// The fixture object paths the rng picks from — cosmetic variation
+/// only; every path is absolute so the DR classifiers see it.
+constexpr std::array<const char*, 3> kFixturePaths = {
+    "/var/log/app.log",
+    "/var/spool/app/queue",
+    "/etc/app/state",
+};
+
+}  // namespace
+
+ChainLintFixture make_chain_lint_fault(ChainLintFault fault, Rng& rng) {
+  const std::string path = kFixturePaths[rng.below(kFixturePaths.size())];
+  switch (fault) {
+    case ChainLintFault::kCheckThenUseWindow: {
+      // The xterm Figure 5 shape: a checking pFSM validates the target,
+      // then an UNCHECKED reference-consistency step re-opens it through
+      // the schedule surface — the binding can be switched in between.
+      core::Operation op{"append to the log file", "the log file " + path};
+      op.add(core::Pfsm::secure(
+          "pFSM1", core::PfsmType::kContentAttributeCheck,
+          "get the filename of the log file",
+          attr_check("does the file pass the access() ownership check?"),
+          "filename accepted"));
+      op.add(core::Pfsm::unchecked(
+          "pFSM2", core::PfsmType::kReferenceConsistencyCheck,
+          "open " + path + " with write permission",
+          attr_check("is the file binding unchanged between check and use?"),
+          "append the record"));
+      core::ExploitChain chain{"seeded-toctou-chain"};
+      chain.add(std::move(op), {"attacker-chosen file appended to"});
+      return ChainLintFixture{
+          std::move(chain),
+          "append to the log file/pFSM2",
+          "unchecked reference-consistency step opens " + path +
+              " after the ownership check",
+          {"DR001"}};
+    }
+    case ChainLintFault::kSharedObjectReread: {
+      // The rwall Figure 6 shape: operation 1 writes a path, operation 2
+      // re-reads it with no consistency check in between.
+      core::Operation produce{"record the request", "the queue file"};
+      produce.add(core::Pfsm::unchecked(
+          "pFSM1", core::PfsmType::kContentAttributeCheck,
+          "write the request to " + path,
+          attr_check("does the request carry only printable content?"),
+          "request queued"));
+      core::Operation consume{"process the queue", "entries of the queue file"};
+      consume.add(core::Pfsm::unchecked(
+          "pFSM2", core::PfsmType::kContentAttributeCheck,
+          "read the next entry from " + path + " and act on it",
+          attr_check("does the entry name a valid destination?"),
+          "entry executed"));
+      core::ExploitChain chain{"seeded-shared-object-chain"};
+      chain.add(std::move(produce), {"queue entry written"});
+      chain.add(std::move(consume), {"attacker-controlled entry executed"});
+      return ChainLintFixture{
+          std::move(chain),
+          "process the queue/pFSM2",
+          "both operations touch " + path + " unchecked",
+          {"DR002"}};
+    }
+    case ChainLintFault::kMissingConsequence: {
+      core::Operation op{"handle the request", "the request buffer"};
+      op.add(core::Pfsm::secure(
+          "pFSM1", core::PfsmType::kContentAttributeCheck,
+          "parse the request header",
+          attr_check("does the header length fit the buffer?"),
+          "header parsed"));
+      core::ExploitChain chain{"seeded-consequence-less-chain"};
+      chain.add(std::move(op), {""});  // the planted defect
+      return ChainLintFixture{std::move(chain),
+                              "",
+                              "final propagation gate names no consequence",
+                              {"ST008"}};
+    }
+  }
+  throw std::invalid_argument("unknown chain lint fault");
+}
+
 }  // namespace dfsm::faultinject

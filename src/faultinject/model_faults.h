@@ -99,6 +99,39 @@ struct ChainFaultFixture {
 /// Builds the fixture; deterministic in `rng`.
 [[nodiscard]] ChainFaultFixture make_chain_fault(Rng& rng);
 
+/// Live-chain lint faults: defects planted in a RUNNABLE ExploitChain
+/// (not an IR snapshot) that the universal lint_chain() entry point must
+/// flag — the third injection surface, extending the machine-checked-
+/// expectation discipline to the incremental lint pipeline.
+enum class ChainLintFault {
+  kCheckThenUseWindow,  ///< DR001: unchecked ref-consistency step yields
+  kSharedObjectReread,  ///< DR002: two operations re-touch one path
+  kMissingConsequence,  ///< ST008: final gate left empty
+};
+
+inline constexpr std::array<ChainLintFault, 3> kAllChainLintFaults = {
+    ChainLintFault::kCheckThenUseWindow,
+    ChainLintFault::kSharedObjectReread,
+    ChainLintFault::kMissingConsequence,
+};
+
+[[nodiscard]] const char* to_string(ChainLintFault f) noexcept;
+
+/// A live chain carrying one planted lint defect, plus the rule ids on
+/// the hook for it.
+struct ChainLintFixture {
+  core::ExploitChain chain;
+  std::string target;  ///< "operation/pfsm" ("" = chain-level)
+  std::string detail;
+  std::vector<std::string> expected_rules;  ///< >=1 of these must fire
+};
+
+/// Builds the fixture for one fault kind; deterministic in `rng` (the
+/// rng only varies cosmetic parameters such as the object path, so the
+/// expected rules always apply).
+[[nodiscard]] ChainLintFixture make_chain_lint_fault(ChainLintFault fault,
+                                                     Rng& rng);
+
 }  // namespace dfsm::faultinject
 
 #endif  // DFSM_FAULTINJECT_MODEL_FAULTS_H

@@ -1,0 +1,107 @@
+#include "fssim/schedule.h"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace dfsm::fssim {
+
+namespace {
+
+/// The verb set mirrors fssim::FileSystem's entry points plus the common
+/// natural-language forms model activities use for them. Matching is
+/// whole-token, case-insensitive, so "opened"/"reopen" do not count.
+constexpr std::array<std::string_view, 22> kFsVerbs = {
+    "open",    "read",   "write",  "create", "creat",  "unlink",
+    "symlink", "link",   "rename", "stat",   "lstat",  "fstat",
+    "access",  "append", "delete", "remove", "chmod",  "chown",
+    "mkdir",   "get",    "edit",   "truncate",
+};
+
+std::string lowercase(std::string_view s) {
+  std::string out{s};
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Splits on whitespace and strips surrounding punctuation/quotes from
+/// each token ('"', '(', ')', ',', ';', '.', ...), keeping '/' intact so
+/// path tokens survive.
+std::vector<std::string> tokens(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (j > i) {
+      std::size_t b = i, e = j;
+      const auto is_edge = [&](char c) {
+        return c == '"' || c == '\'' || c == '(' || c == ')' || c == ',' ||
+               c == ';' || c == ':' || c == '.' || c == '[' || c == ']';
+      };
+      while (b < e && is_edge(text[b])) ++b;
+      while (e > b && is_edge(text[e - 1])) --e;
+      if (e > b) out.push_back(text.substr(b, e - b));
+    }
+    i = j;
+  }
+  return out;
+}
+
+bool is_fs_verb(const std::string& token) {
+  const std::string lower = lowercase(token);
+  for (const auto v : kFsVerbs) {
+    if (lower == v) return true;
+  }
+  return false;
+}
+
+/// An absolute path token: starts with '/' and has at least one more
+/// character that is not punctuation — "/etc/utmp" yes, a lone "/" no.
+bool is_path_token(const std::string& token) {
+  return token.size() > 1 && token.front() == '/';
+}
+
+}  // namespace
+
+std::vector<std::string> path_tokens(const std::string& activity) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens(activity)) {
+    if (is_path_token(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<YieldPoint> yield_points(const std::string& activity) {
+  std::vector<std::string> verbs;
+  std::vector<std::string> paths;
+  for (const auto& t : tokens(activity)) {
+    if (is_path_token(t)) {
+      paths.push_back(t);
+    } else if (is_fs_verb(t)) {
+      verbs.push_back(lowercase(t));
+    }
+  }
+  std::vector<YieldPoint> out;
+  if (verbs.empty() || paths.empty()) return out;
+  out.reserve(verbs.size() * paths.size());
+  for (const auto& v : verbs) {
+    for (const auto& p : paths) out.push_back(YieldPoint{v, p});
+  }
+  return out;
+}
+
+bool crosses_schedule_surface(const std::string& activity) {
+  return !yield_points(activity).empty();
+}
+
+}  // namespace dfsm::fssim

@@ -1,0 +1,50 @@
+// schedule.h — the static view of the fssim schedule surface.
+//
+// The race interleaver (race.h) explores schedules whose yield points are
+// the filesystem syscalls a victim step performs: any step that touches a
+// path through the shared FileSystem can be preempted there, which is
+// exactly where the curated TOCTOU races (xterm Figure 5, rwall Figure 6)
+// live. The static linter needs the same notion WITHOUT running anything,
+// so this header classifies an elementary-activity STRING: an activity
+// crosses the schedule surface when it names a filesystem verb applied to
+// an absolute path — the textual shadow of a CtxStep that would call into
+// fssim::FileSystem and therefore yield to the scheduler.
+//
+// The classifier is deliberately conservative and purely lexical: a verb
+// token (open/read/write/unlink/...) must co-occur with an absolute path
+// token ("/etc/utmp", "/usr/tom/x") in the same activity. Activities that
+// talk about buffers, sockets, or return addresses never mention absolute
+// paths, so the curated non-race models stay off the surface.
+#ifndef DFSM_FSSIM_SCHEDULE_H
+#define DFSM_FSSIM_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+namespace dfsm::fssim {
+
+/// One lexical yield point of an activity: a filesystem verb applied to
+/// an absolute path. `path` is the quote-stripped path token.
+struct YieldPoint {
+  std::string verb;
+  std::string path;
+};
+
+/// Every (verb, path) pair found in the activity text. Deterministic:
+/// verbs and paths are reported in token order, verbs crossed with paths
+/// in first-seen order.
+[[nodiscard]] std::vector<YieldPoint> yield_points(const std::string& activity);
+
+/// True when the activity names at least one filesystem verb AND at
+/// least one absolute path — i.e. the modeled step would enter the fssim
+/// schedule surface and can be preempted between check and use.
+[[nodiscard]] bool crosses_schedule_surface(const std::string& activity);
+
+/// The absolute-path tokens of an activity (quote-stripped), regardless
+/// of verbs. Used by the shared-object race rule to match one path
+/// across two operations.
+[[nodiscard]] std::vector<std::string> path_tokens(const std::string& activity);
+
+}  // namespace dfsm::fssim
+
+#endif  // DFSM_FSSIM_SCHEDULE_H

@@ -11,6 +11,8 @@
 #include "fssim/filesystem.h"
 #include "netsim/http.h"
 #include "runtime/parallel.h"
+#include "staticlint/linter.h"
+#include "staticlint/registry.h"
 
 namespace dfsm::loadgen {
 
@@ -320,6 +322,27 @@ LoadReport run_load(const EngineOptions& options) {
     throw std::invalid_argument("loadgen: at least one server must be enabled");
   }
 
+  LoadReport report;
+  if (options.monitor) {
+    // Lint the monitor models before deploying them against traffic —
+    // the same universal entry every other pipeline uses. Serial and
+    // model-order stable, so the report stays byte-identical at every
+    // DFSM_THREADS setting.
+    const auto snapshot = [](const core::FsmModel& m) {
+      return staticlint::LintModel::from_model(
+          m, staticlint::source_hint_for(m.name()));
+    };
+    const std::vector<staticlint::LintModel> monitors = {
+        snapshot(apps::NullHttpd::figure4_model()),
+        snapshot(apps::Ghttpd::ghttpd_model()),
+        snapshot(apps::IisDecoder::figure7_model()),
+    };
+    const auto lint_run = staticlint::lint(monitors);
+    report.monitor_models_linted = lint_run.models_checked;
+    report.monitor_lint_findings = lint_run.findings.size();
+    report.monitor_lint_clean = lint_run.findings.empty();
+  }
+
   const ExploitPayloads exploits = build_exploit_payloads();
 
   // Agents are embarrassingly parallel; parallel_map's index order makes
@@ -330,7 +353,6 @@ LoadReport run_load(const EngineOptions& options) {
         return run_agent(options, exploits, static_cast<std::uint64_t>(agent));
       });
 
-  LoadReport report;
   report.workload = w;
   report.monitored = options.monitor;
   report.samples = netsim::RequestTap{options.capture};

@@ -87,6 +87,14 @@ struct LoadReport {
   std::uint64_t throughput_rps = 0;  ///< requests / makespan (virtual)
 
   netsim::RequestTap samples{0};  ///< captured exploit requests
+
+  // Monitor-model lint verdict (monitored runs only; zero/false when the
+  // monitor is off). run_load lints the three monitor models through the
+  // universal staticlint entry before serving traffic, so a run cannot
+  // silently deploy a structurally broken detection model.
+  std::size_t monitor_models_linted = 0;
+  std::size_t monitor_lint_findings = 0;
+  bool monitor_lint_clean = false;
 };
 
 /// Runs the full workload over the global thread pool.

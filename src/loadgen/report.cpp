@@ -85,6 +85,10 @@ std::string render_text(const LoadReport& r) {
             r.total.detected, r.total.false_negatives,
             r.total.false_positives,
             percent_string(detection_rate_bp(r.total)).c_str());
+    appendf(out,
+            "lint    : %zu monitor model(s) linted, %zu finding(s) (%s)\n",
+            r.monitor_models_linted, r.monitor_lint_findings,
+            r.monitor_lint_clean ? "clean" : "NOT CLEAN");
   } else {
     out += "monitor : off (no detection accounting)\n";
   }
@@ -139,6 +143,12 @@ std::string render_json(const LoadReport& r) {
   }
   out += "],\n";
   appendf(out, "    \"monitor\": %s\n  },\n", r.monitored ? "true" : "false");
+
+  appendf(out,
+          "  \"monitor_lint\": {\n    \"models_linted\": %zu,\n"
+          "    \"findings\": %zu,\n    \"clean\": %s\n  },\n",
+          r.monitor_models_linted, r.monitor_lint_findings,
+          r.monitor_lint_clean ? "true" : "false");
 
   out += "  \"totals\": {\n";
   append_tally_json(out, r.total, "    ");

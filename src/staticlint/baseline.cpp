@@ -1,0 +1,113 @@
+#include "staticlint/baseline.h"
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace dfsm::staticlint {
+
+namespace {
+
+/// Reads the JSON string literal following `"key":` at/after `pos`.
+/// Returns false when the key does not occur at/after pos; `pos` is
+/// advanced past the closing quote on success.
+bool read_string_after_key(const std::string& text, const std::string& key,
+                           std::size_t& pos, std::string& out) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle, pos);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+          text[i] == '\r' || text[i] == ':')) {
+    ++i;
+  }
+  if (i >= text.size() || text[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < text.size() && text[i] != '"') {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      const char esc = text[i + 1];
+      switch (esc) {
+        case '"': out += '"'; i += 2; break;
+        case '\\': out += '\\'; i += 2; break;
+        case '/': out += '/'; i += 2; break;
+        case 'n': out += '\n'; i += 2; break;
+        case 'r': out += '\r'; i += 2; break;
+        case 't': out += '\t'; i += 2; break;
+        case 'u': {
+          // Our emitter only \u-escapes control characters; decode the
+          // low byte and move on.
+          unsigned value = 0;
+          std::size_t j = i + 2;
+          for (; j < i + 6 && j < text.size(); ++j) {
+            const char c = text[j];
+            value <<= 4;
+            if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+          }
+          out += static_cast<char>(value & 0xff);
+          i = j;
+          break;
+        }
+        default: out += esc; i += 2; break;
+      }
+    } else {
+      out += text[i++];
+    }
+  }
+  if (i >= text.size()) return false;
+  pos = i + 1;  // past the closing quote
+  return true;
+}
+
+}  // namespace
+
+Baseline Baseline::from_sarif(const std::string& sarif_text) {
+  const std::size_t results_at = sarif_text.find("\"results\"");
+  if (results_at == std::string::npos) {
+    throw std::invalid_argument(
+        "baseline file is not SARIF: no \"results\" array");
+  }
+  Baseline b;
+  // Scan result objects in document order. Each of our results writes
+  // "ruleId" first and its logicalLocations "fullyQualifiedName" after;
+  // the driver's rule descriptors use "id", so "ruleId" never matches
+  // anything but a result.
+  std::size_t pos = results_at;
+  std::string rule_id;
+  while (read_string_after_key(sarif_text, "ruleId", pos, rule_id)) {
+    // The qualified name belongs to THIS result only if it appears
+    // before the next result's ruleId.
+    const std::size_t next_rule = sarif_text.find("\"ruleId\"", pos);
+    std::size_t qn_pos = pos;
+    std::string qualified;
+    if (read_string_after_key(sarif_text, "fullyQualifiedName", qn_pos,
+                              qualified) &&
+        (next_rule == std::string::npos || qn_pos <= next_rule)) {
+      pos = qn_pos;
+    } else {
+      qualified.clear();
+    }
+    b.entries_.emplace_back(rule_id, qualified);
+  }
+  return b;
+}
+
+bool Baseline::contains(const Diagnostic& d) const {
+  const std::string qualified = d.where.qualified();
+  for (const auto& [rule, name] : entries_) {
+    if (rule == d.rule_id && name == qualified) return true;
+  }
+  return false;
+}
+
+BaselineSplit apply_baseline(const LintRun& run, const Baseline& baseline) {
+  BaselineSplit split;
+  for (const auto& d : run.findings) {
+    (baseline.contains(d) ? split.suppressed : split.fresh).push_back(d);
+  }
+  return split;
+}
+
+}  // namespace dfsm::staticlint

@@ -1,0 +1,59 @@
+// baseline.h — SARIF baseline suppression for campaign-generated lint.
+//
+// Campaigns mint thousands of models, and some carry findings BY DESIGN
+// (the curated xterm/rwall race notes, fixture mutants). Gating CI on
+// "no findings at all" would freeze those legitimate fixtures; gating on
+// nothing lets regressions through. The middle path is the classic
+// baseline workflow: a previous run's SARIF is the accepted state, and
+// only findings NOT in the baseline count against the gate
+// (`dfsm_lint --baseline old.sarif`).
+//
+// A finding is identified by (ruleId, fullyQualifiedName) — the rule
+// plus the model/operation/pfsm logical path, the two fields our own
+// SARIF always emits for every result. Message text is deliberately NOT
+// part of the identity, so rewording a diagnostic does not un-suppress
+// the finding. The parser reads exactly the SARIF our emitter writes
+// (and any SARIF that keeps ruleId before locations inside each
+// result object); it is a scanner, not a general JSON parser.
+#ifndef DFSM_STATICLINT_BASELINE_H
+#define DFSM_STATICLINT_BASELINE_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "staticlint/diagnostic.h"
+#include "staticlint/linter.h"
+
+namespace dfsm::staticlint {
+
+/// The set of known (ruleId, fullyQualifiedName) findings of a previous
+/// SARIF run.
+class Baseline {
+ public:
+  /// Parses baseline identities out of SARIF text. Results with no
+  /// logical location contribute (ruleId, "") entries. Throws
+  /// std::invalid_argument when the text has no SARIF results array.
+  [[nodiscard]] static Baseline from_sarif(const std::string& sarif_text);
+
+  [[nodiscard]] bool contains(const Diagnostic& d) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// A lint run split against a baseline.
+struct BaselineSplit {
+  std::vector<Diagnostic> fresh;       ///< findings NOT in the baseline
+  std::vector<Diagnostic> suppressed;  ///< findings the baseline covers
+};
+
+/// Partitions `run.findings` (order-preserving in both halves). Exit
+/// logic should consider `fresh` only.
+[[nodiscard]] BaselineSplit apply_baseline(const LintRun& run,
+                                           const Baseline& baseline);
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_BASELINE_H

@@ -1,5 +1,6 @@
 #include "staticlint/emit.h"
 
+#include <cctype>
 #include <cstddef>
 #include <cstdio>
 #include <sstream>
@@ -56,12 +57,41 @@ std::size_t rule_index(const std::string& id) {
   return 0;
 }
 
+/// Synthetic artifact URI for findings on models WITHOUT a source hint
+/// (discovery-built chains, fault-campaign mutants, compound
+/// compositions): "models/<slug>" from the model name, lowercased,
+/// non-alphanumerics collapsed to single dashes. A stable URI per model
+/// so GitHub code scanning can group and track findings it cannot
+/// anchor to a real file.
+std::string synthetic_uri(const std::string& model) {
+  std::string slug;
+  slug.reserve(model.size());
+  bool pending_dash = false;
+  for (const char c : model) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      if (pending_dash && !slug.empty()) slug += '-';
+      pending_dash = false;
+      slug += static_cast<char>(std::tolower(u));
+    } else {
+      pending_dash = true;
+    }
+  }
+  if (slug.empty()) slug = "unnamed";
+  return "models/" + slug;
+}
+
 }  // namespace
 
 std::string emit_text(const LintRun& run) {
   std::ostringstream os;
   os << kToolName << ": checked " << run.models_checked << " model(s) against "
      << run.rules_run << " rule(s)\n";
+  if (run.memoized) {
+    os << "memo: " << run.rules_executed << " rule execution(s), "
+       << run.memo_hits << " hit(s), " << run.memo_misses << " miss(es), "
+       << run.memo_invalidated << " invalidated\n";
+  }
   for (const auto& d : run.findings) {
     os << to_string(d.severity) << " " << d.rule_id << ": "
        << d.where.qualified() << ": " << d.message << "\n";
@@ -83,6 +113,11 @@ std::string emit_json(const LintRun& run) {
      << "  \"version\": \"" << kToolVersion << "\",\n"
      << "  \"models_checked\": " << run.models_checked << ",\n"
      << "  \"rules_run\": " << run.rules_run << ",\n"
+     << "  \"memoized\": " << (run.memoized ? "true" : "false") << ",\n"
+     << "  \"rules_executed\": " << run.rules_executed << ",\n"
+     << "  \"memo_hits\": " << run.memo_hits << ",\n"
+     << "  \"memo_misses\": " << run.memo_misses << ",\n"
+     << "  \"memo_invalidated\": " << run.memo_invalidated << ",\n"
      << "  \"errors\": " << run.errors() << ",\n"
      << "  \"warnings\": " << run.warnings() << ",\n"
      << "  \"findings\": [";
@@ -138,12 +173,14 @@ std::string emit_sarif(const LintRun& run) {
        << "\"level\": \"" << sarif_level(d.severity) << "\", "
        << "\"message\": {\"text\": \"" << json_escape(d.message) << "\"}, "
        << "\"locations\": [{";
-    if (!d.source_hint.empty()) {
-      os << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
-         << json_escape(d.source_hint)
-         << "\", \"uriBaseId\": \"%SRCROOT%\"}, "
-         << "\"region\": {\"startLine\": 1}}, ";
-    }
+    // Models without a source hint still get a physicalLocation: a
+    // stable synthetic "models/<slug>" URI so code scanning can group
+    // runtime-built chains instead of dropping the location entirely.
+    const std::string uri =
+        d.source_hint.empty() ? synthetic_uri(d.where.model) : d.source_hint;
+    os << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+       << json_escape(uri) << "\", \"uriBaseId\": \"%SRCROOT%\"}, "
+       << "\"region\": {\"startLine\": 1}}, ";
     os << "\"logicalLocations\": [{\"fullyQualifiedName\": \""
        << json_escape(d.where.qualified()) << "\", \"kind\": \"object\"}]"
        << "}]}";

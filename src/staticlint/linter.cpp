@@ -1,6 +1,8 @@
 #include "staticlint/linter.h"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "runtime/parallel.h"
 
@@ -14,8 +16,9 @@ std::size_t LintRun::count(Severity s) const {
   return n;
 }
 
-LintRun lint(const std::vector<LintModel>& models, const LintOptions& options,
-             runtime::ThreadPool& pool) {
+namespace {
+
+std::vector<const Rule*> select_rules(const LintOptions& options) {
   std::vector<const Rule*> selected;
   if (options.rule_ids.empty()) {
     for (const auto& r : all_rules()) selected.push_back(&r);
@@ -28,30 +31,110 @@ LintRun lint(const std::vector<LintModel>& models, const LintOptions& options,
       selected.push_back(r);
     }
   }
+  return selected;
+}
+
+std::vector<Diagnostic> run_cell(const LintModel& m, const Rule& r) {
+  std::vector<Diagnostic> out;
+  r.check(r.info, m, out);
+  for (auto& d : out) d.source_hint = m.source_hint;
+  return out;
+}
+
+}  // namespace
+
+LintRun lint(const std::vector<LintModel>& models, const LintOptions& options,
+             runtime::ThreadPool& pool) {
+  const std::vector<const Rule*> selected = select_rules(options);
 
   LintRun run;
   run.models_checked = models.size();
   run.rules_run = selected.size();
 
-  // One grid cell per (model, rule) pair, model-major. Each cell is
-  // independent, so the whole grid fans out; flattening in index order
-  // reproduces the serial nested walk byte-for-byte.
   const std::size_t cells = models.size() * selected.size();
-  auto per_cell = runtime::parallel_map<std::vector<Diagnostic>>(
-      cells,
-      [&](std::size_t i) {
+
+  if (options.memo == nullptr) {
+    // One grid cell per (model, rule) pair, model-major. Each cell is
+    // independent, so the whole grid fans out; flattening in index order
+    // reproduces the serial nested walk byte-for-byte.
+    auto per_cell = runtime::parallel_map<std::vector<Diagnostic>>(
+        cells,
+        [&](std::size_t i) {
+          const LintModel& m = models[i / selected.size()];
+          const Rule& r = *selected[i % selected.size()];
+          return run_cell(m, r);
+        },
+        pool);
+    run.rules_executed = cells;
+    for (auto& cell : per_cell) {
+      for (auto& d : cell) run.findings.push_back(std::move(d));
+    }
+    return run;
+  }
+
+  // Incremental mode: the same grid filled through the memo store in
+  // three phases, mirroring the sweep engine (DESIGN.md §11). Phase 1
+  // looks every cell up SERIALLY, so hit/miss/invalidation counts see
+  // one well-defined operation order at every DFSM_THREADS setting.
+  run.memoized = true;
+  LintMemoStore& memo = *options.memo;
+
+  std::vector<std::uint64_t> fps;
+  fps.reserve(models.size());
+  for (const auto& m : models) fps.push_back(fingerprint(m));
+
+  std::vector<std::optional<std::vector<Diagnostic>>> cached(cells);
+  std::vector<std::size_t> missed;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const std::size_t mi = i / selected.size();
+    const LintMemoKey key{models[mi].name, selected[i % selected.size()]->info.id};
+    bool invalidated = false;
+    if (auto entry = memo.lookup(key, fps[mi], &invalidated)) {
+      cached[i] = std::move(entry->findings);
+      ++run.memo_hits;
+    } else {
+      missed.push_back(i);
+      ++run.memo_misses;
+      if (invalidated) ++run.memo_invalidated;
+    }
+  }
+
+  // Phase 2: execute only the missed cells, in parallel.
+  auto fresh = runtime::parallel_map<std::vector<Diagnostic>>(
+      missed.size(),
+      [&](std::size_t j) {
+        const std::size_t i = missed[j];
         const LintModel& m = models[i / selected.size()];
         const Rule& r = *selected[i % selected.size()];
-        std::vector<Diagnostic> out;
-        r.check(r.info, m, out);
-        for (auto& d : out) d.source_hint = m.source_hint;
-        return out;
+        return run_cell(m, r);
       },
       pool);
-  for (auto& cell : per_cell) {
-    for (auto& d : cell) run.findings.push_back(std::move(d));
+  run.rules_executed = missed.size();
+
+  // Phase 3: insert the fresh cells serially, then flatten the grid in
+  // index order — byte-identical to the memo-less walk.
+  for (std::size_t j = 0; j < missed.size(); ++j) {
+    const std::size_t i = missed[j];
+    const std::size_t mi = i / selected.size();
+    const LintMemoKey key{models[mi].name, selected[i % selected.size()]->info.id};
+    memo.insert(key, LintMemoEntry{fps[mi], fresh[j]});
+    cached[i] = std::move(fresh[j]);
+  }
+  for (auto& cell : cached) {
+    for (auto& d : *cell) run.findings.push_back(std::move(d));
   }
   return run;
+}
+
+LintRun lint_model_ir(const LintModel& model, const LintOptions& options,
+                      runtime::ThreadPool& pool) {
+  return lint(std::vector<LintModel>{model}, options, pool);
+}
+
+LintRun lint_chain(const core::ExploitChain& chain, const LintOptions& options,
+                   std::string source_hint, runtime::ThreadPool& pool) {
+  return lint_model_ir(LintModel::from_chain(chain, std::move(source_hint)),
+                       options, pool);
 }
 
 }  // namespace dfsm::staticlint

@@ -1,0 +1,52 @@
+#include "staticlint/memo.h"
+
+namespace dfsm::staticlint {
+
+std::optional<LintMemoEntry> LintMemoStore::lookup(
+    const LintMemoKey& key, std::uint64_t model_fingerprint,
+    bool* invalidated) {
+  if (invalidated != nullptr) *invalidated = false;
+  auto entry = store_.get(key);
+  if (entry && entry->model_fingerprint != model_fingerprint) {
+    // Stale: the model changed since this cell was written. Only this
+    // model's cells can carry the old fingerprint, so invalidation never
+    // touches a neighbour. The erase re-validates under the store lock
+    // so a fresh cell re-inserted by a concurrent writer between the get
+    // and here survives, and only the thread that actually dropped the
+    // cell counts an invalidation.
+    const bool erased = store_.erase_if(key, [&](const LintMemoEntry& e) {
+      return e.model_fingerprint != model_fingerprint;
+    });
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    if (erased) ++invalidated_;
+    ++misses_;
+    if (invalidated != nullptr) *invalidated = erased;
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  if (!entry) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return entry;
+}
+
+LintMemoStore::Stats LintMemoStore::stats() const {
+  const auto lru = store_.stats();
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.invalidated = invalidated_;
+  }
+  s.evictions = lru.evictions;
+  s.size = store_.size();
+  s.max_entries = store_.max_entries();
+  return s;
+}
+
+void LintMemoStore::clear() { store_.clear(); }
+
+}  // namespace dfsm::staticlint

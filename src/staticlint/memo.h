@@ -1,0 +1,120 @@
+// memo.h — the fingerprint-keyed lint memo store (DESIGN.md §13).
+//
+// lint_chain() turns every runtime-built chain — discovery probes,
+// fault-campaign trials, attack_graph compound compositions, loadgen
+// monitor models — into a lint pass, and most of those chains are
+// IDENTICAL from lint's point of view from one invocation to the next.
+// A LintMemoStore keeps per-(model, rule) findings alive across lint()
+// calls, so re-linting an unchanged model executes ZERO rules: every
+// cell is a pure cache hit (telemetry-asserted in tests).
+//
+// Keying and soundness (same contract as analysis::SweepMemoStore):
+//   * the FULL key is (model name, rule id), compared by exact equality;
+//     the 64-bit hash only buckets, so a hash collision cannot alias
+//     entries by construction;
+//   * every entry carries the model's structural fingerprint
+//     (staticlint::fingerprint over EVERY IR field a rule can read). A
+//     lookup whose caller-side fingerprint differs finds a STALE entry:
+//     the model changed since the entry was written. The entry is
+//     dropped atomically (SharedLruStore::erase_if), counted in
+//     Stats::invalidated, and the lookup misses — so editing one model
+//     invalidates exactly that model's cells and nothing else;
+//   * rules are pure functions of the IR (rules.h contract), so a cell
+//     keyed by (name, rule) and validated by the full-IR fingerprint can
+//     never serve findings the current model would not produce. Reusing
+//     one model NAME for structurally different chains is fine — the
+//     fingerprint catches it; that is the invalidation path the fault
+//     campaign's fingerprint-thrash trials exercise.
+#ifndef DFSM_STATICLINT_MEMO_H
+#define DFSM_STATICLINT_MEMO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "runtime/shared_store.h"
+#include "staticlint/diagnostic.h"
+
+namespace dfsm::staticlint {
+
+/// Full structural key of one memoized lint cell.
+struct LintMemoKey {
+  std::string model;  ///< LintModel::name
+  std::string rule;   ///< rule id, e.g. "DR001"
+
+  [[nodiscard]] bool operator==(const LintMemoKey&) const = default;
+};
+
+struct LintMemoKeyHash {
+  [[nodiscard]] std::size_t operator()(const LintMemoKey& k) const noexcept {
+    core::Fingerprinter fp;
+    fp.mix(k.model).mix(k.rule);
+    return static_cast<std::size_t>(fp.digest());
+  }
+};
+
+/// One cached cell: the rule's findings on the model, validated by the
+/// model's full-IR fingerprint.
+struct LintMemoEntry {
+  std::uint64_t model_fingerprint = 0;
+  std::vector<Diagnostic> findings;
+};
+
+/// Thread-safe cross-lint memo store. Individually thread-safe
+/// operations; deterministic hit/miss/invalidation COUNTS are a caller
+/// contract — the linter's three-phase fill (serial lookup, parallel
+/// rule execution, serial insert) is the canonical user, mirroring the
+/// sweep engine (DESIGN.md §11).
+class LintMemoStore {
+ public:
+  struct Stats {
+    std::size_t hits = 0;         ///< fresh-fingerprint lookups served
+    std::size_t misses = 0;       ///< absent entries
+    std::size_t invalidated = 0;  ///< stale entries dropped on lookup
+    std::size_t evictions = 0;    ///< entries dropped by the LRU budget
+    std::size_t size = 0;
+    std::size_t max_entries = 0;
+  };
+
+  /// @param max_entries LRU entry budget; 0 = unbounded.
+  explicit LintMemoStore(std::size_t max_entries = 0)
+      : store_(max_entries) {}
+
+  /// Returns the cell when present AND its fingerprint matches
+  /// `model_fingerprint`. A mismatch erases the stale cell atomically,
+  /// counts an invalidation, and reports a miss. `invalidated`, when
+  /// non-null, is set to whether THIS lookup dropped a stale cell.
+  [[nodiscard]] std::optional<LintMemoEntry> lookup(
+      const LintMemoKey& key, std::uint64_t model_fingerprint,
+      bool* invalidated = nullptr);
+
+  /// Inserts (or refreshes) a cell; `entry.model_fingerprint` must
+  /// already be set by the caller.
+  void insert(const LintMemoKey& key, LintMemoEntry entry) {
+    store_.put(key, std::move(entry));
+  }
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  void clear();
+
+  /// Keys most-recently-used first (test hook; see SharedLruStore).
+  [[nodiscard]] std::vector<LintMemoKey> keys_by_recency() const {
+    return store_.keys_by_recency();
+  }
+
+ private:
+  runtime::SharedLruStore<LintMemoKey, LintMemoEntry, LintMemoKeyHash> store_;
+  mutable std::mutex counters_mu_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t invalidated_ = 0;
+};
+
+}  // namespace dfsm::staticlint
+
+#endif  // DFSM_STATICLINT_MEMO_H

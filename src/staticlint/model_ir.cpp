@@ -1,5 +1,7 @@
 #include "staticlint/model_ir.h"
 
+#include "core/fingerprint.h"
+
 namespace dfsm::staticlint {
 
 LintPredicate LintPredicate::from(const core::Predicate& p) {
@@ -62,6 +64,48 @@ LintModel LintModel::from_chain(const core::ExploitChain& c,
   out.source_hint = std::move(source_hint);
   copy_chain(c, out);
   return out;
+}
+
+std::uint64_t fingerprint(const LintModel& model) noexcept {
+  core::Fingerprinter fp;
+  fp.mix(model.name);
+  fp.mix(static_cast<std::uint64_t>(model.bugtraq_ids.size()));
+  for (const int id : model.bugtraq_ids) {
+    fp.mix(static_cast<std::uint64_t>(id));
+  }
+  fp.mix(model.vulnerability_class);
+  fp.mix(model.software);
+  fp.mix(model.consequence);
+  fp.mix(static_cast<std::uint64_t>(model.has_metadata));
+  fp.mix(model.source_hint);
+  fp.mix(static_cast<std::uint64_t>(model.operations.size()));
+  for (const auto& op : model.operations) {
+    fp.mix(op.name);
+    fp.mix(op.object_description);
+    fp.mix(static_cast<std::uint64_t>(op.pfsms.size()));
+    for (const auto& p : op.pfsms) {
+      fp.mix(p.name);
+      fp.mix(static_cast<std::uint64_t>(p.type));
+      fp.mix(p.activity);
+      fp.mix(p.action);
+      fp.mix(p.spec.description);
+      fp.mix(static_cast<std::uint64_t>(p.spec.kind));
+      fp.mix(p.impl.description);
+      fp.mix(static_cast<std::uint64_t>(p.impl.kind));
+      fp.mix(static_cast<std::uint64_t>(p.declared_secure));
+    }
+  }
+  fp.mix(static_cast<std::uint64_t>(model.gates.size()));
+  for (const auto& g : model.gates) fp.mix(g);
+  fp.mix(static_cast<std::uint64_t>(model.compound.size()));
+  for (const auto& s : model.compound) {
+    fp.mix(s.model);
+    fp.mix(s.pre_host);
+    fp.mix(s.pre_privilege);
+    fp.mix(s.con_host);
+    fp.mix(s.con_privilege);
+  }
+  return fp.digest();
 }
 
 }  // namespace dfsm::staticlint

@@ -14,6 +14,7 @@
 #ifndef DFSM_STATICLINT_MODEL_IR_H
 #define DFSM_STATICLINT_MODEL_IR_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,20 @@ struct LintOperation {
   [[nodiscard]] static LintOperation from(const core::Operation& op);
 };
 
+/// One step of an attack-graph compound composition: which model the
+/// step came from, the (host, privilege) fact it requires and the one it
+/// establishes. Privileges are the attack-graph names ("none" | "user" |
+/// "root"). Only compound compositions fill these; plain models and bare
+/// chains leave `compound` empty and the graph-consistency (GR) rules
+/// skip them.
+struct LintCompoundStep {
+  std::string model;  ///< source model / exploit-rule name
+  std::string pre_host;
+  std::string pre_privilege;
+  std::string con_host;
+  std::string con_privilege;
+};
+
 /// Structural snapshot of a whole model (or of a bare chain, in which
 /// case has_metadata is false and the Lemma rules that need report
 /// metadata skip it).
@@ -70,11 +85,23 @@ struct LintModel {
   std::vector<LintOperation> operations;
   std::vector<std::string> gates;  ///< gate conditions, parallel to operations
 
+  /// Step facts of an attack-graph compound composition (empty for
+  /// everything else); see LintCompoundStep.
+  std::vector<LintCompoundStep> compound;
+
   [[nodiscard]] static LintModel from_model(const core::FsmModel& m,
                                             std::string source_hint = "");
   [[nodiscard]] static LintModel from_chain(const core::ExploitChain& c,
                                             std::string source_hint = "");
 };
+
+/// Structural fingerprint over EVERYTHING a rule can read from the IR —
+/// the invalidation token the LintMemoStore keys on: re-linting a model
+/// whose fingerprint is unchanged may reuse cached findings, and any
+/// edit a rule could observe (including source_hint, which the linter
+/// copies onto findings) changes the digest. Same FNV-1a field-stream
+/// contract as core::fingerprint (core/fingerprint.h).
+[[nodiscard]] std::uint64_t fingerprint(const LintModel& model) noexcept;
 
 }  // namespace dfsm::staticlint
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "fssim/schedule.h"
 #include "staticlint/table2.h"
 
 namespace dfsm::staticlint {
@@ -289,6 +290,234 @@ void tx002_table2_census(const RuleInfo& info, const LintModel& m,
       "staticlint/table2.cpp if the model legitimately changed"));
 }
 
+// --- race (static TOCTOU over the fssim schedule surface) --------------
+
+/// True for the pFSM types that CHECK something about an object (the
+/// "time of check" half of a TOCTOU window). Reference-consistency pFSMs
+/// are the "use" half: they assert the binding is unchanged at use time.
+bool is_checking_type(PfsmType t) {
+  return t == PfsmType::kObjectTypeCheck ||
+         t == PfsmType::kContentAttributeCheck;
+}
+
+void dr001_check_then_use(const RuleInfo& info, const LintModel& m,
+                          std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    for (std::size_t j = 0; j < op.pfsms.size(); ++j) {
+      const auto& use = op.pfsms[j];
+      if (use.type != PfsmType::kReferenceConsistencyCheck) continue;
+      if (use.declared_secure) continue;
+      if (!fssim::crosses_schedule_surface(use.activity)) continue;
+      // An earlier checking pFSM in the same operation is the "check"
+      // half; the yielding, unchecked reference-consistency pFSM is the
+      // "use" half the scheduler can race.
+      for (std::size_t i = 0; i < j; ++i) {
+        if (!is_checking_type(op.pfsms[i].type)) continue;
+        const auto yields = fssim::yield_points(use.activity);
+        out.push_back(make(
+            info, Location{m.name, op.name, use.name},
+            "check-then-use window: '" + op.pfsms[i].name +
+                "' validates the object, then this unchecked "
+                "reference-consistency step crosses the schedule surface "
+                "(" + yields.front().verb + " " + yields.front().path +
+                ") where the binding can be switched",
+            "re-validate the binding at use time (fstat-after-open "
+            "discipline) or declare the pFSM secure once the "
+            "implementation pins the checked object (paper Figure 5)"));
+        break;  // one finding per use-half pFSM
+      }
+    }
+  }
+}
+
+void dr002_shared_object_across_operations(const RuleInfo& info,
+                                           const LintModel& m,
+                                           std::vector<Diagnostic>& out) {
+  // Collect, per (operation, pfsm), the unchecked path touches.
+  struct Touch {
+    std::size_t op;
+    std::size_t pfsm;
+    std::string path;
+  };
+  std::vector<Touch> touches;
+  for (std::size_t oi = 0; oi < m.operations.size(); ++oi) {
+    for (std::size_t pi = 0; pi < m.operations[oi].pfsms.size(); ++pi) {
+      const auto& p = m.operations[oi].pfsms[pi];
+      if (p.declared_secure) continue;
+      for (const auto& yp : fssim::yield_points(p.activity)) {
+        touches.push_back(Touch{oi, pi, yp.path});
+      }
+    }
+  }
+  // A later operation re-touching a path an earlier operation touched,
+  // both unchecked, is the rwall Figure 6 shape: the object can change
+  // between the two gate-ordered touches.
+  for (std::size_t b = 0; b < touches.size(); ++b) {
+    for (std::size_t a = 0; a < b; ++a) {
+      if (touches[a].op >= touches[b].op) continue;
+      if (touches[a].path != touches[b].path) continue;
+      const auto& earlier = m.operations[touches[a].op];
+      const auto& later = m.operations[touches[b].op];
+      const auto& use = later.pfsms[touches[b].pfsm];
+      out.push_back(make(
+          info, Location{m.name, later.name, use.name},
+          "shared object " + touches[b].path +
+              " is re-read here without a consistency check after "
+              "operation '" + earlier.name + "' (pFSM '" +
+              earlier.pfsms[touches[a].pfsm].name + "') touched it; the "
+              "object can change between the gate-ordered touches",
+          "re-validate the shared object at the second touch or bind it "
+          "once and pass the binding through the gate (paper Figure 6)"));
+      // One finding per use-half pFSM: skip remaining earlier touches
+      // and remaining paths of this same pfsm.
+      const std::size_t op = touches[b].op, pf = touches[b].pfsm;
+      while (b + 1 < touches.size() && touches[b + 1].op == op &&
+             touches[b + 1].pfsm == pf) {
+        ++b;
+      }
+      break;
+    }
+  }
+}
+
+void dr003_vestigial_guard(const RuleInfo& info, const LintModel& m,
+                           std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    bool any_yield = false;
+    for (const auto& p : op.pfsms) {
+      if (fssim::crosses_schedule_surface(p.activity)) {
+        any_yield = true;
+        break;
+      }
+    }
+    if (any_yield) continue;
+    for (const auto& p : op.pfsms) {
+      if (p.type != PfsmType::kReferenceConsistencyCheck) continue;
+      if (!p.declared_secure) continue;
+      out.push_back(make(
+          info, Location{m.name, op.name, p.name},
+          "declared-secure reference-consistency check guards an "
+          "operation in which no activity crosses the schedule surface; "
+          "the guard has nothing to re-validate",
+          "drop the vestigial guard or name the filesystem step (verb + "
+          "absolute path) whose binding it pins"));
+    }
+  }
+}
+
+void dr004_unguarded_yields(const RuleInfo& info, const LintModel& m,
+                            std::vector<Diagnostic>& out) {
+  for (const auto& op : m.operations) {
+    std::size_t yielding = 0;
+    bool has_ref_check = false;
+    for (const auto& p : op.pfsms) {
+      if (fssim::crosses_schedule_surface(p.activity)) ++yielding;
+      if (p.type == PfsmType::kReferenceConsistencyCheck) {
+        has_ref_check = true;
+      }
+    }
+    if (yielding < 2 || has_ref_check) continue;
+    out.push_back(make(
+        info, Location{m.name, op.name, ""},
+        "the operation crosses the schedule surface " +
+            std::to_string(yielding) +
+            " times with no reference-consistency check between the "
+            "touches",
+        "add a reference-consistency pFSM pinning the binding across the "
+        "yield points, or merge the touches into one atomic step"));
+  }
+}
+
+// --- graph (attack_graph compound-composition consistency) -------------
+
+/// Privilege lattice rank for GR003: none < user < root. Unknown names
+/// rank highest so fixture typos don't mask a real mismatch.
+std::size_t privilege_rank(const std::string& p) {
+  if (p == "none") return 0;
+  if (p == "user") return 1;
+  if (p == "root") return 2;
+  return 3;
+}
+
+void gr001_dangling_precondition(const RuleInfo& info, const LintModel& m,
+                                 std::vector<Diagnostic>& out) {
+  for (std::size_t k = 1; k < m.compound.size(); ++k) {
+    const auto& step = m.compound[k];
+    if (step.pre_privilege == "none") continue;  // attacker-held baseline
+    bool produced = false;
+    for (std::size_t j = 0; j < m.compound.size(); ++j) {
+      if (j == k) continue;
+      if (m.compound[j].con_host == step.pre_host) {
+        produced = true;
+        break;
+      }
+    }
+    if (produced) continue;
+    out.push_back(make(
+        info, Location{m.name, step.model, ""},
+        "dangling precondition: step " + std::to_string(k + 1) +
+            " requires " + step.pre_privilege + "@" + step.pre_host +
+            " but no step in the composition establishes anything on "
+            "host '" + step.pre_host + "'",
+        "compose a producing exploit step for the host first, or start "
+        "the path from a fact the attacker already holds"));
+  }
+}
+
+void gr002_cyclic_precondition(const RuleInfo& info, const LintModel& m,
+                               std::vector<Diagnostic>& out) {
+  for (std::size_t k = 1; k < m.compound.size(); ++k) {
+    const auto& step = m.compound[k];
+    if (step.pre_privilege == "none") continue;
+    bool upstream = false;
+    bool downstream = false;
+    for (std::size_t j = 0; j < m.compound.size(); ++j) {
+      if (j == k) continue;
+      if (m.compound[j].con_host != step.pre_host) continue;
+      (j < k ? upstream : downstream) = true;
+    }
+    if (upstream || !downstream) continue;  // GR001 covers the no-producer case
+    out.push_back(make(
+        info, Location{m.name, step.model, ""},
+        "cyclic precondition: step " + std::to_string(k + 1) +
+            " requires " + step.pre_privilege + "@" + step.pre_host +
+            " which is only established by a LATER step of the "
+            "composition",
+        "reorder the composition so producers precede consumers; an "
+        "attack path consumes facts in edge order"));
+  }
+}
+
+void gr003_privilege_mismatch(const RuleInfo& info, const LintModel& m,
+                              std::vector<Diagnostic>& out) {
+  for (std::size_t k = 1; k < m.compound.size(); ++k) {
+    const auto& step = m.compound[k];
+    if (step.pre_privilege == "none") continue;
+    const std::size_t need = privilege_rank(step.pre_privilege);
+    bool any_upstream = false;
+    std::size_t best = 0;
+    std::string best_priv;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (m.compound[j].con_host != step.pre_host) continue;
+      const std::size_t got = privilege_rank(m.compound[j].con_privilege);
+      if (!any_upstream || got > best) {
+        best = got;
+        best_priv = m.compound[j].con_privilege;
+      }
+      any_upstream = true;
+    }
+    if (!any_upstream || best >= need) continue;  // GR001/GR002 own absence
+    out.push_back(make(
+        info, Location{m.name, step.model, ""},
+        "consequence/precondition mismatch: step " + std::to_string(k + 1) +
+            " requires " + step.pre_privilege + "@" + step.pre_host +
+            " but the strongest upstream consequence on that host is "
+            "only '" + best_priv + "'",
+        "insert a privilege-escalation step on the host, or weaken the "
+        "consuming rule's precondition to what the producer delivers"));
+  }
+}
+
 const std::vector<Rule>& registry() {
   static const std::vector<Rule> rules = {
       {{"ST001", "structural", Severity::kError,
@@ -330,6 +559,30 @@ const std::vector<Rule>& registry() {
       {{"TX002", "taxonomy", Severity::kError,
         "pFSM inventory disagrees with the model's Table 2 row"},
        tx002_table2_census},
+      // DR001/DR002 are notes by design: they mark the two KNOWN curated
+      // races (xterm Figure 5, rwall Figure 6) without tripping
+      // `--fail-on warning` gates over the registry.
+      {{"DR001", "race", Severity::kNote,
+        "check-then-use window across the schedule surface (TOCTOU)"},
+       dr001_check_then_use},
+      {{"DR002", "race", Severity::kNote,
+        "shared object re-touched across gate-ordered operations"},
+       dr002_shared_object_across_operations},
+      {{"DR003", "race", Severity::kWarning,
+        "declared-secure consistency check with nothing to re-validate"},
+       dr003_vestigial_guard},
+      {{"DR004", "race", Severity::kWarning,
+        "multiple schedule-surface crossings with no consistency check"},
+       dr004_unguarded_yields},
+      {{"GR001", "graph", Severity::kError,
+        "compound step precondition no composed step produces"},
+       gr001_dangling_precondition},
+      {{"GR002", "graph", Severity::kError,
+        "compound step precondition produced only downstream (cycle)"},
+       gr002_cyclic_precondition},
+      {{"GR003", "graph", Severity::kError,
+        "upstream consequence privilege below step precondition"},
+       gr003_privilege_mismatch},
   };
   return rules;
 }

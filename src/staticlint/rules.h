@@ -22,6 +22,26 @@
 //     registered model's inventory matches its published Table 2 row
 //     (TX002).
 //
+//   race (DR) — static TOCTOU/race detection over the fssim schedule
+//     surface (fssim/schedule.h). A pFSM whose activity applies a
+//     filesystem verb to an absolute path crosses the schedule surface:
+//     the modeled step can be preempted there. DR001 flags a check-then-
+//     use window inside one operation (a checking pFSM followed by an
+//     unchecked reference-consistency pFSM that yields — the xterm
+//     Figure 5 shape); DR002 flags the same object path touched by
+//     unchecked pFSMs of two gate-ordered operations (the rwall Figure 6
+//     shape); DR003 and DR004 flag vestigial/missing reference-
+//     consistency guards around yielding activities. DR001/DR002 are
+//     notes: on the curated registry they mark the two known races
+//     without failing `--fail-on warning` gates.
+//
+//   graph (GR) — consistency of attack_graph compound compositions,
+//     checked over LintModel::compound (plain models skip): every
+//     non-trivial step precondition has a producing step (GR001), the
+//     producer is not downstream of its consumer (GR002), and the
+//     producer's consequence privilege covers the consumer's
+//     precondition (GR003).
+//
 // Every rule is a pure function of the IR: no object construction, no
 // predicate evaluation, no I/O.
 #ifndef DFSM_STATICLINT_RULES_H
@@ -38,7 +58,7 @@ namespace dfsm::staticlint {
 /// Static metadata of one rule (also exported into SARIF's rule array).
 struct RuleInfo {
   const char* id;        ///< stable identifier, e.g. "ST004"
-  const char* group;     ///< "structural" | "lemma" | "taxonomy"
+  const char* group;     ///< "structural" | "lemma" | "taxonomy" | "race" | "graph"
   Severity severity;     ///< severity every finding of this rule carries
   const char* summary;   ///< one-line description
 };
@@ -52,9 +72,9 @@ struct Rule {
                 std::vector<Diagnostic>& out);
 };
 
-/// All rules, in stable registry order (ST*, LM*, TX*). The order is
-/// part of the determinism contract: the linter emits findings in
-/// (model, registry index) order.
+/// All rules, in stable registry order (ST*, LM*, TX*, DR*, GR*). The
+/// order is part of the determinism contract: the linter emits findings
+/// in (model, registry index) order.
 [[nodiscard]] const std::vector<Rule>& all_rules();
 
 /// Looks a rule up by id; nullptr if unknown.

@@ -3,12 +3,15 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/sweep_memo.h"
 #include "apps/case_study.h"
+#include "apps/models.h"
+#include "staticlint/linter.h"
 
 namespace dfsm::analysis {
 namespace {
@@ -193,6 +196,94 @@ TEST(CompoundPatch, SharedStoreMakesRepeatScoringFree) {
   EXPECT_EQ(second.rules[0].residual_exploited_masks,
             first.rules[0].residual_exploited_masks);
   EXPECT_EQ(second.goal_reachable_after, first.goal_reachable_after);
+}
+
+// --- compound composition -> lint IR -----------------------------------
+
+/// A hand-built two-hop path over the curated models: a remote foothold
+/// followed by a local escalation on the same host. Rule labels equal
+/// model names so compose_attack_path can pull the operations.
+std::vector<AttackEdge> two_hop_path(const std::vector<core::FsmModel>& models,
+                                     std::string* remote_name = nullptr,
+                                     std::string* local_name = nullptr) {
+  std::string ghttpd, sendmail;
+  for (const auto& m : models) {
+    if (m.name().find("GHTTPD") != std::string::npos) ghttpd = m.name();
+    if (m.name().find("Sendmail") != std::string::npos) sendmail = m.name();
+  }
+  if (remote_name != nullptr) *remote_name = ghttpd;
+  if (local_name != nullptr) *local_name = sendmail;
+  return {
+      AttackEdge{Fact{"attacker", Privilege::kRoot},
+                 Fact{"web", Privilege::kUser}, ghttpd},
+      AttackEdge{Fact{"web", Privilege::kUser}, Fact{"web", Privilege::kRoot},
+                 sendmail},
+  };
+}
+
+TEST(CompoundChainTest, ComposeFlattensThePathWithStepPrefixedNames) {
+  const auto models = apps::standard_models();
+  std::string remote_name;
+  const auto path = two_hop_path(models, &remote_name);
+  const auto cc = compose_attack_path(path, models);
+
+  ASSERT_EQ(cc.steps.size(), 2u);
+  EXPECT_EQ(cc.steps[0].rule, path[0].rule);
+  EXPECT_EQ(cc.steps[0].pre, path[0].from);
+  EXPECT_EQ(cc.steps[0].con, path[0].to);
+  EXPECT_NE(cc.name.find("attack path:"), std::string::npos);
+  EXPECT_NE(cc.name.find("[" + remote_name + "]"), std::string::npos);
+
+  // Every operation/pFSM carries its step prefix, unique across steps.
+  ASSERT_GE(cc.chain.size(), 2u);
+  EXPECT_EQ(cc.chain.operations()[0].name().rfind("s1:", 0), 0u);
+  EXPECT_EQ(cc.chain.operations()[cc.chain.size() - 1].name().rfind("s2:", 0),
+            0u);
+  for (const auto& op : cc.chain.operations()) {
+    for (const auto& p : op.pfsms()) {
+      EXPECT_EQ(p.name().substr(0, 1), "s");
+    }
+  }
+  // Each step's final gate records the fact the edge establishes.
+  EXPECT_NE(cc.chain.gates().back().condition.find("root@web via"),
+            std::string::npos);
+}
+
+TEST(CompoundChainTest, ComposedPathPassesTheGraphConsistencyRules) {
+  const auto models = apps::standard_models();
+  const auto cc = compose_attack_path(two_hop_path(models), models);
+  const auto ir = to_lint_model(cc);
+  ASSERT_EQ(ir.compound.size(), 2u);
+  EXPECT_EQ(ir.compound[0].con_host, "web");
+  EXPECT_EQ(ir.compound[0].con_privilege, "user");
+  EXPECT_EQ(ir.compound[1].pre_privilege, "user");
+
+  staticlint::LintOptions gr_only;
+  gr_only.rule_ids = {"GR001", "GR002", "GR003"};
+  const auto run = staticlint::lint({ir}, gr_only);
+  EXPECT_TRUE(run.findings.empty()) << run.findings.size() << " finding(s)";
+}
+
+TEST(CompoundChainTest, ReversedPathTripsTheDanglingPreconditionRule) {
+  const auto models = apps::standard_models();
+  auto path = two_hop_path(models);
+  std::swap(path[0], path[1]);  // the remote hop now runs second, so its
+                                // attacker-side precondition dangles
+  const auto ir = to_lint_model(compose_attack_path(path, models));
+
+  staticlint::LintOptions gr_only;
+  gr_only.rule_ids = {"GR001", "GR002", "GR003"};
+  const auto run = staticlint::lint({ir}, gr_only);
+  ASSERT_FALSE(run.findings.empty());
+  EXPECT_EQ(run.findings[0].rule_id, "GR001");
+}
+
+TEST(CompoundChainTest, ComposeRejectsEmptyPathsAndUnknownRules) {
+  const auto models = apps::standard_models();
+  EXPECT_THROW((void)compose_attack_path({}, models), std::invalid_argument);
+  auto path = two_hop_path(models);
+  path[0].rule = "no model is named this";
+  EXPECT_THROW((void)compose_attack_path(path, models), std::invalid_argument);
 }
 
 TEST(CompoundPatch, RejectsNullStudyAndUnknownRule) {

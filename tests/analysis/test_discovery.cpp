@@ -94,5 +94,20 @@ TEST(Discovery, OnlyTheV05CampaignIsCrossValidated) {
   EXPECT_EQ(probe_nullhttpd_fixed().model_checked, 0u);
 }
 
+TEST(Discovery, V05CrossValidationLintsTheModelFirst) {
+  // Before trusting the Figure-4 chain as an oracle, cross-validation
+  // runs it through the universal lint entry; the curated model is
+  // clean, and the full registry ran.
+  const auto report = probe_nullhttpd_v05();
+  EXPECT_GT(report.lint_rules_run, 0u);
+  EXPECT_EQ(report.lint_findings, 0u);
+  EXPECT_TRUE(report.lint_clean);
+
+  // No model, no lint: the patched campaigns never build the chain.
+  const auto fixed = probe_nullhttpd_fixed();
+  EXPECT_EQ(fixed.lint_rules_run, 0u);
+  EXPECT_FALSE(fixed.lint_clean);
+}
+
 }  // namespace
 }  // namespace dfsm::analysis

@@ -138,6 +138,37 @@ TEST_F(CampaignTest, ModelCampaignExercisesTheSweepCacheSurface) {
   EXPECT_GE(sweeps, 5u);
 }
 
+TEST_F(CampaignTest, ModelCampaignExercisesTheChainLintSurface) {
+  auto cfg = config(60);
+  cfg.campaign = CampaignKind::kModel;
+  cfg.seed = 7;
+  const auto report = run_campaign(cfg);
+  EXPECT_TRUE(report.ok());
+  std::size_t chainlints = 0;
+  for (const auto& t : report.trials) {
+    if (t.kind != "chainlint") continue;
+    ++chainlints;
+    EXPECT_TRUE(t.detected) << "trial " << t.trial << ": " << t.failure;
+    ASSERT_FALSE(t.expected_rules.empty());
+    EXPECT_FALSE(t.caught_rules.empty());
+    // Chainlint trials route through the campaign memo store, so their
+    // telemetry is populated: cells either executed or were served.
+    EXPECT_GT(t.lint_rules_executed + t.lint_memo_hits, 0u);
+  }
+  // The seeded dispatch sends ~1/5 of model trials at the chain-lint
+  // surface; a campaign this size must hit it several times.
+  EXPECT_GE(chainlints, 5u);
+
+  // The campaign-wide aggregate: every linted model folded into one
+  // memoized LintRun with summed telemetry (what --lint-out emits).
+  EXPECT_TRUE(report.lint.memoized);
+  EXPECT_GT(report.models_linted, 0u);
+  EXPECT_EQ(report.lint.models_checked, report.models_linted);
+  EXPECT_GT(report.lint.rules_executed, 0u);
+  EXPECT_EQ(report.lint.rules_executed + report.lint.memo_hits,
+            report.models_linted * report.lint.rules_run);
+}
+
 TEST(CampaignKindNames, RoundTrip) {
   EXPECT_STREQ(to_string(CampaignKind::kCorpus), "corpus");
   EXPECT_STREQ(to_string(CampaignKind::kModel), "model");

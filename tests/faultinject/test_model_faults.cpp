@@ -133,5 +133,44 @@ TEST(ModelFaults, ChainFixtureIsDeterministicInTheRng) {
   EXPECT_EQ(a.detail, b.detail);
 }
 
+TEST(ModelFaults, ChainLintFixturesTripExactlyTheirExpectedRules) {
+  // The third injection surface: live chains with planted LINT defects.
+  // Each fixture must draw its expected rule(s) through the universal
+  // lint_chain entry — and nothing else, so campaign detection is
+  // attributable to the planted defect.
+  for (const ChainLintFault fault : kAllChainLintFaults) {
+    for (std::uint64_t stream = 0; stream < 6; ++stream) {
+      Rng rng{41, stream};
+      const ChainLintFixture fx = make_chain_lint_fault(fault, rng);
+      ASSERT_FALSE(fx.expected_rules.empty()) << to_string(fault);
+
+      const auto run = staticlint::lint_chain(fx.chain);
+      EXPECT_TRUE(any_expected_caught(fx.expected_rules, run))
+          << to_string(fault) << " stream " << stream << ": " << fx.detail;
+      for (const auto& finding : run.findings) {
+        bool expected = false;
+        for (const auto& id : fx.expected_rules) {
+          if (finding.rule_id == id) expected = true;
+        }
+        EXPECT_TRUE(expected)
+            << to_string(fault) << " also tripped " << finding.rule_id
+            << " at " << finding.where.qualified();
+      }
+    }
+  }
+}
+
+TEST(ModelFaults, ChainLintFixtureIsDeterministicInTheRng) {
+  for (const ChainLintFault fault : kAllChainLintFaults) {
+    Rng ra{53, 9}, rb{53, 9};
+    const auto a = make_chain_lint_fault(fault, ra);
+    const auto b = make_chain_lint_fault(fault, rb);
+    EXPECT_EQ(a.target, b.target) << to_string(fault);
+    EXPECT_EQ(a.detail, b.detail) << to_string(fault);
+    EXPECT_EQ(a.expected_rules, b.expected_rules) << to_string(fault);
+    EXPECT_EQ(a.chain.name(), b.chain.name()) << to_string(fault);
+  }
+}
+
 }  // namespace
 }  // namespace dfsm::faultinject

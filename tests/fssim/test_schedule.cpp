@@ -1,0 +1,71 @@
+// Lexical schedule-surface classifier: an activity crosses the surface
+// when a filesystem verb co-occurs with an absolute path token. The DR
+// race rules build directly on these three functions, so the token
+// stripping, whole-token verb matching and verb x path crossing are
+// pinned here.
+#include "fssim/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace dfsm::fssim {
+namespace {
+
+TEST(ScheduleSurface, VerbPlusAbsolutePathYields) {
+  EXPECT_TRUE(crosses_schedule_surface("open \"/usr/tom/x\" with write "
+                                       "permission"));
+  EXPECT_TRUE(crosses_schedule_surface("user request to write /etc/utmp"));
+  EXPECT_TRUE(crosses_schedule_surface(
+      "get a filename from /etc/utmp and write the user message to it"));
+}
+
+TEST(ScheduleSurface, VerbAloneOrPathAloneDoesNot) {
+  // Verb without a path: buffer/socket activities stay off the surface.
+  EXPECT_FALSE(crosses_schedule_surface("write x"));
+  EXPECT_FALSE(crosses_schedule_surface("read the request from the socket"));
+  // Path without a verb.
+  EXPECT_FALSE(crosses_schedule_surface("the file /etc/passwd is special"));
+  EXPECT_FALSE(crosses_schedule_surface(""));
+}
+
+TEST(ScheduleSurface, VerbMatchingIsWholeTokenAndCaseInsensitive) {
+  EXPECT_TRUE(crosses_schedule_surface("Open /tmp/f"));
+  EXPECT_TRUE(crosses_schedule_surface("WRITE /tmp/f"));
+  // Substrings of larger words must not count.
+  EXPECT_FALSE(crosses_schedule_surface("reopened /tmp/f"));
+  EXPECT_FALSE(crosses_schedule_surface("the readme at /tmp/f"));
+}
+
+TEST(ScheduleSurface, QuoteAndPunctuationStrippingKeepsSlashes) {
+  const auto pts = yield_points("open \"/usr/tom/x\", then proceed");
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].verb, "open");
+  EXPECT_EQ(pts[0].path, "/usr/tom/x");
+
+  // A lone slash is not a path.
+  EXPECT_FALSE(crosses_schedule_surface("write /"));
+}
+
+TEST(ScheduleSurface, YieldPointsCrossVerbsWithPathsInTokenOrder) {
+  const auto pts =
+      yield_points("read /etc/utmp and write /etc/passwd");
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0].verb, "read");
+  EXPECT_EQ(pts[0].path, "/etc/utmp");
+  EXPECT_EQ(pts[1].verb, "read");
+  EXPECT_EQ(pts[1].path, "/etc/passwd");
+  EXPECT_EQ(pts[2].verb, "write");
+  EXPECT_EQ(pts[2].path, "/etc/utmp");
+  EXPECT_EQ(pts[3].verb, "write");
+  EXPECT_EQ(pts[3].path, "/etc/passwd");
+}
+
+TEST(ScheduleSurface, PathTokensIgnoreVerbs) {
+  const auto paths = path_tokens("the binding of /usr/tom/x to /etc/passwd");
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/usr/tom/x");
+  EXPECT_EQ(paths[1], "/etc/passwd");
+  EXPECT_TRUE(path_tokens("no paths here").empty());
+}
+
+}  // namespace
+}  // namespace dfsm::fssim

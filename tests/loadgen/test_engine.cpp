@@ -34,6 +34,31 @@ EngineOptions small_options() {
   return options;
 }
 
+TEST_F(LoadgenEngineTest, MonitoredRunsLintTheirMonitorModelsFirst) {
+  EngineOptions options = small_options();
+  options.workload.requests = 100;
+  const LoadReport report = run_load(options);
+  // The three monitor models (Figure 4, GHTTPD, IIS Figure 7) pass the
+  // full rule set through the universal lint entry before any traffic.
+  EXPECT_EQ(report.monitor_models_linted, 3u);
+  EXPECT_EQ(report.monitor_lint_findings, 0u);
+  EXPECT_TRUE(report.monitor_lint_clean);
+  const std::string text = render_text(report);
+  EXPECT_NE(text.find("3 monitor model(s) linted, 0 finding(s) (clean)"),
+            std::string::npos)
+      << text;
+  const std::string json = render_json(report);
+  EXPECT_NE(json.find("\"monitor_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"models_linted\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\": true"), std::string::npos);
+
+  // Unmonitored runs deploy no monitor models and lint nothing.
+  options.monitor = false;
+  const LoadReport off = run_load(options);
+  EXPECT_EQ(off.monitor_models_linted, 0u);
+  EXPECT_FALSE(off.monitor_lint_clean);
+}
+
 TEST_F(LoadgenEngineTest, MonitorCatchesEveryExploitWithNoFalsePositives) {
   const LoadReport report = run_load(small_options());
   EXPECT_EQ(report.total.requests, 2000u);

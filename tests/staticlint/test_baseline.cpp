@@ -1,0 +1,102 @@
+// SARIF baseline suppression: a previous run's SARIF is the accepted
+// state, and only findings not in it count against the gate. Round
+// trip: emit_sarif -> Baseline::from_sarif -> apply_baseline suppresses
+// every finding of the same run; a new defect stays fresh.
+#include "staticlint/baseline.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "staticlint/emit.h"
+#include "staticlint/linter.h"
+#include "staticlint/model_ir.h"
+#include "staticlint/registry.h"
+
+namespace dfsm::staticlint {
+namespace {
+
+LintModel defective(const std::string& name) {
+  LintModel m;
+  m.name = name;
+  m.consequence = "execute code";
+  LintOperation op;
+  op.name = "op1";
+  m.operations.push_back(op);  // no pFSMs -> ST003
+  m.gates = {"Execute code"};
+  return m;
+}
+
+TEST(Baseline, RoundTripSuppressesEveryKnownFinding) {
+  // The curated registry carries the two known race notes.
+  const LintRun run = lint(curated_lint_models());
+  ASSERT_EQ(run.findings.size(), 2u);
+
+  const auto baseline = Baseline::from_sarif(emit_sarif(run));
+  EXPECT_EQ(baseline.size(), 2u);
+
+  const auto split = apply_baseline(run, baseline);
+  EXPECT_TRUE(split.fresh.empty());
+  ASSERT_EQ(split.suppressed.size(), 2u);
+  EXPECT_EQ(split.suppressed[0].rule_id, "DR001");
+  EXPECT_EQ(split.suppressed[1].rule_id, "DR002");
+}
+
+TEST(Baseline, FreshFindingsSurviveTheSplitInOrder) {
+  const LintRun old_run = lint({defective("known-bad")});
+  const auto baseline = Baseline::from_sarif(emit_sarif(old_run));
+
+  LintRun now = lint({defective("known-bad"), defective("new-bad")});
+  const auto split = apply_baseline(now, baseline);
+  ASSERT_FALSE(split.suppressed.empty());
+  ASSERT_FALSE(split.fresh.empty());
+  for (const auto& d : split.suppressed) {
+    EXPECT_EQ(d.where.model, "known-bad");
+  }
+  for (const auto& d : split.fresh) {
+    EXPECT_EQ(d.where.model, "new-bad");
+  }
+  EXPECT_EQ(split.fresh.size() + split.suppressed.size(),
+            now.findings.size());
+}
+
+TEST(Baseline, IdentityIsRulePlusLocationNotMessage) {
+  const LintRun run = lint({defective("model-a")});
+  ASSERT_FALSE(run.findings.empty());
+  const auto baseline = Baseline::from_sarif(emit_sarif(run));
+
+  // Reworded message, same rule + qualified location: still suppressed.
+  LintRun reworded = run;
+  for (auto& d : reworded.findings) d.message = "entirely different words";
+  EXPECT_TRUE(apply_baseline(reworded, baseline).fresh.empty());
+
+  // Same rule at a different location: fresh.
+  LintRun moved = run;
+  for (auto& d : moved.findings) d.where.model = "model-b";
+  EXPECT_EQ(apply_baseline(moved, baseline).fresh.size(),
+            moved.findings.size());
+}
+
+TEST(Baseline, EscapedNamesRoundTripThroughSarif) {
+  const LintRun run = lint({defective("quote\" backslash\\ tab\t model")});
+  ASSERT_FALSE(run.findings.empty());
+  const auto baseline = Baseline::from_sarif(emit_sarif(run));
+  EXPECT_TRUE(apply_baseline(run, baseline).fresh.empty());
+}
+
+TEST(Baseline, RejectsTextWithoutAResultsArray) {
+  EXPECT_THROW((void)Baseline::from_sarif("{}"), std::invalid_argument);
+  EXPECT_THROW((void)Baseline::from_sarif("not json at all"),
+               std::invalid_argument);
+}
+
+TEST(Baseline, EmptyResultsArrayIsAValidEmptyBaseline) {
+  const LintRun clean = lint({});
+  const auto baseline = Baseline::from_sarif(emit_sarif(clean));
+  EXPECT_EQ(baseline.size(), 0u);
+  const LintRun run = lint({defective("anything")});
+  EXPECT_EQ(apply_baseline(run, baseline).fresh.size(), run.findings.size());
+}
+
+}  // namespace
+}  // namespace dfsm::staticlint

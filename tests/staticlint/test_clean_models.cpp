@@ -1,7 +1,10 @@
-// The curated registry must lint clean: every shipped model — the seven
-// paper case studies plus the three format-string family profiles —
-// passes the full rule set with zero findings. This is the test-side
-// twin of the blocking dfsm_lint CI job.
+// The curated registry must lint clean — with two deliberate
+// exceptions: the static race group (DR*) exists precisely to flag the
+// paper's two TOCTOU case studies, so the full rule set reports exactly
+// one DR001 note on the xterm model and one DR002 note on the Rwall
+// model, pinned to their known check/use locations, and nothing else.
+// Notes stay below the --fail-on warning threshold, so this is still
+// the test-side twin of the blocking dfsm_lint CI job.
 #include "staticlint/registry.h"
 
 #include <set>
@@ -39,18 +42,38 @@ TEST(CuratedModels, EveryModelCarriesASourceHint) {
   }
 }
 
-TEST(CuratedModels, FullRuleSetReportsZeroFindings) {
+TEST(CuratedModels, FullRuleSetReportsOnlyTheTwoKnownRaceNotes) {
   const LintRun run = lint(curated_lint_models());
   EXPECT_EQ(run.models_checked, 10u);
   EXPECT_EQ(run.rules_run, all_rules().size());
-  EXPECT_TRUE(run.findings.empty()) << [&] {
-    std::string listing;
+  const auto listing = [&] {
+    std::string s;
     for (const auto& f : run.findings) {
-      listing += f.rule_id + " at " + f.where.qualified() + ": " + f.message +
-                 "\n";
+      s += f.rule_id + " at " + f.where.qualified() + ": " + f.message + "\n";
     }
-    return listing;
-  }();
+    return s;
+  };
+  ASSERT_EQ(run.findings.size(), 2u) << listing();
+
+  // Figure 5: xterm's check (pFSM1 access check) and use (pFSM2 open)
+  // straddle a schedule surface inside one operation.
+  const auto& xterm = run.findings[0];
+  EXPECT_EQ(xterm.rule_id, "DR001");
+  EXPECT_EQ(xterm.severity, Severity::kNote);
+  EXPECT_EQ(xterm.where.qualified(),
+            "xterm Log File Race Condition (Figure 5)/"
+            "Write the log file of user Tom/pFSM2");
+
+  // Figure 6: /etc/utmp is written by op1 and re-read by op2 with no
+  // consistency check between the touches.
+  const auto& rwall = run.findings[1];
+  EXPECT_EQ(rwall.rule_id, "DR002");
+  EXPECT_EQ(rwall.severity, Severity::kNote);
+  EXPECT_EQ(rwall.where.qualified(),
+            "Solaris Rwall Arbitrary File Corruption (Figure 6)/"
+            "Rwall daemon writes messages/pFSM2");
+
+  // Notes only: the registry still passes the --fail-on warning gate.
   EXPECT_EQ(run.errors(), 0u);
   EXPECT_EQ(run.warnings(), 0u);
 }

@@ -1,0 +1,171 @@
+// Static TOCTOU/race rule group (DR001–DR004): the rules must flag the
+// paper's two known races — xterm Figure 5 (check-then-use inside one
+// operation) and rwall Figure 6 (shared object re-read across
+// operations) — at their exact locations, flag the synthetic fixtures
+// for the two warning rules, and stay silent on every non-racy shape.
+#include "staticlint/rules.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/rwall.h"
+#include "apps/xterm.h"
+#include "staticlint/linter.h"
+#include "staticlint/model_ir.h"
+
+namespace dfsm::staticlint {
+namespace {
+
+using core::PfsmType;
+using core::PredicateKind;
+
+std::vector<Diagnostic> run_rule(const char* id, const LintModel& m) {
+  LintOptions opt;
+  opt.rule_ids = {id};
+  return lint({m}, opt).findings;
+}
+
+LintPfsm pfsm(std::string name, PfsmType type, std::string activity,
+              bool secure = false) {
+  LintPfsm p;
+  p.name = std::move(name);
+  p.type = type;
+  p.activity = std::move(activity);
+  p.action = "proceed";
+  p.spec = LintPredicate{"is the state acceptable?", PredicateKind::kCustom};
+  p.impl = LintPredicate{"-", PredicateKind::kCustom};
+  p.declared_secure = secure;
+  return p;
+}
+
+TEST(RuleDR001, FlagsTheXtermCheckThenUseWindow) {
+  const auto m = LintModel::from_model(apps::XtermLogger::figure5_model());
+  const auto out = run_rule("DR001", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "DR001");
+  EXPECT_EQ(out[0].severity, Severity::kNote);
+  EXPECT_EQ(out[0].where.qualified(),
+            "xterm Log File Race Condition (Figure 5)/"
+            "Write the log file of user Tom/pFSM2");
+  // The message names the yielding operation so the report reads like
+  // the paper's narrative: check, then open across a schedule surface.
+  EXPECT_NE(out[0].message.find("open"), std::string::npos);
+  EXPECT_NE(out[0].message.find("/usr/tom/x"), std::string::npos);
+}
+
+TEST(RuleDR001, SilentWhenTheUseIsDeclaredSecureOrDoesNotYield) {
+  LintModel m;
+  m.name = "guarded";
+  m.consequence = "none";
+  LintOperation op;
+  op.name = "op1";
+  op.pfsms.push_back(
+      pfsm("pFSM1", PfsmType::kContentAttributeCheck, "check the request"));
+  op.pfsms.push_back(pfsm("pFSM2", PfsmType::kReferenceConsistencyCheck,
+                          "open /var/log/x for append", /*secure=*/true));
+  m.operations.push_back(op);
+  m.gates = {"done"};
+  EXPECT_TRUE(run_rule("DR001", m).empty());
+
+  // Same shape, insecure use, but the activity never touches the
+  // filesystem — no schedule surface, no window.
+  m.operations[0].pfsms[1] =
+      pfsm("pFSM2", PfsmType::kReferenceConsistencyCheck,
+           "compare the cached binding in memory");
+  EXPECT_TRUE(run_rule("DR001", m).empty());
+}
+
+TEST(RuleDR002, FlagsTheRwallSharedUtmpReRead) {
+  const auto m = LintModel::from_model(apps::RwallDaemon::figure6_model());
+  const auto out = run_rule("DR002", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rule_id, "DR002");
+  EXPECT_EQ(out[0].severity, Severity::kNote);
+  EXPECT_EQ(out[0].where.qualified(),
+            "Solaris Rwall Arbitrary File Corruption (Figure 6)/"
+            "Rwall daemon writes messages/pFSM2");
+  EXPECT_NE(out[0].message.find("/etc/utmp"), std::string::npos);
+}
+
+TEST(RuleDR002, SilentWithinOneOperationOrOnDistinctPaths) {
+  LintModel m;
+  m.name = "two-paths";
+  m.consequence = "none";
+  LintOperation op1;
+  op1.name = "op1";
+  op1.pfsms.push_back(
+      pfsm("pFSM1", PfsmType::kContentAttributeCheck, "write /var/spool/a"));
+  LintOperation op2;
+  op2.name = "op2";
+  op2.pfsms.push_back(
+      pfsm("pFSM2", PfsmType::kContentAttributeCheck, "read /var/spool/b"));
+  m.operations = {op1, op2};
+  m.gates = {"step", "done"};
+  EXPECT_TRUE(run_rule("DR002", m).empty());
+
+  // Same path twice inside ONE operation is DR001 territory, not DR002.
+  LintModel one_op;
+  one_op.name = "one-op";
+  one_op.consequence = "none";
+  LintOperation op;
+  op.name = "op1";
+  op.pfsms.push_back(
+      pfsm("pFSM1", PfsmType::kContentAttributeCheck, "write /var/spool/a"));
+  op.pfsms.push_back(
+      pfsm("pFSM2", PfsmType::kContentAttributeCheck, "read /var/spool/a"));
+  one_op.operations.push_back(op);
+  one_op.gates = {"done"};
+  EXPECT_TRUE(run_rule("DR002", one_op).empty());
+}
+
+TEST(RuleDR003, WarnsOnAVestigialConsistencyGuard) {
+  LintModel m;
+  m.name = "vestigial";
+  m.consequence = "none";
+  LintOperation op;
+  op.name = "op1";
+  // Declared-secure ref-consistency check in an operation that never
+  // touches the filesystem: the guard guards nothing.
+  op.pfsms.push_back(pfsm("pFSM1", PfsmType::kReferenceConsistencyCheck,
+                          "validate the session token", /*secure=*/true));
+  m.operations.push_back(op);
+  m.gates = {"done"};
+  const auto out = run_rule("DR003", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].severity, Severity::kWarning);
+  EXPECT_EQ(out[0].where.qualified(), "vestigial/op1/pFSM1");
+
+  // Give the operation a real yield and the guard earns its keep.
+  m.operations[0].pfsms.push_back(
+      pfsm("pFSM2", PfsmType::kContentAttributeCheck, "open /etc/app/conf"));
+  EXPECT_TRUE(run_rule("DR003", m).empty());
+}
+
+TEST(RuleDR004, WarnsOnMultipleUnguardedYields) {
+  LintModel m;
+  m.name = "unguarded";
+  m.consequence = "none";
+  LintOperation op;
+  op.name = "op1";
+  op.pfsms.push_back(
+      pfsm("pFSM1", PfsmType::kContentAttributeCheck, "stat /var/run/lock"));
+  op.pfsms.push_back(
+      pfsm("pFSM2", PfsmType::kContentAttributeCheck, "write /var/run/lock"));
+  m.operations.push_back(op);
+  m.gates = {"done"};
+  const auto out = run_rule("DR004", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].severity, Severity::kWarning);
+  EXPECT_EQ(out[0].where.qualified(), "unguarded/op1");
+
+  // Adding a reference-consistency pFSM anywhere in the operation
+  // silences it — the operation now reasons about binding stability.
+  m.operations[0].pfsms.push_back(pfsm(
+      "pFSM3", PfsmType::kReferenceConsistencyCheck, "recheck the binding"));
+  EXPECT_TRUE(run_rule("DR004", m).empty());
+}
+
+}  // namespace
+}  // namespace dfsm::staticlint

@@ -84,14 +84,40 @@ TEST(EmitSarif, CarriesSchemaRulesAndLocations) {
             std::string::npos);
   EXPECT_NE(sarif.find("\"logicalLocations\""), std::string::npos);
 
-  // A model without a source hint gets a logical location only.
+  // A model without a source hint still gets a physical location — a
+  // stable synthetic URI derived from the model name — because GitHub
+  // code scanning drops results that carry none.
   LintModel bare = defective_model();
   bare.source_hint.clear();
   LintOptions opt;
   opt.rule_ids = {"ST003"};
   const std::string no_hint = emit_sarif(lint({bare}, opt));
-  EXPECT_EQ(no_hint.find("physicalLocation"), std::string::npos);
+  EXPECT_NE(no_hint.find("physicalLocation"), std::string::npos);
+  EXPECT_NE(
+      no_hint.find("\"uri\": \"models/quote-backslash-newline-tab-bell-model\""),
+      std::string::npos)
+      << no_hint;
   EXPECT_NE(no_hint.find("logicalLocations"), std::string::npos);
+}
+
+TEST(EmitText, MemoTelemetryAppearsOnlyWhenMemoized) {
+  LintMemoStore memo;
+  LintOptions opt;
+  opt.rule_ids = {"ST003"};
+  opt.memo = &memo;
+  const LintModel model = defective_model();
+  (void)lint({model}, opt);  // warm
+  const LintRun warm = lint({model}, opt);
+  const std::string text = emit_text(warm);
+  EXPECT_NE(text.find("memo: 0 rule execution(s), 1 hit(s)"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(emit_text(defective_run()).find("memo:"), std::string::npos);
+
+  const std::string json = emit_json(warm);
+  EXPECT_NE(json.find("\"memoized\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"memo_hits\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rules_executed\": 0"), std::string::npos);
 }
 
 TEST(EmitDeterminism, ByteIdenticalAtEveryThreadCount) {

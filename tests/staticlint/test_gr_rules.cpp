@@ -1,0 +1,138 @@
+// Graph-consistency rule group (GR001–GR003): compound compositions —
+// attack paths flattened into one chain — must consume facts that some
+// earlier step (or the attacker's start) establishes, in order, at a
+// sufficient privilege. Fixtures are built directly on the IR's
+// compound section; the composed-path integration (compose_attack_path
+// -> to_lint_model -> clean GR verdict) lives in the analysis tests.
+#include "staticlint/rules.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "staticlint/linter.h"
+#include "staticlint/model_ir.h"
+
+namespace dfsm::staticlint {
+namespace {
+
+std::vector<Diagnostic> run_rule(const char* id, const LintModel& m) {
+  LintOptions opt;
+  opt.rule_ids = {id};
+  return lint({m}, opt).findings;
+}
+
+LintCompoundStep step(std::string model, std::string pre_host,
+                      std::string pre_priv, std::string con_host,
+                      std::string con_priv) {
+  LintCompoundStep s;
+  s.model = std::move(model);
+  s.pre_host = std::move(pre_host);
+  s.pre_privilege = std::move(pre_priv);
+  s.con_host = std::move(con_host);
+  s.con_privilege = std::move(con_priv);
+  return s;
+}
+
+/// A two-hop path shaped like the attack graph emits it: remote exploit
+/// establishes user@host0, local escalation consumes it.
+LintModel valid_compound() {
+  LintModel m;
+  m.name = "attack path: [remote] [local]";
+  m.consequence = "root@host0";
+  LintOperation op;
+  op.name = "s1:op";
+  LintPfsm p;
+  p.name = "s1:pFSM1";
+  p.type = core::PfsmType::kContentAttributeCheck;
+  p.activity = "handle the request";
+  p.action = "reject";
+  p.spec = LintPredicate{"is the request well-formed?",
+                         core::PredicateKind::kCustom};
+  p.impl = LintPredicate{"-", core::PredicateKind::kCustom};
+  op.pfsms.push_back(p);
+  m.operations.push_back(op);
+  m.gates = {"root@host0 via local"};
+  m.compound = {
+      step("remote", "attacker", "none", "host0", "user"),
+      step("local", "host0", "user", "host0", "root"),
+  };
+  return m;
+}
+
+TEST(RuleGR, ValidCompositionPassesAllThreeRules) {
+  const LintModel m = valid_compound();
+  EXPECT_TRUE(run_rule("GR001", m).empty());
+  EXPECT_TRUE(run_rule("GR002", m).empty());
+  EXPECT_TRUE(run_rule("GR003", m).empty());
+}
+
+TEST(RuleGR, NonCompoundModelsAreExemptEntirely) {
+  LintModel m = valid_compound();
+  m.compound.clear();  // an ordinary per-vulnerability model
+  EXPECT_TRUE(run_rule("GR001", m).empty());
+  EXPECT_TRUE(run_rule("GR002", m).empty());
+  EXPECT_TRUE(run_rule("GR003", m).empty());
+}
+
+TEST(RuleGR001, FlagsAPreconditionNoStepEstablishes) {
+  LintModel m = valid_compound();
+  m.compound[1] = step("local", "host9", "user", "host0", "root");
+  const auto out = run_rule("GR001", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].where.qualified(), m.name + "/local");
+  EXPECT_NE(out[0].message.find("user@host9"), std::string::npos);
+}
+
+TEST(RuleGR002, FlagsAProducerThatOnlyRunsLater) {
+  LintModel m = valid_compound();
+  // Swap the hops: the consumer now precedes its only producer.
+  m.compound = {
+      step("local", "host0", "user", "host0", "root"),
+      step("remote", "attacker", "none", "host0", "user"),
+      step("pivot", "host0", "root", "host1", "user"),
+  };
+  // Step 1 (index 0) is exempt by position; the pivot at index 2 has an
+  // upstream producer (index 0) so only a fully-downstream producer
+  // trips the rule.
+  EXPECT_TRUE(run_rule("GR002", m).empty());
+
+  m.compound = {
+      step("remote", "attacker", "none", "host1", "user"),
+      step("local", "host0", "user", "host0", "root"),
+      step("late-remote", "attacker", "none", "host0", "user"),
+  };
+  const auto out = run_rule("GR002", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].where.qualified(), m.name + "/local");
+  EXPECT_NE(out[0].message.find("LATER"), std::string::npos);
+}
+
+TEST(RuleGR003, FlagsAnUpstreamConsequenceTooWeakForTheStep) {
+  LintModel m = valid_compound();
+  // The remote hop only yields network presence; the local hop still
+  // demands a user account.
+  m.compound[0] = step("remote", "attacker", "none", "host0", "none");
+  const auto out = run_rule("GR003", m);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].severity, Severity::kError);
+  EXPECT_EQ(out[0].where.qualified(), m.name + "/local");
+  EXPECT_NE(out[0].message.find("only 'none'"), std::string::npos);
+
+  // A root-level producer satisfies a user-level consumer (monotone).
+  m.compound[0] = step("remote", "attacker", "none", "host0", "root");
+  EXPECT_TRUE(run_rule("GR003", m).empty());
+}
+
+TEST(RuleGR, UnknownPrivilegeNamesRankAboveRootDefensively) {
+  LintModel m = valid_compound();
+  // A typo'd consequence must not read as "too weak" (rank 3 > any
+  // need); GR003 stays quiet rather than crying wolf on unknown names.
+  m.compound[0] = step("remote", "attacker", "none", "host0", "sysadmin");
+  EXPECT_TRUE(run_rule("GR003", m).empty());
+}
+
+}  // namespace
+}  // namespace dfsm::staticlint

@@ -76,8 +76,9 @@ TEST(Registry, CleanBasePassesEveryRule) {
 
 TEST(Registry, StableGroupOrderAndLookup) {
   const auto& rules = all_rules();
-  ASSERT_EQ(rules.size(), 13u);
-  // ST* precede LM* precede TX* — finding order depends on this.
+  ASSERT_EQ(rules.size(), 20u);
+  // ST* precede LM* precede TX* precede DR* precede GR* — finding order
+  // depends on this.
   std::string last_group_seen;
   std::vector<std::string> group_order;
   for (const auto& r : rules) {
@@ -86,8 +87,9 @@ TEST(Registry, StableGroupOrderAndLookup) {
       last_group_seen = r.info.group;
     }
   }
-  EXPECT_EQ(group_order,
-            (std::vector<std::string>{"structural", "lemma", "taxonomy"}));
+  EXPECT_EQ(group_order, (std::vector<std::string>{"structural", "lemma",
+                                                   "taxonomy", "race",
+                                                   "graph"}));
   ASSERT_NE(find_rule("ST001"), nullptr);
   EXPECT_EQ(find_rule("ST001")->info.severity, Severity::kError);
   EXPECT_EQ(find_rule("ZZ999"), nullptr);

@@ -10,8 +10,9 @@ The gate watches two kinds of benchmark pairs:
   ``<Stem><ref-suffix>`` is the reference arm and ``<Stem><eng-suffix>``
   the engine arm of the same stem, regardless of arguments. The pair
   table (``SUFFIX_PAIRS``) currently gates ``FullSweeps``/``Incremental``
-  (e.g. ``BM_DefenseRankFullSweeps`` vs ``BM_DefenseRankIncremental``)
-  and ``Unmonitored``/``Monitored`` (the loadgen monitor-overhead pair).
+  (e.g. ``BM_DefenseRankFullSweeps`` vs ``BM_DefenseRankIncremental``),
+  ``Unmonitored``/``Monitored`` (the loadgen monitor-overhead pair), and
+  ``LintCurated``/``LintMemoized`` (the incremental-lint cache-hit pair).
 
 For every pair present in both runs it compares the *speedup* (reference
 median real_time / engine median real_time) — a ratio, so the check is
@@ -54,6 +55,10 @@ from collections import defaultdict
 SUFFIX_PAIRS = (
     ("FullSweeps", "Incremental", None),
     ("Unmonitored", "Monitored", 0.5),
+    # Deliberately the long suffixes: a bare "Memoized" would also match
+    # the thread-parameterized BM_LemmaSweepMemoized family and reroute
+    # it off its serial-vs-parallel gate.
+    ("LintCurated", "LintMemoized", None),
 )
 
 

@@ -20,6 +20,7 @@
 
 #include "faultinject/campaign.h"
 #include "runtime/thread_pool.h"
+#include "staticlint/emit.h"
 
 namespace {
 
@@ -31,10 +32,23 @@ int usage(const char* argv0) {
       << "  --campaign <c>   corpus | model | all  (default: all)\n"
       << "  --format <f>     text | json  (default: text)\n"
       << "  --out <file>     write the report to <file> instead of stdout\n"
+      << "  --lint-out <f>   write the aggregated incremental-lint run of\n"
+      << "                   every campaign-linted model as JSON\n"
+      << "  --lint-sarif <f> write the aggregated lint run as SARIF 2.1.0\n"
       << "  --workdir <dir>  scratch directory for shard files (created if\n"
       << "                   missing; default: dfsm-faultinject.work)\n"
       << "  --threads <n>    worker threads (default: DFSM_THREADS)\n";
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << text;
+  return true;
 }
 
 }  // namespace
@@ -44,6 +58,8 @@ int main(int argc, char** argv) {
   config.workdir = "dfsm-faultinject.work";
   std::string format = "text";
   std::string out_path;
+  std::string lint_out_path;
+  std::string lint_sarif_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +97,14 @@ int main(int argc, char** argv) {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
         out_path = v;
+      } else if (arg == "--lint-out") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        lint_out_path = v;
+      } else if (arg == "--lint-sarif") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        lint_sarif_path = v;
       } else if (arg == "--workdir") {
         const char* v = next();
         if (v == nullptr) return usage(argv[0]);
@@ -124,6 +148,16 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "campaign aborted: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!lint_out_path.empty() &&
+      !write_file(lint_out_path, dfsm::staticlint::emit_json(report.lint))) {
+    return 2;
+  }
+  if (!lint_sarif_path.empty() &&
+      !write_file(lint_sarif_path,
+                  dfsm::staticlint::emit_sarif(report.lint))) {
     return 2;
   }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.h"
+#include "staticlint/baseline.h"
 #include "staticlint/emit.h"
 #include "staticlint/linter.h"
 #include "staticlint/registry.h"
@@ -48,6 +49,8 @@ int usage(const char* argv0) {
       << "  --format <f>     text | json | sarif  (default: text)\n"
       << "  --out <file>     write the report to <file> instead of stdout\n"
       << "  --fail-on <s>    error | warning | never  (default: warning)\n"
+      << "  --baseline <f>   SARIF file of known findings; only findings\n"
+      << "                   NOT in the baseline count toward --fail-on\n"
       << "  --threads <n>    worker threads (default: DFSM_THREADS)\n"
       << "  --list-rules     print the rule table and exit\n"
       << "  --list-models    print the curated model names and exit\n";
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
   std::string format = "text";
   std::string out_path;
   std::string fail_on = "warning";
+  std::string baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +92,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       fail_on = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      baseline_path = v;
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -172,8 +180,38 @@ int main(int argc, char** argv) {
               << " error(s), " << run.warnings() << " warning(s))\n";
   }
 
+  // The --fail-on gate counts fresh findings only: with a baseline,
+  // known findings are reported but never fail the run.
+  std::size_t gate_errors = run.errors();
+  std::size_t gate_warnings = run.warnings();
+  if (!baseline_path.empty()) {
+    std::ifstream in{baseline_path};
+    if (!in) {
+      std::cerr << "cannot open baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    dfsm::staticlint::Baseline baseline;
+    try {
+      baseline = dfsm::staticlint::Baseline::from_sarif(buf.str());
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bad baseline " << baseline_path << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+    const auto split = dfsm::staticlint::apply_baseline(run, baseline);
+    gate_errors = gate_warnings = 0;
+    for (const auto& d : split.fresh) {
+      if (d.severity == Severity::kError) ++gate_errors;
+      if (d.severity == Severity::kWarning) ++gate_warnings;
+    }
+    std::cerr << "dfsm_lint: baseline suppressed " << split.suppressed.size()
+              << " known finding(s), " << split.fresh.size() << " fresh\n";
+  }
+
   if (fail_on == "never") return 0;
-  if (run.errors() > 0) return 1;
-  if (fail_on == "warning" && run.warnings() > 0) return 1;
+  if (gate_errors > 0) return 1;
+  if (fail_on == "warning" && gate_warnings > 0) return 1;
   return 0;
 }
