@@ -29,6 +29,7 @@
 #include "bugtraq/corpus.h"
 #include "bugtraq/database.h"
 #include "core/table.h"
+#include "fssim/explore.h"
 #include "runtime/thread_pool.h"
 #include "staticlint/linter.h"
 #include "staticlint/memo.h"
@@ -603,6 +604,82 @@ void BM_LintMemoized(benchmark::State& state) {
                           static_cast<std::int64_t>(models.size()));
 }
 BENCHMARK(BM_LintMemoized)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------
+// Interleaving exploration (fssim/explore.h): one synthetic 9x6 scenario
+// (C(15,6) = 5005 schedules), explored exhaustively vs with pinned +
+// strided sampling at budget 256. Gate pair (check_bench_regression.py
+// SUFFIX_PAIRS): ExploreExhaustive is the reference arm, ExploreSampled
+// the engine arm — sampling must keep its edge over the full walk.
+
+fssim::RaceScenario bench_race_scenario() {
+  fssim::RaceScenario s;
+  s.name = "bench-9x6";
+  s.world = [] {
+    fssim::FileSystem fs;
+    const auto root = fssim::Cred::root();
+    fs.mkdir(root, "/var");
+    fs.create(root, "/var/log", fssim::Mode::world_writable());
+    return fs;
+  };
+  const auto root = fssim::Cred::root();
+  const auto append = [root](const char* tag) {
+    return [root, tag](fssim::FileSystem& fs, fssim::RaceContext&) {
+      auto h = fs.open(root, "/var/log",
+                       fssim::OpenFlags{.write = true, .append = true});
+      if (h.ok()) fs.write(h.value, tag);
+    };
+  };
+  for (int i = 0; i < 9; ++i) {
+    s.victim.push_back(
+        fssim::CtxStep{"victim " + std::to_string(i), append("v")});
+  }
+  for (int i = 0; i < 6; ++i) {
+    s.attacker.push_back(
+        fssim::CtxStep{"attacker " + std::to_string(i), append("a")});
+  }
+  // Violated iff the attacker ran entirely first — the lex-last schedule.
+  s.violated = [](const fssim::FileSystem& fs, const fssim::RaceContext&) {
+    auto log = fs.read("/var/log");
+    return log.ok() && log.value.rfind("aaaaaa", 0) == 0;
+  };
+  return s;
+}
+
+void BM_ExploreExhaustive(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto scenario = bench_race_scenario();
+  fssim::ExploreOptions opts;
+  opts.budget = 8192;  // C(15,6) = 5005 fits: exhaustive
+  for (auto _ : state) {
+    auto report = fssim::explore_scenario(scenario, opts);
+    benchmark::DoNotOptimize(report.violating);
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * 5005);
+}
+BENCHMARK(BM_ExploreExhaustive)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExploreSampled(benchmark::State& state) {
+  set_pool_threads(state.range(0));
+  const auto scenario = bench_race_scenario();
+  fssim::ExploreOptions opts;
+  opts.budget = 256;  // pinned first/last + strided interior ranks
+  opts.seed = 11;
+  for (auto _ : state) {
+    auto report = fssim::explore_scenario(scenario, opts);
+    benchmark::DoNotOptimize(report.violating);
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ExploreSampled)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,55 @@
+#include "apps/races.h"
+
+#include "apps/rwall.h"
+#include "apps/xterm.h"
+
+namespace dfsm::apps {
+
+std::vector<fssim::RaceScenario> race_scenarios() {
+  std::vector<fssim::RaceScenario> scenarios;
+
+  {
+    const XtermLogger app{};  // vulnerable defaults: check, no atomic bind
+    fssim::RaceScenario s;
+    s.name = "xterm-figure5";
+    s.description =
+        "xterm log-file symlink race (paper Figure 5): unlink+symlink "
+        "inside the check-to-open window corrupts /etc/passwd";
+    s.world = [] { return XtermLogger{}.initial_world(); };
+    s.victim = app.victim_steps(/*window_steps=*/1);
+    s.attacker = app.attacker_steps();
+    s.violated = [](const fssim::FileSystem& fs,
+                    const fssim::RaceContext& ctx) {
+      return XtermLogger::passwd_corrupted(fs, ctx);
+    };
+    s.expected_total = 15;     // C(6, 2): 4 victim x 2 attacker steps
+    s.expected_violating = 3;  // both attacker steps inside the window
+    s.last_schedule_violates = false;  // attacker-first trips the check
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    const RwallDaemon app{};  // vulnerable defaults: utmp world-writable
+    fssim::RaceScenario s;
+    s.name = "rwall-figure6";
+    s.description =
+        "Solaris rwall utmp broadcast race (paper Figure 6): the "
+        "attacker's \"../etc/passwd\" append must beat the daemon's "
+        "snapshot read";
+    s.world = [] { return RwallDaemon{}.initial_world(); };
+    s.victim = app.victim_steps(/*window_steps=*/1);
+    s.attacker = app.attacker_steps();
+    s.violated = [](const fssim::FileSystem& fs,
+                    const fssim::RaceContext& ctx) {
+      return RwallDaemon::passwd_corrupted(fs, ctx);
+    };
+    s.expected_total = 10;     // C(5, 2): 3 victim x 2 attacker steps
+    s.expected_violating = 1;  // attacker entirely before the read
+    s.last_schedule_violates = true;  // ...which IS the pinned last rank
+    scenarios.push_back(std::move(s));
+  }
+
+  return scenarios;
+}
+
+}  // namespace dfsm::apps

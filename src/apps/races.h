@@ -1,0 +1,30 @@
+// races.h — curated race-scenario registry for the interleaving
+// exploration engine (fssim/explore.h).
+//
+// Each entry packages one of the paper's TOCTOU case studies as a
+// self-contained RaceScenario: world factory, victim/attacker step
+// sequences, violation predicate, and the exact exhaustive counts the
+// exploration campaign must rediscover (DESIGN.md §14).
+#ifndef DFSM_APPS_RACES_H
+#define DFSM_APPS_RACES_H
+
+#include <vector>
+
+#include "fssim/explore.h"
+
+namespace dfsm::apps {
+
+/// The curated scenarios:
+///   - "xterm-figure5": the §5.2 log-file symlink race at window 1 —
+///     C(6,2) = 15 schedules, 3 violating (both attacker steps must land
+///     between the check and the open; the window no-op interleaves three
+///     ways).
+///   - "rwall-figure6": the §5.3 utmp broadcast race at window 1 —
+///     C(5,2) = 10 schedules, 1 violating (the attacker's append must
+///     precede the daemon's snapshot read entirely, i.e. the
+///     lexicographic last schedule — always caught by pinned sampling).
+[[nodiscard]] std::vector<fssim::RaceScenario> race_scenarios();
+
+}  // namespace dfsm::apps
+
+#endif  // DFSM_APPS_RACES_H

@@ -106,6 +106,87 @@ RwallResult RwallDaemon::run_benign(FileSystem& fs, const std::string& message) 
   return r;
 }
 
+std::vector<fssim::CtxStep> RwallDaemon::victim_steps(
+    std::size_t window_steps) const {
+  using fssim::CtxStep;
+  using fssim::RaceContext;
+  const Cred root = Cred::root();
+  const bool type_check = checks_.terminal_type_check;
+
+  std::vector<CtxStep> steps;
+  steps.push_back(CtxStep{
+      "rwalld: read(\"/etc/utmp\") snapshot",
+      [](FileSystem& fs, RaceContext& ctx) {
+        auto utmp = fs.read(RwallDaemon::kUtmp);
+        if (!utmp.ok()) {
+          ctx.aborted = true;
+          return;
+        }
+        ctx.strs["utmp"] = utmp.value;
+      }});
+  for (std::size_t i = 0; i < window_steps; ++i) {
+    steps.push_back(CtxStep{"rwalld: fan-out bookkeeping",
+                            [](FileSystem&, RaceContext&) {}});
+  }
+  steps.push_back(CtxStep{
+      "rwalld: write message to every snapshotted entry",
+      [root, type_check](FileSystem& fs, RaceContext& ctx) {
+        if (ctx.aborted) return;
+        std::istringstream lines{ctx.strs["utmp"]};
+        std::string entry;
+        while (std::getline(lines, entry)) {
+          if (entry.empty()) continue;
+          const std::string path =
+              netsim::lexically_normalize("/dev/" + entry);
+          if (type_check) {
+            auto st = fs.stat(path);
+            if (!st.ok() || st.value.type != NodeType::kTerminal) continue;
+          }
+          auto h = fs.open(root, path, OpenFlags{.write = true, .append = true});
+          if (!h.ok()) continue;
+          fs.write(h.value, RwallDaemon::kRaceMessage);
+        }
+      }});
+  return steps;
+}
+
+std::vector<fssim::CtxStep> RwallDaemon::attacker_steps() const {
+  using fssim::CtxStep;
+  using fssim::RaceContext;
+  const Cred attacker = Cred::user_named("mallory");
+  return {
+      CtxStep{"mallory: open(\"/etc/utmp\", O_WRONLY|O_APPEND)",
+              [attacker](FileSystem& fs, RaceContext& ctx) {
+                auto h = fs.open(attacker, RwallDaemon::kUtmp,
+                                 OpenFlags{.write = true, .append = true});
+                if (!h.ok()) {
+                  ctx.ints["rejected"] = 1;  // pFSM1 held: EACCES
+                  return;
+                }
+                ctx.file = h.value;
+              }},
+      CtxStep{"mallory: write(\"../etc/passwd\\n\")",
+              [](FileSystem& fs, RaceContext& ctx) {
+                if (ctx.ints.count("rejected") != 0) return;
+                fs.write(ctx.file, "../etc/passwd\n");
+              }},
+  };
+}
+
+bool RwallDaemon::passwd_corrupted(const fssim::FileSystem& fs,
+                                   const fssim::RaceContext&) {
+  auto pw = fs.read(kPasswd);
+  return pw.ok() && pw.value.find(kRaceMessage) != std::string::npos;
+}
+
+fssim::RaceReport RwallDaemon::run_race(std::size_t window_steps) const {
+  return fssim::enumerate_interleavings(
+      initial_world(), victim_steps(window_steps), attacker_steps(),
+      [](const FileSystem& fs, const fssim::RaceContext& ctx) {
+        return passwd_corrupted(fs, ctx);
+      });
+}
+
 core::FsmModel RwallDaemon::figure6_model() {
   Predicate spec1{"the requesting user has root privilege", [](const Object& o) {
                     return o.attr_bool("is_root").value_or(false);

@@ -18,6 +18,7 @@
 
 #include "apps/case_study.h"
 #include "fssim/filesystem.h"
+#include "fssim/race.h"
 
 namespace dfsm::apps {
 
@@ -61,6 +62,34 @@ class RwallDaemon {
 
   /// The paper's Figure 6 as a predicate-level FsmModel.
   [[nodiscard]] static core::FsmModel figure6_model();
+
+  // -------------------------------------------------------------------
+  // Step-decomposed race variant (DESIGN.md §14). The shared object is
+  // /etc/utmp: the daemon snapshots it once, then fans the message out to
+  // the snapshot's entries. The attacker's append races the snapshot —
+  // /etc/passwd is corrupted exactly when BOTH attacker steps precede the
+  // daemon's read, i.e. in precisely one interleaving: the lexicographic
+  // last schedule (the attacker runs entirely first).
+
+  /// Daemon sequence: [read /etc/utmp into ctx] [window_steps no-ops]
+  /// [write message to every snapshotted entry].
+  [[nodiscard]] std::vector<fssim::CtxStep> victim_steps(
+      std::size_t window_steps = 1) const;
+
+  /// Attacker (mallory): open /etc/utmp for append, write the
+  /// "../etc/passwd" entry.
+  [[nodiscard]] std::vector<fssim::CtxStep> attacker_steps() const;
+
+  /// The violation predicate: the broadcast message landed in /etc/passwd.
+  [[nodiscard]] static bool passwd_corrupted(const fssim::FileSystem& fs,
+                                             const fssim::RaceContext& ctx);
+
+  /// Enumerates every interleaving for the given window width.
+  [[nodiscard]] fssim::RaceReport run_race(std::size_t window_steps = 1) const;
+
+  /// The message the race victim broadcasts (a forged passwd line).
+  static constexpr const char* kRaceMessage =
+      "mallory::0:0:intruder:/:/bin/sh\n";
 
  private:
   /// The daemon's write pass over /etc/utmp.

@@ -11,10 +11,13 @@
 #include "analysis/chain_analyzer.h"
 #include "analysis/hidden_path.h"
 #include "apps/case_study.h"
+#include "apps/races.h"
 #include "bugtraq/corpus.h"
 #include "bugtraq/csv_shards.h"
+#include "faultinject/composed.h"
 #include "faultinject/corpus_faults.h"
 #include "faultinject/model_faults.h"
+#include "fssim/explore.h"
 #include "runtime/parallel.h"
 #include "staticlint/linter.h"
 #include "staticlint/registry.h"
@@ -411,6 +414,113 @@ TrialResult run_model_trial(
   return r;
 }
 
+/// Race-exploration trial: picks a curated scenario and holds the
+/// exploration engine to three machine-checked expectations —
+///   * "rediscovered": the exhaustive run reproduces the curated
+///     schedule-space and violating-schedule counts exactly;
+///   * "matches-enumeration": the exhaustive run is outcome-for-outcome
+///     identical (step order + verdict, at every rank) to the recursive
+///     enumerator in race.h;
+///   * "sampled-pinned": a seeded sub-space budget still pins the
+///     lexicographic first/last ranks, reports only violating ranks the
+///     exhaustive run confirmed, and — for scenarios whose violation IS
+///     the lex-last schedule (rwall) — still finds the race.
+TrialResult run_race_trial(std::size_t t, Rng& rng,
+                           const std::vector<fssim::RaceScenario>& scenarios) {
+  TrialResult r;
+  r.trial = t;
+  r.kind = "race";
+  const fssim::RaceScenario& s = scenarios[rng.below(scenarios.size())];
+  r.fault = "explore";
+  r.target = s.name;
+  r.expected_rules = {"rediscovered", "matches-enumeration",
+                      "sampled-pinned"};
+
+  fssim::ExploreOptions exhaustive_opts;
+  exhaustive_opts.seed = rng.next();
+  const auto rep = fssim::explore_scenario(s, exhaustive_opts);
+  r.detail = "space " + std::to_string(rep.schedule_space) + ", " +
+             std::to_string(rep.violating) + " violating";
+  if (rep.exhaustive && rep.schedule_space == s.expected_total &&
+      rep.explored == s.expected_total &&
+      rep.violating == s.expected_violating) {
+    r.caught_rules.push_back("rediscovered");
+  } else {
+    fail(r, "exhaustive exploration missed the curated counts: explored " +
+                std::to_string(rep.explored) + "/" +
+                std::to_string(rep.schedule_space) + ", violating " +
+                std::to_string(rep.violating) + " (expected " +
+                std::to_string(s.expected_total) + "/" +
+                std::to_string(s.expected_violating) + ")");
+  }
+
+  const auto ref = fssim::enumerate_interleavings(s.world(), s.victim,
+                                                  s.attacker, s.violated);
+  bool matches = ref.total_schedules == rep.explored &&
+                 ref.violating_schedules == rep.violating &&
+                 ref.outcomes.size() == rep.outcomes.size();
+  for (std::size_t i = 0; matches && i < ref.outcomes.size(); ++i) {
+    matches = rep.outcomes[i].rank == i &&
+              ref.outcomes[i].order == rep.outcomes[i].order &&
+              ref.outcomes[i].violated == rep.outcomes[i].violated;
+  }
+  if (matches) {
+    r.caught_rules.push_back("matches-enumeration");
+  } else {
+    fail(r, "rank-ascending exploration diverged from the recursive "
+            "enumerator");
+  }
+
+  fssim::ExploreOptions sampled_opts;
+  sampled_opts.seed = rng.next();
+  sampled_opts.budget = 2 + rng.below(s.expected_total - 2);
+  const auto samp = fssim::explore_scenario(s, sampled_opts);
+  r.detail += ", sampled " + std::to_string(samp.explored) + "/" +
+              std::to_string(sampled_opts.budget) + " found " +
+              std::to_string(samp.violating);
+  bool pinned_first = false;
+  bool pinned_last = false;
+  for (const auto& o : samp.outcomes) {
+    pinned_first = pinned_first || o.rank == 0;
+    pinned_last = pinned_last || o.rank == rep.schedule_space - 1;
+  }
+  bool subset = true;
+  for (const auto rank : samp.violating_ranks) {
+    bool in_exhaustive = false;
+    for (const auto v : rep.violating_ranks) in_exhaustive |= v == rank;
+    subset = subset && in_exhaustive;
+  }
+  bool sampled_ok = !samp.exhaustive && samp.explored <= sampled_opts.budget;
+  if (!pinned_first || !pinned_last) {
+    sampled_ok = false;
+    fail(r, "sampled run lost a pinned rank (first/last must always run)");
+  }
+  if (!subset) {
+    sampled_ok = false;
+    fail(r, "sampled run reported a violating rank the exhaustive run "
+            "did not confirm");
+  }
+  if (s.last_schedule_violates && !samp.race_exists()) {
+    sampled_ok = false;
+    fail(r, "pinned sampling missed a lex-last violation it can never "
+            "legitimately miss");
+  }
+  if (sampled_ok) {
+    r.caught_rules.push_back("sampled-pinned");
+  } else if (r.failure.empty()) {
+    fail(r, "sampled exploration violated the budget/exhaustive contract");
+  }
+
+  r.detected = true;
+  for (const auto& want : r.expected_rules) {
+    bool got = false;
+    for (const auto& id : r.caught_rules) got = got || id == want;
+    r.detected = r.detected && got;
+  }
+  r.ok = r.failure.empty();
+  return r;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -450,6 +560,8 @@ const char* to_string(CampaignKind k) noexcept {
   switch (k) {
     case CampaignKind::kCorpus: return "corpus";
     case CampaignKind::kModel: return "model";
+    case CampaignKind::kRace: return "race";
+    case CampaignKind::kComposed: return "composed";
     case CampaignKind::kAll: return "all";
   }
   return "unknown";
@@ -474,29 +586,48 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   report.config = config;
   const auto curated = staticlint::curated_lint_models();
   const auto studies = apps::all_case_studies();
+  const auto scenarios = apps::race_scenarios();
   // One memo store for the whole campaign: repeated fixtures hit, every
   // mutated curated model invalidates its own cells, and the aggregate
   // telemetry lands in report.lint.
   staticlint::LintMemoStore memo;
   LintContext lint_ctx{memo, report.lint, report.models_linted};
+  ComposedDeps composed_deps;
+  composed_deps.curated = &curated;
+  composed_deps.studies = &studies;
+  composed_deps.memo = &memo;
+  composed_deps.lint_agg = &report.lint;
+  composed_deps.models_linted = &report.models_linted;
   for (std::size_t t = 0; t < config.trials; ++t) {
     // All trial randomness is a pure function of (seed, t); trials are
     // order-independent and individually replayable.
     Rng rng{config.seed, t};
-    bool corpus = false;
-    switch (config.campaign) {
-      case CampaignKind::kCorpus: corpus = true; break;
-      case CampaignKind::kModel: corpus = false; break;
-      case CampaignKind::kAll: corpus = rng.below(2) == 0; break;
+    CampaignKind surface = config.campaign;
+    if (surface == CampaignKind::kAll) {
+      constexpr std::array<CampaignKind, 4> kSurfaces = {
+          CampaignKind::kCorpus, CampaignKind::kModel, CampaignKind::kRace,
+          CampaignKind::kComposed};
+      surface = kSurfaces[rng.below(kSurfaces.size())];
     }
-    TrialResult r = corpus
-                        ? run_corpus_trial(config, t, rng)
-                        : run_model_trial(config, t, rng, curated, studies,
-                                          lint_ctx);
-    if (corpus) {
-      ++report.corpus_trials;
-    } else {
-      ++report.model_trials;
+    TrialResult r;
+    switch (surface) {
+      case CampaignKind::kCorpus:
+        r = run_corpus_trial(config, t, rng);
+        ++report.corpus_trials;
+        break;
+      case CampaignKind::kRace:
+        r = run_race_trial(t, rng, scenarios);
+        ++report.race_trials;
+        break;
+      case CampaignKind::kComposed:
+        r = run_composed_trial(config, t, rng, composed_deps);
+        ++report.composed_trials;
+        break;
+      case CampaignKind::kModel:
+      case CampaignKind::kAll:
+        r = run_model_trial(config, t, rng, curated, studies, lint_ctx);
+        ++report.model_trials;
+        break;
     }
     if (!r.ok) ++report.failures;
     report.trials.push_back(std::move(r));
@@ -522,6 +653,12 @@ std::string emit_text(const CampaignReport& report) {
          << t.quarantined_shards << " shard(s)";
       if (t.retries != 0) os << ", " << t.retries << " retries";
       os << ")";
+    } else if (t.kind == "composed") {
+      os << " (generated " << t.generated << ", ingested " << t.ingested
+         << ", quarantined " << t.quarantined_rows << " row(s) / "
+         << t.quarantined_shards << " shard(s); caught:";
+      for (const auto& id : t.caught_rules) os << " " << id;
+      os << ")";
     } else {
       os << " (caught:";
       for (const auto& id : t.caught_rules) os << " " << id;
@@ -537,7 +674,8 @@ std::string emit_text(const CampaignReport& report) {
      << report.lint.findings.size() << " finding(s)\n";
   os << (report.ok() ? "PASS" : "FAIL") << ": " << report.corpus_trials
      << " corpus trial(s), " << report.model_trials << " model trial(s), "
-     << report.failures << " failure(s)\n";
+     << report.race_trials << " race trial(s), " << report.composed_trials
+     << " composed trial(s), " << report.failures << " failure(s)\n";
   return os.str();
 }
 
@@ -552,6 +690,8 @@ std::string emit_json(const CampaignReport& report) {
      << ", \"max_attempts\": " << report.config.max_attempts << "},\n";
   os << "  \"summary\": {\"corpus_trials\": " << report.corpus_trials
      << ", \"model_trials\": " << report.model_trials
+     << ", \"race_trials\": " << report.race_trials
+     << ", \"composed_trials\": " << report.composed_trials
      << ", \"failures\": " << report.failures << ", \"ok\": "
      << (report.ok() ? "true" : "false") << "},\n";
   os << "  \"lint\": {\"models_linted\": " << report.models_linted
@@ -568,7 +708,7 @@ std::string emit_json(const CampaignReport& report) {
        << "\", \"fault\": \"" << json_escape(t.fault) << "\", \"target\": \""
        << json_escape(t.target) << "\", \"line\": " << t.line
        << ", \"detail\": \"" << json_escape(t.detail) << "\", ";
-    if (t.kind == "corpus") {
+    if (t.kind == "corpus" || t.kind == "composed") {
       os << "\"generated\": " << t.generated << ", \"ingested\": "
          << t.ingested << ", \"quarantined_rows\": " << t.quarantined_rows
          << ", \"quarantined_row_lines\": " << t.quarantined_row_lines
@@ -577,7 +717,8 @@ std::string emit_json(const CampaignReport& report) {
          << (t.strict_threw ? "true" : "false") << ", \"strict_error\": \""
          << json_escape(t.strict_error) << "\", \"conserved\": "
          << (t.conserved ? "true" : "false") << ", ";
-    } else {
+    }
+    if (t.kind != "corpus") {
       os << "\"expected_rules\": ";
       emit_string_array(os, t.expected_rules);
       os << ", \"caught_rules\": ";

@@ -35,10 +35,15 @@ namespace dfsm::faultinject {
 
 /// Which fault surface a campaign exercises.
 enum class CampaignKind {
-  kCorpus,  ///< shard-set mutations through the ingest pipeline
-  kModel,   ///< IR/chain/sweep-cache mutations through staticlint +
-            ///< dynamic analysis + the memoized-vs-direct cross-check
-  kAll,     ///< seeded mix of both
+  kCorpus,    ///< shard-set mutations through the ingest pipeline
+  kModel,     ///< IR/chain/sweep-cache mutations through staticlint +
+              ///< dynamic analysis + the memoized-vs-direct cross-check
+  kRace,      ///< interleaving-exploration trials over the curated race
+              ///< scenarios (fssim/explore.h): exhaustive rediscovery with
+              ///< exact counts + enumeration cross-check + pinned sampling
+  kComposed,  ///< 2-4 mutators drawn per trial across the corpus, pipeline,
+              ///< and analysis layers (faultinject/composed.h)
+  kAll,       ///< seeded mix of all four
 };
 
 [[nodiscard]] const char* to_string(CampaignKind k) noexcept;
@@ -66,7 +71,8 @@ struct CampaignConfig {
 /// fields stay zero/empty.
 struct TrialResult {
   std::size_t trial = 0;
-  std::string kind;    ///< "corpus" | "model" | "chain" | "sweep"
+  std::string kind;    ///< "corpus" | "model" | "chain" | "sweep" |
+                       ///< "chainlint" | "race" | "composed"
   std::string fault;   ///< mutator name
   std::string target;  ///< shard (workdir-relative) or model/operation
   std::size_t line = 0;
@@ -104,6 +110,8 @@ struct CampaignReport {
   std::vector<TrialResult> trials;
   std::size_t corpus_trials = 0;
   std::size_t model_trials = 0;
+  std::size_t race_trials = 0;
+  std::size_t composed_trials = 0;
   std::size_t failures = 0;
 
   /// Every model the campaign linted, aggregated into one LintRun: the

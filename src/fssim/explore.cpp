@@ -1,0 +1,257 @@
+#include "fssim/explore.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "runtime/parallel.h"
+
+namespace dfsm::fssim {
+
+namespace {
+
+// splitmix64 (same construction as the fault-campaign Rng; duplicated here
+// because fssim sits below faultinject in the layering). The jitter for
+// stride i is a pure function of (seed, i).
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t jitter(std::uint64_t seed, std::uint64_t index) {
+  return mix64(seed ^ mix64(index * kGamma + kGamma));
+}
+
+}  // namespace
+
+std::vector<bool> unrank_schedule(std::uint64_t rank, std::size_t victim_steps,
+                                  std::size_t attacker_steps) {
+  std::vector<bool> schedule;
+  schedule.reserve(victim_steps + attacker_steps);
+  std::size_t n = victim_steps;
+  std::size_t m = attacker_steps;
+  while (n > 0 && m > 0) {
+    // Schedules whose next step is the victim's: C(n-1+m, n-1), i.e. the
+    // interleavings of the remaining steps. Victim-first schedules come
+    // first lexicographically (victim = 0), matching race.cpp's recursion.
+    const std::uint64_t victim_first = interleaving_count(n - 1, m);
+    if (rank < victim_first) {
+      schedule.push_back(false);
+      --n;
+    } else {
+      rank -= victim_first;
+      schedule.push_back(true);
+      --m;
+    }
+  }
+  while (n-- > 0) schedule.push_back(false);
+  while (m-- > 0) schedule.push_back(true);
+  return schedule;
+}
+
+std::vector<std::uint64_t> sample_ranks(std::uint64_t space,
+                                        std::uint64_t budget,
+                                        std::uint64_t seed) {
+  std::vector<std::uint64_t> ranks;
+  if (space == 0) return ranks;
+  budget = std::max<std::uint64_t>(budget, 2);
+  if (budget >= space) {
+    ranks.reserve(static_cast<std::size_t>(space));
+    for (std::uint64_t r = 0; r < space; ++r) ranks.push_back(r);
+    return ranks;
+  }
+  // Pin the lexicographic extremes: rank 0 (victim entirely first — the
+  // benign baseline) and rank space-1 (attacker entirely first — the
+  // sequential-prefix attack every TOCTOU race degenerates to when the
+  // attacker wins outright).
+  ranks.push_back(0);
+  ranks.push_back(space - 1);
+  // Interior: budget-2 equal strides, one splitmix64-jittered rank each.
+  // stride >= 1 because budget < space; base + jitter < stride*(i+1)
+  // <= stride*(budget-1) <= space, so every rank stays in range.
+  const std::uint64_t stride = space / (budget - 1);
+  for (std::uint64_t i = 1; i + 1 < budget; ++i) {
+    const std::uint64_t base = stride * i;
+    ranks.push_back(base + jitter(seed, i) % stride);
+  }
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  return ranks;
+}
+
+ExploreReport explore_interleavings(
+    const FileSystem& initial, const std::vector<CtxStep>& victim,
+    const std::vector<CtxStep>& attacker,
+    const std::function<bool(const FileSystem&, const RaceContext&)>& violated,
+    const ExploreOptions& options) {
+  ExploreReport report;
+  report.victim_steps = victim.size();
+  report.attacker_steps = attacker.size();
+  report.schedule_space = interleaving_count(victim.size(), attacker.size());
+  report.space_saturated =
+      interleaving_count_saturated(victim.size(), attacker.size());
+
+  const std::uint64_t budget = std::max<std::uint64_t>(options.budget, 2);
+  // Plan serially: the exact rank list is fixed before any execution.
+  std::vector<std::uint64_t> ranks;
+  if (!report.space_saturated && report.schedule_space <= budget) {
+    report.exhaustive = true;
+    ranks.reserve(static_cast<std::size_t>(report.schedule_space));
+    for (std::uint64_t r = 0; r < report.schedule_space; ++r)
+      ranks.push_back(r);
+  } else {
+    ranks = sample_ranks(report.schedule_space, budget, options.seed);
+  }
+  report.explored = ranks.size();
+
+  // Execute in parallel: each schedule replays on a fresh forked world and
+  // context, touching nothing shared. parallel_map preserves index order.
+  struct RankOutcome {
+    std::vector<std::string> order;
+    bool violated = false;
+  };
+  const auto outcomes = runtime::parallel_map<RankOutcome>(
+      ranks.size(), [&](std::size_t i) {
+        const std::vector<bool> schedule =
+            unrank_schedule(ranks[i], victim.size(), attacker.size());
+        FileSystem world = initial;
+        RaceContext ctx;
+        RankOutcome out;
+        out.order.reserve(schedule.size());
+        std::size_t iv = 0;
+        std::size_t ia = 0;
+        for (const bool attacker_turn : schedule) {
+          const CtxStep& step =
+              attacker_turn ? attacker[ia++] : victim[iv++];
+          step.run(world, ctx);
+          out.order.push_back(step.label);
+        }
+        out.violated = violated(world, ctx);
+        return out;
+      });
+
+  // Merge serially in rank order (the plan is already ascending).
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (outcomes[i].violated) {
+      ++report.violating;
+      report.violating_ranks.push_back(ranks[i]);
+      report.outcomes.push_back(
+          ExploredSchedule{ranks[i], outcomes[i].order, true});
+      continue;
+    }
+    const std::size_t benign_kept =
+        report.outcomes.size() - report.violating_ranks.size();
+    if (benign_kept < options.benign_outcome_cap) {
+      report.outcomes.push_back(
+          ExploredSchedule{ranks[i], outcomes[i].order, false});
+    } else {
+      ++report.benign_outcomes_dropped;
+    }
+  }
+  return report;
+}
+
+ExploreReport explore_scenario(const RaceScenario& scenario,
+                               const ExploreOptions& options) {
+  return explore_interleavings(scenario.world(), scenario.victim,
+                               scenario.attacker, scenario.violated, options);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fraction_str(double f) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", f);
+  return buf;
+}
+
+}  // namespace
+
+std::string emit_text(const std::string& scenario_name,
+                      const ExploreReport& report) {
+  std::ostringstream out;
+  out << "scenario: " << scenario_name << "\n"
+      << "  steps: " << report.victim_steps << " victim x "
+      << report.attacker_steps << " attacker\n"
+      << "  schedule space: " << report.schedule_space
+      << (report.space_saturated ? " (saturated)" : "") << "\n"
+      << "  mode: " << (report.exhaustive ? "exhaustive" : "sampled") << "\n"
+      << "  explored: " << report.explored << "\n"
+      << "  violating: " << report.violating << " ("
+      << fraction_str(report.violation_fraction()) << ")\n";
+  out << "  violating ranks:";
+  for (const std::uint64_t r : report.violating_ranks) out << " " << r;
+  out << "\n";
+  if (report.benign_outcomes_dropped > 0) {
+    out << "  benign outcomes dropped: " << report.benign_outcomes_dropped
+        << "\n";
+  }
+  for (const auto& o : report.outcomes) {
+    if (!o.violated) continue;
+    out << "  rank " << o.rank << " VIOLATES:\n";
+    for (const auto& label : o.order) out << "    " << label << "\n";
+  }
+  return out.str();
+}
+
+std::string emit_json(const std::string& scenario_name,
+                      const ExploreReport& report) {
+  std::ostringstream out;
+  out << "{\"scenario\":\"" << json_escape(scenario_name) << "\""
+      << ",\"victim_steps\":" << report.victim_steps
+      << ",\"attacker_steps\":" << report.attacker_steps
+      << ",\"schedule_space\":" << report.schedule_space
+      << ",\"space_saturated\":" << (report.space_saturated ? "true" : "false")
+      << ",\"exhaustive\":" << (report.exhaustive ? "true" : "false")
+      << ",\"explored\":" << report.explored
+      << ",\"violating\":" << report.violating
+      << ",\"violation_fraction\":" << fraction_str(report.violation_fraction())
+      << ",\"benign_outcomes_dropped\":" << report.benign_outcomes_dropped;
+  out << ",\"violating_ranks\":[";
+  for (std::size_t i = 0; i < report.violating_ranks.size(); ++i) {
+    if (i > 0) out << ",";
+    out << report.violating_ranks[i];
+  }
+  out << "],\"outcomes\":[";
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const auto& o = report.outcomes[i];
+    if (i > 0) out << ",";
+    out << "{\"rank\":" << o.rank
+        << ",\"violated\":" << (o.violated ? "true" : "false") << ",\"order\":[";
+    for (std::size_t j = 0; j < o.order.size(); ++j) {
+      if (j > 0) out << ",";
+      out << "\"" << json_escape(o.order[j]) << "\"";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace dfsm::fssim

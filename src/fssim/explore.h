@@ -1,0 +1,143 @@
+// explore.h — systematic interleaving-exploration campaigns (DESIGN.md §14).
+//
+// The recursive enumerator in race.h is exhaustive but only ever runs the
+// two curated fixtures. This engine explores the C(n+m, n) schedule space
+// of ANY victim/attacker step pair deterministically:
+//
+//   - exhaustive when the space fits the configured budget;
+//   - strided, deterministically seeded sampling beyond it — splitmix64
+//     jitter inside equal rank strides, with the lexicographic first
+//     (rank 0, victim runs to completion first) and last (rank S-1,
+//     attacker runs to completion first) schedules ALWAYS pinned.
+//
+// Schedules are addressed by lexicographic rank (victim step = 0 <
+// attacker step = 1), which matches race.cpp's victim-branch-first
+// recursion order exactly: exhaustive exploration at ascending rank
+// reproduces enumerate_interleavings outcome for outcome — the cross-check
+// the race fault-injection campaign asserts.
+//
+// Execution follows the sweep engine's guard discipline: the rank plan is
+// computed serially, schedules replay over runtime::parallel_map (each on
+// a fresh forked world + context), and results merge serially in rank
+// order — reports are byte-identical at any DFSM_THREADS.
+#ifndef DFSM_FSSIM_EXPLORE_H
+#define DFSM_FSSIM_EXPLORE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fssim/race.h"
+
+namespace dfsm::fssim {
+
+/// Knobs for one exploration run.
+struct ExploreOptions {
+  /// Seeds the splitmix64 jitter inside sampling strides. Exhaustive runs
+  /// ignore it (there is nothing to sample).
+  std::uint64_t seed = 1;
+  /// Maximum schedules to execute. Spaces no larger than this are
+  /// explored exhaustively; beyond it, pinned + strided sampling applies.
+  /// Values below 2 are treated as 2 (the two pinned schedules).
+  std::uint64_t budget = 4096;
+  /// Benign-outcome retention cap (violating outcomes always kept).
+  std::size_t benign_outcome_cap = kNoBenignCap;
+};
+
+/// One explored schedule: its lexicographic rank, the executed label
+/// order, and whether the violation predicate fired.
+struct ExploredSchedule {
+  std::uint64_t rank = 0;
+  std::vector<std::string> order;
+  bool violated = false;
+};
+
+/// Result of one exploration run.
+struct ExploreReport {
+  std::size_t victim_steps = 0;
+  std::size_t attacker_steps = 0;
+  /// C(n+m, n); saturated to uint64 max when the true space overflows.
+  std::uint64_t schedule_space = 0;
+  bool space_saturated = false;
+  /// True when every schedule in the space was executed.
+  bool exhaustive = false;
+  /// Schedules actually executed (== schedule_space when exhaustive).
+  std::uint64_t explored = 0;
+  /// Violating schedules among the explored ones (exact for exhaustive).
+  std::uint64_t violating = 0;
+  /// Ranks of the violating schedules, ascending.
+  std::vector<std::uint64_t> violating_ranks;
+  /// Retained outcomes in ascending rank order (benign cap applies).
+  std::vector<ExploredSchedule> outcomes;
+  std::uint64_t benign_outcomes_dropped = 0;
+
+  [[nodiscard]] double violation_fraction() const {
+    return explored == 0 ? 0.0
+                         : static_cast<double>(violating) /
+                               static_cast<double>(explored);
+  }
+  [[nodiscard]] bool race_exists() const { return violating > 0; }
+};
+
+/// A named, self-contained race scenario: the world factory, the two step
+/// sequences, the violation predicate, and (for curated entries) the
+/// expected exhaustive counts the campaign must rediscover.
+struct RaceScenario {
+  std::string name;
+  std::string description;
+  std::function<FileSystem()> world;
+  std::vector<CtxStep> victim;
+  std::vector<CtxStep> attacker;
+  std::function<bool(const FileSystem&, const RaceContext&)> violated;
+  /// Expected exhaustive totals (0 = no curated expectation).
+  std::uint64_t expected_total = 0;
+  std::uint64_t expected_violating = 0;
+  /// True when the lexicographic LAST schedule (attacker entirely before
+  /// the victim) violates — such races are caught at ANY sampling budget
+  /// because rank S-1 is always pinned.
+  bool last_schedule_violates = false;
+};
+
+/// Unranks a schedule: the `rank`-th (lexicographic, victim=0 < attacker=1)
+/// interleaving of n victim and m attacker steps, as a vector where false
+/// = victim step, true = attacker step. Rank 0 is all-victim-first; rank
+/// C(n+m,n)-1 is all-attacker-first. Deterministic even when binomials
+/// saturate (the victim branch is preferred while the subspace count is
+/// saturated — biased, but stable).
+[[nodiscard]] std::vector<bool> unrank_schedule(std::uint64_t rank,
+                                                std::size_t victim_steps,
+                                                std::size_t attacker_steps);
+
+/// The deterministic rank plan for a sampled run: {0, space-1} plus
+/// strided interior ranks with splitmix64 jitter, deduplicated and sorted
+/// ascending. Exposed for tests; explore_interleavings calls it when the
+/// space exceeds the budget.
+[[nodiscard]] std::vector<std::uint64_t> sample_ranks(std::uint64_t space,
+                                                      std::uint64_t budget,
+                                                      std::uint64_t seed);
+
+/// Explores the interleaving space of the two step sequences. Exhaustive
+/// when C(n+m,n) <= budget; pinned + strided sampling otherwise.
+[[nodiscard]] ExploreReport explore_interleavings(
+    const FileSystem& initial, const std::vector<CtxStep>& victim,
+    const std::vector<CtxStep>& attacker,
+    const std::function<bool(const FileSystem&, const RaceContext&)>& violated,
+    const ExploreOptions& options = {});
+
+/// Explores a packaged scenario (fresh world from its factory).
+[[nodiscard]] ExploreReport explore_scenario(const RaceScenario& scenario,
+                                             const ExploreOptions& options = {});
+
+/// Human-readable exploration summary.
+[[nodiscard]] std::string emit_text(const std::string& scenario_name,
+                                    const ExploreReport& report);
+
+/// Machine-readable JSON (stable key order; byte-identical across thread
+/// counts and repeated runs at a fixed seed).
+[[nodiscard]] std::string emit_json(const std::string& scenario_name,
+                                    const ExploreReport& report);
+
+}  // namespace dfsm::fssim
+
+#endif  // DFSM_FSSIM_EXPLORE_H

@@ -1,14 +1,41 @@
 #include "fssim/race.h"
 
+#include <limits>
+
 namespace dfsm::fssim {
 
 namespace {
+
+// 128-bit intermediates keep every uint64-representable binomial exact;
+// __extension__ silences -Wpedantic about the non-standard type.
+__extension__ typedef unsigned __int128 uint128;
+
+/// Appends one executed schedule to the report, honouring the benign cap.
+/// Counts are exact regardless of retention.
+void record_outcome(ScheduleOutcome&& outcome, const RaceOptions& options,
+                    RaceReport& report) {
+  ++report.total_schedules;
+  if (outcome.violated) {
+    ++report.violating_schedules;
+    report.outcomes.push_back(std::move(outcome));
+    return;
+  }
+  // outcomes holds every retained violating schedule plus the benign ones
+  // kept so far; the difference is the current benign retention.
+  const std::size_t benign_kept =
+      report.outcomes.size() - report.violating_schedules;
+  if (benign_kept < options.benign_outcome_cap) {
+    report.outcomes.push_back(std::move(outcome));
+  } else {
+    ++report.benign_outcomes_dropped;
+  }
+}
 
 void recurse(const FileSystem& initial, const std::vector<Step>& a,
              const std::vector<Step>& b, std::size_t ia, std::size_t ib,
              std::vector<const Step*>& prefix,
              const std::function<bool(const FileSystem&)>& violated,
-             RaceReport& report) {
+             const RaceOptions& options, RaceReport& report) {
   if (ia == a.size() && ib == b.size()) {
     FileSystem world = initial;  // fork the world for this schedule
     ScheduleOutcome outcome;
@@ -17,19 +44,17 @@ void recurse(const FileSystem& initial, const std::vector<Step>& a,
       outcome.order.push_back(s->label);
     }
     outcome.violated = violated(world);
-    ++report.total_schedules;
-    if (outcome.violated) ++report.violating_schedules;
-    report.outcomes.push_back(std::move(outcome));
+    record_outcome(std::move(outcome), options, report);
     return;
   }
   if (ia < a.size()) {
     prefix.push_back(&a[ia]);
-    recurse(initial, a, b, ia + 1, ib, prefix, violated, report);
+    recurse(initial, a, b, ia + 1, ib, prefix, violated, options, report);
     prefix.pop_back();
   }
   if (ib < b.size()) {
     prefix.push_back(&b[ib]);
-    recurse(initial, a, b, ia, ib + 1, prefix, violated, report);
+    recurse(initial, a, b, ia, ib + 1, prefix, violated, options, report);
     prefix.pop_back();
   }
 }
@@ -40,10 +65,19 @@ RaceReport enumerate_interleavings(
     const FileSystem& initial, const std::vector<Step>& victim,
     const std::vector<Step>& attacker,
     const std::function<bool(const FileSystem&)>& violated) {
+  return enumerate_interleavings(initial, victim, attacker, violated,
+                                 RaceOptions{});
+}
+
+RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<Step>& victim,
+    const std::vector<Step>& attacker,
+    const std::function<bool(const FileSystem&)>& violated,
+    const RaceOptions& options) {
   RaceReport report;
   std::vector<const Step*> prefix;
   prefix.reserve(victim.size() + attacker.size());
-  recurse(initial, victim, attacker, 0, 0, prefix, violated, report);
+  recurse(initial, victim, attacker, 0, 0, prefix, violated, options, report);
   return report;
 }
 
@@ -54,7 +88,7 @@ void recurse_ctx(const FileSystem& initial, const std::vector<CtxStep>& a,
                  std::vector<const CtxStep*>& prefix,
                  const std::function<bool(const FileSystem&, const RaceContext&)>&
                      violated,
-                 RaceReport& report) {
+                 const RaceOptions& options, RaceReport& report) {
   if (ia == a.size() && ib == b.size()) {
     FileSystem world = initial;
     RaceContext ctx;
@@ -64,19 +98,17 @@ void recurse_ctx(const FileSystem& initial, const std::vector<CtxStep>& a,
       outcome.order.push_back(s->label);
     }
     outcome.violated = violated(world, ctx);
-    ++report.total_schedules;
-    if (outcome.violated) ++report.violating_schedules;
-    report.outcomes.push_back(std::move(outcome));
+    record_outcome(std::move(outcome), options, report);
     return;
   }
   if (ia < a.size()) {
     prefix.push_back(&a[ia]);
-    recurse_ctx(initial, a, b, ia + 1, ib, prefix, violated, report);
+    recurse_ctx(initial, a, b, ia + 1, ib, prefix, violated, options, report);
     prefix.pop_back();
   }
   if (ib < b.size()) {
     prefix.push_back(&b[ib]);
-    recurse_ctx(initial, a, b, ia, ib + 1, prefix, violated, report);
+    recurse_ctx(initial, a, b, ia, ib + 1, prefix, violated, options, report);
     prefix.pop_back();
   }
 }
@@ -87,20 +119,45 @@ RaceReport enumerate_interleavings(
     const FileSystem& initial, const std::vector<CtxStep>& victim,
     const std::vector<CtxStep>& attacker,
     const std::function<bool(const FileSystem&, const RaceContext&)>& violated) {
+  return enumerate_interleavings(initial, victim, attacker, violated,
+                                 RaceOptions{});
+}
+
+RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<CtxStep>& victim,
+    const std::vector<CtxStep>& attacker,
+    const std::function<bool(const FileSystem&, const RaceContext&)>& violated,
+    const RaceOptions& options) {
   RaceReport report;
   std::vector<const CtxStep*> prefix;
   prefix.reserve(victim.size() + attacker.size());
-  recurse_ctx(initial, victim, attacker, 0, 0, prefix, violated, report);
+  recurse_ctx(initial, victim, attacker, 0, 0, prefix, violated, options,
+              report);
   return report;
 }
 
 std::uint64_t interleaving_count(std::size_t n, std::size_t m) {
-  // C(n+m, n) computed multiplicatively to avoid overflow for small inputs.
-  std::uint64_t result = 1;
+  // C(n+m, n) computed multiplicatively with 128-bit intermediates; each
+  // prefix product C(m+i, i) is itself a binomial, so the division is
+  // exact. The result is monotone in i, so once it exceeds uint64 it can
+  // never come back down: saturate and stay saturated.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  uint128 result = 1;
   for (std::size_t i = 1; i <= n; ++i) {
     result = result * (m + i) / i;
+    if (result > kMax) return kMax;
   }
-  return result;
+  return static_cast<std::uint64_t>(result);
+}
+
+bool interleaving_count_saturated(std::size_t n, std::size_t m) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  uint128 result = 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    result = result * (m + i) / i;
+    if (result > kMax) return true;
+  }
+  return false;
 }
 
 }  // namespace dfsm::fssim

@@ -11,13 +11,27 @@
 #ifndef DFSM_FSSIM_RACE_H
 #define DFSM_FSSIM_RACE_H
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "fssim/filesystem.h"
 
 namespace dfsm::fssim {
+
+/// Sentinel for "retain every benign outcome" (the historical behaviour).
+inline constexpr std::size_t kNoBenignCap =
+    std::numeric_limits<std::size_t>::max();
+
+/// Knobs for interleaving enumeration. Counts stay exact regardless of the
+/// cap; only the retained `outcomes` list is bounded.
+struct RaceOptions {
+  /// Keep at most this many benign (non-violating) ScheduleOutcomes.
+  /// Violating schedules are always retained in full.
+  std::size_t benign_outcome_cap = kNoBenignCap;
+};
 
 /// One atomic step of a process (a syscall, in practice).
 struct Step {
@@ -35,7 +49,11 @@ struct ScheduleOutcome {
 struct RaceReport {
   std::size_t total_schedules = 0;
   std::size_t violating_schedules = 0;
-  std::vector<ScheduleOutcome> outcomes;  ///< all schedules, in enumeration order
+  /// Retained schedules in enumeration order: every violating schedule,
+  /// plus at most RaceOptions::benign_outcome_cap benign ones.
+  std::vector<ScheduleOutcome> outcomes;
+  /// Benign schedules executed but not retained (cap exceeded).
+  std::size_t benign_outcomes_dropped = 0;
 
   [[nodiscard]] double violation_fraction() const {
     return total_schedules == 0
@@ -58,8 +76,23 @@ struct RaceReport {
     const std::vector<Step>& attacker,
     const std::function<bool(const FileSystem&)>& violated);
 
-/// Number of interleavings of sequences of lengths n and m: C(n+m, n).
+/// Same, with bounded benign-outcome retention (RaceOptions).
+[[nodiscard]] RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<Step>& victim,
+    const std::vector<Step>& attacker,
+    const std::function<bool(const FileSystem&)>& violated,
+    const RaceOptions& options);
+
+/// Number of interleavings of sequences of lengths n and m: C(n+m, n),
+/// saturating at std::numeric_limits<uint64_t>::max() once the true value
+/// no longer fits in 64 bits (first at C(68, 34); C(67, 33) is the last
+/// exact value). Intermediates are 128-bit, so every representable result
+/// is exact.
 [[nodiscard]] std::uint64_t interleaving_count(std::size_t n, std::size_t m);
+
+/// True iff C(n+m, n) exceeds uint64 — i.e. interleaving_count(n, m)
+/// returned the saturation sentinel rather than the exact value.
+[[nodiscard]] bool interleaving_count_saturated(std::size_t n, std::size_t m);
 
 // ---------------------------------------------------------------------
 // Context-carrying variant: real victims hold state across syscalls (the
@@ -87,6 +120,13 @@ struct CtxStep {
     const FileSystem& initial, const std::vector<CtxStep>& victim,
     const std::vector<CtxStep>& attacker,
     const std::function<bool(const FileSystem&, const RaceContext&)>& violated);
+
+/// Same, with bounded benign-outcome retention (RaceOptions).
+[[nodiscard]] RaceReport enumerate_interleavings(
+    const FileSystem& initial, const std::vector<CtxStep>& victim,
+    const std::vector<CtxStep>& attacker,
+    const std::function<bool(const FileSystem&, const RaceContext&)>& violated,
+    const RaceOptions& options);
 
 }  // namespace dfsm::fssim
 

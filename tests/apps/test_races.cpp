@@ -1,0 +1,87 @@
+// Curated race-scenario registry (DESIGN.md §14): the exploration engine
+// must rediscover both paper races with their exact schedule counts, and
+// the registry's curated expectations must match what execution finds.
+#include "apps/races.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dfsm::apps {
+namespace {
+
+using fssim::ExploreOptions;
+using fssim::explore_scenario;
+using fssim::RaceScenario;
+
+const RaceScenario& find(const std::vector<RaceScenario>& all,
+                         const std::string& name) {
+  const auto it = std::find_if(
+      all.begin(), all.end(),
+      [&name](const RaceScenario& s) { return s.name == name; });
+  EXPECT_NE(it, all.end()) << "missing scenario " << name;
+  return *it;
+}
+
+TEST(RaceScenarios, RegistryHoldsBothCuratedRaces) {
+  const auto all = race_scenarios();
+  ASSERT_EQ(all.size(), 2u);
+  const auto& xterm = find(all, "xterm-figure5");
+  EXPECT_EQ(xterm.expected_total, 15u);     // C(6, 2)
+  EXPECT_EQ(xterm.expected_violating, 3u);
+  EXPECT_FALSE(xterm.last_schedule_violates);
+  EXPECT_FALSE(xterm.description.empty());
+  const auto& rwall = find(all, "rwall-figure6");
+  EXPECT_EQ(rwall.expected_total, 10u);     // C(5, 2)
+  EXPECT_EQ(rwall.expected_violating, 1u);
+  EXPECT_TRUE(rwall.last_schedule_violates);
+  EXPECT_FALSE(rwall.description.empty());
+}
+
+TEST(RaceScenarios, ExhaustiveExplorationRediscoversTheCuratedCounts) {
+  for (const auto& s : race_scenarios()) {
+    const auto rep = explore_scenario(s);
+    ASSERT_TRUE(rep.exhaustive) << s.name;
+    EXPECT_EQ(rep.schedule_space, s.expected_total) << s.name;
+    EXPECT_EQ(rep.explored, s.expected_total) << s.name;
+    EXPECT_EQ(rep.violating, s.expected_violating) << s.name;
+    EXPECT_TRUE(rep.race_exists()) << s.name;
+  }
+}
+
+TEST(RaceScenarios, XtermViolationsLiveMidSpace) {
+  // Both attacker steps must land strictly between the victim's check and
+  // open — never at the pinned extremes. The three violating ranks are a
+  // fixed property of the lexicographic order.
+  const auto all = race_scenarios();
+  const auto rep = explore_scenario(find(all, "xterm-figure5"));
+  EXPECT_EQ(rep.violating_ranks,
+            (std::vector<std::uint64_t>{5, 8, 9}));
+}
+
+TEST(RaceScenarios, RwallViolationIsTheLexicographicLastSchedule) {
+  const auto all = race_scenarios();
+  const auto rep = explore_scenario(find(all, "rwall-figure6"));
+  ASSERT_EQ(rep.violating_ranks.size(), 1u);
+  EXPECT_EQ(rep.violating_ranks[0], rep.schedule_space - 1);
+}
+
+TEST(RaceScenarios, SampledRwallAlwaysCatchesThePinnedRace) {
+  // last_schedule_violates means rank S-1 carries the race, and sampling
+  // pins rank S-1 at every budget — so even budget 2 finds it.
+  const auto all = race_scenarios();
+  const auto& rwall = find(all, "rwall-figure6");
+  for (std::uint64_t budget : {2u, 3u, 5u}) {
+    ExploreOptions opts;
+    opts.budget = budget;
+    opts.seed = 17;
+    const auto rep = explore_scenario(rwall, opts);
+    EXPECT_FALSE(rep.exhaustive) << "budget " << budget;
+    EXPECT_LE(rep.explored, budget);
+    EXPECT_TRUE(rep.race_exists()) << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace dfsm::apps

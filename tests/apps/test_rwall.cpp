@@ -73,6 +73,22 @@ TEST(Rwall, UtmpPathsResolveRelativeToDev) {
   EXPECT_EQ(r.wrote_to[0].rfind("/dev/", 0), 0u);
 }
 
+TEST(RwallRace, WindowSweepKeepsExactlyOneViolatingSchedule) {
+  // The daemon's victim sequence is [snapshot] [w no-ops] [broadcast] vs
+  // the 2-step attacker: C(w+4, 2) schedules total, and /etc/passwd is
+  // corrupted in exactly ONE of them (both attacker steps entirely before
+  // the snapshot) no matter how wide the window gets.
+  RwallDaemon app;
+  const std::size_t expected_totals[] = {6, 10, 15, 21};
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto report = app.run_race(w);
+    EXPECT_EQ(report.total_schedules, expected_totals[w]) << "window " << w;
+    EXPECT_EQ(report.total_schedules, fssim::interleaving_count(w + 2, 2))
+        << "window " << w;
+    EXPECT_EQ(report.violating_schedules, 1u) << "window " << w;
+  }
+}
+
 TEST(RwallCaseStudy, LemmaShape) {
   const auto study = make_rwall_case_study();
   EXPECT_EQ(study->checks().size(), 2u);

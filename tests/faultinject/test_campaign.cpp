@@ -1,6 +1,7 @@
 // Campaign engine (DESIGN.md §9): seeded campaigns pass with zero
 // failures, reports are byte-identical across thread counts, config
 // validation rejects degenerate inputs, and both emitters are stable.
+#include <algorithm>
 #include <filesystem>
 #include <string>
 
@@ -39,14 +40,18 @@ class CampaignTest : public ::testing::Test {
   fs::path dir_;
 };
 
-TEST_F(CampaignTest, SeededCampaignPassesOnBothSurfaces) {
+TEST_F(CampaignTest, SeededCampaignPassesOnAllSurfaces) {
   const auto report = run_campaign(config(20));
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.failures, 0u);
   EXPECT_EQ(report.trials.size(), 20u);
-  EXPECT_EQ(report.corpus_trials + report.model_trials, 20u);
+  EXPECT_EQ(report.corpus_trials + report.model_trials +
+                report.race_trials + report.composed_trials,
+            20u);
   EXPECT_GT(report.corpus_trials, 0u);
   EXPECT_GT(report.model_trials, 0u);
+  EXPECT_GT(report.race_trials, 0u);
+  EXPECT_GT(report.composed_trials, 0u);
   for (const auto& t : report.trials) {
     EXPECT_TRUE(t.ok) << "trial " << t.trial << ": " << t.failure;
     // Report entries never leak the absolute workdir.
@@ -169,9 +174,45 @@ TEST_F(CampaignTest, ModelCampaignExercisesTheChainLintSurface) {
             report.models_linted * report.lint.rules_run);
 }
 
+TEST_F(CampaignTest, RaceOnlyAndComposedOnlyCampaignsRun) {
+  auto race_cfg = config(5);
+  race_cfg.campaign = CampaignKind::kRace;
+  const auto race = run_campaign(race_cfg);
+  EXPECT_TRUE(race.ok());
+  EXPECT_EQ(race.race_trials, 5u);
+  EXPECT_EQ(race.corpus_trials + race.model_trials + race.composed_trials,
+            0u);
+  for (const auto& t : race.trials) {
+    EXPECT_EQ(t.kind, "race");
+    EXPECT_TRUE(t.detected) << "trial " << t.trial << ": " << t.failure;
+  }
+
+  auto composed_cfg = config(5);
+  composed_cfg.campaign = CampaignKind::kComposed;
+  const auto composed = run_campaign(composed_cfg);
+  EXPECT_TRUE(composed.ok());
+  EXPECT_EQ(composed.composed_trials, 5u);
+  EXPECT_EQ(composed.corpus_trials + composed.model_trials +
+                composed.race_trials,
+            0u);
+  for (const auto& t : composed.trials) {
+    EXPECT_EQ(t.kind, "composed");
+    // Every composed trial carries the two machine-checked invariants on
+    // top of its per-component expectations.
+    EXPECT_NE(std::find(t.caught_rules.begin(), t.caught_rules.end(),
+                        std::string("conservation")),
+              t.caught_rules.end());
+    EXPECT_NE(std::find(t.caught_rules.begin(), t.caught_rules.end(),
+                        std::string("memoized-vs-direct")),
+              t.caught_rules.end());
+  }
+}
+
 TEST(CampaignKindNames, RoundTrip) {
   EXPECT_STREQ(to_string(CampaignKind::kCorpus), "corpus");
   EXPECT_STREQ(to_string(CampaignKind::kModel), "model");
+  EXPECT_STREQ(to_string(CampaignKind::kRace), "race");
+  EXPECT_STREQ(to_string(CampaignKind::kComposed), "composed");
   EXPECT_STREQ(to_string(CampaignKind::kAll), "all");
 }
 

@@ -1,0 +1,199 @@
+// Interleaving-exploration engine (DESIGN.md §14): lexicographic
+// unranking, exhaustive-vs-enumeration identity, pinned deterministic
+// sampling, benign-outcome retention, saturated spaces, and byte-identical
+// reports across thread counts.
+#include "fssim/explore.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+
+namespace dfsm::fssim {
+namespace {
+
+using runtime::ThreadPool;
+
+FileSystem tiny_world() {
+  FileSystem fs;
+  fs.mkdir(Cred::root(), "/d");
+  fs.create(Cred::root(), "/d/f");
+  return fs;
+}
+
+// Victim appends "v" x3, attacker "a" x2 to a context trace; the lone
+// violating schedule is the lexicographic LAST one (both attacker steps
+// before any victim step).
+struct TraceScenario {
+  std::vector<CtxStep> victim;
+  std::vector<CtxStep> attacker;
+  std::function<bool(const FileSystem&, const RaceContext&)> violated;
+};
+
+TraceScenario trace_scenario() {
+  auto append = [](std::string tag) {
+    return [tag](FileSystem&, RaceContext& ctx) { ctx.strs["t"] += tag; };
+  };
+  TraceScenario s;
+  s.victim = {{"v1", append("v")}, {"v2", append("v")}, {"v3", append("v")}};
+  s.attacker = {{"a1", append("a")}, {"a2", append("a")}};
+  s.violated = [](const FileSystem&, const RaceContext& ctx) {
+    return ctx.strs.at("t").rfind("aa", 0) == 0;
+  };
+  return s;
+}
+
+TEST(UnrankSchedule, FirstAndLastRanksAreTheLexExtremes) {
+  // victim = false, attacker = true; rank 0 runs the victim to completion
+  // first, rank C(5,3)-1 = 9 the attacker.
+  const std::vector<bool> first = unrank_schedule(0, 3, 2);
+  const std::vector<bool> last = unrank_schedule(9, 3, 2);
+  EXPECT_EQ(first, (std::vector<bool>{false, false, false, true, true}));
+  EXPECT_EQ(last, (std::vector<bool>{true, true, false, false, false}));
+}
+
+TEST(UnrankSchedule, AllRanksAreDistinctWithTheRightComposition) {
+  std::set<std::vector<bool>> seen;
+  for (std::uint64_t rank = 0; rank < 10; ++rank) {
+    const auto s = unrank_schedule(rank, 3, 2);
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_EQ(std::count(s.begin(), s.end(), false), 3);
+    EXPECT_EQ(std::count(s.begin(), s.end(), true), 2);
+    seen.insert(s);
+  }
+  // 10 distinct schedules == the full C(5,3) space.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(UnrankSchedule, RanksAscendLexicographically) {
+  for (std::uint64_t rank = 0; rank + 1 < 10; ++rank) {
+    EXPECT_LT(unrank_schedule(rank, 3, 2), unrank_schedule(rank + 1, 3, 2));
+  }
+}
+
+TEST(Explore, ExhaustiveMatchesRecursiveEnumerationOutcomeForOutcome) {
+  const auto world = tiny_world();
+  const auto s = trace_scenario();
+  const auto rep =
+      explore_interleavings(world, s.victim, s.attacker, s.violated, {});
+  const auto ref =
+      enumerate_interleavings(world, s.victim, s.attacker, s.violated);
+
+  ASSERT_TRUE(rep.exhaustive);
+  EXPECT_EQ(rep.schedule_space, interleaving_count(3, 2));
+  EXPECT_EQ(rep.explored, ref.total_schedules);
+  EXPECT_EQ(rep.violating, ref.violating_schedules);
+  ASSERT_EQ(rep.outcomes.size(), ref.outcomes.size());
+  for (std::size_t i = 0; i < rep.outcomes.size(); ++i) {
+    EXPECT_EQ(rep.outcomes[i].rank, i);
+    EXPECT_EQ(rep.outcomes[i].order, ref.outcomes[i].order);
+    EXPECT_EQ(rep.outcomes[i].violated, ref.outcomes[i].violated);
+  }
+  // The lone violation is the lexicographic last schedule.
+  ASSERT_EQ(rep.violating_ranks.size(), 1u);
+  EXPECT_EQ(rep.violating_ranks[0], rep.schedule_space - 1);
+}
+
+TEST(Explore, SampleRanksPinsFirstAndLast) {
+  EXPECT_EQ(sample_ranks(100, 2, 1), (std::vector<std::uint64_t>{0, 99}));
+  const auto ranks = sample_ranks(1'000'000, 64, 7);
+  ASSERT_FALSE(ranks.empty());
+  EXPECT_LE(ranks.size(), 64u);
+  EXPECT_EQ(ranks.front(), 0u);
+  EXPECT_EQ(ranks.back(), 999'999u);
+  EXPECT_TRUE(std::is_sorted(ranks.begin(), ranks.end()));
+  EXPECT_EQ(std::adjacent_find(ranks.begin(), ranks.end()), ranks.end());
+  // Pure in (space, budget, seed).
+  EXPECT_EQ(ranks, sample_ranks(1'000'000, 64, 7));
+}
+
+TEST(Explore, SampledRunStaysWithinBudgetAndCatchesTheLexLastRace) {
+  const auto world = tiny_world();
+  const auto s = trace_scenario();
+  ExploreOptions opts;
+  opts.budget = 4;  // space is 10 > 4 -> sampled
+  opts.seed = 11;
+  const auto rep =
+      explore_interleavings(world, s.victim, s.attacker, s.violated, opts);
+  EXPECT_FALSE(rep.exhaustive);
+  EXPECT_LE(rep.explored, opts.budget);
+  ASSERT_FALSE(rep.outcomes.empty());
+  // Pinned lex first/last: the violation lives at rank space-1, so ANY
+  // budget finds it.
+  EXPECT_EQ(rep.outcomes.front().rank, 0u);
+  EXPECT_EQ(rep.outcomes.back().rank, rep.schedule_space - 1);
+  EXPECT_TRUE(rep.race_exists());
+  ASSERT_EQ(rep.violating_ranks.size(), 1u);
+  EXPECT_EQ(rep.violating_ranks[0], rep.schedule_space - 1);
+}
+
+TEST(Explore, BenignCapBoundsOutcomesButCountsStayExact) {
+  const auto world = tiny_world();
+  const auto s = trace_scenario();
+  ExploreOptions opts;
+  opts.benign_outcome_cap = 2;
+  const auto rep =
+      explore_interleavings(world, s.victim, s.attacker, s.violated, opts);
+  ASSERT_TRUE(rep.exhaustive);
+  EXPECT_EQ(rep.explored, 10u);
+  EXPECT_EQ(rep.violating, 1u);
+  // 2 retained benign + 1 violating; 7 benign dropped. Violating
+  // schedules are ALWAYS retained.
+  EXPECT_EQ(rep.outcomes.size(), 3u);
+  EXPECT_EQ(rep.benign_outcomes_dropped, 7u);
+  const auto violating =
+      std::count_if(rep.outcomes.begin(), rep.outcomes.end(),
+                    [](const ExploredSchedule& o) { return o.violated; });
+  EXPECT_EQ(violating, 1);
+}
+
+TEST(Explore, SaturatedSpaceSamplesDeterministically) {
+  const auto world = tiny_world();
+  std::vector<CtxStep> victim(34, CtxStep{"v", [](FileSystem&, RaceContext&) {}});
+  std::vector<CtxStep> attacker(34,
+                                CtxStep{"a", [](FileSystem&, RaceContext&) {}});
+  auto never = [](const FileSystem&, const RaceContext&) { return false; };
+  ExploreOptions opts;
+  opts.budget = 3;
+  opts.seed = 5;
+  const auto rep = explore_interleavings(world, victim, attacker, never, opts);
+  EXPECT_TRUE(rep.space_saturated);
+  EXPECT_EQ(rep.schedule_space, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(rep.exhaustive);
+  EXPECT_LE(rep.explored, 3u);
+  EXPECT_FALSE(rep.race_exists());
+  const auto again =
+      explore_interleavings(world, victim, attacker, never, opts);
+  EXPECT_EQ(emit_json("sat", rep), emit_json("sat", again));
+}
+
+TEST(Explore, ReportIsByteIdenticalAcrossThreadCounts) {
+  const auto world = tiny_world();
+  const auto s = trace_scenario();
+  ExploreOptions sampled;
+  sampled.budget = 6;
+  sampled.seed = 3;
+  std::vector<std::string> exhaustive_json;
+  std::vector<std::string> sampled_json;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool::set_global_threads(threads);
+    exhaustive_json.push_back(emit_json(
+        "t", explore_interleavings(world, s.victim, s.attacker, s.violated,
+                                   {})));
+    sampled_json.push_back(emit_json(
+        "t", explore_interleavings(world, s.victim, s.attacker, s.violated,
+                                   sampled)));
+  }
+  ThreadPool::set_global_threads(ThreadPool::default_threads());
+  EXPECT_EQ(exhaustive_json[0], exhaustive_json[1]);
+  EXPECT_EQ(sampled_json[0], sampled_json[1]);
+}
+
+}  // namespace
+}  // namespace dfsm::fssim

@@ -21,6 +21,63 @@ TEST(InterleavingCount, MatchesBinomialCoefficients) {
   EXPECT_EQ(interleaving_count(5, 5), 252u);
 }
 
+TEST(InterleavingCount, SaturatesExactlyAtTheUint64Boundary) {
+  // C(67, 33) is the last binomial on the diagonal that fits in 64 bits;
+  // 128-bit intermediates keep it exact.
+  EXPECT_EQ(interleaving_count(33, 34), 14226520737620288370u);
+  EXPECT_EQ(interleaving_count(34, 33), 14226520737620288370u);
+  EXPECT_FALSE(interleaving_count_saturated(33, 34));
+  EXPECT_FALSE(interleaving_count_saturated(34, 33));
+  // C(68, 34) overflows: the count saturates and the flag reports it.
+  EXPECT_EQ(interleaving_count(34, 34),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(interleaving_count_saturated(34, 34));
+  EXPECT_TRUE(interleaving_count_saturated(100, 100));
+}
+
+TEST(Race, BenignCapBoundsOutcomesButCountsStayExact) {
+  const auto world = world_with("/d/f");
+  std::vector<Step> victim(3, Step{"v", [](FileSystem&) {}});
+  std::vector<Step> attacker{{"del", [](FileSystem& fs) {
+                                fs.unlink(Cred::root(), "/d/f");
+                              }}};
+  auto violated = [](const FileSystem& fs) { return !fs.stat("/d/f").ok(); };
+  RaceOptions opts;
+  opts.benign_outcome_cap = 1;
+  const auto report =
+      enumerate_interleavings(world, victim, attacker, violated, opts);
+  EXPECT_EQ(report.total_schedules, 4u);
+  // Every schedule deletes the file eventually, so all violate; the cap
+  // never drops violating outcomes.
+  EXPECT_EQ(report.violating_schedules, 4u);
+  EXPECT_EQ(report.outcomes.size(), 4u);
+  EXPECT_EQ(report.benign_outcomes_dropped, 0u);
+}
+
+TEST(Race, BenignCapDropsOnlyBenignOutcomes) {
+  const auto world = world_with("/d/f");
+  std::vector<Step> victim(3, Step{"v", [](FileSystem&) {}});
+  std::vector<Step> attacker{{"noop", [](FileSystem&) {}}};
+  RaceOptions opts;
+  opts.benign_outcome_cap = 2;
+  const auto report = enumerate_interleavings(
+      world, victim, attacker, [](const FileSystem&) { return false; }, opts);
+  EXPECT_EQ(report.total_schedules, 4u);
+  EXPECT_EQ(report.violating_schedules, 0u);
+  EXPECT_EQ(report.outcomes.size(), 2u);
+  EXPECT_EQ(report.benign_outcomes_dropped, 2u);
+}
+
+TEST(Race, NoCapRetainsEverythingAndDropsNothing) {
+  const auto world = world_with("/d/f");
+  std::vector<Step> victim(2, Step{"v", [](FileSystem&) {}});
+  std::vector<Step> attacker(2, Step{"a", [](FileSystem&) {}});
+  const auto report = enumerate_interleavings(
+      world, victim, attacker, [](const FileSystem&) { return false; });
+  EXPECT_EQ(report.outcomes.size(), 6u);
+  EXPECT_EQ(report.benign_outcomes_dropped, 0u);
+}
+
 TEST(Race, EnumeratesAllSchedules) {
   const auto world = world_with("/d/f");
   std::vector<Step> a{{"a1", [](FileSystem&) {}}, {"a2", [](FileSystem&) {}}};

@@ -59,6 +59,7 @@ SUFFIX_PAIRS = (
     # the thread-parameterized BM_LemmaSweepMemoized family and reroute
     # it off its serial-vs-parallel gate.
     ("LintCurated", "LintMemoized", None),
+    ("ExploreExhaustive", "ExploreSampled", None),
 )
 
 

@@ -1,0 +1,175 @@
+// dfsm_explore — interleaving-exploration campaign driver (DESIGN.md
+// §14).
+//
+// Explores the schedule space of the curated race scenarios with the
+// deterministic engine in fssim/explore.h: exhaustive when the space
+// fits --budget, pinned + strided sampling beyond it. Exhaustive runs
+// are held to the curated expected counts; sampled runs must still find
+// any race whose violating schedule is the pinned lexicographic last
+// rank (rwall).
+//
+//   dfsm_explore --list
+//   dfsm_explore --scenario all --format json
+//   dfsm_explore --scenario rwall-figure6 --budget 4 --seed 7
+//
+// Exit codes: 0 = every explored scenario met its expectations, 1 = a
+// curated expectation was missed, 2 = usage error.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/races.h"
+#include "fssim/explore.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --scenario <s>   curated scenario name, or \"all\" (default)\n"
+      << "  --list           list curated scenarios and exit\n"
+      << "  --budget <n>     schedule budget; spaces larger than this are\n"
+      << "                   sampled with pinned first/last ranks\n"
+      << "                   (default: 4096)\n"
+      << "  --seed <n>       sampling seed (default: 1)\n"
+      << "  --benign-cap <n> retain at most n benign outcomes per report\n"
+      << "  --format <f>     text | json  (default: text)\n"
+      << "  --out <file>     write the report to <file> instead of stdout\n"
+      << "  --threads <n>    worker threads (default: DFSM_THREADS)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "all";
+  std::string format = "text";
+  std::string out_path;
+  bool list_only = false;
+  dfsm::fssim::ExploreOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    try {
+      if (arg == "--scenario") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        scenario_name = v;
+      } else if (arg == "--list") {
+        list_only = true;
+      } else if (arg == "--budget") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.budget = std::stoull(v);
+      } else if (arg == "--seed") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.seed = std::stoull(v);
+      } else if (arg == "--benign-cap") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        options.benign_outcome_cap = std::stoul(v);
+      } else if (arg == "--format") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        format = v;
+      } else if (arg == "--out") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        out_path = v;
+      } else if (arg == "--threads") {
+        const char* v = next();
+        if (v == nullptr) return usage(argv[0]);
+        dfsm::runtime::ThreadPool::set_global_threads(
+            static_cast<std::size_t>(std::stoul(v)));
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        std::cerr << "unknown argument: " << arg << "\n";
+        return usage(argv[0]);
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::cerr << "unknown format: " << format << "\n";
+    return usage(argv[0]);
+  }
+
+  const auto scenarios = dfsm::apps::race_scenarios();
+  if (list_only) {
+    for (const auto& s : scenarios) {
+      std::cout << s.name << ": " << s.description << " (expected "
+                << s.expected_violating << "/" << s.expected_total
+                << " violating)\n";
+    }
+    return 0;
+  }
+
+  std::vector<const dfsm::fssim::RaceScenario*> selected;
+  for (const auto& s : scenarios) {
+    if (scenario_name == "all" || s.name == scenario_name) {
+      selected.push_back(&s);
+    }
+  }
+  if (selected.empty()) {
+    std::cerr << "unknown scenario: " << scenario_name
+              << " (try --list)\n";
+    return 2;
+  }
+
+  bool all_ok = true;
+  std::string rendered;
+  if (format == "json") rendered += "[";
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const auto& s = *selected[i];
+    const auto report = dfsm::fssim::explore_scenario(s, options);
+    if (format == "json") {
+      if (i > 0) rendered += ",";
+      rendered += "\n" + dfsm::fssim::emit_json(s.name, report);
+    } else {
+      rendered += dfsm::fssim::emit_text(s.name, report);
+    }
+
+    // Curated expectations: exhaustive runs must reproduce the exact
+    // counts; sampled runs must still catch a lex-last violation (it is
+    // a pinned rank and can never be legitimately missed).
+    if (report.exhaustive && s.expected_total > 0 &&
+        (report.explored != s.expected_total ||
+         report.violating != s.expected_violating)) {
+      std::cerr << "FAIL " << s.name << ": exhaustive run found "
+                << report.violating << "/" << report.explored
+                << " violating, expected " << s.expected_violating << "/"
+                << s.expected_total << "\n";
+      all_ok = false;
+    }
+    if (!report.exhaustive && s.last_schedule_violates &&
+        !report.race_exists()) {
+      std::cerr << "FAIL " << s.name
+                << ": sampled run missed the pinned lex-last violation\n";
+      all_ok = false;
+    }
+  }
+  if (format == "json") rendered += "\n]\n";
+
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out{out_path};
+    if (!out) {
+      std::cerr << "cannot open " << out_path << " for writing\n";
+      return 2;
+    }
+    out << rendered;
+    std::cerr << "dfsm_explore: wrote " << out_path << "\n";
+  }
+  return all_ok ? 0 : 1;
+}

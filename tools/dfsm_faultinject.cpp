@@ -29,7 +29,8 @@ int usage(const char* argv0) {
       << "usage: " << argv0 << " [options]\n"
       << "  --seed <n>       campaign seed (default: 1)\n"
       << "  --trials <n>     number of scenarios to run (default: 200)\n"
-      << "  --campaign <c>   corpus | model | all  (default: all)\n"
+      << "  --campaign <c>   corpus | model | race | composed | all\n"
+      << "                   (default: all)\n"
       << "  --format <f>     text | json  (default: text)\n"
       << "  --out <file>     write the report to <file> instead of stdout\n"
       << "  --lint-out <f>   write the aggregated incremental-lint run of\n"
@@ -83,10 +84,15 @@ int main(int argc, char** argv) {
           config.campaign = dfsm::faultinject::CampaignKind::kCorpus;
         } else if (kind == "model") {
           config.campaign = dfsm::faultinject::CampaignKind::kModel;
+        } else if (kind == "race") {
+          config.campaign = dfsm::faultinject::CampaignKind::kRace;
+        } else if (kind == "composed") {
+          config.campaign = dfsm::faultinject::CampaignKind::kComposed;
         } else if (kind == "all") {
           config.campaign = dfsm::faultinject::CampaignKind::kAll;
         } else {
-          std::cerr << "unknown campaign: " << kind << "\n";
+          std::cerr << "unknown campaign: " << kind
+                    << " (valid: corpus|model|race|composed|all)\n";
           return usage(argv[0]);
         }
       } else if (arg == "--format") {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Asserts dfsm_faultinject rejects unknown --campaign values with exit 2
+# AND an error message listing the valid set. ctest's
+# PASS_REGULAR_EXPRESSION overrides exit-code checking, so this wrapper
+# checks both explicitly.
+set -u
+
+tool="$1"
+
+out=$("$tool" --campaign bogus 2>&1)
+code=$?
+
+if [ "$code" -ne 2 ]; then
+  echo "FAIL: expected exit 2 for unknown campaign, got $code"
+  exit 1
+fi
+if ! printf '%s' "$out" | grep -q "corpus|model|race|composed|all"; then
+  echo "FAIL: error message does not list the valid campaign set:"
+  printf '%s\n' "$out"
+  exit 1
+fi
+echo "ok: unknown campaign rejected with exit 2 and the valid set listed"
+exit 0
