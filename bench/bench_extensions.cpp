@@ -5,12 +5,15 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "analysis/anomaly.h"
 #include "analysis/attack_graph.h"
@@ -26,7 +29,9 @@
 #include "apps/synthetic.h"
 #include "apps/xterm.h"
 #include "core/chain.h"
+#include "bugtraq/colsnap.h"
 #include "bugtraq/corpus.h"
+#include "bugtraq/csv_shards.h"
 #include "bugtraq/database.h"
 #include "core/table.h"
 #include "fssim/explore.h"
@@ -252,24 +257,6 @@ BENCHMARK(BM_CorpusSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
-void BM_CorpusHistogramRebuild(benchmark::State& state) {
-  set_pool_threads(state.range(0));
-  const auto db = bugtraq::synthetic_corpus();
-  for (auto _ : state) {
-    state.PauseTiming();
-    bugtraq::Database copy{db};  // fresh cache: measure the columnar sweep
-    state.ResumeTiming();
-    auto hist = copy.count_by_category();
-    benchmark::DoNotOptimize(hist.size());
-  }
-  restore_pool();
-}
-BENCHMARK(BM_CorpusHistogramRebuild)
-    ->Arg(1)
-    ->Arg(kParallelThreads)
-    ->UseRealTime()
-    ->Unit(benchmark::kMicrosecond);
-
 // --- Million-record corpus scaling (ROADMAP "corpus scaling") ----------
 //
 // Serial-vs-parallel ingest/sweep pairs at 10^4 / 10^5 / 10^6 records:
@@ -337,6 +324,133 @@ BENCHMARK(BM_CorpusSweepScaled)
     ->Args({kParallelThreads, 10'000})
     ->Args({1, 100'000})
     ->Args({kParallelThreads, 100'000})
+    ->Args({1, 1'000'000})
+    ->Args({kParallelThreads, 1'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- Corpus service: incremental histograms + snapshot reload ----------
+//
+// Two suffix-paired gates (tools/check_bench_regression.py): the
+// incremental fold must beat the full histogram rebuild by >= 10x at
+// 10^6 records, and binary snapshot reload must beat the sharded-CSV
+// parse by >= 5x. Both arms of a pair run at matching {workers, corpus
+// size} arguments so the gate compares like-for-like medians.
+
+void BM_CorpusHistogramRebuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto snap = scaled_corpus(n).snapshot();
+  set_pool_threads(state.range(0));
+  for (auto _ : state) {
+    // What every batch publish cost before the incremental fold: a full
+    // columnar sweep over the whole epoch.
+    auto hist = bugtraq::rebuild_histograms(*snap);
+    benchmark::DoNotOptimize(hist.by_year.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CorpusHistogramRebuild)
+    ->Args({1, 1'000'000})
+    ->Args({kParallelThreads, 1'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CorpusHistogramIncremental(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kBatch = 100;
+  // One pre-generated unique-id batch per iteration and arena headroom
+  // reserved up front, so the timed region is exactly one add_batch
+  // publish (append + delta fold + epoch swap) — never an arena growth
+  // and never a rebuild. Iterations is pinned to keep the pre-generated
+  // batch pool (and the appended tail) a bounded size.
+  bugtraq::Database db{scaled_corpus(n)};
+  const auto iters = static_cast<std::size_t>(state.max_iterations);
+  db.reserve(n + iters * kBatch);
+  std::vector<std::vector<bugtraq::VulnRecord>> batches(iters);
+  int next_id = 10'000'000;  // synthetic corpus ids stop near 1.1M
+  for (auto& batch : batches) {
+    batch.reserve(kBatch);
+    for (std::size_t k = 0; k < kBatch; ++k) {
+      bugtraq::VulnRecord r;
+      r.id = next_id++;
+      r.software = "BenchSoft";
+      r.title = "incremental ingest #" + std::to_string(r.id);
+      r.year = 1999 + (r.id & 3);
+      r.remote = (r.id & 1) != 0;
+      r.description = "bench batch record";
+      batch.push_back(std::move(r));
+    }
+  }
+  set_pool_threads(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    db.add_batch(std::move(batches[i++]));
+    benchmark::DoNotOptimize(db.snapshot()->histograms().by_year.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_CorpusHistogramIncremental)
+    ->Args({1, 1'000'000})
+    ->Args({kParallelThreads, 1'000'000})
+    ->Iterations(200)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Pre-written shard files for the reload pair, generated once per
+// binary run into a scratch directory: the timed region is only the
+// read path (open + parse/verify + bulk ingest), identical for both
+// formats.
+const std::vector<std::string>& reload_shards(std::size_t n, bool colsnap) {
+  static std::map<std::pair<std::size_t, bool>, std::vector<std::string>>
+      cache;
+  const auto key = std::make_pair(n, colsnap);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("dfsm-bench-reload-" + std::to_string(n));
+    std::filesystem::create_directories(dir);
+    const std::string base = (dir / "corpus").string();
+    const auto& db = scaled_corpus(n);
+    it = cache
+             .emplace(key, colsnap ? bugtraq::write_colsnap_shards(db, base, 8)
+                                   : bugtraq::write_csv_shards(db, base, 8))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_CsvReload(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto& paths = reload_shards(n, /*colsnap=*/false);
+  set_pool_threads(state.range(0));
+  for (auto _ : state) {
+    auto db = bugtraq::read_csv_shards(paths);
+    benchmark::DoNotOptimize(db.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CsvReload)
+    ->Args({1, 1'000'000})
+    ->Args({kParallelThreads, 1'000'000})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotReload(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto& paths = reload_shards(n, /*colsnap=*/true);
+  set_pool_threads(state.range(0));
+  for (auto _ : state) {
+    auto db = bugtraq::read_colsnap_shards(paths);
+    benchmark::DoNotOptimize(db.size());
+  }
+  restore_pool();
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SnapshotReload)
     ->Args({1, 1'000'000})
     ->Args({kParallelThreads, 1'000'000})
     ->UseRealTime()

@@ -1,12 +1,106 @@
 #include "bugtraq/database.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 namespace dfsm::bugtraq {
 
+namespace detail {
+
+/// The append-only backing storage snapshots point into. The writer may
+/// push_back past the published size — capacity is guaranteed up front,
+/// so the vectors never reallocate while a snapshot pins them and the
+/// bytes in [0, published size) never move. Readers go through the raw
+/// pointers a snapshot captured at publish time and never touch the
+/// vector objects themselves (whose end pointers the writer mutates).
+struct ColumnArena {
+  std::vector<VulnRecord> records;
+  std::vector<Category> category_col;
+  std::vector<VulnClass> class_col;
+  std::vector<unsigned char> remote_col;
+  std::vector<int> year_col;
+  std::vector<std::uint32_t> software_col;
+  std::vector<std::string> software_names;  // id -> name
+
+  /// The row count every column can hold without reallocating.
+  [[nodiscard]] std::size_t row_capacity() const noexcept {
+    return std::min({records.capacity(), category_col.capacity(),
+                     class_col.capacity(), remote_col.capacity(),
+                     year_col.capacity(), software_col.capacity()});
+  }
+
+  void reserve_rows(std::size_t n) {
+    records.reserve(n);
+    category_col.reserve(n);
+    class_col.reserve(n);
+    remote_col.reserve(n);
+    year_col.reserve(n);
+    software_col.reserve(n);
+  }
+};
+
+}  // namespace detail
+
 namespace {
+
+/// The shared epoch-0 snapshot every fresh Database starts from.
+const CorpusSnapshotPtr& empty_snapshot() {
+  static const CorpusSnapshotPtr snap = std::make_shared<const CorpusSnapshot>();
+  return snap;
+}
+
+/// Histogram sweep over index-parallel column spans, sharded on the
+/// runtime pool. All merges are commutative sums, so the result is
+/// identical at any thread count. `software_count` sizes by_software.
+CorpusHistograms fold_columns(std::span<const Category> cat,
+                              std::span<const VulnClass> cls,
+                              std::span<const int> year,
+                              std::span<const std::uint32_t> soft,
+                              std::size_t software_count) {
+  CorpusHistograms identity;
+  identity.by_software.assign(software_count, 0);
+  return runtime::parallel_reduce(
+      cat.size(), std::move(identity),
+      [&](std::size_t begin, std::size_t end) {
+        CorpusHistograms local;
+        local.by_software.assign(software_count, 0);
+        for (std::size_t i = begin; i < end; ++i) {
+          ++local.by_category[static_cast<std::size_t>(cat[i])];
+          ++local.by_class[static_cast<std::size_t>(cls[i])];
+          ++local.by_year[year[i]];
+          ++local.by_software[soft[i]];
+        }
+        return local;
+      },
+      [](CorpusHistograms& acc, const CorpusHistograms& part) {
+        for (std::size_t k = 0; k < kCategoryCount; ++k)
+          acc.by_category[k] += part.by_category[k];
+        for (std::size_t k = 0; k < kVulnClassCount; ++k)
+          acc.by_class[k] += part.by_class[k];
+        for (const auto& [y, c] : part.by_year) acc.by_year[y] += c;
+        for (std::size_t k = 0; k < part.by_software.size(); ++k)
+          acc.by_software[k] += part.by_software[k];
+      });
+}
+
+/// Folds `delta` into `acc` (the incremental-maintenance merge). The
+/// delta's by_software is sized to the NEW software count, so acc grows
+/// to match before the add.
+void merge_histograms(CorpusHistograms& acc, const CorpusHistograms& delta) {
+  for (std::size_t k = 0; k < kCategoryCount; ++k)
+    acc.by_category[k] += delta.by_category[k];
+  for (std::size_t k = 0; k < kVulnClassCount; ++k)
+    acc.by_class[k] += delta.by_class[k];
+  for (const auto& [y, c] : delta.by_year) acc.by_year[y] += c;
+  if (acc.by_software.size() < delta.by_software.size()) {
+    acc.by_software.resize(delta.by_software.size(), 0);
+  }
+  for (std::size_t k = 0; k < delta.by_software.size(); ++k)
+    acc.by_software[k] += delta.by_software[k];
+}
 
 std::string csv_quote(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) return s;
@@ -324,220 +418,44 @@ std::size_t IngestReport::quarantined_lines() const {
   return total;
 }
 
-std::uint32_t Database::intern_software(const std::string& name) {
-  const auto [it, inserted] =
-      software_ids_.emplace(name, static_cast<std::uint32_t>(software_names_.size()));
-  if (inserted) software_names_.push_back(name);
-  return it->second;
-}
+// ---------------------------------------------------------------------------
+// CorpusSnapshot
 
-void Database::add(VulnRecord record) {
-  if (record.id != 0 && index_.count(record.id) != 0) {
-    throw std::invalid_argument("duplicate Bugtraq ID: " + std::to_string(record.id));
-  }
-  if (record.id != 0) index_[record.id] = records_.size();
-  category_col_.push_back(record.category);
-  class_col_.push_back(record.vuln_class);
-  remote_col_.push_back(record.remote ? 1 : 0);
-  year_col_.push_back(record.year);
-  software_col_.push_back(intern_software(record.software));
-  records_.push_back(std::move(record));
-  std::lock_guard<std::mutex> lock{cache_->mu};
-  cache_->valid = false;
-}
-
-void Database::add_batch(std::vector<VulnRecord> batch) {
-  if (batch.empty()) return;
-  // Validate every ID before mutating anything, so a duplicate anywhere
-  // in the batch leaves the database untouched.
-  std::unordered_set<int> batch_ids;
-  batch_ids.reserve(batch.size());
-  for (const auto& r : batch) {
-    if (r.id == 0) continue;
-    if (index_.count(r.id) != 0 || !batch_ids.insert(r.id).second) {
-      throw std::invalid_argument("duplicate Bugtraq ID: " + std::to_string(r.id));
-    }
-  }
-  const std::size_t base = records_.size();
-  records_.reserve(base + batch.size());
-  category_col_.reserve(base + batch.size());
-  class_col_.reserve(base + batch.size());
-  remote_col_.reserve(base + batch.size());
-  year_col_.reserve(base + batch.size());
-  software_col_.reserve(base + batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    VulnRecord& r = batch[i];
-    if (r.id != 0) index_[r.id] = base + i;
-    category_col_.push_back(r.category);
-    class_col_.push_back(r.vuln_class);
-    remote_col_.push_back(r.remote ? 1 : 0);
-    year_col_.push_back(r.year);
-    software_col_.push_back(intern_software(r.software));
-    records_.push_back(std::move(r));
-  }
-  std::lock_guard<std::mutex> lock{cache_->mu};
-  cache_->valid = false;
-}
-
-std::vector<BatchReject> Database::add_batch(std::vector<VulnRecord> batch,
-                                             IngestPolicy policy) {
-  if (policy == IngestPolicy::kStrict) {
-    add_batch(std::move(batch));
-    return {};
-  }
-  // Lenient: one serial pass decides acceptance (first occurrence of a
-  // non-zero ID wins, matching the order a strict ingest would commit),
-  // then one bulk append extends the columnar store and invalidates the
-  // histogram cache once, like the strict path.
-  std::vector<BatchReject> rejects;
-  std::vector<unsigned char> accept(batch.size(), 1);
-  std::unordered_set<int> batch_ids;
-  batch_ids.reserve(batch.size());
-  std::size_t accepted = 0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const int id = batch[i].id;
-    if (id != 0 && (index_.count(id) != 0 || !batch_ids.insert(id).second)) {
-      accept[i] = 0;
-      rejects.push_back({i, "duplicate Bugtraq ID: " + std::to_string(id)});
-      continue;
-    }
-    ++accepted;
-  }
-  if (accepted == 0) return rejects;
-  const std::size_t base = records_.size();
-  records_.reserve(base + accepted);
-  category_col_.reserve(base + accepted);
-  class_col_.reserve(base + accepted);
-  remote_col_.reserve(base + accepted);
-  year_col_.reserve(base + accepted);
-  software_col_.reserve(base + accepted);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!accept[i]) continue;
-    VulnRecord& r = batch[i];
-    if (r.id != 0) index_[r.id] = records_.size();
-    category_col_.push_back(r.category);
-    class_col_.push_back(r.vuln_class);
-    remote_col_.push_back(r.remote ? 1 : 0);
-    year_col_.push_back(r.year);
-    software_col_.push_back(intern_software(r.software));
-    records_.push_back(std::move(r));
-  }
-  std::lock_guard<std::mutex> lock{cache_->mu};
-  cache_->valid = false;
-  return rejects;
-}
-
-const VulnRecord* Database::by_id(int id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) return nullptr;
-  return &records_[it->second];
-}
-
-std::vector<const VulnRecord*> Database::query(
-    const std::function<bool(const VulnRecord&)>& pred) const {
-  return query<const std::function<bool(const VulnRecord&)>&>(pred);
-}
-
-std::size_t Database::count(
-    const std::function<bool(const VulnRecord&)>& pred) const {
-  return count<const std::function<bool(const VulnRecord&)>&>(pred);
-}
-
-void Database::ensure_histograms(
-    std::array<std::size_t, kCategoryCount>* categories,
-    std::array<std::size_t, kVulnClassCount>* classes,
-    std::map<int, std::size_t>* years,
-    std::vector<std::size_t>* software) const {
-  std::lock_guard<std::mutex> lock{cache_->mu};
-  if (!cache_->valid) {
-    struct Hist {
-      std::array<std::size_t, kCategoryCount> cat{};
-      std::array<std::size_t, kVulnClassCount> cls{};
-      std::map<int, std::size_t> year;
-      std::vector<std::size_t> software;
-    };
-    const auto& cat_col = category_col_;
-    const auto& cls_col = class_col_;
-    const auto& year_col = year_col_;
-    const auto& soft_col = software_col_;
-    const std::size_t software_count = software_names_.size();
-    Hist identity;
-    identity.software.assign(software_count, 0);
-    const Hist h = runtime::parallel_reduce(
-        cat_col.size(), std::move(identity),
-        [&](std::size_t begin, std::size_t end) {
-          Hist local;
-          local.software.assign(software_count, 0);
-          for (std::size_t i = begin; i < end; ++i) {
-            ++local.cat[static_cast<std::size_t>(cat_col[i])];
-            ++local.cls[static_cast<std::size_t>(cls_col[i])];
-            ++local.year[year_col[i]];
-            ++local.software[soft_col[i]];
-          }
-          return local;
-        },
-        [](Hist& acc, const Hist& part) {
-          for (std::size_t k = 0; k < kCategoryCount; ++k)
-            acc.cat[k] += part.cat[k];
-          for (std::size_t k = 0; k < kVulnClassCount; ++k)
-            acc.cls[k] += part.cls[k];
-          for (const auto& [year, count] : part.year) acc.year[year] += count;
-          for (std::size_t k = 0; k < part.software.size(); ++k)
-            acc.software[k] += part.software[k];
-        });
-    cache_->by_category = h.cat;
-    cache_->by_class = h.cls;
-    cache_->by_year = h.year;
-    cache_->by_software = h.software;
-    cache_->valid = true;
-  }
-  if (categories) *categories = cache_->by_category;
-  if (classes) *classes = cache_->by_class;
-  if (years) *years = cache_->by_year;
-  if (software) *software = cache_->by_software;
-}
-
-std::map<Category, std::size_t> Database::count_by_category() const {
-  std::array<std::size_t, kCategoryCount> counts{};
-  ensure_histograms(&counts, nullptr);
+std::map<Category, std::size_t> CorpusSnapshot::count_by_category() const {
   std::map<Category, std::size_t> out;
-  for (Category c : kAllCategories) out[c] = counts[static_cast<std::size_t>(c)];
+  for (Category c : kAllCategories) {
+    out[c] = hist_.by_category[static_cast<std::size_t>(c)];
+  }
   return out;
 }
 
-std::map<VulnClass, std::size_t> Database::count_by_class() const {
-  std::array<std::size_t, kVulnClassCount> counts{};
-  ensure_histograms(nullptr, &counts);
+std::map<VulnClass, std::size_t> CorpusSnapshot::count_by_class() const {
   std::map<VulnClass, std::size_t> out;
   for (std::size_t k = 0; k < kVulnClassCount; ++k) {
-    if (counts[k] != 0) out[static_cast<VulnClass>(k)] = counts[k];
+    if (hist_.by_class[k] != 0) out[static_cast<VulnClass>(k)] = hist_.by_class[k];
   }
   return out;
 }
 
-std::map<int, std::size_t> Database::count_by_year() const {
-  std::map<int, std::size_t> counts;
-  ensure_histograms(nullptr, nullptr, &counts);
-  return counts;
+std::map<int, std::size_t> CorpusSnapshot::count_by_year() const {
+  return hist_.by_year;
 }
 
-std::map<std::string, std::size_t> Database::count_by_software() const {
-  std::vector<std::size_t> counts;
-  ensure_histograms(nullptr, nullptr, nullptr, &counts);
+std::map<std::string, std::size_t> CorpusSnapshot::count_by_software() const {
   std::map<std::string, std::size_t> out;
-  for (std::size_t id = 0; id < counts.size(); ++id) {
-    if (counts[id] != 0) out[software_names_[id]] = counts[id];
+  for (std::size_t id = 0; id < hist_.by_software.size(); ++id) {
+    if (hist_.by_software[id] != 0) out[names_[id]] = hist_.by_software[id];
   }
   return out;
 }
 
-std::string Database::to_csv() const { return to_csv(0, records_.size()); }
+std::string CorpusSnapshot::to_csv() const { return to_csv(0, size_); }
 
-std::string Database::to_csv(std::size_t begin, std::size_t end) const {
-  if (begin > end || end > records_.size()) {
+std::string CorpusSnapshot::to_csv(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > size_) {
     throw std::out_of_range("bad record range for to_csv");
   }
-  const auto& recs = records_;
+  const auto recs = records();
   std::string out = std::string(kHeader) + '\n';
   // Per-block row strings concatenate in block order (runtime/parallel.h),
   // so the bytes equal a serial row walk at any thread count.
@@ -552,6 +470,320 @@ std::string Database::to_csv(std::size_t begin, std::size_t end) const {
       },
       [](std::string& acc, std::string&& part) { acc += part; });
   return out;
+}
+
+CorpusHistograms rebuild_histograms(const CorpusSnapshot& snap) {
+  return fold_columns(snap.categories(), snap.classes(), snap.years(),
+                      snap.software_ids(), snap.software_count());
+}
+
+// ---------------------------------------------------------------------------
+// Database
+
+Database::Database() : cell_(empty_snapshot()) {}
+
+Database::~Database() = default;
+
+Database::Database(const Database& other) : cell_(empty_snapshot()) {
+  std::lock_guard<std::mutex> lock{other.writer_mu_};
+  cell_.publish(other.cell_.acquire());
+  base_index_ = other.base_index_;
+  index_ = other.index_;
+  base_rows_ = other.base_rows_;
+  software_ids_ = other.software_ids_;
+  // arena_ stays null: the first write copies-on-write off the shared
+  // snapshot, so the source's arena is never appended to through a copy.
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  CorpusSnapshotPtr snap;
+  std::vector<std::pair<int, std::size_t>> base;
+  std::map<int, std::size_t> index;
+  std::size_t base_rows = 0;
+  std::map<std::string, std::uint32_t> ids;
+  {
+    std::lock_guard<std::mutex> lock{other.writer_mu_};
+    snap = other.cell_.acquire();
+    base = other.base_index_;
+    index = other.index_;
+    base_rows = other.base_rows_;
+    ids = other.software_ids_;
+  }
+  std::lock_guard<std::mutex> lock{writer_mu_};
+  arena_.reset();
+  base_index_ = std::move(base);
+  index_ = std::move(index);
+  base_rows_ = base_rows;
+  software_ids_ = std::move(ids);
+  cell_.publish(std::move(snap));
+  return *this;
+}
+
+Database::Database(Database&& other) noexcept
+    : cell_(other.cell_.acquire()),
+      arena_(std::move(other.arena_)),
+      base_index_(std::move(other.base_index_)),
+      index_(std::move(other.index_)),
+      base_rows_(other.base_rows_),
+      software_ids_(std::move(other.software_ids_)) {
+  other.cell_.publish(empty_snapshot());
+  other.base_index_.clear();
+  other.index_.clear();
+  other.base_rows_ = 0;
+  other.software_ids_.clear();
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  cell_.publish(other.cell_.acquire());
+  arena_ = std::move(other.arena_);
+  base_index_ = std::move(other.base_index_);
+  index_ = std::move(other.index_);
+  base_rows_ = other.base_rows_;
+  software_ids_ = std::move(other.software_ids_);
+  other.cell_.publish(empty_snapshot());
+  other.arena_.reset();
+  other.base_index_.clear();
+  other.index_.clear();
+  other.base_rows_ = 0;
+  other.software_ids_.clear();
+  return *this;
+}
+
+std::shared_ptr<CorpusSnapshot> Database::make_snapshot(
+    std::shared_ptr<detail::ColumnArena> arena, std::uint64_t epoch,
+    std::size_t size, std::size_t software_count, CorpusHistograms hist) {
+  auto next = std::make_shared<CorpusSnapshot>();
+  const detail::ColumnArena& a = *arena;
+  next->epoch_ = epoch;
+  next->size_ = size;
+  next->software_count_ = software_count;
+  next->records_ = a.records.data();
+  next->categories_ = a.category_col.data();
+  next->classes_ = a.class_col.data();
+  next->remote_ = a.remote_col.data();
+  next->years_ = a.year_col.data();
+  next->software_ = a.software_col.data();
+  next->names_ = a.software_names.data();
+  next->hist_ = std::move(hist);
+  next->arena_ = std::move(arena);
+  return next;
+}
+
+void Database::ensure_arena_locked(const CorpusSnapshot& cur,
+                                   std::size_t need_rows,
+                                   std::size_t need_names) {
+  if (arena_ != nullptr && arena_->row_capacity() >= need_rows &&
+      arena_->software_names.capacity() >= need_names) {
+    return;  // capacity-sharing in-place append
+  }
+  // Copy-on-write growth: copy the published prefix into a fresh arena
+  // with geometric headroom. Live snapshots keep the old arena alive;
+  // nothing a reader can see moves or changes.
+  const std::size_t row_cap = std::max(need_rows, 2 * cur.size());
+  const std::size_t name_cap = std::max(need_names, 2 * cur.software_count());
+  auto next = std::make_shared<detail::ColumnArena>();
+  next->reserve_rows(row_cap);
+  next->software_names.reserve(name_cap);
+  const auto recs = cur.records();
+  next->records.assign(recs.begin(), recs.end());
+  const auto cats = cur.categories();
+  next->category_col.assign(cats.begin(), cats.end());
+  const auto clss = cur.classes();
+  next->class_col.assign(clss.begin(), clss.end());
+  const auto rem = cur.remote_flags();
+  next->remote_col.assign(rem.begin(), rem.end());
+  const auto yrs = cur.years();
+  next->year_col.assign(yrs.begin(), yrs.end());
+  const auto soft = cur.software_ids();
+  next->software_col.assign(soft.begin(), soft.end());
+  const auto names = cur.software_names();
+  next->software_names.assign(names.begin(), names.end());
+  arena_ = std::move(next);
+}
+
+void Database::rollback_writer_state_locked(const CorpusSnapshot& cur) {
+  if (arena_ != nullptr && arena_->records.size() > cur.size()) {
+    // Shrinking back to the published size never touches bytes a reader
+    // can see: [0, cur.size()) stays in place.
+    arena_->records.resize(cur.size());
+    arena_->category_col.resize(cur.size());
+    arena_->class_col.resize(cur.size());
+    arena_->remote_col.resize(cur.size());
+    arena_->year_col.resize(cur.size());
+    arena_->software_col.resize(cur.size());
+  }
+  if (arena_ != nullptr &&
+      arena_->software_names.size() > cur.software_count()) {
+    arena_->software_names.resize(cur.software_count());
+  }
+  // Rebuild the writer-side maps from the published epoch (rare path:
+  // only an allocation failure mid-append lands here). The base index
+  // covers the immutable prefix [0, base_rows_) — positions there never
+  // move — so only the overlay needs rebuilding.
+  index_.clear();
+  const auto recs = cur.records();
+  for (std::size_t i = base_rows_; i < recs.size(); ++i) {
+    if (recs[i].id != 0) index_[recs[i].id] = i;
+  }
+  software_ids_.clear();
+  const auto names = cur.software_names();
+  for (std::size_t id = 0; id < names.size(); ++id) {
+    software_ids_.emplace(names[id], static_cast<std::uint32_t>(id));
+  }
+}
+
+void Database::append_batch_locked(std::vector<VulnRecord>&& rows) {
+  const CorpusSnapshotPtr cur = cell_.acquire();
+  const std::size_t old_size = cur->size();
+  const std::size_t old_names = cur->software_count();
+
+  // Intern against the writer map first so the exact number of new names
+  // is known before any arena capacity is committed.
+  std::vector<std::uint32_t> sids(rows.size());
+  std::vector<const std::string*> fresh;  // new names, in id order
+  std::uint32_t next_id = static_cast<std::uint32_t>(old_names);
+  try {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto [it, inserted] =
+          software_ids_.emplace(rows[i].software, next_id);
+      if (inserted) {
+        fresh.push_back(&it->first);
+        ++next_id;
+      }
+      sids[i] = it->second;
+    }
+    const std::size_t new_names = old_names + fresh.size();
+    const std::size_t new_size = old_size + rows.size();
+
+    ensure_arena_locked(*cur, new_size, new_names);
+    detail::ColumnArena& a = *arena_;
+    for (const std::string* name : fresh) a.software_names.push_back(*name);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      VulnRecord& r = rows[i];
+      if (r.id != 0) index_[r.id] = old_size + i;
+      a.category_col.push_back(r.category);
+      a.class_col.push_back(r.vuln_class);
+      a.remote_col.push_back(r.remote ? 1 : 0);
+      a.year_col.push_back(r.year);
+      a.software_col.push_back(sids[i]);
+      a.records.push_back(std::move(r));
+    }
+
+    // Incremental histogram maintenance: fold ONLY the batch's rows
+    // (sharded on the pool) into a copy of the published histograms —
+    // rebuild_histograms() is the equivalence oracle for this fold.
+    CorpusHistograms delta =
+        fold_columns(std::span<const Category>(a.category_col).subspan(old_size),
+                     std::span<const VulnClass>(a.class_col).subspan(old_size),
+                     std::span<const int>(a.year_col).subspan(old_size),
+                     std::span<const std::uint32_t>(a.software_col)
+                         .subspan(old_size),
+                     new_names);
+    CorpusHistograms hist = cur->histograms();
+    merge_histograms(hist, delta);
+
+    cell_.publish(make_snapshot(arena_, cur->epoch() + 1, new_size, new_names,
+                                std::move(hist)));
+  } catch (...) {
+    rollback_writer_state_locked(*cur);
+    throw;
+  }
+}
+
+const std::size_t* Database::find_id_locked(int id) const {
+  const auto it = index_.find(id);
+  if (it != index_.end()) return &it->second;
+  const auto b = std::lower_bound(
+      base_index_.begin(), base_index_.end(), id,
+      [](const std::pair<int, std::size_t>& e, int v) { return e.first < v; });
+  if (b != base_index_.end() && b->first == id) return &b->second;
+  return nullptr;
+}
+
+void Database::add(VulnRecord record) {
+  std::lock_guard<std::mutex> lock{writer_mu_};
+  if (record.id != 0 && find_id_locked(record.id) != nullptr) {
+    throw std::invalid_argument("duplicate Bugtraq ID: " +
+                                std::to_string(record.id));
+  }
+  std::vector<VulnRecord> one;
+  one.push_back(std::move(record));
+  append_batch_locked(std::move(one));
+}
+
+void Database::add_batch(std::vector<VulnRecord> batch) {
+  if (batch.empty()) return;  // true no-op: nothing validated, nothing published
+  std::lock_guard<std::mutex> lock{writer_mu_};
+  // Validate every ID before mutating anything, so a duplicate anywhere
+  // in the batch leaves the database untouched.
+  std::unordered_set<int> batch_ids;
+  batch_ids.reserve(batch.size());
+  for (const auto& r : batch) {
+    if (r.id == 0) continue;
+    if (find_id_locked(r.id) != nullptr || !batch_ids.insert(r.id).second) {
+      throw std::invalid_argument("duplicate Bugtraq ID: " +
+                                  std::to_string(r.id));
+    }
+  }
+  append_batch_locked(std::move(batch));
+}
+
+std::vector<BatchReject> Database::add_batch(std::vector<VulnRecord> batch,
+                                             IngestPolicy policy) {
+  if (policy == IngestPolicy::kStrict) {
+    add_batch(std::move(batch));
+    return {};
+  }
+  if (batch.empty()) return {};
+  std::lock_guard<std::mutex> lock{writer_mu_};
+  // Lenient: one serial pass decides acceptance (first occurrence of a
+  // non-zero ID wins, matching the order a strict ingest would commit),
+  // then one bulk append publishes one new epoch.
+  std::vector<BatchReject> rejects;
+  std::vector<VulnRecord> accepted;
+  accepted.reserve(batch.size());
+  std::unordered_set<int> batch_ids;
+  batch_ids.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const int id = batch[i].id;
+    if (id != 0 &&
+        (find_id_locked(id) != nullptr || !batch_ids.insert(id).second)) {
+      rejects.push_back({i, "duplicate Bugtraq ID: " + std::to_string(id)});
+      continue;
+    }
+    accepted.push_back(std::move(batch[i]));
+  }
+  // An all-rejected batch is a true no-op: no epoch is published.
+  if (!accepted.empty()) append_batch_locked(std::move(accepted));
+  return rejects;
+}
+
+const VulnRecord* Database::by_id(int id) const {
+  std::lock_guard<std::mutex> lock{writer_mu_};
+  const std::size_t* pos = find_id_locked(id);
+  if (pos == nullptr) return nullptr;
+  // Index positions never exceed the published size (appends publish
+  // before releasing the writer lock, and failed appends roll back).
+  return &cell_.acquire()->records()[*pos];
+}
+
+void Database::reserve(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock{writer_mu_};
+  const CorpusSnapshotPtr cur = cell_.acquire();
+  ensure_arena_locked(*cur, std::max(capacity, cur->size()),
+                      cur->software_count());
+}
+
+std::vector<const VulnRecord*> Database::query(
+    const std::function<bool(const VulnRecord&)>& pred) const {
+  return query<const std::function<bool(const VulnRecord&)>&>(pred);
+}
+
+std::size_t Database::count(
+    const std::function<bool(const VulnRecord&)>& pred) const {
+  return count<const std::function<bool(const VulnRecord&)>&>(pred);
 }
 
 Database Database::from_csv(const std::string& csv) {
@@ -584,8 +816,74 @@ Database Database::from_csv_parts(const std::vector<std::string>& parts,
   return parse_csv_docs(docs, names, policy, report);
 }
 
+Database Database::from_columns(BulkColumns&& columns) {
+  const std::size_t n = columns.records.size();
+  if (columns.categories.size() != n || columns.classes.size() != n ||
+      columns.remote.size() != n || columns.years.size() != n ||
+      columns.software.size() != n) {
+    throw std::invalid_argument("from_columns: ragged column lengths");
+  }
+  const std::size_t name_count = columns.software_names.size();
+  for (const std::uint32_t sid : columns.software) {
+    if (sid >= name_count) {
+      throw std::invalid_argument("from_columns: software id " +
+                                  std::to_string(sid) + " out of range (" +
+                                  std::to_string(name_count) + " names)");
+    }
+  }
+
+  auto arena = std::make_shared<detail::ColumnArena>();
+  arena->records = std::move(columns.records);
+  arena->category_col = std::move(columns.categories);
+  arena->class_col = std::move(columns.classes);
+  arena->remote_col = std::move(columns.remote);
+  arena->year_col = std::move(columns.years);
+  arena->software_col = std::move(columns.software);
+  arena->software_names = std::move(columns.software_names);
+  const detail::ColumnArena& a = *arena;
+
+  Database db;
+  for (std::size_t id = 0; id < a.software_names.size(); ++id) {
+    if (!db.software_ids_
+             .emplace(a.software_names[id], static_cast<std::uint32_t>(id))
+             .second) {
+      throw std::invalid_argument("from_columns: duplicate software name '" +
+                                  a.software_names[id] + "'");
+    }
+  }
+  // Id index via one sort instead of n map inserts; adjacent equal ids
+  // expose duplicates.
+  std::vector<std::pair<int, std::size_t>> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.records[i].id != 0) ids.emplace_back(a.records[i].id, i);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t k = 1; k < ids.size(); ++k) {
+    if (ids[k].first == ids[k - 1].first) {
+      throw std::invalid_argument("duplicate Bugtraq ID: " +
+                                  std::to_string(ids[k].first));
+    }
+  }
+  // The sorted pairs ARE the base index — adopted as-is, no node inserts.
+  db.base_index_ = std::move(ids);
+  db.base_rows_ = n;
+
+  CorpusHistograms hist = fold_columns(
+      std::span<const Category>(a.category_col),
+      std::span<const VulnClass>(a.class_col), std::span<const int>(a.year_col),
+      std::span<const std::uint32_t>(a.software_col), a.software_names.size());
+  const std::size_t names_total = a.software_names.size();
+  db.arena_ = arena;
+  db.cell_.publish(
+      make_snapshot(std::move(arena), 1, n, names_total, std::move(hist)));
+  return db;
+}
+
 void Database::merge(const Database& other) {
-  add_batch(other.records_);
+  const CorpusSnapshotPtr snap = other.snapshot();
+  const auto recs = snap->records();
+  add_batch(std::vector<VulnRecord>(recs.begin(), recs.end()));
 }
 
 }  // namespace dfsm::bugtraq

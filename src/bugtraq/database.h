@@ -1,17 +1,32 @@
-// database.h — an in-memory vulnerability database with query and CSV
-// round-trip. Stands in for the Bugtraq list at securityfocus.com, which
-// the paper chose "because its vulnerability reports are better organized
-// and more amenable to automatic processing and statistical study".
+// database.h — the concurrent corpus service: an in-memory vulnerability
+// database with snapshot-isolated reads, incremental histogram
+// maintenance, and CSV round-trip. Stands in for the Bugtraq list at
+// securityfocus.com, which the paper chose "because its vulnerability
+// reports are better organized and more amenable to automatic processing
+// and statistical study".
 //
-// Storage is row-major (`records_`) plus columnar category/class/remote/
-// year/software vectors (software interned to dense ids): statistics
+// Concurrency model (DESIGN.md §15). All read state lives in an
+// immutable, versioned CorpusSnapshot published through a
+// runtime::SnapshotCell (RCU-style atomic shared_ptr swap). Readers call
+// snapshot() — or any const query, which acquires one internally — and
+// see ONE consistent epoch: a frozen record range, frozen columns, and
+// histograms that are always exact for that range, no matter how many
+// add_batch() ingests land concurrently. Writers serialize on a private
+// mutex, append into a capacity-shared column arena (appends past the
+// published size never move the bytes a live snapshot points at; growth
+// copies into a fresh arena, and old arenas stay alive until their last
+// snapshot drops), fold the batch's histogram deltas into a copy of the
+// published histograms — incremental maintenance, no
+// invalidate-and-rebuild — and publish the next epoch with one atomic
+// swap.
+//
+// Storage is row-major (records) plus columnar category/class/remote/
+// year/software projections (software interned to dense ids): statistics
 // sweeps touch narrow columns instead of ~200-byte records, and the
-// histogram sweeps shard across the parallel runtime (runtime/parallel.h)
-// with per-shard accumulators merged in index order — results are
-// byte-identical to a serial walk at any thread count. All histograms
-// (category, class, year, software) are cached and invalidated on
-// mutation; add_batch() ingests a whole batch with one column extension
-// and one cache invalidation instead of per-record work.
+// histogram/query sweeps shard across the parallel runtime
+// (runtime/parallel.h) with per-shard accumulators merged in index
+// order — results are byte-identical to a serial walk at any thread
+// count.
 #ifndef DFSM_BUGTRAQ_DATABASE_H
 #define DFSM_BUGTRAQ_DATABASE_H
 
@@ -22,12 +37,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bugtraq/record.h"
 #include "runtime/parallel.h"
+#include "runtime/snapshot_cell.h"
 
 namespace dfsm::bugtraq {
 
@@ -91,94 +108,97 @@ struct BatchReject {
   std::string reason;
 };
 
-class Database {
+/// The always-exact histograms a snapshot carries. Maintained
+/// incrementally: each publish folds the batch's deltas into a copy of
+/// the previous epoch's histograms, and rebuild_histograms() proves the
+/// fold equals a full columnar sweep.
+struct CorpusHistograms {
+  std::array<std::size_t, kCategoryCount> by_category{};
+  std::array<std::size_t, kVulnClassCount> by_class{};
+  std::map<int, std::size_t> by_year;
+  std::vector<std::size_t> by_software;  ///< indexed by interned software id
+
+  friend bool operator==(const CorpusHistograms&,
+                         const CorpusHistograms&) = default;
+};
+
+namespace detail {
+struct ColumnArena;  // append-only backing storage (database.cpp)
+}  // namespace detail
+
+/// One immutable epoch of the corpus: a frozen record range, frozen
+/// columnar projections, the interned software table as of that epoch,
+/// and exact histograms. Acquired via Database::snapshot(); stays alive
+/// and byte-stable for as long as the caller holds the shared_ptr, no
+/// matter what the writer publishes meanwhile.
+///
+/// The spans point into a shared column arena. The writer may append
+/// PAST this snapshot's size in place (the arena never reallocates while
+/// any snapshot pins it), so the spans' bytes never move and never
+/// change — readers index only [0, size()) and touch no vector
+/// internals, which is what keeps concurrent reads TSan-clean.
+class CorpusSnapshot {
  public:
-  Database() = default;
+  CorpusSnapshot() = default;  // the empty corpus, epoch 0
 
-  /// Copies carry the data, not the cache (it refills on first use).
-  Database(const Database& other)
-      : records_(other.records_),
-        index_(other.index_),
-        category_col_(other.category_col_),
-        class_col_(other.class_col_),
-        remote_col_(other.remote_col_),
-        year_col_(other.year_col_),
-        software_col_(other.software_col_),
-        software_names_(other.software_names_),
-        software_ids_(other.software_ids_) {}
-  Database& operator=(const Database& other) {
-    if (this != &other) {
-      records_ = other.records_;
-      index_ = other.index_;
-      category_col_ = other.category_col_;
-      class_col_ = other.class_col_;
-      remote_col_ = other.remote_col_;
-      year_col_ = other.year_col_;
-      software_col_ = other.software_col_;
-      software_names_ = other.software_names_;
-      software_ids_ = other.software_ids_;
-      cache_ = std::make_unique<HistCache>();
-    }
-    return *this;
+  /// Publication count when this snapshot was built (0 = empty corpus).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::span<const VulnRecord> records() const noexcept {
+    return {records_, size_};
   }
-  Database(Database&&) noexcept = default;
-  Database& operator=(Database&&) noexcept = default;
-
-  /// Adds a record. Throws std::invalid_argument on a duplicate non-zero
-  /// Bugtraq ID (real IDs are unique).
-  void add(VulnRecord record);
-
-  /// Bulk ingest: appends every record of `batch` (insertion order
-  /// preserved), extending the columnar store once and invalidating the
-  /// histogram cache once, instead of per-record. Duplicate non-zero IDs
-  /// (against the database or within the batch) throw std::invalid_argument
-  /// before anything is appended.
-  void add_batch(std::vector<VulnRecord> batch);
-
-  /// Policy-aware bulk ingest. kStrict behaves exactly like add_batch
-  /// (throws on any duplicate, nothing appended) and returns an empty
-  /// vector. kLenient appends every acceptable record (first occurrence
-  /// of an ID wins) and returns the rejected batch positions with
-  /// reasons, in ascending index order.
-  std::vector<BatchReject> add_batch(std::vector<VulnRecord> batch,
-                                     IngestPolicy policy);
-
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-  [[nodiscard]] const std::vector<VulnRecord>& records() const noexcept {
-    return records_;
+  [[nodiscard]] std::span<const Category> categories() const noexcept {
+    return {categories_, size_};
   }
-
-  /// Columnar projections, index-parallel to records(). Hot sweeps
-  /// (histograms, remote/local splits) read these instead of records_.
-  [[nodiscard]] const std::vector<Category>& categories() const noexcept {
-    return category_col_;
+  [[nodiscard]] std::span<const VulnClass> classes() const noexcept {
+    return {classes_, size_};
   }
-  [[nodiscard]] const std::vector<VulnClass>& classes() const noexcept {
-    return class_col_;
+  [[nodiscard]] std::span<const unsigned char> remote_flags() const noexcept {
+    return {remote_, size_};
   }
-  [[nodiscard]] const std::vector<unsigned char>& remote_flags() const noexcept {
-    return remote_col_;
-  }
-  [[nodiscard]] const std::vector<int>& years() const noexcept {
-    return year_col_;
+  [[nodiscard]] std::span<const int> years() const noexcept {
+    return {years_, size_};
   }
   /// Software column as dense interned ids; software_name(id) decodes.
-  [[nodiscard]] const std::vector<std::uint32_t>& software_ids() const noexcept {
-    return software_col_;
+  [[nodiscard]] std::span<const std::uint32_t> software_ids() const noexcept {
+    return {software_, size_};
+  }
+  /// Interned software table as of this epoch (ids are stable: later
+  /// epochs only ever append names).
+  [[nodiscard]] std::span<const std::string> software_names() const noexcept {
+    return {names_, software_count_};
+  }
+  [[nodiscard]] std::size_t software_count() const noexcept {
+    return software_count_;
   }
   [[nodiscard]] const std::string& software_name(std::uint32_t id) const {
-    return software_names_[id];
+    return names_[id];
   }
 
-  /// Lookup by Bugtraq ID (non-zero IDs only).
-  [[nodiscard]] const VulnRecord* by_id(int id) const;
+  /// Exact histograms for [0, size()) — no sweep, no lock, always fresh.
+  [[nodiscard]] const CorpusHistograms& histograms() const noexcept {
+    return hist_;
+  }
+
+  /// Histogram over categories (every category present, possibly 0).
+  [[nodiscard]] std::map<Category, std::size_t> count_by_category() const;
+  /// Histogram over vulnerability classes (only non-zero counts appear,
+  /// matching the historical row-walk behavior).
+  [[nodiscard]] std::map<VulnClass, std::size_t> count_by_class() const;
+  /// Histogram over discovery years (only years present appear).
+  [[nodiscard]] std::map<int, std::size_t> count_by_year() const;
+  /// Histogram over software packages (only packages present appear).
+  [[nodiscard]] std::map<std::string, std::size_t> count_by_software() const;
 
   /// All records matching a predicate, in insertion order. The sweep is
   /// sharded across the runtime pool; per-shard hit lists concatenate in
-  /// shard order, so the result equals the serial scan exactly.
+  /// shard order, so the result equals the serial scan exactly. The
+  /// returned pointers stay valid while this snapshot is held.
   template <typename Pred>
   [[nodiscard]] std::vector<const VulnRecord*> query(Pred&& pred) const {
-    const auto& recs = records_;
+    const auto recs = records();
     return runtime::parallel_reduce(
         recs.size(), std::vector<const VulnRecord*>{},
         [&](std::size_t begin, std::size_t end) {
@@ -196,7 +216,7 @@ class Database {
 
   template <typename Pred>
   [[nodiscard]] std::size_t count(Pred&& pred) const {
-    const auto& recs = records_;
+    const auto recs = records();
     return runtime::parallel_reduce(
         recs.size(), std::size_t{0},
         [&](std::size_t begin, std::size_t end) {
@@ -209,6 +229,136 @@ class Database {
         [](std::size_t& acc, std::size_t part) { acc += part; });
   }
 
+  /// CSV serialization: header + one line per record (activities joined
+  /// with ';'). Fields containing separators are quoted. The row bodies
+  /// are built in index-sharded blocks on the runtime pool and
+  /// concatenated in block order — byte-identical at any thread count.
+  [[nodiscard]] std::string to_csv() const;
+  /// CSV for the record range [begin, end) only (same header). The unit
+  /// of sharded corpus files (csv_shards.h / colsnap.h).
+  [[nodiscard]] std::string to_csv(std::size_t begin, std::size_t end) const;
+
+ private:
+  friend class Database;
+
+  std::shared_ptr<const void> arena_;  ///< pins the backing ColumnArena
+  std::uint64_t epoch_ = 0;
+  std::size_t size_ = 0;
+  std::size_t software_count_ = 0;
+  const VulnRecord* records_ = nullptr;
+  const Category* categories_ = nullptr;
+  const VulnClass* classes_ = nullptr;
+  const unsigned char* remote_ = nullptr;
+  const int* years_ = nullptr;
+  const std::uint32_t* software_ = nullptr;
+  const std::string* names_ = nullptr;
+  CorpusHistograms hist_;
+};
+
+using CorpusSnapshotPtr = std::shared_ptr<const CorpusSnapshot>;
+
+/// Recomputes the snapshot's histograms with a full columnar sweep on
+/// the runtime pool — the pre-incremental semantics, kept as the
+/// equivalence oracle (tests assert rebuild == snapshot->histograms()
+/// after any batch sequence) and as the reference arm of the
+/// BM_CorpusHistogramRebuild/BM_CorpusHistogramIncremental bench pair.
+[[nodiscard]] CorpusHistograms rebuild_histograms(const CorpusSnapshot& snap);
+
+/// The corpus service. Reads are lock-free and snapshot-isolated;
+/// writes serialize on an internal mutex and publish new epochs
+/// atomically. One Database instance safely serves concurrent readers
+/// and writers; copying/moving the Database object itself still
+/// requires external synchronization on the source, like any value.
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  /// Copies share the source's current snapshot (O(#ids) map copy, no
+  /// record copy) and go copy-on-write on the first mutation.
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
+  /// Adds a record and publishes a new epoch. Throws
+  /// std::invalid_argument on a duplicate non-zero Bugtraq ID (real IDs
+  /// are unique).
+  void add(VulnRecord record);
+
+  /// Bulk ingest: appends every record of `batch` (insertion order
+  /// preserved), extending the column arena once and folding the
+  /// batch's histogram deltas into one new published epoch. Duplicate
+  /// non-zero IDs (against the database or within the batch) throw
+  /// std::invalid_argument before anything is appended or published.
+  /// An empty batch is a true no-op: no epoch is published.
+  void add_batch(std::vector<VulnRecord> batch);
+
+  /// Policy-aware bulk ingest. kStrict behaves exactly like add_batch
+  /// (throws on any duplicate, nothing appended) and returns an empty
+  /// vector. kLenient appends every acceptable record (first occurrence
+  /// of an ID wins) and returns the rejected batch positions with
+  /// reasons, in ascending index order. A batch with nothing acceptable
+  /// publishes nothing.
+  std::vector<BatchReject> add_batch(std::vector<VulnRecord> batch,
+                                     IngestPolicy policy);
+
+  /// The current epoch's immutable snapshot — the unit of isolation.
+  /// Holding it pins that epoch's records, columns, and histograms.
+  [[nodiscard]] CorpusSnapshotPtr snapshot() const { return cell_.acquire(); }
+
+  /// Publication count: 0 for a fresh database, +1 per published batch.
+  [[nodiscard]] std::uint64_t epoch() const { return cell_.acquire()->epoch(); }
+
+  /// Pre-grows the column arena so the next `capacity` total records
+  /// append without a copy-on-write growth pause (readers are never
+  /// paused either way).
+  void reserve(std::size_t capacity);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return cell_.acquire()->size();
+  }
+
+  /// Record/column views of the CURRENT epoch. Each call may observe a
+  /// newer epoch than the last; a multi-access read that needs one
+  /// consistent version should hold a snapshot() instead. The spans stay
+  /// valid while this Database (or any held snapshot of it) is alive.
+  [[nodiscard]] std::span<const VulnRecord> records() const noexcept {
+    return cell_.acquire()->records();
+  }
+  [[nodiscard]] std::span<const Category> categories() const noexcept {
+    return cell_.acquire()->categories();
+  }
+  [[nodiscard]] std::span<const VulnClass> classes() const noexcept {
+    return cell_.acquire()->classes();
+  }
+  [[nodiscard]] std::span<const unsigned char> remote_flags() const noexcept {
+    return cell_.acquire()->remote_flags();
+  }
+  [[nodiscard]] std::span<const int> years() const noexcept {
+    return cell_.acquire()->years();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> software_ids() const noexcept {
+    return cell_.acquire()->software_ids();
+  }
+  [[nodiscard]] const std::string& software_name(std::uint32_t id) const {
+    return cell_.acquire()->software_name(id);
+  }
+
+  /// Lookup by Bugtraq ID (non-zero IDs only). Serializes briefly with
+  /// writers (the id index is writer-side state, not snapshot state).
+  [[nodiscard]] const VulnRecord* by_id(int id) const;
+
+  template <typename Pred>
+  [[nodiscard]] std::vector<const VulnRecord*> query(Pred&& pred) const {
+    return cell_.acquire()->query(std::forward<Pred>(pred));
+  }
+
+  template <typename Pred>
+  [[nodiscard]] std::size_t count(Pred&& pred) const {
+    return cell_.acquire()->count(std::forward<Pred>(pred));
+  }
+
   /// Type-erased forms kept for existing callers; they delegate to the
   /// templated overloads above (one std::function indirection per record
   /// instead of per call site).
@@ -217,32 +367,25 @@ class Database {
   [[nodiscard]] std::size_t count(
       const std::function<bool(const VulnRecord&)>& pred) const;
 
-  /// Histogram over categories (every category present, possibly 0).
-  /// Served from the cache; a miss shards the columnar sweep across the
-  /// runtime pool.
-  [[nodiscard]] std::map<Category, std::size_t> count_by_category() const;
+  /// Histograms of the current epoch — lock-free, always exact, O(output)
+  /// (no sweep: snapshots carry incrementally-maintained histograms).
+  [[nodiscard]] std::map<Category, std::size_t> count_by_category() const {
+    return cell_.acquire()->count_by_category();
+  }
+  [[nodiscard]] std::map<VulnClass, std::size_t> count_by_class() const {
+    return cell_.acquire()->count_by_class();
+  }
+  [[nodiscard]] std::map<int, std::size_t> count_by_year() const {
+    return cell_.acquire()->count_by_year();
+  }
+  [[nodiscard]] std::map<std::string, std::size_t> count_by_software() const {
+    return cell_.acquire()->count_by_software();
+  }
 
-  /// Histogram over vulnerability classes (only classes with a non-zero
-  /// count appear, matching the historical row-walk behavior).
-  [[nodiscard]] std::map<VulnClass, std::size_t> count_by_class() const;
-
-  /// Histogram over discovery years (only years present appear). Served
-  /// from the same cache as the category/class histograms.
-  [[nodiscard]] std::map<int, std::size_t> count_by_year() const;
-
-  /// Histogram over software packages (only packages present appear).
-  /// Served from the cache via the interned software column.
-  [[nodiscard]] std::map<std::string, std::size_t> count_by_software() const;
-
-  /// CSV serialization: header + one line per record (activities joined
-  /// with ';'). Fields containing separators are quoted. The row bodies
-  /// are built in index-sharded blocks on the runtime pool and
-  /// concatenated in block order — byte-identical at any thread count.
-  [[nodiscard]] std::string to_csv() const;
-
-  /// CSV for the record range [begin, end) only (same header). The unit
-  /// of sharded corpus files (csv_shards.h).
-  [[nodiscard]] std::string to_csv(std::size_t begin, std::size_t end) const;
+  [[nodiscard]] std::string to_csv() const { return cell_.acquire()->to_csv(); }
+  [[nodiscard]] std::string to_csv(std::size_t begin, std::size_t end) const {
+    return cell_.acquire()->to_csv(begin, end);
+  }
 
   /// Parses a CSV produced by to_csv. Throws std::invalid_argument on a
   /// malformed header or row — the message carries the 1-based line
@@ -273,40 +416,65 @@ class Database {
       const std::vector<std::string>& names, IngestPolicy policy,
       IngestReport* report = nullptr);
 
+  /// Pre-separated columns for trusted bulk adoption (the binary
+  /// snapshot loader, colsnap.h). All vectors must be index-parallel;
+  /// `software` holds ids into `software_names`.
+  struct BulkColumns {
+    std::vector<VulnRecord> records;
+    std::vector<Category> categories;
+    std::vector<VulnClass> classes;
+    std::vector<unsigned char> remote;
+    std::vector<int> years;
+    std::vector<std::uint32_t> software;
+    std::vector<std::string> software_names;
+  };
+
+  /// Adopts pre-separated columns wholesale (no per-record re-derivation;
+  /// histograms come from one parallel sweep, the id index from one
+  /// sort). Throws std::invalid_argument on ragged column lengths, an
+  /// out-of-range software id, a duplicate software name, or a duplicate
+  /// non-zero Bugtraq ID. The result sits at epoch 1.
+  [[nodiscard]] static Database from_columns(BulkColumns&& columns);
+
   /// Merges another database into this one (duplicate-ID rules apply).
   void merge(const Database& other);
 
  private:
-  struct HistCache {
-    std::mutex mu;
-    bool valid = false;
-    std::array<std::size_t, kCategoryCount> by_category{};
-    std::array<std::size_t, kVulnClassCount> by_class{};
-    std::map<int, std::size_t> by_year;
-    std::vector<std::size_t> by_software;  // indexed by interned software id
-  };
+  /// Appends pre-validated rows, folds their histogram deltas, and
+  /// publishes the next epoch. Caller holds writer_mu_.
+  void append_batch_locked(std::vector<VulnRecord>&& rows);
+  /// Makes arena_ writable with capacity for `need_rows` records and
+  /// `need_names` interned names (copy-on-write growth off the published
+  /// snapshot when shared or exhausted). Caller holds writer_mu_.
+  void ensure_arena_locked(const CorpusSnapshot& cur, std::size_t need_rows,
+                           std::size_t need_names);
+  /// Restores writer state to the published snapshot after a failed
+  /// append (strong exception guarantee). Caller holds writer_mu_.
+  void rollback_writer_state_locked(const CorpusSnapshot& cur);
+  /// Builds the next epoch's snapshot over `arena`'s current contents.
+  [[nodiscard]] static std::shared_ptr<CorpusSnapshot> make_snapshot(
+      std::shared_ptr<detail::ColumnArena> arena, std::uint64_t epoch,
+      std::size_t size, std::size_t software_count, CorpusHistograms hist);
+  /// Position of `id` in the two-level index, or nullptr. Caller holds
+  /// writer_mu_.
+  [[nodiscard]] const std::size_t* find_id_locked(int id) const;
 
-  /// Fills the cache if stale; copies the requested histograms out under
-  /// the lock (null pointers skip).
-  void ensure_histograms(
-      std::array<std::size_t, kCategoryCount>* categories,
-      std::array<std::size_t, kVulnClassCount>* classes,
-      std::map<int, std::size_t>* years = nullptr,
-      std::vector<std::size_t>* software = nullptr) const;
-
-  /// Interns a software name, returning its dense id.
-  std::uint32_t intern_software(const std::string& name);
-
-  std::vector<VulnRecord> records_;
-  std::map<int, std::size_t> index_;  // id -> position, non-zero ids only
-  std::vector<Category> category_col_;
-  std::vector<VulnClass> class_col_;
-  std::vector<unsigned char> remote_col_;
-  std::vector<int> year_col_;
-  std::vector<std::uint32_t> software_col_;
-  std::vector<std::string> software_names_;        // id -> name
-  std::map<std::string, std::uint32_t> software_ids_;  // name -> id
-  mutable std::unique_ptr<HistCache> cache_ = std::make_unique<HistCache>();
+  mutable std::mutex writer_mu_;
+  runtime::SnapshotCell<CorpusSnapshot> cell_;
+  /// The arena backing (a superset of) the published snapshot; null when
+  /// this Database was copied and has not yet written (copy-on-write).
+  std::shared_ptr<detail::ColumnArena> arena_;
+  /// Two-level Bugtraq-id index. Bulk adoption (from_columns) keeps the
+  /// id/position pairs it already sorted for duplicate detection as the
+  /// immutable BASE — positions index the arena prefix, which never
+  /// moves — and incremental appends land in the map OVERLAY, so a bulk
+  /// load pays no per-record node inserts and a small batch pays no
+  /// index-wide merge. Lookups probe the overlay, then binary-search
+  /// the base.
+  std::vector<std::pair<int, std::size_t>> base_index_;  ///< sorted by id
+  std::map<int, std::size_t> index_;  ///< overlay: ids appended post-base
+  std::size_t base_rows_ = 0;  ///< records covered by base_index_
+  std::map<std::string, std::uint32_t> software_ids_;  ///< name -> id
 };
 
 }  // namespace dfsm::bugtraq

@@ -23,6 +23,32 @@ Fingerprinter& Fingerprinter::mix(std::string_view s) noexcept {
   return *this;
 }
 
+Fingerprinter& Fingerprinter::mix_striped(std::string_view s) noexcept {
+  constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  std::uint64_t lane[8] = {kOffset, kOffset, kOffset, kOffset,
+                           kOffset, kOffset, kOffset, kOffset};
+  const auto* p = reinterpret_cast<const unsigned char*>(s.data());
+  std::size_t i = 0;
+  for (; i + 8 <= s.size(); i += 8) {
+    // Eight independent xor-multiply chains: the serial-latency bound of
+    // plain FNV-1a becomes a throughput bound here.
+    lane[0] = (lane[0] ^ p[i + 0]) * kFnvPrime;
+    lane[1] = (lane[1] ^ p[i + 1]) * kFnvPrime;
+    lane[2] = (lane[2] ^ p[i + 2]) * kFnvPrime;
+    lane[3] = (lane[3] ^ p[i + 3]) * kFnvPrime;
+    lane[4] = (lane[4] ^ p[i + 4]) * kFnvPrime;
+    lane[5] = (lane[5] ^ p[i + 5]) * kFnvPrime;
+    lane[6] = (lane[6] ^ p[i + 6]) * kFnvPrime;
+    lane[7] = (lane[7] ^ p[i + 7]) * kFnvPrime;
+  }
+  for (; i < s.size(); ++i) {
+    lane[i & 7] = (lane[i & 7] ^ p[i]) * kFnvPrime;
+  }
+  mix(static_cast<std::uint64_t>(s.size()));
+  for (const std::uint64_t l : lane) mix(l);
+  return *this;
+}
+
 std::uint64_t fingerprint(const Pfsm& pfsm) noexcept {
   Fingerprinter fp;
   fp.mix(pfsm.name())

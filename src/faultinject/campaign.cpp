@@ -12,11 +12,13 @@
 #include "analysis/hidden_path.h"
 #include "apps/case_study.h"
 #include "apps/races.h"
+#include "bugtraq/colsnap.h"
 #include "bugtraq/corpus.h"
 #include "bugtraq/csv_shards.h"
 #include "faultinject/composed.h"
 #include "faultinject/corpus_faults.h"
 #include "faultinject/model_faults.h"
+#include "faultinject/snapshot_faults.h"
 #include "fssim/explore.h"
 #include "runtime/parallel.h"
 #include "staticlint/linter.h"
@@ -194,6 +196,68 @@ TrialResult run_corpus_trial(const CampaignConfig& cfg, std::size_t t,
   } else if (r.strict_threw && !r.target.empty() &&
              r.strict_error.find(r.target) == std::string::npos) {
     fail(r, "strict error lacks shard context: " + r.strict_error);
+  }
+
+  r.ok = r.failure.empty();
+  return r;
+}
+
+/// Snapshot-layer trial inside the corpus surface: encode a seeded
+/// corpus as in-memory colsnap shards, apply one snapshot mutator, and
+/// require (a) the loader refuses the mutated set with a
+/// "<file>:<column>: <reason>" that names the planted defect, (b) the
+/// refusal is all-or-nothing, and (c) conservation — the pristine shard
+/// set still decodes to every generated record, byte-identical.
+TrialResult run_snapshot_trial(const CampaignConfig& cfg, std::size_t t,
+                               Rng& rng) {
+  TrialResult r;
+  r.trial = t;
+  r.kind = "snapshot";
+
+  const std::size_t n =
+      cfg.min_records + rng.below(cfg.max_records - cfg.min_records + 1);
+  const std::size_t nshards = 2 + rng.below(cfg.max_shards - 1);
+  const std::uint64_t corpus_seed = rng.next();
+  const bugtraq::Database db = bugtraq::synthetic_corpus_n(n, corpus_seed);
+  r.generated = n;
+
+  SnapshotSet set;
+  set.names = bugtraq::colsnap_shard_paths("t", nshards);  // workdir-free
+  set.contents = bugtraq::encode_colsnap_shards(*db.snapshot(), nshards);
+  const std::vector<std::string> pristine = set.contents;
+
+  const SnapshotFault fault =
+      kAllSnapshotFaults[rng.below(kAllSnapshotFaults.size())];
+  const SnapshotMutation mut = apply_snapshot_fault(fault, set, rng);
+  r.fault = to_string(fault);
+  r.target = mut.shard;
+  r.detail = mut.detail;
+
+  // Every snapshot mutation plants a defect the loader must refuse.
+  try {
+    const auto loaded = bugtraq::decode_colsnap_shards(set.contents, set.names);
+    fail(r, "loader accepted a mutated snapshot (" +
+                std::to_string(loaded.size()) + " records)");
+  } catch (const std::invalid_argument& ex) {
+    r.strict_threw = true;
+    r.strict_error = ex.what();
+    if (r.strict_error.find(mut.expect_substr) == std::string::npos) {
+      fail(r, "refusal '" + r.strict_error + "' lacks expected '" +
+                  mut.expect_substr + "'");
+    }
+  }
+
+  // Conservation: the unmutated shard set still carries every record.
+  try {
+    const auto clean = bugtraq::decode_colsnap_shards(pristine, set.names);
+    r.ingested = clean.size();
+    r.conserved = clean.size() == n && clean.to_csv() == db.to_csv();
+    if (!r.conserved) {
+      fail(r, "pristine snapshot lost records: decoded " +
+                  std::to_string(clean.size()) + " of " + std::to_string(n));
+    }
+  } catch (const std::exception& ex) {
+    fail(r, std::string("pristine snapshot refused: ") + ex.what());
   }
 
   r.ok = r.failure.empty();
@@ -612,7 +676,13 @@ CampaignReport run_campaign(const CampaignConfig& config) {
     TrialResult r;
     switch (surface) {
       case CampaignKind::kCorpus:
-        r = run_corpus_trial(config, t, rng);
+        // The corpus surface covers both disk formats: ~1/4 of its draws
+        // exercise the binary snapshot loader instead of CSV ingest.
+        if (rng.below(4) == 0) {
+          r = run_snapshot_trial(config, t, rng);
+        } else {
+          r = run_corpus_trial(config, t, rng);
+        }
         ++report.corpus_trials;
         break;
       case CampaignKind::kRace:
@@ -653,6 +723,10 @@ std::string emit_text(const CampaignReport& report) {
          << t.quarantined_shards << " shard(s)";
       if (t.retries != 0) os << ", " << t.retries << " retries";
       os << ")";
+    } else if (t.kind == "snapshot") {
+      os << " (generated " << t.generated << ", "
+         << (t.strict_threw ? "refused" : "ACCEPTED") << ", pristine decode "
+         << t.ingested << ", " << (t.conserved ? "conserved" : "LOSSY") << ")";
     } else if (t.kind == "composed") {
       os << " (generated " << t.generated << ", ingested " << t.ingested
          << ", quarantined " << t.quarantined_rows << " row(s) / "
@@ -708,7 +782,7 @@ std::string emit_json(const CampaignReport& report) {
        << "\", \"fault\": \"" << json_escape(t.fault) << "\", \"target\": \""
        << json_escape(t.target) << "\", \"line\": " << t.line
        << ", \"detail\": \"" << json_escape(t.detail) << "\", ";
-    if (t.kind == "corpus" || t.kind == "composed") {
+    if (t.kind == "corpus" || t.kind == "snapshot" || t.kind == "composed") {
       os << "\"generated\": " << t.generated << ", \"ingested\": "
          << t.ingested << ", \"quarantined_rows\": " << t.quarantined_rows
          << ", \"quarantined_row_lines\": " << t.quarantined_row_lines
@@ -718,7 +792,7 @@ std::string emit_json(const CampaignReport& report) {
          << json_escape(t.strict_error) << "\", \"conserved\": "
          << (t.conserved ? "true" : "false") << ", ";
     }
-    if (t.kind != "corpus") {
+    if (t.kind != "corpus" && t.kind != "snapshot") {
       os << "\"expected_rules\": ";
       emit_string_array(os, t.expected_rules);
       os << ", \"caught_rules\": ";

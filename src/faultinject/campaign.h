@@ -35,7 +35,9 @@ namespace dfsm::faultinject {
 
 /// Which fault surface a campaign exercises.
 enum class CampaignKind {
-  kCorpus,    ///< shard-set mutations through the ingest pipeline
+  kCorpus,    ///< shard-set mutations through the ingest pipeline, plus
+              ///< binary-snapshot mutations (faultinject/snapshot_faults.h)
+              ///< through the colsnap loader on ~1/4 of its draws
   kModel,     ///< IR/chain/sweep-cache mutations through staticlint +
               ///< dynamic analysis + the memoized-vs-direct cross-check
   kRace,      ///< interleaving-exploration trials over the curated race
@@ -71,8 +73,8 @@ struct CampaignConfig {
 /// fields stay zero/empty.
 struct TrialResult {
   std::size_t trial = 0;
-  std::string kind;    ///< "corpus" | "model" | "chain" | "sweep" |
-                       ///< "chainlint" | "race" | "composed"
+  std::string kind;    ///< "corpus" | "snapshot" | "model" | "chain" |
+                       ///< "sweep" | "chainlint" | "race" | "composed"
   std::string fault;   ///< mutator name
   std::string target;  ///< shard (workdir-relative) or model/operation
   std::size_t line = 0;

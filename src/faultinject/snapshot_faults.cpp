@@ -1,0 +1,111 @@
+#include "faultinject/snapshot_faults.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "bugtraq/colsnap.h"
+
+namespace dfsm::faultinject {
+namespace {
+
+/// Non-empty column blocks of one shard (only those can host a byte
+/// flip or a mid-payload cut).
+std::vector<bugtraq::ColsnapBlockRef> mutable_blocks(const std::string& bytes) {
+  std::vector<bugtraq::ColsnapBlockRef> out;
+  for (auto& ref : bugtraq::colsnap_block_refs(bytes)) {
+    if (ref.payload_len > 0) out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SnapshotFault f) noexcept {
+  switch (f) {
+    case SnapshotFault::kCorruptChecksum: return "corrupt-checksum";
+    case SnapshotFault::kTruncateColumn: return "truncate-column";
+    case SnapshotFault::kTornPublish: return "torn-publish";
+  }
+  return "unknown";
+}
+
+SnapshotMutation apply_snapshot_fault(SnapshotFault fault, SnapshotSet& set,
+                                      Rng& rng) {
+  if (set.contents.empty() || set.contents.size() != set.names.size()) {
+    throw std::invalid_argument("snapshot fault needs a labeled shard set");
+  }
+  SnapshotMutation mut;
+  mut.fault = fault;
+
+  switch (fault) {
+    case SnapshotFault::kCorruptChecksum: {
+      const std::size_t s = rng.below(set.contents.size());
+      std::string& bytes = set.contents[s];
+      const auto blocks = mutable_blocks(bytes);
+      if (blocks.empty()) {
+        throw std::invalid_argument("shard has no non-empty column blocks");
+      }
+      const auto& block = blocks[rng.below(blocks.size())];
+      const std::size_t off = block.payload_offset + rng.below(block.payload_len);
+      const unsigned char bit = static_cast<unsigned char>(1u << rng.below(8));
+      bytes[off] = static_cast<char>(
+          static_cast<unsigned char>(bytes[off]) ^ bit);
+      mut.shard = set.names[s];
+      mut.column = block.name;
+      mut.detail = "flipped bit mask " + std::to_string(bit) + " at payload byte " +
+                   std::to_string(off - block.payload_offset) + " of column '" +
+                   block.name + "'";
+      mut.expect_substr = set.names[s] + ":" + block.name + ": checksum mismatch";
+      break;
+    }
+    case SnapshotFault::kTruncateColumn: {
+      const std::size_t s = rng.below(set.contents.size());
+      std::string& bytes = set.contents[s];
+      const auto blocks = mutable_blocks(bytes);
+      if (blocks.empty()) {
+        throw std::invalid_argument("shard has no non-empty column blocks");
+      }
+      const auto& block = blocks[rng.below(blocks.size())];
+      const std::size_t keep = rng.below(block.payload_len);  // < payload_len
+      bytes.resize(block.payload_offset + keep);
+      mut.shard = set.names[s];
+      mut.column = block.name;
+      mut.detail = "cut shard after " + std::to_string(keep) + " of " +
+                   std::to_string(block.payload_len) + " payload bytes in '" +
+                   block.name + "'";
+      mut.expect_substr =
+          set.names[s] + ":" + block.name + ": truncated column block";
+      break;
+    }
+    case SnapshotFault::kTornPublish: {
+      if (set.contents.size() < 2) {
+        throw std::invalid_argument("torn publish needs >= 2 shards");
+      }
+      // Stamp a non-first shard with a different epoch, as if the writer
+      // re-published between shard writes.
+      const std::size_t s = 1 + rng.below(set.contents.size() - 1);
+      std::string& bytes = set.contents[s];
+      const std::size_t off = bugtraq::colsnap_epoch_offset();
+      std::uint64_t epoch = 0;
+      for (std::size_t i = 0; i < 8; ++i) {
+        epoch |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[off + i]))
+                 << (8 * i);
+      }
+      const std::uint64_t skew = 1 + rng.below(4);
+      const std::uint64_t stamped = epoch + skew;
+      for (std::size_t i = 0; i < 8; ++i) {
+        bytes[off + i] = static_cast<char>((stamped >> (8 * i)) & 0xFF);
+      }
+      mut.shard = set.names[s];
+      mut.column = "header";
+      mut.detail = "restamped shard " + std::to_string(s) + " from epoch " +
+                   std::to_string(epoch) + " to " + std::to_string(stamped);
+      mut.expect_substr = set.names[s] + ":header: snapshot epoch";
+      break;
+    }
+  }
+  return mut;
+}
+
+}  // namespace dfsm::faultinject

@@ -1,0 +1,64 @@
+// snapshot_faults.h — seeded mutators that corrupt binary columnar
+// snapshots (bugtraq/colsnap.h) the way real storage does: a flipped
+// payload byte, a column block cut short by a torn write, and a torn
+// publish (shards from two different corpus epochs in one set). The
+// loader's contract under test: every defect is refused, all-or-nothing,
+// with a "<file>:<column>: <reason>" message naming exactly where.
+//
+// Mutators edit an in-memory SnapshotSet and return a SnapshotMutation
+// carrying the substring the loader's error must contain. They are
+// deterministic in the Rng and never touch the filesystem — the campaign
+// owns all I/O (and for snapshots there is none: decode_colsnap_shards
+// accepts in-memory bodies).
+#ifndef DFSM_FAULTINJECT_SNAPSHOT_FAULTS_H
+#define DFSM_FAULTINJECT_SNAPSHOT_FAULTS_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "faultinject/rng.h"
+
+namespace dfsm::faultinject {
+
+/// The snapshot fault taxonomy (one mutator each).
+enum class SnapshotFault {
+  kCorruptChecksum,  ///< flip one payload byte (bit rot / torn sector)
+  kTruncateColumn,   ///< cut a shard mid-payload (torn write)
+  kTornPublish,      ///< stamp a later shard with a different epoch
+};
+
+inline constexpr std::array<SnapshotFault, 3> kAllSnapshotFaults = {
+    SnapshotFault::kCorruptChecksum,
+    SnapshotFault::kTruncateColumn,
+    SnapshotFault::kTornPublish,
+};
+
+[[nodiscard]] const char* to_string(SnapshotFault f) noexcept;
+
+/// An in-memory colsnap shard set: the labels decode errors use, and
+/// each shard's encoded bytes, in shard order.
+struct SnapshotSet {
+  std::vector<std::string> names;
+  std::vector<std::string> contents;  ///< parallel to names
+};
+
+/// What a mutator did and what the loader must say about it.
+struct SnapshotMutation {
+  SnapshotFault fault = SnapshotFault::kCorruptChecksum;
+  std::string shard;          ///< affected shard label
+  std::string column;         ///< affected column ("header" for torn publish)
+  std::string detail;         ///< human-readable description
+  std::string expect_substr;  ///< must appear in the loader's refusal
+};
+
+/// Applies `fault` to the shard set. kTornPublish needs >= 2 shards
+/// (throws std::invalid_argument otherwise); the others accept any
+/// non-empty set. Deterministic in `rng`.
+[[nodiscard]] SnapshotMutation apply_snapshot_fault(SnapshotFault fault,
+                                                    SnapshotSet& set,
+                                                    Rng& rng);
+
+}  // namespace dfsm::faultinject
+
+#endif  // DFSM_FAULTINJECT_SNAPSHOT_FAULTS_H

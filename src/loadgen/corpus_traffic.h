@@ -1,0 +1,66 @@
+// corpus_traffic.h — reader/writer traffic over the concurrent corpus
+// service (bugtraq/database.h): one writer ingesting a seeded corpus in
+// fixed-size batches while N real reader threads hammer snapshot() and
+// check, on every acquire, the service's isolation invariants — epoch
+// and size monotone, carried histograms exactly covering the frozen
+// range, row and column projections agreeing within the epoch.
+//
+// This is the concurrency complement to the monitored-server engine:
+// engine.h loads the request pipeline, corpus_traffic loads the corpus
+// service itself. The CI TSan leg runs it for race detection; the
+// default leg runs it as a semantic gate (violations == 0).
+//
+// Determinism: the FINAL state (records, epoch, batches, corpus bytes,
+// histogram exactness) is a pure function of the spec. How many
+// snapshots the readers manage to acquire is wall-clock-dependent by
+// nature and reported separately as `acquires` — emit_text prints it on
+// a clearly-marked timing line so byte-comparing consumers can strip it.
+#ifndef DFSM_LOADGEN_CORPUS_TRAFFIC_H
+#define DFSM_LOADGEN_CORPUS_TRAFFIC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dfsm::loadgen {
+
+struct CorpusTrafficSpec {
+  std::uint64_t seed = 1;
+  std::size_t records = 20'000;  ///< total records the writer ingests
+  std::size_t batch = 500;       ///< records per published epoch
+  std::size_t readers = 4;       ///< concurrent snapshot-reader threads
+};
+
+struct CorpusTrafficReport {
+  CorpusTrafficSpec spec;
+
+  // Deterministic outcome.
+  std::size_t records = 0;      ///< final corpus size
+  std::uint64_t epoch = 0;      ///< final publication count
+  std::size_t batches = 0;      ///< writer publishes
+  std::size_t violations = 0;   ///< isolation-invariant breaches observed
+  bool histograms_exact = false;  ///< final incremental == full rebuild
+  bool bytes_identical = false;   ///< final CSV == one-shot reference build
+
+  // Timing-dependent telemetry (excluded from byte comparisons).
+  std::size_t acquires = 0;  ///< snapshots the readers acquired in total
+
+  [[nodiscard]] bool ok() const noexcept {
+    return violations == 0 && histograms_exact && bytes_identical &&
+           records == spec.records;
+  }
+};
+
+/// Runs the traffic. Throws std::invalid_argument on a zero-record,
+/// zero-batch, or zero-reader spec.
+[[nodiscard]] CorpusTrafficReport run_corpus_traffic(
+    const CorpusTrafficSpec& spec);
+
+/// Human-readable report. Every line except the "timing:" line is a
+/// pure function of the spec and the (deterministic) outcome.
+[[nodiscard]] std::string render_corpus_traffic(
+    const CorpusTrafficReport& report);
+
+}  // namespace dfsm::loadgen
+
+#endif  // DFSM_LOADGEN_CORPUS_TRAFFIC_H

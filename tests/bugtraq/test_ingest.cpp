@@ -38,7 +38,8 @@ TEST(AddBatch, EquivalentToPerRecordAdds) {
   for (const auto& r : corpus.records()) incremental.add(r);
 
   Database bulk;
-  bulk.add_batch(corpus.records());
+  const auto recs = corpus.records();
+  bulk.add_batch({recs.begin(), recs.end()});
 
   EXPECT_EQ(bulk.to_csv(), incremental.to_csv());
   EXPECT_EQ(bulk.count_by_category(), incremental.count_by_category());

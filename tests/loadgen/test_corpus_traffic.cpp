@@ -1,0 +1,85 @@
+// Corpus-service traffic (loadgen/corpus_traffic.h): a writer ingesting
+// under live reader threads must end byte-identical to a one-shot build
+// with zero isolation violations; the renderer reports all of it.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "loadgen/corpus_traffic.h"
+
+namespace dfsm::loadgen {
+namespace {
+
+TEST(CorpusTraffic, HoldsInvariantsUnderConcurrentReaders) {
+  CorpusTrafficSpec spec;
+  spec.seed = 5;
+  spec.records = 8'000;
+  spec.batch = 250;
+  spec.readers = 4;
+  const auto report = run_corpus_traffic(spec);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.records, 8'000u);
+  EXPECT_EQ(report.batches, 32u);
+  EXPECT_EQ(report.epoch, 32u);
+  EXPECT_EQ(report.violations, 0u);
+  EXPECT_TRUE(report.histograms_exact);
+  EXPECT_TRUE(report.bytes_identical);
+  EXPECT_GT(report.acquires, 0u);
+}
+
+TEST(CorpusTraffic, SingleReaderAndRaggedTailBatch) {
+  CorpusTrafficSpec spec;
+  spec.seed = 9;
+  spec.records = 1'001;  // last batch is a partial one
+  spec.batch = 100;
+  spec.readers = 1;
+  const auto report = run_corpus_traffic(spec);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.batches, 11u);
+  EXPECT_EQ(report.epoch, 11u);
+}
+
+TEST(CorpusTraffic, DeterministicOutcomeAcrossRuns) {
+  CorpusTrafficSpec spec;
+  spec.seed = 3;
+  spec.records = 2'000;
+  spec.batch = 200;
+  spec.readers = 2;
+  const auto a = run_corpus_traffic(spec);
+  const auto b = run_corpus_traffic(spec);
+  // Everything except the timing-dependent acquire count matches.
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.histograms_exact, b.histograms_exact);
+  EXPECT_EQ(a.bytes_identical, b.bytes_identical);
+}
+
+TEST(CorpusTraffic, RendererCoversTheReport) {
+  CorpusTrafficSpec spec;
+  spec.records = 500;
+  spec.batch = 100;
+  spec.readers = 2;
+  const auto report = run_corpus_traffic(spec);
+  const auto text = render_corpus_traffic(report);
+  EXPECT_NE(text.find("PASS"), std::string::npos);
+  EXPECT_NE(text.find("isolation violations: 0"), std::string::npos);
+  EXPECT_NE(text.find("timing:"), std::string::npos);
+  EXPECT_NE(text.find("final epoch 5"), std::string::npos);
+}
+
+TEST(CorpusTraffic, DegenerateSpecsThrow) {
+  CorpusTrafficSpec spec;
+  spec.records = 0;
+  EXPECT_THROW((void)run_corpus_traffic(spec), std::invalid_argument);
+  spec.records = 10;
+  spec.batch = 0;
+  EXPECT_THROW((void)run_corpus_traffic(spec), std::invalid_argument);
+  spec.batch = 5;
+  spec.readers = 0;
+  EXPECT_THROW((void)run_corpus_traffic(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfsm::loadgen

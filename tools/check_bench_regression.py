@@ -11,8 +11,12 @@ The gate watches two kinds of benchmark pairs:
   the engine arm of the same stem, regardless of arguments. The pair
   table (``SUFFIX_PAIRS``) currently gates ``FullSweeps``/``Incremental``
   (e.g. ``BM_DefenseRankFullSweeps`` vs ``BM_DefenseRankIncremental``),
-  ``Unmonitored``/``Monitored`` (the loadgen monitor-overhead pair), and
-  ``LintCurated``/``LintMemoized`` (the incremental-lint cache-hit pair).
+  ``Unmonitored``/``Monitored`` (the loadgen monitor-overhead pair),
+  ``LintCurated``/``LintMemoized`` (the incremental-lint cache-hit pair),
+  ``HistogramRebuild``/``HistogramIncremental`` (the corpus-service
+  incremental-histogram pair, >= 10x floor), and
+  ``CsvReload``/``SnapshotReload`` (the binary-snapshot reload pair,
+  >= 5x floor).
 
 For every pair present in both runs it compares the *speedup* (reference
 median real_time / engine median real_time) — a ratio, so the check is
@@ -52,7 +56,16 @@ from collections import defaultdict
 # absolute min speedup or None). A floor, when set, is enforced on every
 # fresh run — even while the pair is still bootstrapping — because it
 # encodes an invariant (monitor overhead <= 2x) rather than a trend.
+#
+# Order matters: the first matching suffix wins, so a longer suffix that
+# embeds a shorter one ("HistogramIncremental" ends with "Incremental")
+# must come before the shorter spec.
 SUFFIX_PAIRS = (
+    # Corpus-service invariants: the incremental histogram fold beats a
+    # full rebuild >= 10x at 10^6 records, and binary snapshot reload
+    # beats the sharded-CSV parse >= 5x (DESIGN.md §15).
+    ("HistogramRebuild", "HistogramIncremental", 10.0),
+    ("CsvReload", "SnapshotReload", 5.0),
     ("FullSweeps", "Incremental", None),
     ("Unmonitored", "Monitored", 0.5),
     # Deliberately the long suffixes: a bare "Memoized" would also match

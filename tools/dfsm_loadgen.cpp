@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "loadgen/corpus_traffic.h"
 #include "loadgen/engine.h"
 #include "loadgen/report.h"
 #include "runtime/thread_pool.h"
@@ -41,7 +42,13 @@ void usage(const char* argv0) {
       "  --out FILE          write the report to FILE instead of stdout\n"
       "  --threads T         worker threads (default: DFSM_THREADS / hardware)\n"
       "  --allow-fn          do not fail the run on false negatives\n"
-      "  --quiet             suppress the stderr wall-clock summary\n",
+      "  --quiet             suppress the stderr wall-clock summary\n"
+      "  --corpus-traffic N  instead of server traffic, hammer the corpus\n"
+      "                      service: ingest N records in batches while\n"
+      "                      reader threads validate snapshot isolation\n"
+      "                      (exit 1 on any violation)\n"
+      "  --corpus-batch B    records per published batch (default 500)\n"
+      "  --corpus-readers R  concurrent reader threads (default 4)\n",
       argv0);
 }
 
@@ -85,6 +92,8 @@ int main(int argc, char** argv) {
   using namespace dfsm;
 
   loadgen::EngineOptions options;
+  loadgen::CorpusTrafficSpec corpus_spec;
+  bool corpus_mode = false;
   std::string format = "text";
   std::string out_path;
   bool allow_fn = false;
@@ -125,6 +134,13 @@ int main(int argc, char** argv) {
       } else if (arg == "--threads") {
         runtime::ThreadPool::set_global_threads(
             static_cast<std::size_t>(parse_u64(value())));
+      } else if (arg == "--corpus-traffic") {
+        corpus_mode = true;
+        corpus_spec.records = static_cast<std::size_t>(parse_u64(value()));
+      } else if (arg == "--corpus-batch") {
+        corpus_spec.batch = static_cast<std::size_t>(parse_u64(value()));
+      } else if (arg == "--corpus-readers") {
+        corpus_spec.readers = static_cast<std::size_t>(parse_u64(value()));
       } else if (arg == "--allow-fn") {
         allow_fn = true;
       } else if (arg == "--quiet") {
@@ -141,6 +157,39 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
+  }
+
+  if (corpus_mode) {
+    corpus_spec.seed = options.workload.seed;  // --seed applies here too
+    loadgen::CorpusTrafficReport report;
+    const auto wall_start = std::chrono::steady_clock::now();
+    try {
+      report = loadgen::run_corpus_traffic(corpus_spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+    const std::string rendered = loadgen::render_corpus_traffic(report);
+    if (out_path.empty()) {
+      std::fputs(rendered.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(out_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
+        return 2;
+      }
+      std::fwrite(rendered.data(), 1, rendered.size(), f);
+      std::fclose(f);
+    }
+    if (!quiet) {
+      const double secs = static_cast<double>(wall) / 1e6;
+      std::fprintf(stderr, "wall: %.2fs for %zu record(s), %zu acquire(s)\n",
+                   secs, report.records, report.acquires);
+    }
+    return report.ok() ? 0 : 1;
   }
 
   loadgen::LoadReport report;

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the dfsm_corpus workbench, mirrored by the CI
+# corpus-snapshot job: generate a corpus in both formats, byte-compare
+# stats JSON across formats AND across thread counts, verify round
+# trips, then corrupt one snapshot byte and require the loader to refuse
+# with exit 1 and a "<file>:<column>:" message.
+set -u
+
+tool="$1"
+work="$2"
+
+rm -rf "$work"
+mkdir -p "$work"
+
+fail() {
+  echo "FAIL: $1"
+  exit 1
+}
+
+"$tool" gen --n 20000 --seed 42 --out "$work/c" --shards 4 --format both \
+  --quiet || fail "gen exited $?"
+
+"$tool" stats --in "$work/c.csv" --out "$work/stats-csv.json" \
+  || fail "stats over csv exited $?"
+"$tool" stats --in "$work/c.colsnap" --out "$work/stats-snap.json" \
+  || fail "stats over colsnap exited $?"
+"$tool" stats --in "$work/c.colsnap" --threads 0 \
+  --out "$work/stats-t0.json" || fail "stats at --threads 0 exited $?"
+"$tool" stats --in "$work/c.colsnap" --threads 4 \
+  --out "$work/stats-t4.json" || fail "stats at --threads 4 exited $?"
+
+cmp -s "$work/stats-csv.json" "$work/stats-snap.json" \
+  || fail "stats differ between csv and colsnap loads"
+cmp -s "$work/stats-t0.json" "$work/stats-t4.json" \
+  || fail "stats differ between --threads 0 and --threads 4"
+
+"$tool" verify --in "$work/c.colsnap" >/dev/null || fail "verify exited $?"
+
+# Negative arm: one flipped payload byte must be refused, loudly.
+"$tool" corrupt --in "$work/c.colsnap" --shard 1 --mode checksum \
+  --column year >/dev/null || fail "corrupt exited $?"
+out=$("$tool" stats --in "$work/c.colsnap" 2>&1)
+code=$?
+if [ "$code" -ne 1 ]; then
+  fail "expected exit 1 on corrupt snapshot, got $code"
+fi
+if ! printf '%s' "$out" | grep -q ":year: checksum mismatch"; then
+  echo "$out"
+  fail "refusal message does not name the file, column, and reason"
+fi
+
+echo "ok: formats agree, thread counts agree, corruption refused with exit 1"
+exit 0
